@@ -1,0 +1,89 @@
+//! One Criterion bench per paper figure, at reduced scale so `cargo bench`
+//! terminates quickly. The full-scale numbers come from the `fig*` binaries
+//! (see EXPERIMENTS.md); these benches measure the *wall-clock* cost of the
+//! real execution behind each figure and guard against performance
+//! regressions in the pipeline itself.
+//!
+//! | bench | figure |
+//! |---|---|
+//! | `fig4_theorems` | Fig. 4 / Theorems 1–2 |
+//! | `fig5_dimension_cell/*` | Fig. 5(a)/(b) cells |
+//! | `fig6_server_cell/*` | Fig. 6 cells |
+//! | `fig7_optimality_cell` | Fig. 7 (optimality is computed inside the run) |
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_skyline::prelude::*;
+use mr_skyline_bench::master_dataset;
+use rand::{rngs::StdRng, SeedableRng};
+use skyline_algos::metrics::{dominance_ability_angle, empirical_dominance_ability};
+use skyline_algos::partition::{AnglePartitioner, Bounds};
+use skyline_algos::point::Point;
+
+const BENCH_N: usize = 8000;
+
+fn bench_fig4(c: &mut Criterion) {
+    let bounds = Bounds::zero_to(2.0, 2);
+    let part = AnglePartitioner::fit(&bounds, 4).unwrap();
+    c.bench_function("fig4_theorems", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let s = Point::new(u64::MAX, vec![0.5, 0.1]);
+            let mc = empirical_dominance_ability(&s, &part, 2.0, 20_000, &mut rng);
+            let exact = dominance_ability_angle(0.5, 0.1, 1.0);
+            (mc - exact).abs()
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let master = master_dataset(BENCH_N);
+    let mut group = c.benchmark_group("fig5_dimension_cell");
+    group.sample_size(10);
+    for d in [2usize, 6, 10] {
+        let data = master.project(d);
+        for alg in Algorithm::paper_trio() {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), d),
+                &data,
+                |b, data| {
+                    let job = SkylineJob::new(alg, 8);
+                    b.iter(|| job.run(data).global_skyline.len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let data = master_dataset(BENCH_N).project(10);
+    let mut group = c.benchmark_group("fig6_server_cell");
+    group.sample_size(10);
+    for servers in [4usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(servers),
+            &data,
+            |b, data| {
+                let job = SkylineJob::new(Algorithm::MrAngle, servers);
+                b.iter(|| job.run(data).metrics.sim_total)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let data = master_dataset(1000).project(6);
+    let mut group = c.benchmark_group("fig7_optimality_cell");
+    group.sample_size(10);
+    for alg in Algorithm::paper_trio() {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &data, |b, data| {
+            let job = SkylineJob::new(alg, 8);
+            b.iter(|| job.run(data).optimality)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_fig5, bench_fig6, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Partition-assignment throughput for the four space partitioners — the
+//! per-record Map-stage cost of each algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qws_data::{generate_qws, QwsConfig};
+use skyline_algos::partition::{
+    AnglePartitioner, DimPartitioner, GridPartitioner, RandomPartitioner, SpacePartitioner,
+};
+use skyline_algos::point::Point;
+
+fn bench_partition_of(c: &mut Criterion) {
+    for d in [2usize, 10] {
+        let data = generate_qws(&QwsConfig::new(4096, d));
+        let pts: Vec<Point> = data.points().to_vec();
+        let bounds = data.bounds();
+        let partitioners: Vec<(&str, Box<dyn SpacePartitioner>)> = vec![
+            ("dim", Box::new(DimPartitioner::fit(bounds, 16).unwrap())),
+            (
+                "grid2",
+                Box::new(GridPartitioner::fit_on_dims(bounds, 16, 2.min(d)).unwrap()),
+            ),
+            (
+                "angle_equal",
+                Box::new(AnglePartitioner::fit(bounds, 16).unwrap()),
+            ),
+            (
+                "angle_quantile",
+                Box::new(AnglePartitioner::fit_quantile(data.points(), 16).unwrap()),
+            ),
+            ("random", Box::new(RandomPartitioner::new(d, 16).unwrap())),
+        ];
+        let mut group = c.benchmark_group(format!("partition_of/d{d}"));
+        for (name, part) in &partitioners {
+            group.bench_with_input(BenchmarkId::from_parameter(name), part, |b, part| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for p in &pts {
+                        acc = acc.wrapping_add(part.partition_of(black_box(p)));
+                    }
+                    acc
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_quantile_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("angle_quantile_fit");
+    group.sample_size(10);
+    for n in [1000usize, 10_000] {
+        let data = generate_qws(&QwsConfig::new(n, 10));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| AnglePartitioner::fit_quantile(data.points(), 16).unwrap().num_partitions())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_of, bench_quantile_fit);
+criterion_main!(benches);

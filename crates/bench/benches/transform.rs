@@ -1,0 +1,50 @@
+//! Throughput of the hyperspherical transform (paper Eq. 1) — the extra
+//! Map-stage cost MR-Angle pays per point, and the justification for the
+//! `map_work_per_point` charge in the cost model.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use skyline_algos::hypersphere::{to_hyperspherical, to_hyperspherical_into};
+use skyline_algos::point::Point;
+
+fn points(n: usize, d: usize) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            Point::new(
+                i as u64,
+                (0..d).map(|_| rng.gen_range(0.0..100.0)).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperspherical");
+    for d in [2usize, 6, 10] {
+        let pts = points(4096, d);
+        group.bench_with_input(BenchmarkId::new("alloc", d), &pts, |b, pts| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in pts {
+                    acc += to_hyperspherical(black_box(p)).r;
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("into", d), &pts, |b, pts| {
+            let mut buf = vec![0.0; d - 1];
+            b.iter(|| {
+                let mut acc = 0.0;
+                for p in pts {
+                    acc += to_hyperspherical_into(black_box(p), &mut buf);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

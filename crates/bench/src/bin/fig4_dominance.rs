@@ -1,0 +1,86 @@
+//! Regenerates **Figure 4 / Theorems 1–2** — the dominance-ability analysis
+//! of Section IV.
+//!
+//! ```text
+//! cargo run --release -p mr-skyline-bench --bin fig4_dominance
+//! ```
+//!
+//! Setting: a square data space of side `2L`, four partitions, a skyline
+//! service `s = (x, y)` in the partition adjacent to the x-axis (`y ≤ x/2`).
+//! The paper proves
+//!
+//! * Theorem 1: `D_angle(s) = (L² − x²/4 − (2L−x)·y) / L²`
+//! * Theorem 2: `ΔD = D_angle − D_grid ≥ x/(2L²)·(L − x/2) ≥ 0`
+//!
+//! This harness prints the closed forms over a grid of `(x, y)` and verifies
+//! them against Monte-Carlo estimates on the actual partitioner
+//! implementations (uniform points, 4 angular sectors / 2×2 grid cells).
+
+use mr_skyline_bench::arg_usize;
+use rand::{rngs::StdRng, SeedableRng};
+use skyline_algos::metrics::{
+    dominance_ability_angle, dominance_ability_grid, dominance_gap_lower_bound,
+    empirical_dominance_ability,
+};
+use skyline_algos::partition::{AnglePartitioner, Bounds, GridPartitioner};
+use skyline_algos::point::Point;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples = arg_usize(&args, "--samples", 200_000);
+    let l = 1.0;
+    let side = 2.0 * l;
+    let bounds = Bounds::zero_to(side, 2);
+    let angle = AnglePartitioner::fit(&bounds, 4).expect("valid partitioner");
+    let grid = GridPartitioner::fit(&bounds, 4).expect("valid partitioner");
+    let mut rng = StdRng::seed_from_u64(4);
+
+    println!("=== Figure 4 / Theorems 1-2: dominance ability, 2L={side}, 4 partitions ===\n");
+    println!(
+        "{:>5} {:>5} | {:>9} {:>9} {:>8} {:>8} | {:>9} {:>9} | {:>6}",
+        "x", "y", "D_angle", "D_grid", "gap", "bound", "MC_angle", "MC_grid", "thm2"
+    );
+
+    let mut worst_angle_err = 0.0f64;
+    let mut worst_grid_err = 0.0f64;
+    // Validity region of the closed forms: s must lie in the axis-adjacent
+    // partition of BOTH partitioners, i.e. x strictly below L (bottom-left
+    // grid cell) and y below the first equal-angle sector boundary
+    // tan(pi/8)*x.
+    let sector_slope = (std::f64::consts::FRAC_PI_8).tan();
+    for xi in 1..=4 {
+        let x = 0.2 * xi as f64; // x in (0, L)
+        for yi in 0..=2 {
+            let y = sector_slope * x * 0.9 * yi as f64 / 2.0; // y inside sector 0
+            let da = dominance_ability_angle(x, y, l);
+            let dg = dominance_ability_grid(x, y, l);
+            let gap = da - dg;
+            let bound = dominance_gap_lower_bound(x, l);
+            let s = Point::new(u64::MAX, vec![x, y]);
+            let mca = empirical_dominance_ability(&s, &angle, side, samples, &mut rng);
+            let mcg = empirical_dominance_ability(&s, &grid, side, samples, &mut rng);
+            worst_angle_err = worst_angle_err.max((mca - da).abs());
+            worst_grid_err = worst_grid_err.max((mcg - dg).abs());
+            let thm2_ok = gap + 1e-9 >= bound && bound >= -1e-12;
+            println!(
+                "{:>5.2} {:>5.2} | {:>9.4} {:>9.4} {:>8.4} {:>8.4} | {:>9.4} {:>9.4} | {:>6}",
+                x,
+                y,
+                da,
+                dg,
+                gap,
+                bound,
+                mca,
+                mcg,
+                if thm2_ok { "OK" } else { "FAIL" }
+            );
+        }
+    }
+    println!("\nMax |Monte-Carlo − closed form|: angle {worst_angle_err:.4}, grid {worst_grid_err:.4}");
+    println!("(Theorem 1 draws the sector boundary at the line y = x/2; the implemented");
+    println!(" equal-angle sector boundary is y = tan(pi/8)x ~= 0.414x, so the angle column");
+    println!(" carries a small systematic modelling gap. The grid column must match tightly.)");
+    assert!(worst_grid_err < 0.02, "grid Monte-Carlo diverged from the closed form");
+    assert!(worst_angle_err < 0.08, "angle Monte-Carlo diverged beyond the modelling gap");
+    println!("PASS: closed forms verified within tolerance on the implemented partitioners.");
+}

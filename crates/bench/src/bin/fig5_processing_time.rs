@@ -1,0 +1,60 @@
+//! Regenerates **Figure 5** — processing time of the three MapReduce skyline
+//! methods vs. attribute dimensionality.
+//!
+//! ```text
+//! cargo run --release -p mr-skyline-bench --bin fig5_processing_time -- --cardinality 1000
+//! cargo run --release -p mr-skyline-bench --bin fig5_processing_time -- --cardinality 100000
+//! ```
+//!
+//! Paper reference (QWS-extended dataset, Hadoop 0.20.2):
+//! * Fig. 5(a), N = 1,000 — MR-Grid 6–16 % and MR-Dim 18–45 % slower than
+//!   MR-Angle; flat-ish growth with dimension.
+//! * Fig. 5(b), N = 100,000 — gaps widen with dimension; at d = 10 the paper
+//!   reports MR-Angle 1.7× faster than MR-Grid and 2.3× faster than MR-Dim.
+
+use mr_skyline_bench::{arg_usize, dimension_sweep, format_by_dimension, maybe_emit_json, PAPER_DIMENSIONS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cardinality = arg_usize(&args, "--cardinality", 1000);
+    let label = if cardinality <= 10_000 { "5(a)" } else { "5(b)" };
+
+    println!("=== Figure {label}: processing time vs dimension, N = {cardinality} ===\n");
+    let points = dimension_sweep(cardinality);
+
+    println!(
+        "{}",
+        format_by_dimension(&points, |p| p.processing_time, "d")
+    );
+
+    println!("Speedup of MR-Angle (paper at d=10, N=100k: 2.3x over Dim, 1.7x over Grid):");
+    println!("{:<6} {:>14} {:>14}", "d", "Dim/Angle", "Grid/Angle");
+    for &d in &PAPER_DIMENSIONS {
+        let t = |alg| {
+            points
+                .iter()
+                .find(|p| p.dimensions == d && p.algorithm == alg)
+                .map(|p| p.processing_time)
+                .expect("sweep covers all cells")
+        };
+        use mr_skyline::Algorithm::*;
+        println!(
+            "{:<6} {:>14.2} {:>14.2}",
+            d,
+            t(MrDim) / t(MrAngle),
+            t(MrGrid) / t(MrAngle)
+        );
+    }
+
+    println!("\nMerge candidates shipped to the Reduce-side merge (the mechanism):");
+    println!(
+        "{}",
+        format_by_dimension(&points, |p| p.merge_candidates as f64, "d")
+    );
+    println!("Global skyline sizes:");
+    println!(
+        "{}",
+        format_by_dimension(&points, |p| p.skyline_size as f64, "d")
+    );
+    maybe_emit_json(&args, &points);
+}

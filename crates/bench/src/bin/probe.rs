@@ -1,0 +1,49 @@
+//! Internal calibration probe: prints raw work counters for one sweep cell.
+//! Not part of the figure suite; used to sanity-check the cost model.
+
+use mr_skyline::prelude::*;
+use mr_skyline_bench::{arg_usize, master_dataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "--cardinality", 100_000);
+    let d = arg_usize(&args, "--dims", 10);
+    let servers = arg_usize(&args, "--servers", 8);
+    let master = master_dataset(n);
+    let data = master.project(d);
+    for alg in Algorithm::paper_trio() {
+        let t0 = std::time::Instant::now();
+        let report = SkylineJob::new(alg, servers).run(&data);
+        let wall = t0.elapsed().as_secs_f64();
+        let merge_task = report
+            .metrics
+            .reduce
+            .task_durations
+            .last()
+            .copied()
+            .unwrap_or(0.0);
+        let local_max = report
+            .metrics
+            .reduce
+            .task_durations
+            .iter()
+            .take(report.metrics.reduce.task_durations.len().saturating_sub(1))
+            .fold(0.0f64, |a, &b| a.max(b));
+        println!(
+            "{:<9} lb_cv={:>5.2} lb_max={:>6} map_work={:>12} reduce_work={:>13} cand={:>7} sky={:>6} sim={:>8.1}s (map {:>7.1} red {:>7.1} | local_max {:>6.1} merge {:>6.1}) wall={:>5.1}s",
+            report.algorithm.name(),
+            report.load_balance.cv,
+            report.load_balance.max,
+            report.metrics.map.work_units,
+            report.metrics.reduce.work_units,
+            report.merge_candidates(),
+            report.global_skyline.len(),
+            report.processing_time(),
+            report.map_time(),
+            report.reduce_time(),
+            local_max,
+            merge_task,
+            wall,
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Algorithm assembly: partitioner construction plus the shared two-job
+//! MapReduce pipeline.
+
+pub mod pipeline;
+
+pub use pipeline::{run_two_job_pipeline, PipelineOptions, PipelineOutput};
+
+use crate::config::{AlgoConfig, Algorithm};
+use qws_data::Dataset;
+use skyline_algos::partition::{
+    AnglePartitioner, DimPartitioner, GridPartitioner, RandomPartitioner, SpacePartitioner,
+};
+use std::sync::Arc;
+
+/// Builds the partitioner an algorithm uses over `dataset`'s bounds for a
+/// cluster of `servers`, following the paper's `2 × nodes` partition policy
+/// (see [`AlgoConfig::partitions_for`]).
+pub fn build_partitioner(
+    algorithm: Algorithm,
+    config: &AlgoConfig,
+    dataset: &Dataset,
+    servers: usize,
+) -> Arc<dyn SpacePartitioner> {
+    let np = config.partitions_for(servers);
+    let bounds = dataset.bounds();
+    match algorithm {
+        Algorithm::MrDim => {
+            if config.baseline_quantile {
+                let sample = stride_sample(dataset);
+                Arc::new(
+                    DimPartitioner::fit_quantile(&sample, np)
+                        .expect("non-empty sample and np >= 1 by construction"),
+                )
+            } else {
+                Arc::new(DimPartitioner::fit(bounds, np).expect("np >= 1 by construction"))
+            }
+        }
+        Algorithm::MrGrid => {
+            let split_dims = if config.grid_dims == 0 {
+                dataset.dim()
+            } else {
+                config.grid_dims.min(dataset.dim())
+            };
+            if config.baseline_quantile {
+                let sample = stride_sample(dataset);
+                Arc::new(
+                    GridPartitioner::fit_quantile(&sample, np, split_dims)
+                        .expect("non-empty sample and valid split_dims by construction"),
+                )
+            } else {
+                Arc::new(
+                    GridPartitioner::fit_on_dims(bounds, np, split_dims)
+                        .expect("np >= 1 and 1 <= split_dims <= d by construction"),
+                )
+            }
+        }
+        Algorithm::MrAngle => {
+            if config.angle_quantile {
+                let sample = stride_sample(dataset);
+                Arc::new(
+                    AnglePartitioner::fit_quantile(&sample, np)
+                        .expect("non-empty sample and np >= 1 by construction"),
+                )
+            } else {
+                Arc::new(AnglePartitioner::fit(bounds, np).expect("np >= 1 by construction"))
+            }
+        }
+        Algorithm::MrRandom => {
+            Arc::new(RandomPartitioner::new(dataset.dim(), np).expect("np >= 1 by construction"))
+        }
+        Algorithm::Sequential => Arc::new(
+            RandomPartitioner::new(dataset.dim(), 1).expect("one partition is always valid"),
+        ),
+    }
+}
+
+/// Deterministic stride sample of up to ~10k points for quantile fitting —
+/// the Hadoop analogue is a sampling pre-pass like `TotalOrderPartitioner`'s.
+fn stride_sample(dataset: &Dataset) -> Vec<skyline_algos::point::Point> {
+    let pts = dataset.points();
+    let stride = (pts.len() / 10_000).max(1);
+    pts.iter().step_by(stride).cloned().collect()
+}
+
+/// Per-point Map-stage CPU work (in cost-model work units) of computing the
+/// partition assignment, by scheme:
+///
+/// * `dim` reads one coordinate;
+/// * `grid` reads all `d` coordinates;
+/// * `angle` additionally performs the hyperspherical transform of Eq. (1)
+///   (suffix square sums + one `atan2` per angle ≈ 2 passes);
+/// * `random` hashes the id.
+///
+/// This is the "the original Cartesian coordinate-based data should be
+/// transformed into hyperspherical coordinate-based data in MR-Angle" cost
+/// that makes MR-Angle's *Map* phase slightly dearer than the others while
+/// its Reduce phase wins big.
+pub fn map_work_per_point(algorithm: Algorithm, dim: usize) -> u64 {
+    match algorithm {
+        Algorithm::MrDim => 1,
+        Algorithm::MrGrid => dim as u64,
+        Algorithm::MrAngle => 2 * dim as u64,
+        Algorithm::MrRandom | Algorithm::Sequential => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qws_data::{generate_qws, QwsConfig};
+
+    fn data() -> Dataset {
+        generate_qws(&QwsConfig::new(200, 3))
+    }
+
+    #[test]
+    fn partitioner_kind_matches_algorithm() {
+        let d = data();
+        let cfg = AlgoConfig::default();
+        assert_eq!(build_partitioner(Algorithm::MrDim, &cfg, &d, 4).name(), "dim");
+        assert_eq!(build_partitioner(Algorithm::MrGrid, &cfg, &d, 4).name(), "grid");
+        assert_eq!(build_partitioner(Algorithm::MrAngle, &cfg, &d, 4).name(), "angle");
+        assert_eq!(
+            build_partitioner(Algorithm::MrRandom, &cfg, &d, 4).name(),
+            "random"
+        );
+    }
+
+    #[test]
+    fn sequential_uses_one_partition() {
+        let p = build_partitioner(Algorithm::Sequential, &AlgoConfig::default(), &data(), 8);
+        assert_eq!(p.num_partitions(), 1);
+    }
+
+    #[test]
+    fn partition_counts_follow_policy() {
+        let d = data();
+        let cfg = AlgoConfig::default();
+        let p = build_partitioner(Algorithm::MrDim, &cfg, &d, 8);
+        assert_eq!(p.num_partitions(), 16);
+        // grid/angle may round up to a full lattice
+        let g = build_partitioner(Algorithm::MrGrid, &cfg, &d, 8);
+        assert!(g.num_partitions() >= 16);
+    }
+
+    #[test]
+    fn map_work_ordering() {
+        // angle > grid > dim: the paper's Map-side cost ranking
+        let d = 10;
+        assert!(map_work_per_point(Algorithm::MrAngle, d) > map_work_per_point(Algorithm::MrGrid, d));
+        assert!(map_work_per_point(Algorithm::MrGrid, d) > map_work_per_point(Algorithm::MrDim, d));
+    }
+}

@@ -1,0 +1,540 @@
+//! The shared two-job pipeline (paper Algorithm 1).
+//!
+//! **Job 1 — partitioning job.** Map: compute each service's partition id
+//! (lines 2–6 of Algorithm 1; for MR-Angle this includes the hyperspherical
+//! transform) and emit `(partition, service)`. Reduce: per partition, run
+//! the local-skyline kernel (lines 7–10) and emit the survivors. MR-Grid's
+//! dominated-cell pruning empties pruned partitions before the kernel runs.
+//!
+//! **Job 2 — merging job.** Map: rekey every local-skyline service under
+//! the single key `0` (lines 12–14, the paper's `output(null, s)`), Reduce:
+//! one task merges everything with a final kernel pass into the global
+//! skyline (line 15).
+
+use crate::config::{AlgoConfig, LocalKernel};
+use mini_mapreduce::prelude::*;
+use mini_mapreduce::runtime::LocalityConfig;
+use mini_mapreduce::scheduler::SpeculationConfig;
+use mini_mapreduce::task::FailureConfig;
+use qws_data::Dataset;
+use skyline_algos::bnl::{bnl_skyline_stats, BnlConfig};
+use skyline_algos::partition::SpacePartitioner;
+use skyline_algos::point::Point;
+use skyline_algos::dnc::dnc_skyline_stats;
+use skyline_algos::sfs::sfs_skyline_stats;
+use std::sync::Arc;
+
+/// Shared wire-size estimator for `(partition id, service point)` pairs.
+type PointSizer = Arc<dyn Fn(&u64, &Point) -> usize + Send + Sync>;
+
+/// Everything the pipeline needs beyond the dataset and the partitioner.
+#[derive(Clone)]
+pub struct PipelineOptions {
+    /// Display name prefix for the two jobs (e.g. `"MR-Angle"`).
+    pub name: String,
+    /// Simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Failure injection (applies to both jobs).
+    pub failure: FailureConfig,
+    /// Speculative execution.
+    pub speculation: SpeculationConfig,
+    /// Host execution threads (`0` = all cores).
+    pub threads: usize,
+    /// Algorithm knobs (kernel, window, pruning).
+    pub config: AlgoConfig,
+    /// Data-locality model for map scheduling (both jobs).
+    pub locality: LocalityConfig,
+    /// Map-stage work units charged per input point (partition-assignment
+    /// cost; see [`crate::algorithms::map_work_per_point`]).
+    pub map_work_per_point: u64,
+}
+
+/// Everything the pipeline produces.
+pub struct PipelineOutput {
+    /// Per-partition local skylines, sorted by partition id. Pruned and
+    /// empty partitions appear with empty skylines only if they received
+    /// points.
+    pub local_skylines: Vec<(u64, Vec<Point>)>,
+    /// The global skyline.
+    pub global_skyline: Vec<Point>,
+    /// Combined metrics of both jobs (map/reduce spans concatenated).
+    pub metrics: JobMetrics,
+    /// Point count per partition (length = partitioner's partition count).
+    pub partition_counts: Vec<usize>,
+    /// Number of partitions skipped by dominated-cell pruning.
+    pub pruned_partitions: usize,
+}
+
+fn run_kernel(
+    points: &[Point],
+    kernel: LocalKernel,
+    window: Option<usize>,
+) -> (Vec<Point>, u64) {
+    match kernel {
+        LocalKernel::Bnl => {
+            let cfg = match window {
+                Some(w) => BnlConfig::with_window(w),
+                None => BnlConfig::unbounded(),
+            };
+            let (sky, stats) = bnl_skyline_stats(points, &cfg);
+            (sky, stats.counter.dim_weighted())
+        }
+        LocalKernel::Sfs => {
+            let (sky, stats) = sfs_skyline_stats(points);
+            (sky, stats.counter.dim_weighted())
+        }
+        LocalKernel::Dnc => {
+            let (sky, stats) = dnc_skyline_stats(points);
+            (sky, stats.counter.dim_weighted())
+        }
+    }
+}
+
+/// Runs the two-job chain of `partitioner` over `dataset`.
+pub fn run_two_job_pipeline(
+    partitioner: Arc<dyn SpacePartitioner>,
+    dataset: &Dataset,
+    opts: &PipelineOptions,
+) -> PipelineOutput {
+    let num_partitions = partitioner.num_partitions();
+    let sizer: PointSizer = Arc::new(|_k: &u64, v: &Point| 8 + v.wire_size());
+
+    // Partition profile: per-partition counts, computed up front (the
+    // Hadoop analogue is a counter pass / sampling job published via the
+    // distributed cache) and used for grid pruning and load metrics.
+    let mut partition_counts = vec![0usize; num_partitions];
+    for p in dataset.points() {
+        partition_counts[partitioner.partition_of(p)] += 1;
+    }
+    let prunable: Arc<Vec<bool>> = Arc::new(if opts.config.grid_pruning {
+        partitioner.prunable(&partition_counts)
+    } else {
+        vec![false; num_partitions]
+    });
+    let pruned_partitions = prunable.iter().filter(|&&p| p).count();
+
+    // ---- Job 1: partition + local skylines ----
+    // One reduce task per partition, as a Hadoop job would configure for a
+    // partition-keyed reduce; the cluster's reduce slots bound *concurrency*
+    // (waves), not the task count.
+    let mut spec1: JobSpec<u64, Point> =
+        JobSpec::new(format!("{}-partition", opts.name), opts.cluster.clone())
+            .with_reducers(num_partitions.max(1));
+    spec1.cost = opts.cost.clone();
+    spec1.failure = opts.failure.clone();
+    spec1.speculation = opts.speculation.clone();
+    spec1.threads = opts.threads;
+    spec1.locality = opts.locality.clone();
+    spec1.sizer = Some(sizer.clone());
+    spec1.router = Some(Arc::new(|k: &u64, r: usize| (*k % r as u64) as usize));
+
+    let part = Arc::clone(&partitioner);
+    let map_work = opts.map_work_per_point;
+    let mapper1 = move |p: &Point, ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
+        ctx.add_work(map_work);
+        out.emit(part.partition_of(p) as u64, p.clone());
+    };
+    let kernel = opts.config.kernel;
+    let window = opts.config.bnl_window;
+    let prune_mask = Arc::clone(&prunable);
+    let reducer1 = move |key: &u64,
+                         values: Vec<Point>,
+                         ctx: &mut TaskContext,
+                         out: &mut Vec<(u64, Point)>| {
+        if prune_mask[*key as usize] {
+            // Dominated cell: emit nothing, spend nothing (Section III-B).
+            ctx.incr("partitions_pruned", 1);
+            ctx.incr("points_pruned", values.len() as u64);
+            return;
+        }
+        let (sky, work) = run_kernel(&values, kernel, window);
+        ctx.add_work(work);
+        ctx.incr("local_skyline_points", sky.len() as u64);
+        out.extend(sky.into_iter().map(|p| (*key, p)));
+    };
+
+    let job1: JobResult<u64, (u64, Point)> =
+        run_job(&spec1, dataset.points(), &mapper1, None, &reducer1);
+    let metrics1 = job1.metrics.clone();
+
+    // Collect local skylines sorted by partition id.
+    let mut local_skylines: Vec<(u64, Vec<Point>)> = Vec::new();
+    {
+        let mut flat: Vec<(u64, Point)> = job1.into_outputs();
+        flat.sort_by_key(|(k, p)| (*k, p.id()));
+        for (k, p) in flat {
+            match local_skylines.last_mut() {
+                Some((lk, v)) if *lk == k => v.push(p),
+                _ => local_skylines.push((k, vec![p])),
+            }
+        }
+    }
+
+    // ---- Optional hierarchical pre-merge rounds ----
+    // Candidates are hash-spread over `fan_in` reducers, each computing the
+    // skyline of its share; rounds repeat until one reducer's share is small
+    // enough. Lossless: a global skyline point survives any subset's local
+    // skyline, and every point pruned in a round is globally dominated.
+    let mut premerge_metrics: Option<JobMetrics> = None;
+    let mut merge_input = {
+        let mut candidates: Vec<Point> = local_skylines
+            .iter()
+            .flat_map(|(_, v)| v.iter().cloned())
+            .collect();
+        candidates.sort_by_key(Point::id);
+        candidates
+    };
+    if let Some(fan_in) = opts.config.merge_fan_in {
+        assert!(fan_in >= 2, "hierarchical merge needs fan-in >= 2");
+        let mut round = 0u32;
+        while merge_input.len() > fan_in * 64 && round < 8 {
+            round += 1;
+            let reducers = merge_input.len().div_ceil(fan_in * 64).min(
+                opts.cluster.reduce_slots().max(1),
+            );
+            if reducers <= 1 {
+                break;
+            }
+            let mut spec_pm: JobSpec<u64, Point> = JobSpec::new(
+                format!("{}-premerge{round}", opts.name),
+                opts.cluster.clone(),
+            )
+            .with_reducers(reducers);
+            spec_pm.cost = opts.cost.clone();
+            spec_pm.failure = opts.failure.clone();
+            spec_pm.speculation = opts.speculation.clone();
+            spec_pm.threads = opts.threads;
+            spec_pm.locality = opts.locality.clone();
+            spec_pm.sizer = Some(sizer.clone());
+            let r = reducers as u64;
+            let mapper_pm = move |p: &Point, ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
+                let _ = ctx;
+                out.emit(p.id() % r, p.clone());
+            };
+            let reducer_pm = move |key: &u64,
+                                   values: Vec<Point>,
+                                   ctx: &mut TaskContext,
+                                   out: &mut Vec<Point>| {
+                let _ = key;
+                let (sky, work) = run_kernel(&values, kernel, window);
+                ctx.add_work(work);
+                out.extend(sky);
+            };
+            let job: JobResult<u64, Point> =
+                run_job(&spec_pm, &merge_input, &mapper_pm, None, &reducer_pm);
+            premerge_metrics = Some(match premerge_metrics.take() {
+                None => job.metrics.clone(),
+                Some(m) => m.chain(&job.metrics),
+            });
+            let before = merge_input.len();
+            merge_input = job.into_outputs();
+            merge_input.sort_by_key(Point::id);
+            if merge_input.len() == before {
+                break; // no progress: everything is mutually non-dominated
+            }
+        }
+    }
+
+    // ---- Job 2: merge ----
+    // Candidate order: by service id, i.e. the registry's original (random)
+    // order. Concatenating partitions instead would hand quality-sorted
+    // input to MR-Dim/MR-Grid (their partition ids correlate with quality),
+    // silently giving their merge BNL an SFS-style presort that a real
+    // Hadoop shuffle (map-completion order) does not provide.
+
+    let mut spec2: JobSpec<u64, Point> =
+        JobSpec::new(format!("{}-merge", opts.name), opts.cluster.clone()).with_reducers(1);
+    spec2.cost = opts.cost.clone();
+    spec2.failure = opts.failure.clone();
+    spec2.speculation = opts.speculation.clone();
+    spec2.threads = opts.threads;
+    spec2.locality = opts.locality.clone();
+    spec2.sizer = Some(sizer);
+
+    let mapper2 = |p: &Point, _ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
+        out.emit(0u64, p.clone());
+    };
+    // Optional map-side pre-merge: each merge-map task reduces its slice of
+    // candidates to a local skyline before the single reducer sees them —
+    // the standard combiner trick the paper's Algorithm 1 does not use.
+    let combiner2 = move |_key: &u64, values: Vec<Point>, ctx: &mut TaskContext| {
+        let (sky, work) = run_kernel(&values, kernel, window);
+        ctx.add_work(work);
+        sky
+    };
+    let reducer2 = move |_key: &u64,
+                         values: Vec<Point>,
+                         ctx: &mut TaskContext,
+                         out: &mut Vec<Point>| {
+        let (sky, work) = run_kernel(&values, kernel, window);
+        ctx.add_work(work);
+        out.extend(sky);
+    };
+
+    let job2: JobResult<u64, Point> = run_job(
+        &spec2,
+        &merge_input,
+        &mapper2,
+        if opts.config.merge_combiner {
+            Some(&combiner2 as &dyn Combiner<u64, Point>)
+        } else {
+            None
+        },
+        &reducer2,
+    );
+    let metrics2 = job2.metrics.clone();
+    let mut global_skyline = job2.into_outputs();
+    global_skyline.sort_by_key(Point::id);
+
+    let chained = match premerge_metrics {
+        Some(pm) => metrics1.chain(&pm).chain(&metrics2),
+        None => metrics1.chain(&metrics2),
+    };
+    PipelineOutput {
+        local_skylines,
+        global_skyline,
+        metrics: chained,
+        partition_counts,
+        pruned_partitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{build_partitioner, map_work_per_point};
+    use crate::config::Algorithm;
+    use qws_data::{generate_qws, QwsConfig};
+    use skyline_algos::seq::naive_skyline_ids;
+
+    fn options(name: &str, servers: usize) -> PipelineOptions {
+        PipelineOptions {
+            name: name.into(),
+            cluster: ClusterConfig::new(servers),
+            cost: CostModel::default(),
+            failure: FailureConfig::none(),
+            speculation: SpeculationConfig::default(),
+            threads: 0,
+            config: AlgoConfig::default(),
+            locality: LocalityConfig::default(),
+            map_work_per_point: 1,
+        }
+    }
+
+    fn run(algorithm: Algorithm, data: &Dataset, servers: usize) -> PipelineOutput {
+        let cfg = AlgoConfig::default();
+        let part = build_partitioner(algorithm, &cfg, data, servers);
+        let mut opts = options(algorithm.name(), servers);
+        opts.map_work_per_point = map_work_per_point(algorithm, data.dim());
+        run_two_job_pipeline(part, data, &opts)
+    }
+
+    fn sky_ids(points: &[Point]) -> Vec<u64> {
+        let mut v: Vec<u64> = points.iter().map(Point::id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_oracle() {
+        let data = generate_qws(&QwsConfig::new(600, 3));
+        let oracle = naive_skyline_ids(data.points());
+        for alg in [
+            Algorithm::MrDim,
+            Algorithm::MrGrid,
+            Algorithm::MrAngle,
+            Algorithm::MrRandom,
+            Algorithm::Sequential,
+        ] {
+            let out = run(alg, &data, 4);
+            assert_eq!(sky_ids(&out.global_skyline), oracle, "{alg}");
+        }
+    }
+
+    #[test]
+    fn partition_counts_cover_dataset() {
+        let data = generate_qws(&QwsConfig::new(300, 2));
+        let out = run(Algorithm::MrAngle, &data, 4);
+        assert_eq!(out.partition_counts.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn local_skylines_contain_global() {
+        let data = generate_qws(&QwsConfig::new(400, 3));
+        let out = run(Algorithm::MrGrid, &data, 4);
+        let local_union: std::collections::HashSet<u64> = out
+            .local_skylines
+            .iter()
+            .flat_map(|(_, v)| v.iter().map(Point::id))
+            .collect();
+        for p in &out.global_skyline {
+            assert!(local_union.contains(&p.id()), "global point {} missing locally", p.id());
+        }
+    }
+
+    #[test]
+    fn grid_pruning_skips_partitions_but_preserves_result() {
+        let data = generate_qws(&QwsConfig::new(800, 2));
+        let with = run(Algorithm::MrGrid, &data, 8);
+        let cfg = AlgoConfig {
+            grid_pruning: false,
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 8);
+        let mut opts = options("MR-Grid-noprune", 8);
+        opts.config = cfg;
+        let without = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(
+            sky_ids(&with.global_skyline),
+            sky_ids(&without.global_skyline)
+        );
+        assert!(with.pruned_partitions > 0, "2-D grid with 16 cells must prune");
+        assert_eq!(without.pruned_partitions, 0);
+        assert!(
+            with.metrics.reduce.work_units <= without.metrics.reduce.work_units,
+            "pruning must not add reduce work"
+        );
+    }
+
+    #[test]
+    fn sfs_kernel_agrees_with_bnl() {
+        let data = generate_qws(&QwsConfig::new(500, 4));
+        let bnl = run(Algorithm::MrAngle, &data, 4);
+        let cfg = AlgoConfig {
+            kernel: LocalKernel::Sfs,
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4);
+        let mut opts = options("MR-Angle-sfs", 4);
+        opts.config = cfg;
+        let sfs = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(sky_ids(&bnl.global_skyline), sky_ids(&sfs.global_skyline));
+    }
+
+    #[test]
+    fn bounded_window_preserves_result() {
+        let data = generate_qws(&QwsConfig::new(500, 3));
+        let unbounded = run(Algorithm::MrAngle, &data, 4);
+        let cfg = AlgoConfig {
+            bnl_window: Some(8),
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4);
+        let mut opts = options("MR-Angle-w8", 4);
+        opts.config = cfg;
+        let windowed = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(
+            sky_ids(&unbounded.global_skyline),
+            sky_ids(&windowed.global_skyline)
+        );
+    }
+
+    #[test]
+    fn failure_injection_preserves_result() {
+        let data = generate_qws(&QwsConfig::new(300, 3));
+        let clean = run(Algorithm::MrAngle, &data, 4);
+        let part = build_partitioner(Algorithm::MrAngle, &AlgoConfig::default(), &data, 4);
+        let mut opts = options("MR-Angle-flaky", 4);
+        opts.failure = FailureConfig::with_rate(300, 5);
+        let flaky = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(sky_ids(&clean.global_skyline), sky_ids(&flaky.global_skyline));
+        assert!(
+            flaky.metrics.map.attempts + flaky.metrics.reduce.attempts
+                > clean.metrics.map.attempts + clean.metrics.reduce.attempts
+        );
+    }
+
+    #[test]
+    fn merge_combiner_preserves_result_and_cuts_reducer_input() {
+        let data = generate_qws(&QwsConfig::new(4000, 6));
+        let plain = run(Algorithm::MrAngle, &data, 8);
+        let cfg = AlgoConfig {
+            merge_combiner: true,
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 8);
+        let mut opts = options("MR-Angle-combine", 8);
+        opts.config = cfg;
+        let combined = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(
+            sky_ids(&plain.global_skyline),
+            sky_ids(&combined.global_skyline)
+        );
+        // the final reducer now receives at most as many records
+        assert!(
+            combined.metrics.reduce.records_in <= plain.metrics.reduce.records_in,
+            "combiner must not inflate reducer input"
+        );
+    }
+
+    #[test]
+    fn hierarchical_merge_preserves_result() {
+        let data = generate_qws(&QwsConfig::new(6000, 8));
+        let plain = run(Algorithm::MrAngle, &data, 8);
+        let cfg = AlgoConfig {
+            merge_fan_in: Some(4),
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 8);
+        let mut opts = options("MR-Angle-tree", 8);
+        opts.config = cfg;
+        let tree = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(sky_ids(&plain.global_skyline), sky_ids(&tree.global_skyline));
+        // the final single reducer sees at most as much as without pre-merge
+        let final_in = |out: &PipelineOutput| {
+            *out.metrics.reduce.task_durations.last().expect("merge task exists")
+        };
+        assert!(final_in(&tree) <= final_in(&plain) + 1e-9);
+    }
+
+    #[test]
+    fn named_counters_surface_in_metrics() {
+        let data = generate_qws(&QwsConfig::new(800, 2));
+        let out = run(Algorithm::MrGrid, &data, 8);
+        let counters = &out.metrics.reduce.counters;
+        assert!(counters.contains_key("local_skyline_points"));
+        // the counter sees only pruned partitions that actually received
+        // points (empty ones never reach a reduce call)
+        let pruned_nonempty = out
+            .partition_counts
+            .iter()
+            .zip(part_prunable(&out))
+            .filter(|&(&c, p)| c > 0 && p)
+            .count() as u64;
+        assert_eq!(
+            counters.get("partitions_pruned").copied().unwrap_or(0),
+            pruned_nonempty
+        );
+    }
+
+    fn part_prunable(out: &PipelineOutput) -> Vec<bool> {
+        // reconstruct which partitions were prunable from the counts and
+        // pruned total: partitions with points but no local skyline output
+        let mut mask = vec![false; out.partition_counts.len()];
+        let with_output: std::collections::HashSet<u64> =
+            out.local_skylines.iter().map(|(k, _)| *k).collect();
+        for (i, &c) in out.partition_counts.iter().enumerate() {
+            if c > 0 && !with_output.contains(&(i as u64)) {
+                mask[i] = true;
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn metrics_cover_both_jobs() {
+        let data = generate_qws(&QwsConfig::new(300, 3));
+        let out = run(Algorithm::MrAngle, &data, 4);
+        assert!(out.metrics.name.contains("partition"));
+        assert!(out.metrics.name.contains("merge"));
+        assert!(out.metrics.sim_total > 0.0);
+        assert_eq!(out.metrics.map.records_in as usize, 300 + merge_in(&out));
+        assert!(out.metrics.shuffle_bytes > 0);
+    }
+
+    fn merge_in(out: &PipelineOutput) -> usize {
+        out.local_skylines.iter().map(|(_, v)| v.len()).sum()
+    }
+}

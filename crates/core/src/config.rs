@@ -1,0 +1,165 @@
+//! Algorithm selection and tuning knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Which MapReduce skyline algorithm to run (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// One-dimensional range partitioning (Section III-A).
+    MrDim,
+    /// Multi-dimensional grid partitioning with dominated-cell pruning
+    /// (Section III-B).
+    MrGrid,
+    /// The paper's angular partitioning (Section III-C, Algorithm 1).
+    MrAngle,
+    /// Hash partitioning — ablation baseline, not in the paper.
+    MrRandom,
+    /// Single-partition, single-server run through the same pipeline — the
+    /// "conventional computer" baseline of the introduction.
+    Sequential,
+}
+
+impl Algorithm {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::MrDim => "MR-Dim",
+            Algorithm::MrGrid => "MR-Grid",
+            Algorithm::MrAngle => "MR-Angle",
+            Algorithm::MrRandom => "MR-Random",
+            Algorithm::Sequential => "Sequential",
+        }
+    }
+
+    /// The three algorithms the paper evaluates, in its plotting order.
+    pub fn paper_trio() -> [Algorithm; 3] {
+        [Algorithm::MrDim, Algorithm::MrGrid, Algorithm::MrAngle]
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which kernel computes local (and global) skylines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalKernel {
+    /// Block-Nested-Loops — the paper's choice ("for its simplicity").
+    Bnl,
+    /// Sort-Filter-Skyline — ablation alternative.
+    Sfs,
+    /// Divide-and-Conquer — ablation alternative.
+    Dnc,
+}
+
+/// Tuning knobs shared by all algorithms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgoConfig {
+    /// Partition-count policy: `partitions = partitions_per_node × servers`
+    /// (the paper: "the number of partitions is set as (2 × number of
+    /// nodes)"). Overridden by `partitions_override`.
+    pub partitions_per_node: usize,
+    /// Explicit partition count, if set.
+    pub partitions_override: Option<usize>,
+    /// BNL window bound; `None` = unbounded (fits the 1 GB-heap model for
+    /// the paper's dataset sizes).
+    pub bnl_window: Option<usize>,
+    /// Local/global skyline kernel.
+    pub kernel: LocalKernel,
+    /// Enable MR-Grid's dominated-cell pruning (on by default; the ablation
+    /// bench switches it off to measure its contribution).
+    pub grid_pruning: bool,
+    /// How many leading dimensions MR-Grid's lattice cuts; `0` means all.
+    /// Default `2`, the paper's described "simplest case" grid (response
+    /// time × cost). Cell pruning is only sound when all dimensions are cut,
+    /// so values `< d` disable it implicitly.
+    pub grid_dims: usize,
+    /// Place MR-Angle's sector boundaries at empirical angle quantiles
+    /// (load-balanced, the Vlachou et al. practice) instead of equal widths
+    /// (the paper's Figure 3(c) drawing). Default `true`; the ablation bench
+    /// measures the difference.
+    pub angle_quantile: bool,
+    /// Give MR-Dim and MR-Grid quantile-balanced splits (like MR-Angle's
+    /// default) instead of the paper's equal-width ranges. Off by default —
+    /// the paper's baselines are equal-width — and exercised by the fairness
+    /// ablation: balanced baselines fix stragglers but still ship globally
+    /// dominated candidates.
+    pub baseline_quantile: bool,
+    /// Hierarchical merge: when set, local-skyline candidates are first
+    /// pre-merged by `fan_in`-way partial-merge jobs (parallel reducers)
+    /// until at most `fan_in × threshold` candidates remain, and only then
+    /// by the single-reducer merge of Algorithm 1. Attacks the serial-merge
+    /// bottleneck the Figure-6 analysis exposes; not in the paper.
+    pub merge_fan_in: Option<usize>,
+    /// Run a map-side combiner in the merging job (each merge-map task
+    /// pre-merges its slice of candidates before the single reducer). Not in
+    /// the paper's Algorithm 1 — default `false` — but a strict improvement
+    /// that parallelises the serial merge bottleneck; the ablation bench
+    /// quantifies it.
+    pub merge_combiner: bool,
+}
+
+impl Default for AlgoConfig {
+    fn default() -> Self {
+        Self {
+            partitions_per_node: 2,
+            partitions_override: None,
+            bnl_window: None,
+            kernel: LocalKernel::Bnl,
+            grid_pruning: true,
+            grid_dims: 2,
+            angle_quantile: true,
+            baseline_quantile: false,
+            merge_fan_in: None,
+            merge_combiner: false,
+        }
+    }
+}
+
+impl AlgoConfig {
+    /// Partition count for a cluster of `servers`.
+    pub fn partitions_for(&self, servers: usize) -> usize {
+        self.partitions_override
+            .unwrap_or(self.partitions_per_node * servers)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Algorithm::MrDim.to_string(), "MR-Dim");
+        assert_eq!(Algorithm::MrGrid.to_string(), "MR-Grid");
+        assert_eq!(Algorithm::MrAngle.to_string(), "MR-Angle");
+        assert_eq!(
+            Algorithm::paper_trio().map(|a| a.name()),
+            ["MR-Dim", "MR-Grid", "MR-Angle"]
+        );
+    }
+
+    #[test]
+    fn partition_policy_is_twice_nodes() {
+        let cfg = AlgoConfig::default();
+        assert_eq!(cfg.partitions_for(8), 16);
+        assert_eq!(cfg.partitions_for(1), 2);
+    }
+
+    #[test]
+    fn partition_override_wins() {
+        let cfg = AlgoConfig {
+            partitions_override: Some(5),
+            ..AlgoConfig::default()
+        };
+        assert_eq!(cfg.partitions_for(8), 5);
+        let zero = AlgoConfig {
+            partitions_override: Some(0),
+            ..AlgoConfig::default()
+        };
+        assert_eq!(zero.partitions_for(8), 1, "clamped to at least 1");
+    }
+}

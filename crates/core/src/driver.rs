@@ -1,0 +1,173 @@
+//! The [`SkylineJob`] façade: algorithm + cluster + knobs → one call.
+
+use crate::algorithms::{build_partitioner, map_work_per_point, run_two_job_pipeline, PipelineOptions};
+use crate::config::{AlgoConfig, Algorithm};
+use crate::report::SkylineRunReport;
+use mini_mapreduce::cost::CostModel;
+use mini_mapreduce::runtime::{ClusterConfig, LocalityConfig};
+use mini_mapreduce::scheduler::SpeculationConfig;
+use mini_mapreduce::task::FailureConfig;
+use qws_data::Dataset;
+use skyline_algos::metrics::{load_balance, local_skyline_optimality};
+
+/// A configured skyline-selection job, reusable across datasets.
+#[derive(Clone)]
+pub struct SkylineJob {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Algorithm knobs.
+    pub config: AlgoConfig,
+    /// Cost model (leave default for paper-comparable timings).
+    pub cost: CostModel,
+    /// Failure injection.
+    pub failure: FailureConfig,
+    /// Speculative execution.
+    pub speculation: SpeculationConfig,
+    /// Data-locality model (HDFS block placement) for map scheduling.
+    pub locality: LocalityConfig,
+    /// Host threads for real execution (`0` = all cores).
+    pub threads: usize,
+}
+
+impl SkylineJob {
+    /// A job for `algorithm` on a cluster of `servers` with default knobs.
+    /// `Sequential` forces a single server regardless of the argument.
+    pub fn new(algorithm: Algorithm, servers: usize) -> Self {
+        let servers = if algorithm == Algorithm::Sequential {
+            1
+        } else {
+            servers
+        };
+        Self {
+            algorithm,
+            cluster: ClusterConfig::new(servers),
+            config: AlgoConfig::default(),
+            cost: CostModel::default(),
+            failure: FailureConfig::none(),
+            speculation: SpeculationConfig::default(),
+            locality: LocalityConfig::default(),
+            threads: 0,
+        }
+    }
+
+    /// Builder: overrides the algorithm knobs.
+    pub fn with_config(mut self, config: AlgoConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder: injects task failures.
+    pub fn with_failures(mut self, failure: FailureConfig) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// Runs the job over `dataset`, producing a full report.
+    pub fn run(&self, dataset: &Dataset) -> SkylineRunReport {
+        let partitioner =
+            build_partitioner(self.algorithm, &self.config, dataset, self.cluster.servers);
+        let opts = PipelineOptions {
+            name: self.algorithm.name().to_string(),
+            cluster: self.cluster.clone(),
+            cost: self.cost.clone(),
+            failure: self.failure.clone(),
+            speculation: self.speculation.clone(),
+            threads: self.threads,
+            config: self.config.clone(),
+            locality: self.locality.clone(),
+            map_work_per_point: map_work_per_point(self.algorithm, dataset.dim()),
+        };
+        let out = run_two_job_pipeline(partitioner.clone(), dataset, &opts);
+
+        let locals: Vec<Vec<skyline_algos::point::Point>> =
+            out.local_skylines.iter().map(|(_, v)| v.clone()).collect();
+        let optimality = local_skyline_optimality(&locals, &out.global_skyline);
+
+        SkylineRunReport {
+            algorithm: self.algorithm,
+            dataset: dataset.name.clone(),
+            cardinality: dataset.len(),
+            dimensions: dataset.dim(),
+            servers: self.cluster.servers,
+            partitions: partitioner.num_partitions(),
+            global_skyline: out.global_skyline,
+            local_skylines: out.local_skylines,
+            load_balance: load_balance(&out.partition_counts),
+            partition_counts: out.partition_counts,
+            pruned_partitions: out.pruned_partitions,
+            optimality,
+            metrics: out.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qws_data::{generate_qws, QwsConfig};
+    use skyline_algos::seq::naive_skyline_ids;
+
+    #[test]
+    fn quickstart_shape() {
+        let data = generate_qws(&QwsConfig::new(400, 3));
+        let report = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
+        assert_eq!(report.cardinality, 400);
+        assert_eq!(report.dimensions, 3);
+        assert_eq!(report.servers, 4);
+        assert!(report.partitions >= 8);
+        assert!((0.0..=1.0).contains(&report.optimality));
+        assert!(report.processing_time() > 0.0);
+        let ids: Vec<u64> = report.global_skyline.iter().map(|p| p.id()).collect();
+        assert_eq!(ids, naive_skyline_ids(data.points()));
+    }
+
+    #[test]
+    fn sequential_forces_one_server() {
+        let j = SkylineJob::new(Algorithm::Sequential, 16);
+        assert_eq!(j.cluster.servers, 1);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let data = generate_qws(&QwsConfig::new(300, 4));
+        let a = SkylineJob::new(Algorithm::MrGrid, 4).run(&data);
+        let b = SkylineJob::new(Algorithm::MrGrid, 4).run(&data);
+        assert_eq!(a.global_skyline.len(), b.global_skyline.len());
+        assert_eq!(a.metrics.sim_total, b.metrics.sim_total);
+        assert_eq!(a.optimality, b.optimality);
+    }
+
+    #[test]
+    fn angle_beats_dim_on_merge_candidates() {
+        // The paper's central mechanism: angular partitions ship fewer,
+        // better local-skyline candidates into the merge job.
+        let data = generate_qws(&QwsConfig::new(4000, 4));
+        let angle = SkylineJob::new(Algorithm::MrAngle, 8).run(&data);
+        let dim = SkylineJob::new(Algorithm::MrDim, 8).run(&data);
+        assert!(
+            angle.merge_candidates() < dim.merge_candidates(),
+            "angle {} vs dim {}",
+            angle.merge_candidates(),
+            dim.merge_candidates()
+        );
+        assert!(
+            angle.optimality > dim.optimality,
+            "angle LSO {} vs dim LSO {}",
+            angle.optimality,
+            dim.optimality
+        );
+    }
+
+    #[test]
+    fn all_reports_share_global_skyline() {
+        let data = generate_qws(&QwsConfig::new(500, 5));
+        let oracle = naive_skyline_ids(data.points());
+        for alg in Algorithm::paper_trio() {
+            let r = SkylineJob::new(alg, 4).run(&data);
+            let ids: Vec<u64> = r.global_skyline.iter().map(|p| p.id()).collect();
+            assert_eq!(ids, oracle, "{alg}");
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Minimal JSON emission for run reports.
+//!
+//! The figure harnesses print human-readable tables; downstream tooling
+//! (plotting scripts, CI trend tracking) wants machine-readable output. The
+//! workspace's dependency budget has `serde` but no serializer crate, so
+//! this module hand-writes the small JSON subset the reports need: objects,
+//! arrays, strings with escaping, finite numbers, booleans.
+
+use crate::report::SkylineRunReport;
+use std::fmt::Write;
+
+/// Escapes a string for a JSON string literal (quotes, backslash, control
+/// characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // shortest round-trip representation Rust offers
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer for a flat-ish JSON object.
+#[derive(Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Adds a numeric field.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), number(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array…).
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape(k));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders an array of pre-rendered JSON values.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+impl SkylineRunReport {
+    /// Serialises the report's summary quantities (not the full point sets)
+    /// as a single JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("algorithm", self.algorithm.name())
+            .string("dataset", &self.dataset)
+            .int("cardinality", self.cardinality as u64)
+            .int("dimensions", self.dimensions as u64)
+            .int("servers", self.servers as u64)
+            .int("partitions", self.partitions as u64)
+            .int("skyline_size", self.global_skyline.len() as u64)
+            .int("merge_candidates", self.merge_candidates() as u64)
+            .int("pruned_partitions", self.pruned_partitions as u64)
+            .num("optimality", self.optimality)
+            .num("processing_time_s", self.processing_time())
+            .num("map_time_s", self.map_time())
+            .num("reduce_time_s", self.reduce_time())
+            .num("wall_seconds", self.metrics.wall_seconds)
+            .int("shuffle_bytes", self.metrics.shuffle_bytes)
+            .int("map_work_units", self.metrics.map.work_units)
+            .int("reduce_work_units", self.metrics.reduce.work_units)
+            .raw(
+                "load_balance",
+                JsonObject::new()
+                    .num("cv", self.load_balance.cv)
+                    .int("max", self.load_balance.max as u64)
+                    .int("min", self.load_balance.min as u64)
+                    .int("empty", self.load_balance.empty as u64)
+                    .finish(),
+            )
+            .raw(
+                "skyline_ids",
+                array(self.global_skyline.iter().map(|p| p.id().to_string())),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::driver::SkylineJob;
+    use qws_data::{generate_qws, QwsConfig};
+
+    /// A tiny recursive-descent JSON syntax checker, used to validate the
+    /// hand-rolled emitter without a parser dependency.
+    fn check_json(s: &str) -> Result<(), String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at {pos}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(format!("expected ':' at {pos}"));
+                    }
+                    *pos += 1;
+                    parse_value(b, pos)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    parse_value(b, pos)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => parse_string(b, pos),
+            Some(b't') => parse_lit(b, pos, "true"),
+            Some(b'f') => parse_lit(b, pos, "false"),
+            Some(b'n') => parse_lit(b, pos, "null"),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end".to_string()),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at {pos}"));
+        }
+        *pos += 1;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                b'\\' => *pos += 2,
+                c if c < 0x20 => return Err(format!("raw control char at {pos}")),
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        let start = *pos;
+        while let Some(&c) = b.get(*pos) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+        if *pos == start {
+            return Err(format!("expected number at {start}"));
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|_| ())
+            .ok_or(format!("bad number at {start}"))
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn number_handles_non_finite() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builder_emits_valid_json() {
+        let json = JsonObject::new()
+            .string("name", "He said \"hi\"\n")
+            .num("pi", 3.25)
+            .int("count", 42)
+            .bool("ok", true)
+            .raw("list", array(vec!["1".into(), "2".into()]))
+            .finish();
+        check_json(&json).unwrap();
+        assert!(json.contains("\"count\":42"));
+        assert!(json.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        check_json(&JsonObject::new().finish()).unwrap();
+        check_json(&array(Vec::<String>::new())).unwrap();
+    }
+
+    #[test]
+    fn report_to_json_is_valid_and_complete() {
+        let data = generate_qws(&QwsConfig::new(300, 3));
+        let report = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
+        let json = report.to_json();
+        check_json(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+        for key in [
+            "\"algorithm\":\"MR-Angle\"",
+            "\"cardinality\":300",
+            "\"skyline_size\":",
+            "\"processing_time_s\":",
+            "\"load_balance\":",
+            "\"skyline_ids\":[",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        for bad in ["{", "{\"a\":}", "[1,]", "\"unterminated", "{\"a\" 1}", "nope"] {
+            assert!(check_json(bad).is_err(), "{bad} accepted");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The run report: everything a figure harness or a downstream service
+//! selector needs from one algorithm execution.
+
+use crate::config::Algorithm;
+use mini_mapreduce::metrics::JobMetrics;
+use serde::{Deserialize, Serialize};
+use skyline_algos::metrics::LoadBalance;
+use skyline_algos::point::Point;
+
+/// Result of running one MapReduce skyline algorithm over one dataset on one
+/// simulated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkylineRunReport {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Dataset provenance string.
+    pub dataset: String,
+    /// Number of services evaluated.
+    pub cardinality: usize,
+    /// Attribute dimensionality.
+    pub dimensions: usize,
+    /// Simulated cluster size (servers).
+    pub servers: usize,
+    /// Partitions actually used (grid/angle may round the `2 × nodes`
+    /// request up to a full lattice).
+    pub partitions: usize,
+    /// The global skyline (sorted by service id).
+    pub global_skyline: Vec<Point>,
+    /// Per-partition local skylines (partition id, survivors).
+    pub local_skylines: Vec<(u64, Vec<Point>)>,
+    /// Point count per partition.
+    pub partition_counts: Vec<usize>,
+    /// Partitions skipped by dominated-cell pruning (MR-Grid only).
+    pub pruned_partitions: usize,
+    /// Local skyline optimality — paper Eq. (5).
+    pub optimality: f64,
+    /// Load-balance statistics of the partition assignment.
+    pub load_balance: LoadBalance,
+    /// Combined metrics of the two-job chain.
+    pub metrics: JobMetrics,
+}
+
+impl SkylineRunReport {
+    /// Total simulated processing time (the y-axis of Figure 5).
+    pub fn processing_time(&self) -> f64 {
+        self.metrics.sim_total
+    }
+
+    /// Simulated Map time (Figure 6 lower bars).
+    pub fn map_time(&self) -> f64 {
+        self.metrics.map_time()
+    }
+
+    /// Simulated Reduce time, including shuffle (Figure 6 upper bars).
+    pub fn reduce_time(&self) -> f64 {
+        self.metrics.reduce_time()
+    }
+
+    /// Total local-skyline candidates shipped to the merge job — the
+    /// quantity the paper's Reduce-time argument hinges on.
+    pub fn merge_candidates(&self) -> usize {
+        self.local_skylines.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} n={:<7} d={:<2} servers={:<2} | sky={:<5} cand={:<6} | sim {:>7.1}s (map {:>6.1}s, reduce {:>6.1}s) | LSO {:.3}",
+            self.algorithm.name(),
+            self.cardinality,
+            self.dimensions,
+            self.servers,
+            self.global_skyline.len(),
+            self.merge_candidates(),
+            self.processing_time(),
+            self.map_time(),
+            self.reduce_time(),
+            self.optimality,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_mapreduce::metrics::PhaseMetrics;
+
+    fn dummy() -> SkylineRunReport {
+        SkylineRunReport {
+            algorithm: Algorithm::MrAngle,
+            dataset: "test".into(),
+            cardinality: 10,
+            dimensions: 2,
+            servers: 4,
+            partitions: 8,
+            global_skyline: vec![Point::new(0, vec![1.0, 1.0])],
+            local_skylines: vec![(0, vec![Point::new(0, vec![1.0, 1.0])]), (1, vec![])],
+            partition_counts: vec![5, 5],
+            pruned_partitions: 0,
+            optimality: 0.5,
+            load_balance: skyline_algos::metrics::load_balance(&[5, 5]),
+            metrics: JobMetrics {
+                name: "t".into(),
+                map: PhaseMetrics {
+                    sim_start: 0.0,
+                    sim_end: 2.0,
+                    ..PhaseMetrics::default()
+                },
+                reduce: PhaseMetrics {
+                    sim_start: 2.0,
+                    sim_end: 5.0,
+                    ..PhaseMetrics::default()
+                },
+                shuffle_bytes: 0,
+                job_overhead: 4.0,
+                sim_total: 9.0,
+                wall_seconds: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn derived_times() {
+        let r = dummy();
+        assert_eq!(r.processing_time(), 9.0);
+        assert_eq!(r.map_time(), 2.0);
+        assert_eq!(r.reduce_time(), 3.0);
+        assert_eq!(r.merge_candidates(), 1);
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = dummy().summary();
+        assert!(s.contains("MR-Angle"));
+        assert!(s.contains("n=10"));
+        assert!(s.contains("LSO 0.500"));
+    }
+}

@@ -1,0 +1,192 @@
+//! End-user QoS service selection — the paper's motivating use case.
+//!
+//! The introduction frames the whole system around one workflow: a request
+//! hits a registry with thousands of functionally equivalent services, and
+//! the platform must return the best QoS choices *in real time*. This module
+//! packages that workflow: run a MapReduce skyline job to cut the registry
+//! down to the non-dominated services, then rank them with the user's
+//! attribute weights and optionally summarise with `k` representatives.
+
+use crate::config::Algorithm;
+use crate::driver::SkylineJob;
+use crate::report::SkylineRunReport;
+use qws_data::Dataset;
+use skyline_algos::point::Point;
+use skyline_algos::ranking::WeightedScore;
+use skyline_algos::representative::{
+    distance_based_representatives, max_dominance_representatives,
+};
+
+/// How to summarise a large skyline for presentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Summary {
+    /// No summarisation: return the full ranked skyline.
+    Full,
+    /// `k` representatives by greedy dominance coverage.
+    MaxDominance(usize),
+    /// `k` representatives by greedy max-min diversity.
+    Diverse(usize),
+}
+
+/// A selection request: how to weight the attributes and how many results
+/// to return.
+#[derive(Debug, Clone)]
+pub struct SelectionRequest {
+    /// Per-attribute weights (lower-is-better attributes, non-negative
+    /// weights). Length must match the dataset dimensionality.
+    pub weights: Vec<f64>,
+    /// How many ranked services to return (`0` = all).
+    pub top_k: usize,
+    /// Optional skyline summarisation applied before ranking.
+    pub summary: Summary,
+}
+
+impl SelectionRequest {
+    /// Uniform weights, top-`k` results, no summarisation.
+    pub fn top_k(dimensions: usize, k: usize) -> Self {
+        Self {
+            weights: vec![1.0; dimensions],
+            top_k: k,
+            summary: Summary::Full,
+        }
+    }
+}
+
+/// The outcome of a selection.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Ranked `(service, score)` pairs, best first.
+    pub ranked: Vec<(Point, f64)>,
+    /// Size of the full skyline before summarisation/truncation.
+    pub skyline_size: usize,
+    /// The underlying skyline run report (timings, optimality, …).
+    pub report: SkylineRunReport,
+}
+
+/// A configured selector bound to an algorithm and cluster size.
+#[derive(Clone)]
+pub struct ServiceSelector {
+    job: SkylineJob,
+}
+
+impl ServiceSelector {
+    /// A selector using `algorithm` on `servers` simulated servers.
+    pub fn new(algorithm: Algorithm, servers: usize) -> Self {
+        Self {
+            job: SkylineJob::new(algorithm, servers),
+        }
+    }
+
+    /// A selector with a fully custom job.
+    pub fn with_job(job: SkylineJob) -> Self {
+        Self { job }
+    }
+
+    /// Runs the full pipeline: skyline → (summarise) → rank → truncate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count does not match the dataset dimensionality.
+    pub fn select(&self, dataset: &Dataset, request: &SelectionRequest) -> SelectionResult {
+        assert_eq!(
+            request.weights.len(),
+            dataset.dim(),
+            "one weight per attribute required"
+        );
+        let report = self.job.run(dataset);
+        let skyline_size = report.global_skyline.len();
+
+        let candidates: Vec<Point> = match request.summary {
+            Summary::Full => report.global_skyline.clone(),
+            Summary::MaxDominance(k) => {
+                max_dominance_representatives(&report.global_skyline, dataset.points(), k)
+            }
+            Summary::Diverse(k) => distance_based_representatives(&report.global_skyline, k),
+        };
+
+        // Normalise over the whole registry so scores are comparable across
+        // requests, not just within the skyline.
+        let scorer = WeightedScore::fit(&request.weights, dataset.points());
+        let mut ranked = scorer.rank(&candidates);
+        if request.top_k > 0 {
+            ranked.truncate(request.top_k);
+        }
+        SelectionResult {
+            ranked,
+            skyline_size,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qws_data::{generate_qws, QwsConfig};
+    use skyline_algos::dominance::dominates;
+
+    fn data() -> Dataset {
+        generate_qws(&QwsConfig::new(500, 4))
+    }
+
+    #[test]
+    fn top_k_returns_k_skyline_services() {
+        let d = data();
+        let selector = ServiceSelector::new(Algorithm::MrAngle, 4);
+        let result = selector.select(&d, &SelectionRequest::top_k(4, 5));
+        assert_eq!(result.ranked.len(), 5.min(result.skyline_size));
+        // all results are non-dominated in the registry
+        for (p, _) in &result.ranked {
+            assert!(!d.points().iter().any(|q| dominates(q, p)));
+        }
+        // scores ascend
+        for w in result.ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn weights_steer_the_winner() {
+        let d = data();
+        let selector = ServiceSelector::new(Algorithm::MrAngle, 4);
+        let mut w_rt = SelectionRequest::top_k(4, 1);
+        w_rt.weights = vec![10.0, 0.1, 0.1, 0.1]; // response time above all
+        let mut w_price = SelectionRequest::top_k(4, 1);
+        w_price.weights = vec![0.1, 10.0, 0.1, 0.1]; // price above all
+        let best_rt = &selector.select(&d, &w_rt).ranked[0].0;
+        let best_price = &selector.select(&d, &w_price).ranked[0].0;
+        assert!(best_rt.coord(0) <= best_price.coord(0));
+        assert!(best_price.coord(1) <= best_rt.coord(1));
+    }
+
+    #[test]
+    fn summaries_shrink_the_candidate_set() {
+        let d = data();
+        let selector = ServiceSelector::new(Algorithm::MrGrid, 4);
+        let full = selector.select(&d, &SelectionRequest::top_k(4, 0));
+        let mut req = SelectionRequest::top_k(4, 0);
+        req.summary = Summary::Diverse(3);
+        let diverse = selector.select(&d, &req);
+        assert_eq!(diverse.ranked.len(), 3.min(full.skyline_size));
+        req.summary = Summary::MaxDominance(3);
+        let covering = selector.select(&d, &req);
+        assert!(covering.ranked.len() <= 3);
+        assert_eq!(full.skyline_size, diverse.skyline_size);
+    }
+
+    #[test]
+    fn zero_top_k_returns_everything() {
+        let d = data();
+        let selector = ServiceSelector::new(Algorithm::MrDim, 2);
+        let result = selector.select(&d, &SelectionRequest::top_k(4, 0));
+        assert_eq!(result.ranked.len(), result.skyline_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per attribute")]
+    fn weight_mismatch_panics() {
+        let d = data();
+        let selector = ServiceSelector::new(Algorithm::MrAngle, 2);
+        let _ = selector.select(&d, &SelectionRequest::top_k(3, 1));
+    }
+}

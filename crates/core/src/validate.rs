@@ -1,0 +1,169 @@
+//! Cross-checking MR results against an independent oracle.
+//!
+//! Used by integration tests and available to users who want belt-and-braces
+//! verification of a production run: SFS shares no pipeline code with the
+//! MapReduce path (different kernel, no partitioning), so agreement is
+//! strong evidence the distributed result is exactly the true skyline.
+
+use crate::report::SkylineRunReport;
+use qws_data::Dataset;
+use skyline_algos::dominance::dominates;
+use skyline_algos::point::Point;
+use skyline_algos::sfs::sfs_skyline;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Ways a report can fail validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The reported skyline misses a true skyline point.
+    MissingPoint {
+        /// Id of the missing service.
+        id: u64,
+    },
+    /// The reported skyline contains a dominated point.
+    DominatedPoint {
+        /// Id of the dominated service.
+        id: u64,
+        /// Id of a dominating service.
+        dominated_by: u64,
+    },
+    /// A reported skyline id does not exist in the dataset.
+    UnknownPoint {
+        /// The foreign id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MissingPoint { id } => {
+                write!(f, "true skyline point {id} missing from result")
+            }
+            ValidationError::DominatedPoint { id, dominated_by } => {
+                write!(f, "result point {id} is dominated by {dominated_by}")
+            }
+            ValidationError::UnknownPoint { id } => {
+                write!(f, "result point {id} does not exist in the dataset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks `skyline` against the dataset from first principles (soundness:
+/// no member dominated by any dataset point; completeness: every
+/// non-member dominated by some member). O(n·|skyline|).
+pub fn validate_against_oracle(
+    skyline: &[Point],
+    dataset: &Dataset,
+) -> Result<(), ValidationError> {
+    let ids: HashSet<u64> = skyline.iter().map(Point::id).collect();
+    let known: HashSet<u64> = dataset.points().iter().map(Point::id).collect();
+    for p in skyline {
+        if !known.contains(&p.id()) {
+            return Err(ValidationError::UnknownPoint { id: p.id() });
+        }
+    }
+    // soundness
+    for p in skyline {
+        for q in dataset.points() {
+            if dominates(q, p) {
+                return Err(ValidationError::DominatedPoint {
+                    id: p.id(),
+                    dominated_by: q.id(),
+                });
+            }
+        }
+    }
+    // completeness via the independent SFS oracle
+    let oracle = sfs_skyline(dataset.points());
+    for p in oracle {
+        if !ids.contains(&p.id()) {
+            return Err(ValidationError::MissingPoint { id: p.id() });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a full run report against its dataset.
+pub fn validate_report(
+    report: &SkylineRunReport,
+    dataset: &Dataset,
+) -> Result<(), ValidationError> {
+    validate_against_oracle(&report.global_skyline, dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::driver::SkylineJob;
+    use qws_data::{generate_qws, QwsConfig};
+
+    #[test]
+    fn valid_report_passes() {
+        let data = generate_qws(&QwsConfig::new(300, 3));
+        let report = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
+        assert_eq!(validate_report(&report, &data), Ok(()));
+    }
+
+    #[test]
+    fn detects_missing_point() {
+        let data = generate_qws(&QwsConfig::new(200, 2));
+        let mut report = SkylineJob::new(Algorithm::MrDim, 2).run(&data);
+        let removed = report.global_skyline.pop().expect("non-empty skyline");
+        let err = validate_report(&report, &data).unwrap_err();
+        assert_eq!(err, ValidationError::MissingPoint { id: removed.id() });
+    }
+
+    #[test]
+    fn detects_dominated_point() {
+        let data = generate_qws(&QwsConfig::new(200, 2));
+        let mut report = SkylineJob::new(Algorithm::MrDim, 2).run(&data);
+        // graft a clearly dominated dataset point into the result
+        let sky_ids: HashSet<u64> = report.global_skyline.iter().map(Point::id).collect();
+        let dominated = data
+            .points()
+            .iter()
+            .find(|p| !sky_ids.contains(&p.id()))
+            .expect("some non-skyline point exists")
+            .clone();
+        report.global_skyline.push(dominated);
+        assert!(matches!(
+            validate_report(&report, &data).unwrap_err(),
+            ValidationError::DominatedPoint { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_unknown_point() {
+        let data = generate_qws(&QwsConfig::new(100, 2));
+        let mut report = SkylineJob::new(Algorithm::MrDim, 2).run(&data);
+        report
+            .global_skyline
+            .push(Point::new(9_999_999, vec![0.0, 0.0]));
+        assert_eq!(
+            validate_report(&report, &data).unwrap_err(),
+            ValidationError::UnknownPoint { id: 9_999_999 }
+        );
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(ValidationError::MissingPoint { id: 3 }
+            .to_string()
+            .contains("missing"));
+        assert!(ValidationError::DominatedPoint {
+            id: 1,
+            dominated_by: 2
+        }
+        .to_string()
+        .contains("dominated by 2"));
+        assert!(ValidationError::UnknownPoint { id: 7 }
+            .to_string()
+            .contains("not exist"));
+    }
+}

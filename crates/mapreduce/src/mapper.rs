@@ -1,0 +1,76 @@
+//! The `Mapper` and `Combiner` user-code traits.
+
+use crate::types::{DataT, Emitter, KeyT, TaskContext};
+
+/// User map function: consumes one input record, emits intermediate pairs.
+///
+/// Implementations must be pure with respect to the record (no cross-record
+/// state): the runtime may re-run a map task after an injected failure and
+/// expects identical output. Charge algorithm CPU cost to
+/// [`TaskContext::add_work`]; record/byte counts are maintained by the
+/// framework.
+pub trait Mapper<I: DataT, K: KeyT, V: DataT>: Send + Sync {
+    /// Processes `record`, emitting zero or more `(key, value)` pairs.
+    fn map(&self, record: &I, ctx: &mut TaskContext, out: &mut Emitter<K, V>);
+}
+
+/// Blanket impl so plain closures can serve as mappers.
+impl<I: DataT, K: KeyT, V: DataT, F> Mapper<I, K, V> for F
+where
+    F: Fn(&I, &mut TaskContext, &mut Emitter<K, V>) + Send + Sync,
+{
+    fn map(&self, record: &I, ctx: &mut TaskContext, out: &mut Emitter<K, V>) {
+        self(record, ctx, out)
+    }
+}
+
+/// Optional map-side aggregation, run once per `(map task, key)` group after
+/// the task's records are mapped — Hadoop's combiner, and the natural slot
+/// for the paper's *local skyline computation* middle process when it is
+/// executed map-side rather than as a first reduce job.
+///
+/// Must be *idempotent in effect*: `combine(combine(vs)) == combine(vs)` up
+/// to order, because the reducer will see the union of combiner outputs from
+/// many map tasks and may apply the same aggregation again.
+pub trait Combiner<K: KeyT, V: DataT>: Send + Sync {
+    /// Reduces the values of one key group within one map task.
+    fn combine(&self, key: &K, values: Vec<V>, ctx: &mut TaskContext) -> Vec<V>;
+}
+
+/// Blanket impl so plain closures can serve as combiners.
+impl<K: KeyT, V: DataT, F> Combiner<K, V> for F
+where
+    F: Fn(&K, Vec<V>, &mut TaskContext) -> Vec<V> + Send + Sync,
+{
+    fn combine(&self, key: &K, values: Vec<V>, ctx: &mut TaskContext) -> Vec<V> {
+        self(key, values, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_a_mapper() {
+        let mapper = |r: &u32, ctx: &mut TaskContext, out: &mut Emitter<u32, u32>| {
+            ctx.add_work(1);
+            out.emit(r % 2, *r);
+        };
+        let mut ctx = TaskContext::new(0, 0);
+        let mut em = Emitter::new(None);
+        Mapper::map(&mapper, &7, &mut ctx, &mut em);
+        let (pairs, _) = em.into_parts();
+        assert_eq!(pairs, vec![(1, 7)]);
+        assert_eq!(ctx.work_units(), 1);
+    }
+
+    #[test]
+    fn closure_is_a_combiner() {
+        let combiner =
+            |_k: &u32, vs: Vec<u32>, _ctx: &mut TaskContext| vec![vs.iter().sum::<u32>()];
+        let mut ctx = TaskContext::new(0, 0);
+        let out = Combiner::combine(&combiner, &0, vec![1, 2, 3], &mut ctx);
+        assert_eq!(out, vec![6]);
+    }
+}

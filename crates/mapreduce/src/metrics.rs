@@ -1,0 +1,184 @@
+//! Job- and phase-level metrics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated counters and simulated timing of one phase (map or reduce).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Number of tasks in the phase.
+    pub tasks: usize,
+    /// Total task attempts including failed ones.
+    pub attempts: u32,
+    /// Input records across tasks.
+    pub records_in: u64,
+    /// Output records across tasks.
+    pub records_out: u64,
+    /// Output bytes across tasks (map phase: shuffle bytes produced).
+    pub bytes_out: u64,
+    /// Algorithm work units across tasks.
+    pub work_units: u64,
+    /// Simulated phase start (seconds since job submission).
+    pub sim_start: f64,
+    /// Simulated phase end.
+    pub sim_end: f64,
+    /// Per-task simulated durations (successful attempt, including retries'
+    /// wasted time folded into the task's duration).
+    pub task_durations: Vec<f64>,
+    /// Speculative backups that won (scheduler model).
+    pub speculative_wins: usize,
+    /// Tasks that ran on a server holding their input block (only set when
+    /// locality-aware scheduling is enabled; otherwise 0).
+    pub data_local_tasks: usize,
+    /// Named user counters summed across the phase's tasks.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl PhaseMetrics {
+    /// Simulated span of the phase.
+    pub fn sim_span(&self) -> f64 {
+        self.sim_end - self.sim_start
+    }
+
+    /// Folds another counter map into this phase's counters.
+    pub fn merge_counters(&mut self, task_counters: &BTreeMap<&'static str, u64>) {
+        for (&name, &value) in task_counters {
+            *self.counters.entry(name.to_string()).or_insert(0) += value;
+        }
+    }
+}
+
+/// Metrics of a completed job.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job name (for reports).
+    pub name: String,
+    /// Map-phase metrics.
+    pub map: PhaseMetrics,
+    /// Reduce-phase metrics (shuffle time folded into `sim_start`..`sim_end`
+    /// via per-task durations, matching Hadoop's copy+sort+reduce reporting).
+    pub reduce: PhaseMetrics,
+    /// Bytes that crossed the shuffle.
+    pub shuffle_bytes: u64,
+    /// Fixed job overhead charged by the cost model.
+    pub job_overhead: f64,
+    /// Simulated end-to-end job time (overhead + map span + reduce span).
+    pub sim_total: f64,
+    /// Real wall-clock seconds the host spent executing the job.
+    pub wall_seconds: f64,
+}
+
+impl JobMetrics {
+    /// Adds another job's metrics (for job chains), concatenating phase
+    /// spans: the chained job starts when this one ends.
+    pub fn chain(&self, next: &JobMetrics) -> JobMetrics {
+        let mut out = self.clone();
+        out.name = format!("{}+{}", self.name, next.name);
+        out.map.tasks += next.map.tasks;
+        out.map.attempts += next.map.attempts;
+        out.map.records_in += next.map.records_in;
+        out.map.records_out += next.map.records_out;
+        out.map.bytes_out += next.map.bytes_out;
+        out.map.work_units += next.map.work_units;
+        out.map.sim_end += next.map.sim_span();
+        out.map
+            .task_durations
+            .extend_from_slice(&next.map.task_durations);
+        out.map.speculative_wins += next.map.speculative_wins;
+        out.map.data_local_tasks += next.map.data_local_tasks;
+        for (name, value) in &next.map.counters {
+            *out.map.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        out.reduce.tasks += next.reduce.tasks;
+        out.reduce.attempts += next.reduce.attempts;
+        out.reduce.records_in += next.reduce.records_in;
+        out.reduce.records_out += next.reduce.records_out;
+        out.reduce.bytes_out += next.reduce.bytes_out;
+        out.reduce.work_units += next.reduce.work_units;
+        out.reduce.sim_end += next.reduce.sim_span();
+        out.reduce
+            .task_durations
+            .extend_from_slice(&next.reduce.task_durations);
+        out.reduce.speculative_wins += next.reduce.speculative_wins;
+        out.reduce.data_local_tasks += next.reduce.data_local_tasks;
+        for (name, value) in &next.reduce.counters {
+            *out.reduce.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        out.shuffle_bytes += next.shuffle_bytes;
+        out.job_overhead += next.job_overhead;
+        out.sim_total += next.sim_total;
+        out.wall_seconds += next.wall_seconds;
+        out
+    }
+
+    /// Total simulated time attributed to the Map side of the pipeline
+    /// (the "Map Time" bars of Figure 6).
+    pub fn map_time(&self) -> f64 {
+        self.map.sim_span()
+    }
+
+    /// Total simulated time attributed to the Reduce side (shuffle + merge —
+    /// the "Reduce Time" bars of Figure 6).
+    pub fn reduce_time(&self) -> f64 {
+        self.reduce.sim_span()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(span: f64, tasks: usize) -> PhaseMetrics {
+        PhaseMetrics {
+            tasks,
+            attempts: tasks as u32,
+            records_in: 10,
+            records_out: 5,
+            bytes_out: 100,
+            work_units: 50,
+            sim_start: 0.0,
+            sim_end: span,
+            task_durations: vec![span / tasks.max(1) as f64; tasks],
+            speculative_wins: 0,
+            data_local_tasks: 0,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn spans() {
+        let p = phase(4.0, 2);
+        assert_eq!(p.sim_span(), 4.0);
+    }
+
+    #[test]
+    fn chain_adds_components() {
+        let a = JobMetrics {
+            name: "first".into(),
+            map: phase(2.0, 2),
+            reduce: phase(3.0, 1),
+            shuffle_bytes: 100,
+            job_overhead: 4.0,
+            sim_total: 9.0,
+            wall_seconds: 0.1,
+        };
+        let b = JobMetrics {
+            name: "second".into(),
+            map: phase(1.0, 1),
+            reduce: phase(1.5, 1),
+            shuffle_bytes: 50,
+            job_overhead: 4.0,
+            sim_total: 6.5,
+            wall_seconds: 0.2,
+        };
+        let c = a.chain(&b);
+        assert_eq!(c.name, "first+second");
+        assert_eq!(c.map.tasks, 3);
+        assert!((c.map_time() - 3.0).abs() < 1e-12);
+        assert!((c.reduce_time() - 4.5).abs() < 1e-12);
+        assert_eq!(c.shuffle_bytes, 150);
+        assert!((c.sim_total - 15.5).abs() < 1e-12);
+        assert!((c.wall_seconds - 0.3).abs() < 1e-12);
+        assert_eq!(c.map.task_durations.len(), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal work-stealing-free task pool on crossbeam scoped threads.
+//!
+//! The runtime's real execution needs exactly one primitive: run `n`
+//! independent tasks on up to `threads` OS threads and collect their results
+//! in task order. A shared atomic cursor hands out task indices; each worker
+//! loops until the cursor runs dry. No channels, no dynamic spawning, no
+//! unsafe — the scoped-thread borrow proves the closure outlives the
+//! workers (the pattern recommended by the Rust concurrency guides this
+//! repo follows).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `count` tasks with `worker(i)` on up to `threads` threads and
+/// returns the results ordered by task index.
+///
+/// `worker` must not panic: a panicking task aborts the whole run (the
+/// scoped-thread join propagates it), which is the desired behaviour —
+/// *injected* failures are modelled above this layer, real bugs should
+/// crash loudly.
+pub fn run_indexed<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(count);
+    if threads == 1 {
+        return (0..count).map(worker).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = worker(i);
+                *slots[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every task index visited exactly once"))
+        .collect()
+}
+
+/// Default worker-thread count: the host's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_task_order() {
+        let out = run_indexed(100, 8, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let out: Vec<u32> = run_indexed(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = run_indexed(10, 1, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let _ = run_indexed(1000, 16, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let out = run_indexed(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = run_indexed(1, 0, |i| i);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! The `Reducer` user-code trait.
+
+use crate::types::{DataT, KeyT, TaskContext};
+
+/// User reduce function: consumes one key's complete value list, emits
+/// outputs.
+///
+/// Values arrive in a deterministic order (map-task index, then emission
+/// order); keys within a reduce task are processed in sorted order. Like
+/// mappers, reducers must be re-runnable: failure injection may execute the
+/// same task twice.
+pub trait Reducer<K: KeyT, V: DataT, O: DataT>: Send + Sync {
+    /// Reduces the full value list of `key` into zero or more outputs pushed
+    /// onto `out`.
+    fn reduce(&self, key: &K, values: Vec<V>, ctx: &mut TaskContext, out: &mut Vec<O>);
+}
+
+/// Blanket impl so plain closures can serve as reducers.
+impl<K: KeyT, V: DataT, O: DataT, F> Reducer<K, V, O> for F
+where
+    F: Fn(&K, Vec<V>, &mut TaskContext, &mut Vec<O>) + Send + Sync,
+{
+    fn reduce(&self, key: &K, values: Vec<V>, ctx: &mut TaskContext, out: &mut Vec<O>) {
+        self(key, values, ctx, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_a_reducer() {
+        let reducer = |k: &u32, vs: Vec<u32>, ctx: &mut TaskContext, out: &mut Vec<u32>| {
+            ctx.add_work(vs.len() as u64);
+            out.push(k + vs.iter().sum::<u32>());
+        };
+        let mut ctx = TaskContext::new(0, 0);
+        let mut out = Vec::new();
+        Reducer::reduce(&reducer, &10, vec![1, 2], &mut ctx, &mut out);
+        assert_eq!(out, vec![13]);
+        assert_eq!(ctx.work_units(), 2);
+    }
+}

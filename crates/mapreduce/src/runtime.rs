@@ -1,0 +1,805 @@
+//! Job execution: real parallel map/combine/reduce plus simulated cluster
+//! timing.
+//!
+//! A job runs in the standard phases:
+//!
+//! 1. the input is cut into `num_map_tasks` contiguous splits;
+//! 2. map tasks run in parallel on the host thread pool; each task maps its
+//!    records, optionally combines per key, and reports counters;
+//! 3. the shuffle routes pairs to `num_reducers` reduce tasks and groups by
+//!    key (sorted);
+//! 4. reduce tasks run in parallel and emit outputs;
+//! 5. the per-task simulated durations (from the [`CostModel`]) are placed
+//!    onto the simulated cluster's map and reduce slots by the
+//!    discrete-event scheduler, giving the Map/Reduce phase spans that the
+//!    paper's Figure 6 reports.
+//!
+//! Injected task failures re-run deterministically and charge the wasted
+//! attempts' time to the task's simulated duration.
+
+use crate::cost::CostModel;
+use crate::mapper::{Combiner, Mapper};
+use crate::metrics::{JobMetrics, PhaseMetrics};
+use crate::pool;
+use crate::reducer::Reducer;
+use crate::scheduler::{schedule_phase, SpeculationConfig};
+use crate::shuffle::{default_router, shuffle, KeyRouter};
+use crate::task::{FailureConfig, Phase};
+use crate::types::{DataT, Emitter, KeyT, KvSizer, TaskContext};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The simulated cluster: how many servers, and how many concurrent task
+/// slots each server offers per phase (Hadoop 0.20 defaulted to 2 map and
+/// 2 reduce slots per TaskTracker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of worker servers.
+    pub servers: usize,
+    /// Concurrent map tasks per server.
+    pub map_slots_per_server: usize,
+    /// Concurrent reduce tasks per server.
+    pub reduce_slots_per_server: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `servers` workers with Hadoop-default 2+2 slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1, "cluster needs at least one server");
+        Self {
+            servers,
+            map_slots_per_server: 2,
+            reduce_slots_per_server: 2,
+        }
+    }
+
+    /// Total map slots.
+    pub fn map_slots(&self) -> usize {
+        self.servers * self.map_slots_per_server
+    }
+
+    /// Total reduce slots.
+    pub fn reduce_slots(&self) -> usize {
+        self.servers * self.reduce_slots_per_server
+    }
+}
+
+/// Everything that configures a job apart from the user code.
+pub struct JobSpec<K, V> {
+    /// Job name, used in reports and in the failure-injection hash.
+    pub name: String,
+    /// Number of map tasks; `0` means auto: one split per
+    /// [`RECORDS_PER_SPLIT`] input records, the way Hadoop derives splits
+    /// from input size (not from cluster size) — so small clusters process
+    /// the same splits in more waves.
+    pub num_map_tasks: usize,
+    /// Number of reduce tasks (≥ 1).
+    pub num_reducers: usize,
+    /// Simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Cost model for simulated durations.
+    pub cost: CostModel,
+    /// Failure injection.
+    pub failure: FailureConfig,
+    /// Speculative execution policy.
+    pub speculation: SpeculationConfig,
+    /// Host threads for real execution; `0` means all available cores.
+    pub threads: usize,
+    /// Key→reducer routing; `None` uses the hash router.
+    pub router: Option<KeyRouter<K>>,
+    /// Wire-size estimator for shuffle byte accounting; `None` uses
+    /// `size_of`.
+    pub sizer: Option<KvSizer<K, V>>,
+    /// Data-locality model for map scheduling.
+    pub locality: LocalityConfig,
+}
+
+/// Auto split sizing: records per map split (≈ a small HDFS block of
+/// 100-byte records). Input-derived, cluster-independent.
+pub const RECORDS_PER_SPLIT: usize = 1600;
+
+/// Data-locality model for the map phase (HDFS block placement + the
+/// JobTracker's preference for replica-holding servers). Off by default so
+/// the paper-figure timings are placement-independent; the ablation suite
+/// and tests exercise it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityConfig {
+    /// Enable locality-aware map scheduling.
+    pub enabled: bool,
+    /// HDFS-style replication factor per split block.
+    pub replication: usize,
+    /// Extra simulated seconds a map task pays to read a remote block.
+    pub remote_penalty: f64,
+    /// Placement seed.
+    pub seed: u64,
+}
+
+impl Default for LocalityConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            replication: 3,
+            remote_penalty: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl LocalityConfig {
+    /// HDFS defaults (3 replicas, 0.5 s remote-read penalty), enabled.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+impl<K: KeyT, V: DataT> JobSpec<K, V> {
+    /// A job named `name` on `cluster` with one reducer and defaults
+    /// everywhere else.
+    pub fn new(name: impl Into<String>, cluster: ClusterConfig) -> Self {
+        Self {
+            name: name.into(),
+            num_map_tasks: 0,
+            num_reducers: 1,
+            cluster,
+            cost: CostModel::default(),
+            failure: FailureConfig::none(),
+            speculation: SpeculationConfig::default(),
+            threads: 0,
+            router: None,
+            sizer: None,
+            locality: LocalityConfig::default(),
+        }
+    }
+
+    /// Sets the reducer count (builder style).
+    pub fn with_reducers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "jobs need at least one reducer");
+        self.num_reducers = n;
+        self
+    }
+
+    /// Sets an explicit map-task count (builder style).
+    pub fn with_map_tasks(mut self, n: usize) -> Self {
+        self.num_map_tasks = n;
+        self
+    }
+
+    fn effective_map_tasks(&self, input_len: usize) -> usize {
+        let requested = if self.num_map_tasks == 0 {
+            input_len.div_ceil(RECORDS_PER_SPLIT)
+        } else {
+            self.num_map_tasks
+        };
+        requested.clamp(1, input_len.max(1))
+    }
+}
+
+/// The result of a job: outputs grouped per key (sorted within each reduce
+/// task, reduce tasks in index order) plus metrics.
+pub struct JobResult<K, O> {
+    /// `(key, outputs-for-key)` in deterministic order.
+    pub groups: Vec<(K, Vec<O>)>,
+    /// Job metrics (counters + simulated and wall times).
+    pub metrics: JobMetrics,
+}
+
+impl<K, O> JobResult<K, O> {
+    /// All outputs flattened in deterministic order.
+    pub fn into_outputs(self) -> Vec<O> {
+        self.groups.into_iter().flat_map(|(_, o)| o).collect()
+    }
+}
+
+struct MapTaskOut<K, V> {
+    pairs: Vec<(K, V)>,
+    bytes: u64,
+    records_in: u64,
+    records_out: u64,
+    work_units: u64,
+    duration: f64,
+    attempts: u32,
+    counters: std::collections::BTreeMap<&'static str, u64>,
+}
+
+/// Runs a complete MapReduce job. See the module docs for the phase
+/// structure and timing semantics.
+pub fn run_job<I, K, V, O, M, R>(
+    spec: &JobSpec<K, V>,
+    input: &[I],
+    mapper: &M,
+    combiner: Option<&dyn Combiner<K, V>>,
+    reducer: &R,
+) -> JobResult<K, O>
+where
+    I: DataT,
+    K: KeyT,
+    V: DataT,
+    O: DataT,
+    M: Mapper<I, K, V>,
+    R: Reducer<K, V, O>,
+{
+    let wall = Instant::now();
+    let threads = if spec.threads == 0 {
+        pool::default_threads()
+    } else {
+        spec.threads
+    };
+
+    // ---- Map phase (real execution) ----
+    let num_map_tasks = spec.effective_map_tasks(input.len());
+    let splits = split_ranges(input.len(), num_map_tasks);
+    let map_results: Vec<MapTaskOut<K, V>> = pool::run_indexed(num_map_tasks, threads, |t| {
+        let attempts = spec.failure.attempts_used(&spec.name, Phase::Map, t);
+        let mut ctx = TaskContext::new(t, attempts - 1);
+        let mut emitter = Emitter::new(spec.sizer.clone());
+        let (lo, hi) = splits[t];
+        for record in &input[lo..hi] {
+            ctx.add_records_in(1);
+            mapper.map(record, &mut ctx, &mut emitter);
+        }
+        if let Some(c) = combiner {
+            let (pairs, _) = emitter.into_parts();
+            let mut by_key: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            for (k, v) in pairs {
+                by_key.entry(k).or_default().push(v);
+            }
+            let mut combined: Vec<(K, V)> = Vec::new();
+            for (k, vs) in by_key {
+                for v in c.combine(&k, vs, &mut ctx) {
+                    combined.push((k.clone(), v));
+                }
+            }
+            emitter = Emitter::from_pairs(combined, spec.sizer.clone());
+        }
+        let records_out = emitter.len() as u64;
+        let bytes = emitter.bytes();
+        ctx.add_records_out(records_out);
+        ctx.add_bytes_out(bytes);
+        let single = spec
+            .cost
+            .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
+            * spec.failure.straggler_multiplier(&spec.name, Phase::Map, t);
+        let (pairs, bytes) = emitter.into_parts();
+        MapTaskOut {
+            pairs,
+            bytes,
+            records_in: ctx.records_in(),
+            records_out,
+            work_units: ctx.work_units(),
+            duration: single * attempts as f64,
+            attempts,
+            counters: ctx.counters().clone(),
+        }
+    });
+
+    let map_durations: Vec<f64> = map_results.iter().map(|m| m.duration).collect();
+    let (map_schedule, map_local_tasks) = if spec.locality.enabled {
+        let blocks = crate::dfs::BlockStore::place(
+            num_map_tasks,
+            spec.cluster.servers,
+            spec.locality.replication,
+            spec.locality.seed,
+        );
+        crate::scheduler::schedule_phase_with_locality(
+            &map_durations,
+            spec.cluster.servers,
+            spec.cluster.map_slots_per_server,
+            0.0,
+            &blocks,
+            spec.locality.remote_penalty,
+            &spec.speculation,
+        )
+    } else {
+        (
+            schedule_phase(
+                &map_durations,
+                spec.cluster.map_slots(),
+                0.0,
+                &spec.speculation,
+            ),
+            0,
+        )
+    };
+
+    let mut map_metrics = PhaseMetrics {
+        tasks: num_map_tasks,
+        attempts: map_results.iter().map(|m| m.attempts).sum(),
+        records_in: map_results.iter().map(|m| m.records_in).sum(),
+        records_out: map_results.iter().map(|m| m.records_out).sum(),
+        bytes_out: map_results.iter().map(|m| m.bytes).sum(),
+        work_units: map_results.iter().map(|m| m.work_units).sum(),
+        sim_start: 0.0,
+        sim_end: map_schedule.end,
+        task_durations: map_durations,
+        speculative_wins: map_schedule.speculative_wins,
+        data_local_tasks: map_local_tasks,
+        counters: Default::default(),
+    };
+    for m in &map_results {
+        map_metrics.merge_counters(&m.counters);
+    }
+    map_metrics.sim_end = map_schedule.end;
+
+    // ---- Shuffle ----
+    let router = spec.router.clone().unwrap_or_else(default_router);
+    let map_outputs: Vec<(Vec<(K, V)>, u64)> =
+        map_results.into_iter().map(|m| (m.pairs, m.bytes)).collect();
+    let reduce_inputs = shuffle(map_outputs, spec.num_reducers, &router);
+    let shuffle_bytes: u64 = reduce_inputs.iter().map(|r| r.bytes).sum();
+
+    // ---- Reduce phase (real execution) ----
+    struct ReduceTaskOut<K, O> {
+        groups: Vec<(K, Vec<O>)>,
+        records_in: u64,
+        records_out: u64,
+        work_units: u64,
+        duration: f64,
+        attempts: u32,
+        counters: std::collections::BTreeMap<&'static str, u64>,
+    }
+    let reduce_results: Vec<ReduceTaskOut<K, O>> =
+        pool::run_indexed(reduce_inputs.len(), threads, |t| {
+            let rin = &reduce_inputs[t];
+            let attempts = spec.failure.attempts_used(&spec.name, Phase::Reduce, t);
+            let mut ctx = TaskContext::new(t, attempts - 1);
+            let mut groups: Vec<(K, Vec<O>)> = Vec::with_capacity(rin.groups.len());
+            for (k, vs) in &rin.groups {
+                ctx.add_records_in(vs.len() as u64);
+                let mut out: Vec<O> = Vec::new();
+                reducer.reduce(k, vs.clone(), &mut ctx, &mut out);
+                ctx.add_records_out(out.len() as u64);
+                groups.push((k.clone(), out));
+            }
+            let compute = spec
+                .cost
+                .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
+                * spec.failure.straggler_multiplier(&spec.name, Phase::Reduce, t);
+            let fetch = spec.cost.shuffle_duration(rin.bytes, rin.segments);
+            ReduceTaskOut {
+                groups,
+                records_in: ctx.records_in(),
+                records_out: ctx.records_out(),
+                work_units: ctx.work_units(),
+                duration: (compute + fetch) * attempts as f64,
+                attempts,
+                counters: ctx.counters().clone(),
+            }
+        });
+
+    let reduce_durations: Vec<f64> = reduce_results.iter().map(|r| r.duration).collect();
+    let reduce_schedule = schedule_phase(
+        &reduce_durations,
+        spec.cluster.reduce_slots(),
+        map_schedule.end,
+        &spec.speculation,
+    );
+
+    let mut reduce_metrics = PhaseMetrics {
+        tasks: reduce_results.len(),
+        attempts: reduce_results.iter().map(|r| r.attempts).sum(),
+        records_in: reduce_results.iter().map(|r| r.records_in).sum(),
+        records_out: reduce_results.iter().map(|r| r.records_out).sum(),
+        bytes_out: 0,
+        work_units: reduce_results.iter().map(|r| r.work_units).sum(),
+        sim_start: map_schedule.end,
+        sim_end: reduce_schedule.end,
+        task_durations: reduce_durations,
+        speculative_wins: reduce_schedule.speculative_wins,
+        data_local_tasks: 0,
+        counters: Default::default(),
+    };
+    for r in &reduce_results {
+        reduce_metrics.merge_counters(&r.counters);
+    }
+
+    let groups: Vec<(K, Vec<O>)> = reduce_results
+        .into_iter()
+        .flat_map(|r| r.groups)
+        .collect();
+
+    let sim_total = spec.cost.job_overhead + reduce_schedule.end;
+    let metrics = JobMetrics {
+        name: spec.name.clone(),
+        map: map_metrics,
+        reduce: reduce_metrics,
+        shuffle_bytes,
+        job_overhead: spec.cost.job_overhead,
+        sim_total,
+        wall_seconds: wall.elapsed().as_secs_f64(),
+    };
+
+    JobResult { groups, metrics }
+}
+
+/// Runs two jobs back to back: the first job's flattened outputs become the
+/// second job's input records, and the metrics are chained (the second job's
+/// phases start when the first ends). The paper's Algorithm 1 is exactly
+/// this shape — a partitioning job feeding a merging job.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_chain<I, K1, V1, O1, K2, V2, O2, M1, R1, M2, R2>(
+    spec1: &JobSpec<K1, V1>,
+    input: &[I],
+    mapper1: &M1,
+    combiner1: Option<&dyn Combiner<K1, V1>>,
+    reducer1: &R1,
+    spec2: &JobSpec<K2, V2>,
+    mapper2: &M2,
+    combiner2: Option<&dyn Combiner<K2, V2>>,
+    reducer2: &R2,
+) -> JobResult<K2, O2>
+where
+    I: DataT,
+    K1: KeyT,
+    V1: DataT,
+    O1: DataT,
+    K2: KeyT,
+    V2: DataT,
+    O2: DataT,
+    M1: Mapper<I, K1, V1>,
+    R1: Reducer<K1, V1, O1>,
+    M2: Mapper<O1, K2, V2>,
+    R2: Reducer<K2, V2, O2>,
+{
+    let first: JobResult<K1, O1> = run_job(spec1, input, mapper1, combiner1, reducer1);
+    let first_metrics = first.metrics.clone();
+    let intermediate: Vec<O1> = first.into_outputs();
+    let second: JobResult<K2, O2> =
+        run_job(spec2, &intermediate, mapper2, combiner2, reducer2);
+    let metrics = first_metrics.chain(&second.metrics);
+    JobResult {
+        groups: second.groups,
+        metrics,
+    }
+}
+
+/// Cuts `len` records into `tasks` contiguous near-equal ranges.
+fn split_ranges(len: usize, tasks: usize) -> Vec<(usize, usize)> {
+    assert!(tasks >= 1);
+    let base = len / tasks;
+    let extra = len % tasks;
+    let mut out = Vec::with_capacity(tasks);
+    let mut lo = 0;
+    for t in 0..tasks {
+        let size = base + usize::from(t < extra);
+        out.push((lo, lo + size));
+        lo += size;
+    }
+    debug_assert_eq!(lo, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn word_count_spec(servers: usize) -> JobSpec<String, u64> {
+        JobSpec::new("wordcount", ClusterConfig::new(servers)).with_reducers(2)
+    }
+
+    fn run_word_count(
+        spec: &JobSpec<String, u64>,
+        docs: &[String],
+        combine: bool,
+    ) -> JobResult<String, (String, u64)> {
+        let mapper = |doc: &String, ctx: &mut TaskContext, out: &mut Emitter<String, u64>| {
+            for w in doc.split_whitespace() {
+                ctx.add_work(1);
+                out.emit(w.to_string(), 1);
+            }
+        };
+        let combiner = |_k: &String, vs: Vec<u64>, _ctx: &mut TaskContext| {
+            vec![vs.iter().sum::<u64>()]
+        };
+        let reducer = |k: &String,
+                       vs: Vec<u64>,
+                       ctx: &mut TaskContext,
+                       out: &mut Vec<(String, u64)>| {
+            ctx.add_work(vs.len() as u64);
+            out.push((k.clone(), vs.iter().sum()));
+        };
+        run_job(
+            spec,
+            docs,
+            &mapper,
+            if combine {
+                Some(&combiner as &dyn Combiner<String, u64>)
+            } else {
+                None
+            },
+            &reducer,
+        )
+    }
+
+    fn docs() -> Vec<String> {
+        vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog".to_string(),
+            "the quick dog barks".to_string(),
+            "fox and dog".to_string(),
+        ]
+    }
+
+    fn counts(result: JobResult<String, (String, u64)>) -> BTreeMap<String, u64> {
+        result.into_outputs().into_iter().collect()
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let out = counts(run_word_count(&word_count_spec(2), &docs(), false));
+        assert_eq!(out["the"], 3);
+        assert_eq!(out["dog"], 3);
+        assert_eq!(out["quick"], 2);
+        assert_eq!(out["barks"], 1);
+    }
+
+    #[test]
+    fn combiner_preserves_results_and_cuts_shuffle() {
+        // words repeat *within* a document so the map-side combiner has
+        // something to aggregate
+        let docs = vec![
+            "the the the quick".to_string(),
+            "dog dog lazy".to_string(),
+        ];
+        let plain = run_word_count(&word_count_spec(2), &docs, false);
+        let combined = run_word_count(&word_count_spec(2), &docs, true);
+        let plain_bytes = plain.metrics.shuffle_bytes;
+        let combined_bytes = combined.metrics.shuffle_bytes;
+        assert_eq!(counts(plain), counts(combined));
+        assert!(
+            combined_bytes < plain_bytes,
+            "combiner should shrink shuffle: {combined_bytes} vs {plain_bytes}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let mut spec = word_count_spec(3);
+        let a = counts(run_word_count(&spec, &docs(), true));
+        spec.threads = 1;
+        let b = counts(run_word_count(&spec, &docs(), true));
+        spec.threads = 8;
+        let c = counts(run_word_count(&spec, &docs(), true));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn failure_injection_preserves_output_and_charges_time() {
+        // force several tasks so the 40% failure rate reliably hits one
+        let mut spec = word_count_spec(2).with_map_tasks(4);
+        let clean = run_word_count(&spec, &docs(), false);
+        spec.failure = FailureConfig::with_rate(400, 11);
+        let flaky = run_word_count(&spec, &docs(), false);
+        let (clean_attempts, flaky_attempts) = (
+            clean.metrics.map.attempts + clean.metrics.reduce.attempts,
+            flaky.metrics.map.attempts + flaky.metrics.reduce.attempts,
+        );
+        let (clean_sim, flaky_sim) = (clean.metrics.sim_total, flaky.metrics.sim_total);
+        assert_eq!(counts(clean), counts(flaky));
+        assert!(flaky_attempts > clean_attempts, "retries must occur");
+        assert!(flaky_sim > clean_sim, "retries must cost simulated time");
+    }
+
+    #[test]
+    fn more_servers_reduce_simulated_time() {
+        // enough records that the map phase has real work per task
+        let docs: Vec<String> = (0..2000).map(|i| format!("w{} w{} common", i % 50, i % 7)).collect();
+        let small = run_word_count(&word_count_spec(2).with_map_tasks(32), &docs, false);
+        let large = run_word_count(&word_count_spec(16).with_map_tasks(32), &docs, false);
+        assert!(
+            large.metrics.sim_total < small.metrics.sim_total,
+            "16 servers {} should beat 2 servers {}",
+            large.metrics.sim_total,
+            small.metrics.sim_total
+        );
+    }
+
+    #[test]
+    fn sim_time_decomposes() {
+        let r = run_word_count(&word_count_spec(2), &docs(), false);
+        let m = &r.metrics;
+        assert!(
+            (m.sim_total - (m.job_overhead + m.map_time() + m.reduce_time())).abs() < 1e-9
+        );
+        assert!(m.map_time() > 0.0);
+        assert!(m.reduce_time() > 0.0);
+        assert!(m.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn custom_router_controls_placement() {
+        let mut spec: JobSpec<u64, u64> =
+            JobSpec::new("routed", ClusterConfig::new(2)).with_reducers(4);
+        spec.router = Some(Arc::new(|k: &u64, r: usize| (*k as usize) % r));
+        let input: Vec<u64> = (0..100).collect();
+        let mapper = |x: &u64, _ctx: &mut TaskContext, out: &mut Emitter<u64, u64>| {
+            out.emit(x % 4, *x);
+        };
+        let reducer =
+            |k: &u64, vs: Vec<u64>, _ctx: &mut TaskContext, out: &mut Vec<(u64, usize)>| {
+                out.push((*k, vs.len()));
+            };
+        let result = run_job(&spec, &input, &mapper, None, &reducer);
+        let by_key: BTreeMap<u64, usize> = result.into_outputs().into_iter().collect();
+        assert_eq!(by_key.len(), 4);
+        assert!(by_key.values().all(|&n| n == 25));
+    }
+
+    #[test]
+    fn empty_input_completes() {
+        let spec: JobSpec<u64, u64> = JobSpec::new("empty", ClusterConfig::new(1));
+        let mapper = |_x: &u64, _c: &mut TaskContext, _o: &mut Emitter<u64, u64>| {};
+        let reducer =
+            |_k: &u64, _v: Vec<u64>, _c: &mut TaskContext, _o: &mut Vec<u64>| unreachable!();
+        let result: JobResult<u64, u64> = run_job(&spec, &[], &mapper, None, &reducer);
+        assert!(result.groups.is_empty());
+        assert_eq!(result.metrics.map.records_in, 0);
+    }
+
+    #[test]
+    fn job_chain_wordcount_then_threshold() {
+        // job 1: word count; job 2: keep words seen at least 3 times
+        let docs = vec![
+            "a a a b b c".to_string(),
+            "a b c d".to_string(),
+            "a b".to_string(),
+        ];
+        let spec1 = word_count_spec(2);
+        let mut spec2: JobSpec<(), (String, u64)> =
+            JobSpec::new("threshold", ClusterConfig::new(2));
+        spec2.threads = 1;
+        let mapper1 = |doc: &String, _c: &mut TaskContext, out: &mut Emitter<String, u64>| {
+            for w in doc.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        };
+        let reducer1 =
+            |k: &String, vs: Vec<u64>, _c: &mut TaskContext, out: &mut Vec<(String, u64)>| {
+                out.push((k.clone(), vs.iter().sum()));
+            };
+        let mapper2 = |pair: &(String, u64),
+                       _c: &mut TaskContext,
+                       out: &mut Emitter<(), (String, u64)>| {
+            if pair.1 >= 3 {
+                out.emit((), pair.clone());
+            }
+        };
+        let reducer2 = |_k: &(),
+                        vs: Vec<(String, u64)>,
+                        _c: &mut TaskContext,
+                        out: &mut Vec<String>| {
+            out.extend(vs.into_iter().map(|(w, _)| w));
+        };
+        let result: JobResult<(), String> = run_job_chain(
+            &spec1, &docs, &mapper1, None, &reducer1, &spec2, &mapper2, None, &reducer2,
+        );
+        let metrics = result.metrics.clone();
+        let mut frequent = result.into_outputs();
+        frequent.sort();
+        assert_eq!(frequent, vec!["a".to_string(), "b".to_string()]);
+        assert!(metrics.name.contains("wordcount"));
+        assert!(metrics.name.contains("threshold"));
+        // chained simulated time covers both jobs' overheads
+        assert!(metrics.sim_total > 2.0 * metrics.job_overhead / 2.0);
+        assert!(metrics.map.tasks >= 2);
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 100] {
+            for tasks in [1usize, 2, 3, 8] {
+                let ranges = split_ranges(len, tasks);
+                assert_eq!(ranges.len(), tasks);
+                let mut expected_lo = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expected_lo);
+                    assert!(hi >= lo);
+                    expected_lo = hi;
+                }
+                assert_eq!(expected_lo, len);
+                // near-equal: sizes differ by at most 1
+                let sizes: Vec<usize> = ranges.iter().map(|&(l, h)| h - l).collect();
+                let mx = sizes.iter().max().unwrap();
+                let mn = sizes.iter().min().unwrap();
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn map_task_auto_count_follows_input_size() {
+        let spec: JobSpec<u64, u64> = JobSpec::new("auto", ClusterConfig::new(3));
+        assert_eq!(spec.effective_map_tasks(1000), 1, "one small split");
+        assert_eq!(spec.effective_map_tasks(100_000), 63, "input-derived splits");
+        assert_eq!(spec.effective_map_tasks(5), 1, "one split for tiny input");
+        assert_eq!(spec.effective_map_tasks(0), 1);
+        // explicit task counts are still capped by the input size
+        let explicit: JobSpec<u64, u64> =
+            JobSpec::new("explicit", ClusterConfig::new(3)).with_map_tasks(10);
+        assert_eq!(explicit.effective_map_tasks(5), 5);
+        // split count does not depend on the cluster
+        let big: JobSpec<u64, u64> = JobSpec::new("auto", ClusterConfig::new(32));
+        assert_eq!(big.effective_map_tasks(100_000), 63);
+    }
+
+    #[test]
+    fn speculation_rescues_stragglers() {
+        let docs: Vec<String> = (0..8000).map(|i| format!("w{}", i % 13)).collect();
+        let mut slow = word_count_spec(4).with_map_tasks(16);
+        slow.failure = FailureConfig::with_stragglers(400, 10.0, 3);
+        let unaided = run_word_count(&slow, &docs, false);
+        slow.speculation = SpeculationConfig::enabled();
+        let rescued = run_word_count(&slow, &docs, false);
+        let (a, b) = (unaided.metrics.sim_total, rescued.metrics.sim_total);
+        let wins = rescued.metrics.map.speculative_wins + rescued.metrics.reduce.speculative_wins;
+        assert_eq!(counts(unaided), counts(rescued), "results unchanged");
+        assert!(b <= a, "speculation must not slow the job: {b} vs {a}");
+        assert!(
+            wins > 0 || b < a,
+            "with 20% stragglers at 10x, speculation should win somewhere"
+        );
+    }
+
+    #[test]
+    fn locality_scheduling_reports_local_tasks_and_preserves_results() {
+        let docs: Vec<String> = (0..4000).map(|i| format!("w{}", i % 17)).collect();
+        let mut plain = word_count_spec(4);
+        let baseline = run_word_count(&plain, &docs, false);
+        plain.locality = LocalityConfig::enabled();
+        let local = run_word_count(&plain, &docs, false);
+        assert_eq!(counts(baseline), counts(local));
+    }
+
+    #[test]
+    fn locality_metrics_track_local_fraction() {
+        let docs: Vec<String> = (0..8000).map(|i| format!("w{}", i % 17)).collect();
+        let mut spec = word_count_spec(4);
+        spec.locality = LocalityConfig::enabled();
+        let r = run_word_count(&spec, &docs, false);
+        let local = r.metrics.map.data_local_tasks;
+        assert!(local > 0, "3x replication on 4 servers must hit locality");
+        assert!(local <= r.metrics.map.tasks);
+    }
+
+    #[test]
+    fn remote_penalty_costs_simulated_time() {
+        let docs: Vec<String> = (0..8000).map(|i| format!("w{}", i % 17)).collect();
+        let mut cheap = word_count_spec(8);
+        cheap.locality = LocalityConfig {
+            enabled: true,
+            replication: 1,
+            remote_penalty: 0.0,
+            seed: 1,
+        };
+        let mut dear = word_count_spec(8);
+        dear.locality = LocalityConfig {
+            enabled: true,
+            replication: 1,
+            remote_penalty: 30.0,
+            seed: 1,
+        };
+        let a = run_word_count(&cheap, &docs, false);
+        let b = run_word_count(&dear, &docs, false);
+        assert!(
+            b.metrics.map.sim_span() >= a.metrics.map.sim_span(),
+            "a large remote penalty cannot make the map phase faster"
+        );
+    }
+
+    #[test]
+    fn speculation_reported_in_metrics() {
+        let mut spec = word_count_spec(2);
+        spec.speculation = SpeculationConfig::enabled();
+        let r = run_word_count(&spec, &docs(), false);
+        // no stragglers in this tiny job, but the field must be present/zero
+        assert_eq!(r.metrics.map.speculative_wins, 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The shuffle: routing intermediate pairs from map tasks to reduce tasks
+//! and grouping them by key.
+
+use crate::types::{DataT, KeyT};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Routes a key to one of `reducers` reduce tasks. Jobs may install a custom
+/// router (e.g. "partition id modulo reducers" to keep routing transparent);
+/// the default hashes the key.
+pub type KeyRouter<K> = Arc<dyn Fn(&K, usize) -> usize + Send + Sync>;
+
+/// The default router: stable hash of the key modulo the reducer count.
+pub fn default_router<K: KeyT>() -> KeyRouter<K> {
+    Arc::new(|key: &K, reducers: usize| {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % reducers as u64) as usize
+    })
+}
+
+/// Output of the shuffle for a single reduce task.
+#[derive(Debug, Clone)]
+pub struct ReduceInput<K, V> {
+    /// Key groups in sorted key order, each with its full value list. Values
+    /// keep (map-task index, emission order), making jobs deterministic.
+    pub groups: Vec<(K, Vec<V>)>,
+    /// Bytes fetched by this reduce task.
+    pub bytes: u64,
+    /// Number of map tasks that contributed at least one pair (fetch
+    /// segments for the latency model).
+    pub segments: u64,
+}
+
+impl<K, V> Default for ReduceInput<K, V> {
+    fn default() -> Self {
+        Self {
+            groups: Vec::new(),
+            bytes: 0,
+            segments: 0,
+        }
+    }
+}
+
+/// Shuffles per-map-task outputs into per-reduce-task inputs.
+///
+/// `map_outputs[m]` is map task `m`'s pair list with its byte count. Pair
+/// bytes are attributed to the receiving reducer proportionally by pair
+/// count — exact when all pairs have equal wire size, which holds for the
+/// skyline workloads (fixed dimensionality).
+pub fn shuffle<K: KeyT, V: DataT>(
+    map_outputs: Vec<(Vec<(K, V)>, u64)>,
+    reducers: usize,
+    router: &KeyRouter<K>,
+) -> Vec<ReduceInput<K, V>> {
+    assert!(reducers >= 1, "need at least one reducer");
+    let mut grouped: Vec<BTreeMap<K, Vec<V>>> = (0..reducers).map(|_| BTreeMap::new()).collect();
+    let mut bytes = vec![0u64; reducers];
+    let mut segments = vec![0u64; reducers];
+
+    for (pairs, task_bytes) in map_outputs {
+        if pairs.is_empty() {
+            continue;
+        }
+        let per_pair = task_bytes as f64 / pairs.len() as f64;
+        let mut touched = vec![0u64; reducers];
+        for (k, v) in pairs {
+            let r = router(&k, reducers);
+            assert!(r < reducers, "router returned out-of-range reducer {r}");
+            touched[r] += 1;
+            grouped[r].entry(k).or_default().push(v);
+        }
+        for r in 0..reducers {
+            if touched[r] > 0 {
+                segments[r] += 1;
+                bytes[r] += (touched[r] as f64 * per_pair).round() as u64;
+            }
+        }
+    }
+
+    grouped
+        .into_iter()
+        .enumerate()
+        .map(|(r, map)| ReduceInput {
+            groups: map.into_iter().collect(),
+            bytes: bytes[r],
+            segments: segments[r],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modulo_router() -> KeyRouter<u64> {
+        Arc::new(|k: &u64, r: usize| (*k % r as u64) as usize)
+    }
+
+    #[test]
+    fn groups_by_key_sorted() {
+        let map_outputs = vec![
+            (vec![(2u64, "a"), (1, "b")], 20),
+            (vec![(1u64, "c"), (3, "d")], 20),
+        ];
+        let out = shuffle(map_outputs, 1, &modulo_router());
+        assert_eq!(out.len(), 1);
+        let keys: Vec<u64> = out[0].groups.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3], "sorted key order");
+        let ones = &out[0].groups[0].1;
+        assert_eq!(ones, &vec!["b", "c"], "map-task order preserved");
+    }
+
+    #[test]
+    fn routing_respects_router() {
+        let map_outputs = vec![(vec![(0u64, 0u8), (1, 0), (2, 0), (3, 0)], 40)];
+        let out = shuffle(map_outputs, 2, &modulo_router());
+        let keys0: Vec<u64> = out[0].groups.iter().map(|(k, _)| *k).collect();
+        let keys1: Vec<u64> = out[1].groups.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys0, vec![0, 2]);
+        assert_eq!(keys1, vec![1, 3]);
+    }
+
+    #[test]
+    fn bytes_attributed_proportionally() {
+        // 4 pairs, 100 bytes → 25 bytes/pair; reducer 0 gets 3, reducer 1 gets 1
+        let map_outputs = vec![(vec![(0u64, ()), (2, ()), (4, ()), (1, ())], 100)];
+        let out = shuffle(map_outputs, 2, &modulo_router());
+        assert_eq!(out[0].bytes, 75);
+        assert_eq!(out[1].bytes, 25);
+        assert_eq!(out[0].segments, 1);
+    }
+
+    #[test]
+    fn segments_count_contributing_map_tasks() {
+        let map_outputs = vec![
+            (vec![(0u64, ())], 10),
+            (vec![(0u64, ())], 10),
+            (vec![(1u64, ())], 10), // only contributes to reducer 1
+        ];
+        let out = shuffle(map_outputs, 2, &modulo_router());
+        assert_eq!(out[0].segments, 2);
+        assert_eq!(out[1].segments, 1);
+    }
+
+    #[test]
+    fn empty_map_outputs() {
+        let out: Vec<ReduceInput<u64, ()>> = shuffle(vec![], 3, &modulo_router());
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.groups.is_empty() && r.bytes == 0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn every_pair_routed_exactly_once(
+                tasks in proptest::collection::vec(
+                    proptest::collection::vec(0u64..20, 0..30),
+                    0..6,
+                ),
+                reducers in 1usize..6,
+            ) {
+                let total_pairs: usize = tasks.iter().map(Vec::len).sum();
+                let map_outputs: Vec<(Vec<(u64, u64)>, u64)> = tasks
+                    .iter()
+                    .map(|keys| {
+                        let pairs: Vec<(u64, u64)> =
+                            keys.iter().map(|&k| (k, k * 100)).collect();
+                        let bytes = pairs.len() as u64 * 16;
+                        (pairs, bytes)
+                    })
+                    .collect();
+                let out = shuffle(map_outputs, reducers, &default_router::<u64>());
+                prop_assert_eq!(out.len(), reducers);
+                let routed: usize = out
+                    .iter()
+                    .flat_map(|r| r.groups.iter().map(|(_, v)| v.len()))
+                    .sum();
+                prop_assert_eq!(routed, total_pairs, "pairs conserved");
+                // each key appears in exactly one reducer
+                let mut seen = std::collections::HashMap::new();
+                for (r, ri) in out.iter().enumerate() {
+                    for (k, _) in &ri.groups {
+                        prop_assert!(
+                            seen.insert(*k, r).is_none(),
+                            "key {} in two reducers", k
+                        );
+                    }
+                }
+                // keys sorted within each reducer
+                for ri in &out {
+                    for w in ri.groups.windows(2) {
+                        prop_assert!(w[0].0 < w[1].0);
+                    }
+                }
+            }
+
+            #[test]
+            fn byte_attribution_approximately_conserved(
+                sizes in proptest::collection::vec(1usize..40, 1..5),
+                reducers in 1usize..5,
+            ) {
+                let map_outputs: Vec<(Vec<(u64, ())>, u64)> = sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &n)| {
+                        let pairs: Vec<(u64, ())> =
+                            (0..n).map(|i| ((t * 100 + i) as u64, ())).collect();
+                        (pairs, n as u64 * 24)
+                    })
+                    .collect();
+                let total_bytes: u64 = map_outputs.iter().map(|(_, b)| *b).sum();
+                let out = shuffle(map_outputs, reducers, &default_router::<u64>());
+                let routed_bytes: u64 = out.iter().map(|r| r.bytes).sum();
+                // rounding per (task, reducer) segment: off by at most one
+                // byte per segment
+                let segments: u64 = out.iter().map(|r| r.segments).sum();
+                prop_assert!(
+                    routed_bytes.abs_diff(total_bytes) <= segments,
+                    "{} vs {}", routed_bytes, total_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_router_is_stable_and_in_range() {
+        let router = default_router::<String>();
+        for s in ["a", "b", "longer-key", ""] {
+            let r1 = router(&s.to_string(), 7);
+            let r2 = router(&s.to_string(), 7);
+            assert_eq!(r1, r2);
+            assert!(r1 < 7);
+        }
+    }
+}

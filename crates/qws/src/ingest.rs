@@ -1,0 +1,233 @@
+//! Ingestion of the **real QWS dataset file** for users who have it.
+//!
+//! The QWS v2 distribution (Al-Masri & Mahmoud) is a CSV with one service
+//! per line:
+//!
+//! ```text
+//! Response Time, Availability, Throughput, Successability, Reliability,
+//! Compliance, Best Practices, Latency, Documentation, Service Name, WSDL Address
+//! ```
+//!
+//! [`load_qws_file`] parses that layout, **orients** every attribute to the
+//! workspace's lower-is-better convention via the catalogue in
+//! [`attributes`](crate::attributes), and reorders columns to the canonical
+//! attribute order (response time first, latency second…). The real file has
+//! no price column, so the loaded dataset has the nine QWS attributes; the
+//! synthetic generator's `price` axis is simply absent.
+//!
+//! Lines starting with `#` and blank lines are skipped; a malformed line is
+//! an error (silently dropping services would bias every measurement).
+
+use crate::attributes::QWS_ATTRIBUTES;
+use crate::dataset::Dataset;
+use skyline_algos::point::Point;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Column order of the raw QWS v2 file.
+const QWS_FILE_COLUMNS: [&str; 9] = [
+    "response_time",
+    "availability",
+    "throughput",
+    "successability",
+    "reliability",
+    "compliance",
+    "best_practices",
+    "latency",
+    "documentation",
+];
+
+/// The canonical attribute order of datasets produced by [`load_qws_file`]
+/// (the workspace order minus the synthetic `price` axis).
+pub const LOADED_ATTRIBUTE_ORDER: [&str; 9] = [
+    "response_time",
+    "latency",
+    "availability",
+    "throughput",
+    "successability",
+    "reliability",
+    "compliance",
+    "best_practices",
+    "documentation",
+];
+
+/// Loads a QWS-format CSV file into an oriented [`Dataset`]. Returns the
+/// dataset and the service names, index-aligned with point ids.
+pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
+    let file = std::fs::File::open(path)?;
+    let mut points = Vec::new();
+    let mut names = Vec::new();
+    // attribute specs in raw-file column order, then an output permutation
+    let file_specs: Vec<&crate::attributes::AttributeSpec> = QWS_FILE_COLUMNS
+        .iter()
+        .map(|name| {
+            QWS_ATTRIBUTES
+                .iter()
+                .find(|a| a.name == *name)
+                .expect("catalogue covers every QWS column")
+        })
+        .collect();
+    let out_of: Vec<usize> = LOADED_ATTRIBUTE_ORDER
+        .iter()
+        .map(|name| {
+            QWS_FILE_COLUMNS
+                .iter()
+                .position(|c| c == name)
+                .expect("orders cover the same attributes")
+        })
+        .collect();
+
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 10 {
+            return Err(bad_line(lineno, "fewer than 10 fields"));
+        }
+        let mut raw = [0.0f64; 9];
+        for (i, slot) in raw.iter_mut().enumerate() {
+            *slot = fields[i]
+                .parse::<f64>()
+                .map_err(|_| bad_line(lineno, "non-numeric QoS field"))?;
+        }
+        let coords: Vec<f64> = out_of
+            .iter()
+            .map(|&file_col| {
+                let spec = file_specs[file_col];
+                // clamp into the catalogue range first: the real file has a
+                // handful of out-of-range artefacts
+                let v = raw[file_col].clamp(spec.range.0, spec.range.1);
+                spec.orient(v)
+            })
+            .collect();
+        let id = points.len() as u64;
+        points.push(Point::new(id, coords));
+        names.push(fields[9].to_string());
+    }
+    if points.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "QWS file contains no services",
+        ));
+    }
+    let n = points.len();
+    Ok((Dataset::new(format!("qws-file(n={n})"), points), names))
+}
+
+fn bad_line(lineno: usize, what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed QWS line {}: {what}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_fixture(lines: &[&str]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qws-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "fixture-{}.csv",
+            std::process::id() as u64 + lines.len() as u64 * 1000
+        ));
+        let mut f = std::fs::File::create(&path).unwrap();
+        for l in lines {
+            writeln!(f, "{l}").unwrap();
+        }
+        path
+    }
+
+    // RT, Avail, Thr, Succ, Rel, Compl, BP, Lat, Doc, Name, WSDL
+    const GOOD: &str =
+        "120.5, 95.0, 10.2, 96.0, 73.0, 80.0, 60.0, 30.5, 50.0, FastWeather, http://x/a?wsdl";
+    const SLOW: &str =
+        "2500.0, 40.0, 1.0, 45.0, 40.0, 50.0, 40.0, 900.0, 10.0, SlowWeather, http://x/b?wsdl";
+
+    #[test]
+    fn loads_orients_and_reorders() {
+        let path = write_fixture(&["# header comment", GOOD, "", SLOW]);
+        let (data, names) = load_qws_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.dim(), 9);
+        assert_eq!(names, vec!["FastWeather", "SlowWeather"]);
+        // column 0 = oriented response time = raw - 37
+        assert!((data.points()[0].coord(0) - (120.5 - 37.0)).abs() < 1e-9);
+        // column 2 = oriented availability = 100 - raw
+        assert!((data.points()[0].coord(2) - (100.0 - 95.0)).abs() < 1e-9);
+        // the fast service dominates the slow one on every axis
+        assert!(skyline_algos::dominance::dominates(
+            &data.points()[0],
+            &data.points()[1]
+        ));
+    }
+
+    #[test]
+    fn attribute_order_matches_catalogue_names() {
+        for name in LOADED_ATTRIBUTE_ORDER {
+            assert!(
+                QWS_ATTRIBUTES.iter().any(|a| a.name == name),
+                "{name} missing from catalogue"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let line =
+            "10.0, 150.0, 10.0, 96.0, 73.0, 80.0, 60.0, 30.0, 50.0, Weird, http://x?wsdl";
+        let path = write_fixture(&[line]);
+        let (data, _) = load_qws_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // availability clamped to 100 → oriented 0; response time clamped to 37 → 0
+        assert_eq!(data.points()[0].coord(2), 0.0);
+        assert_eq!(data.points()[0].coord(0), 0.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        for bad in [
+            "1,2,3",                                                       // too few fields
+            "a, 95, 10, 96, 73, 80, 60, 30, 50, Name, http://x?wsdl",      // non-numeric
+        ] {
+            let path = write_fixture(&[GOOD, bad]);
+            assert!(load_qws_file(&path).is_err(), "{bad}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let path = write_fixture(&["# only a comment"]);
+        assert!(load_qws_file(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_data_runs_through_the_skyline_stack() {
+        use skyline_algos::prelude::*;
+        let lines: Vec<String> = (0..40)
+            .map(|i| {
+                format!(
+                    "{}, {}, 5.0, 80.0, 60.0, 70.0, 55.0, {}, 40.0, Svc{}, http://x/{i}?wsdl",
+                    100.0 + 70.0 * (i % 7) as f64,
+                    60.0 + 4.0 * (i % 9) as f64,
+                    10.0 + 30.0 * (i % 5) as f64,
+                    i
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let path = write_fixture(&refs);
+        let (data, _) = load_qws_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let sky = bnl_skyline(data.points(), &BnlConfig::default());
+        assert!(!sky.is_empty() && sky.len() < data.len());
+    }
+}

@@ -1,0 +1,141 @@
+//! Self-contained samplers for the distributions the generators need.
+//!
+//! The workspace's dependency budget includes `rand` but not `rand_distr`,
+//! so the handful of non-uniform samplers live here: Box–Muller normals, a
+//! log-normal built on top, and clamped variants for bounded QoS attributes.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, sd²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "standard deviation must be non-negative");
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples `N(mean, sd²)` clamped into `[lo, hi]` — the pragmatic truncated
+/// normal used for bounded percentage-style attributes. Clamping (rather
+/// than rejection) slightly inflates the boundary mass, which mirrors real
+/// QWS data where many services pin at 100 % availability.
+pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "invalid clamp range");
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Samples a log-normal with the given parameters of the *underlying*
+/// normal, clamped into `[lo, hi]` — for heavy-tailed attributes such as
+/// response time and latency.
+pub fn clamped_log_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "invalid clamp range");
+    normal(rng, mu, sigma).exp().clamp(lo, hi)
+}
+
+/// Transforms a standard-normal `z` through a correlation with a latent
+/// factor `q`: returns `ρ·q + √(1−ρ²)·z`, still standard normal but with
+/// correlation `ρ` to `q`. The QWS generator uses one latent "service
+/// quality" factor per service to induce realistic cross-attribute
+/// correlation.
+pub fn correlate(q: f64, z: f64, rho: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+    rho * q + (1.0 - rho * rho).sqrt() * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mean_sd(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, sd) = mean_sd(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((sd - 1.0).abs() < 0.02, "sd {sd}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..100_000).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let (mean, sd) = mean_sd(&samples);
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((sd - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = clamped_normal(&mut rng, 90.0, 20.0, 0.0, 100.0);
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| clamped_log_normal(&mut rng, 6.0, 0.9, 30.0, 5000.0))
+            .collect();
+        assert!(samples.iter().all(|&v| (30.0..=5000.0).contains(&v)));
+        let (mean, _) = mean_sd(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "right-skew: mean {mean} > median {median}");
+    }
+
+    #[test]
+    fn correlate_produces_target_correlation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rho = 0.7;
+        let pairs: Vec<(f64, f64)> = (0..100_000)
+            .map(|_| {
+                let q = standard_normal(&mut rng);
+                let z = standard_normal(&mut rng);
+                (q, correlate(q, z, rho))
+            })
+            .collect();
+        let n = pairs.len() as f64;
+        let mq = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mv = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mq) * (p.1 - mv)).sum::<f64>() / n;
+        let sq = (pairs.iter().map(|p| (p.0 - mq).powi(2)).sum::<f64>() / n).sqrt();
+        let sv = (pairs.iter().map(|p| (p.1 - mv).powi(2)).sum::<f64>() / n).sqrt();
+        let got = cov / (sq * sv);
+        assert!((got - rho).abs() < 0.02, "correlation {got} vs {rho}");
+    }
+
+    #[test]
+    fn correlate_identity_edges() {
+        assert_eq!(correlate(2.0, 5.0, 1.0), 2.0);
+        assert_eq!(correlate(2.0, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn correlate_rejects_bad_rho() {
+        let _ = correlate(0.0, 0.0, 1.5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Dataset characterisation: summary statistics and correlation structure.
+//!
+//! Skyline behaviour is a function of the joint distribution — the
+//! correlation matrix decides whether the skyline has 10 points or 10,000.
+//! These helpers let examples, tests and EXPERIMENTS.md *show* the structure
+//! of the data a measurement ran on instead of asserting it.
+
+use crate::dataset::Dataset;
+
+/// Per-dimension summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Sample median.
+    pub median: f64,
+}
+
+/// Summarises every dimension of `dataset`.
+pub fn dimension_stats(dataset: &Dataset) -> Vec<DimensionStats> {
+    let n = dataset.len() as f64;
+    (0..dataset.dim())
+        .map(|i| {
+            let mut values: Vec<f64> = dataset.points().iter().map(|p| p.coord(i)).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            DimensionStats {
+                mean,
+                std_dev: var.sqrt(),
+                min: values[0],
+                max: values[values.len() - 1],
+                median: values[values.len() / 2],
+            }
+        })
+        .collect()
+}
+
+/// Pearson correlation matrix of the dataset's dimensions (`d × d`,
+/// symmetric, unit diagonal). Degenerate (constant) dimensions yield 0.0
+/// off-diagonal.
+pub fn correlation_matrix(dataset: &Dataset) -> Vec<Vec<f64>> {
+    let d = dataset.dim();
+    let n = dataset.len() as f64;
+    let stats = dimension_stats(dataset);
+    let mut matrix = vec![vec![0.0; d]; d];
+    for i in 0..d {
+        matrix[i][i] = 1.0;
+        for j in (i + 1)..d {
+            let cov = dataset
+                .points()
+                .iter()
+                .map(|p| (p.coord(i) - stats[i].mean) * (p.coord(j) - stats[j].mean))
+                .sum::<f64>()
+                / n;
+            let denom = stats[i].std_dev * stats[j].std_dev;
+            let r = if denom > 0.0 { cov / denom } else { 0.0 };
+            matrix[i][j] = r;
+            matrix[j][i] = r;
+        }
+    }
+    matrix
+}
+
+/// Mean pairwise (off-diagonal) correlation — a one-number summary of how
+/// "collapsible" the skyline is: near +1 means tiny skylines, near −1 means
+/// everything is a trade-off.
+pub fn mean_pairwise_correlation(dataset: &Dataset) -> f64 {
+    let d = dataset.dim();
+    if d < 2 {
+        return 0.0;
+    }
+    let m = correlation_matrix(dataset);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (i, row) in m.iter().enumerate() {
+        for &r in row.iter().skip(i + 1) {
+            sum += r;
+            count += 1;
+        }
+    }
+    sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_qws, QwsConfig};
+    use crate::synthetic::{generate_synthetic, Distribution, SyntheticConfig};
+    use skyline_algos::point::Point;
+
+    #[test]
+    fn dimension_stats_on_known_data() {
+        let data = Dataset::new(
+            "known",
+            vec![
+                Point::new(0, vec![1.0, 10.0]),
+                Point::new(1, vec![2.0, 10.0]),
+                Point::new(2, vec![3.0, 10.0]),
+            ],
+        );
+        let s = dimension_stats(&data);
+        assert_eq!(s[0].mean, 2.0);
+        assert_eq!(s[0].min, 1.0);
+        assert_eq!(s[0].max, 3.0);
+        assert_eq!(s[0].median, 2.0);
+        assert!((s[0].std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s[1].std_dev, 0.0, "constant dimension");
+    }
+
+    #[test]
+    fn correlation_matrix_shape_and_symmetry() {
+        let data = generate_qws(&QwsConfig::new(2000, 5));
+        let m = correlation_matrix(&data);
+        assert_eq!(m.len(), 5);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+                assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_correlation_detected() {
+        let data = Dataset::new(
+            "line",
+            (0..50)
+                .map(|i| Point::new(i, vec![i as f64, 2.0 * i as f64]))
+                .collect::<Vec<_>>(),
+        );
+        let m = correlation_matrix(&data);
+        assert!((m[0][1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_families_rank_as_expected() {
+        let corr = mean_pairwise_correlation(&generate_synthetic(&SyntheticConfig::new(
+            5000,
+            3,
+            Distribution::Correlated,
+        )));
+        let indep = mean_pairwise_correlation(&generate_synthetic(&SyntheticConfig::new(
+            5000,
+            3,
+            Distribution::Independent,
+        )));
+        let anti = mean_pairwise_correlation(&generate_synthetic(&SyntheticConfig::new(
+            5000,
+            3,
+            Distribution::AntiCorrelated,
+        )));
+        assert!(corr > 0.5, "correlated family: {corr}");
+        assert!(indep.abs() < 0.1, "independent family: {indep}");
+        assert!(anti < -0.1, "anti-correlated family: {anti}");
+        assert!(corr > indep && indep > anti);
+    }
+
+    #[test]
+    fn degenerate_dimension_gives_zero_correlation() {
+        let data = Dataset::new(
+            "flat",
+            (0..10)
+                .map(|i| Point::new(i, vec![i as f64, 7.0]))
+                .collect::<Vec<_>>(),
+        );
+        let m = correlation_matrix(&data);
+        assert_eq!(m[0][1], 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_mean_correlation_is_zero() {
+        let data = Dataset::new(
+            "one",
+            vec![Point::new(0, vec![1.0]), Point::new(1, vec![2.0])],
+        );
+        assert_eq!(mean_pairwise_correlation(&data), 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Block-Nested-Loops (BNL) skyline — Börzsönyi, Kossmann, Stocker, ICDE 2001.
+//!
+//! BNL is the kernel the paper uses for both the per-partition local skylines
+//! (Algorithm 1, lines 7–10) and the final global merge (line 15). It streams
+//! the input once per *pass*, keeping a **window** of incomparable candidate
+//! points:
+//!
+//! * an incoming point dominated by any window point is discarded;
+//! * window points dominated by the incoming point are evicted;
+//! * otherwise the point joins the window, or — if the window is full — is
+//!   written to an *overflow* buffer to be processed in the next pass.
+//!
+//! With a bounded window, a window point can only be emitted as a confirmed
+//! skyline point once it has been compared against **every** overflowed
+//! point. The classic timestamp argument: a point entering the window at
+//! (global) time `t_w` has been compared with every point read after `t_w`,
+//! so at the end of a pass it can be emitted iff `t_w` precedes the time the
+//! first point of that pass overflowed. All later window entries are retained
+//! for the next pass.
+//!
+//! The window is self-organising: whenever a window point kills an incoming
+//! point it is moved to the front, so aggressive dominators are met early —
+//! the standard BNL optimisation.
+
+use crate::dominance::{DomCounter, DomRelation};
+use crate::point::Point;
+
+/// Configuration for a BNL run.
+#[derive(Debug, Clone)]
+pub struct BnlConfig {
+    /// Maximum number of points held in the in-memory window; `None` means
+    /// unbounded (single pass, no overflow). The paper's Hadoop setting
+    /// bounds worker memory at 1 GB, which we model with a finite window.
+    pub window_size: Option<usize>,
+    /// If `true`, a window point that discards an incoming point is moved to
+    /// the front of the window (self-organising list).
+    pub move_to_front: bool,
+}
+
+impl Default for BnlConfig {
+    fn default() -> Self {
+        Self {
+            window_size: None,
+            move_to_front: true,
+        }
+    }
+}
+
+impl BnlConfig {
+    /// Unbounded window.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Window bounded to `n` points (multi-pass BNL).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`: a zero-size window cannot make progress.
+    pub fn with_window(n: usize) -> Self {
+        assert!(n > 0, "BNL window must hold at least one point");
+        Self {
+            window_size: Some(n),
+            move_to_front: true,
+        }
+    }
+}
+
+/// Execution statistics of a BNL run, consumed by the cluster cost model.
+#[derive(Debug, Default, Clone)]
+pub struct BnlStats {
+    /// Pairwise dominance comparisons performed (and their dim-weighted sum).
+    pub counter: DomCounter,
+    /// Number of passes over (remaining) input.
+    pub passes: u32,
+    /// Total points spilled to the overflow buffer across all passes.
+    pub overflowed: u64,
+    /// Input cardinality.
+    pub input_len: u64,
+    /// Output (skyline) cardinality.
+    pub output_len: u64,
+}
+
+/// Computes the skyline of `points` with BNL. Duplicate coordinate vectors
+/// are all retained (none dominates the other), matching the set semantics
+/// of the dominance definition.
+///
+/// # Examples
+///
+/// ```
+/// use skyline_algos::bnl::{bnl_skyline, BnlConfig};
+/// use skyline_algos::point::Point;
+///
+/// let services = vec![
+///     Point::new(0, vec![100.0, 5.0]), // fast but pricey
+///     Point::new(1, vec![900.0, 1.0]), // slow but cheap
+///     Point::new(2, vec![950.0, 6.0]), // slow AND pricey: dominated
+/// ];
+/// let sky = bnl_skyline(&services, &BnlConfig::default());
+/// assert_eq!(sky.len(), 2);
+/// ```
+pub fn bnl_skyline(points: &[Point], cfg: &BnlConfig) -> Vec<Point> {
+    bnl_skyline_stats(points, cfg).0
+}
+
+/// Like [`bnl_skyline`] but also returns execution statistics.
+pub fn bnl_skyline_stats(points: &[Point], cfg: &BnlConfig) -> (Vec<Point>, BnlStats) {
+    let mut stats = BnlStats {
+        input_len: points.len() as u64,
+        ..BnlStats::default()
+    };
+    if points.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    // Window entries carry the global timestamp at which they entered.
+    struct Entry {
+        point: Point,
+        entered_at: u64,
+    }
+
+    let window_cap = cfg.window_size.unwrap_or(usize::MAX);
+    let mut window: Vec<Entry> = Vec::with_capacity(window_cap.min(points.len()).min(4096));
+    let mut skyline: Vec<Point> = Vec::new();
+    // (point, timestamp) pairs deferred to the next pass.
+    let mut input: Vec<(Point, u64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let mut clock = points.len() as u64;
+
+    while !input.is_empty() {
+        stats.passes += 1;
+        let mut overflow: Vec<(Point, u64)> = Vec::new();
+        // Timestamp of the first point overflowed in this pass; window points
+        // that entered before it have met every remaining candidate.
+        let mut first_overflow_ts: Option<u64> = None;
+
+        for (candidate, _orig_ts) in input.drain(..) {
+            let ts = clock;
+            clock += 1;
+            let mut dominated = false;
+            let mut i = 0;
+            while i < window.len() {
+                match stats.counter.compare(&window[i].point, &candidate) {
+                    DomRelation::LeftDominates => {
+                        dominated = true;
+                        if cfg.move_to_front && i > 0 {
+                            window.swap(0, i);
+                        }
+                        break;
+                    }
+                    DomRelation::RightDominates => {
+                        window.swap_remove(i);
+                        // re-examine the element swapped into position i
+                    }
+                    // Distinct services with equal QoS vectors are mutually
+                    // non-dominating: both stay.
+                    DomRelation::Equal | DomRelation::Incomparable => {
+                        i += 1;
+                    }
+                }
+            }
+            if dominated {
+                continue;
+            }
+            if window.len() < window_cap {
+                window.push(Entry {
+                    point: candidate,
+                    entered_at: ts,
+                });
+            } else {
+                if first_overflow_ts.is_none() {
+                    first_overflow_ts = Some(ts);
+                }
+                stats.overflowed += 1;
+                overflow.push((candidate, ts));
+            }
+        }
+
+        // Emit confirmed window points; retain the rest for the next pass.
+        match first_overflow_ts {
+            None => {
+                // No overflow: every window point has met every candidate.
+                skyline.extend(window.drain(..).map(|e| e.point));
+            }
+            Some(cut) => {
+                let mut retained = Vec::with_capacity(window.len());
+                for e in window.drain(..) {
+                    if e.entered_at < cut {
+                        skyline.push(e.point);
+                    } else {
+                        retained.push(e);
+                    }
+                }
+                window = retained;
+            }
+        }
+        input = overflow;
+    }
+    skyline.extend(window.drain(..).map(|e| e.point));
+
+    stats.output_len = skyline.len() as u64;
+    (skyline, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::naive_skyline;
+
+    fn pts(rows: &[&[f64]]) -> Vec<Point> {
+        rows.iter()
+            .enumerate()
+            .map(|(i, r)| Point::new(i as u64, r.to_vec()))
+            .collect()
+    }
+
+    fn ids(mut v: Vec<Point>) -> Vec<u64> {
+        let mut out: Vec<u64> = v.drain(..).map(|p| p.id()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_input_gives_empty_skyline() {
+        let (sky, stats) = bnl_skyline_stats(&[], &BnlConfig::default());
+        assert!(sky.is_empty());
+        assert_eq!(stats.passes, 0);
+        assert_eq!(stats.input_len, 0);
+    }
+
+    #[test]
+    fn single_point_is_its_own_skyline() {
+        let p = pts(&[&[1.0, 2.0]]);
+        assert_eq!(ids(bnl_skyline(&p, &BnlConfig::default())), vec![0]);
+    }
+
+    #[test]
+    fn paper_figure_one_contour() {
+        // Mimics Figure 1: s8 dominated, s1..s7 on the contour.
+        let p = pts(&[
+            &[1.0, 9.0], // s1
+            &[2.0, 7.0], // s2
+            &[3.0, 5.0], // s3
+            &[4.5, 3.5], // s4
+            &[6.0, 2.5], // s5
+            &[7.5, 2.0], // s6
+            &[9.0, 1.0], // s7
+            &[7.0, 6.0], // s8 — dominated by s3/s4/s5
+        ]);
+        assert_eq!(
+            ids(bnl_skyline(&p, &BnlConfig::default())),
+            vec![0, 1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_all_kept() {
+        let p = pts(&[&[1.0, 1.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        assert_eq!(ids(bnl_skyline(&p, &BnlConfig::default())), vec![0, 1]);
+    }
+
+    #[test]
+    fn dominated_duplicate_cluster_removed() {
+        let p = pts(&[&[2.0, 2.0], &[2.0, 2.0], &[1.0, 1.0]]);
+        assert_eq!(ids(bnl_skyline(&p, &BnlConfig::default())), vec![2]);
+    }
+
+    #[test]
+    fn single_dimension_minimum_wins() {
+        let p = pts(&[&[5.0], &[3.0], &[9.0], &[3.0]]);
+        assert_eq!(ids(bnl_skyline(&p, &BnlConfig::default())), vec![1, 3]);
+    }
+
+    #[test]
+    fn tiny_window_still_correct() {
+        // Anti-correlated-ish data where everything is in the skyline, which
+        // maximises overflow pressure.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 49.0 - i as f64])
+            .collect();
+        let p: Vec<Point> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Point::new(i as u64, r.clone()))
+            .collect();
+        for w in [1usize, 2, 3, 7, 49] {
+            let (sky, stats) = bnl_skyline_stats(&p, &BnlConfig::with_window(w));
+            assert_eq!(sky.len(), 50, "window {w}");
+            assert!(stats.passes >= 2, "window {w} must overflow");
+        }
+    }
+
+    #[test]
+    fn bounded_window_matches_oracle_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let n = rng.gen_range(1..200);
+            let d = rng.gen_range(1..6);
+            let points: Vec<Point> = (0..n)
+                .map(|i| {
+                    Point::new(
+                        i as u64,
+                        (0..d).map(|_| rng.gen_range(0.0..10.0)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let oracle = ids(naive_skyline(&points));
+            for w in [1usize, 4, 16] {
+                let got = ids(bnl_skyline(&points, &BnlConfig::with_window(w)));
+                assert_eq!(got, oracle, "trial {trial} window {w}");
+            }
+            let got = ids(bnl_skyline(&points, &BnlConfig::unbounded()));
+            assert_eq!(got, oracle, "trial {trial} unbounded");
+        }
+    }
+
+    #[test]
+    fn stats_account_input_output_and_passes() {
+        let p = pts(&[&[1.0, 9.0], &[9.0, 1.0], &[5.0, 5.0], &[6.0, 6.0]]);
+        let (sky, stats) = bnl_skyline_stats(&p, &BnlConfig::default());
+        assert_eq!(stats.input_len, 4);
+        assert_eq!(stats.output_len, sky.len() as u64);
+        assert_eq!(stats.passes, 1);
+        assert_eq!(stats.overflowed, 0);
+        assert!(stats.counter.comparisons() > 0);
+    }
+
+    #[test]
+    fn move_to_front_disabled_still_correct() {
+        let cfg = BnlConfig {
+            window_size: Some(2),
+            move_to_front: false,
+        };
+        let p = pts(&[&[3.0, 3.0], &[1.0, 5.0], &[5.0, 1.0], &[2.0, 2.0], &[4.0, 4.0]]);
+        assert_eq!(ids(bnl_skyline(&p, &cfg)), ids(naive_skyline(&p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn zero_window_rejected() {
+        let _ = BnlConfig::with_window(0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Divide-and-Conquer skyline — the second algorithm of Börzsönyi et al.
+//! (ICDE 2001), included as a third independent kernel.
+//!
+//! The classic scheme recursively computes the skylines of two halves of the
+//! input and merges them by eliminating the points of one half dominated by
+//! the other. This implementation partitions by the median of the first
+//! dimension (the "m-way partitioning" of the original paper specialised to
+//! two ways), which yields the standard `O(n·log^{d-2} n)`-flavoured
+//! behaviour on random data while staying simple enough to audit.
+//!
+//! After splitting on the median of dimension 0 into a *low* half `L` and a
+//! *high* half `H`:
+//!
+//! * no point of `L` can be dominated by a point of `H` that beats it on
+//!   dimension 0, so `skyline(L)` survives entirely;
+//! * points of `skyline(H)` must additionally survive against `skyline(L)`.
+//!
+//! The cross-filter compares only against `skyline(L)`, which is sound
+//! because dominance is transitive (anything dominated by a non-skyline
+//! point of `L` is also dominated by a skyline point of `L`).
+
+use crate::dominance::DomCounter;
+use crate::point::Point;
+
+/// Execution statistics of a D&C run.
+#[derive(Debug, Default, Clone)]
+pub struct DncStats {
+    /// Pairwise dominance comparisons performed.
+    pub counter: DomCounter,
+    /// Input cardinality.
+    pub input_len: u64,
+    /// Output cardinality.
+    pub output_len: u64,
+    /// Maximum recursion depth reached.
+    pub max_depth: u32,
+}
+
+/// Below this size the recursion bottoms out into a quadratic scan.
+const BASE_CASE: usize = 32;
+
+/// Computes the skyline of `points` by divide and conquer.
+///
+/// # Examples
+///
+/// ```
+/// use skyline_algos::dnc::dnc_skyline;
+/// use skyline_algos::point::Point;
+///
+/// let pts: Vec<Point> = (0..100)
+///     .map(|i| Point::new(i, vec![i as f64, 99.0 - i as f64]))
+///     .collect();
+/// assert_eq!(dnc_skyline(&pts).len(), 100); // anti-correlated: all survive
+/// ```
+pub fn dnc_skyline(points: &[Point]) -> Vec<Point> {
+    dnc_skyline_stats(points).0
+}
+
+/// Like [`dnc_skyline`] but also returns execution statistics.
+pub fn dnc_skyline_stats(points: &[Point]) -> (Vec<Point>, DncStats) {
+    let mut stats = DncStats {
+        input_len: points.len() as u64,
+        ..DncStats::default()
+    };
+    if points.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let mut work: Vec<Point> = points.to_vec();
+    let out = recurse(&mut work, 0, &mut stats);
+    stats.output_len = out.len() as u64;
+    (out, stats)
+}
+
+fn base_case(points: &[Point], stats: &mut DncStats) -> Vec<Point> {
+    let mut sky: Vec<Point> = Vec::with_capacity(points.len().min(BASE_CASE));
+    'outer: for p in points {
+        let mut i = 0;
+        while i < sky.len() {
+            use crate::dominance::DomRelation::*;
+            match stats.counter.compare(&sky[i], p) {
+                LeftDominates => continue 'outer,
+                RightDominates => {
+                    sky.swap_remove(i);
+                }
+                Equal | Incomparable => i += 1,
+            }
+        }
+        sky.push(p.clone());
+    }
+    sky
+}
+
+fn recurse(points: &mut [Point], depth: u32, stats: &mut DncStats) -> Vec<Point> {
+    stats.max_depth = stats.max_depth.max(depth);
+    if points.len() <= BASE_CASE {
+        return base_case(points, stats);
+    }
+    // Split by *value*, never through a run of dimension-0 ties: with ties
+    // straddling the boundary, a high-half point tying on dimension 0 could
+    // dominate a low-half point, breaking the "low skyline survives whole"
+    // invariant of the merge. Sorting makes the value split a binary search.
+    points.sort_unstable_by(|a, b| {
+        a.coord(0)
+            .partial_cmp(&b.coord(0))
+            .expect("coordinates are finite")
+            .then(a.id().cmp(&b.id()))
+    });
+    let pivot = points[points.len() / 2].coord(0);
+    let mut split = points.partition_point(|p| p.coord(0) < pivot);
+    if split == 0 {
+        // pivot is the minimum value: put the whole tie-run low instead
+        split = points.partition_point(|p| p.coord(0) <= pivot);
+        if split == points.len() {
+            // every point ties on dimension 0 — dominance is decided by the
+            // remaining dimensions; fall back to the quadratic scan
+            return base_case(points, stats);
+        }
+    }
+    // invariant: every low point is strictly below every high point on
+    // dimension 0, so no high point can dominate a low point
+    let (lo, hi) = points.split_at_mut(split);
+    debug_assert!(!lo.is_empty() && !hi.is_empty());
+
+    let mut sky_lo = recurse(lo, depth + 1, stats);
+    let sky_hi = recurse(hi, depth + 1, stats);
+
+    // Cross-filter: keep the high-half skyline points not dominated by any
+    // low-half skyline point.
+    'candidates: for h in sky_hi {
+        for l in &sky_lo {
+            if stats.counter.dominates(l, &h) {
+                continue 'candidates;
+            }
+        }
+        sky_lo.push(h);
+    }
+    sky_lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::naive_skyline_ids;
+
+    fn ids(mut v: Vec<Point>) -> Vec<u64> {
+        let mut out: Vec<u64> = v.drain(..).map(|p| p.id()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(dnc_skyline(&[]).is_empty());
+        let one = vec![Point::new(0, vec![1.0, 2.0])];
+        assert_eq!(ids(dnc_skyline(&one)), vec![0]);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..20 {
+            let n = rng.gen_range(1..500);
+            let d = rng.gen_range(1..6);
+            let points: Vec<Point> = (0..n)
+                .map(|i| {
+                    Point::new(
+                        i as u64,
+                        (0..d).map(|_| rng.gen_range(0.0..4.0)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            assert_eq!(
+                ids(dnc_skyline(&points)),
+                naive_skyline_ids(&points),
+                "trial {trial} n={n} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_all_survive() {
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new(i, vec![1.0, 1.0]))
+            .collect();
+        assert_eq!(dnc_skyline(&points).len(), 100);
+    }
+
+    #[test]
+    fn anti_correlated_keeps_everything() {
+        let points: Vec<Point> = (0..200)
+            .map(|i| Point::new(i, vec![i as f64, 199.0 - i as f64]))
+            .collect();
+        let (sky, stats) = dnc_skyline_stats(&points);
+        assert_eq!(sky.len(), 200);
+        assert!(stats.max_depth >= 2, "must actually recurse");
+    }
+
+    #[test]
+    fn correlated_chain_keeps_minimum() {
+        let points: Vec<Point> = (0..200)
+            .map(|i| Point::new(i, vec![i as f64, i as f64]))
+            .collect();
+        assert_eq!(ids(dnc_skyline(&points)), vec![0]);
+    }
+
+    #[test]
+    fn fewer_comparisons_than_naive_on_big_correlated_input() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        let points: Vec<Point> = (0..2000)
+            .map(|i| {
+                let base: f64 = rng.gen_range(0.0..1.0);
+                Point::new(
+                    i,
+                    vec![
+                        base + rng.gen_range(0.0..0.1),
+                        base + rng.gen_range(0.0..0.1),
+                    ],
+                )
+            })
+            .collect();
+        let (_, stats) = dnc_skyline_stats(&points);
+        let naive_comps = (points.len() * points.len()) as u64;
+        assert!(
+            stats.counter.comparisons() < naive_comps / 10,
+            "D&C used {} comparisons, naive would use {naive_comps}",
+            stats.counter.comparisons()
+        );
+    }
+
+    #[test]
+    fn ties_on_dim_zero_across_the_split_are_handled() {
+        // regression: with dim-0 ties straddling a positional median split,
+        // a high-half point that ties on dim 0 can dominate a low-half
+        // point; the value split must keep tie-runs together
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(97);
+        for trial in 0..30 {
+            // few distinct dim-0 values → heavy ties, enough points to recurse
+            let points: Vec<Point> = (0..120)
+                .map(|i| {
+                    Point::new(
+                        i,
+                        vec![
+                            rng.gen_range(0..3) as f64,
+                            rng.gen_range(0.0..4.0),
+                            rng.gen_range(0.0..4.0),
+                        ],
+                    )
+                })
+                .collect();
+            assert_eq!(
+                ids(dnc_skyline(&points)),
+                naive_skyline_ids(&points),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_points_tie_on_dim_zero() {
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new(i, vec![5.0, (i % 10) as f64, (i / 10) as f64]))
+            .collect();
+        assert_eq!(ids(dnc_skyline(&points)), naive_skyline_ids(&points));
+    }
+
+    #[test]
+    fn stats_account_io() {
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new(i, vec![(i % 10) as f64, (i / 10) as f64]))
+            .collect();
+        let (sky, stats) = dnc_skyline_stats(&points);
+        assert_eq!(stats.input_len, 100);
+        assert_eq!(stats.output_len, sky.len() as u64);
+    }
+}

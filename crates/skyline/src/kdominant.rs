@@ -1,0 +1,214 @@
+//! k-dominant skylines — Chan, Jagadish, Tan, Tung, Zhang (SIGMOD 2006).
+//!
+//! The paper measures what every practitioner hits: as the number of QoS
+//! attributes grows, almost nothing dominates anything and the skyline
+//! explodes (thousands of "optimal" services at `d = 10`). *k-dominance*
+//! relaxes the order: `p` **k-dominates** `q` when there are `k` dimensions
+//! on which `p` is no worse (and strictly better on at least one of them).
+//! The k-dominant skyline — points not k-dominated by anyone — shrinks
+//! rapidly as `k` drops below `d`, surfacing the services that are good
+//! *almost everywhere*.
+//!
+//! Two structural caveats inherited from the definition, both tested below:
+//!
+//! * k-dominance is **not transitive**, so exclusion must be checked against
+//!   the *whole* dataset, not against survivors;
+//! * a point that is itself k-dominated can still k-dominate others
+//!   (cyclic k-dominance is possible, and for small `k` the k-dominant
+//!   skyline can even be empty).
+
+use crate::point::Point;
+
+/// Returns `true` iff `p` k-dominates `q`: there exist `k` dimensions on
+/// which `p ≤ q`, with `p < q` on at least one of them.
+///
+/// Equivalent counting form (used here): `#{i : p_i ≤ q_i} ≥ k` and
+/// `#{i : p_i < q_i} ≥ 1` — any `k`-subset of the `≤`-dimensions that
+/// includes one strict dimension witnesses the relation.
+///
+/// # Panics
+///
+/// Panics (debug) on dimensionality mismatch; `k` must be in `1..=d`.
+pub fn k_dominates(p: &Point, q: &Point, k: usize) -> bool {
+    debug_assert_eq!(p.dim(), q.dim(), "k-dominance requires equal dimensionality");
+    assert!(k >= 1 && k <= p.dim(), "k must be in 1..=d");
+    let mut le = 0usize;
+    let mut lt = 0usize;
+    for i in 0..p.dim() {
+        let (a, b) = (p.coord(i), q.coord(i));
+        if a <= b {
+            le += 1;
+            if a < b {
+                lt += 1;
+            }
+        }
+    }
+    le >= k && lt >= 1
+}
+
+/// Computes the k-dominant skyline of `points`: every point not k-dominated
+/// by any other point. `k = d` gives the ordinary skyline.
+///
+/// Quadratic by definition (non-transitivity forbids the usual pruning);
+/// intended for post-processing skylines and moderate inputs.
+///
+/// # Examples
+///
+/// ```
+/// use skyline_algos::kdominant::k_dominant_skyline;
+/// use skyline_algos::point::Point;
+///
+/// // b wins on 2 of 3 attributes against a, so 2-dominates it
+/// let a = Point::new(0, vec![1.0, 5.0, 5.0]);
+/// let b = Point::new(1, vec![2.0, 1.0, 1.0]);
+/// let kd = k_dominant_skyline(&[a, b], 2);
+/// assert_eq!(kd.len(), 1);
+/// assert_eq!(kd[0].id(), 1);
+/// ```
+pub fn k_dominant_skyline(points: &[Point], k: usize) -> Vec<Point> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    assert!(
+        k >= 1 && k <= points[0].dim(),
+        "k must be in 1..=d (d = {})",
+        points[0].dim()
+    );
+    points
+        .iter()
+        .filter(|p| {
+            !points
+                .iter()
+                .any(|q| q.id() != p.id() && k_dominates(q, p, k))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::naive_skyline_ids;
+
+    fn p(id: u64, c: &[f64]) -> Point {
+        Point::new(id, c.to_vec())
+    }
+
+    fn ids(v: &[Point]) -> Vec<u64> {
+        let mut out: Vec<u64> = v.iter().map(Point::id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn full_k_equals_ordinary_skyline() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..10 {
+            let d = rng.gen_range(2..5);
+            let pts: Vec<Point> = (0..100)
+                .map(|i| {
+                    Point::new(i, (0..d).map(|_| rng.gen_range(0.0..3.0)).collect::<Vec<_>>())
+                })
+                .collect();
+            assert_eq!(ids(&k_dominant_skyline(&pts, d)), naive_skyline_ids(&pts));
+        }
+    }
+
+    #[test]
+    fn k_dominance_counting_witness() {
+        // p better on 2 of 3 dims, worse on 1
+        let a = p(0, &[1.0, 1.0, 9.0]);
+        let b = p(1, &[2.0, 2.0, 1.0]);
+        assert!(k_dominates(&a, &b, 2));
+        assert!(!k_dominates(&a, &b, 3));
+        assert!(k_dominates(&b, &a, 1));
+    }
+
+    #[test]
+    fn equal_points_never_k_dominate() {
+        let a = p(0, &[1.0, 2.0]);
+        let b = p(1, &[1.0, 2.0]);
+        assert!(!k_dominates(&a, &b, 1));
+        assert!(!k_dominates(&a, &b, 2));
+    }
+
+    #[test]
+    fn k_dominant_skyline_shrinks_with_k() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(62);
+        let pts: Vec<Point> = (0..300)
+            .map(|i| {
+                Point::new(
+                    i,
+                    (0..5).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let mut prev = usize::MAX;
+        for k in (2..=5).rev() {
+            let size = k_dominant_skyline(&pts, k).len();
+            assert!(size <= prev, "k={k}: {size} > {prev}");
+            prev = size;
+        }
+    }
+
+    #[test]
+    fn k_dominant_skyline_is_subset_of_skyline() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(63);
+        let pts: Vec<Point> = (0..200)
+            .map(|i| {
+                Point::new(
+                    i,
+                    (0..4).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let sky = naive_skyline_ids(&pts);
+        for k in 2..4 {
+            for kd in ids(&k_dominant_skyline(&pts, k)) {
+                assert!(sky.contains(&kd), "k={k}: {kd} not in the skyline");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_k_dominance_can_empty_the_result() {
+        // classic 3-cycle under 2-dominance in 3-D: each point 2-dominates
+        // the next, so nobody survives
+        let pts = vec![
+            p(0, &[1.0, 2.0, 3.0]),
+            p(1, &[2.0, 3.0, 1.0]),
+            p(2, &[3.0, 1.0, 2.0]),
+        ];
+        assert!(k_dominates(&pts[0], &pts[1], 2));
+        assert!(k_dominates(&pts[1], &pts[2], 2));
+        assert!(k_dominates(&pts[2], &pts[0], 2));
+        assert!(k_dominant_skyline(&pts, 2).is_empty());
+    }
+
+    #[test]
+    fn dominated_points_still_exclude_others() {
+        // b is k-dominated by a, but b still k-dominates c — exclusion must
+        // scan the whole dataset, not survivors only
+        let a = p(0, &[0.0, 0.0, 5.0]);
+        let b = p(1, &[1.0, 1.0, 0.0]);
+        let c = p(2, &[2.0, 2.0, 0.5]);
+        assert!(k_dominates(&a, &b, 2));
+        assert!(k_dominates(&b, &c, 3));
+        let kd = ids(&k_dominant_skyline(&[a, b, c], 2));
+        assert!(!kd.contains(&2), "c must be excluded by the dominated b");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(k_dominant_skyline(&[], 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_zero_rejected() {
+        let _ = k_dominant_skyline(&[p(0, &[1.0])], 0);
+    }
+}

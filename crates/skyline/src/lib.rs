@@ -1,0 +1,108 @@
+//! # skyline-algos
+//!
+//! Skyline (Pareto-front) computation kernels, data-space partitioners, and
+//! quality metrics.
+//!
+//! This crate is the algorithmic substrate for the reproduction of
+//! *"MapReduce Skyline Query Processing with a New Angular Partitioning
+//! Approach"* (Chen, Hwang, Wu — IEEE IPDPSW 2012). It contains everything
+//! that is independent of the MapReduce execution model:
+//!
+//! * [`point`] — the `d`-dimensional [`Point`] type (lower is better on every
+//!   dimension, as in the paper's QoS convention).
+//! * [`dominance`] — the dominance relation and instrumented comparison
+//!   counting used by the cluster cost model.
+//! * [`bnl`] — the Block-Nested-Loops skyline algorithm (Börzsönyi et al.,
+//!   ICDE 2001) with a bounded self-organising window and multi-pass overflow
+//!   handling; the paper uses BNL for both local and global skylines.
+//! * [`sfs`] — Sort-Filter-Skyline, an independent kernel used as an oracle in
+//!   tests and as an ablation baseline.
+//! * [`seq`] — a trivial quadratic reference implementation.
+//! * [`hypersphere`] — the Cartesian → hyperspherical transform of the paper's
+//!   Eq. (1)/(2), which underlies angular partitioning.
+//! * [`partition`] — the [`SpacePartitioner`] trait and the three partitioners
+//!   the paper evaluates (dimensional, grid, angular) plus a random baseline.
+//! * [`metrics`] — local-skyline optimality (paper Eq. 5), dominance-ability
+//!   formulas (Theorems 1 and 2), and load-balance statistics.
+//! * [`incremental`] — incremental skyline maintenance when services are added
+//!   or removed (the paper's Section II motivation).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use skyline_algos::prelude::*;
+//!
+//! let points = vec![
+//!     Point::new(0, vec![1.0, 4.0]),
+//!     Point::new(1, vec![2.0, 2.0]),
+//!     Point::new(2, vec![4.0, 1.0]),
+//!     Point::new(3, vec![3.0, 3.0]), // dominated by point 1
+//! ];
+//! let sky = bnl_skyline(&points, &BnlConfig::default());
+//! let mut ids: Vec<u64> = sky.iter().map(|p| p.id()).collect();
+//! ids.sort_unstable();
+//! assert_eq!(ids, vec![0, 1, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bnl;
+pub mod dnc;
+pub mod dominance;
+pub mod error;
+pub mod hypersphere;
+pub mod incremental;
+pub mod kdominant;
+pub mod metrics;
+pub mod parallel;
+pub mod partition;
+pub mod point;
+pub mod progressive;
+pub mod ranking;
+pub mod representative;
+pub mod seq;
+pub mod topk;
+pub mod sfs;
+
+pub use bnl::{bnl_skyline, bnl_skyline_stats, BnlConfig, BnlStats};
+pub use dnc::{dnc_skyline, dnc_skyline_stats, DncStats};
+pub use dominance::{dominates, strictly_dominates, DomCounter, DomRelation};
+pub use error::SkylineError;
+pub use hypersphere::{to_hyperspherical, to_hyperspherical_into, HyperPoint};
+pub use kdominant::{k_dominant_skyline, k_dominates};
+pub use parallel::{parallel_skyline, parallel_skyline_partitioned, parallel_skyline_stats};
+pub use progressive::ProgressiveSkyline;
+pub use topk::{dominance_counts, top_k_dominating, DominatingEntry};
+pub use partition::{
+    AnglePartitioner, Bounds, DimPartitioner, GridPartitioner, RandomPartitioner,
+    SpacePartitioner,
+};
+pub use point::Point;
+pub use ranking::WeightedScore;
+pub use representative::{distance_based_representatives, max_dominance_representatives};
+pub use seq::naive_skyline;
+pub use sfs::{sfs_skyline, sfs_skyline_stats};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::bnl::{bnl_skyline, bnl_skyline_stats, BnlConfig, BnlStats};
+    pub use crate::dominance::{dominates, strictly_dominates, DomCounter, DomRelation};
+    pub use crate::hypersphere::{to_hyperspherical, HyperPoint};
+    pub use crate::metrics::local_skyline_optimality;
+    pub use crate::partition::{
+        AnglePartitioner, Bounds, DimPartitioner, GridPartitioner, RandomPartitioner,
+        SpacePartitioner,
+    };
+    pub use crate::dnc::dnc_skyline;
+    pub use crate::kdominant::{k_dominant_skyline, k_dominates};
+    pub use crate::parallel::{parallel_skyline, parallel_skyline_partitioned};
+    pub use crate::progressive::ProgressiveSkyline;
+    pub use crate::topk::top_k_dominating;
+    pub use crate::point::Point;
+    pub use crate::ranking::WeightedScore;
+    pub use crate::representative::{
+        distance_based_representatives, max_dominance_representatives,
+    };
+    pub use crate::seq::naive_skyline;
+    pub use crate::sfs::sfs_skyline;
+}

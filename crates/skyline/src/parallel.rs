@@ -1,0 +1,245 @@
+//! Shared-memory parallel skyline — the multi-core analogue of the paper's
+//! cluster pipeline.
+//!
+//! The same partition → local skyline → merge structure that the paper runs
+//! on Hadoop works on one machine with threads: split the input into chunks
+//! (optionally by a geometric [`SpacePartitioner`] instead of blindly), have
+//! each thread compute its chunk's skyline with BNL, then merge the local
+//! skylines. Crossbeam scoped threads keep it allocation-light and
+//! borrow-checked — no `Arc` cloning of the input.
+//!
+//! Two chunking strategies are exposed because they reproduce, in
+//! microcosm, the paper's whole point:
+//!
+//! * [`parallel_skyline`] — block chunking (thread `t` takes the `t`-th
+//!   slice): balanced, but every local skyline is a random sample's skyline,
+//!   so the merge sees many globally dominated candidates;
+//! * [`parallel_skyline_partitioned`] — chunk by a geometric partitioner
+//!   (e.g. [`AnglePartitioner`](crate::partition::AnglePartitioner)): local
+//!   winners are likelier global winners and the merge input shrinks.
+
+use crate::bnl::{bnl_skyline_stats, BnlConfig};
+use crate::dominance::DomCounter;
+use crate::partition::SpacePartitioner;
+use crate::point::Point;
+use parking_lot::Mutex;
+
+/// Statistics of a parallel skyline run.
+#[derive(Debug, Default, Clone)]
+pub struct ParallelStats {
+    /// Threads actually used.
+    pub threads: usize,
+    /// Total dominance comparisons across local passes.
+    pub local_comparisons: u64,
+    /// Candidates entering the merge.
+    pub merge_candidates: u64,
+    /// Comparisons spent in the merge pass.
+    pub merge_comparisons: u64,
+}
+
+fn merge_locals(locals: Vec<Vec<Point>>, stats: &mut ParallelStats) -> Vec<Point> {
+    let mut candidates: Vec<Point> = locals.into_iter().flatten().collect();
+    candidates.sort_by_key(Point::id);
+    stats.merge_candidates = candidates.len() as u64;
+    let (sky, merge_stats) = bnl_skyline_stats(&candidates, &BnlConfig::default());
+    stats.merge_comparisons = merge_stats.counter.comparisons();
+    sky
+}
+
+type ChunkResult = Mutex<Option<(Vec<Point>, DomCounter)>>;
+
+fn run_chunks(chunks: Vec<Vec<Point>>, threads: usize) -> (Vec<Vec<Point>>, DomCounter) {
+    let results: Vec<ChunkResult> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(chunks.len()).max(1) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                let (sky, stats) = bnl_skyline_stats(&chunks[i], &BnlConfig::default());
+                *results[i].lock() = Some((sky, stats.counter));
+            });
+        }
+    })
+    .expect("skyline worker panicked");
+    let mut counter = DomCounter::new();
+    let locals = results
+        .into_iter()
+        .map(|m| {
+            let (sky, c) = m.into_inner().expect("every chunk processed");
+            counter.merge(&c);
+            sky
+        })
+        .collect();
+    (locals, counter)
+}
+
+/// Computes the skyline of `points` on `threads` threads with block
+/// chunking. `threads = 0` uses the host's available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use skyline_algos::parallel::parallel_skyline;
+/// use skyline_algos::point::Point;
+///
+/// let pts: Vec<Point> = (0..1000)
+///     .map(|i| Point::new(i, vec![(i % 37) as f64, (i % 11) as f64]))
+///     .collect();
+/// let sky = parallel_skyline(&pts, 4);
+/// assert!(!sky.is_empty());
+/// ```
+pub fn parallel_skyline(points: &[Point], threads: usize) -> Vec<Point> {
+    parallel_skyline_stats(points, threads).0
+}
+
+/// Like [`parallel_skyline`] but returns statistics.
+pub fn parallel_skyline_stats(points: &[Point], threads: usize) -> (Vec<Point>, ParallelStats) {
+    let threads = effective_threads(threads);
+    let mut stats = ParallelStats {
+        threads,
+        ..ParallelStats::default()
+    };
+    if points.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let chunk_size = points.len().div_ceil(threads);
+    let chunks: Vec<Vec<Point>> = points
+        .chunks(chunk_size)
+        .map(|c| c.to_vec())
+        .collect();
+    let (locals, counter) = run_chunks(chunks, threads);
+    stats.local_comparisons = counter.comparisons();
+    let sky = merge_locals(locals, &mut stats);
+    (sky, stats)
+}
+
+/// Computes the skyline with chunks defined by `partitioner` (one chunk per
+/// partition), processed on `threads` threads.
+pub fn parallel_skyline_partitioned(
+    points: &[Point],
+    partitioner: &dyn SpacePartitioner,
+    threads: usize,
+) -> (Vec<Point>, ParallelStats) {
+    let threads = effective_threads(threads);
+    let mut stats = ParallelStats {
+        threads,
+        ..ParallelStats::default()
+    };
+    if points.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let mut chunks: Vec<Vec<Point>> = vec![Vec::new(); partitioner.num_partitions()];
+    for p in points {
+        chunks[partitioner.partition_of(p)].push(p.clone());
+    }
+    chunks.retain(|c| !c.is_empty());
+    let (locals, counter) = run_chunks(chunks, threads);
+    stats.local_comparisons = counter.comparisons();
+    let sky = merge_locals(locals, &mut stats);
+    (sky, stats)
+}
+
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::AnglePartitioner;
+    use crate::seq::naive_skyline_ids;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    (0..d).map(|_| rng.gen_range(0.0..8.0)).collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn ids(v: &[Point]) -> Vec<u64> {
+        let mut out: Vec<u64> = v.iter().map(Point::id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(parallel_skyline(&[], 4).is_empty());
+        let one = vec![Point::new(0, vec![1.0])];
+        assert_eq!(ids(&parallel_skyline(&one, 4)), vec![0]);
+    }
+
+    #[test]
+    fn matches_oracle_across_thread_counts() {
+        let pts = random_points(700, 3, 71);
+        let oracle = naive_skyline_ids(&pts);
+        for threads in [1usize, 2, 4, 16] {
+            assert_eq!(ids(&parallel_skyline(&pts, threads)), oracle, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn partitioned_variant_matches_oracle() {
+        let pts = random_points(700, 3, 72);
+        let oracle = naive_skyline_ids(&pts);
+        let part = AnglePartitioner::fit_quantile(&pts, 8).unwrap();
+        let (sky, stats) = parallel_skyline_partitioned(&pts, &part, 4);
+        assert_eq!(ids(&sky), oracle);
+        assert!(stats.merge_candidates >= oracle.len() as u64);
+    }
+
+    #[test]
+    fn geometric_chunking_ships_fewer_candidates() {
+        // the paper's claim in shared-memory form: angular chunks produce
+        // fewer merge candidates than blind block chunks (here, with the
+        // same number of chunks)
+        let pts = random_points(4000, 3, 73);
+        let np = 8;
+        let part = AnglePartitioner::fit_quantile(&pts, np).unwrap();
+        let (_, angular) = parallel_skyline_partitioned(&pts, &part, 4);
+        // block chunking with the same chunk count
+        let chunk = pts.len().div_ceil(np);
+        let blocks: Vec<Vec<Point>> = pts.chunks(chunk).map(|c| c.to_vec()).collect();
+        let mut block_stats = ParallelStats::default();
+        let (locals, _) = run_chunks(blocks, 4);
+        let _ = merge_locals(locals, &mut block_stats);
+        assert!(
+            angular.merge_candidates < block_stats.merge_candidates,
+            "angular {} vs block {}",
+            angular.merge_candidates,
+            block_stats.merge_candidates
+        );
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let pts = random_points(100, 2, 74);
+        let (sky, stats) = parallel_skyline_stats(&pts, 0);
+        assert_eq!(ids(&sky), naive_skyline_ids(&pts));
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let pts = random_points(500, 3, 75);
+        let (_, stats) = parallel_skyline_stats(&pts, 4);
+        assert!(stats.local_comparisons > 0);
+        assert!(stats.merge_candidates > 0);
+        assert!(stats.merge_comparisons > 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Angular partitioning — MR-Angle, the paper's contribution (Section III-C).
+//!
+//! Each point is first mapped to hyperspherical coordinates (Eq. 1); the
+//! radial coordinate is discarded and the `(d − 1)`-dimensional **angle
+//! space** `[0, π/2]^{d−1}` is grid-partitioned ("we modify the grid
+//! partitioning over the n−1 subspaces defined in Eq. (1)"). A partition is
+//! therefore an angular *sector* that stretches from near the origin outward.
+//!
+//! Why this wins (paper Sections III-C and IV): every sector touches the
+//! skyline contour near the origin, so (a) local skylines are small and
+//! contain mostly globally optimal points — less redundant dominance work in
+//! the Reduce stage — and (b) load is balanced because each sector contains
+//! both high- and low-quality points. Theorem 2 formalises the advantage via
+//! dominance ability.
+//!
+//! ## Split strategies
+//!
+//! The paper's Figure 3(c) draws **equal-width** angular boundaries, which
+//! is what [`AnglePartitioner::fit`] produces. Real QoS data is far from
+//! angle-uniform (attributes pile up near their best values), so equal
+//! widths can leave most services in one sector; the angle-partitioning
+//! literature (Vlachou et al., SIGMOD'08 — the technique this paper adapts)
+//! therefore splits at **quantiles** of the empirical angle distribution.
+//! [`AnglePartitioner::fit_quantile`] implements that: boundaries are the
+//! per-angular-dimension sample quantiles, preserving the angular geometry
+//! while balancing sector populations.
+
+use super::{lattice_splits, linearize, Bounds, SpacePartitioner};
+use crate::error::SkylineError;
+use crate::hypersphere::to_hyperspherical_into;
+use crate::point::Point;
+use std::f64::consts::FRAC_PI_2;
+
+/// Angular-sector partitioner.
+#[derive(Debug, Clone)]
+pub struct AnglePartitioner {
+    dim: usize,
+    /// Translation applied before the transform so the data's minimum corner
+    /// sits at the origin (Eq. 1 assumes the non-negative orthant anchored
+    /// at the origin).
+    origin: Vec<f64>,
+    splits: Vec<usize>,
+    /// Interior sector boundaries per angular dimension
+    /// (`boundaries[i].len() == splits[i] - 1`, strictly inside `(0, π/2)`).
+    boundaries: Vec<Vec<f64>>,
+    sectors: usize,
+}
+
+impl AnglePartitioner {
+    /// Fits an **equal-width** angular partitioner with at least
+    /// `partitions` sectors — the paper's Figure 3(c) layout.
+    ///
+    /// For 1-dimensional data there is no angle space; a single sector is
+    /// produced (the skyline of 1-D data is just the minimum).
+    pub fn fit(bounds: &Bounds, partitions: usize) -> Result<Self, SkylineError> {
+        if partitions == 0 {
+            return Err(SkylineError::ZeroPartitions);
+        }
+        let d = bounds.dim();
+        let origin: Vec<f64> = (0..d).map(|i| bounds.min(i)).collect();
+        if d == 1 {
+            return Ok(Self::single_sector(origin));
+        }
+        let splits = lattice_splits(d - 1, partitions);
+        let boundaries = splits
+            .iter()
+            .map(|&s| {
+                (1..s)
+                    .map(|k| FRAC_PI_2 * k as f64 / s as f64)
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<_>>();
+        Ok(Self::from_boundaries(d, origin, splits, boundaries))
+    }
+
+    /// Fits a **quantile-split** angular partitioner on `sample`: sector
+    /// boundaries sit at the empirical per-angular-dimension quantiles, so
+    /// sector populations are near-equal on data distributed like the
+    /// sample.
+    ///
+    /// # Panics / Errors
+    ///
+    /// Errors on an empty sample or zero partitions.
+    pub fn fit_quantile(sample: &[Point], partitions: usize) -> Result<Self, SkylineError> {
+        if partitions == 0 {
+            return Err(SkylineError::ZeroPartitions);
+        }
+        let bounds = Bounds::from_points(sample)?;
+        let d = bounds.dim();
+        let origin: Vec<f64> = (0..d).map(|i| bounds.min(i)).collect();
+        if d == 1 {
+            return Ok(Self::single_sector(origin));
+        }
+        let splits = lattice_splits(d - 1, partitions);
+
+        // Angle matrix of the sample, one column per angular dimension.
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(sample.len()); d - 1];
+        let mut angles = vec![0.0; d - 1];
+        for p in sample {
+            let shifted = shift_to_origin(p, &origin);
+            to_hyperspherical_into(&shifted, &mut angles);
+            for (col, &a) in columns.iter_mut().zip(angles.iter()) {
+                col.push(a);
+            }
+        }
+        let boundaries = splits
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let col = &mut columns[i];
+                col.sort_by(|a, b| a.partial_cmp(b).expect("angles are finite"));
+                (1..s)
+                    .map(|k| {
+                        let idx = (k * col.len()) / s;
+                        col[idx.min(col.len() - 1)]
+                    })
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<_>>();
+        Ok(Self::from_boundaries(d, origin, splits, boundaries))
+    }
+
+    fn single_sector(origin: Vec<f64>) -> Self {
+        Self {
+            dim: origin.len(),
+            origin,
+            splits: vec![],
+            boundaries: vec![],
+            sectors: 1,
+        }
+    }
+
+    fn from_boundaries(
+        dim: usize,
+        origin: Vec<f64>,
+        splits: Vec<usize>,
+        boundaries: Vec<Vec<f64>>,
+    ) -> Self {
+        debug_assert_eq!(splits.len(), boundaries.len());
+        for (s, b) in splits.iter().zip(&boundaries) {
+            debug_assert_eq!(b.len(), s - 1);
+        }
+        let sectors = splits.iter().product();
+        Self {
+            dim,
+            origin,
+            splits,
+            boundaries,
+            sectors,
+        }
+    }
+
+    /// Per-angular-dimension split counts.
+    pub fn splits(&self) -> &[usize] {
+        &self.splits
+    }
+
+    /// The angular multi-index of `p` (empty for 1-D data).
+    pub fn sector_index(&self, p: &Point) -> Vec<usize> {
+        assert_eq!(p.dim(), self.dim, "point dimensionality mismatch");
+        if self.dim == 1 {
+            return vec![];
+        }
+        let shifted = shift_to_origin(p, &self.origin);
+        let mut angles = vec![0.0; self.dim - 1];
+        let _r = to_hyperspherical_into(&shifted, &mut angles);
+        angles
+            .iter()
+            .zip(&self.boundaries)
+            .map(|(&a, bs)| bs.partition_point(|&b| b <= a))
+            .collect()
+    }
+}
+
+fn shift_to_origin(p: &Point, origin: &[f64]) -> Point {
+    Point::new(
+        p.id(),
+        p.coords()
+            .iter()
+            .zip(origin)
+            .map(|(&v, &o)| (v - o).max(0.0))
+            .collect::<Vec<_>>(),
+    )
+}
+
+impl SpacePartitioner for AnglePartitioner {
+    fn name(&self) -> &'static str {
+        "angle"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.sectors
+    }
+
+    fn partition_of(&self, p: &Point) -> usize {
+        if self.dim == 1 {
+            return 0;
+        }
+        linearize(&self.sector_index(p), &self.splits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_d_four_sectors_split_by_slope() {
+        // 4 sectors over φ ∈ [0, π/2] → boundaries at π/8, π/4, 3π/8,
+        // i.e. slopes tan(π/8)≈0.414, 1, tan(3π/8)≈2.414.
+        let part = AnglePartitioner::fit(&Bounds::zero_to(10.0, 2), 4).unwrap();
+        assert_eq!(part.num_partitions(), 4);
+        assert_eq!(part.partition_of(&Point::new(0, vec![10.0, 1.0])), 0); // slope 0.1
+        assert_eq!(part.partition_of(&Point::new(1, vec![10.0, 6.0])), 1); // slope 0.6
+        assert_eq!(part.partition_of(&Point::new(2, vec![6.0, 10.0])), 2); // slope 1.67
+        assert_eq!(part.partition_of(&Point::new(3, vec![1.0, 10.0])), 3); // slope 10
+    }
+
+    #[test]
+    fn sector_is_radius_invariant() {
+        // Scaling a point away from the origin must not change its sector —
+        // the defining property of angular partitioning.
+        let part = AnglePartitioner::fit(&Bounds::zero_to(100.0, 3), 8).unwrap();
+        let base = Point::new(0, vec![1.0, 2.0, 0.5]);
+        let sector = part.partition_of(&base);
+        for scale in [2.0, 5.0, 40.0] {
+            let scaled = Point::new(
+                1,
+                base.coords().iter().map(|v| v * scale).collect::<Vec<_>>(),
+            );
+            assert_eq!(part.partition_of(&scaled), sector, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn every_sector_reachable_2d() {
+        let np = 6;
+        let part = AnglePartitioner::fit(&Bounds::zero_to(1.0, 2), np).unwrap();
+        let mut seen = vec![false; part.num_partitions()];
+        for k in 0..=200 {
+            let angle = FRAC_PI_2 * k as f64 / 200.0;
+            let p = Point::new(k as u64, vec![angle.cos(), angle.sin()]);
+            seen[part.partition_of(&p)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "unreached sectors: {seen:?}");
+    }
+
+    #[test]
+    fn one_dimensional_data_single_sector() {
+        let part = AnglePartitioner::fit(&Bounds::zero_to(5.0, 1), 8).unwrap();
+        assert_eq!(part.num_partitions(), 1);
+        assert_eq!(part.partition_of(&Point::new(0, vec![3.0])), 0);
+    }
+
+    #[test]
+    fn origin_point_lands_in_first_sector() {
+        let part = AnglePartitioner::fit(&Bounds::zero_to(1.0, 2), 4).unwrap();
+        assert_eq!(part.partition_of(&Point::new(0, vec![0.0, 0.0])), 0);
+    }
+
+    #[test]
+    fn nonzero_origin_is_translated() {
+        // Data living in [10, 20]^2: angles must be computed relative to the
+        // data's own min corner, not the global origin, otherwise every point
+        // collapses into a narrow angular band around the diagonal.
+        let b = Bounds::new(vec![10.0, 10.0], vec![20.0, 20.0]);
+        let part = AnglePartitioner::fit(&b, 4).unwrap();
+        let near_x_axis = part.partition_of(&Point::new(0, vec![19.0, 10.5]));
+        let near_y_axis = part.partition_of(&Point::new(1, vec![10.5, 19.0]));
+        assert_eq!(near_x_axis, 0);
+        assert_eq!(near_y_axis, 3);
+    }
+
+    #[test]
+    fn high_dimensional_sector_count() {
+        let part = AnglePartitioner::fit(&Bounds::zero_to(1.0, 10), 16).unwrap();
+        // 9 angular dims, lattice with product >= 16
+        assert!(part.num_partitions() >= 16);
+        assert_eq!(part.splits().len(), 9);
+        // assignment total over random points
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..100 {
+            let p = Point::new(i, (0..10).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>());
+            let s = part.partition_of(&p);
+            assert!(s < part.num_partitions());
+        }
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        assert!(matches!(
+            AnglePartitioner::fit(&Bounds::unit(2), 0),
+            Err(SkylineError::ZeroPartitions)
+        ));
+        assert!(matches!(
+            AnglePartitioner::fit_quantile(&[Point::new(0, vec![1.0, 1.0])], 0),
+            Err(SkylineError::ZeroPartitions)
+        ));
+    }
+
+    #[test]
+    fn quantile_fit_rejects_empty_sample() {
+        assert!(AnglePartitioner::fit_quantile(&[], 4).is_err());
+    }
+
+    #[test]
+    fn sectors_balance_uniform_data() {
+        // Smoke-check the paper's load-balancing claim: with uniform 2-D
+        // data, angular sectors should all be non-empty.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<Point> = (0..2000)
+            .map(|i| Point::new(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let part = AnglePartitioner::fit(&Bounds::unit(2), 8).unwrap();
+        let mut counts = vec![0usize; part.num_partitions()];
+        for p in &pts {
+            counts[part.partition_of(p)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "empty sector: {counts:?}");
+    }
+
+    #[test]
+    fn quantile_splits_balance_skewed_data() {
+        // Heavily skewed 2-D data: most points hug the x-axis. Equal-width
+        // sectors pile everything into sector 0; quantile sectors balance.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let pts: Vec<Point> = (0..4000)
+            .map(|i| {
+                let x = rng.gen_range(0.5..1.0);
+                let y = rng.gen_range(0.0..0.05);
+                Point::new(i, vec![x, y])
+            })
+            .collect();
+        let np = 4;
+        let equal = AnglePartitioner::fit(&Bounds::from_points(&pts).unwrap(), np).unwrap();
+        let quant = AnglePartitioner::fit_quantile(&pts, np).unwrap();
+        let count = |part: &AnglePartitioner| {
+            let mut c = vec![0usize; part.num_partitions()];
+            for p in &pts {
+                c[part.partition_of(p)] += 1;
+            }
+            c
+        };
+        let ce = count(&equal);
+        let cq = count(&quant);
+        let max_e = *ce.iter().max().unwrap();
+        let max_q = *cq.iter().max().unwrap();
+        assert!(
+            max_q < max_e,
+            "quantile max {max_q} should beat equal-width max {max_e} ({ce:?} vs {cq:?})"
+        );
+        assert!(
+            max_q <= 4000 * 2 / np,
+            "quantile sectors roughly balanced: {cq:?}"
+        );
+    }
+
+    #[test]
+    fn quantile_sector_still_radius_invariant() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(22);
+        let pts: Vec<Point> = (0..500)
+            .map(|i| Point::new(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let part = AnglePartitioner::fit_quantile(&pts, 8).unwrap();
+        let base = Point::new(1000, vec![0.4, 0.2, 0.6]);
+        let sector = part.partition_of(&base);
+        for scale in [0.5, 2.0, 10.0] {
+            let scaled = Point::new(
+                1001,
+                base.coords().iter().map(|v| v * scale).collect::<Vec<_>>(),
+            );
+            assert_eq!(part.partition_of(&scaled), sector, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn quantile_and_equal_agree_on_uniform_angles() {
+        // Points spread uniformly in angle: quantile boundaries ≈ equal ones,
+        // so assignments should mostly coincide.
+        let pts: Vec<Point> = (0..=400)
+            .map(|k| {
+                let a = FRAC_PI_2 * k as f64 / 400.0;
+                Point::new(k as u64, vec![a.cos(), a.sin()])
+            })
+            .collect();
+        let equal = AnglePartitioner::fit(&Bounds::from_points(&pts).unwrap(), 4).unwrap();
+        let quant = AnglePartitioner::fit_quantile(&pts, 4).unwrap();
+        let agree = pts
+            .iter()
+            .filter(|p| equal.partition_of(p) == quant.partition_of(p))
+            .count();
+        assert!(agree * 10 >= pts.len() * 9, "only {agree}/{} agree", pts.len());
+    }
+}

@@ -1,0 +1,206 @@
+//! One-dimensional range partitioning — MR-Dim (paper Section III-A).
+//!
+//! Only a single attribute's value is used: the range `[min, max]` of the
+//! chosen dimension is cut into `Np` equal-width slabs (`Vmax / Np` in the
+//! paper, which assumes `min = 0`). Empirically the paper sets
+//! `Np = 2 × number of nodes`.
+//!
+//! This is the simplest scheme to implement but the weakest: slabs far from
+//! the origin on the chosen dimension rarely contain global skyline points,
+//! so most of the local-skyline work there is redundant, and the merge stage
+//! receives many locally optimal but globally dominated candidates.
+
+use super::{Bounds, SpacePartitioner};
+use crate::error::SkylineError;
+use crate::point::Point;
+
+/// Range partitioner on a single dimension.
+///
+/// Slab boundaries are either equal-width (`Vmax/Np`, the paper's recipe) or
+/// empirical quantiles of a sample ([`DimPartitioner::fit_quantile`]) — the
+/// latter balances slab populations the way Hadoop's
+/// `TotalOrderPartitioner` does, and exists here so the ablation suite can
+/// ask whether load balancing alone rescues MR-Dim (it does not: the slabs
+/// still ship globally dominated local skylines).
+#[derive(Debug, Clone)]
+pub struct DimPartitioner {
+    dim: usize,
+    split_dim: usize,
+    /// Interior slab boundaries, ascending (`len = partitions − 1`).
+    boundaries: Vec<f64>,
+}
+
+impl DimPartitioner {
+    /// Fits a partitioner cutting dimension `0` into `partitions` slabs, the
+    /// paper's default (it partitions on response time).
+    pub fn fit(bounds: &Bounds, partitions: usize) -> Result<Self, SkylineError> {
+        Self::fit_on_dim(bounds, partitions, 0)
+    }
+
+    /// Fits a partitioner cutting dimension `split_dim` into equal-width
+    /// slabs.
+    pub fn fit_on_dim(
+        bounds: &Bounds,
+        partitions: usize,
+        split_dim: usize,
+    ) -> Result<Self, SkylineError> {
+        if partitions == 0 {
+            return Err(SkylineError::ZeroPartitions);
+        }
+        if split_dim >= bounds.dim() {
+            return Err(SkylineError::DimensionMismatch {
+                expected: bounds.dim(),
+                actual: split_dim,
+            });
+        }
+        let (lo, hi) = (bounds.min(split_dim), bounds.max(split_dim));
+        let width = hi - lo;
+        let boundaries = (1..partitions)
+            .map(|k| lo + width * k as f64 / partitions as f64)
+            .collect();
+        Ok(Self {
+            dim: bounds.dim(),
+            split_dim,
+            boundaries,
+        })
+    }
+
+    /// Fits a quantile-split partitioner on `sample`, cutting dimension `0`:
+    /// slab boundaries sit at the empirical quantiles so slab populations
+    /// are near-equal on data distributed like the sample.
+    pub fn fit_quantile(sample: &[Point], partitions: usize) -> Result<Self, SkylineError> {
+        if partitions == 0 {
+            return Err(SkylineError::ZeroPartitions);
+        }
+        if sample.is_empty() {
+            return Err(SkylineError::EmptyDataset);
+        }
+        let split_dim = 0;
+        let mut values: Vec<f64> = sample.iter().map(|p| p.coord(split_dim)).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        let boundaries = (1..partitions)
+            .map(|k| values[(k * values.len() / partitions).min(values.len() - 1)])
+            .collect();
+        Ok(Self {
+            dim: sample[0].dim(),
+            split_dim,
+            boundaries,
+        })
+    }
+
+    /// The dimension this partitioner splits on.
+    pub fn split_dim(&self) -> usize {
+        self.split_dim
+    }
+}
+
+impl SpacePartitioner for DimPartitioner {
+    fn name(&self) -> &'static str {
+        "dim"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    fn partition_of(&self, p: &Point) -> usize {
+        assert_eq!(p.dim(), self.dim, "point dimensionality mismatch");
+        let v = p.coord(self.split_dim);
+        self.boundaries.partition_point(|&b| b <= v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_slabs_on_first_dimension() {
+        let b = Bounds::zero_to(8.0, 2);
+        let part = DimPartitioner::fit(&b, 4).unwrap();
+        assert_eq!(part.name(), "dim");
+        assert_eq!(part.num_partitions(), 4);
+        assert_eq!(part.partition_of(&Point::new(0, vec![0.5, 7.0])), 0);
+        assert_eq!(part.partition_of(&Point::new(1, vec![2.5, 7.0])), 1);
+        assert_eq!(part.partition_of(&Point::new(2, vec![7.9, 0.0])), 3);
+        assert_eq!(part.partition_of(&Point::new(3, vec![8.0, 0.0])), 3);
+    }
+
+    #[test]
+    fn y_coordinate_is_ignored_by_default() {
+        let b = Bounds::zero_to(8.0, 2);
+        let part = DimPartitioner::fit(&b, 4).unwrap();
+        for y in [0.0, 4.0, 8.0] {
+            assert_eq!(part.partition_of(&Point::new(0, vec![1.0, y])), 0);
+        }
+    }
+
+    #[test]
+    fn custom_split_dimension() {
+        let b = Bounds::zero_to(8.0, 3);
+        let part = DimPartitioner::fit_on_dim(&b, 2, 2).unwrap();
+        assert_eq!(part.split_dim(), 2);
+        assert_eq!(part.partition_of(&Point::new(0, vec![7.0, 7.0, 1.0])), 0);
+        assert_eq!(part.partition_of(&Point::new(1, vec![0.0, 0.0, 7.0])), 1);
+    }
+
+    #[test]
+    fn errors_on_bad_config() {
+        let b = Bounds::zero_to(1.0, 2);
+        assert!(matches!(
+            DimPartitioner::fit(&b, 0),
+            Err(SkylineError::ZeroPartitions)
+        ));
+        assert!(DimPartitioner::fit_on_dim(&b, 4, 2).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp() {
+        let b = Bounds::zero_to(1.0, 1);
+        let part = DimPartitioner::fit(&b, 4).unwrap();
+        assert_eq!(part.partition_of(&Point::new(0, vec![5.0])), 3);
+        // negative coordinates are not produced by the data layer, but a
+        // clamped assignment keeps dynamic inserts total
+        assert_eq!(part.partition_of(&Point::new(1, vec![-0.1])), 0);
+    }
+
+    #[test]
+    fn quantile_slabs_balance_skewed_data() {
+        // heavily skewed values: equal widths put almost everything in slab
+        // 0, quantiles spread it evenly
+        let points: Vec<Point> = (0..1000)
+            .map(|i| {
+                let v = if i < 900 { i as f64 * 0.01 } else { 100.0 + i as f64 };
+                Point::new(i as u64, vec![v, 0.0])
+            })
+            .collect();
+        let bounds = Bounds::from_points(&points).unwrap();
+        let equal = DimPartitioner::fit(&bounds, 4).unwrap();
+        let quant = DimPartitioner::fit_quantile(&points, 4).unwrap();
+        let count_max = |part: &DimPartitioner| {
+            let mut c = vec![0usize; part.num_partitions()];
+            for p in &points {
+                c[part.partition_of(p)] += 1;
+            }
+            *c.iter().max().unwrap()
+        };
+        assert!(count_max(&equal) >= 900);
+        assert!(count_max(&quant) <= 300, "quantiles balance: {}", count_max(&quant));
+    }
+
+    #[test]
+    fn quantile_fit_rejects_empty_sample() {
+        assert!(DimPartitioner::fit_quantile(&[], 4).is_err());
+    }
+
+    #[test]
+    fn nothing_prunable_by_default() {
+        let b = Bounds::zero_to(1.0, 2);
+        let part = DimPartitioner::fit(&b, 4).unwrap();
+        assert_eq!(part.prunable(&[1, 1, 1, 1]), vec![false; 4]);
+    }
+}

@@ -1,0 +1,346 @@
+//! Data-space partitioners — the heart of the paper (Section III).
+//!
+//! The MapReduce skyline pipeline assigns each service to exactly one
+//! partition in the Map stage; partitions are then processed independently.
+//! The paper evaluates three schemes, all implemented here behind one trait:
+//!
+//! * [`DimPartitioner`] — one-dimensional range partitioning (MR-Dim),
+//! * [`GridPartitioner`] — multi-dimensional grid with dominated-cell pruning
+//!   (MR-Grid),
+//! * [`AnglePartitioner`] — the paper's angular partitioning (MR-Angle),
+//!
+//! plus [`RandomPartitioner`], an ablation baseline that ignores geometry.
+//!
+//! A partitioner is *fit* against dataset [`Bounds`] (the paper assumes the
+//! range `[0, Vmax]` per attribute) and then maps points to partition indices
+//! `0 .. num_partitions()`. Points outside the fitted bounds are clamped into
+//! the nearest boundary cell so that dynamically added services never fail.
+
+mod angle;
+mod dim;
+mod grid;
+mod random;
+
+pub use angle::AnglePartitioner;
+pub use dim::DimPartitioner;
+pub use grid::GridPartitioner;
+pub use random::RandomPartitioner;
+
+use crate::error::SkylineError;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Axis-aligned bounding box of a dataset; the domain a partitioner is fit on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    min: Box<[f64]>,
+    max: Box<[f64]>,
+}
+
+impl Bounds {
+    /// Bounds with explicit per-dimension minima and maxima.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, or `min > max`
+    /// anywhere.
+    pub fn new(min: impl Into<Box<[f64]>>, max: impl Into<Box<[f64]>>) -> Self {
+        let (min, max) = (min.into(), max.into());
+        assert_eq!(min.len(), max.len(), "min/max dimensionality mismatch");
+        assert!(!min.is_empty(), "bounds need at least one dimension");
+        for i in 0..min.len() {
+            assert!(
+                min[i] <= max[i] && min[i].is_finite() && max[i].is_finite(),
+                "invalid bounds on dimension {i}: [{}, {}]",
+                min[i],
+                max[i]
+            );
+        }
+        Self { min, max }
+    }
+
+    /// The `[0, vmax]^d` box the paper uses (`Vmax` per dimension).
+    pub fn zero_to(vmax: f64, d: usize) -> Self {
+        Self::new(vec![0.0; d], vec![vmax; d])
+    }
+
+    /// The unit box `[0, 1]^d`.
+    pub fn unit(d: usize) -> Self {
+        Self::zero_to(1.0, d)
+    }
+
+    /// Tight bounds of a point set.
+    pub fn from_points(points: &[Point]) -> Result<Self, SkylineError> {
+        let first = points.first().ok_or(SkylineError::EmptyDataset)?;
+        let d = first.dim();
+        let mut min = vec![f64::INFINITY; d];
+        let mut max = vec![f64::NEG_INFINITY; d];
+        for p in points {
+            if p.dim() != d {
+                return Err(SkylineError::DimensionMismatch {
+                    expected: d,
+                    actual: p.dim(),
+                });
+            }
+            for i in 0..d {
+                min[i] = min[i].min(p.coord(i));
+                max[i] = max[i].max(p.coord(i));
+            }
+        }
+        Ok(Self::new(min, max))
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Lower bound on dimension `i`.
+    #[inline]
+    pub fn min(&self, i: usize) -> f64 {
+        self.min[i]
+    }
+
+    /// Upper bound on dimension `i`.
+    #[inline]
+    pub fn max(&self, i: usize) -> f64 {
+        self.max[i]
+    }
+
+    /// Width of dimension `i` (may be zero for degenerate data).
+    #[inline]
+    pub fn width(&self, i: usize) -> f64 {
+        self.max[i] - self.min[i]
+    }
+
+    /// Restricts the bounds to the first `d` dimensions.
+    pub fn project(&self, d: usize) -> Bounds {
+        assert!(d >= 1 && d <= self.dim());
+        Bounds::new(&self.min[..d], &self.max[..d])
+    }
+}
+
+/// A scheme that maps every point of a `d`-dimensional space to one of
+/// `num_partitions()` partitions.
+///
+/// Implementations must be pure functions of the point (given the fitted
+/// state), so that the Map stage can assign points in parallel and so that a
+/// later lookup for an incrementally added service lands in the same
+/// partition.
+pub trait SpacePartitioner: Send + Sync {
+    /// Human-readable scheme name (`"dim"`, `"grid"`, `"angle"`, `"random"`).
+    fn name(&self) -> &'static str;
+
+    /// Dimensionality of points this partitioner accepts.
+    fn dim(&self) -> usize;
+
+    /// Total number of partitions (≥ 1).
+    fn num_partitions(&self) -> usize;
+
+    /// The partition index of `p`, in `0..num_partitions()`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `p.dim() != self.dim()`.
+    fn partition_of(&self, p: &Point) -> usize;
+
+    /// Given per-partition point counts, returns a mask of partitions whose
+    /// **entire contents** are guaranteed dominated by points of other
+    /// non-empty partitions and can therefore skip local-skyline computation
+    /// (the MR-Grid optimisation of Section III-B). The default is "nothing
+    /// prunable", which is correct for all schemes.
+    fn prunable(&self, counts: &[usize]) -> Vec<bool> {
+        let _ = counts;
+        vec![false; self.num_partitions()]
+    }
+}
+
+impl SpacePartitioner for std::sync::Arc<dyn SpacePartitioner> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn num_partitions(&self) -> usize {
+        (**self).num_partitions()
+    }
+    fn partition_of(&self, p: &Point) -> usize {
+        (**self).partition_of(p)
+    }
+    fn prunable(&self, counts: &[usize]) -> Vec<bool> {
+        (**self).prunable(counts)
+    }
+}
+
+/// Assigns every point to its partition index.
+pub fn assign_all(partitioner: &dyn SpacePartitioner, points: &[Point]) -> Vec<usize> {
+    points.iter().map(|p| partitioner.partition_of(p)).collect()
+}
+
+/// Splits `points` into per-partition buckets (the "Map" step in miniature,
+/// used by tests and by the sequential reference pipeline).
+pub fn partition_points(
+    partitioner: &dyn SpacePartitioner,
+    points: &[Point],
+) -> Vec<Vec<Point>> {
+    let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); partitioner.num_partitions()];
+    for p in points {
+        buckets[partitioner.partition_of(p)].push(p.clone());
+    }
+    buckets
+}
+
+/// Computes per-dimension split counts whose product is **exactly**
+/// `target`, as balanced as the integer factorisation allows, larger
+/// factors first.
+///
+/// This is how both the grid and the angular partitioner turn a requested
+/// partition count into a `d`-dimensional (or `(d−1)`-dimensional) lattice.
+/// Exactness matters operationally: the partition count equals the reduce
+/// task count of the partitioning job, and a lattice that rounds `2 × nodes`
+/// up past the cluster's reduce slots schedules a nearly-empty extra task
+/// wave, charging a full task startup for a handful of points. For the
+/// paper's 2-D, 4-partition example this yields `[2, 2]`.
+///
+/// Balancing rule: at each step take the smallest divisor of the remaining
+/// product that is at least its (remaining-dimensions)-th root. Awkward
+/// factorisations degrade gracefully (`target` prime → `[target, 1, …]`).
+pub(crate) fn lattice_splits(dims: usize, target: usize) -> Vec<usize> {
+    assert!(dims >= 1, "lattice needs at least one dimension");
+    assert!(target >= 1, "target must be at least 1");
+    let mut splits = Vec::with_capacity(dims);
+    let mut remaining = target;
+    for k in (1..=dims).rev() {
+        if k == 1 {
+            splits.push(remaining);
+            break;
+        }
+        let root = (remaining as f64).powf(1.0 / k as f64);
+        let floor = root.ceil() as usize;
+        let d = (floor.max(1)..=remaining)
+            .find(|d| remaining.is_multiple_of(*d))
+            .expect("remaining divides itself");
+        splits.push(d);
+        remaining /= d;
+    }
+    debug_assert_eq!(splits.iter().product::<usize>(), target);
+    splits
+}
+
+/// Row-major linearisation of a multi-index over `splits`.
+pub(crate) fn linearize(index: &[usize], splits: &[usize]) -> usize {
+    debug_assert_eq!(index.len(), splits.len());
+    let mut out = 0usize;
+    for (i, &ix) in index.iter().enumerate() {
+        debug_assert!(ix < splits[i]);
+        out = out * splits[i] + ix;
+    }
+    out
+}
+
+/// Inverse of [`linearize`].
+pub(crate) fn delinearize(mut linear: usize, splits: &[usize]) -> Vec<usize> {
+    let mut out = vec![0usize; splits.len()];
+    for i in (0..splits.len()).rev() {
+        out[i] = linear % splits[i];
+        linear /= splits[i];
+    }
+    debug_assert_eq!(linear, 0, "linear index out of range");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_from_points_tight() {
+        let pts = vec![
+            Point::new(0, vec![1.0, 5.0]),
+            Point::new(1, vec![3.0, 2.0]),
+            Point::new(2, vec![2.0, 9.0]),
+        ];
+        let b = Bounds::from_points(&pts).unwrap();
+        assert_eq!((b.min(0), b.max(0)), (1.0, 3.0));
+        assert_eq!((b.min(1), b.max(1)), (2.0, 9.0));
+        assert_eq!(b.width(1), 7.0);
+    }
+
+    #[test]
+    fn bounds_from_points_errors() {
+        assert!(matches!(
+            Bounds::from_points(&[]),
+            Err(SkylineError::EmptyDataset)
+        ));
+        let pts = vec![Point::new(0, vec![1.0, 2.0]), Point::new(1, vec![1.0])];
+        assert!(matches!(
+            Bounds::from_points(&pts),
+            Err(SkylineError::DimensionMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn bounds_project() {
+        let b = Bounds::new(vec![0.0, 1.0, 2.0], vec![10.0, 11.0, 12.0]);
+        let p = b.project(2);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.max(1), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn bounds_reject_inverted() {
+        let _ = Bounds::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn lattice_splits_matches_paper_example() {
+        assert_eq!(lattice_splits(2, 4), vec![2, 2]);
+        assert_eq!(lattice_splits(1, 8), vec![8]);
+        assert_eq!(lattice_splits(3, 8), vec![2, 2, 2]);
+        assert_eq!(lattice_splits(3, 16), vec![4, 2, 2], "exact, not 3x3x2=18");
+        assert_eq!(lattice_splits(2, 12), vec![4, 3]);
+    }
+
+    #[test]
+    fn lattice_splits_product_is_exact() {
+        for dims in 1..=9 {
+            for target in 1..=72 {
+                let s = lattice_splits(dims, target);
+                assert_eq!(s.len(), dims);
+                let prod: usize = s.iter().product();
+                assert_eq!(prod, target, "dims={dims} target={target} splits={s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_splits_prime_degrades_gracefully() {
+        assert_eq!(lattice_splits(3, 13), vec![13, 1, 1]);
+        assert_eq!(lattice_splits(2, 14), vec![7, 2]);
+    }
+
+    #[test]
+    fn linearize_round_trip() {
+        let splits = vec![3usize, 2, 4];
+        let total: usize = splits.iter().product();
+        for lin in 0..total {
+            let idx = delinearize(lin, &splits);
+            assert_eq!(linearize(&idx, &splits), lin);
+        }
+    }
+
+    #[test]
+    fn partition_points_covers_every_point_once() {
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new(i, vec![(i % 10) as f64, (i / 10) as f64]))
+            .collect();
+        let b = Bounds::from_points(&pts).unwrap();
+        let part = GridPartitioner::fit(&b, 4).unwrap();
+        let buckets = partition_points(&part, &pts);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+    }
+}

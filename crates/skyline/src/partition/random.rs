@@ -1,0 +1,125 @@
+//! Random (hash) partitioning — an ablation baseline not in the paper.
+//!
+//! Ignores geometry entirely: a point's partition is a deterministic hash of
+//! its id. Random partitioning balances load perfectly in expectation but
+//! prunes nothing — every partition's local skyline is roughly a full
+//! skyline of a random sample, so the merge stage receives many candidates.
+//! Benchmarked in the ablation suite to show how much the *geometric*
+//! component of the three paper schemes contributes.
+
+use super::SpacePartitioner;
+use crate::error::SkylineError;
+use crate::point::Point;
+
+/// Deterministic hash partitioner (splitmix64 finalizer on the point id).
+#[derive(Debug, Clone)]
+pub struct RandomPartitioner {
+    dim: usize,
+    partitions: usize,
+    seed: u64,
+}
+
+impl RandomPartitioner {
+    /// Creates a hash partitioner for `dim`-dimensional points.
+    pub fn new(dim: usize, partitions: usize) -> Result<Self, SkylineError> {
+        Self::with_seed(dim, partitions, 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Creates a hash partitioner with an explicit seed (distinct seeds give
+    /// statistically independent assignments, used by variance tests).
+    pub fn with_seed(dim: usize, partitions: usize, seed: u64) -> Result<Self, SkylineError> {
+        if partitions == 0 {
+            return Err(SkylineError::ZeroPartitions);
+        }
+        Ok(Self {
+            dim,
+            partitions,
+            seed,
+        })
+    }
+}
+
+/// splitmix64 finalizer — fast, well-mixed 64-bit hash.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SpacePartitioner for RandomPartitioner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn partition_of(&self, p: &Point) -> usize {
+        (mix(p.id().wrapping_add(self.seed)) % self.partitions as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_assignment() {
+        let part = RandomPartitioner::new(2, 8).unwrap();
+        let p = Point::new(1234, vec![0.5, 0.5]);
+        assert_eq!(part.partition_of(&p), part.partition_of(&p));
+    }
+
+    #[test]
+    fn coordinates_are_ignored() {
+        let part = RandomPartitioner::new(2, 8).unwrap();
+        let a = Point::new(7, vec![0.0, 0.0]);
+        let b = Point::new(7, vec![99.0, 99.0]);
+        assert_eq!(part.partition_of(&a), part.partition_of(&b));
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let np = 16;
+        let part = RandomPartitioner::new(1, np).unwrap();
+        let mut counts = vec![0usize; np];
+        let n = 16_000;
+        for id in 0..n {
+            counts[part.partition_of(&Point::new(id, vec![0.0]))] += 1;
+        }
+        let expected = n as usize / np;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.25,
+                "partition {i} holds {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomPartitioner::with_seed(1, 64, 1).unwrap();
+        let b = RandomPartitioner::with_seed(1, 64, 2).unwrap();
+        let disagreements = (0..1000u64)
+            .filter(|&id| {
+                let p = Point::new(id, vec![0.0]);
+                a.partition_of(&p) != b.partition_of(&p)
+            })
+            .count();
+        assert!(disagreements > 900, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        assert!(matches!(
+            RandomPartitioner::new(2, 0),
+            Err(SkylineError::ZeroPartitions)
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Sort-Filter-Skyline (SFS) — Chomicki, Godfrey, Gryz, Liang, ICDE 2003.
+//!
+//! SFS presorts the input by a *monotone* scoring function (here the entropy
+//! score `Σ ln(1 + v_i)`): if `score(p) < score(q)` then `q` cannot dominate
+//! `p`, so a single forward pass comparing each point only against already
+//! accepted skyline points is sufficient — no window eviction ever happens.
+//!
+//! In this suite SFS serves two purposes:
+//! * an **independent oracle**: it shares no code path with BNL beyond the
+//!   dominance primitive, so agreement between the two is strong evidence of
+//!   correctness;
+//! * an **ablation kernel**: the `local_kernel` bench swaps SFS for BNL in the
+//!   MapReduce local-skyline stage to quantify how much the paper's choice of
+//!   BNL matters.
+
+use crate::dominance::DomCounter;
+use crate::point::Point;
+
+/// Execution statistics of an SFS run.
+#[derive(Debug, Default, Clone)]
+pub struct SfsStats {
+    /// Pairwise dominance comparisons performed.
+    pub counter: DomCounter,
+    /// Input cardinality.
+    pub input_len: u64,
+    /// Output (skyline) cardinality.
+    pub output_len: u64,
+}
+
+/// Computes the skyline of `points` with SFS.
+///
+/// # Examples
+///
+/// ```
+/// use skyline_algos::sfs::sfs_skyline;
+/// use skyline_algos::point::Point;
+///
+/// let pts = vec![Point::new(0, vec![1.0, 2.0]), Point::new(1, vec![2.0, 3.0])];
+/// assert_eq!(sfs_skyline(&pts).len(), 1); // point 1 is dominated
+/// ```
+pub fn sfs_skyline(points: &[Point]) -> Vec<Point> {
+    sfs_skyline_stats(points).0
+}
+
+/// Like [`sfs_skyline`] but also returns execution statistics.
+pub fn sfs_skyline_stats(points: &[Point]) -> (Vec<Point>, SfsStats) {
+    let mut stats = SfsStats {
+        input_len: points.len() as u64,
+        ..SfsStats::default()
+    };
+    if points.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    // Sort by entropy score ascending; ties broken by id for determinism.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let scores: Vec<f64> = points.iter().map(Point::entropy_score).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("finite coordinates yield finite scores")
+            .then_with(|| points[a].id().cmp(&points[b].id()))
+    });
+
+    let mut skyline: Vec<Point> = Vec::new();
+    'outer: for &idx in &order {
+        let candidate = &points[idx];
+        for s in &skyline {
+            if stats.counter.dominates(s, candidate) {
+                continue 'outer;
+            }
+        }
+        skyline.push(candidate.clone());
+    }
+
+    stats.output_len = skyline.len() as u64;
+    (skyline, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::naive_skyline_ids;
+
+    fn ids(mut v: Vec<Point>) -> Vec<u64> {
+        let mut out: Vec<u64> = v.drain(..).map(|p| p.id()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_input() {
+        let (sky, stats) = sfs_skyline_stats(&[]);
+        assert!(sky.is_empty());
+        assert_eq!(stats.counter.comparisons(), 0);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..25 {
+            let n = rng.gen_range(1..300);
+            let d = rng.gen_range(1..7);
+            let points: Vec<Point> = (0..n)
+                .map(|i| {
+                    Point::new(
+                        i as u64,
+                        (0..d).map(|_| rng.gen_range(0.0..5.0)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            assert_eq!(
+                ids(sfs_skyline(&points)),
+                naive_skyline_ids(&points),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let points = vec![
+            Point::new(0, vec![1.0, 1.0]),
+            Point::new(1, vec![1.0, 1.0]),
+            Point::new(2, vec![0.5, 3.0]),
+        ];
+        assert_eq!(ids(sfs_skyline(&points)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn presort_means_fewer_comparisons_than_quadratic() {
+        // A dominated-heavy dataset: correlated diagonal.
+        let points: Vec<Point> = (0..200)
+            .map(|i| Point::new(i, vec![i as f64, i as f64 + 0.5]))
+            .collect();
+        let (sky, stats) = sfs_skyline_stats(&points);
+        assert_eq!(sky.len(), 1);
+        // each point after the first compares only against the 1-point skyline
+        assert!(stats.counter.comparisons() <= 199 * 2);
+    }
+
+    #[test]
+    fn stats_lengths_consistent() {
+        let points: Vec<Point> = (0..10)
+            .map(|i| Point::new(i, vec![i as f64, 9.0 - i as f64]))
+            .collect();
+        let (sky, stats) = sfs_skyline_stats(&points);
+        assert_eq!(stats.input_len, 10);
+        assert_eq!(stats.output_len, sky.len() as u64);
+        assert_eq!(sky.len(), 10);
+    }
+}

@@ -1,0 +1,147 @@
+//! Top-k dominating queries — Papadias et al. (SIGMOD 2003 lineage).
+//!
+//! A complementary operator to the skyline: rank services by *how many other
+//! services they dominate* and return the top `k`. Unlike the skyline it
+//! always returns exactly `k` results (given `k ≤ n`) and needs no weights;
+//! unlike weighted ranking it is scale-invariant. The paper's Section IV
+//! already uses the underlying quantity — `Num_s / Num_all` is its dominance
+//! ability — so this operator falls out of machinery we must have anyway.
+
+use crate::dominance::dominates;
+use crate::point::Point;
+
+/// A point with its dominance score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominatingEntry {
+    /// The service.
+    pub point: Point,
+    /// How many other dataset points it dominates.
+    pub dominated: usize,
+}
+
+/// Counts, for every point, how many other points it dominates. O(n²·d).
+pub fn dominance_counts(points: &[Point]) -> Vec<usize> {
+    points
+        .iter()
+        .map(|p| points.iter().filter(|q| dominates(p, q)).count())
+        .collect()
+}
+
+/// Returns the `k` points dominating the most others, ties broken by id.
+/// Results are sorted by descending count (then ascending id).
+///
+/// # Examples
+///
+/// ```
+/// use skyline_algos::topk::top_k_dominating;
+/// use skyline_algos::point::Point;
+///
+/// let pts = vec![
+///     Point::new(0, vec![1.0, 1.0]),
+///     Point::new(1, vec![2.0, 2.0]),
+///     Point::new(2, vec![3.0, 3.0]),
+/// ];
+/// let top = top_k_dominating(&pts, 1);
+/// assert_eq!(top[0].point.id(), 0);
+/// assert_eq!(top[0].dominated, 2);
+/// ```
+pub fn top_k_dominating(points: &[Point], k: usize) -> Vec<DominatingEntry> {
+    if k == 0 || points.is_empty() {
+        return Vec::new();
+    }
+    let counts = dominance_counts(points);
+    let mut entries: Vec<DominatingEntry> = points
+        .iter()
+        .zip(&counts)
+        .map(|(p, &dominated)| DominatingEntry {
+            point: p.clone(),
+            dominated,
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.dominated
+            .cmp(&a.dominated)
+            .then(a.point.id().cmp(&b.point.id()))
+    });
+    entries.truncate(k);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::naive_skyline_ids;
+
+    fn p(id: u64, c: &[f64]) -> Point {
+        Point::new(id, c.to_vec())
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        assert!(top_k_dominating(&[], 3).is_empty());
+        assert!(top_k_dominating(&[p(0, &[1.0])], 0).is_empty());
+    }
+
+    #[test]
+    fn counts_match_definition() {
+        let pts = vec![
+            p(0, &[0.0, 0.0]), // dominates 2 and 3
+            p(1, &[5.0, 0.5]), // dominates nothing (incomparable with 2,3? 5,0.5 vs 1,1: no; vs 2,2: no)
+            p(2, &[1.0, 1.0]), // dominates 3
+            p(3, &[2.0, 2.0]),
+        ];
+        assert_eq!(dominance_counts(&pts), vec![3, 0, 1, 0]);
+    }
+
+    #[test]
+    fn top_one_is_the_heaviest_dominator() {
+        let pts = vec![
+            p(0, &[0.0, 10.0]), // skyline, dominates little
+            p(1, &[1.0, 1.0]),  // dominates the cluster
+            p(2, &[2.0, 2.0]),
+            p(3, &[3.0, 3.0]),
+            p(4, &[4.0, 4.0]),
+        ];
+        let top = top_k_dominating(&pts, 1);
+        assert_eq!(top[0].point.id(), 1);
+        assert_eq!(top[0].dominated, 3);
+    }
+
+    #[test]
+    fn top_k_descending_with_id_ties() {
+        let pts = vec![
+            p(0, &[1.0, 1.0]),
+            p(1, &[1.0, 1.0]), // same coordinates, same count
+            p(2, &[2.0, 2.0]),
+        ];
+        let top = top_k_dominating(&pts, 3);
+        assert_eq!(top[0].point.id(), 0, "tie broken by id");
+        assert_eq!(top[1].point.id(), 1);
+        assert!(top[0].dominated >= top[1].dominated);
+    }
+
+    #[test]
+    fn top_dominator_need_not_be_balanced_but_top1_is_in_skyline_for_2d_chain() {
+        // the #1 dominating point is always in the skyline: anything
+        // dominating it would dominate strictly more
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..10 {
+            let pts: Vec<Point> = (0..150)
+                .map(|i| {
+                    Point::new(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+                })
+                .collect();
+            let top = top_k_dominating(&pts, 1);
+            if top[0].dominated > 0 {
+                assert!(naive_skyline_ids(&pts).contains(&top[0].point.id()));
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let pts = vec![p(0, &[1.0]), p(1, &[2.0])];
+        assert_eq!(top_k_dominating(&pts, 10).len(), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Bring your own data: persist a registry to CSV, load it back, and run
+//! the full algorithm suite — including the synthetic benchmark
+//! distributions (independent / correlated / anti-correlated) that stress
+//! skyline algorithms in opposite ways.
+//!
+//! ```text
+//! cargo run --release --example custom_dataset
+//! ```
+
+use mr_skyline_suite::mr::prelude::*;
+use mr_skyline_suite::qws::{generate_synthetic, Dataset, Distribution, SyntheticConfig};
+
+fn main() {
+    let dir = std::env::temp_dir().join("mr-skyline-example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    for dist in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::AntiCorrelated,
+    ] {
+        let data = generate_synthetic(&SyntheticConfig::new(5_000, 4, dist));
+
+        // round-trip through CSV, as a user loading their own file would
+        let path = dir.join(format!("{}.csv", dist.name()));
+        data.save_csv(&path).expect("write CSV");
+        let loaded = Dataset::load_csv(data.name.clone(), &path).expect("read CSV");
+        assert_eq!(loaded.len(), data.len());
+
+        let report = SkylineJob::new(Algorithm::MrAngle, 8).run(&loaded);
+        println!(
+            "{:<28} skyline {:>5} of {:>5}  ({:>5.1}% )  sim {:>6.1}s  LSO {:.3}",
+            data.name,
+            report.global_skyline.len(),
+            loaded.len(),
+            100.0 * report.global_skyline.len() as f64 / loaded.len() as f64,
+            report.processing_time(),
+            report.optimality,
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    println!("\ncorrelated data collapses to a handful of skyline services;");
+    println!("anti-correlated data (every trade-off is real) keeps most of the");
+    println!("registry on the skyline — the adversarial case for any partitioner.");
+}

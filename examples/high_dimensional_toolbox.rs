@@ -1,0 +1,84 @@
+//! What to do when the skyline itself explodes: at 10 QoS attributes the
+//! paper measures thousands of "optimal" services. This example runs the
+//! post-processing toolbox on one dataset:
+//!
+//! * multi-core skyline computation (block vs angular chunking),
+//! * k-dominant skylines (services good on at least k of d attributes),
+//! * top-k dominating services,
+//! * k representatives (coverage + diversity).
+//!
+//! ```text
+//! cargo run --release --example high_dimensional_toolbox
+//! ```
+
+use mr_skyline_suite::qws::{generate_qws, QwsConfig};
+use mr_skyline_suite::skyline::kdominant::k_dominant_skyline;
+use mr_skyline_suite::skyline::parallel::{
+    parallel_skyline_partitioned, parallel_skyline_stats,
+};
+use mr_skyline_suite::skyline::partition::AnglePartitioner;
+use mr_skyline_suite::skyline::representative::{
+    distance_based_representatives, max_dominance_representatives,
+};
+use mr_skyline_suite::skyline::topk::top_k_dominating;
+
+fn main() {
+    let d = 8;
+    let registry = generate_qws(&QwsConfig::new(30_000, d));
+    println!("{} services x {d} attributes\n", registry.len());
+
+    // --- multi-core skyline, two chunking strategies ---
+    let t0 = std::time::Instant::now();
+    let (skyline, block_stats) = parallel_skyline_stats(registry.points(), 0);
+    let block_wall = t0.elapsed().as_secs_f64();
+    let partitioner =
+        AnglePartitioner::fit_quantile(registry.points(), 16).expect("valid partitioner");
+    let t0 = std::time::Instant::now();
+    let (skyline_ang, angular_stats) =
+        parallel_skyline_partitioned(registry.points(), &partitioner, 0);
+    let angular_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(skyline.len(), skyline_ang.len());
+    println!(
+        "skyline: {} services ({:.1}% of the registry)",
+        skyline.len(),
+        100.0 * skyline.len() as f64 / registry.len() as f64
+    );
+    println!(
+        "  block chunks:   {:>8} merge candidates, {:>11} local comparisons, {:.3}s wall",
+        block_stats.merge_candidates, block_stats.local_comparisons, block_wall
+    );
+    println!(
+        "  angular chunks: {:>8} merge candidates, {:>11} local comparisons, {:.3}s wall",
+        angular_stats.merge_candidates, angular_stats.local_comparisons, angular_wall
+    );
+
+    // --- k-dominant skylines shrink the answer ---
+    println!("\nk-dominant skylines (within the {}-point skyline):", skyline.len());
+    for k in (d - 3..=d).rev() {
+        let kd = k_dominant_skyline(&skyline, k);
+        println!("  k = {k:>2}: {:>6} services survive", kd.len());
+    }
+
+    // --- top dominators ---
+    println!("\ntop-5 dominating services (how much of the registry each beats):");
+    for entry in top_k_dominating(registry.points(), 5) {
+        println!(
+            "  service {:<6} dominates {:>6} services ({:.1}%)",
+            entry.point.id(),
+            entry.dominated,
+            100.0 * entry.dominated as f64 / registry.len() as f64
+        );
+    }
+
+    // --- representatives ---
+    let covering = max_dominance_representatives(&skyline, registry.points(), 5);
+    let diverse = distance_based_representatives(&skyline, 5);
+    println!(
+        "\n5 covering representatives: {:?}",
+        covering.iter().map(|p| p.id()).collect::<Vec<_>>()
+    );
+    println!(
+        "5 diverse representatives:  {:?}",
+        diverse.iter().map(|p| p.id()).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,88 @@
+//! The full marketplace loop the paper's introduction sketches: a UDDI-style
+//! registry with categorised providers, per-category skyline selection, and
+//! a newly registered disruptive service showing up in the winners.
+//!
+//! ```text
+//! cargo run --release --example service_marketplace
+//! ```
+
+use mr_skyline_suite::mr::prelude::*;
+use mr_skyline_suite::qws::{Category, Registry};
+
+fn main() {
+    let mut registry = Registry::synthetic(12_000, 4, 2026);
+    println!(
+        "registry: {} services, {} categories, {} QoS attributes\n",
+        registry.len(),
+        Category::ALL.len(),
+        registry.dims()
+    );
+
+    // --- per-category skyline selection ---
+    println!("per-category skyline (the providers worth negotiating with):");
+    for category in Category::ALL {
+        let data = registry
+            .category_dataset(category)
+            .expect("synthetic registry populates every category");
+        let report = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
+        println!(
+            "  {:<14} {:>5} providers -> {:>3} skyline services (sim {:>5.1}s)",
+            category.name(),
+            data.len(),
+            report.global_skyline.len(),
+            report.processing_time()
+        );
+    }
+
+    // --- a disruptive newcomer enters the weather market ---
+    let weather_before = registry
+        .category_dataset(Category::Weather)
+        .expect("non-empty");
+    let before = SkylineJob::new(Algorithm::MrAngle, 4).run(&weather_before);
+
+    // strictly better than everything on the first two attributes
+    let disruptive_qos = vec![0.0, 0.0, 50.0, 10.0];
+    let id = registry.register(
+        "hypercast-weather",
+        "hypercast-inc",
+        Category::Weather,
+        disruptive_qos,
+    );
+    let weather_after = registry
+        .category_dataset(Category::Weather)
+        .expect("non-empty");
+    let after = SkylineJob::new(Algorithm::MrAngle, 4).run(&weather_after);
+
+    println!(
+        "\nregistered disruptive service {id} (hypercast-weather): skyline {} -> {}",
+        before.global_skyline.len(),
+        after.global_skyline.len()
+    );
+    assert!(
+        after.global_skyline.iter().any(|p| p.id() == id),
+        "the newcomer must appear in the skyline"
+    );
+    let entry = registry.get(id).expect("registered");
+    println!(
+        "the newcomer is on the skyline: {} by {} (category {})",
+        entry.name,
+        entry.provider,
+        entry.category.name()
+    );
+
+    // --- who did it knock out? ---
+    let survivors: std::collections::HashSet<u64> =
+        after.global_skyline.iter().map(|p| p.id()).collect();
+    let displaced: Vec<String> = before
+        .global_skyline
+        .iter()
+        .filter(|p| !survivors.contains(&p.id()))
+        .map(|p| {
+            registry
+                .get(p.id())
+                .map(|e| e.name.clone())
+                .unwrap_or_else(|| format!("service-{}", p.id()))
+        })
+        .collect();
+    println!("displaced from the skyline: {displaced:?}");
+}

@@ -1,0 +1,241 @@
+//! `mrsky` — command-line front end for the MapReduce skyline suite.
+//!
+//! ```text
+//! mrsky generate --out services.csv --n 10000 --dims 6 [--dist qws|indep|corr|anti] [--seed 42]
+//! mrsky skyline  --data services.csv [--algorithm angle|dim|grid|random|seq] [--servers 8]
+//! mrsky compare  --data services.csv [--servers 8]
+//! mrsky select   --data services.csv --weights 1,2,0.5 [--top 5] [--diverse K | --covering K]
+//! ```
+//!
+//! Run any subcommand with `--help` for its flags. All randomness is seeded;
+//! identical invocations produce identical output.
+
+use mr_skyline_suite::mr::prelude::*;
+use mr_skyline_suite::qws::{
+    generate_qws, generate_synthetic, Dataset, Distribution, QwsConfig, SyntheticConfig,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let rest = &args[1..];
+    let result = match command {
+        "generate" => cmd_generate(rest),
+        "skyline" => cmd_skyline(rest),
+        "compare" => cmd_compare(rest),
+        "select" => cmd_select(rest),
+        "sweep" => cmd_sweep(rest),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "mrsky — MapReduce skyline query processing (IPDPSW'12 reproduction)
+
+USAGE:
+  mrsky generate --out FILE [--n 10000] [--dims 6] [--dist qws|indep|corr|anti] [--seed 42]
+  mrsky skyline  --data FILE [--algorithm angle|dim|grid|random|seq] [--servers 8]
+  mrsky compare  --data FILE [--servers 8]
+  mrsky select   --data FILE --weights W1,W2,... [--top 5] [--diverse K | --covering K]
+                 [--algorithm angle] [--servers 8]
+  mrsky sweep    --data FILE --servers 4,8,16,32 [--algorithm angle] [--json]
+
+Any command accepting --data FILE also accepts --qws-file FILE to read the
+original QWS v2 dataset file (9 QoS columns + name + WSDL).";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .replace('_', "")
+            .parse()
+            .map_err(|_| format!("{name} expects an integer, got `{v}`")),
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    match s {
+        "angle" => Ok(Algorithm::MrAngle),
+        "dim" => Ok(Algorithm::MrDim),
+        "grid" => Ok(Algorithm::MrGrid),
+        "random" => Ok(Algorithm::MrRandom),
+        "seq" | "sequential" => Ok(Algorithm::Sequential),
+        other => Err(format!(
+            "unknown algorithm `{other}` (expected angle|dim|grid|random|seq)"
+        )),
+    }
+}
+
+fn load_data(args: &[String]) -> Result<Dataset, String> {
+    if let Some(path) = flag(args, "--qws-file") {
+        // the real QWS v2 distribution file
+        let (data, _names) =
+            mr_skyline_suite::qws::load_qws_file(PathBuf::from(&path).as_path())
+                .map_err(|e| format!("cannot load QWS file `{path}`: {e}"))?;
+        return Ok(data);
+    }
+    let path = flag(args, "--data").ok_or("--data FILE (or --qws-file FILE) is required")?;
+    Dataset::load_csv(path.clone(), PathBuf::from(&path).as_path())
+        .map_err(|e| format!("cannot load `{path}`: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("--out FILE is required")?;
+    let n = flag_usize(args, "--n", 10_000)?;
+    let dims = flag_usize(args, "--dims", 6)?;
+    let seed = flag_usize(args, "--seed", 42)? as u64;
+    let dist = flag(args, "--dist").unwrap_or_else(|| "qws".to_string());
+    let data = match dist.as_str() {
+        "qws" => generate_qws(&QwsConfig::new(n, dims).with_seed(seed)),
+        "indep" => generate_synthetic(
+            &SyntheticConfig::new(n, dims, Distribution::Independent).with_seed(seed),
+        ),
+        "corr" => generate_synthetic(
+            &SyntheticConfig::new(n, dims, Distribution::Correlated).with_seed(seed),
+        ),
+        "anti" => generate_synthetic(
+            &SyntheticConfig::new(n, dims, Distribution::AntiCorrelated).with_seed(seed),
+        ),
+        other => return Err(format!("unknown distribution `{other}`")),
+    };
+    data.save_csv(PathBuf::from(&out).as_path())
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("wrote {} services x {} attributes to {out} ({})", data.len(), data.dim(), data.name);
+    Ok(())
+}
+
+fn cmd_skyline(args: &[String]) -> Result<(), String> {
+    let data = load_data(args)?;
+    let algorithm = parse_algorithm(&flag(args, "--algorithm").unwrap_or_else(|| "angle".into()))?;
+    let servers = flag_usize(args, "--servers", 8)?;
+    let report = SkylineJob::new(algorithm, servers).run(&data);
+    println!("{}", report.summary());
+    println!(
+        "partitions: {} (load CV {:.2}, largest {}), pruned: {}",
+        report.partitions, report.load_balance.cv, report.load_balance.max, report.pruned_partitions
+    );
+    validate_report(&report, &data).map_err(|e| format!("result failed validation: {e}"))?;
+    println!("validated against the independent oracle.");
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let data = load_data(args)?;
+    let servers = flag_usize(args, "--servers", 8)?;
+    for algorithm in Algorithm::paper_trio() {
+        let report = SkylineJob::new(algorithm, servers).run(&data);
+        println!("{}", report.summary());
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let data = load_data(args)?;
+    let algorithm = parse_algorithm(&flag(args, "--algorithm").unwrap_or_else(|| "angle".into()))?;
+    let servers: Vec<usize> = flag(args, "--servers")
+        .unwrap_or_else(|| "4,8,16,32".into())
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad server count `{s}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let json = args.iter().any(|a| a == "--json");
+    if !json {
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>8}",
+            "servers", "map (s)", "reduce (s)", "total (s)", "skyline"
+        );
+    }
+    for &n in &servers {
+        let report = SkylineJob::new(algorithm, n).run(&data);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!(
+                "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+                n,
+                report.map_time(),
+                report.reduce_time(),
+                report.processing_time(),
+                report.global_skyline.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_select(args: &[String]) -> Result<(), String> {
+    let data = load_data(args)?;
+    let servers = flag_usize(args, "--servers", 8)?;
+    let algorithm = parse_algorithm(&flag(args, "--algorithm").unwrap_or_else(|| "angle".into()))?;
+    let weights: Vec<f64> = flag(args, "--weights")
+        .ok_or("--weights W1,W2,... is required")?
+        .split(',')
+        .map(|w| {
+            w.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad weight `{w}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if weights.len() != data.dim() {
+        return Err(format!(
+            "{} weights given but the dataset has {} attributes",
+            weights.len(),
+            data.dim()
+        ));
+    }
+    let top = flag_usize(args, "--top", 5)?;
+    let summary = if let Some(k) = flag(args, "--diverse") {
+        Summary::Diverse(k.parse().map_err(|_| "--diverse expects an integer")?)
+    } else if let Some(k) = flag(args, "--covering") {
+        Summary::MaxDominance(k.parse().map_err(|_| "--covering expects an integer")?)
+    } else {
+        Summary::Full
+    };
+    let request = SelectionRequest {
+        weights,
+        top_k: top,
+        summary,
+    };
+    let result = ServiceSelector::new(algorithm, servers).select(&data, &request);
+    println!(
+        "skyline: {} of {} services; showing {}:",
+        result.skyline_size,
+        data.len(),
+        result.ranked.len()
+    );
+    for (rank, (service, score)) in result.ranked.iter().enumerate() {
+        let coords: Vec<String> = service.coords().iter().map(|v| format!("{v:.2}")).collect();
+        println!(
+            "  #{:<2} service {:<8} score {:.4}  [{}]",
+            rank + 1,
+            service.id(),
+            score,
+            coords.join(", ")
+        );
+    }
+    Ok(())
+}

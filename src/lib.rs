@@ -1,0 +1,20 @@
+//! # mr-skyline-suite
+//!
+//! Umbrella crate for the reproduction of *"MapReduce Skyline Query
+//! Processing with a New Angular Partitioning Approach"* (Chen, Hwang, Wu —
+//! IEEE IPDPSW 2012).
+//!
+//! Re-exports the four workspace crates so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`skyline`] ([`skyline_algos`]) — skyline kernels, partitioners, metrics;
+//! * [`mapreduce`] ([`mini_mapreduce`]) — the MapReduce runtime + cluster simulator;
+//! * [`qws`] ([`qws_data`]) — QWS-like and synthetic dataset generators;
+//! * [`mr`] ([`mr_skyline`]) — the MR-Dim / MR-Grid / MR-Angle algorithms.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use mini_mapreduce as mapreduce;
+pub use mr_skyline as mr;
+pub use qws_data as qws;
+pub use skyline_algos as skyline;

@@ -1,0 +1,97 @@
+//! Dynamic-registry integration: incremental maintenance stays consistent
+//! with batch recomputation under arbitrary churn.
+
+use mr_skyline_suite::mr::prelude::*;
+use mr_skyline_suite::qws::dataset::{update_stream, Update};
+use mr_skyline_suite::qws::{generate_qws, QwsConfig};
+use mr_skyline_suite::skyline::point::Point;
+use mr_skyline_suite::skyline::seq::naive_skyline_ids;
+use proptest::prelude::*;
+
+fn replay(live: &mut Vec<Point>, u: &Update) {
+    match u {
+        Update::Add(p) => live.push(p.clone()),
+        Update::Remove(id) => {
+            let pos = live.iter().position(|p| p.id() == *id).expect("live id");
+            live.swap_remove(pos);
+        }
+    }
+}
+
+fn registry_ids(reg: &MaintainedRegistry) -> Vec<u64> {
+    let mut ids: Vec<u64> = reg.skyline().iter().map(|p| p.id()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn long_churn_stream_stays_consistent() {
+    let data = generate_qws(&QwsConfig::new(500, 4));
+    let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &data);
+    let mut live = data.points().to_vec();
+    for (i, u) in update_stream(&data, 1000, 0.55, 0.1, 11).iter().enumerate() {
+        reg.apply(u);
+        replay(&mut live, u);
+        if i % 97 == 0 {
+            assert_eq!(registry_ids(&reg), naive_skyline_ids(&live), "event {i}");
+        }
+    }
+    assert_eq!(registry_ids(&reg), naive_skyline_ids(&live));
+    assert_eq!(reg.len(), live.len());
+}
+
+#[test]
+fn registry_survives_draining_to_empty_and_refilling() {
+    let data = generate_qws(&QwsConfig::new(30, 3));
+    let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrGrid, 2, &data);
+    for p in data.points() {
+        reg.apply(&Update::Remove(p.id()));
+    }
+    assert!(reg.is_empty());
+    assert!(reg.skyline().is_empty());
+    // refill
+    for p in data.points() {
+        reg.apply(&Update::Add(p.clone()));
+    }
+    assert_eq!(reg.len(), 30);
+    assert_eq!(registry_ids(&reg), naive_skyline_ids(data.points()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_churn_matches_batch(
+        seed in 0u64..5000,
+        steps in 1usize..120,
+        add_prob in 0.2f64..0.9,
+    ) {
+        let data = generate_qws(&QwsConfig::new(60, 3).with_seed(seed));
+        let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data);
+        let mut live = data.points().to_vec();
+        for u in update_stream(&data, steps, add_prob, 0.15, seed ^ 0xABCD) {
+            reg.apply(&u);
+            replay(&mut live, &u);
+        }
+        prop_assert_eq!(registry_ids(&reg), naive_skyline_ids(&live));
+    }
+
+    #[test]
+    fn partitioner_choice_does_not_affect_maintained_skyline(
+        seed in 0u64..1000,
+        steps in 1usize..60,
+    ) {
+        let data = generate_qws(&QwsConfig::new(50, 3).with_seed(seed));
+        let stream = update_stream(&data, steps, 0.6, 0.1, seed);
+        let mut angle = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data);
+        let mut dim = MaintainedRegistry::bootstrap(Algorithm::MrDim, 4, &data);
+        let mut random = MaintainedRegistry::bootstrap(Algorithm::MrRandom, 4, &data);
+        for u in &stream {
+            angle.apply(u);
+            dim.apply(u);
+            random.apply(u);
+        }
+        prop_assert_eq!(registry_ids(&angle), registry_ids(&dim));
+        prop_assert_eq!(registry_ids(&angle), registry_ids(&random));
+    }
+}

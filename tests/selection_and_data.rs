@@ -1,0 +1,99 @@
+//! Integration tests of the selection façade and the data layer.
+
+use mr_skyline_suite::mr::prelude::*;
+use mr_skyline_suite::qws::{generate_qws, Dataset, QwsConfig};
+use mr_skyline_suite::skyline::dominance::dominates;
+use mr_skyline_suite::skyline::ranking::WeightedScore;
+use proptest::prelude::*;
+
+#[test]
+fn selection_returns_pareto_optimal_services_only() {
+    let data = generate_qws(&QwsConfig::new(2000, 5));
+    let selector = ServiceSelector::new(Algorithm::MrAngle, 8);
+    let result = selector.select(&data, &SelectionRequest::top_k(5, 10));
+    assert!(!result.ranked.is_empty());
+    for (service, _) in &result.ranked {
+        assert!(
+            !data.points().iter().any(|q| dominates(q, service)),
+            "selected a dominated service"
+        );
+    }
+}
+
+#[test]
+fn selection_best_equals_registry_wide_best() {
+    // ranking the skyline loses nothing versus ranking the whole registry
+    let data = generate_qws(&QwsConfig::new(1500, 4));
+    let selector = ServiceSelector::new(Algorithm::MrGrid, 4);
+    for weights in [
+        vec![1.0, 1.0, 1.0, 1.0],
+        vec![9.0, 0.1, 0.5, 2.0],
+        vec![0.0, 1.0, 0.0, 0.0],
+    ] {
+        let mut req = SelectionRequest::top_k(4, 1);
+        req.weights = weights.clone();
+        let via_selection = selector.select(&data, &req).ranked[0].1;
+        let scorer = WeightedScore::fit(&weights, data.points());
+        let global_best = scorer.best(data.points()).expect("non-empty").1;
+        assert!(
+            (via_selection - global_best).abs() < 1e-12,
+            "weights {weights:?}"
+        );
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_algorithm_results() {
+    let data = generate_qws(&QwsConfig::new(300, 3));
+    let dir = std::env::temp_dir().join("mr-skyline-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("round_trip.csv");
+    data.save_csv(&path).unwrap();
+    let loaded = Dataset::load_csv("loaded", &path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let a = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
+    let b = SkylineJob::new(Algorithm::MrAngle, 4).run(&loaded);
+    let ids = |r: &SkylineRunReport| {
+        let mut v: Vec<u64> = r.global_skyline.iter().map(|p| p.id()).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids(&a), ids(&b));
+    assert_eq!(a.metrics.sim_total, b.metrics.sim_total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn skyline_always_contains_a_weighted_optimum(
+        seed in 0u64..2000,
+        w0 in 0.0f64..5.0,
+        w1 in 0.0f64..5.0,
+        w2 in 0.0f64..5.0,
+    ) {
+        // for any non-negative weights, the best service overall is in the
+        // skyline — the theoretical guarantee the selection API relies on
+        let data = generate_qws(&QwsConfig::new(300, 3).with_seed(seed));
+        let report = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
+        let scorer = WeightedScore::fit(&[w0, w1, w2], data.points());
+        let global = scorer.best(data.points()).expect("non-empty").1;
+        let on_sky = scorer.best(&report.global_skyline).expect("non-empty").1;
+        prop_assert!((on_sky - global).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qws_generator_scales_without_shape_surprises(
+        n in 10usize..600,
+        d in 1usize..=10,
+        seed in 0u64..500,
+    ) {
+        let data = generate_qws(&QwsConfig::new(n, d).with_seed(seed));
+        prop_assert_eq!(data.len(), n);
+        prop_assert_eq!(data.dim(), d);
+        for p in data.points() {
+            prop_assert!(p.coords().iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `mrsky-audit` — plan-time static analysis for the MR-skyline suite.
+//!
+//! Two layers:
+//!
+//! 1. **Plan validator** ([`plan::audit_plan`]): given a fitted space
+//!    partitioner and the runtime configuration it will execute under,
+//!    proves partition totality/disjointness by interval reasoning over
+//!    the boundary lattice plus exhaustive boundary probing, verifies
+//!    pruning conservativeness, and cross-checks scheduler/cluster/cost
+//!    settings. Findings carry stable `MRA0xx` codes ([`diag::Code`]) so
+//!    both the driver (`SkylineJob::run` refuses error-level plans) and CI
+//!    can gate on them.
+//! 2. **Source lint pass** ([`lint::run_lint`]): scans workspace sources
+//!    for banned patterns (`unwrap`/`expect`/`panic!` in library code,
+//!    lossy index casts, non-deterministic `HashMap` state in runtime
+//!    crates) against a ratchet-down allowlist.
+//!
+//! The `mrsky-audit` binary fronts both layers for CI and ad-hoc use.
+
+pub mod diag;
+pub mod lint;
+pub mod plan;
+
+pub use diag::{AuditReport, Code, Diagnostic, Severity};
+pub use lint::{run_lint, LintConfig, LintReport};
+pub use plan::{audit_plan, PlanSpec};

@@ -1,0 +1,537 @@
+//! The workspace lint pass (`mrsky-audit lint`).
+//!
+//! Scans non-test library source for patterns this workspace bans:
+//!
+//! | rule | pattern | why |
+//! |---|---|---|
+//! | `no-unwrap` | `.unwrap()` | library code must surface `Result`s, not abort the simulation |
+//! | `no-expect` | `.expect(` | same as `no-unwrap`; the message does not make the abort acceptable |
+//! | `no-panic` | `panic!(` | explicit aborts belong in binaries and tests only |
+//! | `lossy-index-cast` | `as usize` inside `[...]` index arithmetic | silently truncates on 32-bit targets and hides overflow |
+//! | `hashmap-state` | `HashMap` in `mini-mapreduce`/`mr-skyline` | iteration order is non-deterministic; reduce/merge paths must use `BTreeMap` |
+//!
+//! Lines inside `#[cfg(test)]` modules are exempt (tests may assert
+//! freely). Existing debt is recorded in an allowlist file
+//! (`lint-baseline.txt` at the workspace root) mapping `rule file count`;
+//! a file may never *exceed* its allowance, and when it drops below, the
+//! pass asks for the allowance to be ratcheted down so the debt cannot
+//! grow back.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One banned-pattern occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub excerpt: String,
+}
+
+/// Outcome of a lint run after applying the allowlist.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings in files that exceeded their allowance (or have none).
+    pub violations: Vec<LintFinding>,
+    /// `(rule, file, found, allowed)` where found < allowed: the baseline
+    /// should be ratcheted down to `found`.
+    pub ratchet: Vec<(String, String, usize, usize)>,
+    /// Allowlist entries whose file/rule produced no findings at all.
+    pub stale_allowances: Vec<(String, String)>,
+    /// Every finding, pre-allowlist — used to regenerate the baseline.
+    pub all_findings: Vec<LintFinding>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when the pass should fail CI.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human rendering of violations and ratchet advice.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "lint: {} file(s) scanned, {} finding(s), {} violation(s)",
+            self.files_scanned,
+            self.all_findings.len(),
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "  violation[{}] {}:{}: {}",
+                v.rule, v.file, v.line, v.excerpt
+            );
+        }
+        for (rule, file, found, allowed) in &self.ratchet {
+            let _ = writeln!(
+                out,
+                "  ratchet[{rule}] {file}: {found} finding(s) < {allowed} allowed — \
+                 lower the baseline to {found}"
+            );
+        }
+        for (rule, file) in &self.stale_allowances {
+            let _ = writeln!(
+                out,
+                "  stale allowance [{rule}] {file}: no findings — remove it"
+            );
+        }
+        out
+    }
+
+    /// Regenerates the baseline file content from the current findings.
+    pub fn baseline(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<(String, &'static str), usize> = BTreeMap::new();
+        for f in &self.all_findings {
+            *counts.entry((f.file.clone(), f.rule)).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# mrsky-audit lint baseline: `rule file max-count` per line.\n\
+             # Counts may only go DOWN. Regenerate with `mrsky-audit lint --print-baseline`.\n",
+        );
+        for ((file, rule), n) in counts {
+            let _ = writeln!(out, "{rule} {file} {n}");
+        }
+        out
+    }
+}
+
+/// Settings for one lint run.
+pub struct LintConfig {
+    /// Workspace root to scan (`crates/*/src` and `src/` below it).
+    pub root: PathBuf,
+    /// Allowlist file; missing file means zero allowances.
+    pub allowlist: Option<PathBuf>,
+}
+
+/// Runs the lint pass.
+pub fn run_lint(config: &LintConfig) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut files = Vec::new();
+    let crates_dir = config.root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs_files(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = config.root.join("src");
+    if root_src.is_dir() {
+        collect_rs_files(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    for path in &files {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(&config.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scan_file(&rel, &text, &mut report.all_findings);
+        report.files_scanned += 1;
+    }
+
+    apply_allowlist(config, &mut report)?;
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Strips string literals, char literals with escapes, and comments from a
+/// line so pattern matching cannot fire inside them. Block-comment state
+/// carries across lines via `in_block_comment`.
+fn sanitize(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // String literal: skip to the closing quote, honouring \".
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push_str("\"\"");
+            }
+            b'\'' if i + 2 < bytes.len() && bytes[i + 1] == b'\\' => {
+                // Escaped char literal like '\n'.
+                i += 2;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.push_str("' '");
+            }
+            b'\'' if i + 2 < bytes.len() && bytes[i + 2] == b'\'' => {
+                // Plain char literal like '{' — three bytes exactly.
+                out.push_str("' '");
+                i += 3;
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn scan_file(rel: &str, text: &str, findings: &mut Vec<LintFinding>) {
+    let mut in_block_comment = false;
+    // Depth of the brace nesting; when a `#[cfg(test)]` attribute is seen,
+    // the next opening brace starts an exempt region that ends when depth
+    // returns to its pre-region value.
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut test_region_floor: Option<i64> = None;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = sanitize(raw, &mut in_block_comment);
+        let trimmed = line.trim();
+
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(all(test") {
+            pending_test_attr = true;
+        }
+
+        let in_test = test_region_floor.is_some();
+        if !in_test {
+            check_line(rel, ln + 1, &line, raw, findings);
+        }
+
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending_test_attr && test_region_floor.is_none() {
+                        test_region_floor = Some(depth);
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_region_floor == Some(depth) {
+                        test_region_floor = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // An attribute that never reached a brace on a later line (e.g.
+        // `#[cfg(test)] use ...;`) stays pending only until an item ends.
+        if pending_test_attr && trimmed.ends_with(';') {
+            pending_test_attr = false;
+        }
+    }
+}
+
+fn check_line(rel: &str, line_no: usize, line: &str, raw: &str, findings: &mut Vec<LintFinding>) {
+    let mut push = |rule: &'static str| {
+        findings.push(LintFinding {
+            rule,
+            file: rel.to_string(),
+            line: line_no,
+            excerpt: raw.trim().chars().take(90).collect(),
+        });
+    };
+    if line.contains(".unwrap()") {
+        push("no-unwrap");
+    }
+    if line.contains(".expect(") {
+        push("no-expect");
+    }
+    if line.contains("panic!(") && !line.contains("should_panic") {
+        push("no-panic");
+    }
+    if has_cast_inside_index(line) {
+        push("lossy-index-cast");
+    }
+    if line.contains("HashMap")
+        && (rel.starts_with("crates/mapreduce/") || rel.starts_with("crates/core/"))
+    {
+        push("hashmap-state");
+    }
+}
+
+/// `true` if an `as usize`/`as isize` cast occurs while inside `[...]` on
+/// this line — index arithmetic that silently truncates.
+fn has_cast_inside_index(line: &str) -> bool {
+    let mut bracket_depth = 0i32;
+    let bytes = line.as_bytes();
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'[' => bracket_depth += 1,
+            b']' => bracket_depth -= 1,
+            b'a' if bracket_depth > 0 => {
+                let rest = &line[i..];
+                if (rest.starts_with("as usize") || rest.starts_with("as isize"))
+                    && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'(')
+                {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn apply_allowlist(config: &LintConfig, report: &mut LintReport) -> io::Result<()> {
+    use std::collections::BTreeMap;
+
+    let mut allowed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    if let Some(path) = &config.allowlist {
+        if path.is_file() {
+            for raw in fs::read_to_string(path)?.lines() {
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut parts = line.split_whitespace();
+                let (Some(rule), Some(file), Some(count)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    continue;
+                };
+                if let Ok(n) = count.parse::<usize>() {
+                    allowed.insert((rule.to_string(), file.to_string()), n);
+                }
+            }
+        }
+    }
+
+    let mut counts: BTreeMap<(String, String), Vec<&LintFinding>> = BTreeMap::new();
+    for f in &report.all_findings {
+        counts
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_default()
+            .push(f);
+    }
+
+    let mut violations = Vec::new();
+    let mut ratchet = Vec::new();
+    for ((rule, file), found) in &counts {
+        let cap = allowed.remove(&(rule.clone(), file.clone())).unwrap_or(0);
+        match found.len().cmp(&cap) {
+            std::cmp::Ordering::Greater => {
+                violations.extend(found.iter().map(|f| (*f).clone()));
+            }
+            std::cmp::Ordering::Less => {
+                ratchet.push((rule.clone(), file.clone(), found.len(), cap));
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    report.stale_allowances = allowed.into_keys().collect();
+    report.violations = violations;
+    report.ratchet = ratchet;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_strips_strings_and_comments() {
+        let mut blk = false;
+        assert_eq!(sanitize("let x = 1; // .unwrap()", &mut blk), "let x = 1; ");
+        assert_eq!(
+            sanitize("let s = \".unwrap()\";", &mut blk),
+            "let s = \"\";"
+        );
+        assert!(!blk);
+        let s = sanitize("a /* .unwrap()", &mut blk);
+        assert_eq!(s, "a ");
+        assert!(blk);
+        let s = sanitize(".unwrap() */ b", &mut blk);
+        assert_eq!(s, " b");
+        assert!(!blk);
+        assert_eq!(sanitize("m['{'] = 1;", &mut blk), "m[' '] = 1;");
+    }
+
+    #[test]
+    fn finds_banned_patterns_outside_tests_only() {
+        let src = "\
+fn lib() {
+    let v = maybe().unwrap();
+    let w = maybe().expect(\"why\");
+    panic!(\"boom\");
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let v = maybe().unwrap();
+        panic!(\"fine in tests\");
+    }
+}
+fn after_tests() {
+    let z = maybe().unwrap();
+}
+";
+        let mut findings = Vec::new();
+        scan_file("crates/x/src/lib.rs", src, &mut findings);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["no-unwrap", "no-expect", "no-panic", "no-unwrap"]
+        );
+        assert_eq!(findings[3].line, 14);
+    }
+
+    #[test]
+    fn index_cast_detection() {
+        assert!(has_cast_inside_index("let x = arr[i as usize];"));
+        assert!(has_cast_inside_index("buf[(k * 2) as usize] = 0;"));
+        assert!(!has_cast_inside_index("let x = i as usize;"));
+        assert!(!has_cast_inside_index("let y = arr[i];"));
+    }
+
+    #[test]
+    fn hashmap_rule_scopes_to_runtime_crates() {
+        let mut findings = Vec::new();
+        scan_file(
+            "crates/mapreduce/src/x.rs",
+            "use std::collections::HashMap;\n",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "hashmap-state");
+        findings.clear();
+        scan_file(
+            "crates/skyline/src/x.rs",
+            "use std::collections::HashMap;\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn allowlist_ratchets_down() {
+        let dir = std::env::temp_dir().join("mrsky-audit-lint-test");
+        let src_dir = dir.join("crates/demo/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(src_dir.join("lib.rs"), "fn f() { g().unwrap(); }\n").unwrap();
+        let allow = dir.join("baseline.txt");
+
+        // No allowlist: the unwrap is a violation.
+        let report = run_lint(&LintConfig {
+            root: dir.clone(),
+            allowlist: None,
+        })
+        .unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(!report.is_clean());
+
+        // Exact allowance: clean.
+        fs::write(&allow, "no-unwrap crates/demo/src/lib.rs 1\n").unwrap();
+        let report = run_lint(&LintConfig {
+            root: dir.clone(),
+            allowlist: Some(allow.clone()),
+        })
+        .unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert!(report.ratchet.is_empty());
+
+        // Over-generous allowance: clean but asks to ratchet down.
+        fs::write(&allow, "no-unwrap crates/demo/src/lib.rs 5\n").unwrap();
+        let report = run_lint(&LintConfig {
+            root: dir.clone(),
+            allowlist: Some(allow.clone()),
+        })
+        .unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.ratchet.len(), 1);
+        assert_eq!(report.ratchet[0].2, 1);
+        assert_eq!(report.ratchet[0].3, 5);
+
+        // Stale entry for a file with no findings.
+        fs::write(
+            &allow,
+            "no-unwrap crates/demo/src/lib.rs 1\nno-panic crates/demo/src/gone.rs 2\n",
+        )
+        .unwrap();
+        let report = run_lint(&LintConfig {
+            root: dir.clone(),
+            allowlist: Some(allow),
+        })
+        .unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.stale_allowances.len(), 1);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn baseline_output_round_trips() {
+        let report = LintReport {
+            all_findings: vec![
+                LintFinding {
+                    rule: "no-unwrap",
+                    file: "a.rs".into(),
+                    line: 1,
+                    excerpt: String::new(),
+                },
+                LintFinding {
+                    rule: "no-unwrap",
+                    file: "a.rs".into(),
+                    line: 9,
+                    excerpt: String::new(),
+                },
+                LintFinding {
+                    rule: "no-panic",
+                    file: "b.rs".into(),
+                    line: 3,
+                    excerpt: String::new(),
+                },
+            ],
+            ..LintReport::default()
+        };
+        let base = report.baseline();
+        assert!(base.contains("no-unwrap a.rs 2"));
+        assert!(base.contains("no-panic b.rs 1"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests: every fitted partitioner is **total** (each point of the
+//! domain maps to exactly one in-range partition id) and **disjoint**
+//! (assignment is a function — deterministic, and consistent with the
+//! partitioner's own published boundary lattice), on random bounds and
+//! random points *including* exact boundary points.
+
+use proptest::prelude::*;
+use skyline_algos::hypersphere::{to_cartesian, HyperPoint};
+use skyline_algos::partition::{
+    AnglePartitioner, Bounds, DimPartitioner, GridPartitioner, PartitionSpace, RandomPartitioner,
+    SpacePartitioner,
+};
+use skyline_algos::point::Point;
+
+/// Random bounds: `d` in 2..=5, each axis `[lo, lo + width)` with
+/// `width > 0`.
+fn arb_bounds() -> impl Strategy<Value = Bounds> {
+    (2usize..=5).prop_flat_map(|d| {
+        (
+            proptest::collection::vec(0.0f64..50.0, d),
+            proptest::collection::vec(1.0f64..100.0, d),
+        )
+            .prop_map(|(lo, width)| {
+                let max: Vec<f64> = lo.iter().zip(&width).map(|(l, w)| l + w).collect();
+                Bounds::new(lo, max)
+            })
+    })
+}
+
+/// Random interior points plus every boundary-lattice corner the profile
+/// exposes: for each axis take its boundaries and domain edges, and build
+/// points pinning one axis to each such value while the rest sit at random
+/// interior positions.
+fn probe_points(part: &dyn SpacePartitioner, bounds: &Bounds, interior: &[Vec<f64>]) -> Vec<Point> {
+    let d = part.dim();
+    let mut pts: Vec<Point> = interior
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let coords: Vec<f64> = (0..d)
+                .map(|k| bounds.min(k) + f[k] * (bounds.max(k) - bounds.min(k)))
+                .collect();
+            Point::new(i as u64, coords)
+        })
+        .collect();
+
+    let profile = part.boundary_profile();
+    let mut id = interior.len() as u64;
+    for axis in &profile.axes {
+        let mut specials = axis.boundaries.clone();
+        specials.push(axis.domain.0);
+        specials.push(axis.domain.1);
+        for &v in &specials {
+            match profile.space {
+                PartitionSpace::Cartesian => {
+                    let mut coords: Vec<f64> = (0..d)
+                        .map(|k| (bounds.min(k) + bounds.max(k)) / 2.0)
+                        .collect();
+                    coords[axis.coord] = v;
+                    pts.push(Point::new(id, coords));
+                    id += 1;
+                }
+                PartitionSpace::Angular => {
+                    // Build the boundary point in angle space and map it back
+                    // to Cartesian around the partitioner's origin.
+                    let origin = profile
+                        .origin
+                        .clone()
+                        .unwrap_or_else(|| (0..d).map(|k| bounds.min(k)).collect());
+                    let angles: Vec<f64> = profile
+                        .axes
+                        .iter()
+                        .map(|a| {
+                            if a.coord == axis.coord {
+                                v
+                            } else {
+                                (a.domain.0 + a.domain.1) / 2.0
+                            }
+                        })
+                        .collect();
+                    let h = HyperPoint {
+                        id,
+                        r: 25.0,
+                        angles: angles.into_boxed_slice(),
+                    };
+                    let p = to_cartesian(&h);
+                    let coords: Vec<f64> =
+                        p.coords().iter().zip(&origin).map(|(c, o)| c + o).collect();
+                    pts.push(Point::new(id, coords));
+                    id += 1;
+                }
+                PartitionSpace::Opaque => {}
+            }
+        }
+    }
+    pts
+}
+
+fn assert_total_and_disjoint(part: &dyn SpacePartitioner, bounds: &Bounds, interior: &[Vec<f64>]) {
+    let np = part.num_partitions();
+    assert!(np >= 1, "{}: no partitions", part.name());
+    for p in probe_points(part, bounds, interior) {
+        let id = part.partition_of(&p);
+        // Totality: every domain point (boundary points included) owns an
+        // in-range id.
+        assert!(
+            id < np,
+            "{}: point {:?} mapped to {id} of {np}",
+            part.name(),
+            p.coords()
+        );
+        // Disjointness: assignment is a function of the point — re-asking
+        // never moves the point to another partition.
+        assert_eq!(
+            part.partition_of(&p),
+            id,
+            "{}: unstable assignment for {:?}",
+            part.name(),
+            p.coords()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_four_partitioners_are_total_and_disjoint(
+        bounds in arb_bounds(),
+        np in 1usize..24,
+        fracs in proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, 5), 12),
+    ) {
+        let d = bounds.dim();
+        let interior: Vec<Vec<f64>> = fracs.iter().map(|f| f[..d].to_vec()).collect();
+
+        let dim = DimPartitioner::fit(&bounds, np).expect("dim fit");
+        assert_total_and_disjoint(&dim, &bounds, &interior);
+
+        let grid = GridPartitioner::fit(&bounds, np).expect("grid fit");
+        assert_total_and_disjoint(&grid, &bounds, &interior);
+
+        let angle = AnglePartitioner::fit(&bounds, np).expect("angle fit");
+        assert_total_and_disjoint(&angle, &bounds, &interior);
+
+        let random = RandomPartitioner::new(d, np).expect("random");
+        assert_total_and_disjoint(&random, &bounds, &interior);
+    }
+
+    #[test]
+    fn cartesian_assignment_matches_the_published_lattice(
+        bounds in arb_bounds(),
+        np in 1usize..24,
+        fracs in proptest::collection::vec(0.01f64..=0.99, 5),
+    ) {
+        // For the dim scheme the partition id must equal the interval index
+        // of the split coordinate in the published boundary list — the
+        // right-closed convention the audit proves against.
+        let dim = DimPartitioner::fit(&bounds, np).expect("dim fit");
+        let profile = dim.boundary_profile();
+        prop_assert_eq!(profile.axes.len(), 1);
+        let axis = &profile.axes[0];
+        let d = bounds.dim();
+        for (i, f) in fracs.iter().enumerate() {
+            let mut coords: Vec<f64> = (0..d)
+                .map(|k| (bounds.min(k) + bounds.max(k)) / 2.0)
+                .collect();
+            coords[axis.coord] =
+                axis.domain.0 + f * (axis.domain.1 - axis.domain.0);
+            let p = Point::new(i as u64, coords);
+            let expected = axis
+                .boundaries
+                .iter()
+                .filter(|&&b| b <= p.coord(axis.coord))
+                .count();
+            prop_assert_eq!(dim.partition_of(&p), expected);
+        }
+    }
+}

@@ -17,7 +17,7 @@ fn bench_partition_policy(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &data, |b, data| {
             let mut job = SkylineJob::new(Algorithm::MrAngle, 8);
             job.config.partitions_per_node = k;
-            b.iter(|| job.run(data).metrics.sim_total)
+            b.iter(|| job.run(data).metrics.sim_total);
         });
     }
     group.finish();
@@ -35,7 +35,7 @@ fn bench_local_kernel(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
             let mut job = SkylineJob::new(Algorithm::MrAngle, 8);
             job.config.kernel = kernel;
-            b.iter(|| job.run(data).global_skyline.len())
+            b.iter(|| job.run(data).global_skyline.len());
         });
     }
     group.finish();
@@ -49,7 +49,7 @@ fn bench_grid_pruning(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
             let mut job = SkylineJob::new(Algorithm::MrGrid, 8);
             job.config.grid_pruning = pruning;
-            b.iter(|| job.run(data).metrics.reduce.work_units)
+            b.iter(|| job.run(data).metrics.reduce.work_units);
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn bench_angle_split(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
             let mut job = SkylineJob::new(Algorithm::MrAngle, 8);
             job.config.angle_quantile = quantile;
-            b.iter(|| job.run(data).load_balance.cv)
+            b.iter(|| job.run(data).load_balance.cv);
         });
     }
     group.finish();
@@ -76,12 +76,13 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("incremental_stream", |b| {
         b.iter(|| {
-            let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &data);
+            let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &data)
+                .expect("partitioner fit");
             for u in &updates {
                 reg.apply(u);
             }
             reg.skyline().len()
-        })
+        });
     });
     group.bench_function("batch_recompute_each_event", |b| {
         use skyline_algos::bnl::{bnl_skyline, BnlConfig};
@@ -102,7 +103,7 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
                 total += bnl_skyline(&live, &BnlConfig::default()).len();
             }
             total
-        })
+        });
     });
     group.finish();
 }

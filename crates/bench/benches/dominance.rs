@@ -31,7 +31,7 @@ fn bench_dominates(c: &mut Criterion) {
                     }
                 }
                 wins
-            })
+            });
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn bench_compare(c: &mut Criterion) {
                     acc = acc.wrapping_add(compare(black_box(&pair[0]), &pair[1]) as u32);
                 }
                 acc
-            })
+            });
         });
     }
     group.finish();
@@ -63,9 +63,14 @@ fn bench_counter_overhead(c: &mut Criterion) {
                 let _ = counter.dominates(black_box(&pair[0]), &pair[1]);
             }
             counter.comparisons()
-        })
+        });
     });
 }
 
-criterion_group!(benches, bench_dominates, bench_compare, bench_counter_overhead);
+criterion_group!(
+    benches,
+    bench_dominates,
+    bench_compare,
+    bench_counter_overhead
+);
 criterion_main!(benches);

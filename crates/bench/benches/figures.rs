@@ -31,7 +31,7 @@ fn bench_fig4(c: &mut Criterion) {
             let mc = empirical_dominance_ability(&s, &part, 2.0, 20_000, &mut rng);
             let exact = dominance_ability_angle(0.5, 0.1, 1.0);
             (mc - exact).abs()
-        })
+        });
     });
 }
 
@@ -42,14 +42,10 @@ fn bench_fig5(c: &mut Criterion) {
     for d in [2usize, 6, 10] {
         let data = master.project(d);
         for alg in Algorithm::paper_trio() {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), d),
-                &data,
-                |b, data| {
-                    let job = SkylineJob::new(alg, 8);
-                    b.iter(|| job.run(data).global_skyline.len())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), d), &data, |b, data| {
+                let job = SkylineJob::new(alg, 8);
+                b.iter(|| job.run(data).global_skyline.len());
+            });
         }
     }
     group.finish();
@@ -60,14 +56,10 @@ fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_server_cell");
     group.sample_size(10);
     for servers in [4usize, 16, 32] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(servers),
-            &data,
-            |b, data| {
-                let job = SkylineJob::new(Algorithm::MrAngle, servers);
-                b.iter(|| job.run(data).metrics.sim_total)
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &data, |b, data| {
+            let job = SkylineJob::new(Algorithm::MrAngle, servers);
+            b.iter(|| job.run(data).metrics.sim_total);
+        });
     }
     group.finish();
 }
@@ -79,7 +71,7 @@ fn bench_fig7(c: &mut Criterion) {
     for alg in Algorithm::paper_trio() {
         group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &data, |b, data| {
             let job = SkylineJob::new(alg, 8);
-            b.iter(|| job.run(data).optimality)
+            b.iter(|| job.run(data).optimality);
         });
     }
     group.finish();

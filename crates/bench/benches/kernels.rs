@@ -34,16 +34,16 @@ fn bench_kernels(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("kernel/{}", dist.name()));
         group.sample_size(10);
         group.bench_with_input(BenchmarkId::new("bnl", n), &pts, |b, pts| {
-            b.iter(|| bnl_skyline(pts, &BnlConfig::default()).len())
+            b.iter(|| bnl_skyline(pts, &BnlConfig::default()).len());
         });
         group.bench_with_input(BenchmarkId::new("bnl_w256", n), &pts, |b, pts| {
-            b.iter(|| bnl_skyline(pts, &BnlConfig::with_window(256)).len())
+            b.iter(|| bnl_skyline(pts, &BnlConfig::with_window(256)).len());
         });
         group.bench_with_input(BenchmarkId::new("sfs", n), &pts, |b, pts| {
-            b.iter(|| sfs_skyline(pts).len())
+            b.iter(|| sfs_skyline(pts).len());
         });
         group.bench_with_input(BenchmarkId::new("dnc", n), &pts, |b, pts| {
-            b.iter(|| dnc_skyline(pts).len())
+            b.iter(|| dnc_skyline(pts).len());
         });
         group.finish();
     }
@@ -57,7 +57,7 @@ fn bench_bnl_scaling(c: &mut Criterion) {
             .points()
             .to_vec();
         group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
-            b.iter(|| bnl_skyline(pts, &BnlConfig::default()).len())
+            b.iter(|| bnl_skyline(pts, &BnlConfig::default()).len());
         });
     }
     group.finish();
@@ -70,7 +70,7 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_skyline");
     group.sample_size(10);
     group.bench_function("single_thread", |b| {
-        b.iter(|| bnl_skyline(&pts, &BnlConfig::default()).len())
+        b.iter(|| bnl_skyline(&pts, &BnlConfig::default()).len());
     });
     for threads in [2usize, 4, 8] {
         group.bench_with_input(
@@ -81,7 +81,7 @@ fn bench_parallel(c: &mut Criterion) {
     }
     let part = AnglePartitioner::fit_quantile(&pts, 16).unwrap();
     group.bench_function("angular_chunks_8t", |b| {
-        b.iter(|| parallel_skyline_partitioned(&pts, &part, 8).0.len())
+        b.iter(|| parallel_skyline_partitioned(&pts, &part, 8).0.len());
     });
     group.finish();
 }

@@ -38,7 +38,7 @@ fn bench_partition_of(c: &mut Criterion) {
                         acc = acc.wrapping_add(part.partition_of(black_box(p)));
                     }
                     acc
-                })
+                });
             });
         }
         group.finish();
@@ -51,7 +51,11 @@ fn bench_quantile_fit(c: &mut Criterion) {
     for n in [1000usize, 10_000] {
         let data = generate_qws(&QwsConfig::new(n, 10));
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| AnglePartitioner::fit_quantile(data.points(), 16).unwrap().num_partitions())
+            b.iter(|| {
+                AnglePartitioner::fit_quantile(data.points(), 16)
+                    .unwrap()
+                    .num_partitions()
+            });
         });
     }
     group.finish();

@@ -13,7 +13,9 @@ fn points(n: usize, d: usize) -> Vec<Point> {
         .map(|i| {
             Point::new(
                 i as u64,
-                (0..d).map(|_| rng.gen_range(0.0..100.0)).collect::<Vec<_>>(),
+                (0..d)
+                    .map(|_| rng.gen_range(0.0..100.0))
+                    .collect::<Vec<_>>(),
             )
         })
         .collect()
@@ -30,7 +32,7 @@ fn bench_transform(c: &mut Criterion) {
                     acc += to_hyperspherical(black_box(p)).r;
                 }
                 acc
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("into", d), &pts, |b, pts| {
             let mut buf = vec![0.0; d - 1];
@@ -40,7 +42,7 @@ fn bench_transform(c: &mut Criterion) {
                     acc += to_hyperspherical_into(black_box(p), &mut buf);
                 }
                 acc
-            })
+            });
         });
     }
     group.finish();

@@ -64,18 +64,29 @@ fn main() {
         let r = job.run(&data2);
         println!(
             "{:<34} sim {:>7.1}s reduce_work {:>10} pruned {:>2}/{:<3}",
-            name, r.processing_time(), r.metrics.reduce.work_units, r.pruned_partitions, r.partitions
+            name,
+            r.processing_time(),
+            r.metrics.reduce.work_units,
+            r.pruned_partitions,
+            r.partitions
         );
     }
 
     println!("\n--- 4. MR-Angle split strategy ---");
-    for (name, quantile) in [("quantile (default)", true), ("equal-width (Fig. 3c)", false)] {
+    for (name, quantile) in [
+        ("quantile (default)", true),
+        ("equal-width (Fig. 3c)", false),
+    ] {
         let mut job = SkylineJob::new(Algorithm::MrAngle, servers);
         job.config.angle_quantile = quantile;
         let r = job.run(&data);
         println!(
             "{:<34} sim {:>7.1}s load CV {:>5.2} max {:>6} LSO {:>5.3}",
-            name, r.processing_time(), r.load_balance.cv, r.load_balance.max, r.optimality
+            name,
+            r.processing_time(),
+            r.load_balance.cv,
+            r.load_balance.max,
+            r.optimality
         );
     }
 
@@ -104,13 +115,19 @@ fn main() {
     println!("\n--- 7. shuffle volume by scheme (see shufMB column of section 5) ---");
 
     println!("\n--- 8. merging-job combiner (parallelising the serial merge) ---");
-    for (name, combine) in [("Algorithm 1 (no combiner)", false), ("with merge combiner", true)] {
+    for (name, combine) in [
+        ("Algorithm 1 (no combiner)", false),
+        ("with merge combiner", true),
+    ] {
         let mut job = SkylineJob::new(Algorithm::MrAngle, servers);
         job.config.merge_combiner = combine;
         let r = job.run(&data);
         println!(
             "{:<34} sim {:>7.1}s reduce {:>6.1}s final-reducer input {:>7}",
-            name, r.processing_time(), r.reduce_time(), r.metrics.reduce.records_in
+            name,
+            r.processing_time(),
+            r.reduce_time(),
+            r.metrics.reduce.records_in
         );
     }
 
@@ -146,7 +163,11 @@ fn main() {
         let r = job.run(&data);
         println!(
             "{:<34} sim {:>7.1}s load CV {:>5.2} cand {:>6} LSO {:>5.3}",
-            name, r.processing_time(), r.load_balance.cv, r.merge_candidates(), r.optimality
+            name,
+            r.processing_time(),
+            r.load_balance.cv,
+            r.merge_candidates(),
+            r.optimality
         );
     }
 
@@ -156,13 +177,18 @@ fn main() {
     println!(" hash-spread shares of a skyline-dense candidate set barely prune, so at");
     println!(" Hadoop-era overheads the paper's single reducer wins. Honest negative.)");
     let big = master_dataset(arg_usize(&args, "--big", 100_000)).project(10);
-    for (name, fan_in) in [("single-reducer merge (paper)", None), ("tree merge, fan-in 4", Some(4))] {
+    for (name, fan_in) in [
+        ("single-reducer merge (paper)", None),
+        ("tree merge, fan-in 4", Some(4)),
+    ] {
         let mut job = SkylineJob::new(Algorithm::MrAngle, 32);
         job.config.merge_fan_in = fan_in;
         let r = job.run(&big);
         println!(
             "{:<34} 32 servers: sim {:>7.1}s reduce {:>6.1}s",
-            name, r.processing_time(), r.reduce_time()
+            name,
+            r.processing_time(),
+            r.reduce_time()
         );
     }
     println!("\ndone.");

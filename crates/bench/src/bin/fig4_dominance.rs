@@ -49,9 +49,9 @@ fn main() {
     // tan(pi/8)*x.
     let sector_slope = (std::f64::consts::FRAC_PI_8).tan();
     for xi in 1..=4 {
-        let x = 0.2 * xi as f64; // x in (0, L)
+        let x = 0.2 * f64::from(xi); // x in (0, L)
         for yi in 0..=2 {
-            let y = sector_slope * x * 0.9 * yi as f64 / 2.0; // y inside sector 0
+            let y = sector_slope * x * 0.9 * f64::from(yi) / 2.0; // y inside sector 0
             let da = dominance_ability_angle(x, y, l);
             let dg = dominance_ability_grid(x, y, l);
             let gap = da - dg;
@@ -76,11 +76,19 @@ fn main() {
             );
         }
     }
-    println!("\nMax |Monte-Carlo − closed form|: angle {worst_angle_err:.4}, grid {worst_grid_err:.4}");
+    println!(
+        "\nMax |Monte-Carlo − closed form|: angle {worst_angle_err:.4}, grid {worst_grid_err:.4}"
+    );
     println!("(Theorem 1 draws the sector boundary at the line y = x/2; the implemented");
     println!(" equal-angle sector boundary is y = tan(pi/8)x ~= 0.414x, so the angle column");
     println!(" carries a small systematic modelling gap. The grid column must match tightly.)");
-    assert!(worst_grid_err < 0.02, "grid Monte-Carlo diverged from the closed form");
-    assert!(worst_angle_err < 0.08, "angle Monte-Carlo diverged beyond the modelling gap");
+    assert!(
+        worst_grid_err < 0.02,
+        "grid Monte-Carlo diverged from the closed form"
+    );
+    assert!(
+        worst_angle_err < 0.08,
+        "angle Monte-Carlo diverged beyond the modelling gap"
+    );
     println!("PASS: closed forms verified within tolerance on the implemented partitioners.");
 }

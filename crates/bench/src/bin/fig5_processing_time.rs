@@ -12,12 +12,18 @@
 //! * Fig. 5(b), N = 100,000 — gaps widen with dimension; at d = 10 the paper
 //!   reports MR-Angle 1.7× faster than MR-Grid and 2.3× faster than MR-Dim.
 
-use mr_skyline_bench::{arg_usize, dimension_sweep, format_by_dimension, maybe_emit_json, PAPER_DIMENSIONS};
+use mr_skyline_bench::{
+    arg_usize, dimension_sweep, format_by_dimension, maybe_emit_json, PAPER_DIMENSIONS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let cardinality = arg_usize(&args, "--cardinality", 1000);
-    let label = if cardinality <= 10_000 { "5(a)" } else { "5(b)" };
+    let label = if cardinality <= 10_000 {
+        "5(a)"
+    } else {
+        "5(b)"
+    };
 
     println!("=== Figure {label}: processing time vs dimension, N = {cardinality} ===\n");
     let points = dimension_sweep(cardinality);

@@ -12,12 +12,18 @@
 //! gaps widen at N=100,000.
 
 use mr_skyline::Algorithm;
-use mr_skyline_bench::{arg_usize, dimension_sweep, format_by_dimension, maybe_emit_json, PAPER_DIMENSIONS};
+use mr_skyline_bench::{
+    arg_usize, dimension_sweep, format_by_dimension, maybe_emit_json, PAPER_DIMENSIONS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let cardinality = arg_usize(&args, "--cardinality", 1000);
-    let label = if cardinality <= 10_000 { "7(a)" } else { "7(b)" };
+    let label = if cardinality <= 10_000 {
+        "7(a)"
+    } else {
+        "7(b)"
+    };
 
     println!("=== Figure {label}: local skyline optimality vs dimension, N = {cardinality} ===\n");
     let points = dimension_sweep(cardinality);

@@ -92,11 +92,7 @@ pub fn master_dataset(cardinality: usize) -> qws_data::Dataset {
 
 /// Runs `algorithm` over `dataset` on `servers` simulated servers with
 /// default knobs and returns the sweep point.
-pub fn run_one(
-    algorithm: Algorithm,
-    dataset: &qws_data::Dataset,
-    servers: usize,
-) -> SweepPoint {
+pub fn run_one(algorithm: Algorithm, dataset: &qws_data::Dataset, servers: usize) -> SweepPoint {
     let report = SkylineJob::new(algorithm, servers).run(dataset);
     SweepPoint::from(&report)
 }
@@ -156,10 +152,7 @@ pub fn format_by_dimension(
             get(Algorithm::MrGrid),
             get(Algorithm::MrAngle),
         ) {
-            s.push_str(&format!(
-                "{:<6} {:>12.3} {:>12.3} {:>12.3}\n",
-                d, dim, grid, angle
-            ));
+            s.push_str(&format!("{d:<6} {dim:>12.3} {grid:>12.3} {angle:>12.3}\n"));
         }
     }
     s
@@ -218,7 +211,7 @@ mod tests {
     fn arg_parsing() {
         let args: Vec<String> = ["--cardinality", "100_000", "--dims", "10"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         assert_eq!(arg_usize(&args, "--cardinality", 1), 100_000);
         assert_eq!(arg_usize(&args, "--dims", 1), 10);

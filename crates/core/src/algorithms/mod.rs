@@ -10,29 +10,33 @@ use qws_data::Dataset;
 use skyline_algos::partition::{
     AnglePartitioner, DimPartitioner, GridPartitioner, RandomPartitioner, SpacePartitioner,
 };
+use skyline_algos::SkylineError;
 use std::sync::Arc;
 
 /// Builds the partitioner an algorithm uses over `dataset`'s bounds for a
 /// cluster of `servers`, following the paper's `2 × nodes` partition policy
 /// (see [`AlgoConfig::partitions_for`]).
+///
+/// # Errors
+///
+/// Propagates the fit error when the derived partition count or split
+/// dimensions are unusable for `dataset` (e.g. an empty sample for a
+/// quantile fit).
 pub fn build_partitioner(
     algorithm: Algorithm,
     config: &AlgoConfig,
     dataset: &Dataset,
     servers: usize,
-) -> Arc<dyn SpacePartitioner> {
+) -> Result<Arc<dyn SpacePartitioner>, SkylineError> {
     let np = config.partitions_for(servers);
     let bounds = dataset.bounds();
-    match algorithm {
+    Ok(match algorithm {
         Algorithm::MrDim => {
             if config.baseline_quantile {
                 let sample = stride_sample(dataset);
-                Arc::new(
-                    DimPartitioner::fit_quantile(&sample, np)
-                        .expect("non-empty sample and np >= 1 by construction"),
-                )
+                Arc::new(DimPartitioner::fit_quantile(&sample, np)?)
             } else {
-                Arc::new(DimPartitioner::fit(bounds, np).expect("np >= 1 by construction"))
+                Arc::new(DimPartitioner::fit(bounds, np)?)
             }
         }
         Algorithm::MrGrid => {
@@ -43,35 +47,22 @@ pub fn build_partitioner(
             };
             if config.baseline_quantile {
                 let sample = stride_sample(dataset);
-                Arc::new(
-                    GridPartitioner::fit_quantile(&sample, np, split_dims)
-                        .expect("non-empty sample and valid split_dims by construction"),
-                )
+                Arc::new(GridPartitioner::fit_quantile(&sample, np, split_dims)?)
             } else {
-                Arc::new(
-                    GridPartitioner::fit_on_dims(bounds, np, split_dims)
-                        .expect("np >= 1 and 1 <= split_dims <= d by construction"),
-                )
+                Arc::new(GridPartitioner::fit_on_dims(bounds, np, split_dims)?)
             }
         }
         Algorithm::MrAngle => {
             if config.angle_quantile {
                 let sample = stride_sample(dataset);
-                Arc::new(
-                    AnglePartitioner::fit_quantile(&sample, np)
-                        .expect("non-empty sample and np >= 1 by construction"),
-                )
+                Arc::new(AnglePartitioner::fit_quantile(&sample, np)?)
             } else {
-                Arc::new(AnglePartitioner::fit(bounds, np).expect("np >= 1 by construction"))
+                Arc::new(AnglePartitioner::fit(bounds, np)?)
             }
         }
-        Algorithm::MrRandom => {
-            Arc::new(RandomPartitioner::new(dataset.dim(), np).expect("np >= 1 by construction"))
-        }
-        Algorithm::Sequential => Arc::new(
-            RandomPartitioner::new(dataset.dim(), 1).expect("one partition is always valid"),
-        ),
-    }
+        Algorithm::MrRandom => Arc::new(RandomPartitioner::new(dataset.dim(), np)?),
+        Algorithm::Sequential => Arc::new(RandomPartitioner::new(dataset.dim(), 1)?),
+    })
 }
 
 /// Deterministic stride sample of up to ~10k points for quantile fitting —
@@ -117,18 +108,36 @@ mod tests {
     fn partitioner_kind_matches_algorithm() {
         let d = data();
         let cfg = AlgoConfig::default();
-        assert_eq!(build_partitioner(Algorithm::MrDim, &cfg, &d, 4).name(), "dim");
-        assert_eq!(build_partitioner(Algorithm::MrGrid, &cfg, &d, 4).name(), "grid");
-        assert_eq!(build_partitioner(Algorithm::MrAngle, &cfg, &d, 4).name(), "angle");
         assert_eq!(
-            build_partitioner(Algorithm::MrRandom, &cfg, &d, 4).name(),
+            build_partitioner(Algorithm::MrDim, &cfg, &d, 4)
+                .unwrap()
+                .name(),
+            "dim"
+        );
+        assert_eq!(
+            build_partitioner(Algorithm::MrGrid, &cfg, &d, 4)
+                .unwrap()
+                .name(),
+            "grid"
+        );
+        assert_eq!(
+            build_partitioner(Algorithm::MrAngle, &cfg, &d, 4)
+                .unwrap()
+                .name(),
+            "angle"
+        );
+        assert_eq!(
+            build_partitioner(Algorithm::MrRandom, &cfg, &d, 4)
+                .unwrap()
+                .name(),
             "random"
         );
     }
 
     #[test]
     fn sequential_uses_one_partition() {
-        let p = build_partitioner(Algorithm::Sequential, &AlgoConfig::default(), &data(), 8);
+        let p =
+            build_partitioner(Algorithm::Sequential, &AlgoConfig::default(), &data(), 8).unwrap();
         assert_eq!(p.num_partitions(), 1);
     }
 
@@ -136,10 +145,10 @@ mod tests {
     fn partition_counts_follow_policy() {
         let d = data();
         let cfg = AlgoConfig::default();
-        let p = build_partitioner(Algorithm::MrDim, &cfg, &d, 8);
+        let p = build_partitioner(Algorithm::MrDim, &cfg, &d, 8).unwrap();
         assert_eq!(p.num_partitions(), 16);
         // grid/angle may round up to a full lattice
-        let g = build_partitioner(Algorithm::MrGrid, &cfg, &d, 8);
+        let g = build_partitioner(Algorithm::MrGrid, &cfg, &d, 8).unwrap();
         assert!(g.num_partitions() >= 16);
     }
 
@@ -147,7 +156,9 @@ mod tests {
     fn map_work_ordering() {
         // angle > grid > dim: the paper's Map-side cost ranking
         let d = 10;
-        assert!(map_work_per_point(Algorithm::MrAngle, d) > map_work_per_point(Algorithm::MrGrid, d));
+        assert!(
+            map_work_per_point(Algorithm::MrAngle, d) > map_work_per_point(Algorithm::MrGrid, d)
+        );
         assert!(map_work_per_point(Algorithm::MrGrid, d) > map_work_per_point(Algorithm::MrDim, d));
     }
 }

@@ -18,9 +18,9 @@ use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
 use qws_data::Dataset;
 use skyline_algos::bnl::{bnl_skyline_stats, BnlConfig};
+use skyline_algos::dnc::dnc_skyline_stats;
 use skyline_algos::partition::SpacePartitioner;
 use skyline_algos::point::Point;
-use skyline_algos::dnc::dnc_skyline_stats;
 use skyline_algos::sfs::sfs_skyline_stats;
 use std::sync::Arc;
 
@@ -67,11 +67,7 @@ pub struct PipelineOutput {
     pub pruned_partitions: usize,
 }
 
-fn run_kernel(
-    points: &[Point],
-    kernel: LocalKernel,
-    window: Option<usize>,
-) -> (Vec<Point>, u64) {
+fn run_kernel(points: &[Point], kernel: LocalKernel, window: Option<usize>) -> (Vec<Point>, u64) {
     match kernel {
         LocalKernel::Bnl => {
             let cfg = match window {
@@ -139,21 +135,23 @@ pub fn run_two_job_pipeline(
     let kernel = opts.config.kernel;
     let window = opts.config.bnl_window;
     let prune_mask = Arc::clone(&prunable);
-    let reducer1 = move |key: &u64,
-                         values: Vec<Point>,
-                         ctx: &mut TaskContext,
-                         out: &mut Vec<(u64, Point)>| {
-        if prune_mask[*key as usize] {
-            // Dominated cell: emit nothing, spend nothing (Section III-B).
-            ctx.incr("partitions_pruned", 1);
-            ctx.incr("points_pruned", values.len() as u64);
-            return;
-        }
-        let (sky, work) = run_kernel(&values, kernel, window);
-        ctx.add_work(work);
-        ctx.incr("local_skyline_points", sky.len() as u64);
-        out.extend(sky.into_iter().map(|p| (*key, p)));
-    };
+    let reducer1 =
+        move |key: &u64, values: Vec<Point>, ctx: &mut TaskContext, out: &mut Vec<(u64, Point)>| {
+            let pruned = usize::try_from(*key)
+                .ok()
+                .and_then(|cell| prune_mask.get(cell).copied())
+                .unwrap_or(false);
+            if pruned {
+                // Dominated cell: emit nothing, spend nothing (Section III-B).
+                ctx.incr("partitions_pruned", 1);
+                ctx.incr("points_pruned", values.len() as u64);
+                return;
+            }
+            let (sky, work) = run_kernel(&values, kernel, window);
+            ctx.add_work(work);
+            ctx.incr("local_skyline_points", sky.len() as u64);
+            out.extend(sky.into_iter().map(|p| (*key, p)));
+        };
 
     let job1: JobResult<u64, (u64, Point)> =
         run_job(&spec1, dataset.points(), &mapper1, None, &reducer1);
@@ -191,9 +189,10 @@ pub fn run_two_job_pipeline(
         let mut round = 0u32;
         while merge_input.len() > fan_in * 64 && round < 8 {
             round += 1;
-            let reducers = merge_input.len().div_ceil(fan_in * 64).min(
-                opts.cluster.reduce_slots().max(1),
-            );
+            let reducers = merge_input
+                .len()
+                .div_ceil(fan_in * 64)
+                .min(opts.cluster.reduce_slots().max(1));
             if reducers <= 1 {
                 break;
             }
@@ -209,10 +208,11 @@ pub fn run_two_job_pipeline(
             spec_pm.locality = opts.locality.clone();
             spec_pm.sizer = Some(sizer.clone());
             let r = reducers as u64;
-            let mapper_pm = move |p: &Point, ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
-                let _ = ctx;
-                out.emit(p.id() % r, p.clone());
-            };
+            let mapper_pm =
+                move |p: &Point, ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
+                    let _ = ctx;
+                    out.emit(p.id() % r, p.clone());
+                };
             let reducer_pm = move |key: &u64,
                                    values: Vec<Point>,
                                    ctx: &mut TaskContext,
@@ -264,14 +264,12 @@ pub fn run_two_job_pipeline(
         ctx.add_work(work);
         sky
     };
-    let reducer2 = move |_key: &u64,
-                         values: Vec<Point>,
-                         ctx: &mut TaskContext,
-                         out: &mut Vec<Point>| {
-        let (sky, work) = run_kernel(&values, kernel, window);
-        ctx.add_work(work);
-        out.extend(sky);
-    };
+    let reducer2 =
+        move |_key: &u64, values: Vec<Point>, ctx: &mut TaskContext, out: &mut Vec<Point>| {
+            let (sky, work) = run_kernel(&values, kernel, window);
+            ctx.add_work(work);
+            out.extend(sky);
+        };
 
     let job2: JobResult<u64, Point> = run_job(
         &spec2,
@@ -325,7 +323,7 @@ mod tests {
 
     fn run(algorithm: Algorithm, data: &Dataset, servers: usize) -> PipelineOutput {
         let cfg = AlgoConfig::default();
-        let part = build_partitioner(algorithm, &cfg, data, servers);
+        let part = build_partitioner(algorithm, &cfg, data, servers).expect("fit");
         let mut opts = options(algorithm.name(), servers);
         opts.map_work_per_point = map_work_per_point(algorithm, data.dim());
         run_two_job_pipeline(part, data, &opts)
@@ -370,7 +368,11 @@ mod tests {
             .flat_map(|(_, v)| v.iter().map(Point::id))
             .collect();
         for p in &out.global_skyline {
-            assert!(local_union.contains(&p.id()), "global point {} missing locally", p.id());
+            assert!(
+                local_union.contains(&p.id()),
+                "global point {} missing locally",
+                p.id()
+            );
         }
     }
 
@@ -382,7 +384,7 @@ mod tests {
             grid_pruning: false,
             ..AlgoConfig::default()
         };
-        let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 8);
+        let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 8).expect("fit");
         let mut opts = options("MR-Grid-noprune", 8);
         opts.config = cfg;
         let without = run_two_job_pipeline(part, &data, &opts);
@@ -390,7 +392,10 @@ mod tests {
             sky_ids(&with.global_skyline),
             sky_ids(&without.global_skyline)
         );
-        assert!(with.pruned_partitions > 0, "2-D grid with 16 cells must prune");
+        assert!(
+            with.pruned_partitions > 0,
+            "2-D grid with 16 cells must prune"
+        );
         assert_eq!(without.pruned_partitions, 0);
         assert!(
             with.metrics.reduce.work_units <= without.metrics.reduce.work_units,
@@ -406,7 +411,7 @@ mod tests {
             kernel: LocalKernel::Sfs,
             ..AlgoConfig::default()
         };
-        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4);
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4).expect("fit");
         let mut opts = options("MR-Angle-sfs", 4);
         opts.config = cfg;
         let sfs = run_two_job_pipeline(part, &data, &opts);
@@ -421,7 +426,7 @@ mod tests {
             bnl_window: Some(8),
             ..AlgoConfig::default()
         };
-        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4);
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4).expect("fit");
         let mut opts = options("MR-Angle-w8", 4);
         opts.config = cfg;
         let windowed = run_two_job_pipeline(part, &data, &opts);
@@ -435,11 +440,15 @@ mod tests {
     fn failure_injection_preserves_result() {
         let data = generate_qws(&QwsConfig::new(300, 3));
         let clean = run(Algorithm::MrAngle, &data, 4);
-        let part = build_partitioner(Algorithm::MrAngle, &AlgoConfig::default(), &data, 4);
+        let part =
+            build_partitioner(Algorithm::MrAngle, &AlgoConfig::default(), &data, 4).expect("fit");
         let mut opts = options("MR-Angle-flaky", 4);
         opts.failure = FailureConfig::with_rate(300, 5);
         let flaky = run_two_job_pipeline(part, &data, &opts);
-        assert_eq!(sky_ids(&clean.global_skyline), sky_ids(&flaky.global_skyline));
+        assert_eq!(
+            sky_ids(&clean.global_skyline),
+            sky_ids(&flaky.global_skyline)
+        );
         assert!(
             flaky.metrics.map.attempts + flaky.metrics.reduce.attempts
                 > clean.metrics.map.attempts + clean.metrics.reduce.attempts
@@ -454,7 +463,7 @@ mod tests {
             merge_combiner: true,
             ..AlgoConfig::default()
         };
-        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 8);
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 8).expect("fit");
         let mut opts = options("MR-Angle-combine", 8);
         opts.config = cfg;
         let combined = run_two_job_pipeline(part, &data, &opts);
@@ -477,14 +486,21 @@ mod tests {
             merge_fan_in: Some(4),
             ..AlgoConfig::default()
         };
-        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 8);
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 8).expect("fit");
         let mut opts = options("MR-Angle-tree", 8);
         opts.config = cfg;
         let tree = run_two_job_pipeline(part, &data, &opts);
-        assert_eq!(sky_ids(&plain.global_skyline), sky_ids(&tree.global_skyline));
+        assert_eq!(
+            sky_ids(&plain.global_skyline),
+            sky_ids(&tree.global_skyline)
+        );
         // the final single reducer sees at most as much as without pre-merge
         let final_in = |out: &PipelineOutput| {
-            *out.metrics.reduce.task_durations.last().expect("merge task exists")
+            *out.metrics
+                .reduce
+                .task_durations
+                .last()
+                .expect("merge task exists")
         };
         assert!(final_in(&tree) <= final_in(&plain) + 1e-9);
     }

@@ -137,7 +137,7 @@ mod tests {
         assert_eq!(Algorithm::MrGrid.to_string(), "MR-Grid");
         assert_eq!(Algorithm::MrAngle.to_string(), "MR-Angle");
         assert_eq!(
-            Algorithm::paper_trio().map(|a| a.name()),
+            Algorithm::paper_trio().map(super::Algorithm::name),
             ["MR-Dim", "MR-Grid", "MR-Angle"]
         );
     }

@@ -1,12 +1,16 @@
 //! The [`SkylineJob`] façade: algorithm + cluster + knobs → one call.
 
-use crate::algorithms::{build_partitioner, map_work_per_point, run_two_job_pipeline, PipelineOptions};
+use crate::algorithms::{
+    build_partitioner, map_work_per_point, run_two_job_pipeline, PipelineOptions,
+};
 use crate::config::{AlgoConfig, Algorithm};
 use crate::report::SkylineRunReport;
 use mini_mapreduce::cost::CostModel;
 use mini_mapreduce::runtime::{ClusterConfig, LocalityConfig};
 use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
+use mrsky_audit::plan::{audit_plan, PlanSpec};
+use mrsky_audit::AuditReport;
 use qws_data::Dataset;
 use skyline_algos::metrics::{load_balance, local_skyline_optimality};
 
@@ -29,6 +33,8 @@ pub struct SkylineJob {
     pub locality: LocalityConfig,
     /// Host threads for real execution (`0` = all cores).
     pub threads: usize,
+    /// Run even when the plan audit reports error-level diagnostics.
+    pub force: bool,
 }
 
 impl SkylineJob {
@@ -49,6 +55,7 @@ impl SkylineJob {
             speculation: SpeculationConfig::default(),
             locality: LocalityConfig::default(),
             threads: 0,
+            force: false,
         }
     }
 
@@ -64,10 +71,99 @@ impl SkylineJob {
         self
     }
 
-    /// Runs the job over `dataset`, producing a full report.
-    pub fn run(&self, dataset: &Dataset) -> SkylineRunReport {
+    /// Builder: runs even when the plan audit reports errors.
+    pub fn with_force(mut self, force: bool) -> Self {
+        self.force = force;
+        self
+    }
+
+    /// Audits the plan this job would execute over `dataset` — the fitted
+    /// partitioner's totality/disjointness, pruning soundness, and the
+    /// cluster/scheduler/cost configuration — without running anything.
+    pub fn audit(&self, dataset: &Dataset) -> AuditReport {
         let partitioner =
-            build_partitioner(self.algorithm, &self.config, dataset, self.cluster.servers);
+            match build_partitioner(self.algorithm, &self.config, dataset, self.cluster.servers) {
+                Ok(p) => p,
+                Err(e) => return self.fit_failure_report(&e),
+            };
+        self.audit_with(&partitioner, dataset)
+    }
+
+    /// A fit failure means there is no partition function at all — report it
+    /// as the (vacuous) totality violation so callers see one shape.
+    fn fit_failure_report(&self, e: &skyline_algos::SkylineError) -> AuditReport {
+        AuditReport {
+            scheme: self.algorithm.name().to_string(),
+            probes: 0,
+            diagnostics: vec![mrsky_audit::Diagnostic::new(
+                mrsky_audit::Code::PartitionNotTotal,
+                mrsky_audit::Severity::Error,
+                "partitioner fit",
+                format!("partitioner could not be fitted: {e}"),
+            )],
+        }
+    }
+
+    fn audit_with(
+        &self,
+        partitioner: &std::sync::Arc<dyn skyline_algos::SpacePartitioner>,
+        dataset: &Dataset,
+    ) -> AuditReport {
+        let bounds = dataset.bounds();
+        let spec = PlanSpec {
+            partitioner: partitioner.as_ref(),
+            bounds,
+            cluster: &self.cluster,
+            speculation: &self.speculation,
+            cost: &self.cost,
+            // Job 1 configures one reduce task per partition (see
+            // `run_two_job_pipeline`).
+            reducers_job1: partitioner.num_partitions(),
+            grid_pruning: self.config.grid_pruning && self.algorithm == Algorithm::MrGrid,
+            threads: self.threads.max(1),
+        };
+        audit_plan(&spec)
+    }
+
+    /// Audits the plan first and only runs it when no error-level
+    /// diagnostics were found (or [`SkylineJob::force`] is set). The failed
+    /// audit comes back in `Err` for inspection/rendering.
+    pub fn run_checked(&self, dataset: &Dataset) -> Result<SkylineRunReport, Box<AuditReport>> {
+        let partitioner =
+            match build_partitioner(self.algorithm, &self.config, dataset, self.cluster.servers) {
+                Ok(p) => p,
+                // A failed fit cannot be forced past: there is nothing to run.
+                Err(e) => return Err(Box::new(self.fit_failure_report(&e))),
+            };
+        let report = self.audit_with(&partitioner, dataset);
+        if report.has_errors() && !self.force {
+            return Err(Box::new(report));
+        }
+        Ok(self.run_with(partitioner, dataset))
+    }
+
+    /// Runs the job over `dataset`, producing a full report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan audit finds error-level diagnostics and
+    /// [`SkylineJob::force`] is not set; use [`SkylineJob::run_checked`] to
+    /// handle that case without unwinding.
+    pub fn run(&self, dataset: &Dataset) -> SkylineRunReport {
+        match self.run_checked(dataset) {
+            Ok(report) => report,
+            Err(audit) => panic!(
+                "refusing to run an unsound plan (set force to override):\n{}",
+                audit.render_text()
+            ),
+        }
+    }
+
+    fn run_with(
+        &self,
+        partitioner: std::sync::Arc<dyn skyline_algos::SpacePartitioner>,
+        dataset: &Dataset,
+    ) -> SkylineRunReport {
         let opts = PipelineOptions {
             name: self.algorithm.name().to_string(),
             cluster: self.cluster.clone(),
@@ -119,8 +215,67 @@ mod tests {
         assert!(report.partitions >= 8);
         assert!((0.0..=1.0).contains(&report.optimality));
         assert!(report.processing_time() > 0.0);
-        let ids: Vec<u64> = report.global_skyline.iter().map(|p| p.id()).collect();
+        let ids: Vec<u64> = report
+            .global_skyline
+            .iter()
+            .map(skyline_algos::Point::id)
+            .collect();
         assert_eq!(ids, naive_skyline_ids(data.points()));
+    }
+
+    #[test]
+    fn audit_is_clean_for_every_algorithm() {
+        let data = generate_qws(&QwsConfig::new(300, 3));
+        for alg in [
+            Algorithm::MrAngle,
+            Algorithm::MrDim,
+            Algorithm::MrGrid,
+            Algorithm::MrRandom,
+            Algorithm::Sequential,
+        ] {
+            let report = SkylineJob::new(alg, 4).audit(&data);
+            assert!(
+                !report.has_errors(),
+                "{alg} plan should audit clean:\n{}",
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn run_checked_refuses_zero_slot_cluster() {
+        let data = generate_qws(&QwsConfig::new(100, 3));
+        let mut job = SkylineJob::new(Algorithm::MrDim, 2);
+        job.cluster.reduce_slots_per_server = 0;
+        let err = job
+            .run_checked(&data)
+            .expect_err("zero reduce slots must be refused");
+        assert!(err.has_errors());
+        assert!(!err
+            .with_code(mrsky_audit::Code::ZeroCapacityCluster)
+            .is_empty());
+    }
+
+    #[test]
+    fn force_bypasses_the_audit_gate() {
+        let data = generate_qws(&QwsConfig::new(100, 3));
+        // threshold < 1.0 is an error-level MRA008 (every task would be
+        // called a straggler) but the simulator still completes, so it
+        // exercises the force path end to end.
+        let mut job = SkylineJob::new(Algorithm::MrDim, 2);
+        job.speculation.enabled = true;
+        job.speculation.threshold = 0.5;
+        let err = job
+            .run_checked(&data)
+            .expect_err("bad threshold must be refused");
+        assert!(!err
+            .with_code(mrsky_audit::Code::ZeroCapacityCluster)
+            .is_empty());
+        let report = job
+            .with_force(true)
+            .run_checked(&data)
+            .expect("forced run proceeds");
+        assert_eq!(report.cardinality, 100);
     }
 
     #[test]
@@ -166,7 +321,11 @@ mod tests {
         let oracle = naive_skyline_ids(data.points());
         for alg in Algorithm::paper_trio() {
             let r = SkylineJob::new(alg, 4).run(&data);
-            let ids: Vec<u64> = r.global_skyline.iter().map(|p| p.id()).collect();
+            let ids: Vec<u64> = r
+                .global_skyline
+                .iter()
+                .map(skyline_algos::Point::id)
+                .collect();
             assert_eq!(ids, oracle, "{alg}");
         }
     }

@@ -54,7 +54,8 @@ impl JsonObject {
 
     /// Adds a string field.
     pub fn string(mut self, key: &str, value: &str) -> Self {
-        self.fields.push((key.to_string(), format!("\"{}\"", escape(value))));
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
         self
     }
 
@@ -336,7 +337,14 @@ mod tests {
 
     #[test]
     fn validator_rejects_garbage() {
-        for bad in ["{", "{\"a\":}", "[1,]", "\"unterminated", "{\"a\" 1}", "nope"] {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nope",
+        ] {
             assert!(check_json(bad).is_err(), "{bad} accepted");
         }
     }

@@ -52,7 +52,7 @@ pub mod report;
 pub mod selection;
 pub mod validate;
 
-pub use config::{Algorithm, AlgoConfig, LocalKernel};
+pub use config::{AlgoConfig, Algorithm, LocalKernel};
 pub use driver::SkylineJob;
 pub use maintain::MaintainedRegistry;
 pub use report::SkylineRunReport;
@@ -61,7 +61,7 @@ pub use validate::{validate_against_oracle, validate_report, ValidationError};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::config::{Algorithm, AlgoConfig, LocalKernel};
+    pub use crate::config::{AlgoConfig, Algorithm, LocalKernel};
     pub use crate::driver::SkylineJob;
     pub use crate::maintain::MaintainedRegistry;
     pub use crate::report::SkylineRunReport;

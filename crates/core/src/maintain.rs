@@ -30,15 +30,23 @@ pub struct MaintainedRegistry {
 impl MaintainedRegistry {
     /// Bootstraps the registry from `dataset`, partitioned as `algorithm`
     /// would partition it on a cluster of `servers`.
-    pub fn bootstrap(algorithm: Algorithm, servers: usize, dataset: &Dataset) -> Self {
-        let partitioner =
-            build_partitioner(algorithm, &AlgoConfig::default(), dataset, servers);
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the partitioner fit error (see
+    /// [`build_partitioner`](crate::algorithms::build_partitioner)).
+    pub fn bootstrap(
+        algorithm: Algorithm,
+        servers: usize,
+        dataset: &Dataset,
+    ) -> Result<Self, skyline_algos::SkylineError> {
+        let partitioner = build_partitioner(algorithm, &AlgoConfig::default(), dataset, servers)?;
+        Ok(Self {
             inner: IncrementalSkyline::from_points(partitioner, dataset.points()),
             adds: 0,
             removals: 0,
             global_changes: 0,
-        }
+        })
     }
 
     /// Applies one churn event. Returns `true` iff the global skyline
@@ -108,7 +116,8 @@ mod tests {
     #[test]
     fn bootstrap_matches_batch_skyline() {
         let data = generate_qws(&QwsConfig::new(400, 3));
-        let reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data);
+        let reg =
+            MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data).expect("partitioner fit");
         let mut ids: Vec<u64> = reg.skyline().iter().map(Point::id).collect();
         ids.sort_unstable();
         assert_eq!(ids, naive_skyline_ids(data.points()));
@@ -119,7 +128,8 @@ mod tests {
     #[test]
     fn churn_stream_stays_consistent() {
         let data = generate_qws(&QwsConfig::new(300, 3));
-        let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data);
+        let mut reg =
+            MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data).expect("partitioner fit");
         let mut live: Vec<Point> = data.points().to_vec();
         for (step, u) in update_stream(&data, 200, 0.6, 0.1, 5).iter().enumerate() {
             reg.apply(u);
@@ -144,7 +154,8 @@ mod tests {
     #[test]
     fn removing_unknown_id_is_a_noop() {
         let data = generate_qws(&QwsConfig::new(50, 2));
-        let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrGrid, 2, &data);
+        let mut reg =
+            MaintainedRegistry::bootstrap(Algorithm::MrGrid, 2, &data).expect("partitioner fit");
         let before = reg.len();
         assert!(!reg.apply(&Update::Remove(9_999_999)));
         assert_eq!(reg.len(), before);
@@ -153,7 +164,8 @@ mod tests {
     #[test]
     fn incremental_cheaper_than_recompute_per_event() {
         let data = generate_qws(&QwsConfig::new(2000, 3));
-        let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &data);
+        let mut reg =
+            MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &data).expect("partitioner fit");
         let bootstrap_cost = reg.comparisons();
         let stream = update_stream(&data, 50, 1.0, 0.05, 9);
         for u in &stream {

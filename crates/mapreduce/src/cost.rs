@@ -67,6 +67,31 @@ impl CostModel {
         }
     }
 
+    /// Checks that every constant is finite and non-negative — a negative
+    /// or NaN cost silently corrupts every schedule and report downstream,
+    /// so plan-time analysis rejects such models up front.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let fields = [
+            ("task_startup", self.task_startup),
+            ("job_overhead", self.job_overhead),
+            ("record_in_cost", self.record_in_cost),
+            ("record_out_cost", self.record_out_cost),
+            ("work_unit_cost", self.work_unit_cost),
+            ("shuffle_byte_cost", self.shuffle_byte_cost),
+            ("shuffle_segment_latency", self.shuffle_segment_latency),
+        ];
+        let problems: Vec<String> = fields
+            .iter()
+            .filter(|(_, v)| !(v.is_finite() && *v >= 0.0))
+            .map(|(name, v)| format!("cost model field {name} = {v} (must be finite and >= 0)"))
+            .collect();
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
     /// Simulated duration of one task attempt given its counters.
     pub fn task_duration(&self, records_in: u64, records_out: u64, work_units: u64) -> f64 {
         self.task_startup
@@ -78,8 +103,7 @@ impl CostModel {
     /// Simulated time for one reduce task to fetch its shuffle input:
     /// `segments` fetches (one per contributing map task) of `bytes` total.
     pub fn shuffle_duration(&self, bytes: u64, segments: u64) -> f64 {
-        bytes as f64 * self.shuffle_byte_cost
-            + segments as f64 * self.shuffle_segment_latency
+        bytes as f64 * self.shuffle_byte_cost + segments as f64 * self.shuffle_segment_latency
     }
 }
 

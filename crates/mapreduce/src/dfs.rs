@@ -110,10 +110,7 @@ mod tests {
         let store = BlockStore::place(10, 6, 2, 3);
         for s in 0..10 {
             for srv in 0..6 {
-                assert_eq!(
-                    store.is_local(s, srv),
-                    store.replicas(s).contains(&srv)
-                );
+                assert_eq!(store.is_local(s, srv), store.replicas(s).contains(&srv));
             }
         }
     }

@@ -87,12 +87,14 @@ pub mod timeline;
 pub mod types;
 
 pub use cost::CostModel;
+pub use dfs::BlockStore;
 pub use mapper::{Combiner, Mapper};
 pub use metrics::{JobMetrics, PhaseMetrics};
 pub use reducer::Reducer;
-pub use dfs::BlockStore;
 pub use runtime::{run_job, ClusterConfig, JobResult, JobSpec, LocalityConfig};
-pub use scheduler::{schedule_phase, schedule_phase_with_locality, PhaseSchedule, SpeculationConfig};
+pub use scheduler::{
+    schedule_phase, schedule_phase_with_locality, PhaseSchedule, SpeculationConfig,
+};
 pub use task::FailureConfig;
 pub use timeline::render_timeline;
 pub use types::{Emitter, TaskContext};

@@ -20,7 +20,7 @@ where
     F: Fn(&I, &mut TaskContext, &mut Emitter<K, V>) + Send + Sync,
 {
     fn map(&self, record: &I, ctx: &mut TaskContext, out: &mut Emitter<K, V>) {
-        self(record, ctx, out)
+        self(record, ctx, out);
     }
 }
 

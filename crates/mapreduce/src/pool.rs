@@ -51,14 +51,17 @@ where
 
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("every task index visited exactly once"))
+        .map(|m| {
+            m.into_inner()
+                .expect("every task index visited exactly once")
+        })
         .collect()
 }
 
 /// Default worker-thread count: the host's available parallelism.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(4)
 }
 

@@ -21,7 +21,7 @@ where
     F: Fn(&K, Vec<V>, &mut TaskContext, &mut Vec<O>) + Send + Sync,
 {
     fn reduce(&self, key: &K, values: Vec<V>, ctx: &mut TaskContext, out: &mut Vec<O>) {
-        self(key, values, ctx, out)
+        self(key, values, ctx, out);
     }
 }
 

@@ -66,6 +66,28 @@ impl ClusterConfig {
     pub fn reduce_slots(&self) -> usize {
         self.servers * self.reduce_slots_per_server
     }
+
+    /// Checks that the cluster can make progress at all: at least one
+    /// server and at least one slot of each kind. Returns every problem
+    /// found, so plan-time analysis can report them together instead of
+    /// panicking on the first one mid-run.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.servers == 0 {
+            problems.push("cluster has zero servers".to_string());
+        }
+        if self.map_slots_per_server == 0 {
+            problems.push("cluster has zero map slots per server".to_string());
+        }
+        if self.reduce_slots_per_server == 0 {
+            problems.push("cluster has zero reduce slots per server".to_string());
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
 }
 
 /// Everything that configures a job apart from the user code.
@@ -273,7 +295,7 @@ where
             records_in: ctx.records_in(),
             records_out,
             work_units: ctx.work_units(),
-            duration: single * attempts as f64,
+            duration: single * f64::from(attempts),
             attempts,
             counters: ctx.counters().clone(),
         }
@@ -329,8 +351,10 @@ where
 
     // ---- Shuffle ----
     let router = spec.router.clone().unwrap_or_else(default_router);
-    let map_outputs: Vec<(Vec<(K, V)>, u64)> =
-        map_results.into_iter().map(|m| (m.pairs, m.bytes)).collect();
+    let map_outputs: Vec<(Vec<(K, V)>, u64)> = map_results
+        .into_iter()
+        .map(|m| (m.pairs, m.bytes))
+        .collect();
     let reduce_inputs = shuffle(map_outputs, spec.num_reducers, &router);
     let shuffle_bytes: u64 = reduce_inputs.iter().map(|r| r.bytes).sum();
 
@@ -357,17 +381,19 @@ where
                 ctx.add_records_out(out.len() as u64);
                 groups.push((k.clone(), out));
             }
-            let compute = spec
-                .cost
-                .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
-                * spec.failure.straggler_multiplier(&spec.name, Phase::Reduce, t);
+            let compute =
+                spec.cost
+                    .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
+                    * spec
+                        .failure
+                        .straggler_multiplier(&spec.name, Phase::Reduce, t);
             let fetch = spec.cost.shuffle_duration(rin.bytes, rin.segments);
             ReduceTaskOut {
                 groups,
                 records_in: ctx.records_in(),
                 records_out: ctx.records_out(),
                 work_units: ctx.work_units(),
-                duration: (compute + fetch) * attempts as f64,
+                duration: (compute + fetch) * f64::from(attempts),
                 attempts,
                 counters: ctx.counters().clone(),
             }
@@ -399,10 +425,7 @@ where
         reduce_metrics.merge_counters(&r.counters);
     }
 
-    let groups: Vec<(K, Vec<O>)> = reduce_results
-        .into_iter()
-        .flat_map(|r| r.groups)
-        .collect();
+    let groups: Vec<(K, Vec<O>)> = reduce_results.into_iter().flat_map(|r| r.groups).collect();
 
     let sim_total = spec.cost.job_overhead + reduce_schedule.end;
     let metrics = JobMetrics {
@@ -450,8 +473,7 @@ where
     let first: JobResult<K1, O1> = run_job(spec1, input, mapper1, combiner1, reducer1);
     let first_metrics = first.metrics.clone();
     let intermediate: Vec<O1> = first.into_outputs();
-    let second: JobResult<K2, O2> =
-        run_job(spec2, &intermediate, mapper2, combiner2, reducer2);
+    let second: JobResult<K2, O2> = run_job(spec2, &intermediate, mapper2, combiner2, reducer2);
     let metrics = first_metrics.chain(&second.metrics);
     JobResult {
         groups: second.groups,
@@ -495,16 +517,13 @@ mod tests {
                 out.emit(w.to_string(), 1);
             }
         };
-        let combiner = |_k: &String, vs: Vec<u64>, _ctx: &mut TaskContext| {
-            vec![vs.iter().sum::<u64>()]
-        };
-        let reducer = |k: &String,
-                       vs: Vec<u64>,
-                       ctx: &mut TaskContext,
-                       out: &mut Vec<(String, u64)>| {
-            ctx.add_work(vs.len() as u64);
-            out.push((k.clone(), vs.iter().sum()));
-        };
+        let combiner =
+            |_k: &String, vs: Vec<u64>, _ctx: &mut TaskContext| vec![vs.iter().sum::<u64>()];
+        let reducer =
+            |k: &String, vs: Vec<u64>, ctx: &mut TaskContext, out: &mut Vec<(String, u64)>| {
+                ctx.add_work(vs.len() as u64);
+                out.push((k.clone(), vs.iter().sum()));
+            };
         run_job(
             spec,
             docs,
@@ -544,10 +563,7 @@ mod tests {
     fn combiner_preserves_results_and_cuts_shuffle() {
         // words repeat *within* a document so the map-side combiner has
         // something to aggregate
-        let docs = vec![
-            "the the the quick".to_string(),
-            "dog dog lazy".to_string(),
-        ];
+        let docs = vec!["the the the quick".to_string(), "dog dog lazy".to_string()];
         let plain = run_word_count(&word_count_spec(2), &docs, false);
         let combined = run_word_count(&word_count_spec(2), &docs, true);
         let plain_bytes = plain.metrics.shuffle_bytes;
@@ -591,7 +607,9 @@ mod tests {
     #[test]
     fn more_servers_reduce_simulated_time() {
         // enough records that the map phase has real work per task
-        let docs: Vec<String> = (0..2000).map(|i| format!("w{} w{} common", i % 50, i % 7)).collect();
+        let docs: Vec<String> = (0..2000)
+            .map(|i| format!("w{} w{} common", i % 50, i % 7))
+            .collect();
         let small = run_word_count(&word_count_spec(2).with_map_tasks(32), &docs, false);
         let large = run_word_count(&word_count_spec(16).with_map_tasks(32), &docs, false);
         assert!(
@@ -606,9 +624,7 @@ mod tests {
     fn sim_time_decomposes() {
         let r = run_word_count(&word_count_spec(2), &docs(), false);
         let m = &r.metrics;
-        assert!(
-            (m.sim_total - (m.job_overhead + m.map_time() + m.reduce_time())).abs() < 1e-9
-        );
+        assert!((m.sim_total - (m.job_overhead + m.map_time() + m.reduce_time())).abs() < 1e-9);
         assert!(m.map_time() > 0.0);
         assert!(m.reduce_time() > 0.0);
         assert!(m.wall_seconds >= 0.0);
@@ -665,19 +681,16 @@ mod tests {
             |k: &String, vs: Vec<u64>, _c: &mut TaskContext, out: &mut Vec<(String, u64)>| {
                 out.push((k.clone(), vs.iter().sum()));
             };
-        let mapper2 = |pair: &(String, u64),
-                       _c: &mut TaskContext,
-                       out: &mut Emitter<(), (String, u64)>| {
-            if pair.1 >= 3 {
-                out.emit((), pair.clone());
-            }
-        };
-        let reducer2 = |_k: &(),
-                        vs: Vec<(String, u64)>,
-                        _c: &mut TaskContext,
-                        out: &mut Vec<String>| {
-            out.extend(vs.into_iter().map(|(w, _)| w));
-        };
+        let mapper2 =
+            |pair: &(String, u64), _c: &mut TaskContext, out: &mut Emitter<(), (String, u64)>| {
+                if pair.1 >= 3 {
+                    out.emit((), pair.clone());
+                }
+            };
+        let reducer2 =
+            |_k: &(), vs: Vec<(String, u64)>, _c: &mut TaskContext, out: &mut Vec<String>| {
+                out.extend(vs.into_iter().map(|(w, _)| w));
+            };
         let result: JobResult<(), String> = run_job_chain(
             &spec1, &docs, &mapper1, None, &reducer1, &spec2, &mapper2, None, &reducer2,
         );
@@ -718,7 +731,11 @@ mod tests {
     fn map_task_auto_count_follows_input_size() {
         let spec: JobSpec<u64, u64> = JobSpec::new("auto", ClusterConfig::new(3));
         assert_eq!(spec.effective_map_tasks(1000), 1, "one small split");
-        assert_eq!(spec.effective_map_tasks(100_000), 63, "input-derived splits");
+        assert_eq!(
+            spec.effective_map_tasks(100_000),
+            63,
+            "input-derived splits"
+        );
         assert_eq!(spec.effective_map_tasks(5), 1, "one split for tiny input");
         assert_eq!(spec.effective_map_tasks(0), 1);
         // explicit task counts are still capped by the input size

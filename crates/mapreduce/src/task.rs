@@ -66,7 +66,10 @@ impl FailureConfig {
     /// Makes roughly `permille`/1000 of tasks run `factor`× slower.
     pub fn with_stragglers(permille: u32, factor: f64, seed: u64) -> Self {
         assert!(permille <= 1000, "permille is at most 1000");
-        assert!(factor >= 1.0 && factor.is_finite(), "stragglers are slower, not faster");
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "stragglers are slower, not faster"
+        );
         Self {
             straggler_permille: permille,
             straggler_factor: factor,
@@ -87,7 +90,7 @@ impl FailureConfig {
         }
         let mut h = self.seed ^ 0x51AC_C01D_F00D_BEEF;
         for b in job.bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
         }
         let tag = match phase {
             Phase::Map => 0x6d61_7001u64,
@@ -97,7 +100,7 @@ impl FailureConfig {
             h = (h ^ x).wrapping_mul(0x1000_0000_01b3);
             h ^= h >> 29;
         }
-        if (h % 1000) < self.straggler_permille as u64 {
+        if (h % 1000) < u64::from(self.straggler_permille) {
             self.straggler_factor
         } else {
             1.0
@@ -117,17 +120,17 @@ impl FailureConfig {
         }
         let mut h = self.seed ^ 0xcbf2_9ce4_8422_2325;
         for b in job.bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
         }
         let tag = match phase {
             Phase::Map => 0x6d61_7000u64,
             Phase::Reduce => 0x7265_6400u64,
         };
-        for x in [tag, task as u64, attempt as u64] {
+        for x in [tag, task as u64, u64::from(attempt)] {
             h = (h ^ x).wrapping_mul(0x1000_0000_01b3);
             h ^= h >> 29;
         }
-        (h % 1000) < self.fail_permille as u64
+        (h % 1000) < u64::from(self.fail_permille)
     }
 
     /// Number of attempts task `task` will use under this configuration

@@ -14,22 +14,15 @@ pub fn render_timeline(schedule: &PhaseSchedule, width: usize) -> String {
     if schedule.timeline.is_empty() {
         return String::new();
     }
-    let slots = schedule
-        .timeline
-        .iter()
-        .map(|t| t.slot)
-        .max()
-        .expect("non-empty")
-        + 1;
+    let slots = schedule.timeline.iter().map(|t| t.slot).max().unwrap_or(0) + 1;
     let span = (schedule.end - schedule.start).max(1e-9);
-    let col_of = |t: f64| -> usize {
-        (((t - schedule.start) / span) * (width - 1) as f64).round() as usize
-    };
+    let col_of =
+        |t: f64| -> usize { (((t - schedule.start) / span) * (width - 1) as f64).round() as usize };
 
     let mut rows = vec![vec!['.'; width]; slots];
     for task in &schedule.timeline {
         let (c0, c1) = (col_of(task.start), col_of(task.end).max(col_of(task.start)));
-        let ch = char::from_digit((task.task % 10) as u32, 10).expect("digit");
+        let ch = char::from_digit((task.task % 10) as u32, 10).unwrap_or('?');
         for cell in rows[task.slot].iter_mut().take(c1 + 1).skip(c0) {
             *cell = ch;
         }
@@ -71,10 +64,8 @@ mod tests {
         assert_eq!(lines.len(), 3, "2 slot rows + axis");
         assert!(lines[0].starts_with("slot   0"));
         // each slot row contains two distinct task digits
-        let digits: std::collections::HashSet<char> = lines[0]
-            .chars()
-            .filter(|c| c.is_ascii_digit())
-            .collect();
+        let digits: std::collections::HashSet<char> =
+            lines[0].chars().filter(char::is_ascii_digit).collect();
         assert!(digits.len() >= 2, "{rendered}");
     }
 

@@ -69,7 +69,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         direction: Direction::LowerIsBetter,
         range: (37.0, 4989.0),
         // median ≈ 430 ms, long right tail
-        marginal: Marginal::LogNormal { mu: 6.1, sigma: 0.8 },
+        marginal: Marginal::LogNormal {
+            mu: 6.1,
+            sigma: 0.8,
+        },
         quality_loading: 0.68,
     },
     AttributeSpec {
@@ -77,7 +80,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "USD/1k-calls",
         direction: Direction::LowerIsBetter,
         range: (0.1, 500.0),
-        marginal: Marginal::LogNormal { mu: 2.3, sigma: 1.0 },
+        marginal: Marginal::LogNormal {
+            mu: 2.3,
+            sigma: 1.0,
+        },
         quality_loading: -0.22, // better services tend to charge more
     },
     AttributeSpec {
@@ -85,7 +91,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "ms",
         direction: Direction::LowerIsBetter,
         range: (0.26, 4140.0),
-        marginal: Marginal::LogNormal { mu: 3.4, sigma: 1.1 },
+        marginal: Marginal::LogNormal {
+            mu: 3.4,
+            sigma: 1.1,
+        },
         // latency is a component of response time: nearly the same signal
         quality_loading: 0.68,
     },
@@ -94,7 +103,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "%",
         direction: Direction::HigherIsBetter,
         range: (7.0, 100.0),
-        marginal: Marginal::Normal { mean: 82.0, sd: 16.0 },
+        marginal: Marginal::Normal {
+            mean: 82.0,
+            sd: 16.0,
+        },
         quality_loading: 0.78,
     },
     AttributeSpec {
@@ -102,7 +114,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "req/s",
         direction: Direction::HigherIsBetter,
         range: (0.1, 43.1),
-        marginal: Marginal::LogNormal { mu: 1.8, sigma: 0.8 },
+        marginal: Marginal::LogNormal {
+            mu: 1.8,
+            sigma: 0.8,
+        },
         quality_loading: 0.58,
     },
     AttributeSpec {
@@ -111,7 +126,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         direction: Direction::HigherIsBetter,
         range: (8.0, 100.0),
         // successability is availability measured at the operation level
-        marginal: Marginal::Normal { mean: 83.0, sd: 15.0 },
+        marginal: Marginal::Normal {
+            mean: 83.0,
+            sd: 15.0,
+        },
         quality_loading: 0.78,
     },
     AttributeSpec {
@@ -119,7 +137,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "%",
         direction: Direction::HigherIsBetter,
         range: (33.0, 89.0),
-        marginal: Marginal::Normal { mean: 65.0, sd: 9.0 },
+        marginal: Marginal::Normal {
+            mean: 65.0,
+            sd: 9.0,
+        },
         quality_loading: 0.68,
     },
     AttributeSpec {
@@ -127,7 +148,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "%",
         direction: Direction::HigherIsBetter,
         range: (33.0, 100.0),
-        marginal: Marginal::Normal { mean: 75.0, sd: 12.0 },
+        marginal: Marginal::Normal {
+            mean: 75.0,
+            sd: 12.0,
+        },
         quality_loading: 0.4,
     },
     AttributeSpec {
@@ -135,7 +159,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "%",
         direction: Direction::HigherIsBetter,
         range: (33.0, 95.0),
-        marginal: Marginal::Normal { mean: 72.0, sd: 10.0 },
+        marginal: Marginal::Normal {
+            mean: 72.0,
+            sd: 10.0,
+        },
         quality_loading: 0.4,
     },
     AttributeSpec {
@@ -143,7 +170,10 @@ pub const QWS_ATTRIBUTES: [AttributeSpec; 10] = [
         unit: "%",
         direction: Direction::HigherIsBetter,
         range: (1.0, 96.0),
-        marginal: Marginal::Normal { mean: 32.0, sd: 21.0 },
+        marginal: Marginal::Normal {
+            mean: 32.0,
+            sd: 21.0,
+        },
         quality_loading: 0.28,
     },
 ];
@@ -217,7 +247,7 @@ mod tests {
     fn oriented_values_are_nonnegative_over_range() {
         for a in &QWS_ATTRIBUTES {
             for t in 0..=10 {
-                let raw = a.range.0 + (a.range.1 - a.range.0) * t as f64 / 10.0;
+                let raw = a.range.0 + (a.range.1 - a.range.0) * f64::from(t) / 10.0;
                 assert!(a.orient(raw) >= 0.0, "{} at {raw}", a.name);
                 assert!(a.orient(raw) <= a.oriented_width() + 1e-9);
             }

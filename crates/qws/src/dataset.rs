@@ -72,10 +72,7 @@ impl Dataset {
     /// so a prefix is an unbiased subsample).
     pub fn take(&self, n: usize) -> Dataset {
         assert!(n >= 1 && n <= self.len(), "invalid subsample size {n}");
-        Dataset::new(
-            format!("{}|n={n}", self.name),
-            self.points[..n].to_vec(),
-        )
+        Dataset::new(format!("{}|n={n}", self.name), self.points[..n].to_vec())
     }
 
     /// Writes `id,coord0,coord1,…` rows.
@@ -105,8 +102,7 @@ impl Dataset {
                 .next()
                 .and_then(|s| s.trim().parse().ok())
                 .ok_or_else(|| bad_line(lineno))?;
-            let coords: Result<Vec<f64>, _> =
-                fields.map(|s| s.trim().parse::<f64>()).collect();
+            let coords: Result<Vec<f64>, _> = fields.map(|s| s.trim().parse::<f64>()).collect();
             let coords = coords.map_err(|_| bad_line(lineno))?;
             points.push(Point::try_new(id, coords).map_err(|_| bad_line(lineno))?);
         }
@@ -141,8 +137,17 @@ pub enum Update {
 /// from `base` and jittering it by ±`jitter` relative) and otherwise a
 /// removal of a random still-live service. Used by the incremental example
 /// and the churn integration tests.
-pub fn update_stream(base: &Dataset, steps: usize, add_prob: f64, jitter: f64, seed: u64) -> Vec<Update> {
-    assert!((0.0..=1.0).contains(&add_prob), "add_prob must be a probability");
+pub fn update_stream(
+    base: &Dataset,
+    steps: usize,
+    add_prob: f64,
+    jitter: f64,
+    seed: u64,
+) -> Vec<Update> {
+    assert!(
+        (0.0..=1.0).contains(&add_prob),
+        "add_prob must be a probability"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut live: Vec<u64> = base.points().iter().map(Point::id).collect();
     let mut next_id = live.iter().max().map(|m| m + 1).unwrap_or(0);
@@ -252,8 +257,7 @@ mod tests {
         let b = update_stream(&d, 50, 0.6, 0.1, 7);
         assert_eq!(a, b);
         // removals only target live ids; replaying must never remove twice
-        let mut live: std::collections::HashSet<u64> =
-            d.points().iter().map(Point::id).collect();
+        let mut live: std::collections::HashSet<u64> = d.points().iter().map(Point::id).collect();
         for u in &a {
             match u {
                 Update::Add(p) => {

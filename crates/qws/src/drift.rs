@@ -92,8 +92,8 @@ impl DriftModel {
     /// The current QoS vector of service index `i`.
     fn current_point(&self, i: usize, spiked: bool) -> Point {
         let base = &self.base[i];
-        let factor = self.log_congestion[i].exp()
-            * if spiked { self.cfg.spike_factor } else { 1.0 };
+        let factor =
+            self.log_congestion[i].exp() * if spiked { self.cfg.spike_factor } else { 1.0 };
         let coords: Vec<f64> = (0..base.dim())
             .map(|d| {
                 if self.cfg.drifting_dims.contains(&d) {
@@ -116,8 +116,8 @@ impl DriftModel {
         for i in 0..self.base.len() {
             // Ornstein-Uhlenbeck-style mean-reverting log congestion
             let z = standard_normal(&mut self.rng);
-            self.log_congestion[i] = (1.0 - self.cfg.reversion) * self.log_congestion[i]
-                + self.cfg.volatility * z;
+            self.log_congestion[i] =
+                (1.0 - self.cfg.reversion) * self.log_congestion[i] + self.cfg.volatility * z;
             let spiked = self.rng.gen_bool(self.cfg.spike_prob);
             let next = self.current_point(i, spiked);
             let changed = self

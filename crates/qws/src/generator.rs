@@ -286,7 +286,8 @@ mod tests {
                     let median = sorted[sorted.len() / 2];
                     let model_median = mu.exp();
                     assert!(
-                        median > model_median / (1.0 + sigma) && median < model_median * (1.0 + sigma) * 1.5,
+                        median > model_median / (1.0 + sigma)
+                            && median < model_median * (1.0 + sigma) * 1.5,
                         "{}: sample median {median:.1} vs model {model_median:.1}",
                         spec.name
                     );

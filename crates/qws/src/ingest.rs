@@ -134,7 +134,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!(
             "fixture-{}.csv",
-            std::process::id() as u64 + lines.len() as u64 * 1000
+            u64::from(std::process::id()) + lines.len() as u64 * 1000
         ));
         let mut f = std::fs::File::create(&path).unwrap();
         for l in lines {
@@ -180,8 +180,7 @@ mod tests {
 
     #[test]
     fn out_of_range_values_are_clamped() {
-        let line =
-            "10.0, 150.0, 10.0, 96.0, 73.0, 80.0, 60.0, 30.0, 50.0, Weird, http://x?wsdl";
+        let line = "10.0, 150.0, 10.0, 96.0, 73.0, 80.0, 60.0, 30.0, 50.0, Weird, http://x?wsdl";
         let path = write_fixture(&[line]);
         let (data, _) = load_qws_file(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -193,8 +192,8 @@ mod tests {
     #[test]
     fn malformed_lines_are_errors() {
         for bad in [
-            "1,2,3",                                                       // too few fields
-            "a, 95, 10, 96, 73, 80, 60, 30, 50, Name, http://x?wsdl",      // non-numeric
+            "1,2,3",                                                  // too few fields
+            "a, 95, 10, 96, 73, 80, 60, 30, 50, Name, http://x?wsdl", // non-numeric
         ] {
             let path = write_fixture(&[GOOD, bad]);
             assert!(load_qws_file(&path).is_err(), "{bad}");
@@ -216,9 +215,9 @@ mod tests {
             .map(|i| {
                 format!(
                     "{}, {}, 5.0, 80.0, 60.0, 70.0, 55.0, {}, 40.0, Svc{}, http://x/{i}?wsdl",
-                    100.0 + 70.0 * (i % 7) as f64,
-                    60.0 + 4.0 * (i % 9) as f64,
-                    10.0 + 30.0 * (i % 5) as f64,
+                    100.0 + 70.0 * f64::from(i % 7),
+                    60.0 + 4.0 * f64::from(i % 9),
+                    10.0 + 30.0 * f64::from(i % 5),
                     i
                 )
             })

@@ -283,7 +283,9 @@ mod tests {
     fn skyline_of_a_category_works_end_to_end() {
         use skyline_algos::prelude::*;
         let r = registry();
-        let data = r.category_dataset(Category::StockQuotes).expect("non-empty");
+        let data = r
+            .category_dataset(Category::StockQuotes)
+            .expect("non-empty");
         let sky = bnl_skyline(data.points(), &BnlConfig::default());
         assert!(!sky.is_empty());
         // every skyline id resolves back to a registry entry of the category

@@ -49,7 +49,10 @@ pub fn clamped_log_normal<R: Rng + ?Sized>(
 /// quality" factor per service to induce realistic cross-attribute
 /// correlation.
 pub fn correlate(q: f64, z: f64, rho: f64) -> f64 {
-    assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "correlation must be in [-1, 1]"
+    );
     rho * q + (1.0 - rho * rho).sqrt() * z
 }
 

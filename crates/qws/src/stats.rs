@@ -28,7 +28,7 @@ pub fn dimension_stats(dataset: &Dataset) -> Vec<DimensionStats> {
     (0..dataset.dim())
         .map(|i| {
             let mut values: Vec<f64> = dataset.points().iter().map(|p| p.coord(i)).collect();
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+            values.sort_by(f64::total_cmp);
             let mean = values.iter().sum::<f64>() / n;
             let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
             DimensionStats {

@@ -90,11 +90,8 @@ pub fn generate_synthetic(cfg: &SyntheticConfig) -> Dataset {
             Distribution::AntiCorrelated => {
                 // coordinate total concentrated around d/2, spread across
                 // dimensions by random (exponential) proportions
-                let total = (d as f64 / 2.0 + 0.05 * d as f64 * standard_normal(&mut rng))
-                    .max(0.0);
-                let weights: Vec<f64> = (0..d)
-                    .map(|_| -f64::ln(1.0 - rng.gen::<f64>()))
-                    .collect();
+                let total = (d as f64 / 2.0 + 0.05 * d as f64 * standard_normal(&mut rng)).max(0.0);
+                let weights: Vec<f64> = (0..d).map(|_| -f64::ln(1.0 - rng.gen::<f64>())).collect();
                 let wsum: f64 = weights.iter().sum();
                 weights
                     .iter()
@@ -145,7 +142,10 @@ mod tests {
         ] {
             let ds = generate_synthetic(&SyntheticConfig::new(500, 4, dist));
             for p in ds.points() {
-                assert!(p.coords().iter().all(|&v| (0.0..=1.0).contains(&v)), "{dist:?}");
+                assert!(
+                    p.coords().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                    "{dist:?}"
+                );
             }
         }
     }
@@ -165,14 +165,22 @@ mod tests {
 
     #[test]
     fn anti_correlation_is_negative() {
-        let ds = generate_synthetic(&SyntheticConfig::new(20_000, 2, Distribution::AntiCorrelated));
+        let ds = generate_synthetic(&SyntheticConfig::new(
+            20_000,
+            2,
+            Distribution::AntiCorrelated,
+        ));
         let xs: Vec<f64> = ds.points().iter().map(|p| p.coord(0)).collect();
         let ys: Vec<f64> = ds.points().iter().map(|p| p.coord(1)).collect();
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;
-        let cov =
-            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        let cov = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n;
         assert!(cov < -0.005, "covariance {cov} should be negative");
     }
 

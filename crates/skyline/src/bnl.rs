@@ -201,6 +201,7 @@ pub fn bnl_skyline_stats(points: &[Point], cfg: &BnlConfig) -> (Vec<Point>, BnlS
     }
     skyline.extend(window.drain(..).map(|e| e.point));
 
+    crate::invariants::check_skyline("bnl", points, &skyline);
     stats.output_len = skyline.len() as u64;
     (skyline, stats)
 }
@@ -279,7 +280,7 @@ mod tests {
         // Anti-correlated-ish data where everything is in the skyline, which
         // maximises overflow pressure.
         let rows: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64, 49.0 - i as f64])
+            .map(|i| vec![f64::from(i), 49.0 - f64::from(i)])
             .collect();
         let p: Vec<Point> = rows
             .iter()
@@ -335,7 +336,13 @@ mod tests {
             window_size: Some(2),
             move_to_front: false,
         };
-        let p = pts(&[&[3.0, 3.0], &[1.0, 5.0], &[5.0, 1.0], &[2.0, 2.0], &[4.0, 4.0]]);
+        let p = pts(&[
+            &[3.0, 3.0],
+            &[1.0, 5.0],
+            &[5.0, 1.0],
+            &[2.0, 2.0],
+            &[4.0, 4.0],
+        ]);
         assert_eq!(ids(bnl_skyline(&p, &cfg)), ids(naive_skyline(&p)));
     }
 

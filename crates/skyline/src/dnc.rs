@@ -66,6 +66,7 @@ pub fn dnc_skyline_stats(points: &[Point]) -> (Vec<Point>, DncStats) {
     }
     let mut work: Vec<Point> = points.to_vec();
     let out = recurse(&mut work, 0, &mut stats);
+    crate::invariants::check_skyline("dnc", points, &out);
     stats.output_len = out.len() as u64;
     (out, stats)
 }
@@ -98,12 +99,7 @@ fn recurse(points: &mut [Point], depth: u32, stats: &mut DncStats) -> Vec<Point>
     // straddling the boundary, a high-half point tying on dimension 0 could
     // dominate a low-half point, breaking the "low skyline survives whole"
     // invariant of the merge. Sorting makes the value split a binary search.
-    points.sort_unstable_by(|a, b| {
-        a.coord(0)
-            .partial_cmp(&b.coord(0))
-            .expect("coordinates are finite")
-            .then(a.id().cmp(&b.id()))
-    });
+    points.sort_unstable_by(|a, b| a.coord(0).total_cmp(&b.coord(0)).then(a.id().cmp(&b.id())));
     let pivot = points[points.len() / 2].coord(0);
     let mut split = points.partition_point(|p| p.coord(0) < pivot);
     if split == 0 {
@@ -179,9 +175,7 @@ mod tests {
 
     #[test]
     fn duplicate_coordinates_all_survive() {
-        let points: Vec<Point> = (0..100)
-            .map(|i| Point::new(i, vec![1.0, 1.0]))
-            .collect();
+        let points: Vec<Point> = (0..100).map(|i| Point::new(i, vec![1.0, 1.0])).collect();
         assert_eq!(dnc_skyline(&points).len(), 100);
     }
 
@@ -242,7 +236,7 @@ mod tests {
                     Point::new(
                         i,
                         vec![
-                            rng.gen_range(0..3) as f64,
+                            f64::from(rng.gen_range(0..3)),
                             rng.gen_range(0.0..4.0),
                             rng.gen_range(0.0..4.0),
                         ],

@@ -37,7 +37,10 @@ impl fmt::Display for SkylineError {
                 write!(f, "point {id} has no dimensions")
             }
             SkylineError::NonFiniteCoordinate { id, dim } => {
-                write!(f, "point {id} has a non-finite coordinate on dimension {dim}")
+                write!(
+                    f,
+                    "point {id} has a non-finite coordinate on dimension {dim}"
+                )
             }
             SkylineError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
@@ -56,9 +59,14 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = SkylineError::DimensionMismatch { expected: 4, actual: 2 };
+        let e = SkylineError::DimensionMismatch {
+            expected: 4,
+            actual: 2,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 2");
-        assert!(SkylineError::ZeroPartitions.to_string().contains("at least 1"));
+        assert!(SkylineError::ZeroPartitions
+            .to_string()
+            .contains("at least 1"));
         assert!(SkylineError::EmptyDataset.to_string().contains("non-empty"));
         assert!(SkylineError::EmptyPoint { id: 2 }.to_string().contains("2"));
         let nf = SkylineError::NonFiniteCoordinate { id: 1, dim: 3 };

@@ -167,11 +167,16 @@ mod tests {
             let d = rng.gen_range(2..12);
             let p = Point::new(
                 0,
-                (0..d).map(|_| rng.gen_range(0.0..100.0)).collect::<Vec<_>>(),
+                (0..d)
+                    .map(|_| rng.gen_range(0.0..100.0))
+                    .collect::<Vec<_>>(),
             );
             let h = to_hyperspherical(&p);
             for &a in h.angles.iter() {
-                assert!((0.0..=FRAC_PI_2 + 1e-12).contains(&a), "angle {a} out of range");
+                assert!(
+                    (0.0..=FRAC_PI_2 + 1e-12).contains(&a),
+                    "angle {a} out of range"
+                );
             }
         }
     }

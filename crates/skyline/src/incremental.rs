@@ -200,7 +200,11 @@ mod tests {
             all.push(p.clone());
             inc.insert(p);
             if i % 50 == 49 {
-                assert_eq!(ids(inc.global_skyline()), naive_skyline_ids(&all), "after {i}");
+                assert_eq!(
+                    ids(inc.global_skyline()),
+                    naive_skyline_ids(&all),
+                    "after {i}"
+                );
             }
         }
         assert_eq!(inc.len(), 400);
@@ -224,7 +228,10 @@ mod tests {
     #[test]
     fn insert_reports_global_change() {
         let mut inc = IncrementalSkyline::new(partitioner());
-        assert!(inc.insert(Point::new(0, vec![5.0, 5.0])), "first point joins");
+        assert!(
+            inc.insert(Point::new(0, vec![5.0, 5.0])),
+            "first point joins"
+        );
         assert!(
             !inc.insert(Point::new(1, vec![6.0, 6.0])),
             "dominated point changes nothing"

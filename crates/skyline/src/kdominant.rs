@@ -30,7 +30,11 @@ use crate::point::Point;
 ///
 /// Panics (debug) on dimensionality mismatch; `k` must be in `1..=d`.
 pub fn k_dominates(p: &Point, q: &Point, k: usize) -> bool {
-    debug_assert_eq!(p.dim(), q.dim(), "k-dominance requires equal dimensionality");
+    debug_assert_eq!(
+        p.dim(),
+        q.dim(),
+        "k-dominance requires equal dimensionality"
+    );
     assert!(k >= 1 && k <= p.dim(), "k must be in 1..=d");
     let mut le = 0usize;
     let mut lt = 0usize;
@@ -108,7 +112,10 @@ mod tests {
             let d = rng.gen_range(2..5);
             let pts: Vec<Point> = (0..100)
                 .map(|i| {
-                    Point::new(i, (0..d).map(|_| rng.gen_range(0.0..3.0)).collect::<Vec<_>>())
+                    Point::new(
+                        i,
+                        (0..d).map(|_| rng.gen_range(0.0..3.0)).collect::<Vec<_>>(),
+                    )
                 })
                 .collect();
             assert_eq!(ids(&k_dominant_skyline(&pts, d)), naive_skyline_ids(&pts));

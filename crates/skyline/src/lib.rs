@@ -52,6 +52,7 @@ pub mod dominance;
 pub mod error;
 pub mod hypersphere;
 pub mod incremental;
+pub mod invariants;
 pub mod kdominant;
 pub mod metrics;
 pub mod parallel;
@@ -61,8 +62,8 @@ pub mod progressive;
 pub mod ranking;
 pub mod representative;
 pub mod seq;
-pub mod topk;
 pub mod sfs;
+pub mod topk;
 
 pub use bnl::{bnl_skyline, bnl_skyline_stats, BnlConfig, BnlStats};
 pub use dnc::{dnc_skyline, dnc_skyline_stats, DncStats};
@@ -71,38 +72,38 @@ pub use error::SkylineError;
 pub use hypersphere::{to_hyperspherical, to_hyperspherical_into, HyperPoint};
 pub use kdominant::{k_dominant_skyline, k_dominates};
 pub use parallel::{parallel_skyline, parallel_skyline_partitioned, parallel_skyline_stats};
-pub use progressive::ProgressiveSkyline;
-pub use topk::{dominance_counts, top_k_dominating, DominatingEntry};
 pub use partition::{
-    AnglePartitioner, Bounds, DimPartitioner, GridPartitioner, RandomPartitioner,
-    SpacePartitioner,
+    AnglePartitioner, AxisProfile, BoundaryProfile, Bounds, DimPartitioner, GridPartitioner,
+    PartitionSpace, RandomPartitioner, SpacePartitioner,
 };
 pub use point::Point;
+pub use progressive::ProgressiveSkyline;
 pub use ranking::WeightedScore;
 pub use representative::{distance_based_representatives, max_dominance_representatives};
 pub use seq::naive_skyline;
 pub use sfs::{sfs_skyline, sfs_skyline_stats};
+pub use topk::{dominance_counts, top_k_dominating, DominatingEntry};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::bnl::{bnl_skyline, bnl_skyline_stats, BnlConfig, BnlStats};
+    pub use crate::dnc::dnc_skyline;
     pub use crate::dominance::{dominates, strictly_dominates, DomCounter, DomRelation};
     pub use crate::hypersphere::{to_hyperspherical, HyperPoint};
-    pub use crate::metrics::local_skyline_optimality;
-    pub use crate::partition::{
-        AnglePartitioner, Bounds, DimPartitioner, GridPartitioner, RandomPartitioner,
-        SpacePartitioner,
-    };
-    pub use crate::dnc::dnc_skyline;
     pub use crate::kdominant::{k_dominant_skyline, k_dominates};
+    pub use crate::metrics::local_skyline_optimality;
     pub use crate::parallel::{parallel_skyline, parallel_skyline_partitioned};
-    pub use crate::progressive::ProgressiveSkyline;
-    pub use crate::topk::top_k_dominating;
+    pub use crate::partition::{
+        AnglePartitioner, AxisProfile, BoundaryProfile, Bounds, DimPartitioner, GridPartitioner,
+        PartitionSpace, RandomPartitioner, SpacePartitioner,
+    };
     pub use crate::point::Point;
+    pub use crate::progressive::ProgressiveSkyline;
     pub use crate::ranking::WeightedScore;
     pub use crate::representative::{
         distance_based_representatives, max_dominance_representatives,
     };
     pub use crate::seq::naive_skyline;
     pub use crate::sfs::sfs_skyline;
+    pub use crate::topk::top_k_dominating;
 }

@@ -29,7 +29,10 @@ pub fn local_skyline_optimality(local_skylines: &[Vec<Point>], global_skyline: &
         if local.is_empty() {
             continue;
         }
-        let hits = local.iter().filter(|p| global_ids.contains(&p.id())).count();
+        let hits = local
+            .iter()
+            .filter(|p| global_ids.contains(&p.id()))
+            .count();
         sum += hits as f64 / local.len() as f64;
         parts += 1;
     }
@@ -145,7 +148,10 @@ pub struct LoadBalance {
 ///
 /// Panics if `counts` is empty.
 pub fn load_balance(counts: &[usize]) -> LoadBalance {
-    assert!(!counts.is_empty(), "load balance needs at least one partition");
+    assert!(
+        !counts.is_empty(),
+        "load balance needs at least one partition"
+    );
     let n = counts.len() as f64;
     let mean = counts.iter().sum::<usize>() as f64 / n;
     let var = counts
@@ -161,8 +167,8 @@ pub fn load_balance(counts: &[usize]) -> LoadBalance {
         mean,
         std_dev,
         cv: if mean > 0.0 { std_dev / mean } else { 0.0 },
-        max: *counts.iter().max().expect("non-empty"),
-        min: *counts.iter().min().expect("non-empty"),
+        max: counts.iter().max().copied().unwrap_or(0),
+        min: counts.iter().min().copied().unwrap_or(0),
         empty: counts.iter().filter(|&&c| c == 0).count(),
     }
 }
@@ -217,12 +223,12 @@ mod tests {
         // For any (x, y) with 0 ≤ y ≤ x/2 ≤ L, ΔD ≥ bound ≥ 0.
         let l = 1.0;
         for xi in 0..=20 {
-            let x = 2.0 * l * xi as f64 / 20.0; // x ∈ [0, 2L]
+            let x = 2.0 * l * f64::from(xi) / 20.0; // x ∈ [0, 2L]
             if x > 2.0 * l {
                 continue;
             }
             for yi in 0..=10 {
-                let y = (x / 2.0) * yi as f64 / 10.0;
+                let y = (x / 2.0) * f64::from(yi) / 10.0;
                 let gap = dominance_ability_angle(x, y, l) - dominance_ability_grid(x, y, l);
                 let bound = dominance_gap_lower_bound(x, l);
                 assert!(
@@ -275,7 +281,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let est = empirical_dominance_ability(&s, &part, side, 200_000, &mut rng);
         let exact = dominance_ability_grid(0.8, 0.15, l);
-        assert!((est - exact).abs() < 0.02, "Monte-Carlo {est} vs formula {exact}");
+        assert!(
+            (est - exact).abs() < 0.02,
+            "Monte-Carlo {est} vs formula {exact}"
+        );
     }
 
     #[test]

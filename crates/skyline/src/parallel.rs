@@ -106,13 +106,11 @@ pub fn parallel_skyline_stats(points: &[Point], threads: usize) -> (Vec<Point>, 
         return (Vec::new(), stats);
     }
     let chunk_size = points.len().div_ceil(threads);
-    let chunks: Vec<Vec<Point>> = points
-        .chunks(chunk_size)
-        .map(|c| c.to_vec())
-        .collect();
+    let chunks: Vec<Vec<Point>> = points.chunks(chunk_size).map(<[Point]>::to_vec).collect();
     let (locals, counter) = run_chunks(chunks, threads);
     stats.local_comparisons = counter.comparisons();
     let sky = merge_locals(locals, &mut stats);
+    crate::invariants::check_skyline("parallel", points, &sky);
     (sky, stats)
 }
 
@@ -139,13 +137,14 @@ pub fn parallel_skyline_partitioned(
     let (locals, counter) = run_chunks(chunks, threads);
     stats.local_comparisons = counter.comparisons();
     let sky = merge_locals(locals, &mut stats);
+    crate::invariants::check_skyline("parallel-partitioned", points, &sky);
     (sky, stats)
 }
 
 fn effective_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
     } else {
         threads
@@ -189,7 +188,11 @@ mod tests {
         let pts = random_points(700, 3, 71);
         let oracle = naive_skyline_ids(&pts);
         for threads in [1usize, 2, 4, 16] {
-            assert_eq!(ids(&parallel_skyline(&pts, threads)), oracle, "{threads} threads");
+            assert_eq!(
+                ids(&parallel_skyline(&pts, threads)),
+                oracle,
+                "{threads} threads"
+            );
         }
     }
 
@@ -214,7 +217,7 @@ mod tests {
         let (_, angular) = parallel_skyline_partitioned(&pts, &part, 4);
         // block chunking with the same chunk count
         let chunk = pts.len().div_ceil(np);
-        let blocks: Vec<Vec<Point>> = pts.chunks(chunk).map(|c| c.to_vec()).collect();
+        let blocks: Vec<Vec<Point>> = pts.chunks(chunk).map(<[Point]>::to_vec).collect();
         let mut block_stats = ParallelStats::default();
         let (locals, _) = run_chunks(blocks, 4);
         let _ = merge_locals(locals, &mut block_stats);

@@ -25,7 +25,10 @@
 //! per-angular-dimension sample quantiles, preserving the angular geometry
 //! while balancing sector populations.
 
-use super::{lattice_splits, linearize, Bounds, SpacePartitioner};
+use super::{
+    lattice_splits, linearize, AxisProfile, BoundaryProfile, Bounds, PartitionSpace,
+    SpacePartitioner,
+};
 use crate::error::SkylineError;
 use crate::hypersphere::to_hyperspherical_into;
 use crate::point::Point;
@@ -108,7 +111,7 @@ impl AnglePartitioner {
             .enumerate()
             .map(|(i, &s)| {
                 let col = &mut columns[i];
-                col.sort_by(|a, b| a.partial_cmp(b).expect("angles are finite"));
+                col.sort_by(f64::total_cmp);
                 (1..s)
                     .map(|k| {
                         let idx = (k * col.len()) / s;
@@ -153,6 +156,17 @@ impl AnglePartitioner {
     /// Per-angular-dimension split counts.
     pub fn splits(&self) -> &[usize] {
         &self.splits
+    }
+
+    /// Interior sector boundaries per angular dimension, ascending.
+    pub fn boundaries(&self) -> &[Vec<f64>] {
+        &self.boundaries
+    }
+
+    /// The translation applied before the hyperspherical transform (the
+    /// fitted data's minimum corner).
+    pub fn origin(&self) -> &[f64] {
+        &self.origin
     }
 
     /// The angular multi-index of `p` (empty for 1-D data).
@@ -202,6 +216,24 @@ impl SpacePartitioner for AnglePartitioner {
         }
         linearize(&self.sector_index(p), &self.splits)
     }
+
+    fn boundary_profile(&self) -> BoundaryProfile {
+        BoundaryProfile {
+            scheme: self.name(),
+            space: PartitionSpace::Angular,
+            axes: self
+                .boundaries
+                .iter()
+                .enumerate()
+                .map(|(i, bs)| AxisProfile {
+                    coord: i,
+                    domain: (0.0, FRAC_PI_2),
+                    boundaries: bs.clone(),
+                })
+                .collect(),
+            origin: Some(self.origin.clone()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +274,7 @@ mod tests {
         let part = AnglePartitioner::fit(&Bounds::zero_to(1.0, 2), np).unwrap();
         let mut seen = vec![false; part.num_partitions()];
         for k in 0..=200 {
-            let angle = FRAC_PI_2 * k as f64 / 200.0;
+            let angle = FRAC_PI_2 * f64::from(k) / 200.0;
             let p = Point::new(k as u64, vec![angle.cos(), angle.sin()]);
             seen[part.partition_of(&p)] = true;
         }
@@ -285,7 +317,10 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..100 {
-            let p = Point::new(i, (0..10).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>());
+            let p = Point::new(
+                i,
+                (0..10).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+            );
             let s = part.partition_of(&p);
             assert!(s < part.num_partitions());
         }
@@ -367,7 +402,16 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(22);
         let pts: Vec<Point> = (0..500)
-            .map(|i| Point::new(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .map(|i| {
+                Point::new(
+                    i,
+                    vec![
+                        rng.gen_range(0.0..1.0),
+                        rng.gen_range(0.0..1.0),
+                        rng.gen_range(0.0..1.0),
+                    ],
+                )
+            })
             .collect();
         let part = AnglePartitioner::fit_quantile(&pts, 8).unwrap();
         let base = Point::new(1000, vec![0.4, 0.2, 0.6]);
@@ -387,7 +431,7 @@ mod tests {
         // so assignments should mostly coincide.
         let pts: Vec<Point> = (0..=400)
             .map(|k| {
-                let a = FRAC_PI_2 * k as f64 / 400.0;
+                let a = FRAC_PI_2 * f64::from(k) / 400.0;
                 Point::new(k as u64, vec![a.cos(), a.sin()])
             })
             .collect();
@@ -397,6 +441,10 @@ mod tests {
             .iter()
             .filter(|p| equal.partition_of(p) == quant.partition_of(p))
             .count();
-        assert!(agree * 10 >= pts.len() * 9, "only {agree}/{} agree", pts.len());
+        assert!(
+            agree * 10 >= pts.len() * 9,
+            "only {agree}/{} agree",
+            pts.len()
+        );
     }
 }

@@ -10,7 +10,7 @@
 //! so most of the local-skyline work there is redundant, and the merge stage
 //! receives many locally optimal but globally dominated candidates.
 
-use super::{Bounds, SpacePartitioner};
+use super::{AxisProfile, BoundaryProfile, Bounds, PartitionSpace, SpacePartitioner};
 use crate::error::SkylineError;
 use crate::point::Point;
 
@@ -28,6 +28,8 @@ pub struct DimPartitioner {
     split_dim: usize,
     /// Interior slab boundaries, ascending (`len = partitions − 1`).
     boundaries: Vec<f64>,
+    /// Fitted range of the split dimension, kept for plan-time analysis.
+    domain: (f64, f64),
 }
 
 impl DimPartitioner {
@@ -62,6 +64,7 @@ impl DimPartitioner {
             dim: bounds.dim(),
             split_dim,
             boundaries,
+            domain: (lo, hi),
         })
     }
 
@@ -77,20 +80,27 @@ impl DimPartitioner {
         }
         let split_dim = 0;
         let mut values: Vec<f64> = sample.iter().map(|p| p.coord(split_dim)).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        values.sort_by(f64::total_cmp);
         let boundaries = (1..partitions)
             .map(|k| values[(k * values.len() / partitions).min(values.len() - 1)])
             .collect();
+        let domain = (values[0], values[values.len() - 1]);
         Ok(Self {
             dim: sample[0].dim(),
             split_dim,
             boundaries,
+            domain,
         })
     }
 
     /// The dimension this partitioner splits on.
     pub fn split_dim(&self) -> usize {
         self.split_dim
+    }
+
+    /// Interior slab boundaries, ascending.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
     }
 }
 
@@ -111,6 +121,19 @@ impl SpacePartitioner for DimPartitioner {
         assert_eq!(p.dim(), self.dim, "point dimensionality mismatch");
         let v = p.coord(self.split_dim);
         self.boundaries.partition_point(|&b| b <= v)
+    }
+
+    fn boundary_profile(&self) -> BoundaryProfile {
+        BoundaryProfile {
+            scheme: self.name(),
+            space: PartitionSpace::Cartesian,
+            axes: vec![AxisProfile {
+                coord: self.split_dim,
+                domain: self.domain,
+                boundaries: self.boundaries.clone(),
+            }],
+            origin: None,
+        }
     }
 }
 
@@ -174,7 +197,11 @@ mod tests {
         // 0, quantiles spread it evenly
         let points: Vec<Point> = (0..1000)
             .map(|i| {
-                let v = if i < 900 { i as f64 * 0.01 } else { 100.0 + i as f64 };
+                let v = if i < 900 {
+                    f64::from(i) * 0.01
+                } else {
+                    100.0 + f64::from(i)
+                };
                 Point::new(i as u64, vec![v, 0.0])
             })
             .collect();
@@ -189,7 +216,11 @@ mod tests {
             *c.iter().max().unwrap()
         };
         assert!(count_max(&equal) >= 900);
-        assert!(count_max(&quant) <= 300, "quantiles balance: {}", count_max(&quant));
+        assert!(
+            count_max(&quant) <= 300,
+            "quantiles balance: {}",
+            count_max(&quant)
+        );
     }
 
     #[test]

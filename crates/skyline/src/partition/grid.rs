@@ -14,7 +14,10 @@
 //! — worth 25 % at `d = 2` with 4 cells, but fading with dimensionality
 //! (under 11.08 % at `d = 10`, citing Zhang et al.).
 
-use super::{delinearize, lattice_splits, linearize, Bounds, SpacePartitioner};
+use super::{
+    delinearize, lattice_splits, linearize, AxisProfile, BoundaryProfile, Bounds, PartitionSpace,
+    SpacePartitioner,
+};
 use crate::error::SkylineError;
 use crate::point::Point;
 
@@ -32,6 +35,8 @@ pub struct GridPartitioner {
     /// Interior cell boundaries per split dimension
     /// (`boundaries[i].len() == splits[i] - 1`, ascending).
     boundaries: Vec<Vec<f64>>,
+    /// Fitted `[min, max]` per split dimension, kept for plan-time analysis.
+    domains: Vec<(f64, f64)>,
     cells: usize,
 }
 
@@ -77,11 +82,15 @@ impl GridPartitioner {
                     .collect::<Vec<f64>>()
             })
             .collect::<Vec<_>>();
+        let domains = (0..split_dims)
+            .map(|i| (bounds.min(i), bounds.max(i)))
+            .collect();
         let cells = splits.iter().product();
         Ok(Self {
             dim: bounds.dim(),
             splits,
             boundaries,
+            domains,
             cells,
         })
     }
@@ -111,17 +120,21 @@ impl GridPartitioner {
             .enumerate()
             .map(|(i, &s)| {
                 let mut values: Vec<f64> = sample.iter().map(|p| p.coord(i)).collect();
-                values.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+                values.sort_by(f64::total_cmp);
                 (1..s)
                     .map(|k| values[(k * values.len() / s).min(values.len() - 1)])
                     .collect::<Vec<f64>>()
             })
             .collect::<Vec<_>>();
+        let domains = (0..split_dims)
+            .map(|i| (bounds.min(i), bounds.max(i)))
+            .collect();
         let cells = splits.iter().product();
         Ok(Self {
             dim: bounds.dim(),
             splits,
             boundaries,
+            domains,
             cells,
         })
     }
@@ -134,6 +147,11 @@ impl GridPartitioner {
     /// Number of dimensions actually gridded (a prefix of the space).
     pub fn split_dims(&self) -> usize {
         self.splits.len()
+    }
+
+    /// Interior cell boundaries per split dimension, ascending.
+    pub fn boundaries(&self) -> &[Vec<f64>] {
+        &self.boundaries
     }
 
     /// Multi-index of the cell `p` falls into (over the split dimensions).
@@ -195,6 +213,25 @@ impl SpacePartitioner for GridPartitioner {
         }
         prunable
     }
+
+    fn boundary_profile(&self) -> BoundaryProfile {
+        BoundaryProfile {
+            scheme: self.name(),
+            space: PartitionSpace::Cartesian,
+            axes: self
+                .boundaries
+                .iter()
+                .zip(&self.domains)
+                .enumerate()
+                .map(|(i, (bs, &domain))| AxisProfile {
+                    coord: i,
+                    domain,
+                    boundaries: bs.clone(),
+                })
+                .collect(),
+            origin: None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +292,10 @@ mod tests {
             let g = GridPartitioner::fit(&Bounds::zero_to(1.0, d), 9).unwrap();
             let points: Vec<Point> = (0..300)
                 .map(|i| {
-                    Point::new(i, (0..d).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>())
+                    Point::new(
+                        i,
+                        (0..d).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                    )
                 })
                 .collect();
             let mut counts = vec![0usize; g.num_partitions()];
@@ -342,7 +382,11 @@ mod tests {
         // skewed on both dims: equal-width piles everything into one cell
         let points: Vec<Point> = (0..1000)
             .map(|i| {
-                let v = if i % 10 == 0 { 100.0 } else { (i % 50) as f64 * 0.02 };
+                let v = if i % 10 == 0 {
+                    100.0
+                } else {
+                    f64::from(i % 50) * 0.02
+                };
                 Point::new(i as u64, vec![v, v * 0.5])
             })
             .collect();

@@ -121,6 +121,89 @@ impl Bounds {
     }
 }
 
+/// One partitioned axis of a fitted partitioner, exposed for static
+/// analysis: the closed domain the axis covers, and the interior boundaries
+/// cutting it into `boundaries.len() + 1` intervals (each interval is closed
+/// on the left — a point exactly on a boundary belongs to the interval
+/// *above* it, matching `partition_point(|b| b <= v)` everywhere).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisProfile {
+    /// Which coordinate the axis cuts: a data dimension for Cartesian
+    /// profiles, an angular index (Eq. 1 ordering) for angular ones.
+    pub coord: usize,
+    /// Closed domain `[lo, hi]` this axis partitions. For angular axes this
+    /// is `[0, π/2]`; for coordinate axes, the fitted bounds.
+    pub domain: (f64, f64),
+    /// Interior boundaries, expected strictly increasing and interior to
+    /// the domain. `len + 1` intervals.
+    pub boundaries: Vec<f64>,
+}
+
+impl AxisProfile {
+    /// Number of intervals this axis is cut into.
+    pub fn intervals(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+}
+
+/// Static description of a fitted partition function, consumed by the
+/// `mrsky-audit` plan validator to prove totality/disjointness and check
+/// boundary sanity *before* a job runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryProfile {
+    /// Scheme name, mirrors [`SpacePartitioner::name`].
+    pub scheme: &'static str,
+    /// Coordinate space the axes live in.
+    pub space: PartitionSpace,
+    /// The partitioned axes, row-major: partition id is the linearisation
+    /// of the per-axis interval indices. Empty for opaque (non-geometric)
+    /// schemes, where only `num_partitions` constrains the id range.
+    pub axes: Vec<AxisProfile>,
+    /// For angular profiles, the translation applied to data points before
+    /// the hyperspherical transform (the fitted minimum corner). `None`
+    /// elsewhere.
+    pub origin: Option<Vec<f64>>,
+}
+
+/// Which space a [`BoundaryProfile`]'s axes cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionSpace {
+    /// Axis `i` cuts data coordinate `i` (MR-Dim cuts one axis, MR-Grid a
+    /// prefix of them).
+    Cartesian,
+    /// Axes cut the `(d−1)` hyperspherical angles of Eq. (1) (MR-Angle).
+    Angular,
+    /// No geometric structure (hash partitioning): every id in range is
+    /// legal for any point.
+    Opaque,
+}
+
+impl BoundaryProfile {
+    /// Profile of a partitioner with no geometric structure.
+    pub fn opaque(scheme: &'static str) -> Self {
+        Self {
+            scheme,
+            space: PartitionSpace::Opaque,
+            axes: Vec::new(),
+            origin: None,
+        }
+    }
+
+    /// Product of per-axis interval counts as a u128 (overflow-proof), the
+    /// partition count this profile implies. `None` for opaque profiles.
+    pub fn implied_partitions(&self) -> Option<u128> {
+        if self.space == PartitionSpace::Opaque {
+            return None;
+        }
+        Some(
+            self.axes
+                .iter()
+                .map(|a| a.intervals() as u128)
+                .product::<u128>(),
+        )
+    }
+}
+
 /// A scheme that maps every point of a `d`-dimensional space to one of
 /// `num_partitions()` partitions.
 ///
@@ -154,6 +237,14 @@ pub trait SpacePartitioner: Send + Sync {
         let _ = counts;
         vec![false; self.num_partitions()]
     }
+
+    /// Static description of the fitted partition function for plan-time
+    /// analysis. The default is an opaque profile (no geometric structure),
+    /// which is correct for hash-style schemes; geometric schemes override
+    /// this to expose their boundary lattice.
+    fn boundary_profile(&self) -> BoundaryProfile {
+        BoundaryProfile::opaque(self.name())
+    }
 }
 
 impl SpacePartitioner for std::sync::Arc<dyn SpacePartitioner> {
@@ -172,6 +263,9 @@ impl SpacePartitioner for std::sync::Arc<dyn SpacePartitioner> {
     fn prunable(&self, counts: &[usize]) -> Vec<bool> {
         (**self).prunable(counts)
     }
+    fn boundary_profile(&self) -> BoundaryProfile {
+        (**self).boundary_profile()
+    }
 }
 
 /// Assigns every point to its partition index.
@@ -181,10 +275,7 @@ pub fn assign_all(partitioner: &dyn SpacePartitioner, points: &[Point]) -> Vec<u
 
 /// Splits `points` into per-partition buckets (the "Map" step in miniature,
 /// used by tests and by the sequential reference pipeline).
-pub fn partition_points(
-    partitioner: &dyn SpacePartitioner,
-    points: &[Point],
-) -> Vec<Vec<Point>> {
+pub fn partition_points(partitioner: &dyn SpacePartitioner, points: &[Point]) -> Vec<Vec<Point>> {
     let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); partitioner.num_partitions()];
     for p in points {
         buckets[partitioner.partition_of(p)].push(p.clone());
@@ -221,7 +312,7 @@ pub(crate) fn lattice_splits(dims: usize, target: usize) -> Vec<usize> {
         let floor = root.ceil() as usize;
         let d = (floor.max(1)..=remaining)
             .find(|d| remaining.is_multiple_of(*d))
-            .expect("remaining divides itself");
+            .unwrap_or(remaining);
         splits.push(d);
         remaining /= d;
     }
@@ -277,7 +368,10 @@ mod tests {
         let pts = vec![Point::new(0, vec![1.0, 2.0]), Point::new(1, vec![1.0])];
         assert!(matches!(
             Bounds::from_points(&pts),
-            Err(SkylineError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(SkylineError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 

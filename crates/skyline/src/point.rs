@@ -108,7 +108,10 @@ impl Point {
     ///
     /// Panics if `d == 0` or `d > self.dim()`.
     pub fn project(&self, d: usize) -> Point {
-        assert!(d >= 1 && d <= self.dim(), "invalid projection dimension {d}");
+        assert!(
+            d >= 1 && d <= self.dim(),
+            "invalid projection dimension {d}"
+        );
         Point {
             id: self.id,
             coords: self.coords[..d].into(),

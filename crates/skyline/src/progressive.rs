@@ -32,8 +32,7 @@ impl ProgressiveSkyline {
         // descending score: the best candidate sits at the back for pop()
         pending.sort_by(|a, b| {
             b.entropy_score()
-                .partial_cmp(&a.entropy_score())
-                .expect("finite coordinates yield finite scores")
+                .total_cmp(&a.entropy_score())
                 .then(b.id().cmp(&a.id()))
         });
         Self {

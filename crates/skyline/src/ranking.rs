@@ -32,7 +32,10 @@ impl WeightedScore {
     /// Panics if `reference` is empty, weights are negative/non-finite, or
     /// the weight count does not match the dimensionality.
     pub fn fit(weights: &[f64], reference: &[Point]) -> Self {
-        assert!(!reference.is_empty(), "need reference points for normalisation");
+        assert!(
+            !reference.is_empty(),
+            "need reference points for normalisation"
+        );
         let d = reference[0].dim();
         assert_eq!(weights.len(), d, "one weight per attribute required");
         assert!(
@@ -87,11 +90,7 @@ impl WeightedScore {
             .iter()
             .map(|p| (p.clone(), self.score(p)))
             .collect();
-        scored.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite scores")
-                .then(a.0.id().cmp(&b.0.id()))
-        });
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id().cmp(&b.0.id())));
         scored
     }
 

@@ -28,11 +28,7 @@ use crate::point::Point;
 /// points of `dataset` that are themselves in `skyline` are never counted as
 /// coverage. Returns the representatives in selection order (most covering
 /// first).
-pub fn max_dominance_representatives(
-    skyline: &[Point],
-    dataset: &[Point],
-    k: usize,
-) -> Vec<Point> {
+pub fn max_dominance_representatives(skyline: &[Point], dataset: &[Point], k: usize) -> Vec<Point> {
     if k == 0 || skyline.is_empty() {
         return Vec::new();
     }
@@ -46,7 +42,7 @@ pub fn max_dominance_representatives(
     let mut reps = Vec::with_capacity(k.min(skyline.len()));
 
     while reps.len() < k && !available.is_empty() {
-        let (best_pos, best_gain) = available
+        let Some((best_pos, best_gain)) = available
             .iter()
             .enumerate()
             .map(|(pos, &s)| {
@@ -58,7 +54,9 @@ pub fn max_dominance_representatives(
                 (pos, gain)
             })
             .max_by_key(|&(pos, gain)| (gain, std::cmp::Reverse(pos)))
-            .expect("available is non-empty");
+        else {
+            break;
+        };
         if best_gain == 0 && !reps.is_empty() {
             // Remaining picks cover nothing new — zero-gain representatives
             // carry no information, so stop early rather than padding to k.
@@ -105,31 +103,32 @@ pub fn distance_based_representatives(skyline: &[Point], k: usize) -> Vec<Point>
             .collect()
     };
     let coords: Vec<Vec<f64>> = skyline.iter().map(norm).collect();
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
     // seed: minimal normalised L2 from the origin
-    let seed = (0..skyline.len())
-        .min_by(|&a, &b| {
-            let za = coords[a].iter().map(|v| v * v).sum::<f64>();
-            let zb = coords[b].iter().map(|v| v * v).sum::<f64>();
-            za.partial_cmp(&zb).expect("finite").then(skyline[a].id().cmp(&skyline[b].id()))
-        })
-        .expect("non-empty skyline");
+    let Some(seed) = (0..skyline.len()).min_by(|&a, &b| {
+        let za = coords[a].iter().map(|v| v * v).sum::<f64>();
+        let zb = coords[b].iter().map(|v| v * v).sum::<f64>();
+        za.total_cmp(&zb)
+            .then(skyline[a].id().cmp(&skyline[b].id()))
+    }) else {
+        return Vec::new();
+    };
 
     let mut chosen = vec![seed];
     let mut min_d2: Vec<f64> = coords.iter().map(|c| dist2(c, &coords[seed])).collect();
     while chosen.len() < k.min(skyline.len()) {
-        let next = (0..skyline.len())
+        let Some(next) = (0..skyline.len())
             .filter(|i| !chosen.contains(i))
             .max_by(|&a, &b| {
                 min_d2[a]
-                    .partial_cmp(&min_d2[b])
-                    .expect("finite")
+                    .total_cmp(&min_d2[b])
                     .then(skyline[b].id().cmp(&skyline[a].id()))
             })
-            .expect("fewer chosen than skyline points");
+        else {
+            break;
+        };
         chosen.push(next);
         for i in 0..skyline.len() {
             min_d2[i] = min_d2[i].min(dist2(&coords[i], &coords[next]));
@@ -242,7 +241,11 @@ mod tests {
         let sky = contour(11);
         let reps = distance_based_representatives(&sky, 1);
         assert_eq!(reps.len(), 1);
-        assert_eq!(reps[0].id(), 5, "middle of the contour is closest to origin");
+        assert_eq!(
+            reps[0].id(),
+            5,
+            "middle of the contour is closest to origin"
+        );
     }
 
     #[test]

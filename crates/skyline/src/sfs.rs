@@ -57,8 +57,7 @@ pub fn sfs_skyline_stats(points: &[Point]) -> (Vec<Point>, SfsStats) {
     let scores: Vec<f64> = points.iter().map(Point::entropy_score).collect();
     order.sort_by(|&a, &b| {
         scores[a]
-            .partial_cmp(&scores[b])
-            .expect("finite coordinates yield finite scores")
+            .total_cmp(&scores[b])
             .then_with(|| points[a].id().cmp(&points[b].id()))
     });
 
@@ -73,6 +72,7 @@ pub fn sfs_skyline_stats(points: &[Point]) -> (Vec<Point>, SfsStats) {
         skyline.push(candidate.clone());
     }
 
+    crate::invariants::check_skyline("sfs", points, &skyline);
     stats.output_len = skyline.len() as u64;
     (skyline, stats)
 }

@@ -128,9 +128,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(81);
         for _ in 0..10 {
             let pts: Vec<Point> = (0..150)
-                .map(|i| {
-                    Point::new(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-                })
+                .map(|i| Point::new(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
                 .collect();
             let top = top_k_dominating(&pts, 1);
             if top[0].dominated > 0 {

@@ -26,7 +26,10 @@ fn main() {
         registry.len(),
         registry.dim()
     );
-    println!("{:<8} {:>9} {:>9} {:>9}   (m = map, r = reduce)", "servers", "map", "reduce", "total");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9}   (m = map, r = reduce)",
+        "servers", "map", "reduce", "total"
+    );
 
     let mut first_total = None;
     for servers in [4usize, 8, 12, 16, 20, 24, 28, 32] {
@@ -55,8 +58,10 @@ fn main() {
     // Gantt view of the 4-server map phase: the same task durations the
     // simulator scheduled, re-placed deterministically for display. Each row
     // is a map slot; digits are task indices; waves are visible as columns.
-    println!("
-map-phase Gantt at 4 servers (8 slots, digits = task index mod 10):");
+    println!(
+        "
+map-phase Gantt at 4 servers (8 slots, digits = task index mod 10):"
+    );
     let schedule = schedule_phase(
         &report4.metrics.map.task_durations,
         4 * 2,

@@ -13,9 +13,7 @@
 
 use mr_skyline_suite::qws::{generate_qws, QwsConfig};
 use mr_skyline_suite::skyline::kdominant::k_dominant_skyline;
-use mr_skyline_suite::skyline::parallel::{
-    parallel_skyline_partitioned, parallel_skyline_stats,
-};
+use mr_skyline_suite::skyline::parallel::{parallel_skyline_partitioned, parallel_skyline_stats};
 use mr_skyline_suite::skyline::partition::AnglePartitioner;
 use mr_skyline_suite::skyline::representative::{
     distance_based_representatives, max_dominance_representatives,
@@ -53,7 +51,10 @@ fn main() {
     );
 
     // --- k-dominant skylines shrink the answer ---
-    println!("\nk-dominant skylines (within the {}-point skyline):", skyline.len());
+    println!(
+        "\nk-dominant skylines (within the {}-point skyline):",
+        skyline.len()
+    );
     for k in (d - 3..=d).rev() {
         let kd = k_dominant_skyline(&skyline, k);
         println!("  k = {k:>2}: {:>6} services survive", kd.len());
@@ -75,10 +76,16 @@ fn main() {
     let diverse = distance_based_representatives(&skyline, 5);
     println!(
         "\n5 covering representatives: {:?}",
-        covering.iter().map(|p| p.id()).collect::<Vec<_>>()
+        covering
+            .iter()
+            .map(mr_skyline_suite::skyline::point::Point::id)
+            .collect::<Vec<_>>()
     );
     println!(
         "5 diverse representatives:  {:?}",
-        diverse.iter().map(|p| p.id()).collect::<Vec<_>>()
+        diverse
+            .iter()
+            .map(mr_skyline_suite::skyline::point::Point::id)
+            .collect::<Vec<_>>()
     );
 }

@@ -17,7 +17,8 @@ fn main() {
     let events = update_stream(&registry_data, 500, 0.6, 0.08, 42);
 
     // --- incremental maintenance ---
-    let mut registry = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &registry_data);
+    let mut registry = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &registry_data)
+        .expect("partitioner fit");
     let bootstrap_comparisons = registry.comparisons();
     println!(
         "bootstrapped {} services, skyline {} ({} comparisons)\n",
@@ -69,8 +70,15 @@ fn main() {
 
     // Consistency check: the maintained skyline equals the batch skyline.
     let (batch_sky, _) = bnl_skyline_stats(&live, &BnlConfig::default());
-    let mut a: Vec<u64> = registry.skyline().iter().map(|p| p.id()).collect();
-    let mut b: Vec<u64> = batch_sky.iter().map(|p| p.id()).collect();
+    let mut a: Vec<u64> = registry
+        .skyline()
+        .iter()
+        .map(mr_skyline_suite::skyline::point::Point::id)
+        .collect();
+    let mut b: Vec<u64> = batch_sky
+        .iter()
+        .map(mr_skyline_suite::skyline::point::Point::id)
+        .collect();
     a.sort_unstable();
     b.sort_unstable();
     assert_eq!(a, b, "maintained skyline must equal the batch skyline");

@@ -27,8 +27,13 @@ fn main() {
         },
     );
 
-    let mut maintained = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &registry);
-    let epoch0: HashSet<u64> = maintained.skyline().iter().map(|p| p.id()).collect();
+    let mut maintained =
+        MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &registry).expect("partitioner fit");
+    let epoch0: HashSet<u64> = maintained
+        .skyline()
+        .iter()
+        .map(mr_skyline_suite::skyline::point::Point::id)
+        .collect();
     // "the user selected" the overall best service at epoch 0
     let selector = ServiceSelector::new(Algorithm::MrAngle, 8);
     let chosen = selector
@@ -51,7 +56,11 @@ fn main() {
         for u in &updates {
             maintained.apply(u);
         }
-        let now: HashSet<u64> = maintained.skyline().iter().map(|p| p.id()).collect();
+        let now: HashSet<u64> = maintained
+            .skyline()
+            .iter()
+            .map(mr_skyline_suite::skyline::point::Point::id)
+            .collect();
         let entered = now.difference(&prev).count();
         let left = prev.difference(&now).count();
         println!(
@@ -60,7 +69,11 @@ fn main() {
             now.len(),
             entered,
             left,
-            if now.contains(&chosen) { "yes" } else { "NO - re-select!" }
+            if now.contains(&chosen) {
+                "yes"
+            } else {
+                "NO - re-select!"
+            }
         );
         prev = now;
     }

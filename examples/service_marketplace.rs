@@ -71,8 +71,11 @@ fn main() {
     );
 
     // --- who did it knock out? ---
-    let survivors: std::collections::HashSet<u64> =
-        after.global_skyline.iter().map(|p| p.id()).collect();
+    let survivors: std::collections::HashSet<u64> = after
+        .global_skyline
+        .iter()
+        .map(mr_skyline_suite::skyline::point::Point::id)
+        .collect();
     let displaced: Vec<String> = before
         .global_skyline
         .iter()

@@ -1,0 +1,75 @@
+//! Offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! Since Rust 1.63 the standard library ships structured scoped threads,
+//! so crossbeam's `scope` can be expressed directly on top of
+//! `std::thread::scope`. Two API differences are bridged here:
+//!
+//! 1. crossbeam's spawn closures receive the scope as an argument (so
+//!    workers can spawn recursively); std's take no argument. The wrapper
+//!    hands each closure a fresh `Scope` borrowing the std scope.
+//! 2. crossbeam's `scope` returns `Err` when a child thread panicked
+//!    instead of unwinding; std re-raises the child panic at join. The
+//!    wrapper catches that unwind and converts it back to a `Result`.
+
+use std::any::Any;
+
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        self.0.spawn(move || f(&Scope(inner)))
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope(s)))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the `proptest!`
+//! macro, `Strategy` with `prop_map`/`prop_flat_map`, range strategies over
+//! primitive numerics, `Just`, tuple strategies, `collection::vec`, and
+//! `ProptestConfig::with_cases`. Inputs are generated from a deterministic
+//! splitmix64 stream seeded per test case, so failures reproduce exactly.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failing case reports the raw inputs via the panic
+//!   message of the underlying `assert!`;
+//! - `prop_assert!`/`prop_assert_eq!` panic instead of returning
+//!   `TestCaseError` (equivalent test outcome, simpler plumbing).
+
+pub mod test_runner {
+    pub use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+    /// Deterministic case-input generator handed to strategies.
+    pub struct TestRng(pub StdRng);
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl TestRng {
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // Stable per-test seed: FNV-1a over the test name, mixed with
+            // the case index so each case draws a fresh stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h ^ (u64::from(case) << 32)))
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::{Rng, TestRng};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Rng, TestRng};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let strat = crate::collection::vec(0u64..10, 2..5);
+        let mut rng = TestRng::for_case("vec_strategy_respects_bounds", 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let strat = (1usize..=4).prop_flat_map(|d| crate::collection::vec(0.0f64..1.0, d));
+        let mut rng = TestRng::for_case("flat_map_threads_dependent_values", 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(x in 0u32..50, y in 0.0f64..1.0, pair in (0u8..4, Just(7u8))) {
+            prop_assert!(x < 50);
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert_eq!(pair.1, 7);
+            prop_assert_ne!(usize::from(pair.0), 9);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *exact* API surface it consumes: `Rng::{gen, gen_range, gen_bool}`,
+//! `SeedableRng::seed_from_u64`, and `rngs::StdRng`. The generator is
+//! splitmix64 — a well-tested 64-bit mixer with full period over its state,
+//! more than adequate for test-data synthesis and property tests (this
+//! workspace never uses `rand` for anything security-sensitive).
+//!
+//! Determinism matters here: every experiment seeds via `seed_from_u64`,
+//! so results are reproducible across runs and machines as long as this
+//! module's mixing constants stay fixed.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from the "standard" distribution
+/// (`[0, 1)` for floats, full range for integers, fair coin for bool).
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly. Implemented for `Range` and
+/// `RangeInclusive` over the primitive numeric types.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            // the macro covers usize/isize, which have no `From` into i128
+            #[allow(clippy::cast_lossless)]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_lossless)]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            // the macro covers usize/isize, which have no `From` into i128
+            #[allow(clippy::cast_lossless)]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_lossless)]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// The user-facing sampling trait, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Splitmix64: the standard seeding PRNG from Vigna's xoshiro family.
+    /// Passes BigCrush when used as shown (finalizer applied per output).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen_inclusive = [false; 3];
+        for _ in 0..1_000 {
+            seen_inclusive[rng.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen_inclusive.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1_000 {
+            let v: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

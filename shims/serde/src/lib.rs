@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(serde::Serialize)]` keep compiling without
+//! registry access. No trait machinery is provided because nothing in the
+//! workspace takes `T: Serialize` bounds — serialization is done by the
+//! hand-rolled writer in `mr-skyline::json`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace tags its config and report structs with serde derives for
+//! API compatibility, but all actual serialization goes through the
+//! hand-rolled JSON writer in `mr-skyline::json` — no generated code is
+//! ever called. With the registry unreachable, these derives expand to
+//! nothing, which keeps every `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` attribute in the tree compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

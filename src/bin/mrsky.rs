@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mrsky generate --out services.csv --n 10000 --dims 6 [--dist qws|indep|corr|anti] [--seed 42]
-//! mrsky skyline  --data services.csv [--algorithm angle|dim|grid|random|seq] [--servers 8]
+//! mrsky skyline  --data services.csv [--algorithm angle|dim|grid|random|seq] [--servers 8] [--force]
 //! mrsky compare  --data services.csv [--servers 8]
 //! mrsky select   --data services.csv --weights 1,2,0.5 [--top 5] [--diverse K | --covering K]
 //! ```
@@ -49,7 +49,7 @@ const USAGE: &str = "mrsky — MapReduce skyline query processing (IPDPSW'12 rep
 
 USAGE:
   mrsky generate --out FILE [--n 10000] [--dims 6] [--dist qws|indep|corr|anti] [--seed 42]
-  mrsky skyline  --data FILE [--algorithm angle|dim|grid|random|seq] [--servers 8]
+  mrsky skyline  --data FILE [--algorithm angle|dim|grid|random|seq] [--servers 8] [--force]
   mrsky compare  --data FILE [--servers 8]
   mrsky select   --data FILE --weights W1,W2,... [--top 5] [--diverse K | --covering K]
                  [--algorithm angle] [--servers 8]
@@ -74,6 +74,16 @@ fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, Stri
     }
 }
 
+/// The simulated cluster cannot exist with zero servers; refuse up front
+/// instead of letting `ClusterConfig` abort.
+fn flag_servers(args: &[String]) -> Result<usize, String> {
+    let servers = flag_usize(args, "--servers", 8)?;
+    if servers == 0 {
+        return Err("--servers must be at least 1".into());
+    }
+    Ok(servers)
+}
+
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
     match s {
         "angle" => Ok(Algorithm::MrAngle),
@@ -90,9 +100,8 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
 fn load_data(args: &[String]) -> Result<Dataset, String> {
     if let Some(path) = flag(args, "--qws-file") {
         // the real QWS v2 distribution file
-        let (data, _names) =
-            mr_skyline_suite::qws::load_qws_file(PathBuf::from(&path).as_path())
-                .map_err(|e| format!("cannot load QWS file `{path}`: {e}"))?;
+        let (data, _names) = mr_skyline_suite::qws::load_qws_file(PathBuf::from(&path).as_path())
+            .map_err(|e| format!("cannot load QWS file `{path}`: {e}"))?;
         return Ok(data);
     }
     let path = flag(args, "--data").ok_or("--data FILE (or --qws-file FILE) is required")?;
@@ -121,19 +130,34 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     };
     data.save_csv(PathBuf::from(&out).as_path())
         .map_err(|e| format!("cannot write `{out}`: {e}"))?;
-    println!("wrote {} services x {} attributes to {out} ({})", data.len(), data.dim(), data.name);
+    println!(
+        "wrote {} services x {} attributes to {out} ({})",
+        data.len(),
+        data.dim(),
+        data.name
+    );
     Ok(())
 }
 
 fn cmd_skyline(args: &[String]) -> Result<(), String> {
     let data = load_data(args)?;
     let algorithm = parse_algorithm(&flag(args, "--algorithm").unwrap_or_else(|| "angle".into()))?;
-    let servers = flag_usize(args, "--servers", 8)?;
-    let report = SkylineJob::new(algorithm, servers).run(&data);
+    let servers = flag_servers(args)?;
+    let force = args.iter().any(|a| a == "--force");
+    let job = SkylineJob::new(algorithm, servers).with_force(force);
+    let report = job.run_checked(&data).map_err(|audit| {
+        format!(
+            "plan audit found error-level diagnostics (re-run with --force to override):\n{}",
+            audit.render_text()
+        )
+    })?;
     println!("{}", report.summary());
     println!(
         "partitions: {} (load CV {:.2}, largest {}), pruned: {}",
-        report.partitions, report.load_balance.cv, report.load_balance.max, report.pruned_partitions
+        report.partitions,
+        report.load_balance.cv,
+        report.load_balance.max,
+        report.pruned_partitions
     );
     validate_report(&report, &data).map_err(|e| format!("result failed validation: {e}"))?;
     println!("validated against the independent oracle.");
@@ -142,7 +166,7 @@ fn cmd_skyline(args: &[String]) -> Result<(), String> {
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let data = load_data(args)?;
-    let servers = flag_usize(args, "--servers", 8)?;
+    let servers = flag_servers(args)?;
     for algorithm in Algorithm::paper_trio() {
         let report = SkylineJob::new(algorithm, servers).run(&data);
         println!("{}", report.summary());
@@ -156,10 +180,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let servers: Vec<usize> = flag(args, "--servers")
         .unwrap_or_else(|| "4,8,16,32".into())
         .split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<usize>()
-                .map_err(|_| format!("bad server count `{s}`"))
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(0) | Err(_) => Err(format!("bad server count `{s}` (must be at least 1)")),
+            Ok(n) => Ok(n),
         })
         .collect::<Result<_, _>>()?;
     let json = args.iter().any(|a| a == "--json");
@@ -189,7 +212,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 
 fn cmd_select(args: &[String]) -> Result<(), String> {
     let data = load_data(args)?;
-    let servers = flag_usize(args, "--servers", 8)?;
+    let servers = flag_servers(args)?;
     let algorithm = parse_algorithm(&flag(args, "--algorithm").unwrap_or_else(|| "angle".into()))?;
     let weights: Vec<f64> = flag(args, "--weights")
         .ok_or("--weights W1,W2,... is required")?

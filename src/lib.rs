@@ -10,11 +10,14 @@
 //! * [`skyline`] ([`skyline_algos`]) — skyline kernels, partitioners, metrics;
 //! * [`mapreduce`] ([`mini_mapreduce`]) — the MapReduce runtime + cluster simulator;
 //! * [`qws`] ([`qws_data`]) — QWS-like and synthetic dataset generators;
-//! * [`mr`] ([`mr_skyline`]) — the MR-Dim / MR-Grid / MR-Angle algorithms.
+//! * [`mr`] ([`mr_skyline`]) — the MR-Dim / MR-Grid / MR-Angle algorithms;
+//! * [`audit`] ([`mrsky_audit`]) — plan-time static analysis and the
+//!   workspace lint pass.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use mini_mapreduce as mapreduce;
 pub use mr_skyline as mr;
+pub use mrsky_audit as audit;
 pub use qws_data as qws;
 pub use skyline_algos as skyline;

@@ -19,7 +19,7 @@ fn replay(live: &mut Vec<Point>, u: &Update) {
 }
 
 fn registry_ids(reg: &MaintainedRegistry) -> Vec<u64> {
-    let mut ids: Vec<u64> = reg.skyline().iter().map(|p| p.id()).collect();
+    let mut ids: Vec<u64> = reg.skyline().iter().map(Point::id).collect();
     ids.sort_unstable();
     ids
 }
@@ -27,7 +27,8 @@ fn registry_ids(reg: &MaintainedRegistry) -> Vec<u64> {
 #[test]
 fn long_churn_stream_stays_consistent() {
     let data = generate_qws(&QwsConfig::new(500, 4));
-    let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &data);
+    let mut reg =
+        MaintainedRegistry::bootstrap(Algorithm::MrAngle, 8, &data).expect("partitioner fit");
     let mut live = data.points().to_vec();
     for (i, u) in update_stream(&data, 1000, 0.55, 0.1, 11).iter().enumerate() {
         reg.apply(u);
@@ -43,7 +44,8 @@ fn long_churn_stream_stays_consistent() {
 #[test]
 fn registry_survives_draining_to_empty_and_refilling() {
     let data = generate_qws(&QwsConfig::new(30, 3));
-    let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrGrid, 2, &data);
+    let mut reg =
+        MaintainedRegistry::bootstrap(Algorithm::MrGrid, 2, &data).expect("partitioner fit");
     for p in data.points() {
         reg.apply(&Update::Remove(p.id()));
     }
@@ -67,7 +69,7 @@ proptest! {
         add_prob in 0.2f64..0.9,
     ) {
         let data = generate_qws(&QwsConfig::new(60, 3).with_seed(seed));
-        let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data);
+        let mut reg = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data).expect("partitioner fit");
         let mut live = data.points().to_vec();
         for u in update_stream(&data, steps, add_prob, 0.15, seed ^ 0xABCD) {
             reg.apply(&u);
@@ -83,9 +85,9 @@ proptest! {
     ) {
         let data = generate_qws(&QwsConfig::new(50, 3).with_seed(seed));
         let stream = update_stream(&data, steps, 0.6, 0.1, seed);
-        let mut angle = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data);
-        let mut dim = MaintainedRegistry::bootstrap(Algorithm::MrDim, 4, &data);
-        let mut random = MaintainedRegistry::bootstrap(Algorithm::MrRandom, 4, &data);
+        let mut angle = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data).expect("partitioner fit");
+        let mut dim = MaintainedRegistry::bootstrap(Algorithm::MrDim, 4, &data).expect("partitioner fit");
+        let mut random = MaintainedRegistry::bootstrap(Algorithm::MrRandom, 4, &data).expect("partitioner fit");
         for u in &stream {
             angle.apply(u);
             dim.apply(u);

@@ -8,7 +8,11 @@ use mr_skyline_suite::qws::{
 use mr_skyline_suite::skyline::seq::naive_skyline_ids;
 
 fn sky_ids(report: &SkylineRunReport) -> Vec<u64> {
-    let mut ids: Vec<u64> = report.global_skyline.iter().map(|p| p.id()).collect();
+    let mut ids: Vec<u64> = report
+        .global_skyline
+        .iter()
+        .map(mr_skyline_suite::skyline::point::Point::id)
+        .collect();
     ids.sort_unstable();
     ids
 }
@@ -91,9 +95,12 @@ fn report_quantities_are_consistent() {
     let local: std::collections::HashSet<u64> = report
         .local_skylines
         .iter()
-        .flat_map(|(_, v)| v.iter().map(|p| p.id()))
+        .flat_map(|(_, v)| v.iter().map(mr_skyline_suite::skyline::point::Point::id))
         .collect();
-    assert!(report.global_skyline.iter().all(|p| local.contains(&p.id())));
+    assert!(report
+        .global_skyline
+        .iter()
+        .all(|p| local.contains(&p.id())));
 }
 
 #[test]

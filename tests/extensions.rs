@@ -18,16 +18,17 @@ use proptest::prelude::*;
 
 fn arb_points() -> impl Strategy<Value = Vec<Point>> {
     (2usize..=5).prop_flat_map(|d| {
-        proptest::collection::vec(proptest::collection::vec(0u8..24, d), 1..100).prop_map(
-            |rows| {
-                rows.into_iter()
-                    .enumerate()
-                    .map(|(i, row)| {
-                        Point::new(i as u64, row.iter().map(|&v| v as f64).collect::<Vec<_>>())
-                    })
-                    .collect()
-            },
-        )
+        proptest::collection::vec(proptest::collection::vec(0u8..24, d), 1..100).prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    Point::new(
+                        i as u64,
+                        row.iter().map(|&v| f64::from(v)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect()
+        })
     })
 }
 
@@ -64,7 +65,7 @@ proptest! {
                 );
             }
             // every excluded point IS k-dominated by someone
-            let kd_ids: std::collections::HashSet<u64> = kd.iter().map(|p| p.id()).collect();
+            let kd_ids: std::collections::HashSet<u64> = kd.iter().map(Point::id).collect();
             for p in &pts {
                 if !kd_ids.contains(&p.id()) {
                     prop_assert!(
@@ -95,7 +96,7 @@ proptest! {
             &mr_skyline_suite::qws::Dataset::new("prop", pts.clone()),
         );
         let sky = &report.global_skyline;
-        let sky_ids: std::collections::HashSet<u64> = sky.iter().map(|p| p.id()).collect();
+        let sky_ids: std::collections::HashSet<u64> = sky.iter().map(Point::id).collect();
         for rep in max_dominance_representatives(sky, &pts, k) {
             prop_assert!(sky_ids.contains(&rep.id()));
         }
@@ -126,7 +127,8 @@ fn registry_category_skylines_partition_the_work() {
 fn registry_churn_flows_into_maintained_skyline() {
     let mut registry = Registry::synthetic(400, 3, 5);
     let data = registry.full_dataset();
-    let mut maintained = MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data);
+    let mut maintained =
+        MaintainedRegistry::bootstrap(Algorithm::MrAngle, 4, &data).expect("partitioner fit");
 
     // register a dominator of everything
     let id = registry.register("flawless", "acme", Category::Sms, vec![0.0, 0.0, 0.0]);

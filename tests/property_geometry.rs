@@ -5,8 +5,7 @@ use mr_skyline_suite::skyline::bnl::{bnl_skyline, BnlConfig};
 use mr_skyline_suite::skyline::dominance::{compare, dominates, DomRelation};
 use mr_skyline_suite::skyline::hypersphere::{to_cartesian, to_hyperspherical};
 use mr_skyline_suite::skyline::partition::{
-    AnglePartitioner, Bounds, DimPartitioner, GridPartitioner, RandomPartitioner,
-    SpacePartitioner,
+    AnglePartitioner, Bounds, DimPartitioner, GridPartitioner, RandomPartitioner, SpacePartitioner,
 };
 use mr_skyline_suite::skyline::point::Point;
 use mr_skyline_suite::skyline::seq::naive_skyline;
@@ -67,7 +66,7 @@ proptest! {
             prop_assert!(!pts.iter().any(|q| dominates(q, s)));
         }
         // completeness: every excluded point dominated by a skyline member
-        let ids: std::collections::HashSet<u64> = sky.iter().map(|p| p.id()).collect();
+        let ids: std::collections::HashSet<u64> = sky.iter().map(Point::id).collect();
         for p in &pts {
             if !ids.contains(&p.id()) {
                 prop_assert!(sky.iter().any(|s| dominates(s, p)));
@@ -140,9 +139,9 @@ proptest! {
     #[test]
     fn bnl_window_size_is_semantically_invisible(pts in arb_points(), w in 1usize..50) {
         let mut a: Vec<u64> = bnl_skyline(&pts, &BnlConfig::default())
-            .iter().map(|p| p.id()).collect();
+            .iter().map(Point::id).collect();
         let mut b: Vec<u64> = bnl_skyline(&pts, &BnlConfig::with_window(w))
-            .iter().map(|p| p.id()).collect();
+            .iter().map(Point::id).collect();
         a.sort_unstable();
         b.sort_unstable();
         prop_assert_eq!(a, b);

@@ -14,25 +14,26 @@ use proptest::prelude::*;
 /// [0, 16) quantised to .5 steps so duplicates and ties happen often.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (1usize..=5).prop_flat_map(|d| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u8..32, d),
-            1..120,
+        proptest::collection::vec(proptest::collection::vec(0u8..32, d), 1..120).prop_map(
+            move |rows| {
+                let points: Vec<Point> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        Point::new(
+                            i as u64,
+                            row.iter().map(|&v| f64::from(v) * 0.5).collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect();
+                Dataset::new("prop", points)
+            },
         )
-        .prop_map(move |rows| {
-            let points: Vec<Point> = rows
-                .iter()
-                .enumerate()
-                .map(|(i, row)| {
-                    Point::new(i as u64, row.iter().map(|&v| v as f64 * 0.5).collect::<Vec<_>>())
-                })
-                .collect();
-            Dataset::new("prop", points)
-        })
     })
 }
 
 fn sky_ids(report: &SkylineRunReport) -> Vec<u64> {
-    let mut ids: Vec<u64> = report.global_skyline.iter().map(|p| p.id()).collect();
+    let mut ids: Vec<u64> = report.global_skyline.iter().map(Point::id).collect();
     ids.sort_unstable();
     ids
 }

@@ -55,7 +55,11 @@ fn csv_round_trip_preserves_algorithm_results() {
     let a = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
     let b = SkylineJob::new(Algorithm::MrAngle, 4).run(&loaded);
     let ids = |r: &SkylineRunReport| {
-        let mut v: Vec<u64> = r.global_skyline.iter().map(|p| p.id()).collect();
+        let mut v: Vec<u64> = r
+            .global_skyline
+            .iter()
+            .map(mr_skyline_suite::skyline::point::Point::id)
+            .collect();
         v.sort_unstable();
         v
     };

@@ -7,14 +7,18 @@
 //! matters for the memory model even though the paper picked BNL "for its
 //! simplicity".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qws_data::{generate_synthetic, Distribution, SyntheticConfig};
+use skyline_algos::block::PointBlock;
 use skyline_algos::bnl::{bnl_skyline, BnlConfig};
 use skyline_algos::dnc::dnc_skyline;
+use skyline_algos::dominance::dominates;
+use skyline_algos::kernel::dominated_count;
 use skyline_algos::parallel::{parallel_skyline, parallel_skyline_partitioned};
 use skyline_algos::partition::AnglePartitioner;
 use skyline_algos::point::Point;
 use skyline_algos::sfs::sfs_skyline;
+use std::time::Instant;
 
 fn dataset(dist: Distribution, n: usize, d: usize) -> Vec<Point> {
     generate_synthetic(&SyntheticConfig::new(n, d, dist))
@@ -76,15 +80,90 @@ fn bench_parallel(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("block_chunks", threads),
             &threads,
-            |b, &t| b.iter(|| parallel_skyline(&pts, t).len()),
+            |b, &t| b.iter(|| parallel_skyline(&pts, t).expect("parallel skyline").len()),
         );
     }
     let part = AnglePartitioner::fit_quantile(&pts, 16).unwrap();
     group.bench_function("angular_chunks_8t", |b| {
-        b.iter(|| parallel_skyline_partitioned(&pts, &part, 8).0.len());
+        b.iter(|| {
+            parallel_skyline_partitioned(&pts, &part, 8)
+                .expect("partitioned skyline")
+                .0
+                .len()
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_bnl_scaling, bench_parallel);
+// ---- columnar vs AoS dominance sweep (the PointBlock tentpole) ----
+//
+// One dominance sweep — count how many of `n` candidates a fixed window
+// dominates — at d=6 over 100k anti-correlated services. The AoS baseline
+// chases one heap pointer per point; the block kernel streams one flat
+// buffer. Median wall times land in `BENCH_kernels.json` at the workspace
+// root (skipped in `--test` smoke runs so the committed baseline survives).
+
+const SWEEP_N: usize = 100_000;
+const SWEEP_D: usize = 6;
+const SWEEP_WINDOW: usize = 512;
+
+fn aos_sweep(window: &[Point], candidates: &[Point]) -> usize {
+    candidates
+        .iter()
+        .filter(|c| window.iter().any(|w| dominates(w, c)))
+        .count()
+}
+
+fn median_wall_ns(samples: usize, mut f: impl FnMut() -> usize) -> f64 {
+    black_box(f()); // warm-up
+    let mut v: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn bench_block_vs_aos(c: &mut Criterion) {
+    let pts = dataset(Distribution::AntiCorrelated, SWEEP_N, SWEEP_D);
+    let window: Vec<Point> = pts.iter().take(SWEEP_WINDOW).cloned().collect();
+    let block = PointBlock::from_points(&pts).expect("uniform dims");
+    let window_block = PointBlock::from_points(&window).expect("uniform dims");
+
+    let mut group = c.benchmark_group(format!("block_vs_aos/anti_d{SWEEP_D}_n{SWEEP_N}"));
+    group.sample_size(10);
+    group.bench_function("aos_dominance_sweep", |b| {
+        b.iter(|| aos_sweep(&window, &pts));
+    });
+    group.bench_function("block_dominance_sweep", |b| {
+        b.iter(|| dominated_count(&block, &window_block));
+    });
+    group.finish();
+
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let aos_ns = median_wall_ns(5, || aos_sweep(&window, &pts));
+    let block_ns = median_wall_ns(5, || dominated_count(&block, &window_block));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let json = format!(
+        "{{\n  \"bench\": \"kernels/block_vs_aos\",\n  \"distribution\": \"anti-correlated\",\n  \"n\": {SWEEP_N},\n  \"d\": {SWEEP_D},\n  \"window\": {SWEEP_WINDOW},\n  \"aos_sweep_ns\": {aos_ns:.0},\n  \"block_sweep_ns\": {block_ns:.0},\n  \"speedup\": {:.2}\n}}\n",
+        aos_ns / block_ns
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path} (block speedup {:.2}x)", aos_ns / block_ns),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_block_vs_aos,
+    bench_kernels,
+    bench_bnl_scaling,
+    bench_parallel
+);
 criterion_main!(benches);

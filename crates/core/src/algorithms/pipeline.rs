@@ -10,22 +10,42 @@
 //! the single key `0` (lines 12–14, the paper's `output(null, s)`), Reduce:
 //! one task merges everything with a final kernel pass into the global
 //! skyline (line 15).
+//!
+//! # Record layout
+//!
+//! Both jobs move columnar [`PointBlock`] batches instead of one `Point`
+//! per record: map splits are blocks of [`BLOCK_ROWS`] services, the mapper
+//! shards each block by partition id with zero per-point allocations, and
+//! reducers concatenate their value blocks into one flat buffer before
+//! running a kernel from `skyline_algos::kernel`. Metric semantics:
+//! `records_in` stays *point-weighted* (every task tops the counter up to
+//! one record per service, keeping record counts comparable with the
+//! paper's per-record accounting), while `records_out` counts the shuffled
+//! block records — batching genuinely cuts per-record overhead and the
+//! simulated cost model sees that. Shuffle bytes are unchanged in spirit:
+//! the sizer charges per row, plus one 8-byte key per block.
 
 use crate::config::{AlgoConfig, LocalKernel};
 use mini_mapreduce::prelude::*;
-use mini_mapreduce::runtime::LocalityConfig;
+use mini_mapreduce::runtime::{LocalityConfig, RECORDS_PER_SPLIT};
 use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
 use qws_data::Dataset;
-use skyline_algos::bnl::{bnl_skyline_stats, BnlConfig};
+use skyline_algos::block::PointBlock;
+use skyline_algos::bnl::BnlConfig;
 use skyline_algos::dnc::dnc_skyline_stats;
+use skyline_algos::kernel::{block_bnl_stats, presort_merge_stats};
 use skyline_algos::partition::SpacePartitioner;
 use skyline_algos::point::Point;
 use skyline_algos::sfs::sfs_skyline_stats;
 use std::sync::Arc;
 
-/// Shared wire-size estimator for `(partition id, service point)` pairs.
-type PointSizer = Arc<dyn Fn(&u64, &Point) -> usize + Send + Sync>;
+/// Rows per shuffled block: map splits and shuffle values carry at most
+/// this many services per [`PointBlock`] record.
+const BLOCK_ROWS: usize = 256;
+
+/// Shared wire-size estimator for `(partition id, service block)` pairs.
+type BlockSizer = Arc<dyn Fn(&u64, &PointBlock) -> usize + Send + Sync>;
 
 /// Everything the pipeline needs beyond the dataset and the partitioner.
 #[derive(Clone)]
@@ -67,25 +87,69 @@ pub struct PipelineOutput {
     pub pruned_partitions: usize,
 }
 
-fn run_kernel(points: &[Point], kernel: LocalKernel, window: Option<usize>) -> (Vec<Point>, u64) {
+/// Map-task count preserving the runtime's "one split per
+/// [`RECORDS_PER_SPLIT`] records" rule in *services*, not blocks (block
+/// records are ~256× denser, so auto-splitting on them would collapse the
+/// map wave structure the paper's figures depend on).
+fn point_splits(points: usize) -> usize {
+    points.div_ceil(RECORDS_PER_SPLIT).max(1)
+}
+
+/// Concatenates shuffle value blocks into one flat batch.
+fn concat_blocks(dim: usize, blocks: &[PointBlock]) -> PointBlock {
+    let rows = blocks.iter().map(PointBlock::len).sum();
+    let mut out = PointBlock::with_capacity(dim, rows);
+    for b in blocks {
+        out.extend_from_block(b);
+    }
+    out
+}
+
+/// Re-packs an AoS kernel result into a block.
+fn repack(dim: usize, points: &[Point]) -> PointBlock {
+    let mut out = PointBlock::with_capacity(dim, points.len());
+    for p in points {
+        out.push_point(p);
+    }
+    out
+}
+
+/// Runs the configured local-skyline kernel over one block. BNL runs
+/// natively on the columnar layout; SFS and DnC convert at the boundary
+/// (see DESIGN.md "Data layout & kernels").
+fn run_local_kernel(
+    block: &PointBlock,
+    kernel: LocalKernel,
+    window: Option<usize>,
+) -> (PointBlock, u64) {
     match kernel {
         LocalKernel::Bnl => {
             let cfg = match window {
                 Some(w) => BnlConfig::with_window(w),
                 None => BnlConfig::unbounded(),
             };
-            let (sky, stats) = bnl_skyline_stats(points, &cfg);
-            (sky, stats.counter.dim_weighted())
+            let (sky, stats) = block_bnl_stats(block, &cfg);
+            (sky, stats.dim_weighted)
         }
         LocalKernel::Sfs => {
-            let (sky, stats) = sfs_skyline_stats(points);
-            (sky, stats.counter.dim_weighted())
+            let (sky, stats) = sfs_skyline_stats(&block.to_points());
+            (repack(block.dim(), &sky), stats.counter.dim_weighted())
         }
         LocalKernel::Dnc => {
-            let (sky, stats) = dnc_skyline_stats(points);
-            (sky, stats.counter.dim_weighted())
+            let (sky, stats) = dnc_skyline_stats(&block.to_points());
+            (repack(block.dim(), &sky), stats.counter.dim_weighted())
         }
     }
+}
+
+/// Runs the merge-stage kernel: candidates are presorted by L1 norm so one
+/// filtering pass suffices ([`presort_merge_stats`]), independent of which
+/// local kernel is configured. Every scheme's merge gets the same kernel,
+/// so merge cost differences between schemes reflect candidate *counts*,
+/// not candidate order.
+fn run_merge_kernel(block: &PointBlock) -> (PointBlock, u64) {
+    let (sky, stats) = presort_merge_stats(block);
+    (sky, stats.dim_weighted)
 }
 
 /// Runs the two-job chain of `partitioner` over `dataset`.
@@ -95,14 +159,21 @@ pub fn run_two_job_pipeline(
     opts: &PipelineOptions,
 ) -> PipelineOutput {
     let num_partitions = partitioner.num_partitions();
-    let sizer: PointSizer = Arc::new(|_k: &u64, v: &Point| 8 + v.wire_size());
+    let dim = dataset.points().first().map_or(1, Point::dim);
+    let sizer: BlockSizer = Arc::new(|_k: &u64, b: &PointBlock| 8 + b.wire_size());
+
+    // One columnar copy of the dataset; map splits are slices of it.
+    let mut input_block = PointBlock::with_capacity(dim, dataset.len());
+    for p in dataset.points() {
+        input_block.push_point(p);
+    }
 
     // Partition profile: per-partition counts, computed up front (the
     // Hadoop analogue is a counter pass / sampling job published via the
     // distributed cache) and used for grid pruning and load metrics.
     let mut partition_counts = vec![0usize; num_partitions];
-    for p in dataset.points() {
-        partition_counts[partitioner.partition_of(p)] += 1;
+    for (id, row) in input_block.iter() {
+        partition_counts[partitioner.partition_of_row(id, row)] += 1;
     }
     let prunable: Arc<Vec<bool>> = Arc::new(if opts.config.grid_pruning {
         partitioner.prunable(&partition_counts)
@@ -115,9 +186,10 @@ pub fn run_two_job_pipeline(
     // One reduce task per partition, as a Hadoop job would configure for a
     // partition-keyed reduce; the cluster's reduce slots bound *concurrency*
     // (waves), not the task count.
-    let mut spec1: JobSpec<u64, Point> =
+    let mut spec1: JobSpec<u64, PointBlock> =
         JobSpec::new(format!("{}-partition", opts.name), opts.cluster.clone())
-            .with_reducers(num_partitions.max(1));
+            .with_reducers(num_partitions.max(1))
+            .with_map_tasks(point_splits(input_block.len()));
     spec1.cost = opts.cost.clone();
     spec1.failure = opts.failure.clone();
     spec1.speculation = opts.speculation.clone();
@@ -128,47 +200,63 @@ pub fn run_two_job_pipeline(
 
     let part = Arc::clone(&partitioner);
     let map_work = opts.map_work_per_point;
-    let mapper1 = move |p: &Point, ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
-        ctx.add_work(map_work);
-        out.emit(part.partition_of(p) as u64, p.clone());
-    };
+    let mapper1 =
+        move |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
+            // the runtime charges one record per block; top up so records
+            // stay point-weighted
+            ctx.add_records_in(b.len().saturating_sub(1) as u64);
+            ctx.add_work(map_work * b.len() as u64);
+            let mut shards: Vec<PointBlock> = vec![PointBlock::new(b.dim()); num_partitions.max(1)];
+            for i in 0..b.len() {
+                shards[part.partition_of_row(b.id(i), b.row(i))].push_row_from(b, i);
+            }
+            for (pid, shard) in shards.into_iter().enumerate() {
+                if !shard.is_empty() {
+                    out.emit(pid as u64, shard);
+                }
+            }
+        };
     let kernel = opts.config.kernel;
     let window = opts.config.bnl_window;
     let prune_mask = Arc::clone(&prunable);
-    let reducer1 =
-        move |key: &u64, values: Vec<Point>, ctx: &mut TaskContext, out: &mut Vec<(u64, Point)>| {
-            let pruned = usize::try_from(*key)
-                .ok()
-                .and_then(|cell| prune_mask.get(cell).copied())
-                .unwrap_or(false);
-            if pruned {
-                // Dominated cell: emit nothing, spend nothing (Section III-B).
-                ctx.incr("partitions_pruned", 1);
-                ctx.incr("points_pruned", values.len() as u64);
-                return;
-            }
-            let (sky, work) = run_kernel(&values, kernel, window);
-            ctx.add_work(work);
-            ctx.incr("local_skyline_points", sky.len() as u64);
-            out.extend(sky.into_iter().map(|p| (*key, p)));
-        };
+    let reducer1 = move |key: &u64,
+                         values: Vec<PointBlock>,
+                         ctx: &mut TaskContext,
+                         out: &mut Vec<(u64, PointBlock)>| {
+        let points: u64 = values.iter().map(|b| b.len() as u64).sum();
+        ctx.add_records_in(points.saturating_sub(values.len() as u64));
+        let pruned = usize::try_from(*key)
+            .ok()
+            .and_then(|cell| prune_mask.get(cell).copied())
+            .unwrap_or(false);
+        if pruned {
+            // Dominated cell: emit nothing, spend nothing (Section III-B).
+            ctx.incr("partitions_pruned", 1);
+            ctx.incr("points_pruned", points);
+            return;
+        }
+        let (sky, work) = run_local_kernel(&concat_blocks(dim, &values), kernel, window);
+        ctx.add_work(work);
+        ctx.incr("local_skyline_points", sky.len() as u64);
+        out.push((*key, sky));
+    };
 
-    let job1: JobResult<u64, (u64, Point)> =
-        run_job(&spec1, dataset.points(), &mapper1, None, &reducer1);
+    let input_splits = input_block.chunks(BLOCK_ROWS);
+    let job1: JobResult<u64, (u64, PointBlock)> =
+        run_job(&spec1, &input_splits, &mapper1, None, &reducer1);
     let metrics1 = job1.metrics.clone();
 
-    // Collect local skylines sorted by partition id.
-    let mut local_skylines: Vec<(u64, Vec<Point>)> = Vec::new();
-    {
-        let mut flat: Vec<(u64, Point)> = job1.into_outputs();
-        flat.sort_by_key(|(k, p)| (*k, p.id()));
-        for (k, p) in flat {
-            match local_skylines.last_mut() {
-                Some((lk, v)) if *lk == k => v.push(p),
-                _ => local_skylines.push((k, vec![p])),
-            }
-        }
-    }
+    // Local skylines sorted by partition id, points by service id.
+    let mut flat: Vec<(u64, PointBlock)> = job1.into_outputs();
+    flat.sort_by_key(|(k, _)| *k);
+    let local_skylines: Vec<(u64, Vec<Point>)> = flat
+        .iter()
+        .map(|(k, b)| {
+            let mut v = b.to_points();
+            v.sort_by_key(Point::id);
+            (*k, v)
+        })
+        .collect();
 
     // ---- Optional hierarchical pre-merge rounds ----
     // Candidates are hash-spread over `fan_in` reducers, each computing the
@@ -176,31 +264,37 @@ pub fn run_two_job_pipeline(
     // enough. Lossless: a global skyline point survives any subset's local
     // skyline, and every point pruned in a round is globally dominated.
     let mut premerge_metrics: Option<JobMetrics> = None;
-    let mut merge_input = {
-        let mut candidates: Vec<Point> = local_skylines
-            .iter()
-            .flat_map(|(_, v)| v.iter().cloned())
-            .collect();
-        candidates.sort_by_key(Point::id);
-        candidates
+    // Candidate order: by service id, i.e. the registry's original (random)
+    // order — what a real shuffle's map-completion order would roughly
+    // carry. The merge kernel presorts by L1 norm internally, so candidate
+    // order no longer changes merge cost; the id sort keeps the record and
+    // byte accounting deterministic.
+    let mut merge_block = {
+        let mut b = PointBlock::with_capacity(dim, flat.iter().map(|(_, b)| b.len()).sum());
+        for (_, sky) in &flat {
+            b.extend_from_block(sky);
+        }
+        b.sort_by_id();
+        b
     };
     if let Some(fan_in) = opts.config.merge_fan_in {
         assert!(fan_in >= 2, "hierarchical merge needs fan-in >= 2");
         let mut round = 0u32;
-        while merge_input.len() > fan_in * 64 && round < 8 {
+        while merge_block.len() > fan_in * 64 && round < 8 {
             round += 1;
-            let reducers = merge_input
+            let reducers = merge_block
                 .len()
                 .div_ceil(fan_in * 64)
                 .min(opts.cluster.reduce_slots().max(1));
             if reducers <= 1 {
                 break;
             }
-            let mut spec_pm: JobSpec<u64, Point> = JobSpec::new(
+            let mut spec_pm: JobSpec<u64, PointBlock> = JobSpec::new(
                 format!("{}-premerge{round}", opts.name),
                 opts.cluster.clone(),
             )
-            .with_reducers(reducers);
+            .with_reducers(reducers)
+            .with_map_tasks(point_splits(merge_block.len()));
             spec_pm.cost = opts.cost.clone();
             spec_pm.failure = opts.failure.clone();
             spec_pm.speculation = opts.speculation.clone();
@@ -209,43 +303,51 @@ pub fn run_two_job_pipeline(
             spec_pm.sizer = Some(sizer.clone());
             let r = reducers as u64;
             let mapper_pm =
-                move |p: &Point, ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
-                    let _ = ctx;
-                    out.emit(p.id() % r, p.clone());
+                move |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
+                    ctx.add_records_in(b.len().saturating_sub(1) as u64);
+                    let mut shards: Vec<PointBlock> = vec![PointBlock::new(b.dim()); reducers];
+                    for i in 0..b.len() {
+                        let shard = usize::try_from(b.id(i) % r).unwrap_or(0);
+                        shards[shard].push_row_from(b, i);
+                    }
+                    for (sid, shard) in shards.into_iter().enumerate() {
+                        if !shard.is_empty() {
+                            out.emit(sid as u64, shard);
+                        }
+                    }
                 };
             let reducer_pm = move |key: &u64,
-                                   values: Vec<Point>,
+                                   values: Vec<PointBlock>,
                                    ctx: &mut TaskContext,
-                                   out: &mut Vec<Point>| {
+                                   out: &mut Vec<PointBlock>| {
                 let _ = key;
-                let (sky, work) = run_kernel(&values, kernel, window);
+                let points: u64 = values.iter().map(|b| b.len() as u64).sum();
+                ctx.add_records_in(points.saturating_sub(values.len() as u64));
+                let (sky, work) = run_merge_kernel(&concat_blocks(dim, &values));
                 ctx.add_work(work);
-                out.extend(sky);
+                out.push(sky);
             };
-            let job: JobResult<u64, Point> =
-                run_job(&spec_pm, &merge_input, &mapper_pm, None, &reducer_pm);
+            let splits = merge_block.chunks(BLOCK_ROWS);
+            let job: JobResult<u64, PointBlock> =
+                run_job(&spec_pm, &splits, &mapper_pm, None, &reducer_pm);
             premerge_metrics = Some(match premerge_metrics.take() {
                 None => job.metrics.clone(),
                 Some(m) => m.chain(&job.metrics),
             });
-            let before = merge_input.len();
-            merge_input = job.into_outputs();
-            merge_input.sort_by_key(Point::id);
-            if merge_input.len() == before {
+            let before = merge_block.len();
+            merge_block = concat_blocks(dim, &job.into_outputs());
+            merge_block.sort_by_id();
+            if merge_block.len() == before {
                 break; // no progress: everything is mutually non-dominated
             }
         }
     }
 
     // ---- Job 2: merge ----
-    // Candidate order: by service id, i.e. the registry's original (random)
-    // order. Concatenating partitions instead would hand quality-sorted
-    // input to MR-Dim/MR-Grid (their partition ids correlate with quality),
-    // silently giving their merge BNL an SFS-style presort that a real
-    // Hadoop shuffle (map-completion order) does not provide.
-
-    let mut spec2: JobSpec<u64, Point> =
-        JobSpec::new(format!("{}-merge", opts.name), opts.cluster.clone()).with_reducers(1);
+    let mut spec2: JobSpec<u64, PointBlock> =
+        JobSpec::new(format!("{}-merge", opts.name), opts.cluster.clone())
+            .with_reducers(1)
+            .with_map_tasks(point_splits(merge_block.len()));
     spec2.cost = opts.cost.clone();
     spec2.failure = opts.failure.clone();
     spec2.speculation = opts.speculation.clone();
@@ -253,38 +355,45 @@ pub fn run_two_job_pipeline(
     spec2.locality = opts.locality.clone();
     spec2.sizer = Some(sizer);
 
-    let mapper2 = |p: &Point, _ctx: &mut TaskContext, out: &mut Emitter<u64, Point>| {
-        out.emit(0u64, p.clone());
+    let mapper2 = |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
+        ctx.add_records_in(b.len().saturating_sub(1) as u64);
+        out.emit(0u64, b.clone());
     };
     // Optional map-side pre-merge: each merge-map task reduces its slice of
     // candidates to a local skyline before the single reducer sees them —
     // the standard combiner trick the paper's Algorithm 1 does not use.
-    let combiner2 = move |_key: &u64, values: Vec<Point>, ctx: &mut TaskContext| {
-        let (sky, work) = run_kernel(&values, kernel, window);
+    let combiner2 = move |_key: &u64, values: Vec<PointBlock>, ctx: &mut TaskContext| {
+        let (sky, work) = run_merge_kernel(&concat_blocks(dim, &values));
         ctx.add_work(work);
-        sky
+        vec![sky]
     };
-    let reducer2 =
-        move |_key: &u64, values: Vec<Point>, ctx: &mut TaskContext, out: &mut Vec<Point>| {
-            let (sky, work) = run_kernel(&values, kernel, window);
-            ctx.add_work(work);
-            out.extend(sky);
-        };
+    let reducer2 = move |_key: &u64,
+                         values: Vec<PointBlock>,
+                         ctx: &mut TaskContext,
+                         out: &mut Vec<PointBlock>| {
+        let points: u64 = values.iter().map(|b| b.len() as u64).sum();
+        ctx.add_records_in(points.saturating_sub(values.len() as u64));
+        let (sky, work) = run_merge_kernel(&concat_blocks(dim, &values));
+        ctx.add_work(work);
+        out.push(sky);
+    };
 
-    let job2: JobResult<u64, Point> = run_job(
+    let merge_splits = merge_block.chunks(BLOCK_ROWS);
+    let job2: JobResult<u64, PointBlock> = run_job(
         &spec2,
-        &merge_input,
+        &merge_splits,
         &mapper2,
         if opts.config.merge_combiner {
-            Some(&combiner2 as &dyn Combiner<u64, Point>)
+            Some(&combiner2 as &dyn Combiner<u64, PointBlock>)
         } else {
             None
         },
         &reducer2,
     );
     let metrics2 = job2.metrics.clone();
-    let mut global_skyline = job2.into_outputs();
-    global_skyline.sort_by_key(Point::id);
+    let mut global_block = concat_blocks(dim, &job2.into_outputs());
+    global_block.sort_by_id();
+    let global_skyline = global_block.to_points();
 
     let chained = match premerge_metrics {
         Some(pm) => metrics1.chain(&pm).chain(&metrics2),

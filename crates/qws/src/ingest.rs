@@ -20,7 +20,7 @@
 
 use crate::attributes::QWS_ATTRIBUTES;
 use crate::dataset::Dataset;
-use skyline_algos::point::Point;
+use skyline_algos::block::PointBlock;
 use std::io::BufRead;
 use std::path::Path;
 
@@ -55,7 +55,11 @@ pub const LOADED_ATTRIBUTE_ORDER: [&str; 9] = [
 /// dataset and the service names, index-aligned with point ids.
 pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
     let file = std::fs::File::open(path)?;
-    let mut points = Vec::new();
+    // Services accumulate straight into one columnar block: a single flat
+    // coordinate buffer for the whole file instead of one heap row per
+    // service. Ids are row indices, so they are stable across any
+    // block/point round-trip.
+    let mut block = PointBlock::new(LOADED_ATTRIBUTE_ORDER.len());
     let mut names = Vec::new();
     // attribute specs in raw-file column order, then an output permutation
     let file_specs: Vec<&crate::attributes::AttributeSpec> = QWS_FILE_COLUMNS
@@ -93,28 +97,33 @@ pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
                 .parse::<f64>()
                 .map_err(|_| bad_line(lineno, "non-numeric QoS field"))?;
         }
-        let coords: Vec<f64> = out_of
-            .iter()
-            .map(|&file_col| {
-                let spec = file_specs[file_col];
-                // clamp into the catalogue range first: the real file has a
-                // handful of out-of-range artefacts
-                let v = raw[file_col].clamp(spec.range.0, spec.range.1);
-                spec.orient(v)
-            })
-            .collect();
-        let id = points.len() as u64;
-        points.push(Point::new(id, coords));
+        let mut coords = [0.0f64; 9];
+        for (slot, &file_col) in coords.iter_mut().zip(&out_of) {
+            let spec = file_specs[file_col];
+            // clamp into the catalogue range first: the real file has a
+            // handful of out-of-range artefacts
+            let v = raw[file_col].clamp(spec.range.0, spec.range.1);
+            *slot = spec.orient(v);
+        }
+        let id = block.len() as u64;
+        // the validating push also rejects NaN/infinite fields ("NaN"
+        // parses as a perfectly legal f64)
+        block
+            .push(id, &coords)
+            .map_err(|_| bad_line(lineno, "non-finite QoS field"))?;
         names.push(fields[9].to_string());
     }
-    if points.is_empty() {
+    if block.is_empty() {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "QWS file contains no services",
         ));
     }
-    let n = points.len();
-    Ok((Dataset::new(format!("qws-file(n={n})"), points), names))
+    let n = block.len();
+    Ok((
+        Dataset::new(format!("qws-file(n={n})"), block.to_points()),
+        names,
+    ))
 }
 
 fn bad_line(lineno: usize, what: &str) -> std::io::Error {
@@ -198,6 +207,31 @@ mod tests {
             let path = write_fixture(&[GOOD, bad]);
             assert!(load_qws_file(&path).is_err(), "{bad}");
             std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_errors() {
+        let line = "NaN, 95.0, 10.0, 96.0, 73.0, 80.0, 60.0, 30.0, 50.0, NanSvc, http://x?wsdl";
+        let path = write_fixture(&[GOOD, line]);
+        let err = load_qws_file(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn ids_are_stable_across_block_round_trip() {
+        let path = write_fixture(&[GOOD, SLOW, GOOD, SLOW]);
+        let (data, names) = load_qws_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // ids are 0-based file order, aligned with names, and survive a
+        // block round-trip verbatim
+        let block = PointBlock::from_points(data.points()).unwrap();
+        assert_eq!(block.ids(), &[0, 1, 2, 3]);
+        assert_eq!(block.to_points(), data.points());
+        assert_eq!(names.len(), block.len());
+        for (i, p) in data.points().iter().enumerate() {
+            assert_eq!(p.id(), i as u64);
         }
     }
 

@@ -28,6 +28,13 @@ pub enum SkylineError {
     ZeroPartitions,
     /// A dataset required by an operation was empty.
     EmptyDataset,
+    /// A worker thread of a parallel run panicked; the panic payload is
+    /// carried as text so the failure surfaces as an error value instead of
+    /// unwinding through the caller.
+    WorkerPanic {
+        /// Stringified panic payload of the first failed worker.
+        message: String,
+    },
 }
 
 impl fmt::Display for SkylineError {
@@ -47,6 +54,9 @@ impl fmt::Display for SkylineError {
             }
             SkylineError::ZeroPartitions => write!(f, "partition count must be at least 1"),
             SkylineError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            SkylineError::WorkerPanic { message } => {
+                write!(f, "skyline worker panicked: {message}")
+            }
         }
     }
 }
@@ -68,6 +78,10 @@ mod tests {
             .to_string()
             .contains("at least 1"));
         assert!(SkylineError::EmptyDataset.to_string().contains("non-empty"));
+        let wp = SkylineError::WorkerPanic {
+            message: "boom".into(),
+        };
+        assert!(wp.to_string().contains("boom"));
         assert!(SkylineError::EmptyPoint { id: 2 }.to_string().contains("2"));
         let nf = SkylineError::NonFiniteCoordinate { id: 1, dim: 3 };
         assert!(nf.to_string().contains("dimension 3"));

@@ -74,14 +74,24 @@ pub fn to_hyperspherical(p: &Point) -> HyperPoint {
 ///
 /// Panics if `angles.len() != p.dim() - 1`.
 pub fn to_hyperspherical_into(p: &Point, angles: &mut [f64]) -> f64 {
-    let d = p.dim();
+    angles_of_row(p.coords(), angles)
+}
+
+/// Row-slice variant of [`to_hyperspherical_into`] for columnar batches
+/// ([`crate::block::PointBlock`] rows): writes the `d − 1` angles into
+/// `angles` and returns the radial coordinate, with no `Point` needed.
+///
+/// # Panics
+///
+/// Panics if `angles.len() != c.len() - 1`.
+pub fn angles_of_row(c: &[f64], angles: &mut [f64]) -> f64 {
+    let d = c.len();
     assert_eq!(
         angles.len(),
         d - 1,
         "angle buffer must have d-1 = {} slots",
         d - 1
     );
-    let c = p.coords();
     // suffix[i] = sqrt(c[i]^2 + ... + c[d-1]^2), computed backwards.
     // We only need it incrementally, so keep the running sum of squares.
     let mut sumsq = 0.0f64;

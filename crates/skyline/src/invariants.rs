@@ -77,6 +77,28 @@ pub fn check_skyline(kernel: &'static str, input: &[Point], skyline: &[Point]) {
 #[inline(always)]
 pub fn check_skyline(_kernel: &'static str, _input: &[Point], _skyline: &[Point]) {}
 
+/// Columnar variant of [`check_skyline`]: verifies a [`PointBlock`] result
+/// against its block input. Conversion to `Point`s only happens when the
+/// feature is on, so block kernels pay nothing in release builds.
+#[cfg(feature = "strict-invariants")]
+pub fn check_skyline_block(
+    kernel: &'static str,
+    input: &crate::block::PointBlock,
+    skyline: &crate::block::PointBlock,
+) {
+    check_skyline(kernel, &input.to_points(), &skyline.to_points());
+}
+
+/// No-op stand-in compiled when `strict-invariants` is disabled.
+#[cfg(not(feature = "strict-invariants"))]
+#[inline(always)]
+pub fn check_skyline_block(
+    _kernel: &'static str,
+    _input: &crate::block::PointBlock,
+    _skyline: &crate::block::PointBlock,
+) {
+}
+
 #[cfg(all(test, feature = "strict-invariants"))]
 mod tests {
     use super::*;

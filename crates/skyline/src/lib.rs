@@ -12,6 +12,11 @@
 //!   dimension, as in the paper's QoS convention).
 //! * [`dominance`] — the dominance relation and instrumented comparison
 //!   counting used by the cluster cost model.
+//! * [`block`] — the columnar [`PointBlock`] batch type (SoA layout: flat
+//!   coordinate buffer + parallel id vector), the transport and compute
+//!   representation of the hot paths.
+//! * [`kernel`] — block-based dominance kernels: branchless row compares,
+//!   a blocked BNL over flat buffers, and the L1-presorting merge.
 //! * [`bnl`] — the Block-Nested-Loops skyline algorithm (Börzsönyi et al.,
 //!   ICDE 2001) with a bounded self-organising window and multi-pass overflow
 //!   handling; the paper uses BNL for both local and global skylines.
@@ -46,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod bnl;
 pub mod dnc;
 pub mod dominance;
@@ -54,6 +60,7 @@ pub mod hypersphere;
 pub mod incremental;
 pub mod invariants;
 pub mod kdominant;
+pub mod kernel;
 pub mod metrics;
 pub mod parallel;
 pub mod partition;
@@ -65,12 +72,17 @@ pub mod seq;
 pub mod sfs;
 pub mod topk;
 
+pub use block::PointBlock;
 pub use bnl::{bnl_skyline, bnl_skyline_stats, BnlConfig, BnlStats};
 pub use dnc::{dnc_skyline, dnc_skyline_stats, DncStats};
 pub use dominance::{dominates, strictly_dominates, DomCounter, DomRelation};
 pub use error::SkylineError;
 pub use hypersphere::{to_hyperspherical, to_hyperspherical_into, HyperPoint};
 pub use kdominant::{k_dominant_skyline, k_dominates};
+pub use kernel::{
+    block_bnl, block_bnl_stats, compare_rows, dominated_count, dominates_row, presort_merge,
+    presort_merge_stats, KernelStats,
+};
 pub use parallel::{parallel_skyline, parallel_skyline_partitioned, parallel_skyline_stats};
 pub use partition::{
     AnglePartitioner, AxisProfile, BoundaryProfile, Bounds, DimPartitioner, GridPartitioner,
@@ -86,11 +98,13 @@ pub use topk::{dominance_counts, top_k_dominating, DominatingEntry};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::block::PointBlock;
     pub use crate::bnl::{bnl_skyline, bnl_skyline_stats, BnlConfig, BnlStats};
     pub use crate::dnc::dnc_skyline;
     pub use crate::dominance::{dominates, strictly_dominates, DomCounter, DomRelation};
     pub use crate::hypersphere::{to_hyperspherical, HyperPoint};
     pub use crate::kdominant::{k_dominant_skyline, k_dominates};
+    pub use crate::kernel::{block_bnl, dominates_row, presort_merge};
     pub use crate::metrics::local_skyline_optimality;
     pub use crate::parallel::{parallel_skyline, parallel_skyline_partitioned};
     pub use crate::partition::{

@@ -4,9 +4,16 @@
 //! The same partition → local skyline → merge structure that the paper runs
 //! on Hadoop works on one machine with threads: split the input into chunks
 //! (optionally by a geometric [`SpacePartitioner`] instead of blindly), have
-//! each thread compute its chunk's skyline with BNL, then merge the local
-//! skylines. Crossbeam scoped threads keep it allocation-light and
-//! borrow-checked — no `Arc` cloning of the input.
+//! each thread compute its chunk's skyline with the blocked BNL kernel, then
+//! merge the local skylines with the L1-presorting merge. Input is converted
+//! to a columnar [`PointBlock`] once up front, so workers scan contiguous
+//! rows instead of chasing per-point boxes, and `std` scoped threads keep it
+//! allocation-light and borrow-checked — no `Arc` cloning of the input.
+//!
+//! Worker panics do not unwind through the caller: every join handle is
+//! collected and a panicking worker surfaces as
+//! [`SkylineError::WorkerPanic`], which is why the public functions return
+//! `Result`.
 //!
 //! Two chunking strategies are exposed because they reproduce, in
 //! microcosm, the paper's whole point:
@@ -18,11 +25,12 @@
 //!   (e.g. [`AnglePartitioner`](crate::partition::AnglePartitioner)): local
 //!   winners are likelier global winners and the merge input shrinks.
 
-use crate::bnl::{bnl_skyline_stats, BnlConfig};
-use crate::dominance::DomCounter;
+use crate::block::PointBlock;
+use crate::bnl::BnlConfig;
+use crate::error::SkylineError;
+use crate::kernel::{self, KernelStats};
 use crate::partition::SpacePartitioner;
 use crate::point::Point;
-use parking_lot::Mutex;
 
 /// Statistics of a parallel skyline run.
 #[derive(Debug, Default, Clone)]
@@ -37,47 +45,113 @@ pub struct ParallelStats {
     pub merge_comparisons: u64,
 }
 
-fn merge_locals(locals: Vec<Vec<Point>>, stats: &mut ParallelStats) -> Vec<Point> {
-    let mut candidates: Vec<Point> = locals.into_iter().flatten().collect();
-    candidates.sort_by_key(Point::id);
+/// Merges local skylines: concatenate into one block, then run the
+/// L1-presorting merge kernel — monotone score, so one filtering pass
+/// replaces the full BNL the id-ordered merge used to need.
+fn merge_locals(
+    locals: Vec<PointBlock>,
+    dim: usize,
+    stats: &mut ParallelStats,
+) -> Result<PointBlock, SkylineError> {
+    let total: usize = locals.iter().map(PointBlock::len).sum();
+    let mut candidates = PointBlock::with_capacity(dim, total);
+    for local in &locals {
+        candidates.append(local)?;
+    }
     stats.merge_candidates = candidates.len() as u64;
-    let (sky, merge_stats) = bnl_skyline_stats(&candidates, &BnlConfig::default());
-    stats.merge_comparisons = merge_stats.counter.comparisons();
-    sky
+    let (sky, merge_stats) = kernel::presort_merge_stats(&candidates);
+    stats.merge_comparisons = merge_stats.comparisons;
+    Ok(sky)
 }
 
-type ChunkResult = Mutex<Option<(Vec<Point>, DomCounter)>>;
+/// Renders a payload caught from a panicking worker thread.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
-fn run_chunks(chunks: Vec<Vec<Point>>, threads: usize) -> (Vec<Vec<Point>>, DomCounter) {
-    let results: Vec<ChunkResult> = chunks.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(chunks.len()).max(1) {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= chunks.len() {
-                    break;
-                }
-                let (sky, stats) = bnl_skyline_stats(&chunks[i], &BnlConfig::default());
-                *results[i].lock() = Some((sky, stats.counter));
-            });
-        }
+fn run_chunks(
+    chunks: &[PointBlock],
+    threads: usize,
+) -> Result<(Vec<PointBlock>, KernelStats), SkylineError> {
+    run_chunks_with(chunks, threads, |chunk| {
+        kernel::block_bnl_stats(chunk, &BnlConfig::default())
     })
-    .expect("skyline worker panicked");
-    let mut counter = DomCounter::new();
-    let locals = results
-        .into_iter()
-        .map(|m| {
-            let (sky, c) = m.into_inner().expect("every chunk processed");
-            counter.merge(&c);
-            sky
-        })
-        .collect();
-    (locals, counter)
+}
+
+/// Fans `chunks` out over at most `threads` scoped worker threads pulling
+/// work from a shared cursor, and collects per-chunk results in order.
+///
+/// Every join handle is awaited; a worker panic is caught at the join and
+/// reported as [`SkylineError::WorkerPanic`] instead of unwinding (the
+/// remaining workers drain the queue normally first).
+fn run_chunks_with<F>(
+    chunks: &[PointBlock],
+    threads: usize,
+    work: F,
+) -> Result<(Vec<PointBlock>, KernelStats), SkylineError>
+where
+    F: Fn(&PointBlock) -> (PointBlock, KernelStats) + Sync,
+{
+    let n = chunks.len();
+    let workers = threads.min(n).max(1);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, PointBlock, KernelStats)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (sky, stats) = work(&chunks[i]);
+                        done.push((i, sky, stats));
+                    }
+                    done
+                })
+            })
+            .collect();
+
+        let mut locals: Vec<Option<PointBlock>> = vec![None; n];
+        let mut stats = KernelStats::default();
+        let mut panicked: Option<SkylineError> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(done) => {
+                    for (i, sky, chunk_stats) in done {
+                        stats.merge(&chunk_stats);
+                        locals[i] = Some(sky);
+                    }
+                }
+                Err(payload) => {
+                    panicked = Some(SkylineError::WorkerPanic {
+                        message: panic_message(payload),
+                    });
+                }
+            }
+        }
+        if let Some(err) = panicked {
+            return Err(err);
+        }
+        // No worker panicked, so the cursor handed out every index and every
+        // slot is filled.
+        Ok((locals.into_iter().flatten().collect(), stats))
+    })
 }
 
 /// Computes the skyline of `points` on `threads` threads with block
 /// chunking. `threads = 0` uses the host's available parallelism.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::WorkerPanic`] if a worker thread panicked.
 ///
 /// # Examples
 ///
@@ -88,57 +162,71 @@ fn run_chunks(chunks: Vec<Vec<Point>>, threads: usize) -> (Vec<Vec<Point>>, DomC
 /// let pts: Vec<Point> = (0..1000)
 ///     .map(|i| Point::new(i, vec![(i % 37) as f64, (i % 11) as f64]))
 ///     .collect();
-/// let sky = parallel_skyline(&pts, 4);
+/// let sky = parallel_skyline(&pts, 4).unwrap();
 /// assert!(!sky.is_empty());
 /// ```
-pub fn parallel_skyline(points: &[Point], threads: usize) -> Vec<Point> {
-    parallel_skyline_stats(points, threads).0
+pub fn parallel_skyline(points: &[Point], threads: usize) -> Result<Vec<Point>, SkylineError> {
+    Ok(parallel_skyline_stats(points, threads)?.0)
 }
 
 /// Like [`parallel_skyline`] but returns statistics.
-pub fn parallel_skyline_stats(points: &[Point], threads: usize) -> (Vec<Point>, ParallelStats) {
+pub fn parallel_skyline_stats(
+    points: &[Point],
+    threads: usize,
+) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
     let threads = effective_threads(threads);
     let mut stats = ParallelStats {
         threads,
         ..ParallelStats::default()
     };
     if points.is_empty() {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
-    let chunk_size = points.len().div_ceil(threads);
-    let chunks: Vec<Vec<Point>> = points.chunks(chunk_size).map(<[Point]>::to_vec).collect();
-    let (locals, counter) = run_chunks(chunks, threads);
-    stats.local_comparisons = counter.comparisons();
-    let sky = merge_locals(locals, &mut stats);
-    crate::invariants::check_skyline("parallel", points, &sky);
-    (sky, stats)
+    let block = PointBlock::from_points(points)?;
+    let chunks = block.chunks(block.len().div_ceil(threads));
+    let (locals, counter) = run_chunks(&chunks, threads)?;
+    stats.local_comparisons = counter.comparisons;
+    let sky_block = merge_locals(locals, block.dim(), &mut stats)?;
+    crate::invariants::check_skyline_block("parallel", &block, &sky_block);
+    Ok((sky_block.to_points(), stats))
 }
 
 /// Computes the skyline with chunks defined by `partitioner` (one chunk per
 /// partition), processed on `threads` threads.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::WorkerPanic`] if a worker thread panicked.
 pub fn parallel_skyline_partitioned(
     points: &[Point],
     partitioner: &dyn SpacePartitioner,
     threads: usize,
-) -> (Vec<Point>, ParallelStats) {
+) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
     let threads = effective_threads(threads);
     let mut stats = ParallelStats {
         threads,
         ..ParallelStats::default()
     };
     if points.is_empty() {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
-    let mut chunks: Vec<Vec<Point>> = vec![Vec::new(); partitioner.num_partitions()];
+    let dim = points[0].dim();
+    let mut chunks: Vec<PointBlock> = (0..partitioner.num_partitions())
+        .map(|_| PointBlock::new(dim))
+        .collect();
     for p in points {
-        chunks[partitioner.partition_of(p)].push(p.clone());
+        chunks[partitioner.partition_of(p)].push_point(p);
     }
     chunks.retain(|c| !c.is_empty());
-    let (locals, counter) = run_chunks(chunks, threads);
-    stats.local_comparisons = counter.comparisons();
-    let sky = merge_locals(locals, &mut stats);
-    crate::invariants::check_skyline("parallel-partitioned", points, &sky);
-    (sky, stats)
+    let (locals, counter) = run_chunks(&chunks, threads)?;
+    stats.local_comparisons = counter.comparisons;
+    let sky_block = merge_locals(locals, dim, &mut stats)?;
+    #[cfg(feature = "strict-invariants")]
+    {
+        let input = PointBlock::from_points(points)?;
+        crate::invariants::check_skyline_block("parallel-partitioned", &input, &sky_block);
+    }
+    Ok((sky_block.to_points(), stats))
 }
 
 fn effective_threads(threads: usize) -> usize {
@@ -178,9 +266,9 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        assert!(parallel_skyline(&[], 4).is_empty());
+        assert!(parallel_skyline(&[], 4).unwrap().is_empty());
         let one = vec![Point::new(0, vec![1.0])];
-        assert_eq!(ids(&parallel_skyline(&one, 4)), vec![0]);
+        assert_eq!(ids(&parallel_skyline(&one, 4).unwrap()), vec![0]);
     }
 
     #[test]
@@ -189,7 +277,7 @@ mod tests {
         let oracle = naive_skyline_ids(&pts);
         for threads in [1usize, 2, 4, 16] {
             assert_eq!(
-                ids(&parallel_skyline(&pts, threads)),
+                ids(&parallel_skyline(&pts, threads).unwrap()),
                 oracle,
                 "{threads} threads"
             );
@@ -201,7 +289,7 @@ mod tests {
         let pts = random_points(700, 3, 72);
         let oracle = naive_skyline_ids(&pts);
         let part = AnglePartitioner::fit_quantile(&pts, 8).unwrap();
-        let (sky, stats) = parallel_skyline_partitioned(&pts, &part, 4);
+        let (sky, stats) = parallel_skyline_partitioned(&pts, &part, 4).unwrap();
         assert_eq!(ids(&sky), oracle);
         assert!(stats.merge_candidates >= oracle.len() as u64);
     }
@@ -214,13 +302,13 @@ mod tests {
         let pts = random_points(4000, 3, 73);
         let np = 8;
         let part = AnglePartitioner::fit_quantile(&pts, np).unwrap();
-        let (_, angular) = parallel_skyline_partitioned(&pts, &part, 4);
+        let (_, angular) = parallel_skyline_partitioned(&pts, &part, 4).unwrap();
         // block chunking with the same chunk count
-        let chunk = pts.len().div_ceil(np);
-        let blocks: Vec<Vec<Point>> = pts.chunks(chunk).map(<[Point]>::to_vec).collect();
+        let block = PointBlock::from_points(&pts).unwrap();
+        let blocks = block.chunks(pts.len().div_ceil(np));
         let mut block_stats = ParallelStats::default();
-        let (locals, _) = run_chunks(blocks, 4);
-        let _ = merge_locals(locals, &mut block_stats);
+        let (locals, _) = run_chunks(&blocks, 4).unwrap();
+        let _ = merge_locals(locals, block.dim(), &mut block_stats).unwrap();
         assert!(
             angular.merge_candidates < block_stats.merge_candidates,
             "angular {} vs block {}",
@@ -232,7 +320,7 @@ mod tests {
     #[test]
     fn zero_threads_means_auto() {
         let pts = random_points(100, 2, 74);
-        let (sky, stats) = parallel_skyline_stats(&pts, 0);
+        let (sky, stats) = parallel_skyline_stats(&pts, 0).unwrap();
         assert_eq!(ids(&sky), naive_skyline_ids(&pts));
         assert!(stats.threads >= 1);
     }
@@ -240,9 +328,54 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let pts = random_points(500, 3, 75);
-        let (_, stats) = parallel_skyline_stats(&pts, 4);
+        let (_, stats) = parallel_skyline_stats(&pts, 4).unwrap();
         assert!(stats.local_comparisons > 0);
         assert!(stats.merge_candidates > 0);
         assert!(stats.merge_comparisons > 0);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error() {
+        let block = PointBlock::from_points(&random_points(64, 2, 76)).unwrap();
+        let chunks = block.chunks(8);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let result = run_chunks_with(&chunks, 4, |chunk| {
+            if hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 2 {
+                panic!("injected worker failure");
+            }
+            kernel::block_bnl_stats(chunk, &BnlConfig::default())
+        });
+        match result {
+            Err(SkylineError::WorkerPanic { message }) => {
+                assert!(message.contains("injected worker failure"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_is_l1_presorted_not_id_sorted() {
+        // two "local skylines" whose union needs filtering: the merge must
+        // keep exactly the global skyline regardless of id order
+        let a = PointBlock::from_points(&[
+            Point::new(10, vec![1.0, 5.0]),
+            Point::new(11, vec![5.0, 1.0]),
+        ])
+        .unwrap();
+        let b = PointBlock::from_points(&[
+            Point::new(2, vec![2.0, 6.0]), // dominated by id 10
+            Point::new(3, vec![0.5, 6.0]),
+        ])
+        .unwrap();
+        let mut stats = ParallelStats::default();
+        let sky = merge_locals(vec![a, b], 2, &mut stats).unwrap();
+        let mut got = sky.ids().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 10, 11]);
+        assert_eq!(stats.merge_candidates, 4);
+        // output rows ascend in L1 norm — the presort contract
+        for i in 1..sky.len() {
+            assert!(sky.l1_norm(i - 1) <= sky.l1_norm(i));
+        }
     }
 }

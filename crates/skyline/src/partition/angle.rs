@@ -26,11 +26,10 @@
 //! while balancing sector populations.
 
 use super::{
-    lattice_splits, linearize, AxisProfile, BoundaryProfile, Bounds, PartitionSpace,
-    SpacePartitioner,
+    lattice_splits, AxisProfile, BoundaryProfile, Bounds, PartitionSpace, SpacePartitioner,
 };
 use crate::error::SkylineError;
-use crate::hypersphere::to_hyperspherical_into;
+use crate::hypersphere::{angles_of_row, to_hyperspherical_into};
 use crate::point::Point;
 use std::f64::consts::FRAC_PI_2;
 
@@ -211,10 +210,30 @@ impl SpacePartitioner for AnglePartitioner {
     }
 
     fn partition_of(&self, p: &Point) -> usize {
+        assert_eq!(p.dim(), self.dim, "point dimensionality mismatch");
+        self.partition_of_row(p.id(), p.coords())
+    }
+
+    fn partition_of_row(&self, _id: u64, coords: &[f64]) -> usize {
+        assert_eq!(coords.len(), self.dim, "row dimensionality mismatch");
         if self.dim == 1 {
             return 0;
         }
-        linearize(&self.sector_index(p), &self.splits)
+        // Translate to the fitted origin and transform to angles without
+        // materialising a Point; fuse the sector lookup with row-major
+        // linearisation so no multi-index is allocated.
+        let shifted: Vec<f64> = coords
+            .iter()
+            .zip(self.origin.iter())
+            .map(|(&v, &o)| (v - o).max(0.0))
+            .collect();
+        let mut angles = vec![0.0; self.dim - 1];
+        let _r = angles_of_row(&shifted, &mut angles);
+        let mut out = 0usize;
+        for ((&a, bs), &s) in angles.iter().zip(&self.boundaries).zip(&self.splits) {
+            out = out * s + bs.partition_point(|&b| b <= a);
+        }
+        out
     }
 
     fn boundary_profile(&self) -> BoundaryProfile {

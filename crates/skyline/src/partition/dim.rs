@@ -119,7 +119,12 @@ impl SpacePartitioner for DimPartitioner {
 
     fn partition_of(&self, p: &Point) -> usize {
         assert_eq!(p.dim(), self.dim, "point dimensionality mismatch");
-        let v = p.coord(self.split_dim);
+        self.partition_of_row(p.id(), p.coords())
+    }
+
+    fn partition_of_row(&self, _id: u64, coords: &[f64]) -> usize {
+        assert_eq!(coords.len(), self.dim, "row dimensionality mismatch");
+        let v = coords[self.split_dim];
         self.boundaries.partition_point(|&b| b <= v)
     }
 

@@ -182,6 +182,16 @@ impl SpacePartitioner for GridPartitioner {
         linearize(&self.cell_index(p), &self.splits)
     }
 
+    fn partition_of_row(&self, _id: u64, coords: &[f64]) -> usize {
+        assert_eq!(coords.len(), self.dim, "row dimensionality mismatch");
+        // fused cell_index + linearize, with no multi-index allocation
+        let mut out = 0usize;
+        for (i, bs) in self.boundaries.iter().enumerate() {
+            out = out * self.splits[i] + bs.partition_point(|&b| b <= coords[i]);
+        }
+        out
+    }
+
     /// Marks every cell strictly dominated by a non-empty cell.
     ///
     /// Quadratic in the number of cells, which is fine: the paper's policy is

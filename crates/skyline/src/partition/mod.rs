@@ -228,6 +228,21 @@ pub trait SpacePartitioner: Send + Sync {
     /// May panic if `p.dim() != self.dim()`.
     fn partition_of(&self, p: &Point) -> usize;
 
+    /// The partition index of a raw `(id, coordinate-row)` pair — the
+    /// columnar hot path used when mapping [`crate::block::PointBlock`]
+    /// rows, equivalent to `partition_of` on a `Point` with the same id and
+    /// coordinates. The default materialises a `Point` (correct for any
+    /// implementation); the built-in partitioners override it with
+    /// allocation-free versions.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `coords.len() != self.dim()` or a coordinate is
+    /// non-finite.
+    fn partition_of_row(&self, id: u64, coords: &[f64]) -> usize {
+        self.partition_of(&Point::new(id, coords.to_vec()))
+    }
+
     /// Given per-partition point counts, returns a mask of partitions whose
     /// **entire contents** are guaranteed dominated by points of other
     /// non-empty partitions and can therefore skip local-skyline computation
@@ -259,6 +274,9 @@ impl SpacePartitioner for std::sync::Arc<dyn SpacePartitioner> {
     }
     fn partition_of(&self, p: &Point) -> usize {
         (**self).partition_of(p)
+    }
+    fn partition_of_row(&self, id: u64, coords: &[f64]) -> usize {
+        (**self).partition_of_row(id, coords)
     }
     fn prunable(&self, counts: &[usize]) -> Vec<bool> {
         (**self).prunable(counts)
@@ -424,6 +442,60 @@ mod tests {
             let idx = delinearize(lin, &splits);
             assert_eq!(linearize(&idx, &splits), lin);
         }
+    }
+
+    #[test]
+    fn partition_of_row_agrees_with_partition_of() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let pts: Vec<Point> = (0..300)
+            .map(|i| {
+                Point::new(
+                    i,
+                    (0..3).map(|_| rng.gen_range(0.0..9.0)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let bounds = Bounds::from_points(&pts).unwrap();
+        let parts: Vec<Box<dyn SpacePartitioner>> = vec![
+            Box::new(DimPartitioner::fit(&bounds, 6).unwrap()),
+            Box::new(GridPartitioner::fit(&bounds, 8).unwrap()),
+            Box::new(AnglePartitioner::fit(&bounds, 8).unwrap()),
+            Box::new(AnglePartitioner::fit_quantile(&pts, 8).unwrap()),
+            Box::new(RandomPartitioner::new(3, 5).unwrap()),
+        ];
+        for part in &parts {
+            for p in &pts {
+                assert_eq!(
+                    part.partition_of_row(p.id(), p.coords()),
+                    part.partition_of(p),
+                    "scheme {} point {p:?}",
+                    part.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_row_default_materialises_a_point() {
+        struct ByFirstCoord;
+        impl SpacePartitioner for ByFirstCoord {
+            fn name(&self) -> &'static str {
+                "by-first"
+            }
+            fn dim(&self) -> usize {
+                2
+            }
+            fn num_partitions(&self) -> usize {
+                2
+            }
+            fn partition_of(&self, p: &Point) -> usize {
+                usize::from(p.coord(0) >= 1.0)
+            }
+        }
+        let part = ByFirstCoord;
+        assert_eq!(part.partition_of_row(9, &[0.5, 3.0]), 0);
+        assert_eq!(part.partition_of_row(9, &[1.5, 3.0]), 1);
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl SpacePartitioner for RandomPartitioner {
     }
 
     fn partition_of(&self, p: &Point) -> usize {
-        (mix(p.id().wrapping_add(self.seed)) % self.partitions as u64) as usize
+        self.partition_of_row(p.id(), p.coords())
+    }
+
+    fn partition_of_row(&self, id: u64, _coords: &[f64]) -> usize {
+        (mix(id.wrapping_add(self.seed)) % self.partitions as u64) as usize
     }
 }
 

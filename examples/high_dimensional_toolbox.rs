@@ -27,13 +27,15 @@ fn main() {
 
     // --- multi-core skyline, two chunking strategies ---
     let t0 = std::time::Instant::now();
-    let (skyline, block_stats) = parallel_skyline_stats(registry.points(), 0);
+    let (skyline, block_stats) =
+        parallel_skyline_stats(registry.points(), 0).expect("block-chunked skyline");
     let block_wall = t0.elapsed().as_secs_f64();
     let partitioner =
         AnglePartitioner::fit_quantile(registry.points(), 16).expect("valid partitioner");
     let t0 = std::time::Instant::now();
     let (skyline_ang, angular_stats) =
-        parallel_skyline_partitioned(registry.points(), &partitioner, 0);
+        parallel_skyline_partitioned(registry.points(), &partitioner, 0)
+            .expect("angular-chunked skyline");
     let angular_wall = t0.elapsed().as_secs_f64();
     assert_eq!(skyline.len(), skyline_ang.len());
     println!(

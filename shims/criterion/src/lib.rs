@@ -17,33 +17,51 @@ const DEFAULT_SAMPLES: usize = 20;
 
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             sample_size: DEFAULT_SAMPLES,
+            // mirrors criterion's `--test` CLI flag (smoke mode): run every
+            // bench body exactly once and skip measurement entirely
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
 
 impl Criterion {
+    /// Forces `--test` mode on or off programmatically (the CLI flag sets
+    /// the same switch).
+    pub fn with_test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    /// `true` when running as a `--test` smoke pass rather than measuring.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             _parent: self,
         }
     }
 
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
-        run_one(name, self.sample_size, f);
+        run_one(name, self.sample_size, self.test_mode, f);
     }
 }
 
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
@@ -55,7 +73,12 @@ impl BenchmarkGroup<'_> {
     }
 
     pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.test_mode,
+            f,
+        );
         self
     }
 
@@ -65,9 +88,14 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
-            f(b, input);
-        });
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.test_mode,
+            |b| {
+                f(b, input);
+            },
+        );
         self
     }
 
@@ -102,10 +130,18 @@ pub struct Bencher {
     samples: usize,
     median_ns: f64,
     iters_per_sample: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            // smoke pass: execute the body once so panics/assertions still
+            // surface, but measure nothing
+            black_box(f());
+            self.iters_per_sample = 1;
+            return;
+        }
         // Warm-up + calibration: size a batch to ~1ms so per-call timer
         // overhead is negligible for fast kernels.
         let start = Instant::now();
@@ -128,13 +164,18 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+fn run_one(label: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
     let mut b = Bencher {
         samples,
         median_ns: 0.0,
         iters_per_sample: 0,
+        test_mode,
     };
     f(&mut b);
+    if test_mode {
+        println!("test bench {label:<50} ok");
+        return;
+    }
     let (value, unit) = humanize_ns(b.median_ns);
     println!(
         "bench {label:<50} {value:>9.3} {unit}/iter  ({} samples x {} iters)",
@@ -181,12 +222,27 @@ mod tests {
 
     #[test]
     fn bench_group_runs_and_reports() {
-        let mut c = Criterion::default();
+        let mut c = Criterion::default().with_test_mode(false);
         let mut group = c.benchmark_group("demo");
         group.sample_size(2);
         group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
             b.iter(|| (0..n).sum::<u64>());
         });
         group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion::default().with_test_mode(true);
+        assert!(c.is_test_mode());
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        // one warm-free execution, no sampling loop
+        assert_eq!(calls, 1);
     }
 }

@@ -43,13 +43,13 @@ proptest! {
 
     #[test]
     fn parallel_skyline_equals_oracle(pts in arb_points(), threads in 1usize..9) {
-        prop_assert_eq!(ids(&parallel_skyline(&pts, threads)), naive_skyline_ids(&pts));
+        prop_assert_eq!(ids(&parallel_skyline(&pts, threads).unwrap()), naive_skyline_ids(&pts));
     }
 
     #[test]
     fn partitioned_parallel_equals_oracle(pts in arb_points(), np in 1usize..12) {
         let part = AnglePartitioner::fit_quantile(&pts, np).unwrap();
-        let (sky, _) = parallel_skyline_partitioned(&pts, &part, 4);
+        let (sky, _) = parallel_skyline_partitioned(&pts, &part, 4).unwrap();
         prop_assert_eq!(ids(&sky), naive_skyline_ids(&pts));
     }
 
@@ -154,7 +154,7 @@ fn toolbox_composes_on_one_dataset() {
     let sky = &report.global_skyline;
 
     // parallel recomputation agrees with the MR result
-    assert_eq!(ids(&parallel_skyline(data.points(), 4)), ids(sky));
+    assert_eq!(ids(&parallel_skyline(data.points(), 4).unwrap()), ids(sky));
 
     // k-dominant shrinks within the skyline
     let k5 = k_dominant_skyline(sky, 5);

@@ -30,6 +30,7 @@ use mini_mapreduce::prelude::*;
 use mini_mapreduce::runtime::{LocalityConfig, RECORDS_PER_SPLIT};
 use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
+use mrsky_trace::{EventKind, Tracer};
 use qws_data::Dataset;
 use skyline_algos::block::PointBlock;
 use skyline_algos::bnl::BnlConfig;
@@ -69,6 +70,9 @@ pub struct PipelineOptions {
     /// Map-stage work units charged per input point (partition-assignment
     /// cost; see [`crate::algorithms::map_work_per_point`]).
     pub map_work_per_point: u64,
+    /// Structured-event tracer, threaded into both simulated jobs and the
+    /// reduce-side kernels. [`Tracer::disabled`] costs one branch per site.
+    pub tracer: Tracer,
 }
 
 /// Everything the pipeline produces.
@@ -114,6 +118,30 @@ fn repack(dim: usize, points: &[Point]) -> PointBlock {
     out
 }
 
+/// What one kernel invocation produced: the skyline block, the dim-weighted
+/// work units the cost model charges, and the raw figures the trace's
+/// [`EventKind::KernelRun`] events report.
+struct KernelOutcome {
+    sky: PointBlock,
+    work: u64,
+    comparisons: u64,
+    passes: u64,
+}
+
+impl KernelOutcome {
+    /// Emits a [`EventKind::KernelRun`] for this invocation over `input`
+    /// points. One branch when the tracer is disabled.
+    fn trace(&self, tracer: &Tracer, kernel: &'static str, input: u64) {
+        tracer.emit(|| EventKind::KernelRun {
+            kernel: kernel.to_string(),
+            input,
+            output: self.sky.len() as u64,
+            comparisons: self.comparisons,
+            passes: self.passes,
+        });
+    }
+}
+
 /// Runs the configured local-skyline kernel over one block. BNL runs
 /// natively on the columnar layout; SFS and DnC convert at the boundary
 /// (see DESIGN.md "Data layout & kernels").
@@ -121,7 +149,7 @@ fn run_local_kernel(
     block: &PointBlock,
     kernel: LocalKernel,
     window: Option<usize>,
-) -> (PointBlock, u64) {
+) -> KernelOutcome {
     match kernel {
         LocalKernel::Bnl => {
             let cfg = match window {
@@ -129,15 +157,30 @@ fn run_local_kernel(
                 None => BnlConfig::unbounded(),
             };
             let (sky, stats) = block_bnl_stats(block, &cfg);
-            (sky, stats.dim_weighted)
+            KernelOutcome {
+                sky,
+                work: stats.dim_weighted,
+                comparisons: stats.comparisons,
+                passes: u64::from(stats.passes),
+            }
         }
         LocalKernel::Sfs => {
             let (sky, stats) = sfs_skyline_stats(&block.to_points());
-            (repack(block.dim(), &sky), stats.counter.dim_weighted())
+            KernelOutcome {
+                sky: repack(block.dim(), &sky),
+                work: stats.counter.dim_weighted(),
+                comparisons: stats.counter.comparisons(),
+                passes: 1,
+            }
         }
         LocalKernel::Dnc => {
             let (sky, stats) = dnc_skyline_stats(&block.to_points());
-            (repack(block.dim(), &sky), stats.counter.dim_weighted())
+            KernelOutcome {
+                sky: repack(block.dim(), &sky),
+                work: stats.counter.dim_weighted(),
+                comparisons: stats.counter.comparisons(),
+                passes: 1,
+            }
         }
     }
 }
@@ -147,9 +190,14 @@ fn run_local_kernel(
 /// local kernel is configured. Every scheme's merge gets the same kernel,
 /// so merge cost differences between schemes reflect candidate *counts*,
 /// not candidate order.
-fn run_merge_kernel(block: &PointBlock) -> (PointBlock, u64) {
+fn run_merge_kernel(block: &PointBlock) -> KernelOutcome {
     let (sky, stats) = presort_merge_stats(block);
-    (sky, stats.dim_weighted)
+    KernelOutcome {
+        sky,
+        work: stats.dim_weighted,
+        comparisons: stats.comparisons,
+        passes: u64::from(stats.passes),
+    }
 }
 
 /// Runs the two-job chain of `partitioner` over `dataset`.
@@ -171,10 +219,13 @@ pub fn run_two_job_pipeline(
     // Partition profile: per-partition counts, computed up front (the
     // Hadoop analogue is a counter pass / sampling job published via the
     // distributed cache) and used for grid pruning and load metrics.
-    let mut partition_counts = vec![0usize; num_partitions];
-    for (id, row) in input_block.iter() {
-        partition_counts[partitioner.partition_of_row(id, row)] += 1;
-    }
+    let partition_counts = opts.tracer.span("pipeline.partition_profile", || {
+        let mut counts = vec![0usize; num_partitions];
+        for (id, row) in input_block.iter() {
+            counts[partitioner.partition_of_row(id, row)] += 1;
+        }
+        counts
+    });
     let prunable: Arc<Vec<bool>> = Arc::new(if opts.config.grid_pruning {
         partitioner.prunable(&partition_counts)
     } else {
@@ -197,6 +248,7 @@ pub fn run_two_job_pipeline(
     spec1.locality = opts.locality.clone();
     spec1.sizer = Some(sizer.clone());
     spec1.router = Some(Arc::new(|k: &u64, r: usize| (*k % r as u64) as usize));
+    spec1.tracer = opts.tracer.clone();
 
     let part = Arc::clone(&partitioner);
     let map_work = opts.map_work_per_point;
@@ -217,8 +269,17 @@ pub fn run_two_job_pipeline(
             }
         };
     let kernel = opts.config.kernel;
+    let kernel_label: &'static str = match kernel {
+        LocalKernel::Bnl => "bnl",
+        LocalKernel::Sfs => "sfs",
+        LocalKernel::Dnc => "dnc",
+    };
     let window = opts.config.bnl_window;
     let prune_mask = Arc::clone(&prunable);
+    // Reducers run on pool threads; the tracer clone shares one sink behind
+    // a mutex, so events from concurrent partitions interleave but keep
+    // globally ordered sequence numbers.
+    let tracer1 = opts.tracer.clone();
     let reducer1 = move |key: &u64,
                          values: Vec<PointBlock>,
                          ctx: &mut TaskContext,
@@ -233,12 +294,25 @@ pub fn run_two_job_pipeline(
             // Dominated cell: emit nothing, spend nothing (Section III-B).
             ctx.incr("partitions_pruned", 1);
             ctx.incr("points_pruned", points);
+            tracer1.emit(|| EventKind::PartitionLocalSkyline {
+                partition: *key,
+                input: points,
+                output: 0,
+                pruned: true,
+            });
             return;
         }
-        let (sky, work) = run_local_kernel(&concat_blocks(dim, &values), kernel, window);
-        ctx.add_work(work);
-        ctx.incr("local_skyline_points", sky.len() as u64);
-        out.push((*key, sky));
+        let outcome = run_local_kernel(&concat_blocks(dim, &values), kernel, window);
+        ctx.add_work(outcome.work);
+        ctx.incr("local_skyline_points", outcome.sky.len() as u64);
+        outcome.trace(&tracer1, kernel_label, points);
+        tracer1.emit(|| EventKind::PartitionLocalSkyline {
+            partition: *key,
+            input: points,
+            output: outcome.sky.len() as u64,
+            pruned: false,
+        });
+        out.push((*key, outcome.sky));
     };
 
     let input_splits = input_block.chunks(BLOCK_ROWS);
@@ -301,6 +375,7 @@ pub fn run_two_job_pipeline(
             spec_pm.threads = opts.threads;
             spec_pm.locality = opts.locality.clone();
             spec_pm.sizer = Some(sizer.clone());
+            spec_pm.tracer = opts.tracer.clone();
             let r = reducers as u64;
             let mapper_pm =
                 move |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
@@ -316,6 +391,7 @@ pub fn run_two_job_pipeline(
                         }
                     }
                 };
+            let tracer_pm = opts.tracer.clone();
             let reducer_pm = move |key: &u64,
                                    values: Vec<PointBlock>,
                                    ctx: &mut TaskContext,
@@ -323,9 +399,10 @@ pub fn run_two_job_pipeline(
                 let _ = key;
                 let points: u64 = values.iter().map(|b| b.len() as u64).sum();
                 ctx.add_records_in(points.saturating_sub(values.len() as u64));
-                let (sky, work) = run_merge_kernel(&concat_blocks(dim, &values));
-                ctx.add_work(work);
-                out.push(sky);
+                let outcome = run_merge_kernel(&concat_blocks(dim, &values));
+                ctx.add_work(outcome.work);
+                outcome.trace(&tracer_pm, "presort-merge", points);
+                out.push(outcome.sky);
             };
             let splits = merge_block.chunks(BLOCK_ROWS);
             let job: JobResult<u64, PointBlock> =
@@ -354,6 +431,7 @@ pub fn run_two_job_pipeline(
     spec2.threads = opts.threads;
     spec2.locality = opts.locality.clone();
     spec2.sizer = Some(sizer);
+    spec2.tracer = opts.tracer.clone();
 
     let mapper2 = |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
         ctx.add_records_in(b.len().saturating_sub(1) as u64);
@@ -363,19 +441,21 @@ pub fn run_two_job_pipeline(
     // candidates to a local skyline before the single reducer sees them —
     // the standard combiner trick the paper's Algorithm 1 does not use.
     let combiner2 = move |_key: &u64, values: Vec<PointBlock>, ctx: &mut TaskContext| {
-        let (sky, work) = run_merge_kernel(&concat_blocks(dim, &values));
-        ctx.add_work(work);
-        vec![sky]
+        let outcome = run_merge_kernel(&concat_blocks(dim, &values));
+        ctx.add_work(outcome.work);
+        vec![outcome.sky]
     };
+    let tracer2 = opts.tracer.clone();
     let reducer2 = move |_key: &u64,
                          values: Vec<PointBlock>,
                          ctx: &mut TaskContext,
                          out: &mut Vec<PointBlock>| {
         let points: u64 = values.iter().map(|b| b.len() as u64).sum();
         ctx.add_records_in(points.saturating_sub(values.len() as u64));
-        let (sky, work) = run_merge_kernel(&concat_blocks(dim, &values));
-        ctx.add_work(work);
-        out.push(sky);
+        let outcome = run_merge_kernel(&concat_blocks(dim, &values));
+        ctx.add_work(outcome.work);
+        outcome.trace(&tracer2, "presort-merge", points);
+        out.push(outcome.sky);
     };
 
     let merge_splits = merge_block.chunks(BLOCK_ROWS);
@@ -427,6 +507,7 @@ mod tests {
             config: AlgoConfig::default(),
             locality: LocalityConfig::default(),
             map_work_per_point: 1,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -661,5 +742,68 @@ mod tests {
 
     fn merge_in(out: &PipelineOutput) -> usize {
         out.local_skylines.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    #[test]
+    fn traced_pipeline_emits_a_schema_valid_stream() {
+        let data = generate_qws(&QwsConfig::new(800, 3));
+        let part =
+            build_partitioner(Algorithm::MrAngle, &AlgoConfig::default(), &data, 4).expect("fit");
+        let mut opts = options("MR-Angle-traced", 4);
+        opts.tracer = Tracer::in_memory();
+        let out = run_two_job_pipeline(part, &data, &opts);
+        let events = opts.tracer.drain();
+        let problems = mrsky_trace::validate_events(&events);
+        assert!(problems.is_empty(), "{problems:?}");
+
+        // one PartitionLocalSkyline per non-empty partition, sizes matching
+        // the pipeline's own local_skylines output
+        let mut traced_sizes = std::collections::BTreeMap::new();
+        let mut kernel_runs = 0usize;
+        let mut jobs = 0usize;
+        for e in &events {
+            match &e.kind {
+                EventKind::PartitionLocalSkyline {
+                    partition, output, ..
+                } => {
+                    traced_sizes.insert(*partition, *output);
+                }
+                EventKind::KernelRun { .. } => kernel_runs += 1,
+                EventKind::JobStarted { .. } => jobs += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(traced_sizes.len(), out.local_skylines.len());
+        for (k, v) in &out.local_skylines {
+            assert_eq!(traced_sizes.get(k).copied(), Some(v.len() as u64), "{k}");
+        }
+        // at least one local kernel per partition plus the final merge
+        assert!(kernel_runs > out.local_skylines.len());
+        assert_eq!(jobs, 2, "partition + merge jobs");
+        // the partition-profile span bookends survive validation implicitly,
+        // but assert presence so a dropped span is a loud failure
+        assert!(events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::SpanBegin { name } if name == "pipeline.partition_profile")));
+    }
+
+    #[test]
+    fn traced_pruned_partitions_are_reported() {
+        let data = generate_qws(&QwsConfig::new(800, 2));
+        let part =
+            build_partitioner(Algorithm::MrGrid, &AlgoConfig::default(), &data, 8).expect("fit");
+        let mut opts = options("MR-Grid-traced", 8);
+        opts.tracer = Tracer::in_memory();
+        let out = run_two_job_pipeline(part, &data, &opts);
+        assert!(out.pruned_partitions > 0, "2-D grid must prune");
+        let events = opts.tracer.drain();
+        let pruned_events = events
+            .iter()
+            .filter(
+                |e| matches!(&e.kind, EventKind::PartitionLocalSkyline { pruned: true, output, .. } if *output == 0),
+            )
+            .count();
+        // only pruned partitions that received points reach a reduce call
+        assert!(pruned_events > 0 && pruned_events <= out.pruned_partitions);
     }
 }

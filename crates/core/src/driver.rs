@@ -11,6 +11,7 @@ use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
 use mrsky_audit::plan::{audit_plan, PlanSpec};
 use mrsky_audit::AuditReport;
+use mrsky_trace::Tracer;
 use qws_data::Dataset;
 use skyline_algos::metrics::{load_balance, local_skyline_optimality};
 
@@ -35,6 +36,10 @@ pub struct SkylineJob {
     pub threads: usize,
     /// Run even when the plan audit reports error-level diagnostics.
     pub force: bool,
+    /// Structured-event tracer threaded through the whole pipeline
+    /// (simulator lifecycle, kernels, partition skylines). Disabled by
+    /// default; see [`SkylineJob::with_tracer`].
+    pub tracer: Tracer,
 }
 
 impl SkylineJob {
@@ -56,6 +61,7 @@ impl SkylineJob {
             locality: LocalityConfig::default(),
             threads: 0,
             force: false,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -74,6 +80,14 @@ impl SkylineJob {
     /// Builder: runs even when the plan audit reports errors.
     pub fn with_force(mut self, force: bool) -> Self {
         self.force = force;
+        self
+    }
+
+    /// Builder: attaches a structured-event tracer. Every simulated job,
+    /// kernel invocation, and partition skyline of subsequent runs emits
+    /// into it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -174,8 +188,11 @@ impl SkylineJob {
             config: self.config.clone(),
             locality: self.locality.clone(),
             map_work_per_point: map_work_per_point(self.algorithm, dataset.dim()),
+            tracer: self.tracer.clone(),
         };
-        let out = run_two_job_pipeline(partitioner.clone(), dataset, &opts);
+        let out = self.tracer.span("driver.run", || {
+            run_two_job_pipeline(partitioner.clone(), dataset, &opts)
+        });
 
         let locals: Vec<Vec<skyline_algos::point::Point>> =
             out.local_skylines.iter().map(|(_, v)| v.clone()).collect();
@@ -276,6 +293,38 @@ mod tests {
             .run_checked(&data)
             .expect("forced run proceeds");
         assert_eq!(report.cardinality, 100);
+    }
+
+    #[test]
+    fn with_tracer_records_the_full_run() {
+        let data = generate_qws(&QwsConfig::new(300, 3));
+        let tracer = Tracer::in_memory();
+        let report = SkylineJob::new(Algorithm::MrAngle, 4)
+            .with_tracer(tracer.clone())
+            .run(&data);
+        let events = tracer.drain();
+        let problems = mrsky_trace::validate_events(&events);
+        assert!(problems.is_empty(), "{problems:?}");
+        // the driver.run span wraps everything after the audit
+        assert!(matches!(
+            events.first().map(|e| &e.kind),
+            Some(mrsky_trace::EventKind::SpanBegin { name }) if name == "driver.run"
+        ));
+        assert!(matches!(
+            events.last().map(|e| &e.kind),
+            Some(mrsky_trace::EventKind::SpanEnd { name }) if name == "driver.run"
+        ));
+        // traced partition skylines agree with the report
+        let traced: usize = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.kind,
+                    mrsky_trace::EventKind::PartitionLocalSkyline { pruned: false, .. }
+                )
+            })
+            .count();
+        assert_eq!(traced, report.local_skylines.len());
     }
 
     #[test]

@@ -40,10 +40,14 @@ impl PhaseMetrics {
         self.sim_end - self.sim_start
     }
 
-    /// Folds another counter map into this phase's counters.
+    /// Folds another counter map into this phase's counters. Counters are
+    /// monotonic, so additions saturate instead of wrapping — a counter
+    /// pinned at `u64::MAX` is visibly wrong, an overflowed one silently
+    /// small.
     pub fn merge_counters(&mut self, task_counters: &BTreeMap<&'static str, u64>) {
         for (&name, &value) in task_counters {
-            *self.counters.entry(name.to_string()).or_insert(0) += value;
+            let slot = self.counters.entry(name.to_string()).or_insert(0);
+            *slot = slot.saturating_add(value);
         }
     }
 }
@@ -71,6 +75,19 @@ pub struct JobMetrics {
 impl JobMetrics {
     /// Adds another job's metrics (for job chains), concatenating phase
     /// spans: the chained job starts when this one ends.
+    ///
+    /// # Inter-job gap convention
+    ///
+    /// The chained result keeps *this* job's `sim_start` on both phases and
+    /// extends each `sim_end` by `next`'s phase span, so the second job's
+    /// own clock (which restarts at 0) and any inter-job gap — the second
+    /// job's submission overhead, and reduce-to-map turnaround — are **not**
+    /// represented inside the phase windows. The gap is carried only by
+    /// `sim_total`, which sums both jobs' overhead-inclusive totals; phase
+    /// windows answer "how much time was spent mapping/reducing", not
+    /// "when". Consequently `sim_span` is additive:
+    /// `chained.map.sim_span() == a.map.sim_span() + b.map.sim_span()`
+    /// (and likewise for reduce) — asserted by a property test below.
     pub fn chain(&self, next: &JobMetrics) -> JobMetrics {
         let mut out = self.clone();
         out.name = format!("{}+{}", self.name, next.name);
@@ -87,7 +104,8 @@ impl JobMetrics {
         out.map.speculative_wins += next.map.speculative_wins;
         out.map.data_local_tasks += next.map.data_local_tasks;
         for (name, value) in &next.map.counters {
-            *out.map.counters.entry(name.clone()).or_insert(0) += value;
+            let slot = out.map.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*value);
         }
         out.reduce.tasks += next.reduce.tasks;
         out.reduce.attempts += next.reduce.attempts;
@@ -102,7 +120,8 @@ impl JobMetrics {
         out.reduce.speculative_wins += next.reduce.speculative_wins;
         out.reduce.data_local_tasks += next.reduce.data_local_tasks;
         for (name, value) in &next.reduce.counters {
-            *out.reduce.counters.entry(name.clone()).or_insert(0) += value;
+            let slot = out.reduce.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*value);
         }
         out.shuffle_bytes += next.shuffle_bytes;
         out.job_overhead += next.job_overhead;
@@ -180,5 +199,119 @@ mod tests {
         assert!((c.sim_total - 15.5).abs() < 1e-12);
         assert!((c.wall_seconds - 0.3).abs() < 1e-12);
         assert_eq!(c.map.task_durations.len(), 3);
+    }
+
+    #[test]
+    fn merge_counters_empty_is_identity() {
+        let mut p = phase(1.0, 1);
+        p.counters.insert("kept".into(), 7);
+        let before = p.counters.clone();
+        p.merge_counters(&BTreeMap::new());
+        assert_eq!(p.counters, before);
+    }
+
+    #[test]
+    fn merge_counters_overlapping_and_new_keys() {
+        let mut p = phase(1.0, 1);
+        p.counters.insert("shared".into(), 10);
+        let mut task: BTreeMap<&'static str, u64> = BTreeMap::new();
+        task.insert("shared", 5);
+        task.insert("fresh", 2);
+        p.merge_counters(&task);
+        assert_eq!(p.counters["shared"], 15);
+        assert_eq!(p.counters["fresh"], 2);
+        // merging twice keeps accumulating
+        p.merge_counters(&task);
+        assert_eq!(p.counters["shared"], 20);
+        assert_eq!(p.counters["fresh"], 4);
+    }
+
+    #[test]
+    fn merge_counters_saturates_instead_of_wrapping() {
+        let mut p = phase(1.0, 1);
+        p.counters.insert("big".into(), u64::MAX - 1);
+        let mut task: BTreeMap<&'static str, u64> = BTreeMap::new();
+        task.insert("big", 100);
+        p.merge_counters(&task);
+        assert_eq!(p.counters["big"], u64::MAX);
+    }
+
+    #[test]
+    fn chain_counters_saturate() {
+        let mut a = JobMetrics {
+            name: "a".into(),
+            map: phase(1.0, 1),
+            reduce: phase(1.0, 1),
+            shuffle_bytes: 0,
+            job_overhead: 0.0,
+            sim_total: 2.0,
+            wall_seconds: 0.0,
+        };
+        a.map.counters.insert("c".into(), u64::MAX);
+        let mut b = a.clone();
+        b.map.counters.insert("c".into(), 1);
+        let chained = a.chain(&b);
+        assert_eq!(chained.map.counters["c"], u64::MAX);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_phase() -> impl Strategy<Value = PhaseMetrics> {
+            (0.0f64..1000.0, 0.0f64..500.0, 1usize..20).prop_map(|(start, span, tasks)| {
+                PhaseMetrics {
+                    tasks,
+                    attempts: tasks as u32,
+                    records_in: 1,
+                    records_out: 1,
+                    bytes_out: 1,
+                    work_units: 1,
+                    sim_start: start,
+                    sim_end: start + span,
+                    task_durations: vec![span / tasks as f64; tasks],
+                    speculative_wins: 0,
+                    data_local_tasks: 0,
+                    counters: BTreeMap::new(),
+                }
+            })
+        }
+
+        fn arb_job(name: &'static str) -> impl Strategy<Value = JobMetrics> {
+            (arb_phase(), arb_phase(), 0.0f64..10.0).prop_map(move |(map, reduce, overhead)| {
+                let sim_total = overhead + map.sim_span() + reduce.sim_span();
+                JobMetrics {
+                    name: name.to_string(),
+                    map,
+                    reduce,
+                    shuffle_bytes: 10,
+                    job_overhead: overhead,
+                    sim_total,
+                    wall_seconds: 0.0,
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // The documented inter-job gap convention: phase windows absorb
+            // only the next job's *span*, so sim_span is exactly additive
+            // regardless of either job's sim_start offsets or overheads.
+            #[test]
+            fn chain_sim_span_is_additive(a in arb_job("a"), b in arb_job("b")) {
+                let c = a.chain(&b);
+                prop_assert!(
+                    (c.map.sim_span() - (a.map.sim_span() + b.map.sim_span())).abs() < 1e-9
+                );
+                prop_assert!(
+                    (c.reduce.sim_span() - (a.reduce.sim_span() + b.reduce.sim_span())).abs()
+                        < 1e-9
+                );
+                // sim_start stays the first job's; the gap lives in sim_total only.
+                prop_assert_eq!(c.map.sim_start, a.map.sim_start);
+                prop_assert!((c.sim_total - (a.sim_total + b.sim_total)).abs() < 1e-9);
+            }
+        }
     }
 }

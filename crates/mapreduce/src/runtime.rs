@@ -26,6 +26,7 @@ use crate::scheduler::{schedule_phase, SpeculationConfig};
 use crate::shuffle::{default_router, shuffle, KeyRouter};
 use crate::task::{FailureConfig, Phase};
 use crate::types::{DataT, Emitter, KeyT, KvSizer, TaskContext};
+use mrsky_trace::{EventKind, PhaseKind, Tracer};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -118,6 +119,9 @@ pub struct JobSpec<K, V> {
     pub sizer: Option<KvSizer<K, V>>,
     /// Data-locality model for map scheduling.
     pub locality: LocalityConfig,
+    /// Structured trace destination; [`Tracer::disabled`] (the default)
+    /// costs one branch per emission site.
+    pub tracer: Tracer,
 }
 
 /// Auto split sizing: records per map split (≈ a small HDFS block of
@@ -177,7 +181,14 @@ impl<K: KeyT, V: DataT> JobSpec<K, V> {
             router: None,
             sizer: None,
             locality: LocalityConfig::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Sets the structured trace destination (builder style).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Sets the reducer count (builder style).
@@ -253,6 +264,9 @@ where
     } else {
         spec.threads
     };
+    spec.tracer.emit(|| EventKind::JobStarted {
+        job: spec.name.clone(),
+    });
 
     // ---- Map phase (real execution) ----
     let num_map_tasks = spec.effective_map_tasks(input.len());
@@ -309,7 +323,7 @@ where
             spec.locality.replication,
             spec.locality.seed,
         );
-        crate::scheduler::schedule_phase_with_locality(
+        let scheduled = crate::scheduler::schedule_phase_with_locality(
             &map_durations,
             spec.cluster.servers,
             spec.cluster.map_slots_per_server,
@@ -317,7 +331,19 @@ where
             &blocks,
             spec.locality.remote_penalty,
             &spec.speculation,
-        )
+        );
+        if spec.tracer.is_enabled() {
+            for ts in &scheduled.0.timeline {
+                let server = ts.slot / spec.cluster.map_slots_per_server;
+                spec.tracer.emit(|| EventKind::DfsBlockRead {
+                    job: spec.name.clone(),
+                    task: ts.task as u64,
+                    server: server as u64,
+                    local: blocks.is_local(ts.task, server),
+                });
+            }
+        }
+        scheduled
     } else {
         (
             schedule_phase(
@@ -329,6 +355,14 @@ where
             0,
         )
     };
+    let map_attempts: Vec<u32> = map_results.iter().map(|m| m.attempts).collect();
+    emit_phase_trace(
+        &spec.tracer,
+        &spec.name,
+        PhaseKind::Map,
+        &map_schedule,
+        &map_attempts,
+    );
 
     let mut map_metrics = PhaseMetrics {
         tasks: num_map_tasks,
@@ -357,6 +391,18 @@ where
         .collect();
     let reduce_inputs = shuffle(map_outputs, spec.num_reducers, &router);
     let shuffle_bytes: u64 = reduce_inputs.iter().map(|r| r.bytes).sum();
+    if spec.tracer.is_enabled() {
+        for (r, rin) in reduce_inputs.iter().enumerate() {
+            let records: u64 = rin.groups.iter().map(|(_, vs)| vs.len() as u64).sum();
+            spec.tracer.emit(|| EventKind::ShufflePartition {
+                job: spec.name.clone(),
+                reducer: r as u64,
+                bytes: rin.bytes,
+                records,
+                segments: rin.segments,
+            });
+        }
+    }
 
     // ---- Reduce phase (real execution) ----
     struct ReduceTaskOut<K, O> {
@@ -406,6 +452,14 @@ where
         map_schedule.end,
         &spec.speculation,
     );
+    let reduce_attempts: Vec<u32> = reduce_results.iter().map(|r| r.attempts).collect();
+    emit_phase_trace(
+        &spec.tracer,
+        &spec.name,
+        PhaseKind::Reduce,
+        &reduce_schedule,
+        &reduce_attempts,
+    );
 
     let mut reduce_metrics = PhaseMetrics {
         tasks: reduce_results.len(),
@@ -437,8 +491,82 @@ where
         sim_total,
         wall_seconds: wall.elapsed().as_secs_f64(),
     };
+    spec.tracer.emit(|| EventKind::JobFinished {
+        job: spec.name.clone(),
+        sim_total: metrics.sim_total,
+        wall_seconds: metrics.wall_seconds,
+    });
 
     JobResult { groups, metrics }
+}
+
+/// Emits the task-lifecycle trace of one scheduled phase: the phase
+/// announcement, each task's queue/launch/retry/speculation/completion,
+/// and the phase close. `attempts[t]` is the total attempt count of task
+/// `t` (1 = no retries).
+fn emit_phase_trace(
+    tracer: &Tracer,
+    job: &str,
+    phase: PhaseKind,
+    schedule: &crate::scheduler::PhaseSchedule,
+    attempts: &[u32],
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.emit(|| EventKind::PhaseStarted {
+        job: job.to_string(),
+        phase,
+        tasks: schedule.timeline.len() as u64,
+        sim: schedule.start,
+    });
+    for ts in &schedule.timeline {
+        let task = ts.task as u64;
+        tracer.emit(|| EventKind::TaskScheduled {
+            job: job.to_string(),
+            phase,
+            task,
+        });
+        tracer.emit(|| EventKind::TaskLaunched {
+            job: job.to_string(),
+            phase,
+            task,
+            slot: ts.slot as u64,
+            sim: ts.start,
+        });
+        for attempt in 1..attempts.get(ts.task).copied().unwrap_or(1) {
+            tracer.emit(|| EventKind::TaskRetried {
+                job: job.to_string(),
+                phase,
+                task,
+                attempt: u64::from(attempt),
+            });
+        }
+        if ts.speculative {
+            // The simplified scheduler records only winning backups.
+            tracer.emit(|| EventKind::TaskSpeculated {
+                job: job.to_string(),
+                phase,
+                task,
+                won: true,
+            });
+        }
+        tracer.emit(|| EventKind::TaskFinished {
+            job: job.to_string(),
+            phase,
+            task,
+            slot: ts.slot as u64,
+            sim_start: ts.start,
+            sim_end: ts.end,
+            speculative: ts.speculative,
+        });
+    }
+    tracer.emit(|| EventKind::PhaseFinished {
+        job: job.to_string(),
+        phase,
+        sim: schedule.end,
+        speculative_wins: schedule.speculative_wins as u64,
+    });
 }
 
 /// Runs two jobs back to back: the first job's flattened outputs become the
@@ -808,6 +936,54 @@ mod tests {
         assert!(
             b.metrics.map.sim_span() >= a.metrics.map.sim_span(),
             "a large remote penalty cannot make the map phase faster"
+        );
+    }
+
+    #[test]
+    fn tracer_records_a_schema_valid_stream() {
+        let mut spec = word_count_spec(2).with_map_tasks(4);
+        spec.failure = FailureConfig::with_rate(400, 11);
+        spec.locality = LocalityConfig::enabled();
+        let tracer = Tracer::in_memory();
+        spec.tracer = tracer.clone();
+        let result = run_word_count(&spec, &docs(), false);
+        let events = tracer.drain();
+        let problems = mrsky_trace::validate_events(&events);
+        assert!(problems.is_empty(), "{problems:?}");
+        // Retry events mirror the metrics' extra attempts exactly.
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TaskRetried { .. }))
+            .count();
+        let extra_attempts = (result.metrics.map.attempts as usize - result.metrics.map.tasks)
+            + (result.metrics.reduce.attempts as usize - result.metrics.reduce.tasks);
+        assert!(extra_attempts > 0, "failure injection must retry something");
+        assert_eq!(retries, extra_attempts);
+        // Locality scheduling logs one DFS read per map task.
+        let dfs_reads = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::DfsBlockRead { .. }))
+            .count();
+        assert_eq!(dfs_reads, result.metrics.map.tasks);
+        // One shuffle record per reducer.
+        let shuffles = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ShufflePartition { .. }))
+            .count();
+        assert_eq!(shuffles, spec.num_reducers);
+    }
+
+    #[test]
+    fn disabled_tracer_leaves_results_unchanged() {
+        let spec = word_count_spec(2);
+        let traced = {
+            let mut s = word_count_spec(2);
+            s.tracer = Tracer::in_memory();
+            s
+        };
+        assert_eq!(
+            counts(run_word_count(&spec, &docs(), false)),
+            counts(run_word_count(&traced, &docs(), false))
         );
     }
 

@@ -35,12 +35,13 @@ pub fn render_timeline(schedule: &PhaseSchedule, width: usize) -> String {
     for (slot, row) in rows.iter().enumerate() {
         let _ = writeln!(out, "slot {slot:>3} |{}|", row.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "          0s{}{:.1}s",
-        " ".repeat(width.saturating_sub(8)),
-        span
-    );
+    // Axis labels carry the phase's absolute start and end timestamps:
+    // reduce phases start where the map phase ended, so labelling the right
+    // edge with the *span* would misread as an end time.
+    let left = format!("{:.1}s", schedule.start);
+    let right = format!("{:.1}s", schedule.end);
+    let pad = (width + 2).saturating_sub(left.len() + right.len());
+    let _ = writeln!(out, "          {left}{}{right}", " ".repeat(pad));
     out
 }
 
@@ -82,7 +83,23 @@ mod tests {
     fn axis_shows_span() {
         let s = schedule_phase(&[2.0, 2.0], 2, 0.0, &SpeculationConfig::default());
         let rendered = render_timeline(&s, 40);
+        assert!(rendered.contains("0.0s"), "{rendered}");
         assert!(rendered.contains("2.0s"), "{rendered}");
+    }
+
+    #[test]
+    fn axis_labels_absolute_start_and_end_for_offset_phase() {
+        // A reduce-style phase starting at t=100: the axis must read
+        // 100.0s..102.0s, not 0s..2.0s (the span).
+        let s = schedule_phase(&[1.0, 2.0], 2, 100.0, &SpeculationConfig::default());
+        let rendered = render_timeline(&s, 40);
+        let axis = rendered.lines().last().unwrap_or("");
+        assert!(axis.contains("100.0s"), "{rendered}");
+        assert!(axis.contains("102.0s"), "{rendered}");
+        assert!(
+            axis.trim_start().starts_with("100.0s"),
+            "left edge must be the phase start, not 0: {rendered}"
+        );
     }
 
     #[test]

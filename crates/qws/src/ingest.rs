@@ -20,6 +20,7 @@
 
 use crate::attributes::QWS_ATTRIBUTES;
 use crate::dataset::Dataset;
+use mrsky_trace::{EventKind, Tracer};
 use skyline_algos::block::PointBlock;
 use std::io::BufRead;
 use std::path::Path;
@@ -54,6 +55,27 @@ pub const LOADED_ATTRIBUTE_ORDER: [&str; 9] = [
 /// Loads a QWS-format CSV file into an oriented [`Dataset`]. Returns the
 /// dataset and the service names, index-aligned with point ids.
 pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
+    load_qws_file_traced(path, &Tracer::disabled())
+}
+
+/// [`load_qws_file`] with ingestion tracing: emits
+/// [`IngestStarted`](EventKind::IngestStarted)/[`IngestFinished`](EventKind::IngestFinished)
+/// events on `tracer` and records `qws.ingest.*` counters (service count,
+/// skipped comment/blank lines, values clamped into catalogue range) into
+/// the process-global metrics registry.
+///
+/// The loader is strict — a malformed or non-finite row aborts the load
+/// with an error rather than being skipped — so `IngestFinished.rejected`
+/// is 0 on every successful load; the field exists for lenient loaders.
+pub fn load_qws_file_traced(
+    path: &Path,
+    tracer: &Tracer,
+) -> std::io::Result<(Dataset, Vec<String>)> {
+    tracer.emit(|| EventKind::IngestStarted {
+        source: path.display().to_string(),
+    });
+    let mut skipped = 0u64;
+    let mut clamped = 0u64;
     let file = std::fs::File::open(path)?;
     // Services accumulate straight into one columnar block: a single flat
     // coordinate buffer for the whole file instead of one heap row per
@@ -85,6 +107,7 @@ pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
+            skipped += 1;
             continue;
         }
         let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
@@ -103,6 +126,7 @@ pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
             // clamp into the catalogue range first: the real file has a
             // handful of out-of-range artefacts
             let v = raw[file_col].clamp(spec.range.0, spec.range.1);
+            clamped += u64::from(v != raw[file_col]);
             *slot = spec.orient(v);
         }
         let id = block.len() as u64;
@@ -120,6 +144,14 @@ pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
         ));
     }
     let n = block.len();
+    let registry = mrsky_trace::metrics();
+    registry.incr("qws.ingest.services", n as u64);
+    registry.incr("qws.ingest.lines_skipped", skipped);
+    registry.incr("qws.ingest.values_clamped", clamped);
+    tracer.emit(|| EventKind::IngestFinished {
+        services: n as u64,
+        rejected: 0,
+    });
     Ok((
         Dataset::new(format!("qws-file(n={n})"), block.to_points()),
         names,
@@ -233,6 +265,48 @@ mod tests {
         for (i, p) in data.points().iter().enumerate() {
             assert_eq!(p.id(), i as u64);
         }
+    }
+
+    #[test]
+    fn traced_load_emits_ingest_events_and_counters() {
+        let path = write_fixture(&["# header", GOOD, "", SLOW]);
+        let before = mrsky_trace::metrics().snapshot();
+        mrsky_trace::metrics().set_enabled(true);
+        let tracer = Tracer::in_memory();
+        let (data, _) = load_qws_file_traced(&path, &tracer).unwrap();
+        mrsky_trace::metrics().set_enabled(false);
+        let after = mrsky_trace::metrics().snapshot();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(data.len(), 2);
+        let events = tracer.drain();
+        assert!(matches!(
+            events.first().map(|e| &e.kind),
+            Some(EventKind::IngestStarted { source }) if source.contains("fixture")
+        ));
+        assert!(matches!(
+            events.last().map(|e| &e.kind),
+            Some(EventKind::IngestFinished {
+                services: 2,
+                rejected: 0
+            })
+        ));
+        let delta = |name: &str| {
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
+        };
+        // other tests may ingest concurrently while the flag is up: assert >=
+        assert!(delta("qws.ingest.services") >= 2);
+        assert!(delta("qws.ingest.lines_skipped") >= 2, "comment + blank");
+    }
+
+    #[test]
+    fn untraced_load_emits_nothing() {
+        let path = write_fixture(&[GOOD]);
+        let tracer = Tracer::disabled();
+        let (data, _) = load_qws_file_traced(&path, &tracer).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(data.len(), 1);
+        assert!(tracer.drain().is_empty());
     }
 
     #[test]

@@ -59,6 +59,25 @@ impl KernelStats {
     }
 }
 
+/// Records a kernel run into the process-global metrics registry under the
+/// `skyline.<name>.*` namespace. One relaxed-atomic branch when metrics are
+/// disabled (the default), so the hot kernels can call it unconditionally.
+fn record_kernel_metrics(name: &str, stats: &KernelStats) {
+    let m = mrsky_trace::metrics();
+    if !m.is_enabled() {
+        return;
+    }
+    m.incr(&format!("skyline.{name}.calls"), 1);
+    m.incr(&format!("skyline.{name}.comparisons"), stats.comparisons);
+    m.incr(&format!("skyline.{name}.passes"), u64::from(stats.passes));
+    m.incr(&format!("skyline.{name}.overflowed"), stats.overflowed);
+    m.observe(
+        &format!("skyline.{name}.comparisons_per_call"),
+        stats.comparisons,
+    );
+    m.observe(&format!("skyline.{name}.output_len"), stats.output_len);
+}
+
 /// Returns `true` iff row `a` dominates row `b`: `a ≤ b` on all dimensions
 /// and `a < b` on at least one.
 ///
@@ -118,8 +137,10 @@ pub fn dominated_count(candidates: &PointBlock, window: &PointBlock) -> usize {
     }
     #[cfg(target_arch = "x86_64")]
     if let Some(count) = simd::try_lane_sweep(candidates, window) {
+        mrsky_trace::metrics().incr("skyline.sweep.dispatch.lane", 1);
         return count;
     }
+    mrsky_trace::metrics().incr("skyline.sweep.dispatch.scalar", 1);
     scalar_sweep(candidates, window)
 }
 
@@ -387,6 +408,7 @@ pub fn block_bnl_stats(block: &PointBlock, cfg: &BnlConfig) -> (PointBlock, Kern
 
     crate::invariants::check_skyline_block("block-bnl", block, &skyline);
     stats.output_len = skyline.len() as u64;
+    record_kernel_metrics("bnl", &stats);
     (skyline, stats)
 }
 
@@ -446,6 +468,7 @@ pub fn presort_merge_stats(block: &PointBlock) -> (PointBlock, KernelStats) {
 
     crate::invariants::check_skyline_block("presort-merge", block, &skyline);
     stats.output_len = skyline.len() as u64;
+    record_kernel_metrics("merge", &stats);
     (skyline, stats)
 }
 
@@ -590,6 +613,35 @@ mod tests {
     #[should_panic(expected = "dimensionality mismatch")]
     fn dominated_count_rejects_mixed_dims() {
         let _ = dominated_count(&PointBlock::new(2), &PointBlock::new(3));
+    }
+
+    #[test]
+    fn kernels_record_into_the_global_registry() {
+        let m = mrsky_trace::metrics();
+        m.set_enabled(true);
+        let before = m.snapshot();
+        let block = random_block(100, 3, 42, 8);
+        let (_, stats) = block_bnl_stats(&block, &BnlConfig::default());
+        let _ = dominated_count(&block, &block);
+        let after = m.snapshot();
+        m.set_enabled(false);
+        // Other tests may record concurrently while the flag is up, so the
+        // deltas are lower bounds.
+        let delta = |name: &str| {
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
+        };
+        assert!(delta("skyline.bnl.calls") >= 1);
+        assert!(delta("skyline.bnl.comparisons") >= stats.comparisons);
+        assert!(
+            delta("skyline.sweep.dispatch.lane") + delta("skyline.sweep.dispatch.scalar") >= 1,
+            "one dispatch path must be taken"
+        );
+        let hist = after
+            .histograms
+            .get("skyline.bnl.comparisons_per_call")
+            .unwrap();
+        assert!(hist.count() >= 1);
     }
 
     #[test]

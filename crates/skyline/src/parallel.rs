@@ -54,6 +54,14 @@ fn merge_locals(
     stats: &mut ParallelStats,
 ) -> Result<PointBlock, SkylineError> {
     let total: usize = locals.iter().map(PointBlock::len).sum();
+    let registry = mrsky_trace::metrics();
+    if registry.is_enabled() {
+        for local in &locals {
+            registry.observe("skyline.parallel.local_skyline_size", local.len() as u64);
+        }
+        registry.incr("skyline.parallel.merge_candidates", total as u64);
+        registry.incr("skyline.parallel.merges", 1);
+    }
     let mut candidates = PointBlock::with_capacity(dim, total);
     for local in &locals {
         candidates.append(local)?;
@@ -332,6 +340,30 @@ mod tests {
         assert!(stats.local_comparisons > 0);
         assert!(stats.merge_candidates > 0);
         assert!(stats.merge_comparisons > 0);
+    }
+
+    #[test]
+    fn merge_records_local_skyline_sizes() {
+        let m = mrsky_trace::metrics();
+        m.set_enabled(true);
+        let before = m
+            .snapshot()
+            .histograms
+            .get("skyline.parallel.local_skyline_size")
+            .map_or(0, mrsky_trace::Histogram::count);
+        let pts = random_points(400, 3, 77);
+        let part = AnglePartitioner::fit_quantile(&pts, 4).unwrap();
+        let _ = parallel_skyline_partitioned(&pts, &part, 2).unwrap();
+        let after = m
+            .snapshot()
+            .histograms
+            .get("skyline.parallel.local_skyline_size")
+            .map_or(0, mrsky_trace::Histogram::count);
+        m.set_enabled(false);
+        assert!(
+            after >= before + 2,
+            "one observation per non-empty partition: {before} -> {after}"
+        );
     }
 
     #[test]

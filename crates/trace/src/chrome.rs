@@ -1,0 +1,362 @@
+//! Chrome trace-event export: converts a recorded event stream into the
+//! JSON that Perfetto (`ui.perfetto.dev`) and `chrome://tracing` load.
+//!
+//! Layout decisions:
+//!
+//! - Each MapReduce **job** becomes a process (`pid` 1, 2, … in
+//!   `job_started` order), named via `process_name` metadata. Jobs inside
+//!   one trace run back-to-back on sim time, but every job's own clock
+//!   starts at 0 — the exporter re-bases job *N* by the summed
+//!   `sim_total` of jobs before it so the processes lay out sequentially.
+//! - Each cluster **slot** becomes a thread (`tid = slot + 1`); tid 0
+//!   carries the phase envelope slices. Task attempts are `"X"` complete
+//!   slices; speculative completions additionally get an async
+//!   `"b"`/`"e"` pair so the backup race is visible as an overlay.
+//! - Driver-level spans ([`SpanBegin`](crate::EventKind::SpanBegin)) and
+//!   point records (kernels, shuffle, ingest) live on **pid 0**, which
+//!   runs on the wall clock (`wall_us`), as `"B"`/`"E"` duration events
+//!   and `"i"` instants.
+//!
+//! Timestamps are microseconds as the format requires; sim seconds are
+//! scaled by 1e6.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::{escape, number};
+use std::collections::BTreeMap;
+
+const DRIVER_PID: u64 = 0;
+
+fn sim_us(offset: f64, sim_seconds: f64) -> f64 {
+    (offset + sim_seconds) * 1e6
+}
+
+struct Emitter {
+    out: String,
+    first: bool,
+}
+
+impl Emitter {
+    fn new() -> Self {
+        Emitter {
+            out: String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    /// Appends one raw trace-event object (no surrounding braces needed).
+    fn push(&mut self, body: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push('{');
+        self.out.push_str(body);
+        self.out.push('}');
+    }
+
+    fn metadata(&mut self, pid: u64, tid: Option<u64>, which: &str, name: &str) {
+        let tid_part = match tid {
+            Some(t) => format!(",\"tid\":{t}"),
+            None => String::new(),
+        };
+        self.push(&format!(
+            "\"ph\":\"M\",\"pid\":{pid}{tid_part},\"name\":\"{which}\",\"args\":{{\"name\":\"{}\"}}",
+            escape(name)
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+#[derive(Default)]
+struct JobState {
+    pid: u64,
+    offset: f64,
+    phase_start: BTreeMap<String, f64>,
+    slots_seen: BTreeMap<u64, ()>,
+}
+
+/// Converts a stream of [`TraceEvent`]s into a Chrome trace-event JSON
+/// document. Accepts any event order that a [`Tracer`](crate::Tracer)
+/// can produce; unknown pairings (e.g. a `phase_finished` without its
+/// start) are skipped rather than erroring.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut em = Emitter::new();
+    em.metadata(DRIVER_PID, None, "process_name", "driver (wall clock)");
+
+    let mut jobs: BTreeMap<String, JobState> = BTreeMap::new();
+    let mut next_pid = 1u64;
+    let mut sim_cursor = 0.0f64;
+    let mut async_id = 0u64;
+
+    for ev in events {
+        match &ev.kind {
+            EventKind::JobStarted { job } => {
+                let state = jobs.entry(job.clone()).or_default();
+                state.pid = next_pid;
+                state.offset = sim_cursor;
+                next_pid += 1;
+                em.metadata(state.pid, None, "process_name", &format!("job: {job}"));
+                em.metadata(state.pid, Some(0), "thread_name", "phases");
+            }
+            EventKind::JobFinished { job, sim_total, .. } => {
+                if let Some(state) = jobs.get(job) {
+                    sim_cursor = state.offset + sim_total;
+                }
+            }
+            EventKind::PhaseStarted {
+                job, phase, sim, ..
+            } => {
+                if let Some(state) = jobs.get_mut(job) {
+                    state.phase_start.insert(phase.as_str().into(), *sim);
+                }
+            }
+            EventKind::PhaseFinished {
+                job, phase, sim, ..
+            } => {
+                if let Some(state) = jobs.get_mut(job) {
+                    if let Some(start) = state.phase_start.remove(phase.as_str()) {
+                        let ts = sim_us(state.offset, start);
+                        let dur = ((sim - start) * 1e6).max(0.0);
+                        em.push(&format!(
+                            "\"ph\":\"X\",\"pid\":{},\"tid\":0,\"name\":\"{} phase\",\"cat\":\"phase\",\"ts\":{},\"dur\":{}",
+                            state.pid,
+                            phase.as_str(),
+                            number(ts),
+                            number(dur)
+                        ));
+                    }
+                }
+            }
+            EventKind::TaskFinished {
+                job,
+                phase,
+                task,
+                slot,
+                sim_start,
+                sim_end,
+                speculative,
+            } => {
+                if let Some(state) = jobs.get_mut(job) {
+                    let tid = slot + 1;
+                    if state.slots_seen.insert(*slot, ()).is_none() {
+                        em.metadata(state.pid, Some(tid), "thread_name", &format!("slot {slot}"));
+                    }
+                    let ts = sim_us(state.offset, *sim_start);
+                    let dur = ((sim_end - sim_start) * 1e6).max(0.0);
+                    em.push(&format!(
+                        "\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"name\":\"{} {task}\",\"cat\":\"task\",\"ts\":{},\"dur\":{},\"args\":{{\"task\":{task},\"speculative\":{speculative}}}",
+                        state.pid,
+                        phase.as_str(),
+                        number(ts),
+                        number(dur)
+                    ));
+                    if *speculative {
+                        async_id += 1;
+                        let te = sim_us(state.offset, *sim_end);
+                        em.push(&format!(
+                            "\"ph\":\"b\",\"pid\":{0},\"tid\":{tid},\"id\":{async_id},\"cat\":\"speculation\",\"name\":\"backup {2} {task}\",\"ts\":{1}",
+                            state.pid,
+                            number(ts),
+                            phase.as_str()
+                        ));
+                        em.push(&format!(
+                            "\"ph\":\"e\",\"pid\":{0},\"tid\":{tid},\"id\":{async_id},\"cat\":\"speculation\",\"name\":\"backup {2} {task}\",\"ts\":{1}",
+                            state.pid,
+                            number(te),
+                            phase.as_str()
+                        ));
+                    }
+                }
+            }
+            EventKind::SpanBegin { name } => {
+                em.push(&format!(
+                    "\"ph\":\"B\",\"pid\":{DRIVER_PID},\"tid\":0,\"name\":\"{}\",\"cat\":\"driver\",\"ts\":{}",
+                    escape(name),
+                    ev.wall_us
+                ));
+            }
+            EventKind::SpanEnd { name } => {
+                em.push(&format!(
+                    "\"ph\":\"E\",\"pid\":{DRIVER_PID},\"tid\":0,\"name\":\"{}\",\"cat\":\"driver\",\"ts\":{}",
+                    escape(name),
+                    ev.wall_us
+                ));
+            }
+            EventKind::KernelRun {
+                kernel,
+                input,
+                output,
+                comparisons,
+                passes,
+            } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"kernel {}\",\"cat\":\"kernel\",\"ts\":{},\"args\":{{\"input\":{input},\"output\":{output},\"comparisons\":{comparisons},\"passes\":{passes}}}",
+                    escape(kernel),
+                    ev.wall_us
+                ));
+            }
+            EventKind::PartitionLocalSkyline {
+                partition,
+                input,
+                output,
+                pruned,
+            } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"partition {partition}\",\"cat\":\"partition\",\"ts\":{},\"args\":{{\"input\":{input},\"output\":{output},\"pruned\":{pruned}}}",
+                    ev.wall_us
+                ));
+            }
+            EventKind::ShufflePartition {
+                job,
+                reducer,
+                bytes,
+                records,
+                segments,
+            } => {
+                let pid = jobs.get(job).map_or(DRIVER_PID, |s| s.pid);
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"s\":\"t\",\"name\":\"shuffle r{reducer}\",\"cat\":\"shuffle\",\"ts\":{},\"args\":{{\"bytes\":{bytes},\"records\":{records},\"segments\":{segments}}}",
+                    ev.wall_us
+                ));
+            }
+            // Queue/launch/retry/speculation bookkeeping and ingest are
+            // visible in the summary view; the timeline keeps to slices.
+            EventKind::TaskScheduled { .. }
+            | EventKind::TaskLaunched { .. }
+            | EventKind::TaskRetried { .. }
+            | EventKind::TaskSpeculated { .. }
+            | EventKind::DfsBlockRead { .. }
+            | EventKind::IngestStarted { .. }
+            | EventKind::IngestFinished { .. } => {}
+        }
+    }
+
+    em.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PhaseKind;
+    use crate::json;
+
+    fn ev(seq: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            wall_us: seq * 10,
+            kind,
+        }
+    }
+
+    fn sample_run() -> Vec<TraceEvent> {
+        use EventKind::*;
+        vec![
+            ev(0, SpanBegin { name: "run".into() }),
+            ev(1, JobStarted { job: "j1".into() }),
+            ev(
+                2,
+                PhaseStarted {
+                    job: "j1".into(),
+                    phase: PhaseKind::Map,
+                    tasks: 1,
+                    sim: 0.0,
+                },
+            ),
+            ev(
+                3,
+                TaskFinished {
+                    job: "j1".into(),
+                    phase: PhaseKind::Map,
+                    task: 0,
+                    slot: 2,
+                    sim_start: 0.0,
+                    sim_end: 1.5,
+                    speculative: true,
+                },
+            ),
+            ev(
+                4,
+                PhaseFinished {
+                    job: "j1".into(),
+                    phase: PhaseKind::Map,
+                    sim: 1.5,
+                    speculative_wins: 1,
+                },
+            ),
+            ev(
+                5,
+                JobFinished {
+                    job: "j1".into(),
+                    sim_total: 2.0,
+                    wall_seconds: 0.01,
+                },
+            ),
+            ev(6, JobStarted { job: "j2".into() }),
+            ev(
+                7,
+                TaskFinished {
+                    job: "j2".into(),
+                    phase: PhaseKind::Reduce,
+                    task: 0,
+                    slot: 0,
+                    sim_start: 0.5,
+                    sim_end: 1.0,
+                    speculative: false,
+                },
+            ),
+            ev(8, SpanEnd { name: "run".into() }),
+        ]
+    }
+
+    #[test]
+    fn output_is_well_formed_json() {
+        let text = to_chrome_trace(&sample_run());
+        let value = json::parse(&text).unwrap();
+        let events = value.get("traceEvents").unwrap();
+        match events {
+            json::JsonValue::Arr(items) => assert!(items.len() >= 8),
+            other => panic!("traceEvents not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_job_is_rebased_after_the_first() {
+        let text = to_chrome_trace(&sample_run());
+        let value = json::parse(&text).unwrap();
+        let json::JsonValue::Arr(items) = value.get("traceEvents").unwrap() else {
+            panic!("traceEvents not an array");
+        };
+        // j2's task starts at sim 0.5 but job offset is j1's sim_total
+        // (2.0), so its slice must sit at ts = 2.5e6 us.
+        let task = items
+            .iter()
+            .find(|e| {
+                e.get("cat").and_then(json::JsonValue::as_str) == Some("task")
+                    && e.get("pid").and_then(json::JsonValue::as_u64) == Some(2)
+            })
+            .unwrap();
+        assert_eq!(
+            task.get("ts").and_then(json::JsonValue::as_f64),
+            Some(2.5e6)
+        );
+    }
+
+    #[test]
+    fn speculative_task_gets_async_pair() {
+        let text = to_chrome_trace(&sample_run());
+        assert!(text.contains("\"ph\":\"b\""));
+        assert!(text.contains("\"ph\":\"e\""));
+        assert!(text.contains("backup map 0"));
+    }
+
+    #[test]
+    fn slots_become_named_threads() {
+        let text = to_chrome_trace(&sample_run());
+        assert!(text.contains("slot 2"));
+        assert!(text.contains("\"tid\":3"));
+    }
+}

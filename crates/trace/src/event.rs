@@ -1,0 +1,740 @@
+//! The structured event model: typed [`TraceEvent`]s with monotonic
+//! sequence numbers and both wall-clock and sim-clock timestamps.
+//!
+//! Every event serializes to one flat JSON object (one line of a JSONL
+//! trace) with a `type` discriminant, and parses back losslessly — the
+//! round-trip is what the CI schema check and the `mrsky trace` replay
+//! subcommand rely on. The taxonomy mirrors the layers it instruments:
+//!
+//! | family | events |
+//! |---|---|
+//! | job | `job_started`, `job_finished` |
+//! | phase | `phase_started`, `phase_finished` |
+//! | task lifecycle | `task_scheduled`, `task_launched`, `task_retried`, `task_speculated`, `task_finished` |
+//! | shuffle / DFS | `shuffle_partition`, `dfs_block_read` |
+//! | skyline | `kernel_run`, `partition_local_skyline` |
+//! | ingest | `ingest_started`, `ingest_finished` |
+//! | generic spans | `span_begin`, `span_end` |
+
+use crate::json::{self, JsonValue};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Which of the two MapReduce phases an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// The map phase.
+    Map,
+    /// The reduce phase (shuffle folded in, Hadoop-style).
+    Reduce,
+}
+
+impl PhaseKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseKind::Map => "map",
+            PhaseKind::Reduce => "reduce",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<PhaseKind> {
+        match s {
+            "map" => Some(PhaseKind::Map),
+            "reduce" => Some(PhaseKind::Reduce),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One trace event, stamped by the [`Tracer`](crate::Tracer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (strictly increasing within one trace).
+    pub seq: u64,
+    /// Wall-clock microseconds since the tracer's epoch.
+    pub wall_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The typed payload of a [`TraceEvent`].
+///
+/// Simulated timestamps (`sim*` fields) are in simulated seconds on the
+/// emitting job's clock, which starts at 0 per job; the Chrome exporter
+/// re-bases chained jobs onto one global axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A MapReduce job was submitted.
+    JobStarted {
+        /// Job name.
+        job: String,
+    },
+    /// A MapReduce job completed.
+    JobFinished {
+        /// Job name.
+        job: String,
+        /// Simulated end-to-end seconds (overhead + phases).
+        sim_total: f64,
+        /// Host wall-clock seconds spent executing.
+        wall_seconds: f64,
+    },
+    /// A phase's schedule was fixed.
+    PhaseStarted {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Task count in the phase.
+        tasks: u64,
+        /// Simulated phase start.
+        sim: f64,
+    },
+    /// A phase's last task finished.
+    PhaseFinished {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Simulated phase end.
+        sim: f64,
+        /// Speculative backups that won their race.
+        speculative_wins: u64,
+    },
+    /// A task entered the phase's FIFO queue.
+    TaskScheduled {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Task index within the phase.
+        task: u64,
+    },
+    /// A task started executing on a slot.
+    TaskLaunched {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Task index within the phase.
+        task: u64,
+        /// Cluster slot (`server * slots_per_server + slot`).
+        slot: u64,
+        /// Simulated launch time.
+        sim: f64,
+    },
+    /// A task attempt failed and was re-run (injected failure model).
+    TaskRetried {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Task index within the phase.
+        task: u64,
+        /// 1-based retry number (first retry = 1).
+        attempt: u64,
+    },
+    /// A speculative backup attempt was observed for a straggler task. In
+    /// the simulator's monotone model only *winning* backups are recorded,
+    /// so `won` also implies the original attempt lost the race.
+    TaskSpeculated {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Task index within the phase.
+        task: u64,
+        /// Whether the backup beat the original attempt.
+        won: bool,
+    },
+    /// A task completed (at its winning attempt's end).
+    TaskFinished {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Task index within the phase.
+        task: u64,
+        /// Cluster slot the winning attempt ran on.
+        slot: u64,
+        /// Simulated start.
+        sim_start: f64,
+        /// Simulated end.
+        sim_end: f64,
+        /// Whether a speculative backup produced the completion.
+        speculative: bool,
+    },
+    /// One reduce task's shuffle fetch summary.
+    ShufflePartition {
+        /// Job name.
+        job: String,
+        /// Reduce task index.
+        reducer: u64,
+        /// Bytes fetched.
+        bytes: u64,
+        /// Records fetched.
+        records: u64,
+        /// Map-output segments fetched (contributing map tasks).
+        segments: u64,
+    },
+    /// A map task read its input block from the simulated DFS.
+    DfsBlockRead {
+        /// Job name.
+        job: String,
+        /// Map task (= split/block) index.
+        task: u64,
+        /// Server the task ran on.
+        server: u64,
+        /// Whether a replica of the block lived on that server.
+        local: bool,
+    },
+    /// One skyline kernel invocation (local computation or merge).
+    KernelRun {
+        /// Kernel name (`bnl`, `sfs`, `dnc`, `presort-merge`).
+        kernel: String,
+        /// Input cardinality.
+        input: u64,
+        /// Output (skyline) cardinality.
+        output: u64,
+        /// Pairwise dominance comparisons performed.
+        comparisons: u64,
+        /// Passes over the input (BNL window overflow model).
+        passes: u64,
+    },
+    /// A partition's local skyline was computed (or the partition pruned).
+    PartitionLocalSkyline {
+        /// Partition id.
+        partition: u64,
+        /// Points routed into the partition.
+        input: u64,
+        /// Local skyline size (0 for pruned partitions).
+        output: u64,
+        /// Whether dominated-cell pruning skipped the kernel entirely.
+        pruned: bool,
+    },
+    /// Dataset ingestion began.
+    IngestStarted {
+        /// Source path or generator description.
+        source: String,
+    },
+    /// Dataset ingestion completed.
+    IngestFinished {
+        /// Services loaded.
+        services: u64,
+        /// Malformed/non-finite rows rejected.
+        rejected: u64,
+    },
+    /// Generic span open (driver-level stages: fit, audit, pipeline...).
+    SpanBegin {
+        /// Span name; must match the closing [`EventKind::SpanEnd`].
+        name: String,
+    },
+    /// Generic span close.
+    SpanEnd {
+        /// Span name.
+        name: String,
+    },
+}
+
+impl EventKind {
+    /// The stable `type` discriminant used on the wire.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            EventKind::JobStarted { .. } => "job_started",
+            EventKind::JobFinished { .. } => "job_finished",
+            EventKind::PhaseStarted { .. } => "phase_started",
+            EventKind::PhaseFinished { .. } => "phase_finished",
+            EventKind::TaskScheduled { .. } => "task_scheduled",
+            EventKind::TaskLaunched { .. } => "task_launched",
+            EventKind::TaskRetried { .. } => "task_retried",
+            EventKind::TaskSpeculated { .. } => "task_speculated",
+            EventKind::TaskFinished { .. } => "task_finished",
+            EventKind::ShufflePartition { .. } => "shuffle_partition",
+            EventKind::DfsBlockRead { .. } => "dfs_block_read",
+            EventKind::KernelRun { .. } => "kernel_run",
+            EventKind::PartitionLocalSkyline { .. } => "partition_local_skyline",
+            EventKind::IngestStarted { .. } => "ingest_started",
+            EventKind::IngestFinished { .. } => "ingest_finished",
+            EventKind::SpanBegin { .. } => "span_begin",
+            EventKind::SpanEnd { .. } => "span_end",
+        }
+    }
+}
+
+/// One serialized field value.
+enum Field {
+    U(u64),
+    F(f64),
+    B(bool),
+    S(String),
+}
+
+impl Field {
+    fn render(&self) -> String {
+        match self {
+            Field::U(v) => format!("{v}"),
+            Field::F(v) => json::number(*v),
+            Field::B(v) => format!("{v}"),
+            Field::S(v) => format!("\"{}\"", json::escape(v)),
+        }
+    }
+}
+
+fn fields_of(kind: &EventKind) -> Vec<(&'static str, Field)> {
+    use EventKind::*;
+    use Field::*;
+    match kind {
+        JobStarted { job } => vec![("job", S(job.clone()))],
+        JobFinished {
+            job,
+            sim_total,
+            wall_seconds,
+        } => vec![
+            ("job", S(job.clone())),
+            ("sim_total", F(*sim_total)),
+            ("wall_seconds", F(*wall_seconds)),
+        ],
+        PhaseStarted {
+            job,
+            phase,
+            tasks,
+            sim,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("tasks", U(*tasks)),
+            ("sim", F(*sim)),
+        ],
+        PhaseFinished {
+            job,
+            phase,
+            sim,
+            speculative_wins,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("sim", F(*sim)),
+            ("speculative_wins", U(*speculative_wins)),
+        ],
+        TaskScheduled { job, phase, task } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("task", U(*task)),
+        ],
+        TaskLaunched {
+            job,
+            phase,
+            task,
+            slot,
+            sim,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("task", U(*task)),
+            ("slot", U(*slot)),
+            ("sim", F(*sim)),
+        ],
+        TaskRetried {
+            job,
+            phase,
+            task,
+            attempt,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("task", U(*task)),
+            ("attempt", U(*attempt)),
+        ],
+        TaskSpeculated {
+            job,
+            phase,
+            task,
+            won,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("task", U(*task)),
+            ("won", B(*won)),
+        ],
+        TaskFinished {
+            job,
+            phase,
+            task,
+            slot,
+            sim_start,
+            sim_end,
+            speculative,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("task", U(*task)),
+            ("slot", U(*slot)),
+            ("sim_start", F(*sim_start)),
+            ("sim_end", F(*sim_end)),
+            ("speculative", B(*speculative)),
+        ],
+        ShufflePartition {
+            job,
+            reducer,
+            bytes,
+            records,
+            segments,
+        } => vec![
+            ("job", S(job.clone())),
+            ("reducer", U(*reducer)),
+            ("bytes", U(*bytes)),
+            ("records", U(*records)),
+            ("segments", U(*segments)),
+        ],
+        DfsBlockRead {
+            job,
+            task,
+            server,
+            local,
+        } => vec![
+            ("job", S(job.clone())),
+            ("task", U(*task)),
+            ("server", U(*server)),
+            ("local", B(*local)),
+        ],
+        KernelRun {
+            kernel,
+            input,
+            output,
+            comparisons,
+            passes,
+        } => vec![
+            ("kernel", S(kernel.clone())),
+            ("input", U(*input)),
+            ("output", U(*output)),
+            ("comparisons", U(*comparisons)),
+            ("passes", U(*passes)),
+        ],
+        PartitionLocalSkyline {
+            partition,
+            input,
+            output,
+            pruned,
+        } => vec![
+            ("partition", U(*partition)),
+            ("input", U(*input)),
+            ("output", U(*output)),
+            ("pruned", B(*pruned)),
+        ],
+        IngestStarted { source } => vec![("source", S(source.clone()))],
+        IngestFinished { services, rejected } => {
+            vec![("services", U(*services)), ("rejected", U(*rejected))]
+        }
+        SpanBegin { name } => vec![("name", S(name.clone()))],
+        SpanEnd { name } => vec![("name", S(name.clone()))],
+    }
+}
+
+impl TraceEvent {
+    /// Serializes the event as one flat JSON object (one JSONL line, no
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"wall_us\":{},\"type\":\"{}\"",
+            self.seq,
+            self.wall_us,
+            self.kind.type_name()
+        );
+        for (key, value) in fields_of(&self.kind) {
+            let _ = write!(out, ",\"{}\":{}", key, value.render());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line produced by [`TraceEvent::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation: malformed JSON,
+    /// a missing/badly-typed field, or an unknown `type`.
+    pub fn from_json(line: &str) -> Result<TraceEvent, String> {
+        let value = json::parse(line).map_err(|e| e.to_string())?;
+        let seq = req_u64(&value, "seq")?;
+        let wall_us = req_u64(&value, "wall_us")?;
+        let ty = req_str(&value, "type")?;
+        let kind = kind_from(&value, &ty)?;
+        Ok(TraceEvent { seq, wall_us, kind })
+    }
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn req_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+fn req_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean field `{key}`"))
+}
+
+fn req_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn req_phase(v: &JsonValue, key: &str) -> Result<PhaseKind, String> {
+    let s = req_str(v, key)?;
+    PhaseKind::parse(&s).ok_or_else(|| format!("unknown phase `{s}`"))
+}
+
+fn kind_from(v: &JsonValue, ty: &str) -> Result<EventKind, String> {
+    use EventKind::*;
+    Ok(match ty {
+        "job_started" => JobStarted {
+            job: req_str(v, "job")?,
+        },
+        "job_finished" => JobFinished {
+            job: req_str(v, "job")?,
+            sim_total: req_f64(v, "sim_total")?,
+            wall_seconds: req_f64(v, "wall_seconds")?,
+        },
+        "phase_started" => PhaseStarted {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            tasks: req_u64(v, "tasks")?,
+            sim: req_f64(v, "sim")?,
+        },
+        "phase_finished" => PhaseFinished {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            sim: req_f64(v, "sim")?,
+            speculative_wins: req_u64(v, "speculative_wins")?,
+        },
+        "task_scheduled" => TaskScheduled {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            task: req_u64(v, "task")?,
+        },
+        "task_launched" => TaskLaunched {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            task: req_u64(v, "task")?,
+            slot: req_u64(v, "slot")?,
+            sim: req_f64(v, "sim")?,
+        },
+        "task_retried" => TaskRetried {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            task: req_u64(v, "task")?,
+            attempt: req_u64(v, "attempt")?,
+        },
+        "task_speculated" => TaskSpeculated {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            task: req_u64(v, "task")?,
+            won: req_bool(v, "won")?,
+        },
+        "task_finished" => TaskFinished {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            task: req_u64(v, "task")?,
+            slot: req_u64(v, "slot")?,
+            sim_start: req_f64(v, "sim_start")?,
+            sim_end: req_f64(v, "sim_end")?,
+            speculative: req_bool(v, "speculative")?,
+        },
+        "shuffle_partition" => ShufflePartition {
+            job: req_str(v, "job")?,
+            reducer: req_u64(v, "reducer")?,
+            bytes: req_u64(v, "bytes")?,
+            records: req_u64(v, "records")?,
+            segments: req_u64(v, "segments")?,
+        },
+        "dfs_block_read" => DfsBlockRead {
+            job: req_str(v, "job")?,
+            task: req_u64(v, "task")?,
+            server: req_u64(v, "server")?,
+            local: req_bool(v, "local")?,
+        },
+        "kernel_run" => KernelRun {
+            kernel: req_str(v, "kernel")?,
+            input: req_u64(v, "input")?,
+            output: req_u64(v, "output")?,
+            comparisons: req_u64(v, "comparisons")?,
+            passes: req_u64(v, "passes")?,
+        },
+        "partition_local_skyline" => PartitionLocalSkyline {
+            partition: req_u64(v, "partition")?,
+            input: req_u64(v, "input")?,
+            output: req_u64(v, "output")?,
+            pruned: req_bool(v, "pruned")?,
+        },
+        "ingest_started" => IngestStarted {
+            source: req_str(v, "source")?,
+        },
+        "ingest_finished" => IngestFinished {
+            services: req_u64(v, "services")?,
+            rejected: req_u64(v, "rejected")?,
+        },
+        "span_begin" => SpanBegin {
+            name: req_str(v, "name")?,
+        },
+        "span_end" => SpanEnd {
+            name: req_str(v, "name")?,
+        },
+        other => return Err(format!("unknown event type `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<EventKind> {
+        use EventKind::*;
+        vec![
+            JobStarted { job: "j1".into() },
+            JobFinished {
+                job: "j1".into(),
+                sim_total: 12.5,
+                wall_seconds: 0.25,
+            },
+            PhaseStarted {
+                job: "j1".into(),
+                phase: PhaseKind::Map,
+                tasks: 8,
+                sim: 0.0,
+            },
+            PhaseFinished {
+                job: "j1".into(),
+                phase: PhaseKind::Reduce,
+                sim: 9.0,
+                speculative_wins: 1,
+            },
+            TaskScheduled {
+                job: "j1".into(),
+                phase: PhaseKind::Map,
+                task: 3,
+            },
+            TaskLaunched {
+                job: "j1".into(),
+                phase: PhaseKind::Map,
+                task: 3,
+                slot: 5,
+                sim: 1.5,
+            },
+            TaskRetried {
+                job: "j1".into(),
+                phase: PhaseKind::Reduce,
+                task: 0,
+                attempt: 2,
+            },
+            TaskSpeculated {
+                job: "j1".into(),
+                phase: PhaseKind::Map,
+                task: 7,
+                won: true,
+            },
+            TaskFinished {
+                job: "j\"quoted\"".into(),
+                phase: PhaseKind::Map,
+                task: 3,
+                slot: 5,
+                sim_start: 1.5,
+                sim_end: 2.75,
+                speculative: false,
+            },
+            ShufflePartition {
+                job: "j1".into(),
+                reducer: 2,
+                bytes: 1024,
+                records: 77,
+                segments: 4,
+            },
+            DfsBlockRead {
+                job: "j1".into(),
+                task: 1,
+                server: 3,
+                local: true,
+            },
+            KernelRun {
+                kernel: "bnl".into(),
+                input: 100,
+                output: 12,
+                comparisons: 4321,
+                passes: 2,
+            },
+            PartitionLocalSkyline {
+                partition: 9,
+                input: 50,
+                output: 6,
+                pruned: false,
+            },
+            IngestStarted {
+                source: "data.csv".into(),
+            },
+            IngestFinished {
+                services: 1000,
+                rejected: 3,
+            },
+            SpanBegin { name: "fit".into() },
+            SpanEnd { name: "fit".into() },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for (i, kind) in samples().into_iter().enumerate() {
+            let ev = TraceEvent {
+                seq: i as u64,
+                wall_us: 1000 + i as u64,
+                kind,
+            };
+            let line = ev.to_json();
+            let back = TraceEvent::from_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        assert!(TraceEvent::from_json(r#"{"seq":0,"wall_us":0,"type":"task_finished"}"#).is_err());
+        assert!(TraceEvent::from_json(r#"{"seq":0,"type":"job_started","job":"x"}"#).is_err());
+        assert!(TraceEvent::from_json(r#"{"seq":0,"wall_us":0,"type":"nope"}"#).is_err());
+        assert!(TraceEvent::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_phase() {
+        let line =
+            r#"{"seq":0,"wall_us":0,"type":"task_scheduled","job":"j","phase":"combine","task":0}"#;
+        assert!(TraceEvent::from_json(line).is_err());
+    }
+
+    #[test]
+    fn json_is_flat_single_line() {
+        let ev = TraceEvent {
+            seq: 1,
+            wall_us: 2,
+            kind: EventKind::JobStarted {
+                job: "multi\nline".into(),
+            },
+        };
+        assert!(!ev.to_json().contains('\n'));
+    }
+}

@@ -1,0 +1,86 @@
+//! `mrsky-trace`: structured tracing and metrics for the MapReduce
+//! skyline suite.
+//!
+//! Three cooperating pieces, all hand-rolled on the standard library:
+//!
+//! - **Events** ([`event`]): typed [`TraceEvent`]s with monotonic
+//!   sequence numbers, wall-clock offsets, and sim-clock payloads,
+//!   serialized as flat JSONL.
+//! - **Sinks** ([`sink`]): the [`Tracer`] handle threaded through
+//!   [`JobSpec`](../mrsky_mapreduce/struct.JobSpec.html) and the driver;
+//!   disabled tracers cost one branch per site.
+//! - **Registry** ([`registry`]): the process-global, sharded
+//!   counter/gauge/histogram store that kernel hot paths record into
+//!   when enabled ([`metrics`]).
+//!
+//! Recorded streams feed the exporters: Chrome trace-event JSON for
+//! Perfetto ([`to_chrome_trace`]), Prometheus text exposition
+//! ([`MetricsSnapshot::to_prometheus`]), and the human
+//! [`TraceSummary`] table.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod summary;
+
+pub use chrome::to_chrome_trace;
+pub use event::{EventKind, PhaseKind, TraceEvent};
+pub use registry::{metrics, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonlWriter, NullSink, TraceSink, Tracer, VecSink};
+pub use summary::{validate_events, TraceSummary};
+
+/// Parses a JSONL trace document (one event per line, blank lines
+/// ignored) into events.
+///
+/// # Errors
+///
+/// Reports the 1-based line number and cause of the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip_through_tracer() {
+        let tracer = Tracer::in_memory();
+        tracer.emit(|| EventKind::JobStarted { job: "j".into() });
+        tracer.emit(|| EventKind::JobFinished {
+            job: "j".into(),
+            sim_total: 1.0,
+            wall_seconds: 0.5,
+        });
+        let events = tracer.drain();
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+        assert!(validate_events(&back).is_empty());
+    }
+
+    #[test]
+    fn parse_jsonl_reports_line_numbers() {
+        let err = parse_jsonl(
+            "{\"seq\":0,\"wall_us\":0,\"type\":\"job_started\",\"job\":\"x\"}\nbroken\n",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

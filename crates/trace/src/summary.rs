@@ -1,0 +1,545 @@
+//! Post-hoc trace analysis: schema validation for recorded streams and a
+//! human-readable [`TraceSummary`] table (`mrsky trace --summary`).
+
+use crate::event::{EventKind, PhaseKind, TraceEvent};
+use crate::registry::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Validates a recorded event stream against the schema invariants the
+/// tracer guarantees:
+///
+/// 1. sequence numbers strictly increase,
+/// 2. jobs and phases finish only after they start (and at most once),
+/// 3. every generic span closes a matching open,
+/// 4. each phase finishes exactly the task count it announced.
+///
+/// Returns every violation found (empty = valid).
+pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut last_seq: Option<u64> = None;
+    let mut open_jobs: BTreeMap<String, ()> = BTreeMap::new();
+    let mut open_phases: BTreeMap<(String, PhaseKind), u64> = BTreeMap::new();
+    let mut finished_tasks: BTreeMap<(String, PhaseKind), u64> = BTreeMap::new();
+    let mut open_spans: BTreeMap<String, u64> = BTreeMap::new();
+
+    for ev in events {
+        if let Some(prev) = last_seq {
+            if ev.seq <= prev {
+                errors.push(format!(
+                    "seq not strictly increasing: {} after {}",
+                    ev.seq, prev
+                ));
+            }
+        }
+        last_seq = Some(ev.seq);
+
+        match &ev.kind {
+            // side effects in the guards are intentional: the map updates
+            // every time, the arm body only on the violation
+            EventKind::JobStarted { job } if open_jobs.insert(job.clone(), ()).is_some() => {
+                errors.push(format!("job `{job}` started twice (seq {})", ev.seq));
+            }
+            EventKind::JobFinished { job, .. } if open_jobs.remove(job).is_none() => {
+                errors.push(format!(
+                    "job `{job}` finished without starting (seq {})",
+                    ev.seq
+                ));
+            }
+            EventKind::PhaseStarted {
+                job, phase, tasks, ..
+            } => {
+                if !open_jobs.contains_key(job) {
+                    errors.push(format!(
+                        "phase {phase} of `{job}` started outside its job (seq {})",
+                        ev.seq
+                    ));
+                }
+                if open_phases.insert((job.clone(), *phase), *tasks).is_some() {
+                    errors.push(format!(
+                        "phase {phase} of `{job}` started twice (seq {})",
+                        ev.seq
+                    ));
+                }
+            }
+            EventKind::PhaseFinished { job, phase, .. } => {
+                let key = (job.clone(), *phase);
+                match open_phases.remove(&key) {
+                    None => errors.push(format!(
+                        "phase {phase} of `{job}` finished without starting (seq {})",
+                        ev.seq
+                    )),
+                    Some(expected) => {
+                        let finished = finished_tasks.get(&key).copied().unwrap_or(0);
+                        if finished != expected {
+                            errors.push(format!(
+                                "phase {phase} of `{job}` announced {expected} tasks but finished {finished}"
+                            ));
+                        }
+                    }
+                }
+            }
+            EventKind::TaskFinished { job, phase, .. } => {
+                let slot = finished_tasks.entry((job.clone(), *phase)).or_insert(0);
+                *slot += 1;
+            }
+            EventKind::SpanBegin { name } => {
+                *open_spans.entry(name.clone()).or_insert(0) += 1;
+            }
+            EventKind::SpanEnd { name } => match open_spans.get_mut(name) {
+                Some(depth) if *depth > 0 => *depth -= 1,
+                _ => errors.push(format!(
+                    "span `{name}` closed without opening (seq {})",
+                    ev.seq
+                )),
+            },
+            _ => {}
+        }
+    }
+
+    for job in open_jobs.keys() {
+        errors.push(format!("job `{job}` never finished"));
+    }
+    for (job, phase) in open_phases.keys() {
+        errors.push(format!("phase {phase} of `{job}` never finished"));
+    }
+    for (name, depth) in &open_spans {
+        if *depth > 0 {
+            errors.push(format!("span `{name}` left open {depth} time(s)"));
+        }
+    }
+    errors
+}
+
+/// Aggregate view of one job's phase, built from task lifecycle events.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseSummary {
+    /// Tasks announced by `phase_started`.
+    pub tasks: u64,
+    /// `task_finished` events observed.
+    pub finished: u64,
+    /// Retry attempts.
+    pub retries: u64,
+    /// Speculative backups that won.
+    pub speculative_wins: u64,
+    /// Simulated phase span in seconds.
+    pub sim_span: f64,
+}
+
+/// Aggregate view of one job.
+#[derive(Debug, Default, Clone)]
+pub struct JobSummary {
+    /// Per-phase aggregates.
+    pub phases: BTreeMap<PhaseKind, PhaseSummary>,
+    /// Shuffle totals: bytes, records, segments.
+    pub shuffle: (u64, u64, u64),
+    /// DFS block reads: (local, remote).
+    pub dfs_reads: (u64, u64),
+    /// Simulated end-to-end seconds.
+    pub sim_total: f64,
+    /// Host wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// Aggregate view of one kernel across all its invocations.
+#[derive(Debug, Default, Clone)]
+pub struct KernelSummary {
+    /// Invocation count.
+    pub calls: u64,
+    /// Total input points.
+    pub input: u64,
+    /// Total output points.
+    pub output: u64,
+    /// Total passes over the input.
+    pub passes: u64,
+    /// Dominance comparisons per invocation, log₂-bucketed.
+    pub comparisons: Histogram,
+}
+
+/// Everything `mrsky trace --summary` reports, built from a trace stream.
+#[derive(Debug, Default, Clone)]
+pub struct TraceSummary {
+    /// Per-job aggregates, in first-seen order semantics (BTreeMap by name).
+    pub jobs: BTreeMap<String, JobSummary>,
+    /// Per-kernel aggregates.
+    pub kernels: BTreeMap<String, KernelSummary>,
+    /// Per-partition `(input, local-skyline size, pruned)` rows.
+    pub partitions: BTreeMap<u64, (u64, u64, bool)>,
+    /// Ingest totals: (services, rejected).
+    pub ingest: Option<(u64, u64)>,
+    /// Driver span wall durations in microseconds, by name.
+    pub spans: BTreeMap<String, u64>,
+    /// Total events consumed.
+    pub events: u64,
+}
+
+impl TraceSummary {
+    /// Folds an event stream into aggregates.
+    pub fn from_events(events: &[TraceEvent]) -> TraceSummary {
+        let mut summary = TraceSummary {
+            events: events.len() as u64,
+            ..TraceSummary::default()
+        };
+        let mut phase_starts: BTreeMap<(String, PhaseKind), f64> = BTreeMap::new();
+        let mut span_opens: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+
+        for ev in events {
+            match &ev.kind {
+                EventKind::JobStarted { job } => {
+                    summary.jobs.entry(job.clone()).or_default();
+                }
+                EventKind::JobFinished {
+                    job,
+                    sim_total,
+                    wall_seconds,
+                } => {
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    entry.sim_total = *sim_total;
+                    entry.wall_seconds = *wall_seconds;
+                }
+                EventKind::PhaseStarted {
+                    job,
+                    phase,
+                    tasks,
+                    sim,
+                } => {
+                    phase_starts.insert((job.clone(), *phase), *sim);
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    entry.phases.entry(*phase).or_default().tasks = *tasks;
+                }
+                EventKind::PhaseFinished {
+                    job,
+                    phase,
+                    sim,
+                    speculative_wins,
+                } => {
+                    let start = phase_starts.remove(&(job.clone(), *phase)).unwrap_or(0.0);
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    let p = entry.phases.entry(*phase).or_default();
+                    p.sim_span = (sim - start).max(0.0);
+                    p.speculative_wins = *speculative_wins;
+                }
+                EventKind::TaskRetried { job, phase, .. } => {
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    entry.phases.entry(*phase).or_default().retries += 1;
+                }
+                EventKind::TaskFinished { job, phase, .. } => {
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    entry.phases.entry(*phase).or_default().finished += 1;
+                }
+                EventKind::ShufflePartition {
+                    job,
+                    bytes,
+                    records,
+                    segments,
+                    ..
+                } => {
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    entry.shuffle.0 += bytes;
+                    entry.shuffle.1 += records;
+                    entry.shuffle.2 += segments;
+                }
+                EventKind::DfsBlockRead { job, local, .. } => {
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    if *local {
+                        entry.dfs_reads.0 += 1;
+                    } else {
+                        entry.dfs_reads.1 += 1;
+                    }
+                }
+                EventKind::KernelRun {
+                    kernel,
+                    input,
+                    output,
+                    comparisons,
+                    passes,
+                } => {
+                    let entry = summary.kernels.entry(kernel.clone()).or_default();
+                    entry.calls += 1;
+                    entry.input += input;
+                    entry.output += output;
+                    entry.passes += passes;
+                    entry.comparisons.record(*comparisons);
+                }
+                EventKind::PartitionLocalSkyline {
+                    partition,
+                    input,
+                    output,
+                    pruned,
+                } => {
+                    summary
+                        .partitions
+                        .insert(*partition, (*input, *output, *pruned));
+                }
+                EventKind::IngestFinished { services, rejected } => {
+                    summary.ingest = Some((*services, *rejected));
+                }
+                EventKind::SpanBegin { name } => {
+                    span_opens.entry(name.clone()).or_default().push(ev.wall_us);
+                }
+                EventKind::SpanEnd { name } => {
+                    if let Some(begin) = span_opens.get_mut(name).and_then(Vec::pop) {
+                        let dur = ev.wall_us.saturating_sub(begin);
+                        let slot = summary.spans.entry(name.clone()).or_insert(0);
+                        *slot = slot.saturating_add(dur);
+                    }
+                }
+                EventKind::TaskScheduled { .. }
+                | EventKind::TaskLaunched { .. }
+                | EventKind::TaskSpeculated { .. }
+                | EventKind::IngestStarted { .. } => {}
+            }
+        }
+        summary
+    }
+
+    /// Renders the fixed-width report table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace summary ({} events)", self.events);
+
+        if let Some((services, rejected)) = self.ingest {
+            let _ = writeln!(out, "  ingest: {services} services, {rejected} rejected");
+        }
+
+        for (job, js) in &self.jobs {
+            let _ = writeln!(
+                out,
+                "  job {job}: sim {:.2}s, wall {:.3}s",
+                js.sim_total, js.wall_seconds
+            );
+            for (phase, p) in &js.phases {
+                let _ = writeln!(
+                    out,
+                    "    {phase:<6} tasks={} finished={} retries={} spec_wins={} span={:.2}s",
+                    p.tasks, p.finished, p.retries, p.speculative_wins, p.sim_span
+                );
+            }
+            if js.shuffle != (0, 0, 0) {
+                let _ = writeln!(
+                    out,
+                    "    shuffle: {} bytes, {} records, {} segments",
+                    js.shuffle.0, js.shuffle.1, js.shuffle.2
+                );
+            }
+            if js.dfs_reads != (0, 0) {
+                let _ = writeln!(
+                    out,
+                    "    dfs reads: {} local, {} remote",
+                    js.dfs_reads.0, js.dfs_reads.1
+                );
+            }
+        }
+
+        if !self.partitions.is_empty() {
+            let computed: Vec<_> = self
+                .partitions
+                .iter()
+                .filter(|(_, (_, _, pruned))| !pruned)
+                .collect();
+            let pruned = self.partitions.len() - computed.len();
+            let _ = writeln!(
+                out,
+                "  partitions: {} computed, {pruned} pruned",
+                computed.len()
+            );
+            for (id, (input, output, _)) in &computed {
+                let _ = writeln!(out, "    p{id:<4} in={input:<8} local_skyline={output}");
+            }
+        }
+
+        for (kernel, ks) in &self.kernels {
+            let _ = writeln!(
+                out,
+                "  kernel {kernel}: calls={} in={} out={} passes={} comparisons(sum={}, mean={:.0})",
+                ks.calls,
+                ks.input,
+                ks.output,
+                ks.passes,
+                ks.comparisons.sum(),
+                ks.comparisons.mean()
+            );
+            let buckets = ks.comparisons.nonzero_buckets();
+            if !buckets.is_empty() {
+                let _ = write!(out, "    comparisons histogram:");
+                for (le, count) in buckets {
+                    let _ = write!(out, " le{le}:{count}");
+                }
+                out.push('\n');
+            }
+        }
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "  driver spans (wall):");
+            for (name, us) in &self.spans {
+                let _ = writeln!(out, "    {name:<20} {:.3}s", *us as f64 / 1e6);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, wall_us: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { seq, wall_us, kind }
+    }
+
+    fn valid_stream() -> Vec<TraceEvent> {
+        use EventKind::*;
+        vec![
+            ev(0, 0, SpanBegin { name: "run".into() }),
+            ev(1, 5, JobStarted { job: "j".into() }),
+            ev(
+                2,
+                6,
+                PhaseStarted {
+                    job: "j".into(),
+                    phase: PhaseKind::Map,
+                    tasks: 2,
+                    sim: 0.0,
+                },
+            ),
+            ev(
+                3,
+                7,
+                TaskFinished {
+                    job: "j".into(),
+                    phase: PhaseKind::Map,
+                    task: 0,
+                    slot: 0,
+                    sim_start: 0.0,
+                    sim_end: 1.0,
+                    speculative: false,
+                },
+            ),
+            ev(
+                4,
+                8,
+                TaskRetried {
+                    job: "j".into(),
+                    phase: PhaseKind::Map,
+                    task: 1,
+                    attempt: 1,
+                },
+            ),
+            ev(
+                5,
+                9,
+                TaskFinished {
+                    job: "j".into(),
+                    phase: PhaseKind::Map,
+                    task: 1,
+                    slot: 1,
+                    sim_start: 0.0,
+                    sim_end: 2.0,
+                    speculative: true,
+                },
+            ),
+            ev(
+                6,
+                10,
+                PhaseFinished {
+                    job: "j".into(),
+                    phase: PhaseKind::Map,
+                    sim: 2.0,
+                    speculative_wins: 1,
+                },
+            ),
+            ev(
+                7,
+                11,
+                KernelRun {
+                    kernel: "bnl".into(),
+                    input: 100,
+                    output: 10,
+                    comparisons: 500,
+                    passes: 1,
+                },
+            ),
+            ev(
+                8,
+                12,
+                PartitionLocalSkyline {
+                    partition: 3,
+                    input: 100,
+                    output: 10,
+                    pruned: false,
+                },
+            ),
+            ev(
+                9,
+                13,
+                JobFinished {
+                    job: "j".into(),
+                    sim_total: 2.5,
+                    wall_seconds: 0.01,
+                },
+            ),
+            ev(10, 20, SpanEnd { name: "run".into() }),
+        ]
+    }
+
+    #[test]
+    fn valid_stream_passes() {
+        assert!(validate_events(&valid_stream()).is_empty());
+    }
+
+    #[test]
+    fn validator_flags_each_violation() {
+        use EventKind::*;
+        let mut dup_seq = valid_stream();
+        dup_seq[3].seq = dup_seq[2].seq;
+        assert!(validate_events(&dup_seq)
+            .iter()
+            .any(|e| e.contains("strictly increasing")));
+
+        let orphan_end = vec![ev(0, 0, SpanEnd { name: "x".into() })];
+        assert!(validate_events(&orphan_end)
+            .iter()
+            .any(|e| e.contains("closed without opening")));
+
+        let unclosed = vec![ev(0, 0, JobStarted { job: "j".into() })];
+        assert!(validate_events(&unclosed)
+            .iter()
+            .any(|e| e.contains("never finished")));
+
+        let mut wrong_count = valid_stream();
+        wrong_count.remove(3); // drop one task_finished
+        assert!(validate_events(&wrong_count)
+            .iter()
+            .any(|e| e.contains("announced 2 tasks but finished 1")));
+    }
+
+    #[test]
+    fn summary_aggregates_the_stream() {
+        let summary = TraceSummary::from_events(&valid_stream());
+        let job = summary.jobs.get("j").unwrap();
+        assert_eq!(job.sim_total, 2.5);
+        let map = job.phases.get(&PhaseKind::Map).unwrap();
+        assert_eq!(map.tasks, 2);
+        assert_eq!(map.finished, 2);
+        assert_eq!(map.retries, 1);
+        assert_eq!(map.speculative_wins, 1);
+        assert_eq!(map.sim_span, 2.0);
+        let bnl = summary.kernels.get("bnl").unwrap();
+        assert_eq!(bnl.calls, 1);
+        assert_eq!(bnl.comparisons.sum(), 500);
+        assert_eq!(summary.partitions.get(&3), Some(&(100, 10, false)));
+        assert_eq!(summary.spans.get("run"), Some(&20));
+    }
+
+    #[test]
+    fn render_mentions_the_headline_numbers() {
+        let text = TraceSummary::from_events(&valid_stream()).render();
+        assert!(text.contains("job j"));
+        assert!(text.contains("tasks=2"));
+        assert!(text.contains("retries=1"));
+        assert!(text.contains("spec_wins=1"));
+        assert!(text.contains("kernel bnl"));
+        assert!(text.contains("local_skyline=10"));
+        assert!(text.contains("comparisons histogram:"));
+    }
+}

@@ -14,6 +14,7 @@ use mr_skyline_suite::mr::prelude::*;
 use mr_skyline_suite::qws::{
     generate_qws, generate_synthetic, Dataset, Distribution, QwsConfig, SyntheticConfig,
 };
+use mr_skyline_suite::trace::{self, TraceSummary, Tracer};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "select" => cmd_select(rest),
         "sweep" => cmd_sweep(rest),
+        "trace" => cmd_trace(rest),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {
@@ -54,9 +56,22 @@ USAGE:
   mrsky select   --data FILE --weights W1,W2,... [--top 5] [--diverse K | --covering K]
                  [--algorithm angle] [--servers 8]
   mrsky sweep    --data FILE --servers 4,8,16,32 [--algorithm angle] [--json]
+  mrsky trace    --summary FILE | --validate FILE | --chrome OUT FILE
 
 Any command accepting --data FILE also accepts --qws-file FILE to read the
-original QWS v2 dataset file (9 QoS columns + name + WSDL).";
+original QWS v2 dataset file (9 QoS columns + name + WSDL).
+
+Observability (skyline / compare / sweep):
+  --trace FILE            record a structured event trace of the run
+  --trace-format FORMAT   jsonl (replayable, default) or chrome
+                          (load in Perfetto / chrome://tracing)
+  --metrics               print Prometheus-format counters and histograms
+                          (dominance tests, window overflows, SIMD dispatch,
+                          local-skyline sizes) after the run
+
+`mrsky trace` replays a recorded JSONL trace: --summary renders per-phase
+task/retry/speculation tables, --chrome converts to a Perfetto-loadable
+JSON file, --validate checks event-schema invariants.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -109,6 +124,76 @@ fn load_data(args: &[String]) -> Result<Dataset, String> {
         .map_err(|e| format!("cannot load `{path}`: {e}"))
 }
 
+/// Observability flags shared by `skyline`, `compare`, and `sweep`.
+struct TraceOpts {
+    tracer: Tracer,
+    out: Option<(PathBuf, String)>,
+    metrics: bool,
+}
+
+/// Parses `--trace FILE`, `--trace-format jsonl|chrome`, and `--metrics`.
+/// Enables the process-global metrics registry when `--metrics` is given so
+/// kernels record before the run starts.
+fn trace_opts(args: &[String]) -> Result<TraceOpts, String> {
+    let metrics = args.iter().any(|a| a == "--metrics");
+    if metrics {
+        trace::metrics().set_enabled(true);
+    }
+    let out = match flag(args, "--trace") {
+        None => None,
+        Some(path) => {
+            let format = flag(args, "--trace-format").unwrap_or_else(|| "jsonl".into());
+            if format != "jsonl" && format != "chrome" {
+                return Err(format!(
+                    "--trace-format expects jsonl or chrome, got `{format}`"
+                ));
+            }
+            Some((PathBuf::from(path), format))
+        }
+    };
+    let tracer = if out.is_some() {
+        Tracer::in_memory()
+    } else {
+        Tracer::disabled()
+    };
+    Ok(TraceOpts {
+        tracer,
+        out,
+        metrics,
+    })
+}
+
+impl TraceOpts {
+    /// Writes the recorded trace (if any) and prints the metrics exposition
+    /// (if enabled). Call once, after the instrumented run.
+    fn finish(&self) -> Result<(), String> {
+        if let Some((path, format)) = &self.out {
+            let events = self.tracer.drain();
+            let text = if format == "chrome" {
+                trace::to_chrome_trace(&events)
+            } else {
+                let mut s = String::with_capacity(events.len() * 96);
+                for e in &events {
+                    s.push_str(&e.to_json());
+                    s.push('\n');
+                }
+                s
+            };
+            std::fs::write(path, text)
+                .map_err(|e| format!("cannot write trace to `{}`: {e}", path.display()))?;
+            eprintln!(
+                "wrote {} trace events to {} ({format})",
+                events.len(),
+                path.display()
+            );
+        }
+        if self.metrics {
+            print!("{}", trace::metrics().snapshot().to_prometheus());
+        }
+        Ok(())
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let out = flag(args, "--out").ok_or("--out FILE is required")?;
     let n = flag_usize(args, "--n", 10_000)?;
@@ -144,7 +229,10 @@ fn cmd_skyline(args: &[String]) -> Result<(), String> {
     let algorithm = parse_algorithm(&flag(args, "--algorithm").unwrap_or_else(|| "angle".into()))?;
     let servers = flag_servers(args)?;
     let force = args.iter().any(|a| a == "--force");
-    let job = SkylineJob::new(algorithm, servers).with_force(force);
+    let topts = trace_opts(args)?;
+    let job = SkylineJob::new(algorithm, servers)
+        .with_force(force)
+        .with_tracer(topts.tracer.clone());
     let report = job.run_checked(&data).map_err(|audit| {
         format!(
             "plan audit found error-level diagnostics (re-run with --force to override):\n{}",
@@ -161,17 +249,20 @@ fn cmd_skyline(args: &[String]) -> Result<(), String> {
     );
     validate_report(&report, &data).map_err(|e| format!("result failed validation: {e}"))?;
     println!("validated against the independent oracle.");
-    Ok(())
+    topts.finish()
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let data = load_data(args)?;
     let servers = flag_servers(args)?;
+    let topts = trace_opts(args)?;
     for algorithm in Algorithm::paper_trio() {
-        let report = SkylineJob::new(algorithm, servers).run(&data);
+        let report = SkylineJob::new(algorithm, servers)
+            .with_tracer(topts.tracer.clone())
+            .run(&data);
         println!("{}", report.summary());
     }
-    Ok(())
+    topts.finish()
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
@@ -186,6 +277,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
     let json = args.iter().any(|a| a == "--json");
+    let topts = trace_opts(args)?;
     if !json {
         println!(
             "{:<8} {:>10} {:>10} {:>10} {:>8}",
@@ -193,7 +285,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         );
     }
     for &n in &servers {
-        let report = SkylineJob::new(algorithm, n).run(&data);
+        let report = SkylineJob::new(algorithm, n)
+            .with_tracer(topts.tracer.clone())
+            .run(&data);
         if json {
             println!("{}", report.to_json());
         } else {
@@ -207,6 +301,56 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    topts.finish()
+}
+
+/// Replays a recorded JSONL trace: summary table, Chrome conversion, or
+/// schema validation.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let chrome_out = flag(args, "--chrome");
+    let validate = args.iter().any(|a| a == "--validate");
+    // the input file is the last operand that is neither a flag nor the
+    // --chrome output path
+    let input = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--chrome")
+        })
+        .map(|(_, a)| a.clone())
+        .next_back()
+        .ok_or("usage: mrsky trace --summary FILE | --validate FILE | --chrome OUT FILE")?;
+    let text =
+        std::fs::read_to_string(&input).map_err(|e| format!("cannot read trace `{input}`: {e}"))?;
+    let events = trace::parse_jsonl(&text).map_err(|e| format!("`{input}`: {e}"))?;
+
+    if validate {
+        let problems = trace::validate_events(&events);
+        if !problems.is_empty() {
+            for p in &problems {
+                eprintln!("invalid: {p}");
+            }
+            return Err(format!(
+                "{} schema violation(s) in {} events",
+                problems.len(),
+                events.len()
+            ));
+        }
+        println!("{} events, schema valid", events.len());
+        return Ok(());
+    }
+    if let Some(out) = chrome_out {
+        let json = trace::to_chrome_trace(&events);
+        std::fs::write(&out, json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        println!(
+            "wrote Chrome trace for {} events to {out} (open in Perfetto or chrome://tracing)",
+            events.len()
+        );
+        return Ok(());
+    }
+    // default (and --summary): the human-readable report
+    print!("{}", TraceSummary::from_events(&events).render());
     Ok(())
 }
 

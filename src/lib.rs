@@ -12,12 +12,15 @@
 //! * [`qws`] ([`qws_data`]) — QWS-like and synthetic dataset generators;
 //! * [`mr`] ([`mr_skyline`]) — the MR-Dim / MR-Grid / MR-Angle algorithms;
 //! * [`audit`] ([`mrsky_audit`]) — plan-time static analysis and the
-//!   workspace lint pass.
+//!   workspace lint pass;
+//! * [`trace`] ([`mrsky_trace`]) — structured tracing, the metrics
+//!   registry, and the Chrome/Prometheus exporters.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use mini_mapreduce as mapreduce;
 pub use mr_skyline as mr;
 pub use mrsky_audit as audit;
+pub use mrsky_trace as trace;
 pub use qws_data as qws;
 pub use skyline_algos as skyline;

@@ -1,0 +1,123 @@
+//! A crash simulator: kill the run after N checkpoint writes.
+//!
+//! [`FaultPlan::kill_after_checkpoints`](crate::FaultPlan) asks for the
+//! driver to "die" partway through a run, after some amount of durable
+//! progress has been made. The [`KillSwitch`] is the mechanism: the
+//! checkpoint writer calls [`KillSwitch::record_write`] after every durable
+//! write, and once the budget is crossed the switch *fires* — the writing
+//! task panics with [`KILL_PAYLOAD`], and every task that starts afterwards
+//! aborts immediately (see [`KillSwitch::should_abort`]), so work past the
+//! kill point is genuinely lost exactly as it would be in a real crash.
+//!
+//! A resilient driver catches the unwind, checks [`KillSwitch::has_fired`]
+//! to distinguish the simulated crash from a real bug, calls
+//! [`KillSwitch::disarm`], and re-runs with resume enabled. The switch
+//! fires at most once per arm, so the retry always completes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Panic payload used for the simulated crash; resilient drivers match on
+/// [`KillSwitch::has_fired`] rather than this text (thread pools may mangle
+/// payloads in flight), but the message makes crash logs self-explanatory.
+pub const KILL_PAYLOAD: &str = "mrsky-chaos: kill switch tripped (simulated crash)";
+
+/// Fires once after a configured number of durable writes, then aborts all
+/// subsequent work until disarmed. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct KillSwitch {
+    after: u64,
+    written: AtomicU64,
+    fired: AtomicBool,
+    disarmed: AtomicBool,
+}
+
+impl KillSwitch {
+    /// A switch that fires when the `after`-th write is recorded.
+    /// `after = 0` fires on the first write.
+    pub fn new(after: u64) -> Self {
+        Self {
+            after,
+            written: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            disarmed: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one durable write. Returns `true` exactly once — on the call
+    /// that crosses the budget while the switch is still armed — and the
+    /// caller must then simulate the crash (panic with [`KILL_PAYLOAD`]).
+    pub fn record_write(&self) -> bool {
+        let count = self.written.fetch_add(1, Ordering::SeqCst) + 1;
+        if count > self.after && !self.disarmed.load(Ordering::SeqCst) {
+            return !self.fired.swap(true, Ordering::SeqCst);
+        }
+        false
+    }
+
+    /// True while the simulated crash is in progress: tasks observing this
+    /// must abort without doing (or persisting) any work.
+    pub fn should_abort(&self) -> bool {
+        self.fired.load(Ordering::SeqCst) && !self.disarmed.load(Ordering::SeqCst)
+    }
+
+    /// True once the switch has ever fired, even after [`disarm`].
+    ///
+    /// [`disarm`]: KillSwitch::disarm
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Durable writes recorded so far.
+    pub fn writes(&self) -> u64 {
+        self.written.load(Ordering::SeqCst)
+    }
+
+    /// Disarms the switch: it will never fire (or abort work) again. Called
+    /// by the resilient driver before the resume run.
+    pub fn disarm(&self) {
+        self.disarmed.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_the_budget() {
+        let k = KillSwitch::new(2);
+        assert!(!k.record_write(), "write 1 of 2");
+        assert!(!k.should_abort());
+        assert!(!k.record_write(), "write 2 of 2");
+        assert!(k.record_write(), "write 3 crosses the budget");
+        assert!(k.should_abort());
+        assert!(k.has_fired());
+        assert!(!k.record_write(), "only the crossing call fires");
+        assert_eq!(k.writes(), 4);
+    }
+
+    #[test]
+    fn zero_budget_fires_on_first_write() {
+        let k = KillSwitch::new(0);
+        assert!(k.record_write());
+    }
+
+    #[test]
+    fn disarm_silences_abort_but_remembers_firing() {
+        let k = KillSwitch::new(0);
+        assert!(k.record_write());
+        k.disarm();
+        assert!(!k.should_abort(), "disarmed switch lets work proceed");
+        assert!(k.has_fired(), "history survives disarming");
+        assert!(!k.record_write(), "disarmed switch never fires again");
+    }
+
+    #[test]
+    fn disarmed_before_budget_never_fires() {
+        let k = KillSwitch::new(1);
+        k.disarm();
+        assert!(!k.record_write());
+        assert!(!k.record_write());
+        assert!(!k.has_fired());
+    }
+}

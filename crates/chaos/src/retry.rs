@@ -1,0 +1,138 @@
+//! Bounded retries with deterministic, sim-clock-aware backoff.
+
+/// Deterministic exponential backoff: attempt `a` (0-based) waits
+/// `base_seconds * factor^a` simulated seconds before retrying.
+///
+/// There is no jitter on purpose — chaos runs must be bit-reproducible,
+/// and the sim clock makes thundering herds a non-issue.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in simulated seconds.
+    pub base_seconds: f64,
+    /// Multiplier applied per additional failed attempt.
+    pub factor: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base_seconds: 0.05,
+            factor: 2.0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Simulated delay charged before retrying after failed attempt
+    /// `attempt` (0-based).
+    pub fn delay_seconds(&self, attempt: u32) -> f64 {
+        self.base_seconds * self.factor.powi(attempt.min(30) as i32)
+    }
+
+    /// Total simulated delay charged across `failed_attempts` failures.
+    pub fn total_delay_seconds(&self, failed_attempts: u32) -> f64 {
+        (0..failed_attempts).map(|a| self.delay_seconds(a)).sum()
+    }
+}
+
+/// Outcome statistics for one retried operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetryStats {
+    /// Attempts executed, including the successful one (≥ 1 on success).
+    pub attempts: u32,
+    /// Total simulated backoff charged between attempts, in seconds.
+    pub backoff_seconds: f64,
+}
+
+/// Runs `op` up to `max_attempts` times, charging `backoff` between
+/// attempts, and returns the first success together with [`RetryStats`].
+///
+/// `op` receives the 0-based attempt number. On exhaustion the *last*
+/// error is returned alongside the stats.
+///
+/// # Errors
+///
+/// The final attempt's error when every attempt fails.
+pub fn with_retries<T, E>(
+    max_attempts: u32,
+    backoff: &BackoffPolicy,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> (Result<T, E>, RetryStats) {
+    let budget = max_attempts.max(1);
+    let mut stats = RetryStats::default();
+    let mut attempt = 0;
+    loop {
+        stats.attempts = attempt + 1;
+        match op(attempt) {
+            Ok(v) => return (Ok(v), stats),
+            Err(e) => {
+                if attempt + 1 >= budget {
+                    return (Err(e), stats);
+                }
+                stats.backoff_seconds += backoff.delay_seconds(attempt);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_charges_nothing() {
+        let (res, stats) = with_retries(4, &BackoffPolicy::default(), |_| Ok::<_, ()>(7));
+        assert_eq!(res, Ok(7));
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.backoff_seconds, 0.0);
+    }
+
+    #[test]
+    fn retries_until_success_and_charges_backoff() {
+        let backoff = BackoffPolicy {
+            base_seconds: 1.0,
+            factor: 2.0,
+        };
+        let (res, stats) = with_retries(5, &backoff, |a| if a < 2 { Err("boom") } else { Ok(a) });
+        assert_eq!(res, Ok(2));
+        assert_eq!(stats.attempts, 3);
+        // failed attempts 0 and 1: 1.0 + 2.0
+        assert_eq!(stats.backoff_seconds, 3.0);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let (res, stats) = with_retries(3, &BackoffPolicy::default(), |a| {
+            Err::<(), _>(format!("e{a}"))
+        });
+        assert_eq!(res, Err("e2".to_string()));
+        assert_eq!(stats.attempts, 3);
+    }
+
+    #[test]
+    fn zero_budget_still_runs_once() {
+        let mut calls = 0;
+        let (res, stats) = with_retries(0, &BackoffPolicy::default(), |_| {
+            calls += 1;
+            Ok::<_, ()>(())
+        });
+        assert_eq!(res, Ok(()));
+        assert_eq!(calls, 1);
+        assert_eq!(stats.attempts, 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let b = BackoffPolicy {
+            base_seconds: 0.5,
+            factor: 2.0,
+        };
+        assert_eq!(b.delay_seconds(0), 0.5);
+        assert_eq!(b.delay_seconds(1), 1.0);
+        assert_eq!(b.delay_seconds(3), 4.0);
+        assert_eq!(b.total_delay_seconds(3), 3.5);
+        // exponent is clamped so huge attempt counts don't overflow to inf
+        assert!(b.delay_seconds(200).is_finite());
+    }
+}

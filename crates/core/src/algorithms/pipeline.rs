@@ -25,11 +25,13 @@
 //! simulated cost model sees that. Shuffle bytes are unchanged in spirit:
 //! the sizer charges per row, plus one 8-byte key per block.
 
+use crate::checkpoint::CheckpointStore;
 use crate::config::{AlgoConfig, LocalKernel};
 use mini_mapreduce::prelude::*;
 use mini_mapreduce::runtime::{LocalityConfig, RECORDS_PER_SPLIT};
 use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
+use mrsky_chaos::{FaultPlan, KillSwitch, KILL_PAYLOAD};
 use mrsky_trace::{EventKind, Tracer};
 use qws_data::Dataset;
 use skyline_algos::block::PointBlock;
@@ -39,6 +41,7 @@ use skyline_algos::kernel::{block_bnl_stats, presort_merge_stats};
 use skyline_algos::partition::SpacePartitioner;
 use skyline_algos::point::Point;
 use skyline_algos::sfs::sfs_skyline_stats;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Rows per shuffled block: map splits and shuffle values carry at most
@@ -73,6 +76,20 @@ pub struct PipelineOptions {
     /// Structured-event tracer, threaded into both simulated jobs and the
     /// reduce-side kernels. [`Tracer::disabled`] costs one branch per site.
     pub tracer: Tracer,
+    /// Seeded fault-injection plan, threaded into every simulated job
+    /// (map re-execution, DFS read faults, shuffle re-fetches).
+    pub chaos: FaultPlan,
+    /// Per-partition local-skyline checkpoint store. When set, Job 1
+    /// durably records each finished partition.
+    pub checkpoints: Option<Arc<CheckpointStore>>,
+    /// Resume from `checkpoints`: restore finished partitions, drop their
+    /// points from Job 1's input, recompute only what never completed.
+    /// Without a store this is a no-op. The caller is responsible for
+    /// manifest validation (see `SkylineJob::run_resilient`).
+    pub resume: bool,
+    /// Crash simulator: when armed, Job 1 dies ([`KILL_PAYLOAD`]) after
+    /// the switch's checkpoint-write budget (see [`KillSwitch`]).
+    pub kill: Option<Arc<KillSwitch>>,
 }
 
 /// Everything the pipeline produces.
@@ -233,6 +250,38 @@ pub fn run_two_job_pipeline(
     });
     let pruned_partitions = prunable.iter().filter(|&&p| p).count();
 
+    // ---- Checkpoint restore ----
+    // A resumed run trusts every completed checkpoint: those partitions'
+    // local skylines are restored verbatim and their points never enter
+    // Job 1 (no recomputation — the trace validator enforces it).
+    let restored: BTreeMap<u64, Vec<Point>> = match (&opts.checkpoints, opts.resume) {
+        (Some(store), true) => {
+            let map = store
+                .restore()
+                .unwrap_or_else(|e| panic!("cannot resume from checkpoints: {e}"));
+            for (p, sky) in &map {
+                opts.tracer.emit(|| EventKind::CheckpointRestored {
+                    partition: *p,
+                    points: sky.len() as u64,
+                });
+            }
+            map
+        }
+        _ => BTreeMap::new(),
+    };
+    let job1_input = if restored.is_empty() {
+        input_block.clone()
+    } else {
+        let mut b = PointBlock::with_capacity(dim, input_block.len());
+        for i in 0..input_block.len() {
+            let pid = partitioner.partition_of_row(input_block.id(i), input_block.row(i)) as u64;
+            if !restored.contains_key(&pid) {
+                b.push_row_from(&input_block, i);
+            }
+        }
+        b
+    };
+
     // ---- Job 1: partition + local skylines ----
     // One reduce task per partition, as a Hadoop job would configure for a
     // partition-keyed reduce; the cluster's reduce slots bound *concurrency*
@@ -240,7 +289,7 @@ pub fn run_two_job_pipeline(
     let mut spec1: JobSpec<u64, PointBlock> =
         JobSpec::new(format!("{}-partition", opts.name), opts.cluster.clone())
             .with_reducers(num_partitions.max(1))
-            .with_map_tasks(point_splits(input_block.len()));
+            .with_map_tasks(point_splits(job1_input.len()));
     spec1.cost = opts.cost.clone();
     spec1.failure = opts.failure.clone();
     spec1.speculation = opts.speculation.clone();
@@ -249,6 +298,7 @@ pub fn run_two_job_pipeline(
     spec1.sizer = Some(sizer.clone());
     spec1.router = Some(Arc::new(|k: &u64, r: usize| (*k % r as u64) as usize));
     spec1.tracer = opts.tracer.clone();
+    spec1.chaos = opts.chaos.clone();
 
     let part = Arc::clone(&partitioner);
     let map_work = opts.map_work_per_point;
@@ -280,10 +330,39 @@ pub fn run_two_job_pipeline(
     // a mutex, so events from concurrent partitions interleave but keep
     // globally ordered sequence numbers.
     let tracer1 = opts.tracer.clone();
+    let ckpt_store = opts.checkpoints.clone();
+    let kill_switch = opts.kill.clone();
+    let ckpt_tracer = opts.tracer.clone();
+    // Durably records a finished partition and trips the crash simulator
+    // once its write budget is crossed. No-op without a store.
+    let write_checkpoint = move |ctx: &mut TaskContext, partition: u64, sky: &[Point]| {
+        let Some(store) = &ckpt_store else { return };
+        store
+            .write_partition(partition, sky)
+            .unwrap_or_else(|e| panic!("checkpoint write for partition {partition} failed: {e}"));
+        ctx.incr("checkpoints_written", 1);
+        ckpt_tracer.emit(|| EventKind::CheckpointWritten {
+            partition,
+            points: sky.len() as u64,
+        });
+        if let Some(k) = &kill_switch {
+            if k.record_write() {
+                panic!("{KILL_PAYLOAD}");
+            }
+        }
+    };
+    let kill1 = opts.kill.clone();
     let reducer1 = move |key: &u64,
                          values: Vec<PointBlock>,
                          ctx: &mut TaskContext,
                          out: &mut Vec<(u64, PointBlock)>| {
+        // A fired kill switch means the simulated crash is in progress:
+        // everything scheduled after it dies without leaving any state.
+        if let Some(k) = &kill1 {
+            if k.should_abort() {
+                panic!("{KILL_PAYLOAD}");
+            }
+        }
         let points: u64 = values.iter().map(|b| b.len() as u64).sum();
         ctx.add_records_in(points.saturating_sub(values.len() as u64));
         let pruned = usize::try_from(*key)
@@ -300,6 +379,8 @@ pub fn run_two_job_pipeline(
                 output: 0,
                 pruned: true,
             });
+            // An empty checkpoint: pruning this partition is finished work.
+            write_checkpoint(ctx, *key, &[]);
             return;
         }
         let outcome = run_local_kernel(&concat_blocks(dim, &values), kernel, window);
@@ -312,16 +393,24 @@ pub fn run_two_job_pipeline(
             output: outcome.sky.len() as u64,
             pruned: false,
         });
+        write_checkpoint(ctx, *key, &outcome.sky.to_points());
         out.push((*key, outcome.sky));
     };
 
-    let input_splits = input_block.chunks(BLOCK_ROWS);
+    let input_splits = job1_input.chunks(BLOCK_ROWS);
     let job1: JobResult<u64, (u64, PointBlock)> =
         run_job(&spec1, &input_splits, &mapper1, None, &reducer1);
     let metrics1 = job1.metrics.clone();
 
     // Local skylines sorted by partition id, points by service id.
+    // Restored partitions join the computed ones here — downstream merge
+    // stages cannot tell a restored local skyline from a fresh one.
     let mut flat: Vec<(u64, PointBlock)> = job1.into_outputs();
+    for (p, sky) in &restored {
+        if !sky.is_empty() {
+            flat.push((*p, repack(dim, sky)));
+        }
+    }
     flat.sort_by_key(|(k, _)| *k);
     let local_skylines: Vec<(u64, Vec<Point>)> = flat
         .iter()
@@ -376,6 +465,7 @@ pub fn run_two_job_pipeline(
             spec_pm.locality = opts.locality.clone();
             spec_pm.sizer = Some(sizer.clone());
             spec_pm.tracer = opts.tracer.clone();
+            spec_pm.chaos = opts.chaos.clone();
             let r = reducers as u64;
             let mapper_pm =
                 move |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
@@ -432,6 +522,7 @@ pub fn run_two_job_pipeline(
     spec2.locality = opts.locality.clone();
     spec2.sizer = Some(sizer);
     spec2.tracer = opts.tracer.clone();
+    spec2.chaos = opts.chaos.clone();
 
     let mapper2 = |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
         ctx.add_records_in(b.len().saturating_sub(1) as u64);
@@ -508,6 +599,10 @@ mod tests {
             locality: LocalityConfig::default(),
             map_work_per_point: 1,
             tracer: Tracer::disabled(),
+            chaos: FaultPlan::off(),
+            checkpoints: None,
+            resume: false,
+            kill: None,
         }
     }
 

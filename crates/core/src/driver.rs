@@ -3,6 +3,7 @@
 use crate::algorithms::{
     build_partitioner, map_work_per_point, run_two_job_pipeline, PipelineOptions,
 };
+use crate::checkpoint::{dataset_fingerprint, CheckpointStore, Manifest};
 use crate::config::{AlgoConfig, Algorithm};
 use crate::report::SkylineRunReport;
 use mini_mapreduce::cost::CostModel;
@@ -11,9 +12,13 @@ use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
 use mrsky_audit::plan::{audit_plan, PlanSpec};
 use mrsky_audit::AuditReport;
+use mrsky_chaos::{FaultPlan, KillSwitch};
 use mrsky_trace::Tracer;
 use qws_data::Dataset;
 use skyline_algos::metrics::{load_balance, local_skyline_optimality};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A configured skyline-selection job, reusable across datasets.
 #[derive(Clone)]
@@ -40,6 +45,17 @@ pub struct SkylineJob {
     /// (simulator lifecycle, kernels, partition skylines). Disabled by
     /// default; see [`SkylineJob::with_tracer`].
     pub tracer: Tracer,
+    /// Seeded fault-injection plan ([`FaultPlan::off`] by default). Faults
+    /// genuinely re-execute work; `kill_after_checkpoints` simulates a
+    /// driver crash that [`SkylineJob::run_resilient`] recovers from.
+    pub chaos: FaultPlan,
+    /// Directory for per-partition local-skyline checkpoints. `None`
+    /// (default) disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from `checkpoint_dir`: restore finished partitions instead
+    /// of recomputing them. Requires a matching manifest (same algorithm,
+    /// dataset, and partition count) — anything else is refused loudly.
+    pub resume: bool,
 }
 
 impl SkylineJob {
@@ -62,6 +78,9 @@ impl SkylineJob {
             threads: 0,
             force: false,
             tracer: Tracer::disabled(),
+            chaos: FaultPlan::off(),
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 
@@ -88,6 +107,26 @@ impl SkylineJob {
     /// into it.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Builder: arms a seeded fault-injection plan. Unlike
+    /// [`SkylineJob::with_failures`] (which *prices* simulated failures),
+    /// chaos faults make real code paths panic, error, and re-execute.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Builder: enables per-partition local-skyline checkpoints in `dir`.
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: resume the next run from the checkpoint directory.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
         self
     }
 
@@ -143,6 +182,18 @@ impl SkylineJob {
     /// diagnostics were found (or [`SkylineJob::force`] is set). The failed
     /// audit comes back in `Err` for inspection/rendering.
     pub fn run_checked(&self, dataset: &Dataset) -> Result<SkylineRunReport, Box<AuditReport>> {
+        let kill = self
+            .chaos
+            .kill_after_checkpoints
+            .map(|n| Arc::new(KillSwitch::new(n)));
+        self.run_checked_with(dataset, kill)
+    }
+
+    fn run_checked_with(
+        &self,
+        dataset: &Dataset,
+        kill: Option<Arc<KillSwitch>>,
+    ) -> Result<SkylineRunReport, Box<AuditReport>> {
         let partitioner =
             match build_partitioner(self.algorithm, &self.config, dataset, self.cluster.servers) {
                 Ok(p) => p,
@@ -153,7 +204,44 @@ impl SkylineJob {
         if report.has_errors() && !self.force {
             return Err(Box::new(report));
         }
-        Ok(self.run_with(partitioner, dataset))
+        Ok(self.run_with(partitioner, dataset, kill))
+    }
+
+    /// Runs the job surviving the chaos plan's simulated driver crash:
+    /// when `chaos.kill_after_checkpoints` fires mid-run, the unwind is
+    /// caught here and the job re-runs with `--resume` semantics, restoring
+    /// every checkpointed partition instead of recomputing it. Panics that
+    /// are *not* the simulated crash propagate unchanged — a real bug still
+    /// crashes loudly.
+    pub fn run_resilient(&self, dataset: &Dataset) -> Result<SkylineRunReport, Box<AuditReport>> {
+        let kill = self
+            .chaos
+            .kill_after_checkpoints
+            .map(|n| Arc::new(KillSwitch::new(n)));
+        let mut job = self.clone();
+        let mut run = 1u64;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                job.run_checked_with(dataset, kill.clone())
+            }));
+            match outcome {
+                Ok(result) => return result,
+                // The kill switch fires at most once per arm, so the resumed
+                // iteration always completes (or fails for a real reason).
+                Err(payload) => match &kill {
+                    Some(k) if k.should_abort() => {
+                        k.disarm();
+                        job.resume = true;
+                        run += 1;
+                        // the marker tells trace consumers the torn stream
+                        // before it was a simulated crash, not a schema bug
+                        self.tracer
+                            .emit(|| mrsky_trace::EventKind::RunResumed { run });
+                    }
+                    _ => resume_unwind(payload),
+                },
+            }
+        }
     }
 
     /// Runs the job over `dataset`, producing a full report.
@@ -173,10 +261,40 @@ impl SkylineJob {
         }
     }
 
+    /// Opens, validates, and (for fresh runs) resets the checkpoint store.
+    /// Checkpoints from a different algorithm/dataset/partitioning are
+    /// refused on resume — restoring them would corrupt the result.
+    fn open_checkpoints(
+        &self,
+        partitioner: &std::sync::Arc<dyn skyline_algos::SpacePartitioner>,
+        dataset: &Dataset,
+    ) -> Option<Arc<CheckpointStore>> {
+        let dir = self.checkpoint_dir.as_ref()?;
+        let store = CheckpointStore::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open checkpoint dir {}: {e}", dir.display()));
+        let manifest = Manifest {
+            algorithm: self.algorithm.name().to_string(),
+            fingerprint: dataset_fingerprint(dataset),
+            partitions: partitioner.num_partitions() as u64,
+        };
+        if self.resume {
+            store.validate(&manifest).unwrap_or_else(|e| panic!("{e}"));
+        } else {
+            store
+                .clear()
+                .unwrap_or_else(|e| panic!("cannot clear checkpoint dir: {e}"));
+        }
+        store
+            .write_manifest(&manifest)
+            .unwrap_or_else(|e| panic!("cannot write checkpoint manifest: {e}"));
+        Some(Arc::new(store))
+    }
+
     fn run_with(
         &self,
         partitioner: std::sync::Arc<dyn skyline_algos::SpacePartitioner>,
         dataset: &Dataset,
+        kill: Option<Arc<KillSwitch>>,
     ) -> SkylineRunReport {
         let opts = PipelineOptions {
             name: self.algorithm.name().to_string(),
@@ -189,6 +307,10 @@ impl SkylineJob {
             locality: self.locality.clone(),
             map_work_per_point: map_work_per_point(self.algorithm, dataset.dim()),
             tracer: self.tracer.clone(),
+            chaos: self.chaos.clone(),
+            checkpoints: self.open_checkpoints(&partitioner, dataset),
+            resume: self.resume,
+            kill,
         };
         let out = self.tracer.span("driver.run", || {
             run_two_job_pipeline(partitioner.clone(), dataset, &opts)
@@ -362,6 +484,154 @@ mod tests {
             angle.optimality,
             dim.optimality
         );
+    }
+
+    #[test]
+    fn checkpointed_run_round_trips_and_resume_skips_everything() {
+        let data = generate_qws(&QwsConfig::new(500, 3));
+        let dir = std::env::temp_dir().join(format!("mrsky-drv-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = SkylineJob::new(Algorithm::MrAngle, 4).with_checkpoints(&dir);
+        let first = base.run(&data);
+        // Every partition that received points is checkpointed.
+        let store = crate::checkpoint::CheckpointStore::open(&dir).unwrap();
+        let completed = store.completed().unwrap();
+        assert_eq!(completed.len(), first.local_skylines.len());
+        // A resume of the *finished* run restores everything and recomputes
+        // nothing — the trace proves it.
+        let tracer = Tracer::in_memory();
+        let resumed = base
+            .clone()
+            .with_resume(true)
+            .with_tracer(tracer.clone())
+            .run(&data);
+        assert_eq!(
+            first.global_skyline, resumed.global_skyline,
+            "restored skyline must be bit-for-bit identical"
+        );
+        let events = tracer.drain();
+        let problems = mrsky_trace::validate_events(&events);
+        assert!(problems.is_empty(), "{problems:?}");
+        let restored = events
+            .iter()
+            .filter(|e| matches!(e.kind, mrsky_trace::EventKind::CheckpointRestored { .. }))
+            .count();
+        let recomputed = events
+            .iter()
+            .filter(|e| matches!(e.kind, mrsky_trace::EventKind::PartitionLocalSkyline { .. }))
+            .count();
+        assert_eq!(restored, completed.len());
+        assert_eq!(recomputed, 0, "a full resume recomputes nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_run_resumes_from_checkpoints_without_recompute() {
+        let data = generate_qws(&QwsConfig::new(600, 3));
+        let oracle = naive_skyline_ids(data.points());
+        let dir = std::env::temp_dir().join(format!("mrsky-drv-kill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tracer = Tracer::in_memory();
+        let mut plan = mrsky_chaos::FaultPlan::off();
+        plan.kill_after_checkpoints = Some(4);
+        let report = SkylineJob::new(Algorithm::MrAngle, 4)
+            .with_chaos(plan)
+            .with_checkpoints(&dir)
+            .with_tracer(tracer.clone())
+            .run_resilient(&data)
+            .expect("audit clean");
+        let ids: Vec<u64> = report
+            .global_skyline
+            .iter()
+            .map(skyline_algos::Point::id)
+            .collect();
+        assert_eq!(ids, oracle, "crash + resume must not change the skyline");
+
+        let events = tracer.drain();
+        let problems = mrsky_trace::validate_events(&events);
+        assert!(problems.is_empty(), "{problems:?}");
+        // The crash actually happened and was recovered from.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, mrsky_trace::EventKind::RunResumed { .. })));
+        // The resumed run restored at least the kill budget's worth of
+        // checkpoints and recomputed none of them (validated above, but
+        // assert the restore volume explicitly).
+        let resume_at = events
+            .iter()
+            .position(|e| matches!(e.kind, mrsky_trace::EventKind::RunResumed { .. }))
+            .unwrap();
+        let restored: std::collections::BTreeSet<u64> = events[resume_at..]
+            .iter()
+            .filter_map(|e| match e.kind {
+                mrsky_trace::EventKind::CheckpointRestored { partition, .. } => Some(partition),
+                _ => None,
+            })
+            .collect();
+        let recomputed: std::collections::BTreeSet<u64> = events[resume_at..]
+            .iter()
+            .filter_map(|e| match e.kind {
+                mrsky_trace::EventKind::PartitionLocalSkyline { partition, .. } => Some(partition),
+                _ => None,
+            })
+            .collect();
+        assert!(restored.len() >= 4, "kill budget was 4 writes");
+        assert!(
+            restored.is_disjoint(&recomputed),
+            "restored partitions must not be recomputed: {restored:?} vs {recomputed:?}"
+        );
+        assert!(
+            !recomputed.is_empty(),
+            "the kill must leave unfinished partitions for the resume to compute"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_resilient_without_chaos_is_plain_run() {
+        let data = generate_qws(&QwsConfig::new(200, 3));
+        let plain = SkylineJob::new(Algorithm::MrDim, 2).run(&data);
+        let resilient = SkylineJob::new(Algorithm::MrDim, 2)
+            .run_resilient(&data)
+            .expect("clean");
+        assert_eq!(plain.global_skyline, resilient.global_skyline);
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_checkpoint_directory() {
+        let data = generate_qws(&QwsConfig::new(200, 3));
+        let other = generate_qws(&QwsConfig::new(200, 3).with_seed(7));
+        let dir = std::env::temp_dir().join(format!("mrsky-drv-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SkylineJob::new(Algorithm::MrAngle, 4)
+            .with_checkpoints(&dir)
+            .run(&data);
+        let resume_other = std::panic::catch_unwind(|| {
+            SkylineJob::new(Algorithm::MrAngle, 4)
+                .with_checkpoints(&dir)
+                .with_resume(true)
+                .run(&other)
+        });
+        assert!(
+            resume_other.is_err(),
+            "resuming against a different dataset must be refused"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_run_matches_clean_run_exactly() {
+        let data = generate_qws(&QwsConfig::new(500, 4));
+        let clean = SkylineJob::new(Algorithm::MrAngle, 4).run(&data);
+        for seed in [1u64, 2, 3] {
+            let chaotic = SkylineJob::new(Algorithm::MrAngle, 4)
+                .with_chaos(mrsky_chaos::FaultPlan::heavy(seed))
+                .run(&data);
+            assert_eq!(
+                clean.global_skyline, chaotic.global_skyline,
+                "seed {seed}: chaos changed the skyline"
+            );
+        }
     }
 
     #[test]

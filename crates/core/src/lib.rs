@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod json;
@@ -52,6 +53,7 @@ pub mod report;
 pub mod selection;
 pub mod validate;
 
+pub use checkpoint::{dataset_fingerprint, CheckpointStore, Manifest};
 pub use config::{AlgoConfig, Algorithm, LocalKernel};
 pub use driver::SkylineJob;
 pub use maintain::MaintainedRegistry;

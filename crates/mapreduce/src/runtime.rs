@@ -16,6 +16,18 @@
 //!
 //! Injected task failures re-run deterministically and charge the wasted
 //! attempts' time to the task's simulated duration.
+//!
+//! Two failure models coexist:
+//!
+//! * [`FailureConfig`] *prices* failures — attempts multiply the simulated
+//!   duration, but the real code runs once;
+//! * a chaos [`FaultPlan`] on [`JobSpec::chaos`] makes real paths
+//!   re-execute: map attempts genuinely re-run (discarding the failed
+//!   attempt's partial output) on injected DFS-read or map-task faults,
+//!   and reduce tasks re-fetch dropped/corrupted shuffle segments, with
+//!   the plan's deterministic backoff charged to the sim clock. Because
+//!   the plan never faults the final attempt of its budget, `run_job`
+//!   stays infallible under any plan.
 
 use crate::cost::CostModel;
 use crate::mapper::{Combiner, Mapper};
@@ -26,6 +38,7 @@ use crate::scheduler::{schedule_phase, SpeculationConfig};
 use crate::shuffle::{default_router, shuffle, KeyRouter};
 use crate::task::{FailureConfig, Phase};
 use crate::types::{DataT, Emitter, KeyT, KvSizer, TaskContext};
+use mrsky_chaos::{FaultKind, FaultPlan, FaultSite};
 use mrsky_trace::{EventKind, PhaseKind, Tracer};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -122,6 +135,9 @@ pub struct JobSpec<K, V> {
     /// Structured trace destination; [`Tracer::disabled`] (the default)
     /// costs one branch per emission site.
     pub tracer: Tracer,
+    /// Chaos fault plan driving *real* re-execution of map attempts and
+    /// shuffle fetches; [`FaultPlan::off`] (the default) injects nothing.
+    pub chaos: FaultPlan,
 }
 
 /// Auto split sizing: records per map split (≈ a small HDFS block of
@@ -182,12 +198,19 @@ impl<K: KeyT, V: DataT> JobSpec<K, V> {
             sizer: None,
             locality: LocalityConfig::default(),
             tracer: Tracer::disabled(),
+            chaos: FaultPlan::off(),
         }
     }
 
     /// Sets the structured trace destination (builder style).
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Sets the chaos fault plan (builder style).
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
         self
     }
 
@@ -241,6 +264,128 @@ struct MapTaskOut<K, V> {
     counters: std::collections::BTreeMap<&'static str, u64>,
 }
 
+/// Outcome of the (possibly re-executed) real run of one map task.
+struct MapAttemptRun<K, V> {
+    ctx: TaskContext,
+    emitter: Emitter<K, V>,
+    /// Chaos re-executions (each one a genuinely discarded attempt).
+    retries: u32,
+    /// Simulated backoff charged between attempts.
+    backoff_seconds: f64,
+}
+
+/// Really executes map task `t`, re-running the whole attempt on injected
+/// DFS-read or map-task faults: the failed attempt's context and partial
+/// emitter are dropped, so retried work is recomputed from the split, not
+/// patched up. A panic that was *not* injected propagates unchanged.
+fn run_map_attempts<I, K, V, M>(
+    spec: &JobSpec<K, V>,
+    t: usize,
+    prior_retries: u32,
+    records: &[I],
+    mapper: &M,
+) -> MapAttemptRun<K, V>
+where
+    I: DataT,
+    K: KeyT,
+    V: DataT,
+    M: Mapper<I, K, V>,
+{
+    let budget = spec.chaos.max_attempts.max(1);
+    let mut retries = 0u32;
+    let mut faults = 0u64;
+    let mut backoff_seconds = 0.0f64;
+    loop {
+        let attempt = retries;
+        let dfs_fault = spec
+            .chaos
+            .decide(FaultSite::DfsRead, &spec.name, t as u64, attempt);
+        let map_fault = if dfs_fault.is_none() {
+            spec.chaos
+                .decide(FaultSite::MapTask, &spec.name, t as u64, attempt)
+        } else {
+            None
+        };
+        let injected = dfs_fault
+            .map(|k| (FaultSite::DfsRead, k))
+            .or_else(|| map_fault.map(|k| (FaultSite::MapTask, k)));
+        if let Some((site, kind)) = injected {
+            faults += 1;
+            spec.tracer.emit(|| EventKind::FaultInjected {
+                site: site.as_str().into(),
+                fault: kind.as_str().into(),
+                scope: spec.name.clone(),
+                index: t as u64,
+                attempt: u64::from(attempt),
+            });
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(kind) = dfs_fault {
+                // the block read fails before the mapper sees any record
+                return Err(format!("chaos: injected {kind} reading split {t}"));
+            }
+            let mut ctx = TaskContext::new(t, prior_retries + retries);
+            let mut emitter = Emitter::new(spec.sizer.clone());
+            let mid = records.len() / 2;
+            for (idx, record) in records.iter().enumerate() {
+                if idx == mid {
+                    if let Some(kind) = map_fault {
+                        // mid-split, so the partial emitter really is lost
+                        match kind {
+                            FaultKind::Panic => {
+                                panic!("chaos: injected panic in map task {t}")
+                            }
+                            other => {
+                                return Err(format!("chaos: injected {other} in map task {t}"))
+                            }
+                        }
+                    }
+                }
+                ctx.add_records_in(1);
+                mapper.map(record, &mut ctx, &mut emitter);
+            }
+            if records.is_empty() {
+                if let Some(kind) = map_fault {
+                    return Err(format!("chaos: injected {kind} in map task {t}"));
+                }
+            }
+            Ok((ctx, emitter))
+        }));
+        match outcome {
+            Ok(Ok((mut ctx, emitter))) => {
+                if faults > 0 {
+                    ctx.incr("chaos_faults_injected", faults);
+                    ctx.incr("chaos_map_retries", u64::from(retries));
+                }
+                return MapAttemptRun {
+                    ctx,
+                    emitter,
+                    retries,
+                    backoff_seconds,
+                };
+            }
+            // injected failures retry below; anything else propagates
+            Ok(Err(_)) if injected.is_some() => {}
+            Err(_) if matches!(injected, Some((_, FaultKind::Panic))) => {}
+            Ok(Err(message)) => panic!("map task {t} failed without an injected fault: {message}"),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+        backoff_seconds += spec.chaos.backoff.delay_seconds(attempt);
+        retries += 1;
+        // the plan never faults the final budgeted attempt, so only a plan
+        // with a budget larger than its own max_attempts could land here
+        if retries >= budget {
+            spec.tracer.emit(|| EventKind::TaskRetryExhausted {
+                site: FaultSite::MapTask.as_str().into(),
+                scope: spec.name.clone(),
+                index: t as u64,
+                attempts: u64::from(retries),
+            });
+            panic!("chaos: map task {t} exhausted its {budget}-attempt budget");
+        }
+    }
+}
+
 /// Runs a complete MapReduce job. See the module docs for the phase
 /// structure and timing semantics.
 pub fn run_job<I, K, V, O, M, R>(
@@ -273,13 +418,10 @@ where
     let splits = split_ranges(input.len(), num_map_tasks);
     let map_results: Vec<MapTaskOut<K, V>> = pool::run_indexed(num_map_tasks, threads, |t| {
         let attempts = spec.failure.attempts_used(&spec.name, Phase::Map, t);
-        let mut ctx = TaskContext::new(t, attempts - 1);
-        let mut emitter = Emitter::new(spec.sizer.clone());
         let (lo, hi) = splits[t];
-        for record in &input[lo..hi] {
-            ctx.add_records_in(1);
-            mapper.map(record, &mut ctx, &mut emitter);
-        }
+        let run = run_map_attempts(spec, t, attempts - 1, &input[lo..hi], mapper);
+        let mut ctx = run.ctx;
+        let mut emitter = run.emitter;
         if let Some(c) = combiner {
             let (pairs, _) = emitter.into_parts();
             let mut by_key: BTreeMap<K, Vec<V>> = BTreeMap::new();
@@ -303,14 +445,15 @@ where
             .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
             * spec.failure.straggler_multiplier(&spec.name, Phase::Map, t);
         let (pairs, bytes) = emitter.into_parts();
+        let total_attempts = attempts + run.retries;
         MapTaskOut {
             pairs,
             bytes,
             records_in: ctx.records_in(),
             records_out,
             work_units: ctx.work_units(),
-            duration: single * f64::from(attempts),
-            attempts,
+            duration: single * f64::from(total_attempts) + run.backoff_seconds,
+            attempts: total_attempts,
             counters: ctx.counters().clone(),
         }
     });
@@ -419,6 +562,39 @@ where
             let rin = &reduce_inputs[t];
             let attempts = spec.failure.attempts_used(&spec.name, Phase::Reduce, t);
             let mut ctx = TaskContext::new(t, attempts - 1);
+
+            // Chaos: every map-output segment must be fetched intact before
+            // the reducer runs; a dropped or corrupted segment is really
+            // re-fetched (the retry loop gates delivery) with backoff
+            // charged to the sim clock.
+            let fetch_scope = format!("{}/r{t}", spec.name);
+            let mut refetches = 0u32;
+            let mut fetch_faults = 0u64;
+            let mut fetch_backoff = 0.0f64;
+            for seg in 0..rin.segments {
+                let mut attempt = 0u32;
+                while let Some(kind) =
+                    spec.chaos
+                        .decide(FaultSite::ShuffleFetch, &fetch_scope, seg, attempt)
+                {
+                    fetch_faults += 1;
+                    spec.tracer.emit(|| EventKind::FaultInjected {
+                        site: FaultSite::ShuffleFetch.as_str().into(),
+                        fault: kind.as_str().into(),
+                        scope: fetch_scope.clone(),
+                        index: seg,
+                        attempt: u64::from(attempt),
+                    });
+                    fetch_backoff += spec.chaos.backoff.delay_seconds(attempt);
+                    refetches += 1;
+                    attempt += 1;
+                }
+            }
+            if fetch_faults > 0 {
+                ctx.incr("chaos_faults_injected", fetch_faults);
+                ctx.incr("chaos_shuffle_refetches", u64::from(refetches));
+            }
+
             let mut groups: Vec<(K, Vec<O>)> = Vec::with_capacity(rin.groups.len());
             for (k, vs) in &rin.groups {
                 ctx.add_records_in(vs.len() as u64);
@@ -434,12 +610,19 @@ where
                         .failure
                         .straggler_multiplier(&spec.name, Phase::Reduce, t);
             let fetch = spec.cost.shuffle_duration(rin.bytes, rin.segments);
+            let per_segment = if rin.segments > 0 {
+                fetch / rin.segments as f64
+            } else {
+                0.0
+            };
             ReduceTaskOut {
                 groups,
                 records_in: ctx.records_in(),
                 records_out: ctx.records_out(),
                 work_units: ctx.work_units(),
-                duration: (compute + fetch) * f64::from(attempts),
+                duration: (compute + fetch) * f64::from(attempts)
+                    + per_segment * f64::from(refetches)
+                    + fetch_backoff,
                 attempts,
                 counters: ctx.counters().clone(),
             }
@@ -994,5 +1177,160 @@ mod tests {
         let r = run_word_count(&spec, &docs(), false);
         // no stragglers in this tiny job, but the field must be present/zero
         assert_eq!(r.metrics.map.speculative_wins, 0);
+    }
+
+    #[test]
+    fn chaos_map_faults_are_really_retried_to_identical_output() {
+        use mrsky_chaos::{FaultKind, FaultPlan, FaultSite, SiteRule};
+        let docs: Vec<String> = (0..200)
+            .map(|i| format!("w{} w{}", i % 13, i % 7))
+            .collect();
+        let clean = counts(run_word_count(
+            &word_count_spec(2).with_map_tasks(8),
+            &docs,
+            false,
+        ));
+        for seed in [3u64, 17, 99] {
+            let mut plan = FaultPlan::off();
+            plan.seed = seed;
+            plan.max_attempts = 6;
+            plan.rules = vec![
+                SiteRule {
+                    site: FaultSite::MapTask,
+                    kind: FaultKind::TransientError,
+                    permille: 350,
+                },
+                SiteRule {
+                    site: FaultSite::MapTask,
+                    kind: FaultKind::Panic,
+                    permille: 200,
+                },
+                SiteRule {
+                    site: FaultSite::DfsRead,
+                    kind: FaultKind::TransientError,
+                    permille: 250,
+                },
+            ];
+            let tracer = Tracer::in_memory();
+            let mut spec = word_count_spec(2).with_map_tasks(8).with_chaos(plan);
+            spec.tracer = tracer.clone();
+            let faulty = run_word_count(&spec, &docs, false);
+            let injected: u64 = faulty
+                .metrics
+                .map
+                .counters
+                .get("chaos_faults_injected")
+                .copied()
+                .unwrap_or(0);
+            let retries: u64 = faulty
+                .metrics
+                .map
+                .counters
+                .get("chaos_map_retries")
+                .copied()
+                .unwrap_or(0);
+            assert!(injected > 0, "seed {seed} must inject at least one fault");
+            assert_eq!(
+                retries, injected,
+                "every injected map fault forces one real re-execution"
+            );
+            let events = tracer.drain();
+            let problems = mrsky_trace::validate_events(&events);
+            assert!(problems.is_empty(), "{problems:?}");
+            let event_faults = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::FaultInjected { .. }))
+                .count() as u64;
+            assert_eq!(event_faults, injected);
+            assert_eq!(counts(faulty), clean, "seed {seed}: chaos changed output");
+        }
+    }
+
+    #[test]
+    fn chaos_retries_charge_sim_time() {
+        use mrsky_chaos::{FaultKind, FaultPlan, FaultSite, SiteRule};
+        let docs: Vec<String> = (0..200).map(|i| format!("w{}", i % 11)).collect();
+        let mut plan = FaultPlan::off();
+        plan.seed = 5;
+        plan.max_attempts = 6;
+        plan.rules = vec![SiteRule {
+            site: FaultSite::MapTask,
+            kind: FaultKind::TransientError,
+            permille: 500,
+        }];
+        let clean = run_word_count(&word_count_spec(2).with_map_tasks(8), &docs, false);
+        let chaotic = run_word_count(
+            &word_count_spec(2).with_map_tasks(8).with_chaos(plan),
+            &docs,
+            false,
+        );
+        assert!(
+            chaotic.metrics.map.attempts > clean.metrics.map.attempts,
+            "retries must show up as extra attempts"
+        );
+        assert!(
+            chaotic.metrics.map.sim_span() > clean.metrics.map.sim_span(),
+            "re-execution and backoff must cost simulated time"
+        );
+        assert_eq!(counts(chaotic), counts(clean));
+    }
+
+    #[test]
+    fn chaos_shuffle_drops_force_refetches() {
+        use mrsky_chaos::{FaultKind, FaultPlan, FaultSite, SiteRule};
+        let docs: Vec<String> = (0..400)
+            .map(|i| format!("w{} w{}", i % 19, i % 5))
+            .collect();
+        let mut plan = FaultPlan::off();
+        plan.seed = 21;
+        plan.max_attempts = 8;
+        plan.rules = vec![SiteRule {
+            site: FaultSite::ShuffleFetch,
+            kind: FaultKind::DropRecord,
+            permille: 400,
+        }];
+        let clean = run_word_count(&word_count_spec(2).with_map_tasks(8), &docs, false);
+        let tracer = Tracer::in_memory();
+        let mut spec = word_count_spec(2).with_map_tasks(8).with_chaos(plan);
+        spec.tracer = tracer.clone();
+        let chaotic = run_word_count(&spec, &docs, false);
+        let refetches = chaotic
+            .metrics
+            .reduce
+            .counters
+            .get("chaos_shuffle_refetches")
+            .copied()
+            .unwrap_or(0);
+        assert!(refetches > 0, "40% drop rate must force some re-fetch");
+        assert!(
+            chaotic.metrics.reduce.sim_span() > clean.metrics.reduce.sim_span(),
+            "re-fetched segments must cost simulated reduce time"
+        );
+        let events = tracer.drain();
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::FaultInjected { site, .. } if site == "shuffle-fetch"
+        )));
+        assert!(mrsky_trace::validate_events(&events).is_empty());
+        assert_eq!(counts(chaotic), counts(clean));
+    }
+
+    #[test]
+    fn chaos_is_deterministic_for_a_fixed_seed() {
+        use mrsky_chaos::FaultPlan;
+        let docs: Vec<String> = (0..150).map(|i| format!("w{}", i % 9)).collect();
+        let spec = || {
+            word_count_spec(2)
+                .with_map_tasks(6)
+                .with_chaos(FaultPlan::heavy(42))
+        };
+        let a = run_word_count(&spec(), &docs, false);
+        let b = run_word_count(&spec(), &docs, false);
+        assert_eq!(a.metrics.map.attempts, b.metrics.map.attempts);
+        assert_eq!(
+            a.metrics.map.counters.get("chaos_faults_injected"),
+            b.metrics.map.counters.get("chaos_faults_injected")
+        );
+        assert_eq!(counts(a), counts(b));
     }
 }

@@ -15,11 +15,18 @@
 //! no price column, so the loaded dataset has the nine QWS attributes; the
 //! synthetic generator's `price` axis is simply absent.
 //!
-//! Lines starting with `#` and blank lines are skipped; a malformed line is
-//! an error (silently dropping services would bias every measurement).
+//! Lines starting with `#` and blank lines are skipped; by default a
+//! malformed line is an error (silently dropping services would bias every
+//! measurement). [`IngestOptions::max_bad_records`] relaxes that: up to the
+//! budget, malformed rows are diverted to a [`DeadLetter`] report — with
+//! their line numbers and reasons — instead of aborting the load, and every
+//! quarantined row is traced as a `record_quarantined` event. A chaos
+//! [`FaultPlan`] can additionally poison rows at the `ingest-row` site to
+//! exercise exactly that path.
 
 use crate::attributes::QWS_ATTRIBUTES;
 use crate::dataset::Dataset;
+use mrsky_chaos::{DeadLetter, FaultPlan, FaultSite};
 use mrsky_trace::{EventKind, Tracer};
 use skyline_algos::block::PointBlock;
 use std::io::BufRead;
@@ -52,6 +59,55 @@ pub const LOADED_ATTRIBUTE_ORDER: [&str; 9] = [
     "documentation",
 ];
 
+/// How leniently the ingest treats malformed input, and what chaos it
+/// injects while reading.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// `None` (default): strict — the first malformed or non-finite row
+    /// aborts the load with an error. `Some(n)`: up to `n` malformed rows
+    /// are quarantined into the dead-letter report; row `n + 1` aborts.
+    pub max_bad_records: Option<u64>,
+    /// Seeded fault plan; rules at [`FaultSite::IngestRow`] poison
+    /// otherwise-valid rows (one coordinate becomes NaN before
+    /// validation), exercising the quarantine path deterministically.
+    pub chaos: FaultPlan,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            max_bad_records: None,
+            chaos: FaultPlan::off(),
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Strict ingest (the default): any malformed row is an error.
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Lenient ingest: tolerate up to `budget` malformed rows.
+    pub fn with_bad_record_budget(budget: u64) -> Self {
+        Self {
+            max_bad_records: Some(budget),
+            chaos: FaultPlan::off(),
+        }
+    }
+}
+
+/// Everything a (possibly lenient) ingest produced.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// The loaded, oriented dataset.
+    pub dataset: Dataset,
+    /// Service names, index-aligned with point ids.
+    pub names: Vec<String>,
+    /// Quarantined rows (empty on a strict or fully-clean load).
+    pub dead_letter: DeadLetter,
+}
+
 /// Loads a QWS-format CSV file into an oriented [`Dataset`]. Returns the
 /// dataset and the service names, index-aligned with point ids.
 pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
@@ -64,16 +120,40 @@ pub fn load_qws_file(path: &Path) -> std::io::Result<(Dataset, Vec<String>)> {
 /// skipped comment/blank lines, values clamped into catalogue range) into
 /// the process-global metrics registry.
 ///
-/// The loader is strict — a malformed or non-finite row aborts the load
-/// with an error rather than being skipped — so `IngestFinished.rejected`
-/// is 0 on every successful load; the field exists for lenient loaders.
+/// This entry point is strict — a malformed or non-finite row aborts the
+/// load with an error rather than being skipped — so
+/// `IngestFinished.rejected` is 0 on every successful load. Use
+/// [`load_qws_file_with`] with [`IngestOptions::max_bad_records`] for the
+/// lenient, quarantining loader.
 pub fn load_qws_file_traced(
     path: &Path,
     tracer: &Tracer,
 ) -> std::io::Result<(Dataset, Vec<String>)> {
+    let report = load_qws_file_with(path, tracer, &IngestOptions::strict())?;
+    Ok((report.dataset, report.names))
+}
+
+/// The full-control loader behind [`load_qws_file`]: tracing, optional
+/// malformed-row quarantine, and chaos row poisoning (see
+/// [`IngestOptions`]).
+///
+/// # Errors
+///
+/// I/O errors; any malformed row under strict options; or the
+/// `max_bad_records + 1`-th malformed row under lenient options (the
+/// dead-letter budget is exhausted — by then the report names every
+/// offender, but the load still refuses to succeed).
+pub fn load_qws_file_with(
+    path: &Path,
+    tracer: &Tracer,
+    opts: &IngestOptions,
+) -> std::io::Result<IngestReport> {
+    let source = path.display().to_string();
     tracer.emit(|| EventKind::IngestStarted {
-        source: path.display().to_string(),
+        source: source.clone(),
     });
+    let strict = opts.max_bad_records.is_none();
+    let mut dead = DeadLetter::with_budget(opts.max_bad_records.unwrap_or(0) as usize);
     let mut skipped = 0u64;
     let mut clamped = 0u64;
     let file = std::fs::File::open(path)?;
@@ -110,32 +190,51 @@ pub fn load_qws_file_traced(
             skipped += 1;
             continue;
         }
-        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-        if fields.len() < 10 {
-            return Err(bad_line(lineno, "fewer than 10 fields"));
+        let poison = opts
+            .chaos
+            .decide(FaultSite::IngestRow, &source, lineno as u64, 0);
+        if let Some(kind) = poison {
+            tracer.emit(|| EventKind::FaultInjected {
+                site: FaultSite::IngestRow.as_str().to_string(),
+                fault: kind.as_str().to_string(),
+                scope: source.clone(),
+                index: lineno as u64,
+                attempt: 0,
+            });
         }
-        let mut raw = [0.0f64; 9];
-        for (i, slot) in raw.iter_mut().enumerate() {
-            *slot = fields[i]
-                .parse::<f64>()
-                .map_err(|_| bad_line(lineno, "non-numeric QoS field"))?;
+        match parse_row(
+            trimmed,
+            &file_specs,
+            &out_of,
+            poison.is_some(),
+            &mut clamped,
+        ) {
+            Ok((coords, name)) => {
+                let id = block.len() as u64;
+                block
+                    .push(id, &coords)
+                    .expect("parse_row validated dimension and finiteness");
+                names.push(name);
+            }
+            Err(reason) if strict => return Err(bad_line(lineno, &reason)),
+            Err(reason) => {
+                tracer.emit(|| EventKind::RecordQuarantined {
+                    source: source.clone(),
+                    line: (lineno + 1) as u64,
+                    reason: reason.clone(),
+                });
+                if !dead.push(&source, (lineno + 1) as u64, &reason) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "too many bad records (budget {}):\n{}",
+                            dead.max_bad_records,
+                            dead.render()
+                        ),
+                    ));
+                }
+            }
         }
-        let mut coords = [0.0f64; 9];
-        for (slot, &file_col) in coords.iter_mut().zip(&out_of) {
-            let spec = file_specs[file_col];
-            // clamp into the catalogue range first: the real file has a
-            // handful of out-of-range artefacts
-            let v = raw[file_col].clamp(spec.range.0, spec.range.1);
-            clamped += u64::from(v != raw[file_col]);
-            *slot = spec.orient(v);
-        }
-        let id = block.len() as u64;
-        // the validating push also rejects NaN/infinite fields ("NaN"
-        // parses as a perfectly legal f64)
-        block
-            .push(id, &coords)
-            .map_err(|_| bad_line(lineno, "non-finite QoS field"))?;
-        names.push(fields[9].to_string());
     }
     if block.is_empty() {
         return Err(std::io::Error::new(
@@ -148,14 +247,58 @@ pub fn load_qws_file_traced(
     registry.incr("qws.ingest.services", n as u64);
     registry.incr("qws.ingest.lines_skipped", skipped);
     registry.incr("qws.ingest.values_clamped", clamped);
+    registry.incr("qws.ingest.quarantined", dead.len() as u64);
     tracer.emit(|| EventKind::IngestFinished {
         services: n as u64,
-        rejected: 0,
+        rejected: dead.len() as u64,
     });
-    Ok((
-        Dataset::new(format!("qws-file(n={n})"), block.to_points()),
+    Ok(IngestReport {
+        dataset: Dataset::new(format!("qws-file(n={n})"), block.to_points()),
         names,
-    ))
+        dead_letter: dead,
+    })
+}
+
+/// Parses, clamps, orients, and validates one CSV row. `Err` is the
+/// human-readable rejection reason (strict loads turn it into an error,
+/// lenient loads into a dead-letter record). When `poison` is set a chaos
+/// fault corrupts the first QoS value before validation, so the row is
+/// rejected exactly as a genuinely corrupt one would be.
+fn parse_row(
+    trimmed: &str,
+    file_specs: &[&crate::attributes::AttributeSpec],
+    out_of: &[usize],
+    poison: bool,
+    clamped: &mut u64,
+) -> Result<([f64; 9], String), String> {
+    let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+    if fields.len() < 10 {
+        return Err("fewer than 10 fields".to_string());
+    }
+    let mut raw = [0.0f64; 9];
+    for (i, slot) in raw.iter_mut().enumerate() {
+        *slot = fields[i]
+            .parse::<f64>()
+            .map_err(|_| "non-numeric QoS field".to_string())?;
+    }
+    if poison {
+        raw[0] = f64::NAN;
+    }
+    let mut coords = [0.0f64; 9];
+    for (slot, &file_col) in coords.iter_mut().zip(out_of) {
+        let spec = file_specs[file_col];
+        // clamp into the catalogue range first: the real file has a
+        // handful of out-of-range artefacts
+        let v = raw[file_col].clamp(spec.range.0, spec.range.1);
+        *clamped += u64::from(v.is_finite() && v != raw[file_col]);
+        *slot = spec.orient(v);
+    }
+    // "NaN" parses as a perfectly legal f64, and poisoning injects one:
+    // reject either before the row reaches the block
+    if coords.iter().any(|c| !c.is_finite()) {
+        return Err("non-finite QoS field".to_string());
+    }
+    Ok((coords, fields[9].to_string()))
 }
 
 fn bad_line(lineno: usize, what: &str) -> std::io::Error {
@@ -314,6 +457,154 @@ mod tests {
         let path = write_fixture(&["# only a comment"]);
         assert!(load_qws_file(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    fn write_named_fixture(tag: &str, lines: &[&str]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qws-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("fixture-{tag}-{}.csv", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        for l in lines {
+            writeln!(f, "{l}").unwrap();
+        }
+        path
+    }
+
+    const BAD_SHORT: &str = "1,2,3";
+    const BAD_NAN: &str =
+        "NaN, 95.0, 10.0, 96.0, 73.0, 80.0, 60.0, 30.0, 50.0, NanSvc, http://x?wsdl";
+
+    #[test]
+    fn lenient_load_quarantines_bad_rows_and_reports_them() {
+        let path = write_named_fixture("lenient", &[GOOD, BAD_SHORT, SLOW, BAD_NAN]);
+        let tracer = Tracer::in_memory();
+        let opts = IngestOptions::with_bad_record_budget(5);
+        let report = load_qws_file_with(&path, &tracer, &opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.dataset.len(), 2);
+        assert_eq!(report.names, vec!["FastWeather", "SlowWeather"]);
+        // the dead letter names both offenders with 1-based line numbers
+        let recs = report.dead_letter.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].line, 2);
+        assert!(
+            recs[0].reason.contains("fewer than 10"),
+            "{}",
+            recs[0].reason
+        );
+        assert_eq!(recs[1].line, 4);
+        assert!(recs[1].reason.contains("non-finite"), "{}", recs[1].reason);
+        assert!(!report.dead_letter.over_budget());
+        // every quarantine is traced, and the finish event counts them
+        let events = tracer.drain();
+        let quarantined: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::RecordQuarantined { line, .. } => Some(*line),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quarantined, vec![2, 4]);
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::IngestFinished {
+                services: 2,
+                rejected: 2
+            }
+        )));
+    }
+
+    #[test]
+    fn blown_bad_record_budget_aborts_with_a_dead_letter_report() {
+        let path = write_named_fixture("budget", &[GOOD, BAD_SHORT, BAD_NAN]);
+        let opts = IngestOptions::with_bad_record_budget(1);
+        let err = load_qws_file_with(&path, &Tracer::disabled(), &opts).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        let msg = err.to_string();
+        assert!(msg.contains("too many bad records"), "{msg}");
+        // the report still names every offender, including the one over budget
+        assert!(msg.contains(":2: fewer than 10"), "{msg}");
+        assert!(msg.contains(":3: non-finite"), "{msg}");
+    }
+
+    #[test]
+    fn default_options_are_strict() {
+        let path = write_named_fixture("strict", &[GOOD, BAD_SHORT]);
+        let err =
+            load_qws_file_with(&path, &Tracer::disabled(), &IngestOptions::default()).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("malformed QWS line 2"), "{err}");
+    }
+
+    #[test]
+    fn chaos_row_poisoning_is_deterministic_and_traced() {
+        use mrsky_chaos::{FaultKind, SiteRule};
+        // 30 valid rows differing only in response time (GOOD minus its
+        // leading "120.5")
+        let lines: Vec<String> = (0..30)
+            .map(|i| format!("{}{}", 100 + i, &GOOD[5..]))
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let path = write_named_fixture("poison", &refs);
+        let opts = IngestOptions {
+            max_bad_records: Some(30),
+            chaos: FaultPlan {
+                seed: 11,
+                rules: vec![SiteRule {
+                    site: FaultSite::IngestRow,
+                    kind: FaultKind::PoisonRow,
+                    permille: 400,
+                }],
+                ..FaultPlan::off()
+            },
+        };
+        let tracer = Tracer::in_memory();
+        let first = load_qws_file_with(&path, &tracer, &opts).unwrap();
+        let second = load_qws_file_with(&path, &Tracer::disabled(), &opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        // some rows poisoned, some survive; every row is accounted for
+        assert!(!first.dead_letter.is_empty(), "seed 11 should poison rows");
+        assert_ne!(first.dataset.len(), 0);
+        assert_eq!(first.dataset.len() + first.dead_letter.len(), 30);
+        // the same plan over the same file quarantines the same rows
+        assert_eq!(first.dead_letter, second.dead_letter);
+        assert_eq!(first.dataset.points(), second.dataset.points());
+        // each poisoned row traced a fault injection and a quarantine
+        let events = tracer.drain();
+        let faults = events
+            .iter()
+            .filter(|e| {
+                matches!(&e.kind, EventKind::FaultInjected { site, fault, .. }
+                    if site == "ingest-row" && fault == "poison-row")
+            })
+            .count();
+        let quarantines = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RecordQuarantined { .. }))
+            .count();
+        assert_eq!(faults, first.dead_letter.len());
+        assert_eq!(quarantines, first.dead_letter.len());
+    }
+
+    #[test]
+    fn strict_load_fails_on_a_poisoned_row() {
+        use mrsky_chaos::{FaultKind, SiteRule};
+        let path = write_named_fixture("poison-strict", &[GOOD, SLOW]);
+        let opts = IngestOptions {
+            max_bad_records: None,
+            chaos: FaultPlan {
+                seed: 3,
+                rules: vec![SiteRule {
+                    site: FaultSite::IngestRow,
+                    kind: FaultKind::PoisonRow,
+                    permille: 999,
+                }],
+                ..FaultPlan::off()
+            },
+        };
+        let err = load_qws_file_with(&path, &Tracer::disabled(), &opts).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]

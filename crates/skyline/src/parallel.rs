@@ -10,10 +10,14 @@
 //! rows instead of chasing per-point boxes, and `std` scoped threads keep it
 //! allocation-light and borrow-checked — no `Arc` cloning of the input.
 //!
-//! Worker panics do not unwind through the caller: every join handle is
-//! collected and a panicking worker surfaces as
-//! [`SkylineError::WorkerPanic`], which is why the public functions return
-//! `Result`.
+//! Failure handling is per *chunk*, not per worker: every chunk attempt
+//! runs under `catch_unwind`, so a panicking kernel costs one attempt of
+//! one chunk while the surviving workers keep draining the queue. With a
+//! chaos context ([`ChaosContext`]) each chunk gets the plan's bounded
+//! retry budget — injected panics and transient errors are genuinely
+//! re-executed — and only a chunk that exhausts its budget aborts the run,
+//! surfacing as [`SkylineError::WorkerPanic`] with the chunk index,
+//! attempts consumed, and how many local skylines had completed.
 //!
 //! Two chunking strategies are exposed because they reproduce, in
 //! microcosm, the paper's whole point:
@@ -31,6 +35,8 @@ use crate::error::SkylineError;
 use crate::kernel::{self, KernelStats};
 use crate::partition::SpacePartitioner;
 use crate::point::Point;
+use mrsky_chaos::{FaultKind, FaultPlan, FaultSite};
+use mrsky_trace::{EventKind, Tracer};
 
 /// Statistics of a parallel skyline run.
 #[derive(Debug, Default, Clone)]
@@ -43,6 +49,23 @@ pub struct ParallelStats {
     pub merge_candidates: u64,
     /// Comparisons spent in the merge pass.
     pub merge_comparisons: u64,
+    /// Chunk attempts that failed and were re-executed.
+    pub retries: u64,
+    /// Chaos faults injected into chunk tasks.
+    pub faults_injected: u64,
+}
+
+/// Chaos wiring for a parallel run: the seeded plan deciding which chunk
+/// attempts fault, the scope its hash is keyed on, and a tracer receiving
+/// [`EventKind::FaultInjected`] / [`EventKind::TaskRetryExhausted`].
+#[derive(Clone, Copy)]
+pub struct ChaosContext<'a> {
+    /// The plan; its `max_attempts` is also the per-chunk retry budget.
+    pub plan: &'a FaultPlan,
+    /// Scope string folded into every injection decision (e.g. job name).
+    pub scope: &'a str,
+    /// Event sink; pass [`Tracer::disabled`] to record nothing.
+    pub tracer: &'a Tracer,
 }
 
 /// Merges local skylines: concatenate into one block, then run the
@@ -83,6 +106,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+#[cfg(test)]
 fn run_chunks(
     chunks: &[PointBlock],
     threads: usize,
@@ -92,12 +116,7 @@ fn run_chunks(
     })
 }
 
-/// Fans `chunks` out over at most `threads` scoped worker threads pulling
-/// work from a shared cursor, and collects per-chunk results in order.
-///
-/// Every join handle is awaited; a worker panic is caught at the join and
-/// reported as [`SkylineError::WorkerPanic`] instead of unwinding (the
-/// remaining workers drain the queue normally first).
+#[cfg(test)]
 fn run_chunks_with<F>(
     chunks: &[PointBlock],
     threads: usize,
@@ -106,52 +125,179 @@ fn run_chunks_with<F>(
 where
     F: Fn(&PointBlock) -> (PointBlock, KernelStats) + Sync,
 {
+    run_chunks_engine(chunks, threads, None, work).map(|(locals, stats, _)| (locals, stats))
+}
+
+/// One chunk task that failed every attempt it was granted.
+struct ChunkFailure {
+    chunk: usize,
+    attempts: u32,
+    message: String,
+}
+
+/// Fault/retry counters accumulated by one engine run.
+#[derive(Debug, Default, Clone, Copy)]
+struct ChaosCounters {
+    retries: u64,
+    faults: u64,
+}
+
+/// Fans `chunks` out over at most `threads` scoped worker threads pulling
+/// work from a shared cursor, and collects per-chunk results in order.
+///
+/// Every chunk *attempt* runs under `catch_unwind`, so a panicking kernel
+/// (real or chaos-injected) costs one attempt of one chunk and the worker
+/// survives to keep draining the queue. Without a chaos context the budget
+/// is one attempt; with one, each chunk retries up to the plan's
+/// `max_attempts`. Only a chunk that exhausts its budget fails the run —
+/// and even then the remaining chunks are drained first, so the returned
+/// [`SkylineError::WorkerPanic`] reports an accurate completed count.
+fn run_chunks_engine<F>(
+    chunks: &[PointBlock],
+    threads: usize,
+    chaos: Option<ChaosContext<'_>>,
+    work: F,
+) -> Result<(Vec<PointBlock>, KernelStats, ChaosCounters), SkylineError>
+where
+    F: Fn(&PointBlock) -> (PointBlock, KernelStats) + Sync,
+{
     let n = chunks.len();
     let workers = threads.min(n).max(1);
+    let budget = chaos.map_or(1, |c| c.plan.max_attempts.max(1));
     let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let work = &work;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut done: Vec<(usize, PointBlock, KernelStats)> = Vec::new();
+                    let mut failures: Vec<ChunkFailure> = Vec::new();
+                    let mut counters = ChaosCounters::default();
                     loop {
                         let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let (sky, stats) = work(&chunks[i]);
-                        done.push((i, sky, stats));
+                        match run_one_chunk(&chunks[i], i, budget, chaos, &mut counters, work) {
+                            Ok((sky, stats)) => done.push((i, sky, stats)),
+                            Err(failure) => failures.push(failure),
+                        }
                     }
-                    done
+                    (done, failures, counters)
                 })
             })
             .collect();
 
         let mut locals: Vec<Option<PointBlock>> = vec![None; n];
         let mut stats = KernelStats::default();
-        let mut panicked: Option<SkylineError> = None;
+        let mut failures: Vec<ChunkFailure> = Vec::new();
+        let mut counters = ChaosCounters::default();
         for handle in handles {
             match handle.join() {
-                Ok(done) => {
+                Ok((done, worker_failures, worker_counters)) => {
                     for (i, sky, chunk_stats) in done {
                         stats.merge(&chunk_stats);
                         locals[i] = Some(sky);
                     }
+                    failures.extend(worker_failures);
+                    counters.retries += worker_counters.retries;
+                    counters.faults += worker_counters.faults;
                 }
-                Err(payload) => {
-                    panicked = Some(SkylineError::WorkerPanic {
-                        message: panic_message(payload),
-                    });
-                }
+                // Per-attempt catch_unwind means a worker closure can only
+                // panic in its own bookkeeping; report it against chunk `n`
+                // (one past the last real index) rather than losing it.
+                Err(payload) => failures.push(ChunkFailure {
+                    chunk: n,
+                    attempts: 0,
+                    message: panic_message(payload),
+                }),
             }
         }
-        if let Some(err) = panicked {
-            return Err(err);
+        if let Some(first) = failures.into_iter().min_by_key(|f| f.chunk) {
+            let completed = locals.iter().filter(|l| l.is_some()).count();
+            return Err(SkylineError::WorkerPanic {
+                chunk: first.chunk,
+                attempts: first.attempts,
+                completed,
+                message: first.message,
+            });
         }
-        // No worker panicked, so the cursor handed out every index and every
+        // No chunk failed, so the cursor handed out every index and every
         // slot is filled.
-        Ok((locals.into_iter().flatten().collect(), stats))
+        Ok((locals.into_iter().flatten().collect(), stats, counters))
     })
+}
+
+/// Runs one chunk task with its bounded retry budget.
+fn run_one_chunk<F>(
+    chunk: &PointBlock,
+    index: usize,
+    budget: u32,
+    chaos: Option<ChaosContext<'_>>,
+    counters: &mut ChaosCounters,
+    work: &F,
+) -> Result<(PointBlock, KernelStats), ChunkFailure>
+where
+    F: Fn(&PointBlock) -> (PointBlock, KernelStats) + Sync,
+{
+    let registry = mrsky_trace::metrics();
+    let mut attempt = 0u32;
+    loop {
+        let injected = chaos.and_then(|c| {
+            c.plan
+                .decide(FaultSite::ParallelChunk, c.scope, index as u64, attempt)
+        });
+        if let (Some(kind), Some(c)) = (injected, chaos) {
+            counters.faults += 1;
+            if registry.is_enabled() {
+                registry.incr("chaos.parallel.faults_injected", 1);
+            }
+            c.tracer.emit(|| EventKind::FaultInjected {
+                site: FaultSite::ParallelChunk.as_str().into(),
+                fault: kind.as_str().into(),
+                scope: c.scope.into(),
+                index: index as u64,
+                attempt: u64::from(attempt),
+            });
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match injected {
+            Some(FaultKind::Panic) => {
+                panic!("chaos: injected panic in chunk {index} (attempt {attempt})")
+            }
+            Some(kind) => Err(format!(
+                "chaos: injected {kind} in chunk {index} (attempt {attempt})"
+            )),
+            None => Ok(work(chunk)),
+        }));
+        let message = match outcome {
+            Ok(Ok(result)) => return Ok(result),
+            Ok(Err(message)) => message,
+            Err(payload) => panic_message(payload),
+        };
+        if attempt + 1 >= budget {
+            if let Some(c) = chaos {
+                c.tracer.emit(|| EventKind::TaskRetryExhausted {
+                    site: FaultSite::ParallelChunk.as_str().into(),
+                    scope: c.scope.into(),
+                    index: index as u64,
+                    attempts: u64::from(attempt + 1),
+                });
+            }
+            if registry.is_enabled() {
+                registry.incr("chaos.parallel.retry_exhausted", 1);
+            }
+            return Err(ChunkFailure {
+                chunk: index,
+                attempts: attempt + 1,
+                message,
+            });
+        }
+        counters.retries += 1;
+        if registry.is_enabled() {
+            registry.incr("chaos.parallel.retries", 1);
+        }
+        attempt += 1;
+    }
 }
 
 /// Computes the skyline of `points` on `threads` threads with block
@@ -182,6 +328,30 @@ pub fn parallel_skyline_stats(
     points: &[Point],
     threads: usize,
 ) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
+    parallel_skyline_inner(points, threads, None)
+}
+
+/// Like [`parallel_skyline_stats`] but with chaos faults injected into
+/// chunk tasks per `chaos.plan` — and recovered from, within the plan's
+/// retry budget. Within that budget the result is bit-identical to the
+/// fault-free run.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::WorkerPanic`] if a chunk exhausted its budget.
+pub fn parallel_skyline_chaos(
+    points: &[Point],
+    threads: usize,
+    chaos: ChaosContext<'_>,
+) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
+    parallel_skyline_inner(points, threads, Some(chaos))
+}
+
+fn parallel_skyline_inner(
+    points: &[Point],
+    threads: usize,
+    chaos: Option<ChaosContext<'_>>,
+) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
     let threads = effective_threads(threads);
     let mut stats = ParallelStats {
         threads,
@@ -192,8 +362,12 @@ pub fn parallel_skyline_stats(
     }
     let block = PointBlock::from_points(points)?;
     let chunks = block.chunks(block.len().div_ceil(threads));
-    let (locals, counter) = run_chunks(&chunks, threads)?;
+    let (locals, counter, counters) = run_chunks_engine(&chunks, threads, chaos, |chunk| {
+        kernel::block_bnl_stats(chunk, &BnlConfig::default())
+    })?;
     stats.local_comparisons = counter.comparisons;
+    stats.retries = counters.retries;
+    stats.faults_injected = counters.faults;
     let sky_block = merge_locals(locals, block.dim(), &mut stats)?;
     crate::invariants::check_skyline_block("parallel", &block, &sky_block);
     Ok((sky_block.to_points(), stats))
@@ -209,6 +383,30 @@ pub fn parallel_skyline_partitioned(
     points: &[Point],
     partitioner: &dyn SpacePartitioner,
     threads: usize,
+) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
+    parallel_skyline_partitioned_inner(points, partitioner, threads, None)
+}
+
+/// Like [`parallel_skyline_partitioned`] but with chaos faults injected
+/// into the per-partition chunk tasks, recovered within the plan's budget.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::WorkerPanic`] if a chunk exhausted its budget.
+pub fn parallel_skyline_partitioned_chaos(
+    points: &[Point],
+    partitioner: &dyn SpacePartitioner,
+    threads: usize,
+    chaos: ChaosContext<'_>,
+) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
+    parallel_skyline_partitioned_inner(points, partitioner, threads, Some(chaos))
+}
+
+fn parallel_skyline_partitioned_inner(
+    points: &[Point],
+    partitioner: &dyn SpacePartitioner,
+    threads: usize,
+    chaos: Option<ChaosContext<'_>>,
 ) -> Result<(Vec<Point>, ParallelStats), SkylineError> {
     let threads = effective_threads(threads);
     let mut stats = ParallelStats {
@@ -226,8 +424,12 @@ pub fn parallel_skyline_partitioned(
         chunks[partitioner.partition_of(p)].push_point(p);
     }
     chunks.retain(|c| !c.is_empty());
-    let (locals, counter) = run_chunks(&chunks, threads)?;
+    let (locals, counter, counters) = run_chunks_engine(&chunks, threads, chaos, |chunk| {
+        kernel::block_bnl_stats(chunk, &BnlConfig::default())
+    })?;
     stats.local_comparisons = counter.comparisons;
+    stats.retries = counters.retries;
+    stats.faults_injected = counters.faults;
     let sky_block = merge_locals(locals, dim, &mut stats)?;
     #[cfg(feature = "strict-invariants")]
     {
@@ -370,19 +572,148 @@ mod tests {
     fn worker_panic_surfaces_as_error() {
         let block = PointBlock::from_points(&random_points(64, 2, 76)).unwrap();
         let chunks = block.chunks(8);
-        let hits = std::sync::atomic::AtomicUsize::new(0);
+        assert_eq!(chunks.len(), 8);
         let result = run_chunks_with(&chunks, 4, |chunk| {
-            if hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 2 {
+            // deterministic victim: the chunk whose first id is 16 (chunk 2)
+            if chunk.ids().first() == Some(&16) {
                 panic!("injected worker failure");
             }
             kernel::block_bnl_stats(chunk, &BnlConfig::default())
         });
         match result {
-            Err(SkylineError::WorkerPanic { message }) => {
+            Err(SkylineError::WorkerPanic {
+                chunk,
+                attempts,
+                completed,
+                message,
+            }) => {
+                assert_eq!(chunk, 2);
+                assert_eq!(attempts, 1);
+                // the surviving workers drained every other chunk first
+                assert_eq!(completed, 7);
                 assert!(message.contains("injected worker failure"), "{message}");
             }
             other => panic!("expected WorkerPanic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn chaos_transient_errors_are_retried_to_the_exact_skyline() {
+        let pts = random_points(900, 3, 81);
+        let oracle = naive_skyline_ids(&pts);
+        let plan = mrsky_chaos::FaultPlan {
+            rules: vec![mrsky_chaos::SiteRule {
+                site: FaultSite::ParallelChunk,
+                kind: FaultKind::TransientError,
+                permille: 400,
+            }],
+            max_attempts: 6,
+            ..mrsky_chaos::FaultPlan::off()
+        };
+        let tracer = Tracer::in_memory();
+        let mut saw_faults = false;
+        for seed in 0..6u64 {
+            let plan = mrsky_chaos::FaultPlan {
+                seed,
+                ..plan.clone()
+            };
+            let (sky, stats) = parallel_skyline_chaos(
+                &pts,
+                4,
+                ChaosContext {
+                    plan: &plan,
+                    scope: "unit",
+                    tracer: &tracer,
+                },
+            )
+            .unwrap();
+            assert_eq!(ids(&sky), oracle, "seed {seed}");
+            assert_eq!(stats.retries, stats.faults_injected, "seed {seed}");
+            saw_faults |= stats.faults_injected > 0;
+        }
+        assert!(saw_faults, "40% transient rate never fired across 6 seeds");
+        let events = tracer.drain();
+        assert!(events.iter().any(
+            |e| matches!(&e.kind, EventKind::FaultInjected { site, .. } if site == "parallel-chunk")
+        ));
+    }
+
+    #[test]
+    fn chaos_injected_panics_are_contained_and_retried() {
+        let pts = random_points(600, 3, 82);
+        let oracle = naive_skyline_ids(&pts);
+        let plan = mrsky_chaos::FaultPlan {
+            seed: 11,
+            rules: vec![mrsky_chaos::SiteRule {
+                site: FaultSite::ParallelChunk,
+                kind: FaultKind::Panic,
+                permille: 500,
+            }],
+            max_attempts: 8,
+            ..mrsky_chaos::FaultPlan::off()
+        };
+        let (sky, stats) = parallel_skyline_chaos(
+            &pts,
+            3,
+            ChaosContext {
+                plan: &plan,
+                scope: "unit-panics",
+                tracer: &Tracer::disabled(),
+            },
+        )
+        .unwrap();
+        assert_eq!(ids(&sky), oracle);
+        assert!(stats.faults_injected > 0, "50% panic rate never fired");
+    }
+
+    #[test]
+    fn exhausted_budget_emits_trace_and_reports_attempts() {
+        // real (non-injected) failure that outlives the chaos budget: the
+        // victim chunk panics on every attempt
+        let block = PointBlock::from_points(&random_points(64, 2, 83)).unwrap();
+        let chunks = block.chunks(8);
+        let plan = mrsky_chaos::FaultPlan {
+            max_attempts: 3,
+            ..mrsky_chaos::FaultPlan::off()
+        };
+        let tracer = Tracer::in_memory();
+        let result = run_chunks_engine(
+            &chunks,
+            2,
+            Some(ChaosContext {
+                plan: &plan,
+                scope: "unit-exhaust",
+                tracer: &tracer,
+            }),
+            |chunk| {
+                if chunk.ids().first() == Some(&24) {
+                    panic!("chaos: persistent hardware fault");
+                }
+                kernel::block_bnl_stats(chunk, &BnlConfig::default())
+            },
+        );
+        match result {
+            Err(SkylineError::WorkerPanic {
+                chunk,
+                attempts,
+                completed,
+                ..
+            }) => {
+                assert_eq!(chunk, 3);
+                assert_eq!(attempts, 3);
+                assert_eq!(completed, 7);
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        let events = tracer.drain();
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::TaskRetryExhausted {
+                index: 3,
+                attempts: 3,
+                ..
+            }
+        )));
     }
 
     #[test]

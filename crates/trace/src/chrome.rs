@@ -223,6 +223,61 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ev.wall_us
                 ));
             }
+            EventKind::FaultInjected {
+                site,
+                fault,
+                scope,
+                index,
+                attempt,
+            } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"fault {}/{}\",\"cat\":\"chaos\",\"ts\":{},\"args\":{{\"scope\":\"{}\",\"index\":{index},\"attempt\":{attempt}}}",
+                    escape(site),
+                    escape(fault),
+                    ev.wall_us,
+                    escape(scope)
+                ));
+            }
+            EventKind::TaskRetryExhausted {
+                site,
+                scope,
+                index,
+                attempts,
+            } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"retry exhausted {}\",\"cat\":\"chaos\",\"ts\":{},\"args\":{{\"scope\":\"{}\",\"index\":{index},\"attempts\":{attempts}}}",
+                    escape(site),
+                    ev.wall_us,
+                    escape(scope)
+                ));
+            }
+            EventKind::CheckpointWritten { partition, points } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"checkpoint write p{partition}\",\"cat\":\"checkpoint\",\"ts\":{},\"args\":{{\"points\":{points}}}",
+                    ev.wall_us
+                ));
+            }
+            EventKind::CheckpointRestored { partition, points } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"checkpoint restore p{partition}\",\"cat\":\"checkpoint\",\"ts\":{},\"args\":{{\"points\":{points}}}",
+                    ev.wall_us
+                ));
+            }
+            EventKind::RecordQuarantined { source, line, .. } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"quarantine {}:{line}\",\"cat\":\"chaos\",\"ts\":{}",
+                    escape(source),
+                    ev.wall_us
+                ));
+            }
+            EventKind::RunResumed { run } => {
+                // Process-scoped: the crash/resume boundary matters to every
+                // track, not just the chaos lane.
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"p\",\"name\":\"run resumed (attempt {run})\",\"cat\":\"chaos\",\"ts\":{}",
+                    ev.wall_us
+                ));
+            }
             // Queue/launch/retry/speculation bookkeeping and ingest are
             // visible in the summary view; the timeline keeps to slices.
             EventKind::TaskScheduled { .. }
@@ -358,5 +413,62 @@ mod tests {
         let text = to_chrome_trace(&sample_run());
         assert!(text.contains("slot 2"));
         assert!(text.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn chaos_events_become_instants() {
+        use EventKind::*;
+        let stream = vec![
+            ev(
+                0,
+                FaultInjected {
+                    site: "shuffle-fetch".into(),
+                    fault: "drop-record".into(),
+                    scope: "merge".into(),
+                    index: 1,
+                    attempt: 0,
+                },
+            ),
+            ev(
+                1,
+                TaskRetryExhausted {
+                    site: "map-task".into(),
+                    scope: "locals".into(),
+                    index: 3,
+                    attempts: 4,
+                },
+            ),
+            ev(
+                2,
+                CheckpointWritten {
+                    partition: 7,
+                    points: 12,
+                },
+            ),
+            ev(
+                3,
+                CheckpointRestored {
+                    partition: 7,
+                    points: 12,
+                },
+            ),
+            ev(
+                4,
+                RecordQuarantined {
+                    source: "qws.txt".into(),
+                    line: 44,
+                    reason: "bad".into(),
+                },
+            ),
+            ev(5, RunResumed { run: 2 }),
+        ];
+        let text = to_chrome_trace(&stream);
+        json::parse(&text).unwrap();
+        assert!(text.contains("fault shuffle-fetch/drop-record"));
+        assert!(text.contains("retry exhausted map-task"));
+        assert!(text.contains("checkpoint write p7"));
+        assert!(text.contains("checkpoint restore p7"));
+        assert!(text.contains("quarantine qws.txt:44"));
+        assert!(text.contains("run resumed (attempt 2)"));
     }
 }

@@ -14,6 +14,7 @@
 //! | shuffle / DFS | `shuffle_partition`, `dfs_block_read` |
 //! | skyline | `kernel_run`, `partition_local_skyline` |
 //! | ingest | `ingest_started`, `ingest_finished` |
+//! | chaos / recovery | `fault_injected`, `task_retry_exhausted`, `checkpoint_written`, `checkpoint_restored`, `record_quarantined`, `run_resumed` |
 //! | generic spans | `span_begin`, `span_end` |
 
 use crate::json::{self, JsonValue};
@@ -231,6 +232,62 @@ pub enum EventKind {
         /// Malformed/non-finite rows rejected.
         rejected: u64,
     },
+    /// A chaos fault fired at a named injection site.
+    FaultInjected {
+        /// Injection site wire name (`parallel-chunk`, `dfs-read`, ...).
+        site: String,
+        /// Fault kind wire name (`panic`, `transient-error`, ...).
+        fault: String,
+        /// Scope the fault fired in (job name, file path, ...).
+        scope: String,
+        /// Operation index within the scope (chunk, task, row, ...).
+        index: u64,
+        /// 0-based attempt the fault hit.
+        attempt: u64,
+    },
+    /// A retried operation ran out of its retry budget.
+    TaskRetryExhausted {
+        /// Injection site wire name.
+        site: String,
+        /// Scope the operation ran in.
+        scope: String,
+        /// Operation index within the scope.
+        index: u64,
+        /// Attempts consumed before giving up.
+        attempts: u64,
+    },
+    /// A partition's local skyline was checkpointed to durable storage.
+    CheckpointWritten {
+        /// Partition id.
+        partition: u64,
+        /// Local skyline cardinality persisted.
+        points: u64,
+    },
+    /// A resumed run restored a partition's local skyline from a
+    /// checkpoint instead of recomputing it.
+    CheckpointRestored {
+        /// Partition id.
+        partition: u64,
+        /// Local skyline cardinality restored.
+        points: u64,
+    },
+    /// A corrupt input record was diverted to the dead-letter report.
+    RecordQuarantined {
+        /// Source name (file path, job name, ...).
+        source: String,
+        /// 1-based line number within the source.
+        line: u64,
+        /// Why the record was rejected.
+        reason: String,
+    },
+    /// A resilient driver recovered from a simulated crash and is
+    /// re-running with resume semantics. Everything left open by the
+    /// killed run (jobs, phases, spans) is abandoned; the validator
+    /// resets its accounting at this marker.
+    RunResumed {
+        /// 1-based retry attempt this resume starts.
+        run: u64,
+    },
     /// Generic span open (driver-level stages: fit, audit, pipeline...).
     SpanBegin {
         /// Span name; must match the closing [`EventKind::SpanEnd`].
@@ -262,6 +319,12 @@ impl EventKind {
             EventKind::PartitionLocalSkyline { .. } => "partition_local_skyline",
             EventKind::IngestStarted { .. } => "ingest_started",
             EventKind::IngestFinished { .. } => "ingest_finished",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::TaskRetryExhausted { .. } => "task_retry_exhausted",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::CheckpointRestored { .. } => "checkpoint_restored",
+            EventKind::RecordQuarantined { .. } => "record_quarantined",
+            EventKind::RunResumed { .. } => "run_resumed",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
         }
@@ -432,6 +495,46 @@ fn fields_of(kind: &EventKind) -> Vec<(&'static str, Field)> {
         IngestFinished { services, rejected } => {
             vec![("services", U(*services)), ("rejected", U(*rejected))]
         }
+        FaultInjected {
+            site,
+            fault,
+            scope,
+            index,
+            attempt,
+        } => vec![
+            ("site", S(site.clone())),
+            ("fault", S(fault.clone())),
+            ("scope", S(scope.clone())),
+            ("index", U(*index)),
+            ("attempt", U(*attempt)),
+        ],
+        TaskRetryExhausted {
+            site,
+            scope,
+            index,
+            attempts,
+        } => vec![
+            ("site", S(site.clone())),
+            ("scope", S(scope.clone())),
+            ("index", U(*index)),
+            ("attempts", U(*attempts)),
+        ],
+        CheckpointWritten { partition, points } => {
+            vec![("partition", U(*partition)), ("points", U(*points))]
+        }
+        CheckpointRestored { partition, points } => {
+            vec![("partition", U(*partition)), ("points", U(*points))]
+        }
+        RecordQuarantined {
+            source,
+            line,
+            reason,
+        } => vec![
+            ("source", S(source.clone())),
+            ("line", U(*line)),
+            ("reason", S(reason.clone())),
+        ],
+        RunResumed { run } => vec![("run", U(*run))],
         SpanBegin { name } => vec![("name", S(name.clone()))],
         SpanEnd { name } => vec![("name", S(name.clone()))],
     }
@@ -591,6 +694,35 @@ fn kind_from(v: &JsonValue, ty: &str) -> Result<EventKind, String> {
             services: req_u64(v, "services")?,
             rejected: req_u64(v, "rejected")?,
         },
+        "fault_injected" => FaultInjected {
+            site: req_str(v, "site")?,
+            fault: req_str(v, "fault")?,
+            scope: req_str(v, "scope")?,
+            index: req_u64(v, "index")?,
+            attempt: req_u64(v, "attempt")?,
+        },
+        "task_retry_exhausted" => TaskRetryExhausted {
+            site: req_str(v, "site")?,
+            scope: req_str(v, "scope")?,
+            index: req_u64(v, "index")?,
+            attempts: req_u64(v, "attempts")?,
+        },
+        "checkpoint_written" => CheckpointWritten {
+            partition: req_u64(v, "partition")?,
+            points: req_u64(v, "points")?,
+        },
+        "checkpoint_restored" => CheckpointRestored {
+            partition: req_u64(v, "partition")?,
+            points: req_u64(v, "points")?,
+        },
+        "record_quarantined" => RecordQuarantined {
+            source: req_str(v, "source")?,
+            line: req_u64(v, "line")?,
+            reason: req_str(v, "reason")?,
+        },
+        "run_resumed" => RunResumed {
+            run: req_u64(v, "run")?,
+        },
         "span_begin" => SpanBegin {
             name: req_str(v, "name")?,
         },
@@ -692,6 +824,33 @@ mod tests {
                 services: 1000,
                 rejected: 3,
             },
+            FaultInjected {
+                site: "parallel-chunk".into(),
+                fault: "panic".into(),
+                scope: "local-skylines".into(),
+                index: 4,
+                attempt: 1,
+            },
+            TaskRetryExhausted {
+                site: "shuffle-fetch".into(),
+                scope: "merge".into(),
+                index: 2,
+                attempts: 4,
+            },
+            CheckpointWritten {
+                partition: 11,
+                points: 42,
+            },
+            CheckpointRestored {
+                partition: 11,
+                points: 42,
+            },
+            RecordQuarantined {
+                source: "qws.txt".into(),
+                line: 118,
+                reason: "non-finite value in column 4".into(),
+            },
+            RunResumed { run: 2 },
             SpanBegin { name: "fit".into() },
             SpanEnd { name: "fit".into() },
         ]

@@ -12,7 +12,17 @@ use std::fmt::Write as _;
 /// 1. sequence numbers strictly increase,
 /// 2. jobs and phases finish only after they start (and at most once),
 /// 3. every generic span closes a matching open,
-/// 4. each phase finishes exactly the task count it announced.
+/// 4. each phase finishes exactly the task count it announced,
+/// 5. a partition restored from a checkpoint is never *also* recomputed:
+///    no `partition_local_skyline` may share a partition id with a
+///    `checkpoint_restored` in the same run (this is how the resume
+///    path proves it skipped finished partitions).
+///
+/// A `run_resumed` marker means a simulated crash tore the stream: every
+/// job, phase, and span the killed run left open is considered abandoned
+/// (not a violation), and the restored/recomputed bookkeeping restarts —
+/// the killed run legitimately computed partitions the resumed run then
+/// restores.
 ///
 /// Returns every violation found (empty = valid).
 pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
@@ -22,6 +32,8 @@ pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
     let mut open_phases: BTreeMap<(String, PhaseKind), u64> = BTreeMap::new();
     let mut finished_tasks: BTreeMap<(String, PhaseKind), u64> = BTreeMap::new();
     let mut open_spans: BTreeMap<String, u64> = BTreeMap::new();
+    let mut restored_partitions: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut computed_partitions: BTreeMap<u64, ()> = BTreeMap::new();
 
     for ev in events {
         if let Some(prev) = last_seq {
@@ -93,7 +105,32 @@ pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
                     ev.seq
                 )),
             },
+            EventKind::PartitionLocalSkyline { partition, .. } => {
+                computed_partitions.insert(*partition, ());
+            }
+            EventKind::CheckpointRestored { partition, .. } => {
+                restored_partitions.insert(*partition, ());
+            }
+            EventKind::RunResumed { .. } => {
+                // Crash recovery: the killed run's open state is abandoned,
+                // and its computed partitions are exactly what the resumed
+                // run restores — reset instead of reporting them.
+                open_jobs.clear();
+                open_phases.clear();
+                finished_tasks.clear();
+                open_spans.clear();
+                computed_partitions.clear();
+                restored_partitions.clear();
+            }
             _ => {}
+        }
+    }
+
+    for partition in restored_partitions.keys() {
+        if computed_partitions.contains_key(partition) {
+            errors.push(format!(
+                "partition {partition} was restored from a checkpoint but also recomputed"
+            ));
         }
     }
 
@@ -169,6 +206,16 @@ pub struct TraceSummary {
     pub ingest: Option<(u64, u64)>,
     /// Driver span wall durations in microseconds, by name.
     pub spans: BTreeMap<String, u64>,
+    /// Injected faults by `site/kind` wire names.
+    pub faults: BTreeMap<String, u64>,
+    /// Operations that ran out of their retry budget.
+    pub retries_exhausted: u64,
+    /// Partition checkpoints written / restored.
+    pub checkpoints: (u64, u64),
+    /// Records quarantined to the dead-letter report.
+    pub quarantined: u64,
+    /// Crash-recovery resumes observed (`run_resumed` markers).
+    pub resumes: u64,
     /// Total events consumed.
     pub events: u64,
 }
@@ -284,6 +331,24 @@ impl TraceSummary {
                         *slot = slot.saturating_add(dur);
                     }
                 }
+                EventKind::FaultInjected { site, fault, .. } => {
+                    *summary.faults.entry(format!("{site}/{fault}")).or_insert(0) += 1;
+                }
+                EventKind::TaskRetryExhausted { .. } => {
+                    summary.retries_exhausted += 1;
+                }
+                EventKind::CheckpointWritten { .. } => {
+                    summary.checkpoints.0 += 1;
+                }
+                EventKind::CheckpointRestored { .. } => {
+                    summary.checkpoints.1 += 1;
+                }
+                EventKind::RecordQuarantined { .. } => {
+                    summary.quarantined += 1;
+                }
+                EventKind::RunResumed { .. } => {
+                    summary.resumes += 1;
+                }
                 EventKind::TaskScheduled { .. }
                 | EventKind::TaskLaunched { .. }
                 | EventKind::TaskSpeculated { .. }
@@ -367,6 +432,31 @@ impl TraceSummary {
                 }
                 out.push('\n');
             }
+        }
+
+        if !self.faults.is_empty() || self.retries_exhausted > 0 {
+            let total: u64 = self.faults.values().sum();
+            let _ = writeln!(
+                out,
+                "  chaos: {total} fault(s) injected, {} retry budget(s) exhausted",
+                self.retries_exhausted
+            );
+            for (key, count) in &self.faults {
+                let _ = writeln!(out, "    {key:<28} {count}");
+            }
+        }
+        if self.checkpoints != (0, 0) {
+            let _ = writeln!(
+                out,
+                "  checkpoints: {} written, {} restored",
+                self.checkpoints.0, self.checkpoints.1
+            );
+        }
+        if self.quarantined > 0 {
+            let _ = writeln!(out, "  quarantined records: {}", self.quarantined);
+        }
+        if self.resumes > 0 {
+            let _ = writeln!(out, "  crash recoveries: {} resume(s)", self.resumes);
         }
 
         if !self.spans.is_empty() {
@@ -511,6 +601,195 @@ mod tests {
         assert!(validate_events(&wrong_count)
             .iter()
             .any(|e| e.contains("announced 2 tasks but finished 1")));
+    }
+
+    #[test]
+    fn validator_rejects_restored_and_recomputed_partition() {
+        use EventKind::*;
+        let stream = vec![
+            ev(
+                0,
+                0,
+                CheckpointRestored {
+                    partition: 3,
+                    points: 10,
+                },
+            ),
+            ev(
+                1,
+                1,
+                PartitionLocalSkyline {
+                    partition: 3,
+                    input: 100,
+                    output: 10,
+                    pruned: false,
+                },
+            ),
+        ];
+        assert!(validate_events(&stream)
+            .iter()
+            .any(|e| e.contains("restored from a checkpoint but also recomputed")));
+
+        // distinct partitions are fine
+        let ok = vec![
+            ev(
+                0,
+                0,
+                CheckpointRestored {
+                    partition: 3,
+                    points: 10,
+                },
+            ),
+            ev(
+                1,
+                1,
+                PartitionLocalSkyline {
+                    partition: 4,
+                    input: 100,
+                    output: 10,
+                    pruned: false,
+                },
+            ),
+        ];
+        assert!(validate_events(&ok).is_empty());
+    }
+
+    #[test]
+    fn run_resumed_absolves_the_killed_runs_torn_state() {
+        use EventKind::*;
+        // A killed run: job and span left open, partition 3 computed —
+        // then the resumed run restores partition 3 and completes cleanly.
+        let stream = vec![
+            ev(0, 0, JobStarted { job: "j1".into() }),
+            ev(1, 1, SpanBegin { name: "run".into() }),
+            ev(
+                2,
+                2,
+                PartitionLocalSkyline {
+                    partition: 3,
+                    input: 100,
+                    output: 10,
+                    pruned: false,
+                },
+            ),
+            ev(3, 3, RunResumed { run: 2 }),
+            ev(
+                4,
+                4,
+                CheckpointRestored {
+                    partition: 3,
+                    points: 10,
+                },
+            ),
+            ev(5, 5, JobStarted { job: "j1".into() }),
+            ev(
+                6,
+                6,
+                JobFinished {
+                    job: "j1".into(),
+                    sim_total: 1.0,
+                    wall_seconds: 0.1,
+                },
+            ),
+        ];
+        assert!(
+            validate_events(&stream).is_empty(),
+            "{:?}",
+            validate_events(&stream)
+        );
+
+        // Without the marker, the same stream is torn *and* recomputes a
+        // restored partition.
+        let torn: Vec<TraceEvent> = stream
+            .iter()
+            .filter(|e| !matches!(e.kind, RunResumed { .. }))
+            .cloned()
+            .collect();
+        let problems = validate_events(&torn);
+        assert!(
+            problems.iter().any(|e| e.contains("restored")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|e| e.contains("never finished") || e.contains("left open")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn summary_aggregates_chaos_events() {
+        use EventKind::*;
+        let stream = vec![
+            ev(
+                0,
+                0,
+                FaultInjected {
+                    site: "parallel-chunk".into(),
+                    fault: "panic".into(),
+                    scope: "locals".into(),
+                    index: 2,
+                    attempt: 0,
+                },
+            ),
+            ev(
+                1,
+                1,
+                FaultInjected {
+                    site: "parallel-chunk".into(),
+                    fault: "panic".into(),
+                    scope: "locals".into(),
+                    index: 5,
+                    attempt: 1,
+                },
+            ),
+            ev(
+                2,
+                2,
+                TaskRetryExhausted {
+                    site: "shuffle-fetch".into(),
+                    scope: "merge".into(),
+                    index: 0,
+                    attempts: 4,
+                },
+            ),
+            ev(
+                3,
+                3,
+                CheckpointWritten {
+                    partition: 1,
+                    points: 9,
+                },
+            ),
+            ev(
+                4,
+                4,
+                CheckpointRestored {
+                    partition: 1,
+                    points: 9,
+                },
+            ),
+            ev(
+                5,
+                5,
+                RecordQuarantined {
+                    source: "qws.txt".into(),
+                    line: 8,
+                    reason: "bad".into(),
+                },
+            ),
+        ];
+        let summary = TraceSummary::from_events(&stream);
+        assert_eq!(summary.faults.get("parallel-chunk/panic"), Some(&2));
+        assert_eq!(summary.retries_exhausted, 1);
+        assert_eq!(summary.checkpoints, (1, 1));
+        assert_eq!(summary.quarantined, 1);
+        let text = summary.render();
+        assert!(text.contains("2 fault(s) injected"));
+        assert!(text.contains("1 retry budget(s) exhausted"));
+        assert!(text.contains("checkpoints: 1 written, 1 restored"));
+        assert!(text.contains("quarantined records: 1"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Run any subcommand with `--help` for its flags. All randomness is seeded;
 //! identical invocations produce identical output.
 
+use mr_skyline_suite::chaos::FaultPlan;
 use mr_skyline_suite::mr::prelude::*;
 use mr_skyline_suite::qws::{
     generate_qws, generate_synthetic, Dataset, Distribution, QwsConfig, SyntheticConfig,
@@ -19,6 +20,22 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // The chaos kill switch aborts a run by panicking, and the resilient
+    // driver catches it and resumes — an expected, recovered event. Print
+    // one line for it instead of the default panic report; everything
+    // else keeps the default hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let simulated = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("mrsky-chaos:"));
+        if simulated {
+            eprintln!("simulated crash: kill switch tripped; resuming from checkpoints");
+        } else {
+            default_hook(info);
+        }
+    }));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
         eprintln!("{USAGE}");
@@ -36,6 +53,7 @@ fn main() -> ExitCode {
         "select" => cmd_select(rest),
         "sweep" => cmd_sweep(rest),
         "trace" => cmd_trace(rest),
+        "chaos" => cmd_chaos(rest),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {
@@ -57,6 +75,8 @@ USAGE:
                  [--algorithm angle] [--servers 8]
   mrsky sweep    --data FILE --servers 4,8,16,32 [--algorithm angle] [--json]
   mrsky trace    --summary FILE | --validate FILE | --chrome OUT FILE
+  mrsky chaos    plan --profile light|heavy [--seed 42] [--kill-after N] [--out FILE]
+  mrsky chaos    replay --plan FILE --data FILE [--algorithm angle] [--servers 8]
 
 Any command accepting --data FILE also accepts --qws-file FILE to read the
 original QWS v2 dataset file (9 QoS columns + name + WSDL).
@@ -69,9 +89,22 @@ Observability (skyline / compare / sweep):
                           (dominance tests, window overflows, SIMD dispatch,
                           local-skyline sizes) after the run
 
+Fault injection & recovery (skyline):
+  --chaos-profile NAME    arm a seeded fault plan: off (default), light, heavy
+  --chaos-seed N          seed folded into every injection decision (default 42)
+  --chaos-kill-after N    simulate a crash after N partition checkpoints, then
+                          auto-resume (requires --checkpoint-dir)
+  --checkpoint-dir DIR    persist per-partition local skylines for resume
+  --resume                restore finished partitions from --checkpoint-dir
+                          instead of recomputing them
+
 `mrsky trace` replays a recorded JSONL trace: --summary renders per-phase
 task/retry/speculation tables, --chrome converts to a Perfetto-loadable
-JSON file, --validate checks event-schema invariants.";
+JSON file, --validate checks event-schema invariants.
+
+`mrsky chaos plan` writes a fault plan as JSON; `mrsky chaos replay` re-runs
+a skyline job under a recorded plan and verifies the result against the
+fault-free oracle — the exactness-under-failure contract, on demand.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -97,6 +130,22 @@ fn flag_servers(args: &[String]) -> Result<usize, String> {
         return Err("--servers must be at least 1".into());
     }
     Ok(servers)
+}
+
+/// Parses `--chaos-profile`, `--chaos-seed`, and `--chaos-kill-after` into
+/// a [`FaultPlan`] (the plan is `off` when no chaos flag is given).
+fn chaos_opts(args: &[String]) -> Result<FaultPlan, String> {
+    let profile = flag(args, "--chaos-profile").unwrap_or_else(|| "off".into());
+    let seed = flag_usize(args, "--chaos-seed", 42)? as u64;
+    let mut plan = FaultPlan::profile(&profile, seed)
+        .ok_or_else(|| format!("unknown chaos profile `{profile}` (expected off|light|heavy)"))?;
+    if let Some(n) = flag(args, "--chaos-kill-after") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("--chaos-kill-after expects an integer, got `{n}`"))?;
+        plan.kill_after_checkpoints = Some(n);
+    }
+    Ok(plan)
 }
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
@@ -230,10 +279,38 @@ fn cmd_skyline(args: &[String]) -> Result<(), String> {
     let servers = flag_servers(args)?;
     let force = args.iter().any(|a| a == "--force");
     let topts = trace_opts(args)?;
-    let job = SkylineJob::new(algorithm, servers)
+    let chaos = chaos_opts(args)?;
+    let checkpoint_dir = flag(args, "--checkpoint-dir");
+    let resume = args.iter().any(|a| a == "--resume");
+    if chaos.kill_after_checkpoints.is_some() && checkpoint_dir.is_none() {
+        return Err("--chaos-kill-after needs --checkpoint-dir DIR to resume from".into());
+    }
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir DIR".into());
+    }
+    if chaos.is_active() {
+        eprintln!(
+            "chaos armed: seed {}, {} rule(s), retry budget {}{}",
+            chaos.seed,
+            chaos.rules.len(),
+            chaos.max_attempts,
+            match chaos.kill_after_checkpoints {
+                Some(n) => format!(", kill after {n} checkpoint(s)"),
+                None => String::new(),
+            }
+        );
+    }
+    let mut job = SkylineJob::new(algorithm, servers)
         .with_force(force)
-        .with_tracer(topts.tracer.clone());
-    let report = job.run_checked(&data).map_err(|audit| {
+        .with_tracer(topts.tracer.clone())
+        .with_chaos(chaos)
+        .with_resume(resume);
+    if let Some(dir) = checkpoint_dir {
+        job = job.with_checkpoints(dir);
+    }
+    // resilient run: identical to run_checked without chaos, and
+    // kill/resume-aware with it
+    let report = job.run_resilient(&data).map_err(|audit| {
         format!(
             "plan audit found error-level diagnostics (re-run with --force to override):\n{}",
             audit.render_text()
@@ -352,6 +429,82 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     // default (and --summary): the human-readable report
     print!("{}", TraceSummary::from_events(&events).render());
     Ok(())
+}
+
+/// `mrsky chaos plan` writes a seeded fault plan as JSON; `mrsky chaos
+/// replay` re-runs a skyline job under a recorded plan and verifies the
+/// result against the fault-free oracle.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let usage = "usage: mrsky chaos plan --profile light|heavy [--seed 42] [--kill-after N] \
+                 [--out FILE]\n       mrsky chaos replay --plan FILE --data FILE \
+                 [--algorithm angle] [--servers 8] [--checkpoint-dir DIR]";
+    match args.first().map(String::as_str) {
+        Some("plan") => {
+            let rest = &args[1..];
+            let profile = flag(rest, "--profile").unwrap_or_else(|| "light".into());
+            let seed = flag_usize(rest, "--seed", 42)? as u64;
+            let mut plan = FaultPlan::profile(&profile, seed).ok_or_else(|| {
+                format!("unknown chaos profile `{profile}` (expected off|light|heavy)")
+            })?;
+            if let Some(n) = flag(rest, "--kill-after") {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--kill-after expects an integer, got `{n}`"))?;
+                plan.kill_after_checkpoints = Some(n);
+            }
+            let json = plan.to_json();
+            match flag(rest, "--out") {
+                Some(out) => {
+                    std::fs::write(&out, format!("{json}\n"))
+                        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+                    eprintln!("wrote {profile} fault plan (seed {seed}) to {out}");
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
+        Some("replay") => {
+            let rest = &args[1..];
+            let plan_path = flag(rest, "--plan").ok_or("--plan FILE is required")?;
+            let text = std::fs::read_to_string(&plan_path)
+                .map_err(|e| format!("cannot read plan `{plan_path}`: {e}"))?;
+            let plan =
+                FaultPlan::from_json(text.trim()).map_err(|e| format!("`{plan_path}`: {e}"))?;
+            let data = load_data(rest)?;
+            let algorithm =
+                parse_algorithm(&flag(rest, "--algorithm").unwrap_or_else(|| "angle".into()))?;
+            let servers = flag_servers(rest)?;
+            let checkpoint_dir = flag(rest, "--checkpoint-dir");
+            if plan.kill_after_checkpoints.is_some() && checkpoint_dir.is_none() {
+                return Err(
+                    "the plan kills the run after checkpoints; replay needs --checkpoint-dir DIR"
+                        .into(),
+                );
+            }
+            eprintln!(
+                "replaying fault plan from {plan_path}: seed {}, {} rule(s), retry budget {}",
+                plan.seed,
+                plan.rules.len(),
+                plan.max_attempts
+            );
+            let mut job = SkylineJob::new(algorithm, servers).with_chaos(plan);
+            if let Some(dir) = checkpoint_dir {
+                job = job.with_checkpoints(dir);
+            }
+            let report = job.run_resilient(&data).map_err(|audit| {
+                format!(
+                    "plan audit found error-level diagnostics:\n{}",
+                    audit.render_text()
+                )
+            })?;
+            println!("{}", report.summary());
+            validate_report(&report, &data)
+                .map_err(|e| format!("chaos run diverged from the fault-free oracle: {e}"))?;
+            println!("chaos run matches the fault-free oracle exactly.");
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
 }
 
 fn cmd_select(args: &[String]) -> Result<(), String> {

@@ -14,13 +14,17 @@
 //! * [`audit`] ([`mrsky_audit`]) — plan-time static analysis and the
 //!   workspace lint pass;
 //! * [`trace`] ([`mrsky_trace`]) — structured tracing, the metrics
-//!   registry, and the Chrome/Prometheus exporters.
+//!   registry, and the Chrome/Prometheus exporters;
+//! * [`chaos`] ([`mrsky_chaos`]) — seeded fault injection, bounded
+//!   retries, and the quarantine/kill-switch machinery behind
+//!   checkpoint/resume.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use mini_mapreduce as mapreduce;
 pub use mr_skyline as mr;
 pub use mrsky_audit as audit;
+pub use mrsky_chaos as chaos;
 pub use mrsky_trace as trace;
 pub use qws_data as qws;
 pub use skyline_algos as skyline;

@@ -42,6 +42,9 @@ pub enum Code {
     /// Grid pruning was requested but the fitted partitioner can never
     /// prune (prefix grid or non-grid scheme) — silently disabled.
     PruningUnavailable,
+    /// The filter/witness-pruning configuration would drop a true skyline
+    /// point (or the filter is configured off while pruning depends on it).
+    UnsoundFilter,
 }
 
 impl Code {
@@ -60,6 +63,7 @@ impl Code {
             Code::DegenerateAxis => "MRA010",
             Code::ExcessPartitionWaves => "MRA011",
             Code::PruningUnavailable => "MRA012",
+            Code::UnsoundFilter => "MRA013",
         }
     }
 
@@ -84,6 +88,9 @@ impl Code {
             Code::DegenerateAxis => "an axis interval has zero width: its partitions stay empty",
             Code::ExcessPartitionWaves => "partition count far exceeds reduce slots (many waves)",
             Code::PruningUnavailable => "grid pruning requested but unavailable for this fit",
+            Code::UnsoundFilter => {
+                "filter/witness-pruning configuration would drop a true skyline point"
+            }
         }
     }
 
@@ -102,6 +109,7 @@ impl Code {
             Code::DegenerateAxis,
             Code::ExcessPartitionWaves,
             Code::PruningUnavailable,
+            Code::UnsoundFilter,
         ]
     }
 }
@@ -290,6 +298,7 @@ mod tests {
         }
         assert_eq!(Code::PartitionNotTotal.as_str(), "MRA001");
         assert_eq!(Code::PruningUnavailable.as_str(), "MRA012");
+        assert_eq!(Code::UnsoundFilter.as_str(), "MRA013");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! mrsky-audit lint [--root DIR] [--allowlist FILE] [--print-baseline] [--json]
 //! mrsky-audit plan --scheme dim|grid|angle|random [--dims N] [--partitions N]
-//!                  [--servers N] [--reducers N] [--grid-pruning] [--json]
+//!                  [--servers N] [--reducers N] [--grid-pruning]
+//!                  [--filter-k N] [--sector-prune] [--json]
 //! mrsky-audit codes
 //! ```
 //!
@@ -123,6 +124,10 @@ fn cmd_plan(args: &[String]) -> ExitCode {
         cost: &cost,
         reducers_job1: reducers,
         grid_pruning: flag_present(args, "--grid-pruning"),
+        filter_k: flag_value(args, "--filter-k")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        sector_prune: flag_present(args, "--sector-prune"),
         threads: 2,
     };
     let report = audit_plan(&spec);

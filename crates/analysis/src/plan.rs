@@ -49,6 +49,11 @@ pub struct PlanSpec<'a> {
     pub reducers_job1: usize,
     /// Whether MR-Grid dominance-based cell pruning is requested.
     pub grid_pruning: bool,
+    /// Resolved filter-point broadcast size for this run (`0` = map-side
+    /// filtering off).
+    pub filter_k: usize,
+    /// Whether sector-witness partition pruning is requested.
+    pub sector_prune: bool,
     /// Host threads driving the simulation.
     pub threads: usize,
 }
@@ -78,6 +83,7 @@ pub fn audit_plan(spec: &PlanSpec<'_>) -> AuditReport {
     check_lattice(&profile, spec.partitioner, &mut report);
     check_runtime(spec, &mut report);
     check_pruning(spec, &profile, &mut report);
+    check_filter(spec, &mut report);
     // Probing a lattice whose own description is inconsistent would drown
     // the report in derived mismatches; fix the profile errors first.
     if !report.has_errors() || profile.space == PartitionSpace::Opaque {
@@ -395,6 +401,141 @@ fn check_pruning(spec: &PlanSpec<'_>, profile: &BoundaryProfile, report: &mut Au
             ));
         }
     }
+}
+
+// -------------------------------------------------------------- filter --
+
+/// Number of deterministic probe points for the filter soundness check.
+const FILTER_PROBES: usize = 256;
+
+/// `a` strictly dominates `b`: the validator's own dominance oracle,
+/// deliberately independent of the kernels the pipeline runs.
+fn strictly_dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut any_lt = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        any_lt |= x < y;
+    }
+    any_lt
+}
+
+/// Dynamically proves, on a deterministic probe cloud inside the fitted
+/// bounds, that the filter/witness-pruning configuration cannot drop a
+/// true skyline point: no skyline probe may be dominated by a selected
+/// filter point (the filter is *exact*, not approximate), and no skyline
+/// probe may sit in a witness-pruned partition. Violations are `MRA013`
+/// errors — they mean the run would silently return a wrong skyline.
+fn check_filter(spec: &PlanSpec<'_>, report: &mut AuditReport) {
+    if spec.filter_k == 0 && !spec.sector_prune {
+        return;
+    }
+    let d = spec.partitioner.dim();
+    let np = spec.partitioner.num_partitions();
+    if d == 0 || np == 0 || spec.bounds.dim() < d {
+        return;
+    }
+    if spec.sector_prune && spec.filter_k == 0 {
+        report.diagnostics.push(Diagnostic::new(
+            Code::UnsoundFilter,
+            Severity::Warning,
+            "job 1",
+            "witness pruning is on while map-side filtering is off: the pipeline \
+             falls back to automatically selected witness points",
+        ));
+    }
+
+    // Deterministic probe cloud inside the fitted bounds (the same
+    // SplitMix64 hash the lattice subsampler uses).
+    let mut points: Vec<Point> = Vec::with_capacity(FILTER_PROBES);
+    for id in 0..FILTER_PROBES {
+        let coords: Vec<f64> = (0..d)
+            .map(|i| {
+                let h = splitmix64(0x5eed_f11e ^ ((id as u64) << 16) ^ i as u64);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                spec.bounds.min(i) + u * spec.bounds.width(i)
+            })
+            .collect();
+        points.push(Point::new(id as u64, coords));
+    }
+    let Ok(block) = skyline_algos::block::PointBlock::from_points(&points) else {
+        return;
+    };
+    // The validator's own skyline of the probe cloud.
+    let skyline: Vec<&Point> = points
+        .iter()
+        .filter(|p| {
+            !points
+                .iter()
+                .any(|q| strictly_dominates(q.coords(), p.coords()))
+        })
+        .collect();
+
+    // Mirrors the pipeline's fallback: with the filter off it still picks
+    // `auto_filter_points(d)` witnesses for sector pruning.
+    let witness_k = if spec.filter_k > 0 {
+        spec.filter_k
+    } else {
+        (8 * d).max(16)
+    };
+    let filter = skyline_algos::filter::select_filter_points(&block, witness_k);
+
+    if spec.filter_k > 0 {
+        let mut emitted = 0usize;
+        for p in &skyline {
+            if skyline_algos::filter::filtered_out(&filter, p.coords()) && emitted < EMIT_CAP {
+                emitted += 1;
+                report.diagnostics.push(Diagnostic::new(
+                    Code::UnsoundFilter,
+                    Severity::Error,
+                    format!("probe {}", p.id()),
+                    format!(
+                        "skyline probe {:?} is dropped by a broadcast filter point",
+                        p.coords()
+                    ),
+                ));
+            }
+        }
+    }
+
+    if spec.sector_prune {
+        let mut observed_min: Vec<Option<Vec<f64>>> = vec![None; np];
+        for p in &points {
+            let h = spec.partitioner.partition_of(p);
+            match &mut observed_min[h] {
+                Some(m) => {
+                    for (mi, &v) in m.iter_mut().zip(p.coords()) {
+                        *mi = mi.min(v);
+                    }
+                }
+                None => observed_min[h] = Some(p.coords().to_vec()),
+            }
+        }
+        let witnesses: Vec<(usize, Vec<f64>)> = filter
+            .iter()
+            .map(|(id, row)| (spec.partitioner.partition_of_row(id, row), row.to_vec()))
+            .collect();
+        let mask =
+            skyline_algos::partition::witness_prunable(spec.partitioner, &observed_min, &witnesses);
+        let mut emitted = 0usize;
+        for p in &skyline {
+            let h = spec.partitioner.partition_of(p);
+            if mask.get(h).copied().unwrap_or(false) && emitted < EMIT_CAP {
+                emitted += 1;
+                report.diagnostics.push(Diagnostic::new(
+                    Code::UnsoundFilter,
+                    Severity::Error,
+                    format!("partition {h}"),
+                    format!(
+                        "skyline probe {:?} sits in a witness-pruned partition",
+                        p.coords()
+                    ),
+                ));
+            }
+        }
+    }
+    report.probes += FILTER_PROBES;
 }
 
 // ------------------------------------------------------------- probing --
@@ -921,6 +1062,8 @@ mod tests {
             cost,
             reducers_job1: partitioner.num_partitions(),
             grid_pruning: false,
+            filter_k: 0,
+            sector_prune: false,
             threads: 2,
         }
     }
@@ -958,6 +1101,52 @@ mod tests {
             );
             assert!(report.probes > 0, "{name} audit must actually probe");
         }
+    }
+
+    #[test]
+    fn filter_and_witness_pruning_audit_clean_on_every_scheme() {
+        let bounds = Bounds::zero_to(10.0, 3);
+        let dim = DimPartitioner::fit(&bounds, 8).unwrap();
+        let grid = GridPartitioner::fit(&bounds, 8).unwrap();
+        let angle = AnglePartitioner::fit(&bounds, 8).unwrap();
+        let random = RandomPartitioner::with_seed(3, 8, 42).unwrap();
+        let cluster = ClusterConfig::new(4);
+        let speculation = SpeculationConfig::default();
+        let cost = CostModel::default();
+        for (name, p) in [
+            ("dim", &dim as &dyn SpacePartitioner),
+            ("grid", &grid),
+            ("angle", &angle),
+            ("random", &random),
+        ] {
+            let mut spec = spec_for(p, &bounds, &cluster, &speculation, &cost);
+            spec.filter_k = 8;
+            spec.sector_prune = true;
+            let report = audit_plan(&spec);
+            assert!(
+                report.with_code(Code::UnsoundFilter).is_empty(),
+                "{name}: exact filter + witness pruning must audit clean:\n{}",
+                report.render_text()
+            );
+            assert!(!report.has_errors(), "{name}:\n{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn witness_pruning_without_filter_warns() {
+        let bounds = Bounds::zero_to(10.0, 3);
+        let grid = GridPartitioner::fit(&bounds, 8).unwrap();
+        let cluster = ClusterConfig::new(4);
+        let speculation = SpeculationConfig::default();
+        let cost = CostModel::default();
+        let mut spec = spec_for(&grid, &bounds, &cluster, &speculation, &cost);
+        spec.filter_k = 0;
+        spec.sector_prune = true;
+        let report = audit_plan(&spec);
+        let hits = report.with_code(Code::UnsoundFilter);
+        assert_eq!(hits.len(), 1, "{}", report.render_text());
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(!report.has_errors());
     }
 
     #[test]

@@ -109,6 +109,8 @@ fn spec_for<'a>(
         cost,
         reducers_job1: part.num_partitions(),
         grid_pruning: false,
+        filter_k: 0,
+        sector_prune: false,
         threads: 2,
     }
 }

@@ -37,12 +37,14 @@ use qws_data::Dataset;
 use skyline_algos::block::PointBlock;
 use skyline_algos::bnl::BnlConfig;
 use skyline_algos::dnc::dnc_skyline_stats;
+use skyline_algos::filter::{filtered_out, select_filter_points};
+use skyline_algos::incremental::StreamingMerge;
 use skyline_algos::kernel::{block_bnl_stats, presort_merge_stats};
-use skyline_algos::partition::SpacePartitioner;
+use skyline_algos::partition::{witness_prunable, SpacePartitioner};
 use skyline_algos::point::Point;
 use skyline_algos::sfs::sfs_skyline_stats;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Rows per shuffled block: map splits and shuffle values carry at most
 /// this many services per [`PointBlock`] record.
@@ -104,8 +106,17 @@ pub struct PipelineOutput {
     pub metrics: JobMetrics,
     /// Point count per partition (length = partitioner's partition count).
     pub partition_counts: Vec<usize>,
-    /// Number of partitions skipped by dominated-cell pruning.
+    /// Number of partitions whose local-skyline work was skipped, by
+    /// dominated-cell pruning or sector-witness pruning combined.
     pub pruned_partitions: usize,
+    /// Rows dropped map-side by the broadcast filter before the shuffle.
+    pub rows_filtered: u64,
+    /// Partitions pruned by the sector-witness argument alone (i.e. beyond
+    /// what dominated-cell pruning already caught).
+    pub sector_pruned_partitions: usize,
+    /// Simulated seconds of the merge stage hidden behind Job 1's reduce
+    /// wave by the streaming merge. `0.0` unless streaming is on.
+    pub merge_overlap_seconds: f64,
 }
 
 /// Map-task count preserving the runtime's "one split per
@@ -233,21 +244,69 @@ pub fn run_two_job_pipeline(
         input_block.push_point(p);
     }
 
-    // Partition profile: per-partition counts, computed up front (the
-    // Hadoop analogue is a counter pass / sampling job published via the
-    // distributed cache) and used for grid pruning and load metrics.
-    let partition_counts = opts.tracer.span("pipeline.partition_profile", || {
+    // Partition profile: per-partition counts and per-partition observed
+    // coordinate minima, computed up front (the Hadoop analogue is a
+    // counter pass / sampling job published via the distributed cache) and
+    // used for grid pruning, witness pruning, and load metrics.
+    let (partition_counts, observed_min) = opts.tracer.span("pipeline.partition_profile", || {
         let mut counts = vec![0usize; num_partitions];
+        let mut mins: Vec<Option<Vec<f64>>> = vec![None; num_partitions];
         for (id, row) in input_block.iter() {
-            counts[partitioner.partition_of_row(id, row)] += 1;
+            let p = partitioner.partition_of_row(id, row);
+            counts[p] += 1;
+            match &mut mins[p] {
+                Some(m) => {
+                    for (mi, &v) in m.iter_mut().zip(row) {
+                        *mi = mi.min(v);
+                    }
+                }
+                None => mins[p] = Some(row.to_vec()),
+            }
         }
-        counts
+        (counts, mins)
     });
-    let prunable: Arc<Vec<bool>> = Arc::new(if opts.config.grid_pruning {
+
+    // Broadcast filter points (per-dimension minima + max-entropy fillers).
+    // `filter_k == 0` disables map-side filtering, but the same candidates
+    // still serve as pruning witnesses below, so selection falls back to
+    // the automatic size in that case.
+    let filter_k = opts.config.filter_points_for(dim);
+    let witness_k = if filter_k > 0 {
+        filter_k
+    } else {
+        crate::config::auto_filter_points(dim)
+    };
+    let filter_points: Arc<PointBlock> = Arc::new(select_filter_points(&input_block, witness_k));
+
+    // Sector-witness pruning: a partition whose best possible corner (its
+    // sector envelope tightened by observed minima) is dominated by a
+    // filter point living in another partition cannot contribute a single
+    // skyline point, so its local-skyline task is skipped outright.
+    let mut prunable_vec = if opts.config.grid_pruning {
         partitioner.prunable(&partition_counts)
     } else {
         vec![false; num_partitions]
-    });
+    };
+    let mut sector_pruned_partitions = 0usize;
+    if opts.config.sector_prune && num_partitions > 0 {
+        let witnesses: Vec<(usize, Vec<f64>)> = filter_points
+            .iter()
+            .map(|(id, row)| (partitioner.partition_of_row(id, row), row.to_vec()))
+            .collect();
+        let witness_mask = witness_prunable(partitioner.as_ref(), &observed_min, &witnesses);
+        for (h, hit) in witness_mask.iter().enumerate() {
+            if *hit && !prunable_vec[h] {
+                sector_pruned_partitions += 1;
+                prunable_vec[h] = true;
+                let points = partition_counts[h] as u64;
+                opts.tracer.emit(|| EventKind::SectorPruned {
+                    partition: h as u64,
+                    points,
+                });
+            }
+        }
+    }
+    let prunable: Arc<Vec<bool>> = Arc::new(prunable_vec);
     let pruned_partitions = prunable.iter().filter(|&&p| p).count();
 
     // ---- Checkpoint restore ----
@@ -282,6 +341,20 @@ pub fn run_two_job_pipeline(
         b
     };
 
+    // ---- Streaming merge state ----
+    // When enabled, Job 1's reduce tasks feed their local skylines into a
+    // shared incremental merge as they complete, so the merge work happens
+    // *inside* the reduce wave instead of waiting behind the job barrier.
+    // Restored checkpoints are absorbed up front; the per-id dedup makes
+    // re-absorbed blocks (retries, speculative duplicates) idempotent.
+    let streaming: Option<Arc<Mutex<StreamingMerge>>> = opts.config.streaming_merge.then(|| {
+        let mut sm = StreamingMerge::new(dim);
+        for sky in restored.values() {
+            sm.absorb_block(&repack(dim, sky));
+        }
+        Arc::new(Mutex::new(sm))
+    });
+
     // ---- Job 1: partition + local skylines ----
     // One reduce task per partition, as a Hadoop job would configure for a
     // partition-keyed reduce; the cluster's reduce slots bound *concurrency*
@@ -302,15 +375,35 @@ pub fn run_two_job_pipeline(
 
     let part = Arc::clone(&partitioner);
     let map_work = opts.map_work_per_point;
+    let map_filter: Option<Arc<PointBlock>> =
+        (filter_k > 0 && !filter_points.is_empty()).then(|| Arc::clone(&filter_points));
     let mapper1 =
         move |b: &PointBlock, ctx: &mut TaskContext, out: &mut Emitter<u64, PointBlock>| {
-            // the runtime charges one record per block; top up so records
-            // stay point-weighted
+            // The runtime charges one record per block; top up so records
+            // stay point-weighted. The top-up uses the *unfiltered* block
+            // length and filtered rows are never charged again downstream,
+            // so `records_in` counts every input service exactly once no
+            // matter how many the broadcast filter drops.
             ctx.add_records_in(b.len().saturating_sub(1) as u64);
             ctx.add_work(map_work * b.len() as u64);
             let mut shards: Vec<PointBlock> = vec![PointBlock::new(b.dim()); num_partitions.max(1)];
+            let mut dropped = 0u64;
             for i in 0..b.len() {
+                if let Some(f) = &map_filter {
+                    if filtered_out(f, b.row(i)) {
+                        dropped += 1;
+                        continue;
+                    }
+                }
                 shards[part.partition_of_row(b.id(i), b.row(i))].push_row_from(b, i);
+            }
+            if let Some(f) = &map_filter {
+                // the broadcast sweep costs at most one dominance test per
+                // (row, filter point) pair
+                ctx.add_work((f.len() * b.len()) as u64);
+                if dropped > 0 {
+                    ctx.incr("rows_filtered", dropped);
+                }
             }
             for (pid, shard) in shards.into_iter().enumerate() {
                 if !shard.is_empty() {
@@ -352,6 +445,7 @@ pub fn run_two_job_pipeline(
         }
     };
     let kill1 = opts.kill.clone();
+    let stream1 = streaming.clone();
     let reducer1 = move |key: &u64,
                          values: Vec<PointBlock>,
                          ctx: &mut TaskContext,
@@ -394,6 +488,11 @@ pub fn run_two_job_pipeline(
             pruned: false,
         });
         write_checkpoint(ctx, *key, &outcome.sky.to_points());
+        if let Some(sm) = &stream1 {
+            sm.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .absorb_block(&outcome.sky);
+        }
         out.push((*key, outcome.sky));
     };
 
@@ -401,6 +500,22 @@ pub fn run_two_job_pipeline(
     let job1: JobResult<u64, (u64, PointBlock)> =
         run_job(&spec1, &input_splits, &mapper1, None, &reducer1);
     let metrics1 = job1.metrics.clone();
+
+    // The per-task counter sums to the exact map-side drop count (counters
+    // come from each task's last successful attempt only).
+    let rows_filtered = metrics1
+        .map
+        .counters
+        .get("rows_filtered")
+        .copied()
+        .unwrap_or(0);
+    if rows_filtered > 0 {
+        let input = job1_input.len() as u64;
+        opts.tracer.emit(|| EventKind::RowsFiltered {
+            input,
+            filtered: rows_filtered,
+        });
+    }
 
     // Local skylines sorted by partition id, points by service id.
     // Restored partitions join the computed ones here — downstream merge
@@ -432,7 +547,17 @@ pub fn run_two_job_pipeline(
     // carry. The merge kernel presorts by L1 norm internally, so candidate
     // order no longer changes merge cost; the id sort keeps the record and
     // byte accounting deterministic.
-    let mut merge_block = {
+    let mut streaming_candidates = 0u64;
+    let mut merge_block = if let Some(sm) = &streaming {
+        // Job 2's input is the streaming merge's running skyline: the merge
+        // work already happened inside Job 1's reduce wave, so Job 2 is the
+        // (cheap) finalization pass the two-job contract still requires.
+        let sm = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        streaming_candidates = sm.absorbed();
+        let mut b = sm.skyline().clone();
+        b.sort_by_id();
+        b
+    } else {
         let mut b = PointBlock::with_capacity(dim, flat.iter().map(|(_, b)| b.len()).sum());
         for (_, sky) in &flat {
             b.extend_from_block(sky);
@@ -440,7 +565,9 @@ pub fn run_two_job_pipeline(
         b.sort_by_id();
         b
     };
-    if let Some(fan_in) = opts.config.merge_fan_in {
+    // Hierarchical pre-merge is pointless after a streaming merge — the
+    // candidate set is already a skyline — so streaming wins the conflict.
+    if let (None, Some(fan_in)) = (&streaming, opts.config.merge_fan_in) {
         assert!(fan_in >= 2, "hierarchical merge needs fan-in >= 2");
         let mut round = 0u32;
         while merge_block.len() > fan_in * 64 && round < 8 {
@@ -566,9 +693,34 @@ pub fn run_two_job_pipeline(
     global_block.sort_by_id();
     let global_skyline = global_block.to_points();
 
-    let chained = match premerge_metrics {
-        Some(pm) => metrics1.chain(&pm).chain(&metrics2),
-        None => metrics1.chain(&metrics2),
+    let mut merge_overlap_seconds = 0.0f64;
+    let chained = if streaming.is_some() {
+        // Overlap credit: Job 2's map wave could have started as soon as
+        // the first Job 1 reduce task delivered its local skyline, so the
+        // simulated timeline hides up to that much of Job 2 behind the
+        // remainder of Job 1's reduce wave.
+        let reduce = &metrics1.reduce;
+        let first_done = reduce.sim_start
+            + reduce
+                .task_durations
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+        let window = (reduce.sim_end - first_done).max(0.0);
+        let overlap = window.min(metrics2.map.sim_span()).max(0.0);
+        merge_overlap_seconds = overlap;
+        if overlap > 0.0 {
+            opts.tracer.emit(|| EventKind::MergeOverlap {
+                seconds: overlap,
+                candidates: streaming_candidates,
+            });
+        }
+        metrics1.chain_overlapped(&metrics2, overlap)
+    } else {
+        match premerge_metrics {
+            Some(pm) => metrics1.chain(&pm).chain(&metrics2),
+            None => metrics1.chain(&metrics2),
+        }
     };
     PipelineOutput {
         local_skylines,
@@ -576,6 +728,9 @@ pub fn run_two_job_pipeline(
         metrics: chained,
         partition_counts,
         pruned_partitions,
+        rows_filtered,
+        sector_pruned_partitions,
+        merge_overlap_seconds,
     }
 }
 
@@ -667,6 +822,7 @@ mod tests {
         let with = run(Algorithm::MrGrid, &data, 8);
         let cfg = AlgoConfig {
             grid_pruning: false,
+            sector_prune: false,
             ..AlgoConfig::default()
         };
         let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 8).expect("fit");
@@ -793,7 +949,17 @@ mod tests {
     #[test]
     fn named_counters_surface_in_metrics() {
         let data = generate_qws(&QwsConfig::new(800, 2));
-        let out = run(Algorithm::MrGrid, &data, 8);
+        // Filtering off: with it on, a partition can lose *all* its rows
+        // map-side, never reach a reduce call, and so never bump the
+        // counter — which would break the reconstruction below.
+        let cfg = AlgoConfig {
+            filter_k: Some(0),
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 8).expect("fit");
+        let mut opts = options("MR-Grid-counters", 8);
+        opts.config = cfg;
+        let out = run_two_job_pipeline(part, &data, &opts);
         let counters = &out.metrics.reduce.counters;
         assert!(counters.contains_key("local_skyline_points"));
         // the counter sees only pruned partitions that actually received
@@ -859,7 +1025,10 @@ mod tests {
         for e in &events {
             match &e.kind {
                 EventKind::PartitionLocalSkyline {
-                    partition, output, ..
+                    partition,
+                    output,
+                    pruned: false,
+                    ..
                 } => {
                     traced_sizes.insert(*partition, *output);
                 }
@@ -885,9 +1054,15 @@ mod tests {
     #[test]
     fn traced_pruned_partitions_are_reported() {
         let data = generate_qws(&QwsConfig::new(800, 2));
-        let part =
-            build_partitioner(Algorithm::MrGrid, &AlgoConfig::default(), &data, 8).expect("fit");
+        // Filtering off so pruned cells still receive rows (and hence a
+        // reduce call that emits the pruned-partition event).
+        let cfg = AlgoConfig {
+            filter_k: Some(0),
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 8).expect("fit");
         let mut opts = options("MR-Grid-traced", 8);
+        opts.config = cfg;
         opts.tracer = Tracer::in_memory();
         let out = run_two_job_pipeline(part, &data, &opts);
         assert!(out.pruned_partitions > 0, "2-D grid must prune");
@@ -900,5 +1075,154 @@ mod tests {
             .count();
         // only pruned partitions that received points reach a reduce call
         assert!(pruned_events > 0 && pruned_events <= out.pruned_partitions);
+    }
+
+    #[test]
+    fn filtering_cuts_shuffle_and_preserves_result() {
+        use qws_data::{generate_synthetic, Distribution, SyntheticConfig};
+        let data = generate_synthetic(&SyntheticConfig::new(2000, 4, Distribution::AntiCorrelated));
+        let filtered = run(Algorithm::MrAngle, &data, 4);
+        let cfg = AlgoConfig {
+            filter_k: Some(0),
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4).expect("fit");
+        let mut opts = options("MR-Angle-nofilter", 4);
+        opts.config = cfg;
+        let plain = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(
+            sky_ids(&filtered.global_skyline),
+            sky_ids(&plain.global_skyline),
+            "filtering must not change the skyline"
+        );
+        assert!(filtered.rows_filtered > 0, "filter must drop something");
+        assert_eq!(plain.rows_filtered, 0);
+        assert!(
+            filtered.metrics.reduce.records_in < plain.metrics.reduce.records_in,
+            "dropped rows must not be shuffled"
+        );
+        assert!(filtered.metrics.shuffle_bytes < plain.metrics.shuffle_bytes);
+    }
+
+    #[test]
+    fn filtering_keeps_point_weighted_accounting_honest() {
+        // Map-side filtered rows are charged exactly once: as Job 1 map
+        // input. They never reappear in reduce or merge record counts.
+        let data = generate_qws(&QwsConfig::new(600, 3));
+        let out = run(Algorithm::MrAngle, &data, 4);
+        let candidates: u64 = out.local_skylines.iter().map(|(_, v)| v.len() as u64).sum();
+        assert_eq!(out.metrics.map.records_in, 600 + candidates);
+        assert_eq!(
+            out.metrics.reduce.records_in,
+            (600 - out.rows_filtered) + candidates,
+            "reduce must see only unfiltered rows plus merge candidates"
+        );
+    }
+
+    #[test]
+    fn sector_pruning_skips_partitions_on_any_scheme() {
+        use qws_data::{generate_synthetic, Distribution, SyntheticConfig};
+        // Correlated data: one good point dominates almost everything, so
+        // most grid cells' corners fall to a filter-point witness even with
+        // MR-Grid's own dominated-cell pruning switched off.
+        let data = generate_synthetic(&SyntheticConfig::new(2000, 2, Distribution::Correlated));
+        let cfg = AlgoConfig {
+            grid_pruning: false,
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 8).expect("fit");
+        let mut opts = options("MR-Grid-witness", 8);
+        opts.config = cfg.clone();
+        let pruned = run_two_job_pipeline(Arc::clone(&part), &data, &opts);
+        assert!(
+            pruned.sector_pruned_partitions > 0,
+            "witness pruning must fire on correlated data"
+        );
+        assert_eq!(pruned.pruned_partitions, pruned.sector_pruned_partitions);
+        let off = AlgoConfig {
+            sector_prune: false,
+            ..cfg
+        };
+        let part2 = build_partitioner(Algorithm::MrGrid, &off, &data, 8).expect("fit");
+        let mut opts2 = options("MR-Grid-nowitness", 8);
+        opts2.config = off;
+        let plain = run_two_job_pipeline(part2, &data, &opts2);
+        assert_eq!(plain.sector_pruned_partitions, 0);
+        assert_eq!(
+            sky_ids(&pruned.global_skyline),
+            sky_ids(&plain.global_skyline),
+            "witness pruning must not change the skyline"
+        );
+    }
+
+    #[test]
+    fn streaming_merge_removes_the_reduce_barrier() {
+        let data = generate_qws(&QwsConfig::new(2000, 4));
+        let plain = run(Algorithm::MrAngle, &data, 4);
+        let cfg = AlgoConfig {
+            streaming_merge: true,
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4).expect("fit");
+        let mut opts = options("MR-Angle-stream", 4);
+        opts.config = cfg;
+        opts.tracer = Tracer::in_memory();
+        let streamed = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(
+            sky_ids(&plain.global_skyline),
+            sky_ids(&streamed.global_skyline),
+            "streaming merge must be bit-identical"
+        );
+        assert!(
+            streamed.merge_overlap_seconds > 0.0,
+            "multi-partition reduce wave must leave a window to overlap"
+        );
+        assert!(
+            streamed.metrics.sim_total < plain.metrics.sim_total,
+            "overlap credit plus the smaller merge input must shorten the timeline: {} vs {}",
+            streamed.metrics.sim_total,
+            plain.metrics.sim_total
+        );
+        let events = opts.tracer.drain();
+        let problems = mrsky_trace::validate_events(&events);
+        assert!(problems.is_empty(), "{problems:?}");
+        let overlap = events.iter().find_map(|e| match &e.kind {
+            EventKind::MergeOverlap {
+                seconds,
+                candidates,
+            } => Some((*seconds, *candidates)),
+            _ => None,
+        });
+        let (seconds, candidates) = overlap.expect("MergeOverlap event present");
+        assert!((seconds - streamed.merge_overlap_seconds).abs() < 1e-12);
+        // every unfiltered local-skyline row went through the incremental merge
+        let shipped: u64 = streamed
+            .local_skylines
+            .iter()
+            .map(|(_, v)| v.len() as u64)
+            .sum();
+        assert!(candidates >= shipped);
+    }
+
+    #[test]
+    fn streaming_merge_emits_rows_filtered_event() {
+        let data = generate_qws(&QwsConfig::new(800, 3));
+        let part =
+            build_partitioner(Algorithm::MrAngle, &AlgoConfig::default(), &data, 4).expect("fit");
+        let mut opts = options("MR-Angle-filtertrace", 4);
+        opts.tracer = Tracer::in_memory();
+        let out = run_two_job_pipeline(part, &data, &opts);
+        let events = opts.tracer.drain();
+        let filtered = events.iter().find_map(|e| match &e.kind {
+            EventKind::RowsFiltered { input, filtered } => Some((*input, *filtered)),
+            _ => None,
+        });
+        if out.rows_filtered > 0 {
+            let (input, filtered) = filtered.expect("RowsFiltered event present");
+            assert_eq!(input, 800);
+            assert_eq!(filtered, out.rows_filtered);
+        } else {
+            assert!(filtered.is_none());
+        }
     }
 }

@@ -99,6 +99,25 @@ pub struct AlgoConfig {
     /// that parallelises the serial merge bottleneck; the ablation bench
     /// quantifies it.
     pub merge_combiner: bool,
+    /// Filter-point broadcast: select this many strong candidates (the
+    /// per-dimension minima plus smallest-L1 fillers) before the partitioning
+    /// job, broadcast them to every map task, and drop any row one of them
+    /// dominates before it is shuffled (the Ciaccia & Martinenghi
+    /// "representative filter points" optimisation). `None` picks
+    /// `max(2 × d, 8)` automatically; `Some(0)` disables filtering.
+    pub filter_k: Option<usize>,
+    /// Witness-based partition pruning for *all* geometric schemes: a
+    /// partition whose best reachable corner (sector lower bounds tightened
+    /// by observed per-partition minima) is strictly dominated by a filter
+    /// point living elsewhere skips its local-skyline task entirely.
+    /// Generalises MR-Grid's dominated-cell pruning to angular sectors.
+    pub sector_prune: bool,
+    /// Streaming, barrier-free global merge: local skylines feed an
+    /// incremental merge as reduce tasks complete instead of waiting for the
+    /// reduce barrier, and the simulated timeline credits the overlap. The
+    /// final result is bit-identical either way; off by default to preserve
+    /// the paper's two-phase cost model.
+    pub streaming_merge: bool,
 }
 
 impl Default for AlgoConfig {
@@ -114,6 +133,9 @@ impl Default for AlgoConfig {
             baseline_quantile: false,
             merge_fan_in: None,
             merge_combiner: false,
+            filter_k: None,
+            sector_prune: true,
+            streaming_merge: false,
         }
     }
 }
@@ -125,6 +147,23 @@ impl AlgoConfig {
             .unwrap_or(self.partitions_per_node * servers)
             .max(1)
     }
+
+    /// Resolved filter-point count for a `d`-dimensional dataset: the
+    /// explicit `filter_k` if set, otherwise `max(8 × d, 16)`. `0` means
+    /// filtering is off.
+    pub fn filter_points_for(&self, dims: usize) -> usize {
+        self.filter_k.unwrap_or_else(|| auto_filter_points(dims))
+    }
+}
+
+/// Automatic filter-point count for a `dims`-dimensional dataset:
+/// `max(8 × d, 16)` — every per-dimension minimum plus enough low-L1
+/// fillers that the sweep halves an anti-correlated shuffle, while still
+/// a trivially small broadcast (the sweep costs `k` vectorized dominance
+/// tests per input row; going much past this saturates: the extra fillers
+/// are dominated regions the first few already cover).
+pub fn auto_filter_points(dims: usize) -> usize {
+    (8 * dims).max(16)
 }
 
 #[cfg(test)]
@@ -147,6 +186,23 @@ mod tests {
         let cfg = AlgoConfig::default();
         assert_eq!(cfg.partitions_for(8), 16);
         assert_eq!(cfg.partitions_for(1), 2);
+    }
+
+    #[test]
+    fn filter_k_defaults_scale_with_dimension() {
+        let cfg = AlgoConfig::default();
+        assert_eq!(cfg.filter_points_for(2), 16, "floor of 16");
+        assert_eq!(cfg.filter_points_for(6), 48, "8 × d above the floor");
+        let off = AlgoConfig {
+            filter_k: Some(0),
+            ..AlgoConfig::default()
+        };
+        assert_eq!(off.filter_points_for(6), 0, "explicit 0 disables");
+        let fixed = AlgoConfig {
+            filter_k: Some(3),
+            ..AlgoConfig::default()
+        };
+        assert_eq!(fixed.filter_points_for(6), 3);
     }
 
     #[test]

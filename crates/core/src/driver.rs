@@ -173,6 +173,8 @@ impl SkylineJob {
             // `run_two_job_pipeline`).
             reducers_job1: partitioner.num_partitions(),
             grid_pruning: self.config.grid_pruning && self.algorithm == Algorithm::MrGrid,
+            filter_k: self.config.filter_points_for(dataset.dim()),
+            sector_prune: self.config.sector_prune,
             threads: self.threads.max(1),
         };
         audit_plan(&spec)
@@ -332,6 +334,9 @@ impl SkylineJob {
             load_balance: load_balance(&out.partition_counts),
             partition_counts: out.partition_counts,
             pruned_partitions: out.pruned_partitions,
+            rows_filtered: out.rows_filtered,
+            sector_pruned_partitions: out.sector_pruned_partitions,
+            merge_overlap_seconds: out.merge_overlap_seconds,
             optimality,
             metrics: out.metrics,
         }
@@ -468,10 +473,22 @@ mod tests {
     #[test]
     fn angle_beats_dim_on_merge_candidates() {
         // The paper's central mechanism: angular partitions ship fewer,
-        // better local-skyline candidates into the merge job.
+        // better local-skyline candidates into the merge job. The broadcast
+        // filter and witness pruning are switched off on both sides — they
+        // compress candidates orthogonally to the partitioning scheme under
+        // comparison.
         let data = generate_qws(&QwsConfig::new(4000, 4));
-        let angle = SkylineJob::new(Algorithm::MrAngle, 8).run(&data);
-        let dim = SkylineJob::new(Algorithm::MrDim, 8).run(&data);
+        let cfg = AlgoConfig {
+            filter_k: Some(0),
+            sector_prune: false,
+            ..AlgoConfig::default()
+        };
+        let angle = SkylineJob::new(Algorithm::MrAngle, 8)
+            .with_config(cfg.clone())
+            .run(&data);
+        let dim = SkylineJob::new(Algorithm::MrDim, 8)
+            .with_config(cfg)
+            .run(&data);
         assert!(
             angle.merge_candidates() < dim.merge_candidates(),
             "angle {} vs dim {}",

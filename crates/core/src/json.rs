@@ -124,6 +124,12 @@ impl SkylineRunReport {
             .int("skyline_size", self.global_skyline.len() as u64)
             .int("merge_candidates", self.merge_candidates() as u64)
             .int("pruned_partitions", self.pruned_partitions as u64)
+            .int("rows_filtered", self.rows_filtered)
+            .int(
+                "sector_pruned_partitions",
+                self.sector_pruned_partitions as u64,
+            )
+            .num("merge_overlap_seconds", self.merge_overlap_seconds)
             .num("optimality", self.optimality)
             .num("processing_time_s", self.processing_time())
             .num("map_time_s", self.map_time())

@@ -30,8 +30,19 @@ pub struct SkylineRunReport {
     pub local_skylines: Vec<(u64, Vec<Point>)>,
     /// Point count per partition.
     pub partition_counts: Vec<usize>,
-    /// Partitions skipped by dominated-cell pruning (MR-Grid only).
+    /// Partitions whose local-skyline work was skipped — dominated-cell
+    /// pruning (MR-Grid) plus sector-witness pruning (any scheme).
     pub pruned_partitions: usize,
+    /// Rows dropped map-side by the broadcast filter before the shuffle.
+    #[serde(default)]
+    pub rows_filtered: u64,
+    /// Partitions pruned by the sector-witness argument alone.
+    #[serde(default)]
+    pub sector_pruned_partitions: usize,
+    /// Simulated seconds of merge work hidden behind Job 1's reduce wave
+    /// by the streaming merge (`0.0` unless streaming was enabled).
+    #[serde(default)]
+    pub merge_overlap_seconds: f64,
     /// Local skyline optimality — paper Eq. (5).
     pub optimality: f64,
     /// Load-balance statistics of the partition assignment.
@@ -65,13 +76,15 @@ impl SkylineRunReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:<10} n={:<7} d={:<2} servers={:<2} | sky={:<5} cand={:<6} | sim {:>7.1}s (map {:>6.1}s, reduce {:>6.1}s) | LSO {:.3}",
+            "{:<10} n={:<7} d={:<2} servers={:<2} | sky={:<5} cand={:<6} filt={:<6} prune={:<3} | sim {:>7.1}s (map {:>6.1}s, reduce {:>6.1}s) | LSO {:.3}",
             self.algorithm.name(),
             self.cardinality,
             self.dimensions,
             self.servers,
             self.global_skyline.len(),
             self.merge_candidates(),
+            self.rows_filtered,
+            self.pruned_partitions,
             self.processing_time(),
             self.map_time(),
             self.reduce_time(),
@@ -97,6 +110,9 @@ mod tests {
             local_skylines: vec![(0, vec![Point::new(0, vec![1.0, 1.0])]), (1, vec![])],
             partition_counts: vec![5, 5],
             pruned_partitions: 0,
+            rows_filtered: 3,
+            sector_pruned_partitions: 0,
+            merge_overlap_seconds: 0.0,
             optimality: 0.5,
             load_balance: skyline_algos::metrics::load_balance(&[5, 5]),
             metrics: JobMetrics {

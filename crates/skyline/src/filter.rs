@@ -1,0 +1,189 @@
+//! Filter-point selection for shuffle-side early pruning.
+//!
+//! Ciaccia & Martinenghi's parallel-skyline optimisation: pick a handful of
+//! *strong* points before the partitioning job, broadcast them to every map
+//! task, and drop any row one of them dominates before it is shuffled. A
+//! point that is dominated by anything is not in the skyline, so discarding
+//! dominated rows map-side is exact — the only question is how much of the
+//! shuffle the chosen filter points can absorb.
+//!
+//! Selection here is deterministic (no sampling): the per-dimension minima
+//! are unbeatable on their own axis and fence in the skyline contour, and
+//! the smallest-L1 points sit near the origin where dominance regions are
+//! widest. Ties break by L1 norm then id, so two runs over the same data
+//! always broadcast the same block — a requirement for `mrsky-chaos` replay
+//! and checkpoint resume.
+
+use crate::block::PointBlock;
+use crate::kernel::dominates_row;
+
+/// Selects up to `k` filter points from `block`: first the per-dimension
+/// minima (tie-break: smaller L1 norm, then smaller id), then the remaining
+/// slots filled with the smallest-L1 rows not already chosen (same
+/// tie-break). Returns a block in ascending-id order, so the selection is a
+/// pure function of the data. `k = 0` or an empty input yields an empty
+/// block.
+pub fn select_filter_points(block: &PointBlock, k: usize) -> PointBlock {
+    let mut out = PointBlock::new(block.dim());
+    if k == 0 || block.is_empty() {
+        return out;
+    }
+    let n = block.len();
+    let d = block.dim();
+    // (L1, id) keys once; both tie-breaks need them.
+    let key = |i: usize| (block.l1_norm(i), block.id(i));
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for dim in 0..d {
+        if chosen.len() == k {
+            break;
+        }
+        let mut best = 0usize;
+        for i in 1..n {
+            let (vb, vi) = (block.row(best)[dim], block.row(i)[dim]);
+            if vi < vb || (vi == vb && key(i) < key(best)) {
+                best = i;
+            }
+        }
+        if !chosen.contains(&best) {
+            chosen.push(best);
+        }
+    }
+    if chosen.len() < k {
+        let mut by_l1: Vec<usize> = (0..n).collect();
+        by_l1.sort_by(|&a, &b| {
+            key(a)
+                .partial_cmp(&key(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for i in by_l1 {
+            if chosen.len() == k {
+                break;
+            }
+            if !chosen.contains(&i) {
+                chosen.push(i);
+            }
+        }
+    }
+    chosen.sort_by_key(|&i| block.id(i));
+    for i in chosen {
+        out.push_row_from(block, i);
+    }
+    out
+}
+
+/// `true` iff some filter row strictly dominates `coords` — the map-side
+/// drop predicate. Equal rows never dominate, so a broadcast filter point is
+/// never dropped by its own copy.
+pub fn filtered_out(filter: &PointBlock, coords: &[f64]) -> bool {
+    filter.iter().any(|(_, f)| dominates_row(f, coords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn block(rows: &[(u64, &[f64])]) -> PointBlock {
+        let pts: Vec<Point> = rows
+            .iter()
+            .map(|(id, c)| Point::new(*id, c.to_vec()))
+            .collect();
+        PointBlock::from_points(&pts).unwrap()
+    }
+
+    #[test]
+    fn per_dimension_minima_always_selected() {
+        let b = block(&[
+            (0, &[0.1, 9.0]),
+            (1, &[9.0, 0.1]),
+            (2, &[5.0, 5.0]),
+            (3, &[8.0, 8.0]),
+        ]);
+        let f = select_filter_points(&b, 2);
+        assert_eq!(f.ids(), &[0, 1], "both axis minima chosen first");
+    }
+
+    #[test]
+    fn fillers_are_smallest_l1() {
+        let b = block(&[
+            (0, &[0.1, 9.0]),
+            (1, &[9.0, 0.1]),
+            (2, &[1.0, 1.0]), // L1 = 2, the strongest filler
+            (3, &[8.0, 8.0]),
+        ]);
+        let f = select_filter_points(&b, 3);
+        assert_eq!(f.ids(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_k_and_empty_input_yield_empty_block() {
+        let b = block(&[(0, &[1.0, 2.0])]);
+        assert!(select_filter_points(&b, 0).is_empty());
+        assert!(select_filter_points(&PointBlock::new(2), 4).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything() {
+        let b = block(&[(7, &[1.0, 2.0]), (3, &[2.0, 1.0])]);
+        let f = select_filter_points(&b, 10);
+        assert_eq!(f.ids(), &[3, 7], "ascending id order");
+    }
+
+    #[test]
+    fn selection_is_deterministic_under_ties() {
+        // identical coordinates: the smaller id must win every time
+        let b = block(&[(5, &[1.0, 1.0]), (2, &[1.0, 1.0]), (9, &[1.0, 1.0])]);
+        for _ in 0..3 {
+            let f = select_filter_points(&b, 1);
+            assert_eq!(f.ids(), &[2]);
+        }
+    }
+
+    #[test]
+    fn filter_never_drops_a_skyline_point() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let pts: Vec<Point> = (0..500)
+            .map(|i| {
+                Point::new(
+                    i,
+                    (0..3).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let b = PointBlock::from_points(&pts).unwrap();
+        let f = select_filter_points(&b, 8);
+        let sky = crate::seq::naive_skyline_ids(&pts);
+        for (id, coords) in b.iter() {
+            if filtered_out(&f, coords) {
+                assert!(!sky.contains(&id), "skyline point {id} was filtered");
+            }
+        }
+        // and the filter points themselves survive the sweep
+        for (id, coords) in f.iter() {
+            assert!(!filtered_out(&f, coords), "filter point {id} self-dropped");
+        }
+    }
+
+    #[test]
+    fn anti_correlated_data_filters_a_large_fraction() {
+        // Anti-correlated band around x + y = 1: minima + small-L1 points
+        // dominate most of the band's interior.
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts: Vec<Point> = (0..2000)
+            .map(|i| {
+                let x: f64 = rng.gen_range(0.0..1.0);
+                let noise: f64 = rng.gen_range(0.0..0.3);
+                Point::new(i, vec![x, (1.0 - x) + noise])
+            })
+            .collect();
+        let b = PointBlock::from_points(&pts).unwrap();
+        let f = select_filter_points(&b, 8);
+        let dropped = b.iter().filter(|(_, c)| filtered_out(&f, c)).count();
+        assert!(
+            dropped * 3 >= b.len(),
+            "expected at least a third dropped, got {dropped}/{}",
+            b.len()
+        );
+    }
+}

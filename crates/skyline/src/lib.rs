@@ -20,6 +20,8 @@
 //! * [`bnl`] — the Block-Nested-Loops skyline algorithm (Börzsönyi et al.,
 //!   ICDE 2001) with a bounded self-organising window and multi-pass overflow
 //!   handling; the paper uses BNL for both local and global skylines.
+//! * [`filter`] — deterministic filter-point selection for shuffle-side early
+//!   pruning (drop dominated rows before they are shuffled).
 //! * [`sfs`] — Sort-Filter-Skyline, an independent kernel used as an oracle in
 //!   tests and as an ablation baseline.
 //! * [`seq`] — a trivial quadratic reference implementation.
@@ -56,6 +58,7 @@ pub mod bnl;
 pub mod dnc;
 pub mod dominance;
 pub mod error;
+pub mod filter;
 pub mod hypersphere;
 pub mod incremental;
 pub mod invariants;
@@ -77,6 +80,7 @@ pub use bnl::{bnl_skyline, bnl_skyline_stats, BnlConfig, BnlStats};
 pub use dnc::{dnc_skyline, dnc_skyline_stats, DncStats};
 pub use dominance::{dominates, strictly_dominates, DomCounter, DomRelation};
 pub use error::SkylineError;
+pub use filter::{filtered_out, select_filter_points};
 pub use hypersphere::{to_hyperspherical, to_hyperspherical_into, HyperPoint};
 pub use kdominant::{k_dominant_skyline, k_dominates};
 pub use kernel::{
@@ -85,8 +89,8 @@ pub use kernel::{
 };
 pub use parallel::{parallel_skyline, parallel_skyline_partitioned, parallel_skyline_stats};
 pub use partition::{
-    AnglePartitioner, AxisProfile, BoundaryProfile, Bounds, DimPartitioner, GridPartitioner,
-    PartitionSpace, RandomPartitioner, SpacePartitioner,
+    witness_prunable, AnglePartitioner, AxisProfile, BoundaryProfile, Bounds, DimPartitioner,
+    GridPartitioner, PartitionSpace, RandomPartitioner, SpacePartitioner,
 };
 pub use point::Point;
 pub use progressive::ProgressiveSkyline;

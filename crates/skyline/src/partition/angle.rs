@@ -253,6 +253,16 @@ impl SpacePartitioner for AnglePartitioner {
             origin: Some(self.origin.clone()),
         }
     }
+
+    /// Angular sectors are radially unbounded, and the pre-transform clamp
+    /// lets raw coordinates sit below the fitted origin, so no finite
+    /// per-axis envelope exists. Returning an all-unbounded envelope (rather
+    /// than `None`) still unlocks witness pruning: the observed per-sector
+    /// minima supply the real corner.
+    fn sector_bounds(&self, partition: usize) -> Option<Vec<(f64, f64)>> {
+        assert!(partition < self.sectors, "partition index out of range");
+        Some(vec![(f64::NEG_INFINITY, f64::INFINITY); self.dim])
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,29 @@ impl SpacePartitioner for DimPartitioner {
             origin: None,
         }
     }
+
+    /// Slab envelope: the split dimension is bounded by the interior slab
+    /// boundaries (`±∞` at the edges, which absorb clamped points); every
+    /// other dimension is unconstrained.
+    fn sector_bounds(&self, partition: usize) -> Option<Vec<(f64, f64)>> {
+        assert!(
+            partition < self.num_partitions(),
+            "partition index out of range"
+        );
+        let lo = if partition == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.boundaries[partition - 1]
+        };
+        let hi = if partition == self.boundaries.len() {
+            f64::INFINITY
+        } else {
+            self.boundaries[partition]
+        };
+        let mut out = vec![(f64::NEG_INFINITY, f64::INFINITY); self.dim];
+        out[self.split_dim] = (lo, hi);
+        Some(out)
+    }
 }
 
 #[cfg(test)]

@@ -242,6 +242,22 @@ impl SpacePartitioner for GridPartitioner {
             origin: None,
         }
     }
+
+    /// Cell envelope: interior boundaries on the split dimensions, `±∞` at
+    /// the lattice edges (edge cells absorb clamped out-of-domain points)
+    /// and on any unsplit trailing dimension.
+    fn sector_bounds(&self, partition: usize) -> Option<Vec<(f64, f64)>> {
+        assert!(partition < self.cells, "partition index out of range");
+        let idx = delinearize(partition, &self.splits);
+        let mut out = Vec::with_capacity(self.dim);
+        for (bs, &k) in self.boundaries.iter().zip(&idx) {
+            let lo = if k == 0 { f64::NEG_INFINITY } else { bs[k - 1] };
+            let hi = if k == bs.len() { f64::INFINITY } else { bs[k] };
+            out.push((lo, hi));
+        }
+        out.resize(self.dim, (f64::NEG_INFINITY, f64::INFINITY));
+        Some(out)
+    }
 }
 
 #[cfg(test)]

@@ -260,6 +260,18 @@ pub trait SpacePartitioner: Send + Sync {
     fn boundary_profile(&self) -> BoundaryProfile {
         BoundaryProfile::opaque(self.name())
     }
+
+    /// Per-dimension `(lower, upper)` coordinate bounds of everything that
+    /// can be assigned to `partition` — the geometric envelope of the sector,
+    /// used for witness-based partition pruning. `±∞` entries are legal and
+    /// mean "unbounded on that side" (e.g. edge cells absorb clamped
+    /// out-of-domain points, angular sectors are radially unbounded).
+    /// `None` — the default, correct for any scheme — means the envelope is
+    /// unknown and the partition can never be pruned geometrically.
+    fn sector_bounds(&self, partition: usize) -> Option<Vec<(f64, f64)>> {
+        let _ = partition;
+        None
+    }
 }
 
 impl SpacePartitioner for std::sync::Arc<dyn SpacePartitioner> {
@@ -284,6 +296,68 @@ impl SpacePartitioner for std::sync::Arc<dyn SpacePartitioner> {
     fn boundary_profile(&self) -> BoundaryProfile {
         (**self).boundary_profile()
     }
+    fn sector_bounds(&self, partition: usize) -> Option<Vec<(f64, f64)>> {
+        (**self).sector_bounds(partition)
+    }
+}
+
+/// Witness-based partition pruning, sound for **any** partitioner exposing
+/// [`SpacePartitioner::sector_bounds`]: partition `h` can skip its
+/// local-skyline task iff some data point `w` assigned to a *different*
+/// partition dominates `h`'s best reachable corner — every point of `h` is
+/// then transitively dominated by `w`, which survives into `w`'s own local
+/// skyline (or is itself dominated by a surviving point there).
+///
+/// The corner of `h` is the componentwise **max** of the sector's geometric
+/// lower bounds and the observed per-partition coordinate minima
+/// (`observed_min[h]`, `None` for empty partitions): observed minima tighten
+/// unbounded (`−∞`) sector edges to something a witness can actually beat,
+/// while the geometric bound covers points a retry might re-route into the
+/// sector. Strict-somewhere dominance plus "witness lives elsewhere" makes
+/// mutual pruning impossible (antisymmetry), so applying the whole mask at
+/// once is sound.
+///
+/// `witnesses` are `(partition, coords)` pairs — in the pipeline, the
+/// broadcast filter points. Returns one flag per partition; empty partitions
+/// are never flagged (there is nothing to skip).
+pub fn witness_prunable(
+    partitioner: &dyn SpacePartitioner,
+    observed_min: &[Option<Vec<f64>>],
+    witnesses: &[(usize, Vec<f64>)],
+) -> Vec<bool> {
+    let n = partitioner.num_partitions();
+    let d = partitioner.dim();
+    assert_eq!(
+        observed_min.len(),
+        n,
+        "one observed-minima row per partition"
+    );
+    let mut mask = vec![false; n];
+    'parts: for (h, slot) in observed_min.iter().enumerate() {
+        let Some(mins) = slot else { continue }; // empty partition
+        let Some(sector) = partitioner.sector_bounds(h) else {
+            continue;
+        };
+        debug_assert_eq!(sector.len(), d);
+        let corner: Vec<f64> = (0..d).map(|i| sector[i].0.max(mins[i])).collect();
+        for (wp, w) in witnesses {
+            if *wp == h {
+                continue;
+            }
+            // w dominates the corner: w ≤ corner everywhere, < somewhere.
+            let mut any_lt = false;
+            let mut all_le = true;
+            for i in 0..d {
+                all_le &= w[i] <= corner[i];
+                any_lt |= w[i] < corner[i];
+            }
+            if all_le && any_lt {
+                mask[h] = true;
+                continue 'parts;
+            }
+        }
+    }
+    mask
 }
 
 /// Assigns every point to its partition index.
@@ -496,6 +570,143 @@ mod tests {
         let part = ByFirstCoord;
         assert_eq!(part.partition_of_row(9, &[0.5, 3.0]), 0);
         assert_eq!(part.partition_of_row(9, &[1.5, 3.0]), 1);
+    }
+
+    #[test]
+    fn sector_bounds_contain_assigned_points() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(47);
+        let pts: Vec<Point> = (0..400)
+            .map(|i| {
+                Point::new(
+                    i,
+                    (0..3).map(|_| rng.gen_range(0.0..9.0)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let bounds = Bounds::from_points(&pts).unwrap();
+        let parts: Vec<Box<dyn SpacePartitioner>> = vec![
+            Box::new(DimPartitioner::fit(&bounds, 6).unwrap()),
+            Box::new(GridPartitioner::fit(&bounds, 8).unwrap()),
+            Box::new(GridPartitioner::fit_on_dims(&bounds, 4, 2).unwrap()),
+            Box::new(AnglePartitioner::fit(&bounds, 8).unwrap()),
+        ];
+        for part in &parts {
+            for p in &pts {
+                let h = part.partition_of(p);
+                let sector = part
+                    .sector_bounds(h)
+                    .unwrap_or_else(|| panic!("{} exposes no envelope", part.name()));
+                assert_eq!(sector.len(), part.dim());
+                for (i, &(lo, hi)) in sector.iter().enumerate() {
+                    assert!(
+                        lo <= p.coord(i) && p.coord(i) <= hi,
+                        "{}: point {p:?} escapes partition {h} on dim {i} [{lo}, {hi}]",
+                        part.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_partitioner_exposes_no_envelope() {
+        let part = RandomPartitioner::new(3, 5).unwrap();
+        assert!(part.sector_bounds(0).is_none());
+    }
+
+    #[test]
+    fn witness_prunes_dominated_grid_corner() {
+        let g = GridPartitioner::fit(&Bounds::zero_to(2.0, 2), 4).unwrap();
+        let bl = g.partition_of_row(0, &[0.5, 0.5]);
+        let tr = g.partition_of_row(1, &[1.5, 1.5]);
+        let mut observed = vec![None; g.num_partitions()];
+        observed[bl] = Some(vec![0.5, 0.5]);
+        observed[tr] = Some(vec![1.5, 1.5]);
+        let mask = witness_prunable(&g, &observed, &[(bl, vec![0.5, 0.5])]);
+        assert!(mask[tr], "top-right corner is dominated by the witness");
+        assert!(!mask[bl], "the witness's own cell survives");
+    }
+
+    #[test]
+    fn witness_prunes_angular_sector_via_observed_minima() {
+        // The angular envelope is all-unbounded; pruning must come entirely
+        // from the observed per-sector minima.
+        let a = AnglePartitioner::fit(&Bounds::zero_to(10.0, 2), 4).unwrap();
+        let w = vec![0.5, 0.4];
+        let wp = a.partition_of_row(0, &w);
+        let victim = (wp + 1) % a.num_partitions();
+        let mut observed = vec![None; a.num_partitions()];
+        observed[wp] = Some(w.clone());
+        observed[victim] = Some(vec![5.0, 6.0]); // strictly worse everywhere
+        let mask = witness_prunable(&a, &observed, &[(wp, w)]);
+        assert!(mask[victim]);
+        assert!(!mask[wp]);
+    }
+
+    #[test]
+    fn witness_in_same_partition_prunes_nothing() {
+        let a = AnglePartitioner::fit(&Bounds::zero_to(10.0, 2), 4).unwrap();
+        let w = vec![0.5, 0.4];
+        let wp = a.partition_of_row(0, &w);
+        let mut observed = vec![None; a.num_partitions()];
+        observed[wp] = Some(vec![5.0, 6.0]);
+        let mask = witness_prunable(&a, &observed, &[(wp, w)]);
+        assert!(!mask[wp], "a witness cannot prune its own partition");
+    }
+
+    #[test]
+    fn witness_pruning_never_drops_a_skyline_point() {
+        use crate::filter::select_filter_points;
+        use crate::seq::naive_skyline_ids;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(53);
+        for trial in 0..5 {
+            let d = 2 + trial % 3;
+            let pts: Vec<Point> = (0..400)
+                .map(|i| {
+                    Point::new(
+                        i,
+                        (0..d).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let bounds = Bounds::from_points(&pts).unwrap();
+            let parts: Vec<Box<dyn SpacePartitioner>> = vec![
+                Box::new(DimPartitioner::fit(&bounds, 8).unwrap()),
+                Box::new(GridPartitioner::fit(&bounds, 8).unwrap()),
+                Box::new(AnglePartitioner::fit(&bounds, 8).unwrap()),
+            ];
+            let block = crate::block::PointBlock::from_points(&pts).unwrap();
+            let filter = select_filter_points(&block, 8);
+            for part in &parts {
+                let n = part.num_partitions();
+                let mut observed: Vec<Option<Vec<f64>>> = vec![None; n];
+                for p in &pts {
+                    let h = part.partition_of(p);
+                    let mins = observed[h].get_or_insert_with(|| p.coords().to_vec());
+                    for (m, &v) in mins.iter_mut().zip(p.coords()) {
+                        *m = m.min(v);
+                    }
+                }
+                let witnesses: Vec<(usize, Vec<f64>)> = filter
+                    .iter()
+                    .map(|(id, c)| (part.partition_of_row(id, c), c.to_vec()))
+                    .collect();
+                let mask = witness_prunable(part.as_ref(), &observed, &witnesses);
+                let sky = naive_skyline_ids(&pts);
+                for p in &pts {
+                    if mask[part.partition_of(p)] {
+                        assert!(
+                            !sky.contains(&p.id()),
+                            "{}: skyline point {} in pruned partition (trial {trial})",
+                            part.name(),
+                            p.id()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -270,6 +270,27 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ev.wall_us
                 ));
             }
+            EventKind::RowsFiltered { input, filtered } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"filter sweep\",\"cat\":\"pruning\",\"ts\":{},\"args\":{{\"input\":{input},\"filtered\":{filtered}}}",
+                    ev.wall_us
+                ));
+            }
+            EventKind::SectorPruned { partition, points } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"sector pruned p{partition}\",\"cat\":\"pruning\",\"ts\":{},\"args\":{{\"points\":{points}}}",
+                    ev.wall_us
+                ));
+            }
+            EventKind::MergeOverlap {
+                seconds,
+                candidates,
+            } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"merge overlap\",\"cat\":\"pruning\",\"ts\":{},\"args\":{{\"seconds\":{},\"candidates\":{candidates}}}",
+                    ev.wall_us, *seconds
+                ));
+            }
             EventKind::RunResumed { run } => {
                 // Process-scoped: the crash/resume boundary matters to every
                 // track, not just the chaos lane.
@@ -470,5 +491,40 @@ mod tests {
         assert!(text.contains("checkpoint restore p7"));
         assert!(text.contains("quarantine qws.txt:44"));
         assert!(text.contains("run resumed (attempt 2)"));
+    }
+
+    #[test]
+    fn pruning_events_become_instants() {
+        use EventKind::*;
+        let stream = vec![
+            ev(
+                0,
+                RowsFiltered {
+                    input: 1600,
+                    filtered: 900,
+                },
+            ),
+            ev(
+                1,
+                SectorPruned {
+                    partition: 5,
+                    points: 120,
+                },
+            ),
+            ev(
+                2,
+                MergeOverlap {
+                    seconds: 3.25,
+                    candidates: 640,
+                },
+            ),
+        ];
+        let text = to_chrome_trace(&stream);
+        json::parse(&text).unwrap();
+        assert!(text.contains("filter sweep"));
+        assert!(text.contains("\"filtered\":900"));
+        assert!(text.contains("sector pruned p5"));
+        assert!(text.contains("merge overlap"));
+        assert!(text.contains("\"seconds\":3.25"));
     }
 }

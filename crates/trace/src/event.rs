@@ -13,6 +13,7 @@
 //! | task lifecycle | `task_scheduled`, `task_launched`, `task_retried`, `task_speculated`, `task_finished` |
 //! | shuffle / DFS | `shuffle_partition`, `dfs_block_read` |
 //! | skyline | `kernel_run`, `partition_local_skyline` |
+//! | early pruning / streaming | `rows_filtered`, `sector_pruned`, `merge_overlap` |
 //! | ingest | `ingest_started`, `ingest_finished` |
 //! | chaos / recovery | `fault_injected`, `task_retry_exhausted`, `checkpoint_written`, `checkpoint_restored`, `record_quarantined`, `run_resumed` |
 //! | generic spans | `span_begin`, `span_end` |
@@ -220,6 +221,31 @@ pub enum EventKind {
         /// Whether dominated-cell pruning skipped the kernel entirely.
         pruned: bool,
     },
+    /// Map-side filter-point sweep summary: how many shuffle candidates the
+    /// broadcast filter block absorbed before they were shuffled.
+    RowsFiltered {
+        /// Rows entering the map-side sweep.
+        input: u64,
+        /// Rows dropped because a filter point dominates them.
+        filtered: u64,
+    },
+    /// A partition was skipped by witness-based sector pruning (its best
+    /// reachable corner is dominated by a filter point living elsewhere).
+    SectorPruned {
+        /// Partition id.
+        partition: u64,
+        /// Points routed into the pruned partition.
+        points: u64,
+    },
+    /// The streaming global merge overlapped the reduce phase: how much of
+    /// the merge work ran before the reduce barrier would have released it.
+    MergeOverlap {
+        /// Simulated seconds of merge execution credited as concurrent with
+        /// the reduce phase.
+        seconds: f64,
+        /// Candidate rows the streaming merge absorbed.
+        candidates: u64,
+    },
     /// Dataset ingestion began.
     IngestStarted {
         /// Source path or generator description.
@@ -317,6 +343,9 @@ impl EventKind {
             EventKind::DfsBlockRead { .. } => "dfs_block_read",
             EventKind::KernelRun { .. } => "kernel_run",
             EventKind::PartitionLocalSkyline { .. } => "partition_local_skyline",
+            EventKind::RowsFiltered { .. } => "rows_filtered",
+            EventKind::SectorPruned { .. } => "sector_pruned",
+            EventKind::MergeOverlap { .. } => "merge_overlap",
             EventKind::IngestStarted { .. } => "ingest_started",
             EventKind::IngestFinished { .. } => "ingest_finished",
             EventKind::FaultInjected { .. } => "fault_injected",
@@ -491,6 +520,16 @@ fn fields_of(kind: &EventKind) -> Vec<(&'static str, Field)> {
             ("output", U(*output)),
             ("pruned", B(*pruned)),
         ],
+        RowsFiltered { input, filtered } => {
+            vec![("input", U(*input)), ("filtered", U(*filtered))]
+        }
+        SectorPruned { partition, points } => {
+            vec![("partition", U(*partition)), ("points", U(*points))]
+        }
+        MergeOverlap {
+            seconds,
+            candidates,
+        } => vec![("seconds", F(*seconds)), ("candidates", U(*candidates))],
         IngestStarted { source } => vec![("source", S(source.clone()))],
         IngestFinished { services, rejected } => {
             vec![("services", U(*services)), ("rejected", U(*rejected))]
@@ -687,6 +726,18 @@ fn kind_from(v: &JsonValue, ty: &str) -> Result<EventKind, String> {
             output: req_u64(v, "output")?,
             pruned: req_bool(v, "pruned")?,
         },
+        "rows_filtered" => RowsFiltered {
+            input: req_u64(v, "input")?,
+            filtered: req_u64(v, "filtered")?,
+        },
+        "sector_pruned" => SectorPruned {
+            partition: req_u64(v, "partition")?,
+            points: req_u64(v, "points")?,
+        },
+        "merge_overlap" => MergeOverlap {
+            seconds: req_f64(v, "seconds")?,
+            candidates: req_u64(v, "candidates")?,
+        },
         "ingest_started" => IngestStarted {
             source: req_str(v, "source")?,
         },
@@ -816,6 +867,18 @@ mod tests {
                 input: 50,
                 output: 6,
                 pruned: false,
+            },
+            RowsFiltered {
+                input: 1600,
+                filtered: 900,
+            },
+            SectorPruned {
+                partition: 5,
+                points: 120,
+            },
+            MergeOverlap {
+                seconds: 3.25,
+                candidates: 640,
             },
             IngestStarted {
                 source: "data.csv".into(),

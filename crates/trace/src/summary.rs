@@ -122,6 +122,18 @@ pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
                 computed_partitions.clear();
                 restored_partitions.clear();
             }
+            EventKind::RowsFiltered { input, filtered } if filtered > input => {
+                errors.push(format!(
+                    "rows_filtered dropped {filtered} of only {input} rows (seq {})",
+                    ev.seq
+                ));
+            }
+            EventKind::MergeOverlap { seconds, .. } if !seconds.is_finite() || *seconds < 0.0 => {
+                errors.push(format!(
+                    "merge_overlap span {seconds} is not a non-negative finite duration (seq {})",
+                    ev.seq
+                ));
+            }
             _ => {}
         }
     }
@@ -212,6 +224,13 @@ pub struct TraceSummary {
     pub retries_exhausted: u64,
     /// Partition checkpoints written / restored.
     pub checkpoints: (u64, u64),
+    /// Map-side filter sweep totals: (rows entering, rows dropped).
+    pub filtered: (u64, u64),
+    /// Witness-based sector pruning: (partitions skipped, points skipped).
+    pub sectors_pruned: (u64, u64),
+    /// Streaming-merge overlap: (seconds concurrent with reduce, candidates
+    /// absorbed), summed across `merge_overlap` events.
+    pub merge_overlap: (f64, u64),
     /// Records quarantined to the dead-letter report.
     pub quarantined: u64,
     /// Crash-recovery resumes observed (`run_resumed` markers).
@@ -343,6 +362,21 @@ impl TraceSummary {
                 EventKind::CheckpointRestored { .. } => {
                     summary.checkpoints.1 += 1;
                 }
+                EventKind::RowsFiltered { input, filtered } => {
+                    summary.filtered.0 += input;
+                    summary.filtered.1 += filtered;
+                }
+                EventKind::SectorPruned { points, .. } => {
+                    summary.sectors_pruned.0 += 1;
+                    summary.sectors_pruned.1 += points;
+                }
+                EventKind::MergeOverlap {
+                    seconds,
+                    candidates,
+                } => {
+                    summary.merge_overlap.0 += seconds;
+                    summary.merge_overlap.1 += candidates;
+                }
                 EventKind::RecordQuarantined { .. } => {
                     summary.quarantined += 1;
                 }
@@ -444,6 +478,27 @@ impl TraceSummary {
             for (key, count) in &self.faults {
                 let _ = writeln!(out, "    {key:<28} {count}");
             }
+        }
+        if self.filtered.1 > 0 {
+            let _ = writeln!(
+                out,
+                "  filter points: {} of {} rows dropped map-side",
+                self.filtered.1, self.filtered.0
+            );
+        }
+        if self.sectors_pruned.0 > 0 {
+            let _ = writeln!(
+                out,
+                "  sector pruning: {} partition(s) skipped ({} points)",
+                self.sectors_pruned.0, self.sectors_pruned.1
+            );
+        }
+        if self.merge_overlap.1 > 0 {
+            let _ = writeln!(
+                out,
+                "  streaming merge: {:.2}s overlapped with reduce ({} candidates)",
+                self.merge_overlap.0, self.merge_overlap.1
+            );
         }
         if self.checkpoints != (0, 0) {
             let _ = writeln!(
@@ -790,6 +845,109 @@ mod tests {
         assert!(text.contains("1 retry budget(s) exhausted"));
         assert!(text.contains("checkpoints: 1 written, 1 restored"));
         assert!(text.contains("quarantined records: 1"));
+    }
+
+    #[test]
+    fn validator_checks_pruning_event_sanity() {
+        use EventKind::*;
+        let bad_filter = vec![ev(
+            0,
+            0,
+            RowsFiltered {
+                input: 10,
+                filtered: 11,
+            },
+        )];
+        assert!(validate_events(&bad_filter)
+            .iter()
+            .any(|e| e.contains("rows_filtered")));
+
+        let bad_overlap = vec![ev(
+            0,
+            0,
+            MergeOverlap {
+                seconds: -1.0,
+                candidates: 5,
+            },
+        )];
+        assert!(validate_events(&bad_overlap)
+            .iter()
+            .any(|e| e.contains("merge_overlap")));
+
+        let fine = vec![
+            ev(
+                0,
+                0,
+                RowsFiltered {
+                    input: 10,
+                    filtered: 10,
+                },
+            ),
+            ev(
+                1,
+                1,
+                SectorPruned {
+                    partition: 2,
+                    points: 30,
+                },
+            ),
+            ev(
+                2,
+                2,
+                MergeOverlap {
+                    seconds: 0.0,
+                    candidates: 0,
+                },
+            ),
+        ];
+        assert!(validate_events(&fine).is_empty());
+    }
+
+    #[test]
+    fn summary_aggregates_pruning_events() {
+        use EventKind::*;
+        let stream = vec![
+            ev(
+                0,
+                0,
+                RowsFiltered {
+                    input: 800,
+                    filtered: 500,
+                },
+            ),
+            ev(
+                1,
+                1,
+                RowsFiltered {
+                    input: 800,
+                    filtered: 300,
+                },
+            ),
+            ev(
+                2,
+                2,
+                SectorPruned {
+                    partition: 4,
+                    points: 120,
+                },
+            ),
+            ev(
+                3,
+                3,
+                MergeOverlap {
+                    seconds: 2.5,
+                    candidates: 64,
+                },
+            ),
+        ];
+        let summary = TraceSummary::from_events(&stream);
+        assert_eq!(summary.filtered, (1600, 800));
+        assert_eq!(summary.sectors_pruned, (1, 120));
+        assert_eq!(summary.merge_overlap, (2.5, 64));
+        let text = summary.render();
+        assert!(text.contains("filter points: 800 of 1600 rows dropped map-side"));
+        assert!(text.contains("sector pruning: 1 partition(s) skipped (120 points)"));
+        assert!(text.contains("streaming merge: 2.50s overlapped with reduce (64 candidates)"));
     }
 
     #[test]

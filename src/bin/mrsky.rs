@@ -81,6 +81,15 @@ USAGE:
 Any command accepting --data FILE also accepts --qws-file FILE to read the
 original QWS v2 dataset file (9 QoS columns + name + WSDL).
 
+Pruning knobs (skyline / compare / sweep):
+  --filter-k N            broadcast N filter points to the map tasks and drop
+                          dominated rows before the shuffle (default: 8*dims,
+                          at least 16)
+  --no-filter             disable the map-side filter sweep
+  --no-sector-prune       disable witness-based partition pruning
+  --streaming-merge       stream local skylines into the global merge as
+                          reduce tasks finish, removing the reduce barrier
+
 Observability (skyline / compare / sweep):
   --trace FILE            record a structured event trace of the run
   --trace-format FORMAT   jsonl (replayable, default) or chrome
@@ -146,6 +155,31 @@ fn chaos_opts(args: &[String]) -> Result<FaultPlan, String> {
         plan.kill_after_checkpoints = Some(n);
     }
     Ok(plan)
+}
+
+/// Parses the pruning knobs shared by `skyline`, `compare`, and `sweep`
+/// into an [`AlgoConfig`]: `--filter-k N` pins the broadcast filter size,
+/// `--no-filter` disables the map-side filter sweep, `--no-sector-prune`
+/// disables witness-based partition pruning, and `--streaming-merge`
+/// overlaps the global merge with job 1's reduce wave.
+fn pruning_opts(args: &[String]) -> Result<AlgoConfig, String> {
+    let mut config = AlgoConfig::default();
+    if let Some(k) = flag(args, "--filter-k") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("--filter-k expects an integer, got `{k}`"))?;
+        config.filter_k = Some(k);
+    }
+    if args.iter().any(|a| a == "--no-filter") {
+        config.filter_k = Some(0);
+    }
+    if args.iter().any(|a| a == "--no-sector-prune") {
+        config.sector_prune = false;
+    }
+    if args.iter().any(|a| a == "--streaming-merge") {
+        config.streaming_merge = true;
+    }
+    Ok(config)
 }
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
@@ -301,6 +335,7 @@ fn cmd_skyline(args: &[String]) -> Result<(), String> {
         );
     }
     let mut job = SkylineJob::new(algorithm, servers)
+        .with_config(pruning_opts(args)?)
         .with_force(force)
         .with_tracer(topts.tracer.clone())
         .with_chaos(chaos)
@@ -318,12 +353,19 @@ fn cmd_skyline(args: &[String]) -> Result<(), String> {
     })?;
     println!("{}", report.summary());
     println!(
-        "partitions: {} (load CV {:.2}, largest {}), pruned: {}",
+        "partitions: {} (load CV {:.2}, largest {}), pruned: {}, rows filtered: {}",
         report.partitions,
         report.load_balance.cv,
         report.load_balance.max,
-        report.pruned_partitions
+        report.pruned_partitions,
+        report.rows_filtered
     );
+    if report.merge_overlap_seconds > 0.0 {
+        println!(
+            "streaming merge overlapped {:.2}s of the reduce wave",
+            report.merge_overlap_seconds
+        );
+    }
     validate_report(&report, &data).map_err(|e| format!("result failed validation: {e}"))?;
     println!("validated against the independent oracle.");
     topts.finish()
@@ -333,8 +375,10 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let data = load_data(args)?;
     let servers = flag_servers(args)?;
     let topts = trace_opts(args)?;
+    let config = pruning_opts(args)?;
     for algorithm in Algorithm::paper_trio() {
         let report = SkylineJob::new(algorithm, servers)
+            .with_config(config.clone())
             .with_tracer(topts.tracer.clone())
             .run(&data);
         println!("{}", report.summary());
@@ -354,6 +398,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
     let json = args.iter().any(|a| a == "--json");
+    let config = pruning_opts(args)?;
     let topts = trace_opts(args)?;
     if !json {
         println!(
@@ -363,6 +408,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     for &n in &servers {
         let report = SkylineJob::new(algorithm, n)
+            .with_config(config.clone())
             .with_tracer(topts.tracer.clone())
             .run(&data);
         if json {

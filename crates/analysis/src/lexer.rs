@@ -1,0 +1,429 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! `mrsky-audit lint` used to match banned patterns against
+//! string-stripped *lines*, which broke on raw strings, multi-line
+//! literals, lifetimes vs char literals, and CRLF sources. This module
+//! tokenizes whole files instead so rules can match token *sequences*
+//! and look at real comments (for `SAFETY:` / `ORDERING:`
+//! justifications) without ever firing inside a literal.
+//!
+//! The lexer is deliberately small: it distinguishes identifiers,
+//! lifetimes, string/char/number literals, single-character
+//! punctuation, and comments. That is enough for every lint rule; it
+//! does not attempt full Rust lexical fidelity (e.g. it treats a raw
+//! identifier `r#match` as the punct `#` between two idents, which no
+//! rule cares about).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `panic`, `HashMap`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included in `text`).
+    Lifetime,
+    /// Any string literal: `"..."`, `b"..."`, `r"..."`, `r#"..."#`, ...
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'a'`.
+    Char,
+    /// A numeric literal (integers and floats, suffixes included).
+    Number,
+    /// A single punctuation character.
+    Punct,
+    /// A `// ...` comment (text includes the slashes, excludes the newline).
+    LineComment,
+    /// A `/* ... */` comment, nesting-aware (text includes delimiters).
+    BlockComment,
+}
+
+impl TokenKind {
+    /// Comments are skipped by pattern rules but searched for
+    /// `SAFETY:` / `ORDERING:` justifications.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed token, borrowing its text from the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    pub text: &'a str,
+}
+
+/// Tokenizes `src`. Never fails: malformed trailing input degrades to
+/// punct/ident tokens rather than an error, because the lint pass must
+/// keep going on files rustc would reject.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: usize,
+    out: Vec<Token<'a>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Byte length of the UTF-8 character starting with `b`.
+fn char_len(b: u8) -> usize {
+    match b {
+        _ if b < 0x80 => 1,
+        _ if b >> 5 == 0b110 => 2,
+        _ if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.i < self.bytes.len() {
+            let start = self.i;
+            let line = self.line;
+            let b = self.bytes[self.i];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                // `\r` covers CRLF sources; the `\n` right after it
+                // still advances the line counter.
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.i < self.bytes.len() && self.bytes[self.i] != b'\n' {
+                        self.i += 1;
+                    }
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.escaped_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.quote(start, line),
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ if is_ident_start(b) => self.ident_or_literal_prefix(start, line),
+                _ => {
+                    self.i += char_len(b);
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            line,
+            text: &self.src[start..self.i],
+        });
+    }
+
+    /// Consumes a nesting-aware `/* ... */`, `self.i` on the `/*`.
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.i < self.bytes.len() {
+            match (self.bytes[self.i], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Consumes a `"..."` with `\` escapes, `self.i` on the opening quote.
+    fn escaped_string(&mut self) {
+        self.i += 1;
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.i += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Consumes `r"..."` / `r#"..."#` bodies: no escapes, the literal
+    /// ends at `"` followed by `hashes` hash marks. `self.i` is on the
+    /// opening quote.
+    fn raw_string(&mut self, hashes: usize) {
+        self.i += 1;
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    let closed = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                    self.i += 1;
+                    if closed {
+                        self.i += hashes;
+                        return;
+                    }
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Disambiguates `'` between a lifetime and a char literal.
+    fn quote(&mut self, start: usize, line: usize) {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: '\n', '\'', '\u{1F600}'.
+                self.i += 3; // quote, backslash, escaped byte
+                while self.i < self.bytes.len() && self.bytes[self.i] != b'\'' {
+                    self.i += 1;
+                }
+                self.i = (self.i + 1).min(self.bytes.len());
+                self.push(TokenKind::Char, start, line);
+            }
+            Some(b) if is_ident_start(b) => {
+                // Either 'a' (char) or 'a / 'static (lifetime): scan the
+                // ident run and look for a closing quote right after it.
+                let mut j = self.i + 1;
+                while j < self.bytes.len() && is_ident_char(self.bytes[j]) {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.push(TokenKind::Char, start, line);
+                } else {
+                    self.i = j;
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '{' or '['.
+                self.i += 2;
+                while self.i < self.bytes.len() && self.bytes[self.i] != b'\'' {
+                    self.i += char_len(self.bytes[self.i]);
+                }
+                self.i = (self.i + 1).min(self.bytes.len());
+                self.push(TokenKind::Char, start, line);
+            }
+            None => {
+                self.i += 1;
+                self.push(TokenKind::Punct, start, line);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        while self.i < self.bytes.len() {
+            let b = self.bytes[self.i];
+            if is_ident_char(b) {
+                self.i += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // Float like 1.5 — but never swallow `..` range syntax.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier — unless it is the prefix of a string/char literal
+    /// (`r"..."`, `b"..."`, `br#"..."#`, `b'x'`).
+    fn ident_or_literal_prefix(&mut self, start: usize, line: usize) {
+        while self.i < self.bytes.len() && is_ident_char(self.bytes[self.i]) {
+            self.i += 1;
+        }
+        let ident = &self.src[start..self.i];
+        let raw_prefix = matches!(ident, "r" | "br" | "cr");
+        let plain_prefix = matches!(ident, "b" | "c");
+        match self.bytes.get(self.i) {
+            Some(b'"') if raw_prefix => {
+                self.raw_string(0);
+                self.push(TokenKind::Str, start, line);
+            }
+            Some(b'"') if plain_prefix => {
+                self.escaped_string();
+                self.push(TokenKind::Str, start, line);
+            }
+            Some(b'#') if raw_prefix => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    self.i += hashes;
+                    self.raw_string(hashes);
+                    self.push(TokenKind::Str, start, line);
+                } else {
+                    // A raw identifier like `r#match`: emit the prefix
+                    // ident; the `#` lexes as punct on the next pass.
+                    self.push(TokenKind::Ident, start, line);
+                }
+            }
+            Some(b'\'') if ident == "b" && self.peek(1) != Some(b'\'') => {
+                // Byte char b'x' — but not `b'` followed by a lifetime
+                // position (impossible in valid Rust after an ident).
+                let q = self.i;
+                self.quote(q, line);
+                // quote() pushed a Char token for just 'x'; widen it to
+                // include the b prefix.
+                if let Some(last) = self.out.last_mut() {
+                    last.text = &self.src[start..q + last.text.len()];
+                }
+            }
+            _ => self.push(TokenKind::Ident, start, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = tokenize("fn f() {\n  x.y\n}\n");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 1, 1, 1, 1, 2, 2, 2, 3]);
+        assert_eq!(toks[5].text, "x");
+        assert_eq!(toks[6].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = kinds("let s = \".unwrap() // not a comment\";");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains(".unwrap()")));
+        assert!(!toks.iter().any(|(k, _)| k.is_comment()));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds("let s = r#\"panic!(\"inner\")\"#; done");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|(_, t)| *t == "done"));
+        let toks = kinds("r\"no hashes\" b\"bytes\" br#\"both\"#");
+        assert!(toks.iter().all(|(k, _)| *k == TokenKind::Str));
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { m['{'] = '\\n'; let l: &'static str; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec!["'{'", "'\\n'"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let toks = tokenize("a /* one /* two */ still */ b\nc");
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert_eq!(toks[2].text, "b");
+        assert_eq!(toks[3].line, 2);
+    }
+
+    #[test]
+    fn crlf_sources_lex_cleanly() {
+        let toks = tokenize("fn f() {\r\n  g();\r\n}\r\n");
+        assert!(toks.iter().all(|t| !t.text.contains('\r')));
+        let g = toks.iter().find(|t| t.text == "g");
+        assert_eq!(g.map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn byte_char_and_numbers() {
+        let toks = kinds("let x = b'a'; let y = 0x00ff_u64; let z = 1.5;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "b'a'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "0x00ff_u64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "1.5"));
+    }
+
+    #[test]
+    fn range_syntax_is_not_a_float() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "10"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Punct && *t == ".")
+                .count(),
+            2
+        );
+    }
+}

@@ -10,14 +10,17 @@
 //!    settings. Findings carry stable `MRA0xx` codes ([`diag::Code`]) so
 //!    both the driver (`SkylineJob::run` refuses error-level plans) and CI
 //!    can gate on them.
-//! 2. **Source lint pass** ([`lint::run_lint`]): scans workspace sources
-//!    for banned patterns (`unwrap`/`expect`/`panic!` in library code,
-//!    lossy index casts, non-deterministic `HashMap` state in runtime
-//!    crates) against a ratchet-down allowlist.
+//! 2. **Source lint pass** ([`lint::run_lint`]): lexes workspace sources
+//!    ([`lexer`]) and matches banned *token sequences*
+//!    (`unwrap`/`expect`/`panic!` in library code, lossy index casts,
+//!    non-deterministic `HashMap` state, wall-clock reads, undocumented
+//!    `unsafe`, unjustified `Ordering::Relaxed`, raw `std::sync` in the
+//!    model-checked crates) against a ratchet-down allowlist.
 //!
 //! The `mrsky-audit` binary fronts both layers for CI and ad-hoc use.
 
 pub mod diag;
+pub mod lexer;
 pub mod lint;
 pub mod plan;
 

@@ -1,6 +1,9 @@
 //! The workspace lint pass (`mrsky-audit lint`).
 //!
-//! Scans non-test library source for patterns this workspace bans:
+//! Rules match *token sequences* from [`crate::lexer`], never raw text,
+//! so a banned pattern inside a string literal, raw string, char
+//! literal, or comment can never fire. Comments are still lexed —
+//! they are where `SAFETY:` and `ORDERING:` justifications live.
 //!
 //! | rule | pattern | why |
 //! |---|---|---|
@@ -9,14 +12,20 @@
 //! | `no-panic` | `panic!(` | explicit aborts belong in binaries and tests only |
 //! | `lossy-index-cast` | `as usize` inside `[...]` index arithmetic | silently truncates on 32-bit targets and hides overflow |
 //! | `hashmap-state` | `HashMap` in `mini-mapreduce`/`mr-skyline` | iteration order is non-deterministic; reduce/merge paths must use `BTreeMap` |
+//! | `unsafe-needs-safety-comment` | `unsafe` without a `SAFETY:` comment nearby | every unsafe block must say why it is sound |
+//! | `no-wall-clock` | `Instant::now` / `SystemTime::now` in runtime crates | timestamps must come from an injected [`EpochClock`](../trace) so runs replay deterministically |
+//! | `relaxed-ordering-audit` | `Ordering::Relaxed` outside a pure counter | needs an `// ORDERING:` comment justifying why relaxed is enough |
+//! | `raw-sync-primitive` | `std::sync` primitives in facaded crates | the four model-checked crates must go through `mrsky_model::sync` |
 //!
-//! Lines inside `#[cfg(test)]` modules are exempt (tests may assert
+//! Tokens inside `#[cfg(test)]` regions are exempt (tests may assert
 //! freely). Existing debt is recorded in an allowlist file
 //! (`lint-baseline.txt` at the workspace root) mapping `rule file count`;
 //! a file may never *exceed* its allowance, and when it drops below, the
 //! pass asks for the allowance to be ratcheted down so the debt cannot
-//! grow back.
+//! grow back. With `--enforce-ratchet` (on in CI), an un-ratcheted or
+//! stale allowance fails the run outright.
 
+use crate::lexer::{tokenize, Token, TokenKind};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -49,9 +58,19 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// `true` when the pass should fail CI.
+    /// `true` when there are no violations. Ratchet advice and stale
+    /// allowances do NOT fail this check — use [`Self::is_clean_strict`]
+    /// (the CI mode) for that.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// `true` only when there are no violations, no over-generous
+    /// allowances waiting to be ratcheted down, and no stale allowlist
+    /// entries. This is what `--enforce-ratchet` checks: debt may never
+    /// silently grow back into the slack of an old allowance.
+    pub fn is_clean_strict(&self) -> bool {
+        self.violations.is_empty() && self.ratchet.is_empty() && self.stale_allowances.is_empty()
     }
 
     /// Human rendering of violations and ratchet advice.
@@ -109,7 +128,10 @@ impl LintReport {
 pub struct LintConfig {
     /// Workspace root to scan (`crates/*/src` and `src/` below it).
     pub root: PathBuf,
-    /// Allowlist file; missing file means zero allowances.
+    /// Allowlist file. `Some(path)` that does not exist is an error —
+    /// a missing baseline must fail loudly, not silently allow nothing
+    /// (or worse, silently pass a `--enforce-ratchet` run). `None`
+    /// means "no allowances", used by `--print-baseline` regeneration.
     pub allowlist: Option<PathBuf>,
 }
 
@@ -159,164 +181,331 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Strips string literals, char literals with escapes, and comments from a
-/// line so pattern matching cannot fire inside them. Block-comment state
-/// carries across lines via `in_block_comment`.
-fn sanitize(line: &str, in_block_comment: &mut bool) -> String {
-    let bytes = line.as_bytes();
-    let mut out = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block_comment {
-            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            b'"' => {
-                // String literal: skip to the closing quote, honouring \".
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                out.push_str("\"\"");
-            }
-            b'\'' if i + 2 < bytes.len() && bytes[i + 1] == b'\\' => {
-                // Escaped char literal like '\n'.
-                i += 2;
-                while i < bytes.len() && bytes[i] != b'\'' {
-                    i += 1;
-                }
-                i += 1;
-                out.push_str("' '");
-            }
-            b'\'' if i + 2 < bytes.len() && bytes[i + 2] == b'\'' => {
-                // Plain char literal like '{' — three bytes exactly.
-                out.push_str("' '");
-                i += 3;
-            }
-            c => {
-                out.push(c as char);
-                i += 1;
-            }
-        }
-    }
-    out
+/// Crates whose runtime sources may never read the wall clock: their
+/// timestamps must flow through an injected `EpochClock`, so simulated
+/// runs replay bit-identically. The CLI binary (root `src/`) is the
+/// outermost real-time consumer and stays out of scope, as do the
+/// bench/analysis tools.
+const WALL_CLOCK_SCOPE: &[&str] = &[
+    "crates/trace/",
+    "crates/mapreduce/",
+    "crates/skyline/",
+    "crates/chaos/",
+    "crates/core/",
+    "crates/qws/",
+    "crates/model/",
+];
+
+/// The four crates refactored onto the `mrsky_model::sync` facade: any
+/// direct `std::sync` primitive here silently escapes the model
+/// checker's schedule control.
+const RAW_SYNC_SCOPE: &[&str] = &[
+    "crates/trace/",
+    "crates/mapreduce/",
+    "crates/skyline/",
+    "crates/chaos/",
+];
+
+/// `std::sync` leaves that carry no scheduling behavior of their own
+/// and are fine to use directly even in facaded crates.
+const ALLOWED_SYNC_LEAVES: &[&str] = &["Arc", "Weak", "OnceLock", "LazyLock"];
+
+/// `Ordering::Relaxed` is exempt when it parameterizes a pure counter
+/// bump on the same line (`fetch_add`/`fetch_sub`) — the canonical
+/// can't-go-wrong use — otherwise it needs a justification comment.
+const COUNTER_OPS: &[&str] = &["fetch_add", "fetch_sub"];
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_LOOKBACK_LINES: usize = 6;
+/// How many lines above `Ordering::Relaxed` an `ORDERING:` comment may sit.
+const ORDERING_LOOKBACK_LINES: usize = 3;
+
+fn in_scope(rel: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| rel.starts_with(p))
 }
 
+/// Scans one file's token stream, appending findings.
 fn scan_file(rel: &str, text: &str, findings: &mut Vec<LintFinding>) {
-    let mut in_block_comment = false;
-    // Depth of the brace nesting; when a `#[cfg(test)]` attribute is seen,
-    // the next opening brace starts an exempt region that ends when depth
-    // returns to its pre-region value.
-    let mut depth: i64 = 0;
-    let mut pending_test_attr = false;
-    let mut test_region_floor: Option<i64> = None;
+    let tokens = tokenize(text);
+    // Indices of non-comment tokens: rules match sequences over these,
+    // while comment tokens stay addressable for justification lookups.
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.kind.is_comment())
+        .map(|(i, _)| i)
+        .collect();
+    let lines: Vec<&str> = text.lines().collect();
 
-    for (ln, raw) in text.lines().enumerate() {
-        let line = sanitize(raw, &mut in_block_comment);
-        let trimmed = line.trim();
+    let mut scan = FileScan {
+        rel,
+        tokens: &tokens,
+        code: &code,
+        lines: &lines,
+        findings,
+    };
+    scan.walk();
+}
 
-        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(all(test") {
-            pending_test_attr = true;
-        }
+struct FileScan<'a, 'src> {
+    rel: &'a str,
+    tokens: &'a [Token<'src>],
+    /// Indices into `tokens` of the non-comment tokens.
+    code: &'a [usize],
+    lines: &'a [&'src str],
+    findings: &'a mut Vec<LintFinding>,
+}
 
-        let in_test = test_region_floor.is_some();
-        if !in_test {
-            check_line(rel, ln + 1, &line, raw, findings);
-        }
+impl FileScan<'_, '_> {
+    /// The `k`-th code token after position `j` (0 = the token at `j`).
+    fn at(&self, j: usize, k: usize) -> Option<&Token<'_>> {
+        self.code.get(j + k).map(|&i| &self.tokens[i])
+    }
 
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    if pending_test_attr && test_region_floor.is_none() {
-                        test_region_floor = Some(depth);
-                        pending_test_attr = false;
+    fn is_punct(&self, j: usize, k: usize, text: &str) -> bool {
+        self.at(j, k)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+    }
+
+    fn is_ident(&self, j: usize, k: usize, text: &str) -> bool {
+        self.at(j, k)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+    }
+
+    /// `::` as two `:` puncts.
+    fn is_path_sep(&self, j: usize, k: usize) -> bool {
+        self.is_punct(j, k, ":") && self.is_punct(j, k + 1, ":")
+    }
+
+    fn push(&mut self, rule: &'static str, line: usize) {
+        let excerpt = self
+            .lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim_end_matches('\r').trim().chars().take(90).collect())
+            .unwrap_or_default();
+        self.findings.push(LintFinding {
+            rule,
+            file: self.rel.to_string(),
+            line,
+            excerpt,
+        });
+    }
+
+    /// `true` if any comment containing `needle` appears on lines
+    /// `[line - back, line]` — justification comments may sit a few
+    /// lines above the code they justify, or trail it on the same line.
+    fn comment_near(&self, line: usize, back: usize, needle: &str) -> bool {
+        let lo = line.saturating_sub(back);
+        self.tokens.iter().any(|t| {
+            t.kind.is_comment() && t.line >= lo && t.line <= line && t.text.contains(needle)
+        })
+    }
+
+    /// `true` if a code ident in `names` appears on exactly `line`.
+    fn ident_on_line(&self, line: usize, names: &[&str]) -> bool {
+        self.code.iter().any(|&i| {
+            let t = &self.tokens[i];
+            t.line == line && t.kind == TokenKind::Ident && names.contains(&t.text)
+        })
+    }
+
+    fn walk(&mut self) {
+        let mut depth: i64 = 0;
+        let mut sq_depth: i64 = 0;
+        // A `#[cfg(test)]` attribute exempts tokens up to the end of the
+        // item it decorates: through the matching `}` of the block it
+        // opens, or through the `;` of a block-less item.
+        let mut pending_test_attr = false;
+        let mut test_region_floor: Option<i64> = None;
+
+        let mut j = 0;
+        while j < self.code.len() {
+            // Attributes are skipped wholesale: their brackets must not
+            // count toward index depth, and nothing inside one is a
+            // runtime pattern. `#[cfg(test)]`-style attributes arm the
+            // test exemption, however many lines they span.
+            if self.is_punct(j, 0, "#") {
+                let bracket_at = if self.is_punct(j, 1, "[") {
+                    Some(1)
+                } else if self.is_punct(j, 1, "!") && self.is_punct(j, 2, "[") {
+                    Some(2)
+                } else {
+                    None
+                };
+                if let Some(off) = bracket_at {
+                    let (end, is_test) = self.scan_attribute(j + off);
+                    if is_test {
+                        pending_test_attr = true;
                     }
-                    depth += 1;
+                    j = end + 1;
+                    continue;
                 }
-                '}' => {
-                    depth -= 1;
-                    if test_region_floor == Some(depth) {
-                        test_region_floor = None;
+            }
+
+            let in_test = test_region_floor.is_some() || pending_test_attr;
+            if !in_test {
+                self.rules_at(j, sq_depth);
+            }
+
+            if let Some(t) = self.at(j, 0) {
+                if t.kind == TokenKind::Punct {
+                    match t.text {
+                        "{" => {
+                            if pending_test_attr && test_region_floor.is_none() {
+                                test_region_floor = Some(depth);
+                                pending_test_attr = false;
+                            }
+                            depth += 1;
+                        }
+                        "}" => {
+                            depth -= 1;
+                            if test_region_floor == Some(depth) {
+                                test_region_floor = None;
+                            }
+                        }
+                        "[" => sq_depth += 1,
+                        "]" => sq_depth -= 1,
+                        ";" if test_region_floor.is_none() => pending_test_attr = false,
+                        _ => {}
                     }
                 }
+            }
+            j += 1;
+        }
+    }
+
+    /// Scans a balanced `[...]` attribute starting at code position
+    /// `open` (the `[`). Returns the position of the closing `]` and
+    /// whether the attribute is a test gate — it mentions `cfg` and
+    /// `test` without `not`, covering `#[cfg(test)]` and
+    /// `#[cfg(all(test, ...))]` but not `#[cfg(not(test))]`.
+    fn scan_attribute(&self, open: usize) -> (usize, bool) {
+        let mut bd = 0i64;
+        let (mut saw_cfg, mut saw_test, mut saw_not) = (false, false, false);
+        let mut m = open;
+        while m < self.code.len() {
+            let t = &self.tokens[self.code[m]];
+            match (t.kind, t.text) {
+                (TokenKind::Punct, "[") => bd += 1,
+                (TokenKind::Punct, "]") => {
+                    bd -= 1;
+                    if bd == 0 {
+                        break;
+                    }
+                }
+                (TokenKind::Ident, "cfg") => saw_cfg = true,
+                (TokenKind::Ident, "test") => saw_test = true,
+                (TokenKind::Ident, "not") => saw_not = true,
                 _ => {}
             }
+            m += 1;
         }
-        // An attribute that never reached a brace on a later line (e.g.
-        // `#[cfg(test)] use ...;`) stays pending only until an item ends.
-        if pending_test_attr && trimmed.ends_with(';') {
-            pending_test_attr = false;
+        (m, saw_cfg && saw_test && !saw_not)
+    }
+
+    /// Applies every rule anchored at code position `j`.
+    fn rules_at(&mut self, j: usize, sq_depth: i64) {
+        let Some(t) = self.at(j, 0) else { return };
+        let (kind, text, line) = (t.kind, t.text, t.line);
+
+        if kind == TokenKind::Punct && text == "." {
+            if self.is_ident(j, 1, "unwrap") && self.is_punct(j, 2, "(") {
+                self.push("no-unwrap", line);
+            } else if self.is_ident(j, 1, "expect") && self.is_punct(j, 2, "(") {
+                self.push("no-expect", line);
+            }
+            return;
         }
-    }
-}
-
-fn check_line(rel: &str, line_no: usize, line: &str, raw: &str, findings: &mut Vec<LintFinding>) {
-    let mut push = |rule: &'static str| {
-        findings.push(LintFinding {
-            rule,
-            file: rel.to_string(),
-            line: line_no,
-            excerpt: raw.trim().chars().take(90).collect(),
-        });
-    };
-    if line.contains(".unwrap()") {
-        push("no-unwrap");
-    }
-    if line.contains(".expect(") {
-        push("no-expect");
-    }
-    if line.contains("panic!(") && !line.contains("should_panic") {
-        push("no-panic");
-    }
-    if has_cast_inside_index(line) {
-        push("lossy-index-cast");
-    }
-    if line.contains("HashMap")
-        && (rel.starts_with("crates/mapreduce/") || rel.starts_with("crates/core/"))
-    {
-        push("hashmap-state");
-    }
-}
-
-/// `true` if an `as usize`/`as isize` cast occurs while inside `[...]` on
-/// this line — index arithmetic that silently truncates.
-fn has_cast_inside_index(line: &str) -> bool {
-    let mut bracket_depth = 0i32;
-    let bytes = line.as_bytes();
-    for i in 0..bytes.len() {
-        match bytes[i] {
-            b'[' => bracket_depth += 1,
-            b']' => bracket_depth -= 1,
-            b'a' if bracket_depth > 0 => {
-                let rest = &line[i..];
-                if (rest.starts_with("as usize") || rest.starts_with("as isize"))
-                    && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'(')
-                {
-                    return true;
+        if kind != TokenKind::Ident {
+            return;
+        }
+        match text {
+            "panic" if self.is_punct(j, 1, "!") => self.push("no-panic", line),
+            "as" if sq_depth > 0
+                && (self.is_ident(j, 1, "usize") || self.is_ident(j, 1, "isize")) =>
+            {
+                self.push("lossy-index-cast", line);
+            }
+            "HashMap"
+                if self.rel.starts_with("crates/mapreduce/")
+                    || self.rel.starts_with("crates/core/") =>
+            {
+                self.push("hashmap-state", line);
+            }
+            "Instant" | "SystemTime"
+                if in_scope(self.rel, WALL_CLOCK_SCOPE)
+                    && self.is_path_sep(j, 1)
+                    && self.is_ident(j, 3, "now") =>
+            {
+                self.push("no-wall-clock", line);
+            }
+            "unsafe" if !self.comment_near(line, SAFETY_LOOKBACK_LINES, "SAFETY:") => {
+                self.push("unsafe-needs-safety-comment", line);
+            }
+            "Ordering" if self.is_path_sep(j, 1) && self.is_ident(j, 3, "Relaxed") => {
+                let pure_counter = self.ident_on_line(line, COUNTER_OPS);
+                let justified = self.comment_near(line, ORDERING_LOOKBACK_LINES, "ORDERING:");
+                if !pure_counter && !justified {
+                    self.push("relaxed-ordering-audit", line);
                 }
+            }
+            "std"
+                if in_scope(self.rel, RAW_SYNC_SCOPE)
+                    && self.is_path_sep(j, 1)
+                    && self.is_ident(j, 3, "sync")
+                    && self.is_path_sep(j, 4) =>
+            {
+                self.raw_sync_at(j + 6);
+            }
+            "parking_lot" | "crossbeam" if in_scope(self.rel, RAW_SYNC_SCOPE) => {
+                self.push("raw-sync-primitive", line);
             }
             _ => {}
         }
     }
-    false
+
+    /// Flags disallowed segments after `std::sync::` at code position
+    /// `j`: a bare segment (`std::sync::Mutex`, `std::sync::atomic`) or
+    /// the first-level segments of a brace group
+    /// (`std::sync::{Arc, Mutex}` flags `Mutex` only).
+    fn raw_sync_at(&mut self, j: usize) {
+        let Some(t) = self.at(j, 0) else { return };
+        if t.kind == TokenKind::Ident {
+            if !ALLOWED_SYNC_LEAVES.contains(&t.text) {
+                self.push("raw-sync-primitive", t.line);
+            }
+            return;
+        }
+        if !(t.kind == TokenKind::Punct && t.text == "{") {
+            return;
+        }
+        let mut bd = 0i64;
+        let mut k = j;
+        let mut segment_head = false;
+        while let Some(t) = self.at(k, 0) {
+            match (t.kind, t.text) {
+                (TokenKind::Punct, "{") => {
+                    bd += 1;
+                    segment_head = bd == 1;
+                }
+                (TokenKind::Punct, "}") => {
+                    bd -= 1;
+                    if bd == 0 {
+                        return;
+                    }
+                }
+                (TokenKind::Punct, ",") => segment_head = bd == 1,
+                (TokenKind::Ident, name) if segment_head => {
+                    segment_head = false;
+                    if name != "self" && !ALLOWED_SYNC_LEAVES.contains(&name) {
+                        self.push("raw-sync-primitive", t.line);
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
 }
 
 fn apply_allowlist(config: &LintConfig, report: &mut LintReport) -> io::Result<()> {
@@ -324,21 +513,28 @@ fn apply_allowlist(config: &LintConfig, report: &mut LintReport) -> io::Result<(
 
     let mut allowed: BTreeMap<(String, String), usize> = BTreeMap::new();
     if let Some(path) = &config.allowlist {
-        if path.is_file() {
-            for raw in fs::read_to_string(path)?.lines() {
-                let line = raw.trim();
-                if line.is_empty() || line.starts_with('#') {
-                    continue;
-                }
-                let mut parts = line.split_whitespace();
-                let (Some(rule), Some(file), Some(count)) =
-                    (parts.next(), parts.next(), parts.next())
-                else {
-                    continue;
-                };
-                if let Ok(n) = count.parse::<usize>() {
-                    allowed.insert((rule.to_string(), file.to_string()), n);
-                }
+        if !path.is_file() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "allowlist {} does not exist — a missing baseline must fail, \
+                     not silently allow nothing; regenerate it with --print-baseline",
+                    path.display()
+                ),
+            ));
+        }
+        for raw in fs::read_to_string(path)?.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            if let Ok(n) = count.parse::<usize>() {
+                allowed.insert((rule.to_string(), file.to_string()), n);
             }
         }
     }
@@ -375,22 +571,14 @@ fn apply_allowlist(config: &LintConfig, report: &mut LintReport) -> io::Result<(
 mod tests {
     use super::*;
 
-    #[test]
-    fn sanitize_strips_strings_and_comments() {
-        let mut blk = false;
-        assert_eq!(sanitize("let x = 1; // .unwrap()", &mut blk), "let x = 1; ");
-        assert_eq!(
-            sanitize("let s = \".unwrap()\";", &mut blk),
-            "let s = \"\";"
-        );
-        assert!(!blk);
-        let s = sanitize("a /* .unwrap()", &mut blk);
-        assert_eq!(s, "a ");
-        assert!(blk);
-        let s = sanitize(".unwrap() */ b", &mut blk);
-        assert_eq!(s, " b");
-        assert!(!blk);
-        assert_eq!(sanitize("m['{'] = 1;", &mut blk), "m[' '] = 1;");
+    fn scan(rel: &str, src: &str) -> Vec<LintFinding> {
+        let mut findings = Vec::new();
+        scan_file(rel, src, &mut findings);
+        findings
+    }
+
+    fn rules(findings: &[LintFinding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
     }
 
     #[test]
@@ -412,41 +600,198 @@ fn after_tests() {
     let z = maybe().unwrap();
 }
 ";
-        let mut findings = Vec::new();
-        scan_file("crates/x/src/lib.rs", src, &mut findings);
-        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        let findings = scan("crates/x/src/lib.rs", src);
         assert_eq!(
-            rules,
+            rules(&findings),
             vec!["no-unwrap", "no-expect", "no-panic", "no-unwrap"]
         );
         assert_eq!(findings[3].line, 14);
     }
 
     #[test]
+    fn patterns_inside_strings_and_comments_do_not_fire() {
+        let src = "\
+fn lib() {
+    let a = \"calls .unwrap() and panic!(now)\";
+    let b = r#\"raw .expect(\"x\") body\"#;
+    // a comment mentioning .unwrap() and panic!(
+    /* block comment:
+       .expect(\"still a comment\") */
+    let c = 'p'; // char literal is not the start of panic!(
+}
+";
+        let findings = scan("crates/x/src/lib.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn multi_line_cfg_test_attribute_exempts_its_block() {
+        let src = "\
+#[cfg(
+    test
+)]
+mod tests {
+    fn t() {
+        x().unwrap();
+    }
+}
+fn lib() {
+    y().unwrap();
+}
+";
+        let findings = scan("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&findings), vec!["no-unwrap"]);
+        assert_eq!(findings[0].line, 10);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_an_exemption() {
+        let src = "\
+#[cfg(not(test))]
+fn lib() {
+    y().unwrap();
+}
+";
+        let findings = scan("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&findings), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn crlf_sources_scan_identically() {
+        let lf = "fn lib() {\n    a().unwrap();\n}\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let from_lf = scan("crates/x/src/lib.rs", lf);
+        let from_crlf = scan("crates/x/src/lib.rs", &crlf);
+        assert_eq!(from_lf, from_crlf);
+        assert_eq!(rules(&from_lf), vec!["no-unwrap"]);
+        assert!(!from_crlf[0].excerpt.contains('\r'));
+    }
+
+    #[test]
     fn index_cast_detection() {
-        assert!(has_cast_inside_index("let x = arr[i as usize];"));
-        assert!(has_cast_inside_index("buf[(k * 2) as usize] = 0;"));
-        assert!(!has_cast_inside_index("let x = i as usize;"));
-        assert!(!has_cast_inside_index("let y = arr[i];"));
+        let hit = scan("crates/x/src/a.rs", "fn f() { let x = arr[i as usize]; }");
+        assert_eq!(rules(&hit), vec!["lossy-index-cast"]);
+        let hit = scan("crates/x/src/a.rs", "fn f() { buf[(k * 2) as usize] = 0; }");
+        assert_eq!(rules(&hit), vec!["lossy-index-cast"]);
+        assert!(scan("crates/x/src/a.rs", "fn f() { let x = i as usize; }").is_empty());
+        assert!(scan("crates/x/src/a.rs", "fn f() { let y = arr[i]; }").is_empty());
     }
 
     #[test]
     fn hashmap_rule_scopes_to_runtime_crates() {
-        let mut findings = Vec::new();
-        scan_file(
+        let findings = scan(
             "crates/mapreduce/src/x.rs",
             "use std::collections::HashMap;\n",
-            &mut findings,
         );
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "hashmap-state");
-        findings.clear();
-        scan_file(
+        assert_eq!(rules(&findings), vec!["hashmap-state"]);
+        assert!(scan(
             "crates/skyline/src/x.rs",
-            "use std::collections::HashMap;\n",
-            &mut findings,
+            "use std::collections::HashMap;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_nearby_safety_comment() {
+        let bare = "fn f(p: *const u8) { let _ = unsafe { *p }; }\n";
+        assert_eq!(
+            rules(&scan("crates/x/src/a.rs", bare)),
+            vec!["unsafe-needs-safety-comment"]
         );
-        assert!(findings.is_empty());
+        let ok = "\
+fn f(p: *const u8) {
+    // SAFETY: p is non-null and aligned; caller upholds the contract.
+    let _ = unsafe { *p };
+}
+";
+        assert!(scan("crates/x/src/a.rs", ok).is_empty());
+        let too_far = format!(
+            "// SAFETY: way up here.\n{}fn f(p: *const u8) {{ let _ = unsafe {{ *p }}; }}\n",
+            "\n".repeat(SAFETY_LOOKBACK_LINES + 1)
+        );
+        assert_eq!(
+            rules(&scan("crates/x/src/a.rs", &too_far)),
+            vec!["unsafe-needs-safety-comment"]
+        );
+    }
+
+    #[test]
+    fn wall_clock_scopes_to_runtime_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            rules(&scan("crates/trace/src/sink.rs", src)),
+            vec!["no-wall-clock"]
+        );
+        assert_eq!(
+            rules(&scan(
+                "crates/skyline/src/x.rs",
+                "fn f() { let t = std::time::SystemTime::now(); }\n"
+            )),
+            vec!["no-wall-clock"]
+        );
+        // The CLI binary is the sanctioned real-time boundary.
+        assert!(scan("src/bin/mrsky.rs", src).is_empty());
+        assert!(scan("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_needs_counter_or_justification() {
+        let counter = "fn f(c: &AtomicUsize) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(scan("crates/x/src/a.rs", counter).is_empty());
+        let justified = "\
+fn f(b: &AtomicBool) {
+    // ORDERING: flag is advisory; a stale read only delays the drain.
+    b.store(true, Ordering::Relaxed);
+}
+";
+        assert!(scan("crates/x/src/a.rs", justified).is_empty());
+        let bare = "fn f(b: &AtomicBool) { b.store(true, Ordering::Relaxed); }\n";
+        assert_eq!(
+            rules(&scan("crates/x/src/a.rs", bare)),
+            vec!["relaxed-ordering-audit"]
+        );
+    }
+
+    #[test]
+    fn raw_sync_flags_facaded_crates_only() {
+        let mutex = "use std::sync::Mutex;\n";
+        assert_eq!(
+            rules(&scan("crates/chaos/src/a.rs", mutex)),
+            vec!["raw-sync-primitive"]
+        );
+        // Non-facaded crates may use std::sync directly.
+        assert!(scan("crates/model/src/a.rs", mutex).is_empty());
+        assert!(scan("crates/core/src/a.rs", mutex).is_empty());
+        // Ownership-only leaves are fine even in facaded crates.
+        assert!(scan("crates/trace/src/a.rs", "use std::sync::Arc;\n").is_empty());
+        assert!(scan("crates/trace/src/a.rs", "use std::sync::OnceLock;\n").is_empty());
+        // Brace groups flag only the offending first-level segment.
+        let group = "use std::sync::{Arc, Mutex};\n";
+        let findings = scan("crates/mapreduce/src/a.rs", group);
+        assert_eq!(rules(&findings), vec!["raw-sync-primitive"]);
+        // Full paths to the atomic module are caught too.
+        let atomics = "fn f() { let x = std::sync::atomic::AtomicUsize::new(0); }\n";
+        assert_eq!(
+            rules(&scan("crates/skyline/src/a.rs", atomics)),
+            vec!["raw-sync-primitive"]
+        );
+        assert_eq!(
+            rules(&scan("crates/trace/src/a.rs", "use parking_lot::Mutex;\n")),
+            vec!["raw-sync-primitive"]
+        );
+    }
+
+    #[test]
+    fn missing_allowlist_is_an_error_not_a_silent_pass() {
+        let dir = std::env::temp_dir().join("mrsky-audit-lint-missing-baseline");
+        fs::create_dir_all(&dir).unwrap();
+        let err = run_lint(&LintConfig {
+            root: dir.clone(),
+            allowlist: Some(dir.join("lint-baseline.txt")),
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -466,7 +811,7 @@ fn after_tests() {
         assert_eq!(report.violations.len(), 1);
         assert!(!report.is_clean());
 
-        // Exact allowance: clean.
+        // Exact allowance: clean, strictly so.
         fs::write(&allow, "no-unwrap crates/demo/src/lib.rs 1\n").unwrap();
         let report = run_lint(&LintConfig {
             root: dir.clone(),
@@ -474,9 +819,11 @@ fn after_tests() {
         })
         .unwrap();
         assert!(report.is_clean(), "{}", report.render_text());
+        assert!(report.is_clean_strict());
         assert!(report.ratchet.is_empty());
 
-        // Over-generous allowance: clean but asks to ratchet down.
+        // Over-generous allowance: lenient-clean, but strict mode fails
+        // and asks to ratchet down.
         fs::write(&allow, "no-unwrap crates/demo/src/lib.rs 5\n").unwrap();
         let report = run_lint(&LintConfig {
             root: dir.clone(),
@@ -484,11 +831,12 @@ fn after_tests() {
         })
         .unwrap();
         assert!(report.is_clean());
+        assert!(!report.is_clean_strict());
         assert_eq!(report.ratchet.len(), 1);
         assert_eq!(report.ratchet[0].2, 1);
         assert_eq!(report.ratchet[0].3, 5);
 
-        // Stale entry for a file with no findings.
+        // Stale entry for a file with no findings: also a strict failure.
         fs::write(
             &allow,
             "no-unwrap crates/demo/src/lib.rs 1\nno-panic crates/demo/src/gone.rs 2\n",
@@ -500,6 +848,7 @@ fn after_tests() {
         })
         .unwrap();
         assert!(report.is_clean());
+        assert!(!report.is_clean_strict());
         assert_eq!(report.stale_allowances.len(), 1);
 
         fs::remove_dir_all(&dir).ok();

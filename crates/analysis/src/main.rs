@@ -1,7 +1,8 @@
 //! CLI front-end for the audit layers.
 //!
 //! ```text
-//! mrsky-audit lint [--root DIR] [--allowlist FILE] [--print-baseline] [--json]
+//! mrsky-audit lint [--root DIR] [--allowlist FILE] [--print-baseline]
+//!                  [--enforce-ratchet] [--json]
 //! mrsky-audit plan --scheme dim|grid|angle|random [--dims N] [--partitions N]
 //!                  [--servers N] [--reducers N] [--grid-pruning]
 //!                  [--filter-k N] [--sector-prune] [--json]
@@ -48,12 +49,20 @@ fn flag_present(args: &[String], name: &str) -> bool {
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let root = PathBuf::from(flag_value(args, "--root").unwrap_or("."));
-    let allowlist = flag_value(args, "--allowlist")
-        .map(PathBuf::from)
-        .or_else(|| {
-            let default = root.join("lint-baseline.txt");
-            default.is_file().then_some(default)
-        });
+    let print_baseline = flag_present(args, "--print-baseline");
+    // Baseline regeneration wants the raw findings, so it runs with no
+    // allowances. Every other mode resolves an allowlist — explicit or
+    // the workspace default — and a missing file is a hard usage error
+    // inside run_lint, never a silent zero-allowance pass.
+    let allowlist = if print_baseline {
+        None
+    } else {
+        Some(
+            flag_value(args, "--allowlist")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| root.join("lint-baseline.txt")),
+        )
+    };
     let config = LintConfig { root, allowlist };
     let report = match run_lint(&config) {
         Ok(r) => r,
@@ -62,12 +71,17 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if flag_present(args, "--print-baseline") {
+    if print_baseline {
         print!("{}", report.baseline());
         return ExitCode::SUCCESS;
     }
     print!("{}", report.render_text());
-    if report.is_clean() {
+    let clean = if flag_present(args, "--enforce-ratchet") {
+        report.is_clean_strict()
+    } else {
+        report.is_clean()
+    };
+    if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -14,7 +14,7 @@
 //! [`KillSwitch::disarm`], and re-runs with resume enabled. The switch
 //! fires at most once per arm, so the retry always completes.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mrsky_model::sync::{AtomicBool, AtomicU64, Ordering};
 
 /// Panic payload used for the simulated crash; resilient drivers match on
 /// [`KillSwitch::has_fired`] rather than this text (thread pools may mangle

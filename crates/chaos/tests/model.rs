@@ -1,0 +1,70 @@
+//! Model checks of the real `KillSwitch`. Compiled only with
+//! `RUSTFLAGS="--cfg mrsky_model"` (the CI `model-check` job), where
+//! the sync facade is instrumented.
+#![cfg(mrsky_model)]
+
+use mrsky_chaos::KillSwitch;
+use mrsky_model::sync::{scope, AtomicUsize, Ordering};
+use mrsky_model::{check_opts, CheckOptions};
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        preemption_bound: 3,
+        random_walks: 16,
+        max_iterations: 10_000,
+        ..CheckOptions::default()
+    }
+}
+
+/// Racing checkpoint writers crossing the budget together: exactly one
+/// caller sees `record_write() == true`, on every explored schedule.
+#[test]
+fn model_kill_switch_fires_exactly_once() {
+    let report = check_opts(&opts(), || {
+        let k = KillSwitch::new(1);
+        let fires = AtomicUsize::new(0);
+        scope(|s| {
+            let h = s.spawn(|| {
+                if k.record_write() {
+                    fires.fetch_add(1, Ordering::Relaxed);
+                }
+                if k.record_write() {
+                    fires.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            if k.record_write() {
+                fires.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = h.join();
+        });
+        assert_eq!(k.writes(), 3);
+        assert!(k.has_fired());
+        assert_eq!(
+            fires.load(Ordering::Relaxed),
+            1,
+            "kill must fire exactly once"
+        );
+    });
+    assert!(report.executions > 1);
+}
+
+/// A disarm racing the budget crossing never lets the switch fire
+/// twice, and a fired-then-disarmed switch stops aborting.
+#[test]
+fn model_kill_switch_disarm_race_is_safe() {
+    check_opts(&opts(), || {
+        let k = KillSwitch::new(0);
+        let fires = AtomicUsize::new(0);
+        scope(|s| {
+            let h = s.spawn(|| {
+                if k.record_write() {
+                    fires.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            k.disarm();
+            let _ = h.join();
+        });
+        assert!(fires.load(Ordering::Relaxed) <= 1);
+        assert!(!k.should_abort(), "disarmed switch must not abort work");
+    });
+}

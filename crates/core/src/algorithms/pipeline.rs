@@ -38,13 +38,13 @@ use skyline_algos::block::PointBlock;
 use skyline_algos::bnl::BnlConfig;
 use skyline_algos::dnc::dnc_skyline_stats;
 use skyline_algos::filter::{filtered_out, select_filter_points};
-use skyline_algos::incremental::StreamingMerge;
+use skyline_algos::incremental::{SharedStreamingMerge, StreamingMerge};
 use skyline_algos::kernel::{block_bnl_stats, presort_merge_stats};
 use skyline_algos::partition::{witness_prunable, SpacePartitioner};
 use skyline_algos::point::Point;
 use skyline_algos::sfs::sfs_skyline_stats;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Rows per shuffled block: map splits and shuffle values carry at most
 /// this many services per [`PointBlock`] record.
@@ -347,12 +347,12 @@ pub fn run_two_job_pipeline(
     // *inside* the reduce wave instead of waiting behind the job barrier.
     // Restored checkpoints are absorbed up front; the per-id dedup makes
     // re-absorbed blocks (retries, speculative duplicates) idempotent.
-    let streaming: Option<Arc<Mutex<StreamingMerge>>> = opts.config.streaming_merge.then(|| {
+    let streaming: Option<Arc<SharedStreamingMerge>> = opts.config.streaming_merge.then(|| {
         let mut sm = StreamingMerge::new(dim);
         for sky in restored.values() {
             sm.absorb_block(&repack(dim, sky));
         }
-        Arc::new(Mutex::new(sm))
+        Arc::new(SharedStreamingMerge::new(sm))
     });
 
     // ---- Job 1: partition + local skylines ----
@@ -489,9 +489,7 @@ pub fn run_two_job_pipeline(
         });
         write_checkpoint(ctx, *key, &outcome.sky.to_points());
         if let Some(sm) = &stream1 {
-            sm.lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .absorb_block(&outcome.sky);
+            sm.absorb_block(&outcome.sky);
         }
         out.push((*key, outcome.sky));
     };
@@ -552,9 +550,8 @@ pub fn run_two_job_pipeline(
         // Job 2's input is the streaming merge's running skyline: the merge
         // work already happened inside Job 1's reduce wave, so Job 2 is the
         // (cheap) finalization pass the two-job contract still requires.
-        let sm = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         streaming_candidates = sm.absorbed();
-        let mut b = sm.skyline().clone();
+        let mut b = sm.skyline_snapshot();
         b.sort_by_id();
         b
     } else {

@@ -1,4 +1,4 @@
-//! A minimal work-stealing-free task pool on crossbeam scoped threads.
+//! A minimal work-stealing-free task pool on scoped threads.
 //!
 //! The runtime's real execution needs exactly one primitive: run `n`
 //! independent tasks on up to `threads` OS threads and collect their results
@@ -7,9 +7,13 @@
 //! unsafe — the scoped-thread borrow proves the closure outlives the
 //! workers (the pattern recommended by the Rust concurrency guides this
 //! repo follows).
+//!
+//! All synchronization goes through the `mrsky-model` facade, so the
+//! cursor/slot handoff is model-checked under `--cfg mrsky_model`
+//! (`tests/model.rs`): no task is lost, none runs twice, and a worker
+//! panic cannot strand the scope.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use mrsky_model::sync::{scope, AtomicUsize, Mutex, Ordering};
 
 /// Runs `count` tasks with `worker(i)` on up to `threads` threads and
 /// returns the results ordered by task index.
@@ -35,9 +39,14 @@ where
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    // A panicking worker unwinds through the scope at join, which is the
+    // desired crash-loudly behaviour documented above.
+    scope(|s| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            s.spawn(|| loop {
+                // ORDERING: Relaxed — the cursor is a pure ticket
+                // dispenser; slot publication is ordered by each slot's
+                // mutex, not by the cursor.
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
@@ -46,8 +55,7 @@ where
                 *slots[i].lock() = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()

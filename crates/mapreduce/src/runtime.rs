@@ -41,7 +41,6 @@ use crate::types::{DataT, Emitter, KeyT, KvSizer, TaskContext};
 use mrsky_chaos::{FaultKind, FaultPlan, FaultSite};
 use mrsky_trace::{EventKind, PhaseKind, Tracer};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// The simulated cluster: how many servers, and how many concurrent task
 /// slots each server offers per phase (Hadoop 0.20 defaulted to 2 map and
@@ -403,7 +402,10 @@ where
     M: Mapper<I, K, V>,
     R: Reducer<K, V, O>,
 {
-    let wall = Instant::now();
+    // Durations come from the tracer's epoch clock (deterministic
+    // SimClock unless the caller injected a wall clock), keeping job
+    // metrics byte-reproducible under checkpoint/resume.
+    let wall_start_us = spec.tracer.now_us();
     let threads = if spec.threads == 0 {
         pool::default_threads()
     } else {
@@ -672,7 +674,7 @@ where
         shuffle_bytes,
         job_overhead: spec.cost.job_overhead,
         sim_total,
-        wall_seconds: wall.elapsed().as_secs_f64(),
+        wall_seconds: spec.tracer.now_us().saturating_sub(wall_start_us) as f64 / 1e6,
     };
     spec.tracer.emit(|| EventKind::JobFinished {
         job: spec.name.clone(),

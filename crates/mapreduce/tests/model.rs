@@ -1,0 +1,42 @@
+//! Model checks of the real `pool::run_indexed` cursor/slot handoff.
+//! Compiled only with `RUSTFLAGS="--cfg mrsky_model"` (the CI
+//! `model-check` job), where the sync facade is instrumented.
+#![cfg(mrsky_model)]
+
+use mini_mapreduce::pool::run_indexed;
+use mrsky_model::{check_opts, CheckOptions};
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        preemption_bound: 2,
+        random_walks: 8,
+        max_iterations: 5_000,
+        ..CheckOptions::default()
+    }
+}
+
+/// Every task index must be handed out exactly once and land in its
+/// own slot, in order, on every explored schedule.
+#[test]
+fn model_pool_handoff_no_lost_results_no_double_execution() {
+    let report = check_opts(&opts(), || {
+        let executed = [
+            mrsky_model::sync::AtomicUsize::new(0),
+            mrsky_model::sync::AtomicUsize::new(0),
+            mrsky_model::sync::AtomicUsize::new(0),
+        ];
+        let out = run_indexed(3, 2, |i| {
+            executed[i].fetch_add(1, mrsky_model::sync::Ordering::Relaxed);
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20], "results lost or misplaced");
+        for (i, count) in executed.iter().enumerate() {
+            assert_eq!(
+                count.load(mrsky_model::sync::Ordering::Relaxed),
+                1,
+                "task {i} must run exactly once"
+            );
+        }
+    });
+    assert!(report.executions > 1, "the pool really branched");
+}

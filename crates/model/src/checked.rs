@@ -1,0 +1,346 @@
+//! Instrumented sync primitives: every access is a scheduler decision
+//! point when a model run is active on the current thread, and plain
+//! `std` behaviour otherwise (so code compiled with `--cfg mrsky_model`
+//! still works in ordinary tests that never enter [`crate::check`]).
+//!
+//! These types are always compiled — the `cfg` switch lives in
+//! [`crate::sync`], which re-exports either these or raw `std`. The
+//! checker's own tests use this module directly.
+
+use crate::scheduler::{current, AbortUnwind};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+use std::sync::{Arc, PoisonError};
+
+pub use std::sync::atomic::Ordering;
+
+/// Stable identity for instrumented mutexes; per-execution dense lock
+/// ids are derived from first-acquisition order, so monotonically
+/// growing keys across executions are fine.
+static NEXT_MUTEX_KEY: StdAtomicUsize = StdAtomicUsize::new(1);
+
+fn ordering_name(order: Ordering) -> &'static str {
+    match order {
+        // ORDERING: not an atomic access — this match only names
+        // orderings for the exploration report's profile.
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "Other",
+    }
+}
+
+fn hook(op: &'static str, order: Ordering) {
+    if let Some((exec, me)) = current() {
+        exec.op_point(me, Some((op, ordering_name(order))));
+    }
+}
+
+macro_rules! instrumented_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty, $zero:expr) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic (usable in `static` position).
+            pub const fn new(value: $prim) -> Self {
+                Self { inner: <$std>::new(value) }
+            }
+
+            /// Instrumented load.
+            pub fn load(&self, order: Ordering) -> $prim {
+                hook("load", order);
+                self.inner.load(order)
+            }
+
+            /// Instrumented store.
+            pub fn store(&self, value: $prim, order: Ordering) {
+                hook("store", order);
+                self.inner.store(value, order);
+            }
+
+            /// Instrumented swap.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                hook("swap", order);
+                self.inner.swap(value, order)
+            }
+
+            /// Instrumented compare-exchange.
+            ///
+            /// # Errors
+            ///
+            /// Returns the current value when it differs from `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                hook("compare_exchange", success);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new($zero)
+            }
+        }
+    };
+}
+
+instrumented_atomic!(
+    /// Instrumented drop-in for [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool,
+    false
+);
+instrumented_atomic!(
+    /// Instrumented drop-in for [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize,
+    0
+);
+instrumented_atomic!(
+    /// Instrumented drop-in for [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64,
+    0
+);
+
+macro_rules! instrumented_fetch_ops {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Instrumented fetch-add.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                hook("fetch_add", order);
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Instrumented fetch-sub.
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                hook("fetch_sub", order);
+                self.inner.fetch_sub(value, order)
+            }
+        }
+    };
+}
+
+instrumented_fetch_ops!(AtomicUsize, usize);
+instrumented_fetch_ops!(AtomicU64, u64);
+
+/// Instrumented, poison-free drop-in for [`std::sync::Mutex`]: acquire
+/// and release are decision points; contention blocks the thread at the
+/// model level (feeding deadlock and lock-order-inversion detection).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    key: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            key: NEXT_MUTEX_KEY.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock; never returns poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let ctl = current();
+        if let Some((exec, me)) = &ctl {
+            exec.acquire(*me, self.key);
+        }
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            ctl: ctl.map(|(exec, me)| (exec, me, self.key)),
+            inner: Some(guard),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard for the instrumented [`Mutex`]; releases at the model level on
+/// drop (quietly while unwinding, so teardown never double-panics).
+pub struct MutexGuard<'a, T> {
+    ctl: Option<(Arc<crate::scheduler::Exec>, usize, usize)>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(guard) => guard,
+            None => unreachable!("guard accessed after release"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(guard) => guard,
+            None => unreachable!("guard accessed after release"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the std guard first so the next thread the scheduler
+        // grants the lock to can take it without blocking on the OS.
+        drop(self.inner.take());
+        if let Some((exec, me, key)) = self.ctl.take() {
+            exec.release(me, key, std::thread::panicking());
+        }
+    }
+}
+
+/// Model-aware scoped threads; mirrors [`std::thread::scope`] but each
+/// spawn registers with the scheduler and parks until first chosen.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctl: Option<(Arc<crate::scheduler::Exec>, usize)>,
+    children: RefCell<Vec<usize>>,
+}
+
+/// Join handle from [`Scope::spawn`].
+pub struct ScopedHandle<'scope, T> {
+    child: Option<usize>,
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<T> ScopedHandle<'_, T> {
+    /// Joins the thread, returning its panic payload on failure (under
+    /// an active model run a child panic instead fails the whole
+    /// execution, so the `Err` arm is only reachable in passthrough).
+    ///
+    /// # Errors
+    ///
+    /// The thread's panic payload, as with [`std::thread::ScopedJoinHandle::join`].
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(child) = self.child {
+            if let Some((exec, me)) = current() {
+                exec.join_thread(me, child);
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(value)) => Ok(value),
+            // The child bailed out during an abort and produced no
+            // value; the whole execution is unwinding, follow it.
+            Ok(None) => std::panic::panic_any(AbortUnwind),
+            Err(payload) => Err(payload),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; under a model run it parks until the
+    /// scheduler first picks it.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctl {
+            None => ScopedHandle {
+                child: None,
+                inner: self.inner.spawn(move || Some(f())),
+            },
+            Some((exec, _)) => {
+                let id = exec.register_thread();
+                self.children.borrow_mut().push(id);
+                let exec = Arc::clone(exec);
+                let inner = self.inner.spawn(move || {
+                    crate::scheduler::enter_thread(&exec, id);
+                    let started = catch_unwind(AssertUnwindSafe(|| exec.thread_started(id)));
+                    let out = match started {
+                        Err(_) => {
+                            // Aborted before ever running.
+                            exec.thread_finished(id, None);
+                            None
+                        }
+                        Ok(()) => match catch_unwind(AssertUnwindSafe(f)) {
+                            Ok(value) => {
+                                exec.thread_finished(id, None);
+                                Some(value)
+                            }
+                            Err(payload) => {
+                                exec.thread_finished(
+                                    id,
+                                    crate::scheduler::panic_message(payload.as_ref()),
+                                );
+                                None
+                            }
+                        },
+                    };
+                    crate::scheduler::exit_thread();
+                    out
+                });
+                ScopedHandle {
+                    child: Some(id),
+                    inner,
+                }
+            }
+        }
+    }
+}
+
+/// Model-aware replacement for [`std::thread::scope`]: the scope's end
+/// is a model-level join of every child, and a panic in the scope body
+/// aborts the execution so parked children unwind instead of hanging.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let ctl = current();
+    std::thread::scope(move |s| {
+        let ms = Scope {
+            inner: s,
+            ctl,
+            children: RefCell::new(Vec::new()),
+        };
+        let body = catch_unwind(AssertUnwindSafe(|| f(&ms)));
+        match body {
+            Ok(value) => {
+                if let Some((exec, me)) = &ms.ctl {
+                    let kids: Vec<usize> = ms.children.borrow().clone();
+                    for kid in kids {
+                        exec.join_thread(*me, kid);
+                    }
+                }
+                value
+            }
+            Err(payload) => {
+                if let Some((exec, _)) = &ms.ctl {
+                    exec.abort_with(crate::scheduler::panic_message(payload.as_ref()));
+                }
+                resume_unwind(payload)
+            }
+        }
+    })
+}

@@ -1,0 +1,648 @@
+//! The deterministic cooperative scheduler behind the model checker.
+//!
+//! Threads under test are real OS threads, but exactly one is ever
+//! *runnable* from the scheduler's point of view: every instrumented
+//! operation (atomic access, lock acquire/release, spawn, join) is a
+//! *decision point* where the scheduler picks which thread runs next and
+//! parks everyone else on a condvar. Replaying the same decision sequence
+//! therefore replays the same interleaving, bit for bit, as long as the
+//! test body itself is deterministic.
+//!
+//! Exploration is iterative depth-first search over decision prefixes:
+//! each execution records, at every decision point, the canonical list of
+//! enabled threads and which one was chosen; backtracking walks that log
+//! from the tail looking for an unexplored alternative whose cost fits
+//! inside the preemption bound. Choosing a thread other than the one that
+//! just ran — while that thread is still enabled — counts as one
+//! preemption; schedules needing more preemptions than the bound are
+//! skipped (counted in [`Report::bound_skips`]) and instead sampled by
+//! seeded random walks after the bounded search is exhausted.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Panic payload used to tear an execution down once a failure is found
+/// or the run is aborted; never surfaces to user code.
+pub(crate) struct AbortUnwind;
+
+/// What went wrong in a failing execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A thread under test panicked; carries the panic message.
+    Panic(String),
+    /// Every live thread was blocked (on a lock or a join).
+    Deadlock(String),
+    /// Two locks were acquired in both orders within one execution.
+    LockOrderInversion(String),
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureKind::Deadlock(detail) => write!(f, "deadlock: {detail}"),
+            FailureKind::LockOrderInversion(detail) => {
+                write!(f, "lock-order inversion: {detail}")
+            }
+        }
+    }
+}
+
+/// A failing interleaving: the kind of failure plus the printable
+/// schedule that reproduces it via [`crate::replay`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The decision sequence that triggers it.
+    pub schedule: Schedule,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\n  schedule: \"{}\"\n  replay:   mrsky_model::replay(\"{}\", || {{ ... }})",
+            self.kind, self.schedule, self.schedule
+        )
+    }
+}
+
+/// A printable, parseable interleaving: the thread id chosen at each
+/// decision point, dot-separated (`"0.1.1.0"`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule(pub Vec<usize>);
+
+impl Schedule {
+    /// Parses a dot-separated schedule string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed component.
+    pub fn parse(s: &str) -> Result<Schedule, String> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Schedule(Vec::new()));
+        }
+        let mut steps = Vec::new();
+        for part in s.split('.') {
+            match part.trim().parse::<usize>() {
+                Ok(tid) => steps.push(tid),
+                Err(_) => return Err(format!("bad schedule component {part:?} in {s:?}")),
+            }
+        }
+        Ok(Schedule(steps))
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for tid in &self.0 {
+            if !first {
+                f.write_str(".")?;
+            }
+            first = false;
+            write!(f, "{tid}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Knobs for [`crate::check_with`].
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Maximum preemptions per explored schedule (CHESS-style bound).
+    pub preemption_bound: usize,
+    /// Cap on bounded-DFS executions before giving up ([`Report::truncated`]).
+    pub max_iterations: usize,
+    /// Seeded random walks run after (or past) the bounded search.
+    pub random_walks: usize,
+    /// Seed for the random walks; same seed, same walks.
+    pub seed: u64,
+    /// Whether to flag lock-order inversions (disable to let a test
+    /// observe the resulting deadlock instead).
+    pub detect_lock_inversion: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            preemption_bound: 3,
+            max_iterations: 50_000,
+            random_walks: 64,
+            seed: 0x006d_7273_6b79, // "mrsky"
+            detect_lock_inversion: true,
+        }
+    }
+}
+
+/// Summary of a completed (non-failing) check.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Executions explored by the bounded DFS.
+    pub executions: u64,
+    /// Additional seeded random-walk executions.
+    pub random_executions: u64,
+    /// Longest decision sequence seen across executions.
+    pub max_decisions: usize,
+    /// Alternatives skipped because they exceeded the preemption bound.
+    /// An indicator, not an exact schedule count: > 0 means the bound
+    /// pruned part of the space (the random walks sample past it).
+    pub bound_skips: u64,
+    /// True when `max_iterations` stopped the DFS before exhaustion.
+    pub truncated: bool,
+    /// Count of instrumented atomic accesses by `"op:Ordering"` key,
+    /// e.g. `"load:Relaxed"` — the raw material for ordering audits.
+    pub orderings: BTreeMap<String, u64>,
+}
+
+/// Per-thread run state inside one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Runnable,
+    /// Waiting on lock (dense id).
+    BlockedOnLock(usize),
+    /// Waiting for thread (id) to finish.
+    BlockedOnThread(usize),
+    Finished,
+}
+
+/// One decision point: the canonical enabled list, what we picked, and
+/// enough bookkeeping to cost alternatives during backtracking.
+#[derive(Debug, Clone)]
+struct Decision {
+    canonical: Vec<usize>,
+    chosen_pos: usize,
+    preemptions_before: usize,
+    prev_enabled: bool,
+}
+
+enum Mode {
+    /// Follow the prefix, then take canonical position 0 (no preemption).
+    Guided,
+    /// Follow the prefix, then pick uniformly with this xorshift state.
+    Random(u64),
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+struct Inner {
+    states: Vec<RunState>,
+    active: usize,
+    schedule: Vec<usize>,
+    decisions: Vec<Decision>,
+    prefix: Vec<usize>,
+    preemptions: usize,
+    mode: Mode,
+    failure: Option<FailureKind>,
+    aborting: bool,
+    /// Stable mutex key -> dense per-execution lock id (first-acquire order).
+    lock_ids: BTreeMap<usize, usize>,
+    /// Dense lock id -> current owner.
+    lock_owner: Vec<Option<usize>>,
+    /// Thread -> dense ids of locks currently held.
+    holding: Vec<Vec<usize>>,
+    /// Held-lock -> acquired-lock edges seen this execution.
+    edges: BTreeSet<(usize, usize)>,
+    detect_lock_inversion: bool,
+    orderings: BTreeMap<String, u64>,
+}
+
+impl Inner {
+    fn record_failure(&mut self, kind: FailureKind) {
+        if self.failure.is_none() {
+            self.failure = Some(kind);
+        }
+        self.aborting = true;
+    }
+}
+
+/// Shared state for one execution; threads under test hold an `Arc` to
+/// it via thread-local storage.
+pub(crate) struct Exec {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The executing thread's scheduler registration, if a model run is
+/// active on this thread.
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Exec>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Registers a spawned thread's scheduler identity in its TLS.
+pub(crate) fn enter_thread(exec: &Arc<Exec>, id: usize) {
+    set_current(Some((Arc::clone(exec), id)));
+}
+
+/// Clears the thread's scheduler identity on exit.
+pub(crate) fn exit_thread() {
+    set_current(None);
+}
+
+/// Renders a panic payload for failure reporting; `None` for the
+/// checker's own teardown payload.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> Option<String> {
+    payload_message(payload)
+}
+
+/// Renders a panic payload, eating our own teardown payload.
+fn payload_message(payload: &(dyn Any + Send)) -> Option<String> {
+    if payload.is::<AbortUnwind>() {
+        return None;
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("non-string panic payload".to_string())
+}
+
+impl Exec {
+    fn new(prefix: Vec<usize>, mode: Mode, opts: &CheckOptions) -> Exec {
+        Exec {
+            inner: Mutex::new(Inner {
+                states: Vec::new(),
+                active: 0,
+                schedule: Vec::new(),
+                decisions: Vec::new(),
+                prefix,
+                preemptions: 0,
+                mode,
+                failure: None,
+                aborting: false,
+                lock_ids: BTreeMap::new(),
+                lock_owner: Vec::new(),
+                holding: Vec::new(),
+                edges: BTreeSet::new(),
+                detect_lock_inversion: opts.detect_lock_inversion,
+                orderings: BTreeMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new thread; no decision point (creation order is fixed
+    /// by the program, not the schedule).
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = self.lock_inner();
+        let id = g.states.len();
+        g.states.push(RunState::Runnable);
+        g.holding.push(Vec::new());
+        id
+    }
+
+    /// Picks the next active thread. `me_runnable` is false when the
+    /// caller just blocked or finished. Sets `aborting` on deadlock.
+    fn choose(&self, g: &mut Inner, me: usize, me_runnable: bool) {
+        let mut canonical: Vec<usize> = Vec::new();
+        if me_runnable {
+            canonical.push(me);
+        }
+        for (tid, state) in g.states.iter().enumerate() {
+            if tid != me && *state == RunState::Runnable {
+                canonical.push(tid);
+            }
+        }
+        if canonical.is_empty() {
+            if g.states.iter().all(|s| *s == RunState::Finished) {
+                return; // execution complete, nobody left to run
+            }
+            let blocked: Vec<String> = g
+                .states
+                .iter()
+                .enumerate()
+                .filter_map(|(tid, s)| match s {
+                    RunState::BlockedOnLock(l) => Some(format!("thread {tid} on lock #{l}")),
+                    RunState::BlockedOnThread(t) => Some(format!("thread {tid} on join({t})")),
+                    _ => None,
+                })
+                .collect();
+            g.record_failure(FailureKind::Deadlock(format!(
+                "all live threads blocked ({})",
+                blocked.join(", ")
+            )));
+            return;
+        }
+        let step = g.schedule.len();
+        let pos = if step < g.prefix.len() {
+            // Replaying a prefix: find the forced thread. A deterministic
+            // body always contains it; fall back to 0 if the program
+            // diverged (e.g. a schedule string for a different test).
+            let forced = g.prefix[step];
+            canonical.iter().position(|&t| t == forced).unwrap_or(0)
+        } else {
+            match &mut g.mode {
+                Mode::Guided => 0,
+                Mode::Random(state) => (xorshift(state) % canonical.len() as u64) as usize,
+            }
+        };
+        let chosen = canonical[pos];
+        g.decisions.push(Decision {
+            canonical: canonical.clone(),
+            chosen_pos: pos,
+            preemptions_before: g.preemptions,
+            prev_enabled: me_runnable,
+        });
+        if me_runnable && chosen != me {
+            g.preemptions += 1;
+        }
+        g.schedule.push(chosen);
+        g.active = chosen;
+    }
+
+    /// Parks until this thread is the active one (or the run aborts).
+    fn wait_until_mine<'a>(
+        &'a self,
+        mut g: std::sync::MutexGuard<'a, Inner>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, Inner> {
+        loop {
+            if g.aborting {
+                drop(g);
+                std::panic::panic_any(AbortUnwind);
+            }
+            if g.active == me && g.states[me] == RunState::Runnable {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A plain decision point: record the op (for ordering audits), let
+    /// the scheduler pick, park until chosen.
+    pub(crate) fn op_point(&self, me: usize, record: Option<(&'static str, &'static str)>) {
+        let mut g = self.lock_inner();
+        if g.aborting {
+            drop(g);
+            std::panic::panic_any(AbortUnwind);
+        }
+        if let Some((op, ordering)) = record {
+            *g.orderings.entry(format!("{op}:{ordering}")).or_insert(0) += 1;
+        }
+        self.choose(&mut g, me, true);
+        self.cv.notify_all();
+        drop(self.wait_until_mine(g, me));
+    }
+
+    /// Lock acquisition: one decision point, then block until the lock
+    /// is free (each blocked retry is another decision point).
+    pub(crate) fn acquire(&self, me: usize, key: usize) {
+        let mut g = self.lock_inner();
+        if g.aborting {
+            drop(g);
+            std::panic::panic_any(AbortUnwind);
+        }
+        self.choose(&mut g, me, true);
+        self.cv.notify_all();
+        g = self.wait_until_mine(g, me);
+        loop {
+            let next_id = g.lock_ids.len();
+            let id = *g.lock_ids.entry(key).or_insert(next_id);
+            if id == g.lock_owner.len() {
+                g.lock_owner.push(None);
+            }
+            if g.lock_owner[id].is_none() {
+                g.lock_owner[id] = Some(me);
+                let held: Vec<usize> = g.holding[me].clone();
+                for h in held {
+                    if h != id {
+                        g.edges.insert((h, id));
+                        if g.detect_lock_inversion && g.edges.contains(&(id, h)) {
+                            g.record_failure(FailureKind::LockOrderInversion(format!(
+                                "locks #{h} and #{id} acquired in both orders"
+                            )));
+                            self.cv.notify_all();
+                            drop(g);
+                            std::panic::panic_any(AbortUnwind);
+                        }
+                    }
+                }
+                g.holding[me].push(id);
+                return;
+            }
+            g.states[me] = RunState::BlockedOnLock(id);
+            self.choose(&mut g, me, false);
+            self.cv.notify_all();
+            g = self.wait_until_mine(g, me);
+        }
+    }
+
+    /// Lock release. `quiet` (set while unwinding) skips the decision
+    /// point so guard drops during teardown never panic.
+    pub(crate) fn release(&self, me: usize, key: usize, quiet: bool) {
+        let mut g = self.lock_inner();
+        if !quiet && !g.aborting {
+            self.choose(&mut g, me, true);
+            self.cv.notify_all();
+            g = self.wait_until_mine(g, me);
+        }
+        let Some(&id) = g.lock_ids.get(&key) else {
+            return;
+        };
+        g.lock_owner[id] = None;
+        g.holding[me].retain(|&h| h != id);
+        for state in &mut g.states {
+            if *state == RunState::BlockedOnLock(id) {
+                *state = RunState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// First park of a freshly spawned thread; it runs only once chosen.
+    pub(crate) fn thread_started(&self, me: usize) {
+        let g = self.lock_inner();
+        drop(self.wait_until_mine(g, me));
+    }
+
+    /// Terminal bookkeeping for a thread; never panics (teardown path).
+    /// `failure` carries a real panic message from the thread body.
+    pub(crate) fn thread_finished(&self, me: usize, failure: Option<String>) {
+        let mut g = self.lock_inner();
+        g.states[me] = RunState::Finished;
+        for state in &mut g.states {
+            if *state == RunState::BlockedOnThread(me) {
+                *state = RunState::Runnable;
+            }
+        }
+        if let Some(msg) = failure {
+            g.record_failure(FailureKind::Panic(msg));
+        }
+        if !g.aborting {
+            self.choose(&mut g, me, false);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Model-level join: one decision point, then block until `target`
+    /// finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        let mut g = self.lock_inner();
+        if g.aborting {
+            drop(g);
+            std::panic::panic_any(AbortUnwind);
+        }
+        self.choose(&mut g, me, true);
+        self.cv.notify_all();
+        g = self.wait_until_mine(g, me);
+        loop {
+            if g.states[target] == RunState::Finished {
+                return;
+            }
+            g.states[me] = RunState::BlockedOnThread(target);
+            self.choose(&mut g, me, false);
+            self.cv.notify_all();
+            g = self.wait_until_mine(g, me);
+        }
+    }
+
+    /// Aborts the execution (scope body panicked outside any decision
+    /// point); children wake and unwind via [`AbortUnwind`].
+    pub(crate) fn abort_with(&self, failure: Option<String>) {
+        let mut g = self.lock_inner();
+        match failure {
+            Some(msg) => g.record_failure(FailureKind::Panic(msg)),
+            None => g.aborting = true,
+        }
+        self.cv.notify_all();
+    }
+}
+
+struct ExecOutcome {
+    schedule: Vec<usize>,
+    decisions: Vec<Decision>,
+    failure: Option<FailureKind>,
+    orderings: BTreeMap<String, u64>,
+}
+
+/// Runs the body once under a fixed prefix + fill mode.
+fn run_once<F: Fn()>(prefix: Vec<usize>, mode: Mode, opts: &CheckOptions, body: &F) -> ExecOutcome {
+    let exec = Arc::new(Exec::new(prefix, mode, opts));
+    let root = exec.register_thread();
+    debug_assert_eq!(root, 0);
+    set_current(Some((exec.clone(), root)));
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    let failure = match outcome {
+        Ok(()) => None,
+        Err(payload) => payload_message(payload.as_ref()),
+    };
+    exec.thread_finished(root, failure);
+    set_current(None);
+    let g = exec.lock_inner();
+    ExecOutcome {
+        schedule: g.schedule.clone(),
+        decisions: g.decisions.clone(),
+        failure: g.failure.clone(),
+        orderings: g.orderings.clone(),
+    }
+}
+
+fn merge_report(report: &mut Report, outcome: &ExecOutcome) {
+    report.max_decisions = report.max_decisions.max(outcome.decisions.len());
+    for (key, count) in &outcome.orderings {
+        *report.orderings.entry(key.clone()).or_insert(0) += count;
+    }
+}
+
+/// Explores interleavings of `body`; see [`crate::check_with`] for the
+/// public contract.
+pub(crate) fn explore<F: Fn()>(opts: &CheckOptions, body: F) -> Result<Report, Failure> {
+    let mut report = Report::default();
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        let outcome = run_once(prefix.clone(), Mode::Guided, opts, &body);
+        report.executions += 1;
+        merge_report(&mut report, &outcome);
+        if let Some(kind) = outcome.failure {
+            return Err(Failure {
+                kind,
+                schedule: Schedule(outcome.schedule),
+            });
+        }
+        if report.executions as usize >= opts.max_iterations {
+            report.truncated = true;
+            break;
+        }
+        // Backtrack: deepest decision with an unexplored, in-budget
+        // alternative becomes the next prefix.
+        let mut next: Option<Vec<usize>> = None;
+        'scan: for (depth, decision) in outcome.decisions.iter().enumerate().rev() {
+            for pos in decision.chosen_pos + 1..decision.canonical.len() {
+                let cost = usize::from(decision.prev_enabled && pos != 0);
+                if decision.preemptions_before + cost <= opts.preemption_bound {
+                    let mut p = outcome.schedule[..depth].to_vec();
+                    p.push(decision.canonical[pos]);
+                    next = Some(p);
+                    break 'scan;
+                }
+                report.bound_skips += 1;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    let mut seed = opts.seed | 1;
+    for _ in 0..opts.random_walks {
+        let walk_seed = xorshift(&mut seed);
+        let outcome = run_once(Vec::new(), Mode::Random(walk_seed | 1), opts, &body);
+        report.random_executions += 1;
+        merge_report(&mut report, &outcome);
+        if let Some(kind) = outcome.failure {
+            return Err(Failure {
+                kind,
+                schedule: Schedule(outcome.schedule),
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Replays one schedule; see [`crate::replay`].
+pub(crate) fn replay_schedule<F: Fn()>(
+    schedule: &Schedule,
+    opts: &CheckOptions,
+    body: F,
+) -> Result<Report, Failure> {
+    let outcome = run_once(schedule.0.clone(), Mode::Guided, opts, &body);
+    let mut report = Report {
+        executions: 1,
+        ..Report::default()
+    };
+    merge_report(&mut report, &outcome);
+    match outcome.failure {
+        Some(kind) => Err(Failure {
+            kind,
+            schedule: Schedule(outcome.schedule),
+        }),
+        None => Ok(report),
+    }
+}

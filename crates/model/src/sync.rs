@@ -1,0 +1,133 @@
+//! The sync facade the runtime crates import instead of `std::sync`.
+//!
+//! In a normal build this module is zero-cost re-exports of `std` (plus
+//! a thin poison-free `Mutex` and a no-argument-closure `scope`). Under
+//! `RUSTFLAGS="--cfg mrsky_model"` the same names resolve to the
+//! instrumented types in [`crate::checked`], so every atomic access,
+//! lock operation, spawn, and join becomes a scheduler decision point
+//! inside [`crate::check`] — and plain `std` behaviour outside it.
+//!
+//! Code on the facade must stick to the shared surface: `Mutex::{new,
+//! lock, into_inner}`, the atomic `load/store/swap/compare_exchange/
+//! fetch_add/fetch_sub`, and `scope(|s| s.spawn(|| ..))` with
+//! `ScopedHandle::join`.
+
+#[cfg(mrsky_model)]
+pub use crate::checked::{
+    scope, AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering, Scope, ScopedHandle,
+};
+
+#[cfg(not(mrsky_model))]
+pub use passthrough::{
+    scope, AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering, Scope, ScopedHandle,
+};
+
+#[cfg(not(mrsky_model))]
+mod passthrough {
+    //! Production build: `std` primitives with the facade's surface.
+
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::PoisonError;
+
+    /// Poison-free wrapper over [`std::sync::Mutex`] matching the
+    /// instrumented API (no `Result`-returning `lock`).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    pub struct MutexGuard<'a, T> {
+        inner: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wraps a value.
+        #[inline]
+        pub fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Acquires the lock; a poisoned lock is recovered, not an error
+        /// (panic propagation is handled at join sites instead).
+        #[inline]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        #[inline]
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// Facade over [`std::thread::Scope`] with no-argument spawn
+    /// closures (matching the instrumented variant).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle from [`Scope::spawn`].
+    pub struct ScopedHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedHandle<'_, T> {
+        /// Joins the thread.
+        ///
+        /// # Errors
+        ///
+        /// The thread's panic payload, as with
+        /// [`std::thread::ScopedJoinHandle::join`].
+        #[inline]
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.
+        #[inline]
+        pub fn spawn<F, T>(&self, f: F) -> ScopedHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Structured scoped threads; children are joined when the scope
+    /// ends, and an unjoined child's panic propagates at that point.
+    #[inline]
+    pub fn scope<'env, F, R>(f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }
+}

@@ -1,0 +1,277 @@
+//! Checker-semantics tests: exhaustiveness of the bounded DFS, the
+//! meaning of the preemption bound, failure detection (races,
+//! deadlocks, lock-order inversions), and deterministic replay.
+//!
+//! These use [`mrsky_model::checked`] directly, which is always
+//! instrumented — no `--cfg mrsky_model` needed, so plain
+//! `cargo test -p mrsky-model` explores real interleavings.
+
+use mrsky_model::checked::{scope, AtomicUsize, Mutex, Ordering};
+use mrsky_model::{check, check_opts, check_result, replay, CheckOptions, FailureKind, Schedule};
+use std::collections::BTreeSet;
+use std::sync::Mutex as StdMutex;
+
+fn opts(preemption_bound: usize) -> CheckOptions {
+    CheckOptions {
+        preemption_bound,
+        random_walks: 0,
+        ..CheckOptions::default()
+    }
+}
+
+/// Two threads, two operations each: the writer stores 1 then 2, the
+/// reader loads twice. The reachable (first, second) load pairs are
+/// exactly the six monotone pairs over {0, 1, 2} — seeing all six
+/// proves the DFS enumerates every interleaving of the four ops.
+#[test]
+fn exhaustive_two_thread_interleavings() {
+    let observed = StdMutex::new(BTreeSet::new());
+    let report = check_opts(&opts(3), || {
+        let cell = AtomicUsize::new(0);
+        let mut pair = (0, 0);
+        scope(|s| {
+            let writer = s.spawn(|| {
+                cell.store(1, Ordering::SeqCst);
+                cell.store(2, Ordering::SeqCst);
+            });
+            let first = cell.load(Ordering::SeqCst);
+            let second = cell.load(Ordering::SeqCst);
+            pair = (first, second);
+            let _ = writer.join();
+        });
+        observed.lock().unwrap().insert(pair);
+    });
+    let expected: BTreeSet<(usize, usize)> = [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
+        .into_iter()
+        .collect();
+    assert_eq!(*observed.lock().unwrap(), expected);
+    assert!(
+        report.executions >= 6,
+        "at least one execution per outcome, got {}",
+        report.executions
+    );
+    assert!(!report.truncated);
+}
+
+/// With a preemption bound of zero the only schedule is the canonical
+/// one (each thread runs until it blocks), and the pruned alternatives
+/// show up in `bound_skips`.
+#[test]
+fn preemption_bound_zero_explores_single_schedule() {
+    let observed = StdMutex::new(BTreeSet::new());
+    let report = check_opts(&opts(0), || {
+        let cell = AtomicUsize::new(0);
+        let mut pair = (0, 0);
+        scope(|s| {
+            let writer = s.spawn(|| {
+                cell.store(1, Ordering::SeqCst);
+                cell.store(2, Ordering::SeqCst);
+            });
+            pair = (cell.load(Ordering::SeqCst), cell.load(Ordering::SeqCst));
+            let _ = writer.join();
+        });
+        observed.lock().unwrap().insert(pair);
+    });
+    assert_eq!(
+        report.executions, 1,
+        "bound 0 admits only the canonical run"
+    );
+    assert_eq!(observed.lock().unwrap().len(), 1);
+    assert!(report.bound_skips > 0, "the bound visibly pruned schedules");
+}
+
+/// A deliberately-seeded lost-update race (non-atomic read-modify-write
+/// from two threads) must be caught, and its printed schedule must
+/// replay deterministically to the same failure.
+#[test]
+fn seeded_race_is_caught_and_replays() {
+    let body = || {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            let racer = s.spawn(|| {
+                let v = counter.load(Ordering::SeqCst);
+                counter.store(v + 1, Ordering::SeqCst);
+            });
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            let _ = racer.join();
+        });
+        assert_eq!(counter.into_inner(), 2, "lost update");
+    };
+    let failure = check_result(&opts(3), body).expect_err("the race must be found");
+    assert!(
+        matches!(&failure.kind, FailureKind::Panic(msg) if msg.contains("lost update")),
+        "unexpected failure: {failure}"
+    );
+    let schedule = failure.schedule.to_string();
+    assert!(!schedule.is_empty());
+    // Replay is deterministic: same schedule, same failure, three times.
+    for _ in 0..3 {
+        let replayed = replay(&schedule, body).expect_err("replay must reproduce the race");
+        assert_eq!(replayed.kind, failure.kind);
+        assert_eq!(replayed.schedule.to_string(), schedule);
+    }
+}
+
+/// The same race protected by a mutex passes every explored schedule.
+#[test]
+fn mutex_protected_counter_is_race_free() {
+    let report = check(|| {
+        let counter = Mutex::new(0usize);
+        scope(|s| {
+            let h = s.spawn(|| {
+                let mut guard = counter.lock();
+                *guard += 1;
+            });
+            {
+                let mut guard = counter.lock();
+                *guard += 1;
+            }
+            let _ = h.join();
+        });
+        assert_eq!(counter.into_inner(), 2);
+    });
+    assert!(report.executions > 1, "contention creates real branching");
+}
+
+/// Classic ABBA deadlock: with inversion detection off, some schedule
+/// blocks both threads and the checker reports a deadlock — and the
+/// schedule string replays to the same deadlock.
+#[test]
+fn abba_deadlock_detected_and_replays() {
+    let options = CheckOptions {
+        preemption_bound: 3,
+        random_walks: 0,
+        detect_lock_inversion: false,
+        ..CheckOptions::default()
+    };
+    let body = || {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        scope(|s| {
+            let h = s.spawn(|| {
+                let _b = b.lock();
+                let _a = a.lock();
+            });
+            let _a = a.lock();
+            let _b = b.lock();
+            drop(_b);
+            drop(_a);
+            let _ = h.join();
+        });
+    };
+    let failure = check_result(&options, body).expect_err("deadlock must be found");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock(_)),
+        "unexpected failure: {failure}"
+    );
+    let schedule = failure.schedule.to_string();
+    let replayed = replay(&schedule, body).expect_err("replay must deadlock again");
+    assert!(matches!(replayed.kind, FailureKind::Deadlock(_)));
+}
+
+/// With inversion detection on (the default), the same ABBA pattern is
+/// flagged as a lock-order inversion as soon as both orders have been
+/// observed — even on schedules that happen not to deadlock.
+#[test]
+fn lock_order_inversion_detected() {
+    let failure = check_result(&opts(3), || {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        scope(|s| {
+            let h = s.spawn(|| {
+                let _b = b.lock();
+                let _a = a.lock();
+            });
+            let _a = a.lock();
+            let _b = b.lock();
+            drop(_b);
+            drop(_a);
+            let _ = h.join();
+        });
+    })
+    .expect_err("inversion must be found");
+    assert!(
+        matches!(
+            failure.kind,
+            FailureKind::LockOrderInversion(_) | FailureKind::Deadlock(_)
+        ),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Consistent lock ordering passes with inversion detection on.
+#[test]
+fn consistent_lock_order_is_clean() {
+    check(|| {
+        let a = Mutex::new(0usize);
+        let b = Mutex::new(0usize);
+        scope(|s| {
+            let h = s.spawn(|| {
+                let mut ga = a.lock();
+                let mut gb = b.lock();
+                *ga += 1;
+                *gb += 1;
+            });
+            {
+                let mut ga = a.lock();
+                let mut gb = b.lock();
+                *ga += 1;
+                *gb += 1;
+            }
+            let _ = h.join();
+        });
+        assert_eq!(a.into_inner(), 2);
+        assert_eq!(b.into_inner(), 2);
+    });
+}
+
+/// The report tallies instrumented accesses by `"op:Ordering"`.
+#[test]
+fn report_records_ordering_profile() {
+    let report = check_opts(&opts(1), || {
+        let n = AtomicUsize::new(0);
+        n.fetch_add(1, Ordering::Relaxed);
+        n.load(Ordering::SeqCst);
+    });
+    assert!(
+        report
+            .orderings
+            .get("fetch_add:Relaxed")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+    assert!(report.orderings.get("load:SeqCst").copied().unwrap_or(0) > 0);
+}
+
+/// Schedule strings round-trip through parse/format, and malformed
+/// input is rejected.
+#[test]
+fn schedule_string_round_trip() {
+    let schedule = Schedule(vec![0, 1, 1, 0, 2]);
+    let text = schedule.to_string();
+    assert_eq!(text, "0.1.1.0.2");
+    assert_eq!(Schedule::parse(&text).unwrap(), schedule);
+    assert_eq!(Schedule::parse("").unwrap(), Schedule::default());
+    assert!(Schedule::parse("0.x.1").is_err());
+}
+
+/// Random walks run after the bounded search and count separately.
+#[test]
+fn random_walks_supplement_bounded_search() {
+    let options = CheckOptions {
+        preemption_bound: 0,
+        random_walks: 8,
+        ..CheckOptions::default()
+    };
+    let report = check_opts(&options, || {
+        let cell = AtomicUsize::new(0);
+        scope(|s| {
+            let h = s.spawn(|| cell.store(1, Ordering::SeqCst));
+            cell.load(Ordering::SeqCst);
+            let _ = h.join();
+        });
+    });
+    assert_eq!(report.random_executions, 8);
+}

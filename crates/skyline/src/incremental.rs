@@ -125,6 +125,54 @@ impl StreamingMerge {
     }
 }
 
+/// A [`StreamingMerge`] shareable across reduce workers: the merge
+/// state sits behind the `mrsky-model` sync facade's mutex, so the
+/// absorb path is model-checked under `--cfg mrsky_model`
+/// (`tests/model.rs`) — racing absorbers must converge to the same
+/// skyline with each id credited exactly once.
+///
+/// Each [`absorb_block`](SharedStreamingMerge::absorb_block) holds the
+/// lock for the whole block, so the seen-check and the skyline update
+/// are atomic together — the linearization point the exactness
+/// argument needs.
+pub struct SharedStreamingMerge {
+    inner: mrsky_model::sync::Mutex<StreamingMerge>,
+}
+
+impl SharedStreamingMerge {
+    /// Wraps a merge for shared use.
+    pub fn new(merge: StreamingMerge) -> Self {
+        Self {
+            inner: mrsky_model::sync::Mutex::new(merge),
+        }
+    }
+
+    /// Absorbs one local-skyline block (see [`StreamingMerge::absorb_block`]).
+    pub fn absorb_block(&self, block: &PointBlock) -> usize {
+        self.inner.lock().absorb_block(block)
+    }
+
+    /// Total distinct rows absorbed so far.
+    pub fn absorbed(&self) -> u64 {
+        self.inner.lock().absorbed()
+    }
+
+    /// Dominance comparisons spent so far.
+    pub fn comparisons(&self) -> u64 {
+        self.inner.lock().comparisons()
+    }
+
+    /// A clone of the current running skyline.
+    pub fn skyline_snapshot(&self) -> PointBlock {
+        self.inner.lock().skyline().clone()
+    }
+
+    /// Consumes the wrapper and returns the final skyline block.
+    pub fn into_skyline(self) -> PointBlock {
+        self.inner.into_inner().into_skyline()
+    }
+}
+
 /// A dynamically maintained, partitioned skyline.
 pub struct IncrementalSkyline<P: SpacePartitioner> {
     partitioner: P,

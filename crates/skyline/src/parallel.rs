@@ -164,9 +164,9 @@ where
     let n = chunks.len();
     let workers = threads.min(n).max(1);
     let budget = chaos.map_or(1, |c| c.plan.max_attempts.max(1));
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let cursor = mrsky_model::sync::AtomicUsize::new(0);
     let work = &work;
-    std::thread::scope(|scope| {
+    mrsky_model::sync::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -174,7 +174,10 @@ where
                     let mut failures: Vec<ChunkFailure> = Vec::new();
                     let mut counters = ChaosCounters::default();
                     loop {
-                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        // ORDERING: Relaxed — pure ticket dispenser; results
+                        // travel through each worker's return value, not
+                        // through memory ordered by the cursor.
+                        let i = cursor.fetch_add(1, mrsky_model::sync::Ordering::Relaxed);
                         if i >= n {
                             break;
                         }

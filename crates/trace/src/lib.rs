@@ -4,8 +4,8 @@
 //! Three cooperating pieces, all hand-rolled on the standard library:
 //!
 //! - **Events** ([`event`]): typed [`TraceEvent`]s with monotonic
-//!   sequence numbers, wall-clock offsets, and sim-clock payloads,
-//!   serialized as flat JSONL.
+//!   sequence numbers, epoch-clock offsets (deterministic [`SimClock`]
+//!   by default), and sim-clock payloads, serialized as flat JSONL.
 //! - **Sinks** ([`sink`]): the [`Tracer`] handle threaded through
 //!   [`JobSpec`](../mrsky_mapreduce/struct.JobSpec.html) and the driver;
 //!   disabled tracers cost one branch per site.
@@ -30,7 +30,7 @@ pub mod summary;
 pub use chrome::to_chrome_trace;
 pub use event::{EventKind, PhaseKind, TraceEvent};
 pub use registry::{metrics, Histogram, MetricsRegistry, MetricsSnapshot};
-pub use sink::{JsonlWriter, NullSink, TraceSink, Tracer, VecSink};
+pub use sink::{EpochClock, JsonlWriter, NullSink, SimClock, TraceSink, Tracer, VecSink};
 pub use summary::{validate_events, TraceSummary};
 
 /// Parses a JSONL trace document (one event per line, blank lines

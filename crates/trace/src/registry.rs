@@ -15,10 +15,10 @@
 //! - **Snapshot-merge.** Readers call [`MetricsRegistry::snapshot`], which
 //!   folds all shards into one [`MetricsSnapshot`] with saturating adds.
 
+use mrsky_model::sync::{AtomicBool, AtomicUsize, Mutex, Ordering};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
 
 /// Number of independently locked shards.
 pub const SHARDS: usize = 16;
@@ -161,11 +161,15 @@ impl MetricsRegistry {
 
     /// Turns recording on or off.
     pub fn set_enabled(&self, enabled: bool) {
+        // ORDERING: Relaxed — the flag only gates best-effort recording;
+        // a stale read drops or admits a few samples around the toggle,
+        // never corrupts shard state (that is the mutexes' job).
         self.enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Whether recording calls currently do anything.
     pub fn is_enabled(&self) -> bool {
+        // ORDERING: Relaxed — see `set_enabled`.
         self.enabled.load(Ordering::Relaxed)
     }
 
@@ -179,7 +183,7 @@ impl MetricsRegistry {
         if !self.is_enabled() || delta == 0 {
             return;
         }
-        let mut shard = self.shard().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut shard = self.shard().lock();
         let slot = shard.counters.entry(name.to_string()).or_insert(0);
         *slot = slot.saturating_add(delta);
     }
@@ -190,7 +194,7 @@ impl MetricsRegistry {
         if !self.is_enabled() {
             return;
         }
-        let mut shard = self.shard().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut shard = self.shard().lock();
         shard
             .histograms
             .entry(name.to_string())
@@ -204,7 +208,7 @@ impl MetricsRegistry {
         if !self.is_enabled() {
             return;
         }
-        let mut gauges = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut gauges = self.gauges.lock();
         gauges.insert(name.to_string(), value);
     }
 
@@ -214,7 +218,7 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         for shard in &self.shards {
-            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let guard = shard.lock();
             for (name, value) in &guard.counters {
                 let slot = snap.counters.entry(name.clone()).or_insert(0);
                 *slot = slot.saturating_add(*value);
@@ -223,7 +227,7 @@ impl MetricsRegistry {
                 snap.histograms.entry(name.clone()).or_default().merge(hist);
             }
         }
-        let gauges = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+        let gauges = self.gauges.lock();
         snap.gauges = gauges.clone();
         snap
     }
@@ -231,11 +235,11 @@ impl MetricsRegistry {
     /// Clears every shard and gauge (the enabled flag is untouched).
     pub fn reset(&self) {
         for shard in &self.shards {
-            let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut guard = shard.lock();
             guard.counters.clear();
             guard.histograms.clear();
         }
-        let mut gauges = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut gauges = self.gauges.lock();
         gauges.clear();
     }
 }

@@ -5,16 +5,43 @@
 //! [`emit`](Tracer::emit) is a branch on a `None` — instrumentation sites
 //! pay ~nothing when tracing is off, which the `trace_overhead` bench
 //! guards. An enabled tracer stamps each event with a monotonic sequence
-//! number and a wall-clock offset, then hands it to a [`TraceSink`].
+//! number and an [`EpochClock`] offset (the deterministic [`SimClock`]
+//! unless a wall clock is injected), then hands it to a [`TraceSink`].
 //!
 //! Sequence stamping and the sink write happen under one mutex, so the
 //! order of lines in a JSONL file *is* sequence order — the CI schema
 //! validator relies on that.
 
 use crate::event::{EventKind, TraceEvent};
+use mrsky_model::sync::{AtomicU64, Mutex, Ordering};
 use std::io::{self, BufWriter, Write};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
+
+/// Source of the microsecond timestamps stamped onto trace events.
+///
+/// The tracer deliberately does not read the wall clock itself: trace
+/// files must be byte-reproducible under checkpoint/resume and in
+/// tests, so the default clock is the deterministic [`SimClock`]. A
+/// real-time consumer (the CLI) injects its own wall-clock
+/// implementation via [`Tracer::with_clock`].
+pub trait EpochClock: Send + Sync {
+    /// Microseconds elapsed since this clock's epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// Deterministic default clock: a monotonic tick counter that advances
+/// one microsecond per reading, so identical event sequences get
+/// identical timestamps on every run.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    ticks: AtomicU64,
+}
+
+impl EpochClock for SimClock {
+    fn now_us(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+}
 
 /// Destination for stamped trace events.
 pub trait TraceSink: Send {
@@ -107,7 +134,7 @@ impl<W: Write + Send> TraceSink for JsonlWriter<W> {
 }
 
 struct TracerInner {
-    epoch: Instant,
+    clock: Box<dyn EpochClock>,
     state: Mutex<SinkState>,
 }
 
@@ -142,11 +169,18 @@ impl Tracer {
         Tracer { inner: None }
     }
 
-    /// A tracer feeding the given sink.
+    /// A tracer feeding the given sink, stamped by the deterministic
+    /// [`SimClock`].
     pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Tracer::with_clock(sink, Box::new(SimClock::default()))
+    }
+
+    /// A tracer with an explicit timestamp source — how a real-time
+    /// consumer opts back into wall-clock stamps.
+    pub fn with_clock(sink: Box<dyn TraceSink>, clock: Box<dyn EpochClock>) -> Self {
         Tracer {
             inner: Some(Arc::new(TracerInner {
-                epoch: Instant::now(),
+                clock,
                 state: Mutex::new(SinkState { next_seq: 0, sink }),
             })),
         }
@@ -163,15 +197,19 @@ impl Tracer {
         self.inner.is_some()
     }
 
+    /// A reading of this tracer's clock (0 for a disabled tracer) —
+    /// lets callers derive durations in the same timebase as the
+    /// emitted events without touching the wall clock themselves.
+    pub fn now_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.clock.now_us())
+    }
+
     /// Stamps and emits an event. The payload is built lazily so disabled
     /// tracers skip even the `String` clones inside [`EventKind`].
     pub fn emit(&self, make: impl FnOnce() -> EventKind) {
         let Some(inner) = &self.inner else { return };
-        let wall_us = inner.epoch.elapsed().as_micros() as u64;
-        let mut state = inner
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let wall_us = inner.clock.now_us();
+        let mut state = inner.state.lock();
         let event = TraceEvent {
             seq: state.next_seq,
             wall_us,
@@ -200,10 +238,7 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        let mut state = inner
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = inner.state.lock();
         state.sink.flush()
     }
 
@@ -214,10 +249,7 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
-        let mut state = inner
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = inner.state.lock();
         state.sink.drain()
     }
 }
@@ -273,10 +305,50 @@ mod tests {
     }
 
     #[test]
+    fn sim_clock_timestamps_are_reproducible() {
+        let run = || {
+            let tracer = Tracer::in_memory();
+            tracer.emit(|| EventKind::JobStarted { job: "j".into() });
+            tracer.span("phase", || ());
+            tracer.emit(|| EventKind::JobFinished {
+                job: "j".into(),
+                sim_total: 1.0,
+                wall_seconds: 0.0,
+            });
+            tracer
+                .drain()
+                .into_iter()
+                .map(|ev| ev.wall_us)
+                .collect::<Vec<u64>>()
+        };
+        let first = run();
+        assert_eq!(first, run(), "identical runs must stamp identical times");
+        assert!(
+            first.windows(2).all(|w| w[0] < w[1]),
+            "sim clock is monotone"
+        );
+    }
+
+    #[test]
+    fn injected_clock_drives_timestamps() {
+        struct FixedClock;
+        impl EpochClock for FixedClock {
+            fn now_us(&self) -> u64 {
+                42
+            }
+        }
+        let tracer = Tracer::with_clock(Box::new(VecSink::new()), Box::new(FixedClock));
+        assert_eq!(tracer.now_us(), 42);
+        tracer.emit(|| EventKind::JobStarted { job: "j".into() });
+        assert_eq!(tracer.drain()[0].wall_us, 42);
+        assert_eq!(Tracer::disabled().now_us(), 0);
+    }
+
+    #[test]
     fn jsonl_writer_produces_parseable_lines() {
         let buffer: Vec<u8> = Vec::new();
-        let shared = Arc::new(Mutex::new(buffer));
-        struct Shared(Arc<Mutex<Vec<u8>>>);
+        let shared = Arc::new(std::sync::Mutex::new(buffer));
+        struct Shared(Arc<std::sync::Mutex<Vec<u8>>>);
         impl Write for Shared {
             fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
                 self.0.lock().unwrap().extend_from_slice(buf);

@@ -1,0 +1,66 @@
+//! Model checks of the real `MetricsRegistry` under adversarial
+//! interleavings. Compiled only with `RUSTFLAGS="--cfg mrsky_model"`
+//! (the CI `model-check` job), where the sync facade is instrumented.
+#![cfg(mrsky_model)]
+
+use mrsky_model::{check_opts, CheckOptions};
+use mrsky_trace::MetricsRegistry;
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        preemption_bound: 2,
+        random_walks: 8,
+        max_iterations: 5_000,
+        ..CheckOptions::default()
+    }
+}
+
+/// Racing writers on the sharded registry: the snapshot fold after the
+/// join must see every increment exactly once, on every schedule.
+#[test]
+fn model_registry_counter_merge_is_linearizable() {
+    let report = check_opts(&opts(), || {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        mrsky_model::sync::scope(|s| {
+            let h = s.spawn(|| {
+                reg.incr("spread", 2);
+                reg.observe("obs", 5);
+            });
+            reg.incr("spread", 1);
+            let _ = h.join();
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("spread"), Some(&3), "lost increment");
+        assert_eq!(snap.histograms.get("obs").map(|h| h.count()), Some(1));
+    });
+    assert!(report.executions >= 1);
+}
+
+/// A concurrent snapshot during a write must be a prefix-consistent
+/// fold: it can miss in-flight increments but never invent or corrupt
+/// them, and the enable flag race is benign.
+#[test]
+fn model_registry_snapshot_during_writes_is_sane() {
+    let report = check_opts(&opts(), || {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        let mid = mrsky_model::sync::scope(|s| {
+            let writer = s.spawn(|| {
+                reg.incr("c", 1);
+                reg.incr("c", 1);
+            });
+            let observed = reg.snapshot().counters.get("c").copied().unwrap_or(0);
+            let _ = writer.join();
+            observed
+        });
+        assert!(mid <= 2, "snapshot saw more than was ever written");
+        let finals = reg.snapshot();
+        assert_eq!(
+            finals.counters.get("c"),
+            Some(&2),
+            "final fold lost a write"
+        );
+    });
+    assert!(report.executions >= 1);
+}

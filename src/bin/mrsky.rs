@@ -15,9 +15,23 @@ use mr_skyline_suite::mr::prelude::*;
 use mr_skyline_suite::qws::{
     generate_qws, generate_synthetic, Dataset, Distribution, QwsConfig, SyntheticConfig,
 };
-use mr_skyline_suite::trace::{self, TraceSummary, Tracer};
+use mr_skyline_suite::trace::{self, EpochClock, TraceSummary, Tracer, VecSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Real wall-clock timestamps for interactive CLI runs. The runtime
+/// crates themselves never read the wall clock (the `no-wall-clock`
+/// lint enforces it); the CLI, as the outermost real-time consumer,
+/// injects this clock into the tracer it owns.
+struct WallClock {
+    epoch: std::time::Instant,
+}
+
+impl EpochClock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
 
 fn main() -> ExitCode {
     // The chaos kill switch aborts a run by panicking, and the resilient
@@ -235,7 +249,12 @@ fn trace_opts(args: &[String]) -> Result<TraceOpts, String> {
         }
     };
     let tracer = if out.is_some() {
-        Tracer::in_memory()
+        Tracer::with_clock(
+            Box::new(VecSink::new()),
+            Box::new(WallClock {
+                epoch: std::time::Instant::now(),
+            }),
+        )
     } else {
         Tracer::disabled()
     };

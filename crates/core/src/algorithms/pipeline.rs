@@ -28,9 +28,10 @@
 use crate::checkpoint::CheckpointStore;
 use crate::config::{AlgoConfig, LocalKernel};
 use mini_mapreduce::prelude::*;
-use mini_mapreduce::runtime::{LocalityConfig, RECORDS_PER_SPLIT};
+use mini_mapreduce::runtime::{LocalityConfig, SpillConfig, RECORDS_PER_SPLIT};
 use mini_mapreduce::scheduler::SpeculationConfig;
 use mini_mapreduce::task::FailureConfig;
+use mini_mapreduce::{ExecutorMode, OwnedMergeFn};
 use mrsky_chaos::{FaultPlan, KillSwitch, KILL_PAYLOAD};
 use mrsky_trace::{EventKind, Tracer};
 use qws_data::Dataset;
@@ -135,6 +136,87 @@ fn concat_blocks(dim: usize, blocks: &[PointBlock]) -> PointBlock {
         out.extend_from_block(b);
     }
     out
+}
+
+/// Concatenates owned shuffle value blocks without copying the first one:
+/// the first block is moved out wholesale and the rest are drained into it
+/// (`append_owned`). Under the zero-copy shuffle a reducer receives one
+/// already-concatenated block per key, making this a pure move.
+fn concat_owned(dim: usize, blocks: Vec<PointBlock>) -> PointBlock {
+    let mut it = blocks.into_iter();
+    let mut out = it.next().unwrap_or_else(|| PointBlock::new(dim));
+    for b in it {
+        out.append_owned(b)
+            .expect("same-job blocks share dimension");
+    }
+    out
+}
+
+/// Ownership-transfer merge for the shuffle: same-key blocks concatenate
+/// in place during routing, so the reducer sees one flat block per key and
+/// no value is ever cloned. Blocks of mismatched dimension (impossible
+/// within one job, but the merge must be total) stay separate.
+fn owned_block_merge() -> OwnedMergeFn<PointBlock> {
+    Arc::new(|acc: &mut PointBlock, b: PointBlock| {
+        if acc.dim() == b.dim() {
+            acc.append_owned(b).expect("dimensions checked");
+            None
+        } else {
+            Some(b)
+        }
+    })
+}
+
+/// Flat little-endian spill frame for one block:
+/// `dim:u32, len:u32, ids:[u64], coord bits:[u64]`.
+fn encode_block(b: &PointBlock) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + b.len() * 8 + b.coords().len() * 8);
+    out.extend_from_slice(&(b.dim() as u32).to_le_bytes());
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    for id in b.ids() {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    for c in b.coords() {
+        out.extend_from_slice(&c.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_block`]. Panics on a malformed frame — spill files
+/// are written and read within one run, so corruption is a bug, not input.
+fn decode_block(bytes: &[u8]) -> PointBlock {
+    let dim = u32::from_le_bytes(bytes[0..4].try_into().expect("frame header")) as usize;
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("frame header")) as usize;
+    let mut b = PointBlock::with_capacity(dim, len);
+    let ids = &bytes[8..8 + len * 8];
+    let coords = &bytes[8 + len * 8..];
+    assert_eq!(coords.len(), len * dim * 8, "torn spill frame");
+    let mut row = vec![0.0f64; dim];
+    for i in 0..len {
+        let id = u64::from_le_bytes(ids[i * 8..(i + 1) * 8].try_into().expect("id"));
+        for (j, slot) in row.iter_mut().enumerate() {
+            let at = (i * dim + j) * 8;
+            *slot = f64::from_bits(u64::from_le_bytes(
+                coords[at..at + 8].try_into().expect("coord"),
+            ));
+        }
+        b.push(id, &row)
+            .expect("spilled rows were valid when written");
+    }
+    b
+}
+
+/// Resolves the configured spill policy into a runtime [`SpillConfig`]
+/// with the block codec attached.
+fn spill_config(cfg: &AlgoConfig) -> Option<SpillConfig<PointBlock>> {
+    cfg.spill_budget_bytes.map(|budget_bytes| SpillConfig {
+        budget_bytes,
+        dir: cfg.spill_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("mrsky-spill-{}", std::process::id()))
+        }),
+        encode: Arc::new(encode_block),
+        decode: Arc::new(decode_block),
+    })
 }
 
 /// Re-packs an AoS kernel result into a block.
@@ -355,6 +437,16 @@ pub fn run_two_job_pipeline(
         Arc::new(SharedStreamingMerge::new(sm))
     });
 
+    // ---- Scale plumbing shared by every job in the chain ----
+    let executor = if opts.config.static_executor {
+        ExecutorMode::Static
+    } else {
+        ExecutorMode::WorkStealing
+    };
+    let owned_merge: Option<OwnedMergeFn<PointBlock>> =
+        opts.config.owned_shuffle.then(owned_block_merge);
+    let spill = spill_config(&opts.config);
+
     // ---- Job 1: partition + local skylines ----
     // One reduce task per partition, as a Hadoop job would configure for a
     // partition-keyed reduce; the cluster's reduce slots bound *concurrency*
@@ -362,7 +454,10 @@ pub fn run_two_job_pipeline(
     let mut spec1: JobSpec<u64, PointBlock> =
         JobSpec::new(format!("{}-partition", opts.name), opts.cluster.clone())
             .with_reducers(num_partitions.max(1))
-            .with_map_tasks(point_splits(job1_input.len()));
+            .with_map_tasks(point_splits(job1_input.len()))
+            .with_executor(executor);
+    spec1.owned_merge = owned_merge.clone();
+    spec1.spill = spill.clone();
     spec1.cost = opts.cost.clone();
     spec1.failure = opts.failure.clone();
     spec1.speculation = opts.speculation.clone();
@@ -477,7 +572,7 @@ pub fn run_two_job_pipeline(
             write_checkpoint(ctx, *key, &[]);
             return;
         }
-        let outcome = run_local_kernel(&concat_blocks(dim, &values), kernel, window);
+        let outcome = run_local_kernel(&concat_owned(dim, values), kernel, window);
         ctx.add_work(outcome.work);
         ctx.incr("local_skyline_points", outcome.sky.len() as u64);
         outcome.trace(&tracer1, kernel_label, points);
@@ -581,7 +676,10 @@ pub fn run_two_job_pipeline(
                 opts.cluster.clone(),
             )
             .with_reducers(reducers)
-            .with_map_tasks(point_splits(merge_block.len()));
+            .with_map_tasks(point_splits(merge_block.len()))
+            .with_executor(executor);
+            spec_pm.owned_merge = owned_merge.clone();
+            spec_pm.spill = spill.clone();
             spec_pm.cost = opts.cost.clone();
             spec_pm.failure = opts.failure.clone();
             spec_pm.speculation = opts.speculation.clone();
@@ -613,7 +711,7 @@ pub fn run_two_job_pipeline(
                 let _ = key;
                 let points: u64 = values.iter().map(|b| b.len() as u64).sum();
                 ctx.add_records_in(points.saturating_sub(values.len() as u64));
-                let outcome = run_merge_kernel(&concat_blocks(dim, &values));
+                let outcome = run_merge_kernel(&concat_owned(dim, values));
                 ctx.add_work(outcome.work);
                 outcome.trace(&tracer_pm, "presort-merge", points);
                 out.push(outcome.sky);
@@ -638,7 +736,10 @@ pub fn run_two_job_pipeline(
     let mut spec2: JobSpec<u64, PointBlock> =
         JobSpec::new(format!("{}-merge", opts.name), opts.cluster.clone())
             .with_reducers(1)
-            .with_map_tasks(point_splits(merge_block.len()));
+            .with_map_tasks(point_splits(merge_block.len()))
+            .with_executor(executor);
+    spec2.owned_merge = owned_merge;
+    spec2.spill = spill;
     spec2.cost = opts.cost.clone();
     spec2.failure = opts.failure.clone();
     spec2.speculation = opts.speculation.clone();
@@ -656,7 +757,7 @@ pub fn run_two_job_pipeline(
     // candidates to a local skyline before the single reducer sees them —
     // the standard combiner trick the paper's Algorithm 1 does not use.
     let combiner2 = move |_key: &u64, values: Vec<PointBlock>, ctx: &mut TaskContext| {
-        let outcome = run_merge_kernel(&concat_blocks(dim, &values));
+        let outcome = run_merge_kernel(&concat_owned(dim, values));
         ctx.add_work(outcome.work);
         vec![outcome.sky]
     };
@@ -667,7 +768,7 @@ pub fn run_two_job_pipeline(
                          out: &mut Vec<PointBlock>| {
         let points: u64 = values.iter().map(|b| b.len() as u64).sum();
         ctx.add_records_in(points.saturating_sub(values.len() as u64));
-        let outcome = run_merge_kernel(&concat_blocks(dim, &values));
+        let outcome = run_merge_kernel(&concat_owned(dim, values));
         ctx.add_work(outcome.work);
         outcome.trace(&tracer2, "presort-merge", points);
         out.push(outcome.sky);
@@ -1199,6 +1300,160 @@ mod tests {
             .map(|(_, v)| v.len() as u64)
             .sum();
         assert!(candidates >= shipped);
+    }
+
+    #[test]
+    fn owned_shuffle_matches_seed_row_shuffle_bit_for_bit() {
+        let data = generate_qws(&QwsConfig::new(1500, 4));
+        let owned = run(Algorithm::MrAngle, &data, 4);
+        let cfg = AlgoConfig {
+            owned_shuffle: false,
+            static_executor: true,
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4).expect("fit");
+        let mut opts = options("MR-Angle-seed", 4);
+        opts.config = cfg;
+        let seed = run_two_job_pipeline(part, &data, &opts);
+        // not just the same set — the same points in the same order
+        assert_eq!(owned.global_skyline, seed.global_skyline);
+        assert_eq!(owned.local_skylines, seed.local_skylines);
+        // the wire is the same size either way: concatenation transfers
+        // bytes, it does not invent or drop them
+        assert_eq!(owned.metrics.shuffle_bytes, seed.metrics.shuffle_bytes);
+    }
+
+    #[test]
+    fn executor_modes_agree_on_the_pipeline() {
+        let data = generate_qws(&QwsConfig::new(900, 3));
+        let stealing = run(Algorithm::MrGrid, &data, 4);
+        let cfg = AlgoConfig {
+            static_executor: true,
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrGrid, &cfg, &data, 4).expect("fit");
+        let mut opts = options("MR-Grid-static", 4);
+        opts.config = cfg;
+        opts.map_work_per_point = map_work_per_point(Algorithm::MrGrid, data.dim());
+        let fixed = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(stealing.global_skyline, fixed.global_skyline);
+        assert_eq!(stealing.metrics.sim_total, fixed.metrics.sim_total);
+    }
+
+    #[test]
+    fn spilled_pipeline_is_exact_and_lowers_reduce_peak() {
+        let data = generate_qws(&QwsConfig::new(1200, 4));
+        let plain = run(Algorithm::MrAngle, &data, 4);
+        let dir = std::env::temp_dir().join(format!("mrsky-pipe-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = AlgoConfig {
+            spill_budget_bytes: Some(0), // spill every reduce input
+            spill_dir: Some(dir.clone()),
+            ..AlgoConfig::default()
+        };
+        let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4).expect("fit");
+        let mut opts = options("MR-Angle-spill", 4);
+        opts.config = cfg;
+        let spilled = run_two_job_pipeline(part, &data, &opts);
+        assert_eq!(plain.global_skyline, spilled.global_skyline);
+        assert_eq!(plain.local_skylines, spilled.local_skylines);
+        // every reduce input went through the disk round-trip
+        let spilled_inputs: u64 = spilled
+            .metrics
+            .reduce
+            .counters
+            .get("spilled_inputs")
+            .copied()
+            .unwrap_or(0);
+        assert!(spilled_inputs > 0, "budget 0 must spill something");
+        assert_eq!(
+            spilled
+                .metrics
+                .reduce
+                .counters
+                .get("spill_write_errors")
+                .copied()
+                .unwrap_or(0),
+            0
+        );
+        // consumed spill files are deleted
+        if dir.exists() {
+            let leftovers: Vec<_> = walk_files(&dir);
+            assert!(
+                leftovers.is_empty(),
+                "spill files must be cleaned up: {leftovers:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn walk_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let mut out = Vec::new();
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            if let Ok(entries) = std::fs::read_dir(&d) {
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if p.is_dir() {
+                        stack.push(p);
+                    } else {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn spill_frame_codec_round_trips() {
+        let data = generate_qws(&QwsConfig::new(97, 5));
+        let mut b = PointBlock::with_capacity(5, data.len());
+        for p in data.points() {
+            b.push_point(p);
+        }
+        let decoded = decode_block(&encode_block(&b));
+        assert_eq!(decoded.to_points(), b.to_points());
+        // empty block round-trips too
+        let empty = PointBlock::new(3);
+        assert_eq!(decode_block(&encode_block(&empty)).len(), 0);
+    }
+
+    #[test]
+    fn pipeline_reports_peak_memory_gauges() {
+        let data = generate_qws(&QwsConfig::new(800, 3));
+        let out = run(Algorithm::MrAngle, &data, 4);
+        assert!(out.metrics.peak_mem.map_out > 0);
+        assert!(out.metrics.peak_mem.reduce_in > 0);
+        // chained metrics keep the element-wise max across both jobs, so
+        // the plateau is at least Job 2's single-reducer input
+        assert!(out.metrics.peak_mem.map_out <= out.metrics.shuffle_bytes);
+    }
+
+    #[test]
+    fn chaos_with_scale_knobs_stays_exact() {
+        let data = generate_qws(&QwsConfig::new(700, 4));
+        let clean = run(Algorithm::MrAngle, &data, 4);
+        let dir =
+            std::env::temp_dir().join(format!("mrsky-pipe-chaos-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for seed in [5u64, 9] {
+            let cfg = AlgoConfig {
+                spill_budget_bytes: Some(0),
+                spill_dir: Some(dir.clone()),
+                ..AlgoConfig::default()
+            };
+            let part = build_partitioner(Algorithm::MrAngle, &cfg, &data, 4).expect("fit");
+            let mut opts = options("MR-Angle-chaos-scale", 4);
+            opts.config = cfg;
+            opts.chaos = FaultPlan::heavy(seed);
+            let chaotic = run_two_job_pipeline(part, &data, &opts);
+            assert_eq!(
+                clean.global_skyline, chaotic.global_skyline,
+                "seed {seed}: chaos + owned shuffle + spill changed the skyline"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -118,6 +118,29 @@ pub struct AlgoConfig {
     /// final result is bit-identical either way; off by default to preserve
     /// the paper's two-phase cost model.
     pub streaming_merge: bool,
+    /// Zero-copy block shuffle: same-key value blocks are concatenated by
+    /// ownership transfer *during* the shuffle (no clone, no second concat
+    /// in the reducer). Bit-identical output; on by default. The seed
+    /// semantics — one value per routed block — are restored by switching
+    /// this off.
+    #[serde(default)]
+    pub owned_shuffle: bool,
+    /// Force the static chunked executor for real map/reduce execution
+    /// instead of the work-stealing default. Off by default; the seed
+    /// behaviour for skew comparisons and ablation benches.
+    #[serde(default)]
+    pub static_executor: bool,
+    /// Reduce-input spill budget in (wire-accounted) bytes: any reduce
+    /// input larger than this is spilled to disk right after the shuffle
+    /// and reloaded just-in-time by its reduce task. `None` (default)
+    /// keeps everything in memory.
+    #[serde(default)]
+    pub spill_budget_bytes: Option<u64>,
+    /// Directory for spill files. `None` (default) uses a per-process
+    /// directory under the system temp dir; set it explicitly when several
+    /// jobs with identical names spill concurrently in one process.
+    #[serde(default)]
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for AlgoConfig {
@@ -136,6 +159,10 @@ impl Default for AlgoConfig {
             filter_k: None,
             sector_prune: true,
             streaming_merge: false,
+            owned_shuffle: true,
+            static_executor: false,
+            spill_budget_bytes: None,
+            spill_dir: None,
         }
     }
 }
@@ -203,6 +230,15 @@ mod tests {
             ..AlgoConfig::default()
         };
         assert_eq!(fixed.filter_points_for(6), 3);
+    }
+
+    #[test]
+    fn scale_knob_defaults() {
+        let cfg = AlgoConfig::default();
+        assert!(cfg.owned_shuffle, "owned shuffle defaults on");
+        assert!(!cfg.static_executor, "work stealing is the default");
+        assert_eq!(cfg.spill_budget_bytes, None, "spilling defaults off");
+        assert_eq!(cfg.spill_dir, None);
     }
 
     #[test]

@@ -73,6 +73,18 @@ impl SkylineRunReport {
         self.local_skylines.iter().map(|(_, v)| v.len()).sum()
     }
 
+    /// Peak bytes of map output held across the shuffle, maximized over the
+    /// job chain (the map-side memory plateau of the run).
+    pub fn peak_map_out_bytes(&self) -> u64 {
+        self.metrics.peak_mem.map_out
+    }
+
+    /// Peak bytes of materialized reduce input, maximized over the job
+    /// chain. Spilling reduce inputs to disk lowers this number.
+    pub fn peak_reduce_in_bytes(&self) -> u64 {
+        self.metrics.peak_mem.reduce_in
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -131,6 +143,10 @@ mod tests {
                 job_overhead: 4.0,
                 sim_total: 9.0,
                 wall_seconds: 0.0,
+                peak_mem: mini_mapreduce::PeakMemBytes {
+                    map_out: 512,
+                    reduce_in: 256,
+                },
             },
         }
     }
@@ -142,6 +158,8 @@ mod tests {
         assert_eq!(r.map_time(), 2.0);
         assert_eq!(r.reduce_time(), 3.0);
         assert_eq!(r.merge_candidates(), 1);
+        assert_eq!(r.peak_map_out_bytes(), 512);
+        assert_eq!(r.peak_reduce_in_bytes(), 256);
     }
 
     #[test]

@@ -87,14 +87,16 @@ pub mod timeline;
 pub mod types;
 
 pub use cost::CostModel;
-pub use dfs::BlockStore;
+pub use dfs::{BlockStore, SpillReader, SpillStore};
 pub use mapper::{Combiner, Mapper};
-pub use metrics::{JobMetrics, PhaseMetrics};
+pub use metrics::{JobMetrics, PeakMemBytes, PhaseMetrics};
+pub use pool::ExecutorMode;
 pub use reducer::Reducer;
-pub use runtime::{run_job, ClusterConfig, JobResult, JobSpec, LocalityConfig};
+pub use runtime::{run_job, ClusterConfig, JobResult, JobSpec, LocalityConfig, SpillConfig};
 pub use scheduler::{
     schedule_phase, schedule_phase_with_locality, PhaseSchedule, SpeculationConfig,
 };
+pub use shuffle::OwnedMergeFn;
 pub use task::FailureConfig;
 pub use timeline::render_timeline;
 pub use types::{Emitter, TaskContext};

@@ -52,6 +52,30 @@ impl PhaseMetrics {
     }
 }
 
+/// High-water marks of the job's resident intermediate data, in logical
+/// (wire-accounted) bytes. `map_out` is the peak of buffered map output
+/// awaiting the shuffle; `reduce_in` is the peak of shuffled reduce input
+/// resident in memory (spilled inputs leave this gauge while they sit on
+/// disk and re-enter only while their reduce task runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeakMemBytes {
+    /// Peak resident map-output bytes.
+    pub map_out: u64,
+    /// Peak resident reduce-input bytes.
+    pub reduce_in: u64,
+}
+
+impl PeakMemBytes {
+    /// Element-wise maximum — the correct combination for jobs that run
+    /// back to back (the plateaus do not coexist).
+    pub fn max(self, other: PeakMemBytes) -> PeakMemBytes {
+        PeakMemBytes {
+            map_out: self.map_out.max(other.map_out),
+            reduce_in: self.reduce_in.max(other.reduce_in),
+        }
+    }
+}
+
 /// Metrics of a completed job.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobMetrics {
@@ -70,6 +94,9 @@ pub struct JobMetrics {
     pub sim_total: f64,
     /// Real wall-clock seconds the host spent executing the job.
     pub wall_seconds: f64,
+    /// Peak resident intermediate bytes observed during real execution.
+    #[serde(default)]
+    pub peak_mem: PeakMemBytes,
 }
 
 impl JobMetrics {
@@ -127,6 +154,7 @@ impl JobMetrics {
         out.job_overhead += next.job_overhead;
         out.sim_total += next.sim_total;
         out.wall_seconds += next.wall_seconds;
+        out.peak_mem = out.peak_mem.max(next.peak_mem);
         out
     }
 
@@ -195,6 +223,10 @@ mod tests {
             job_overhead: 4.0,
             sim_total: 9.0,
             wall_seconds: 0.1,
+            peak_mem: PeakMemBytes {
+                map_out: 10,
+                reduce_in: 30,
+            },
         };
         let b = JobMetrics {
             name: "second".into(),
@@ -204,6 +236,10 @@ mod tests {
             job_overhead: 4.0,
             sim_total: 6.5,
             wall_seconds: 0.2,
+            peak_mem: PeakMemBytes {
+                map_out: 20,
+                reduce_in: 15,
+            },
         };
         let c = a.chain(&b);
         assert_eq!(c.name, "first+second");
@@ -214,6 +250,14 @@ mod tests {
         assert!((c.sim_total - 15.5).abs() < 1e-12);
         assert!((c.wall_seconds - 0.3).abs() < 1e-12);
         assert_eq!(c.map.task_durations.len(), 3);
+        // sequential jobs: peaks combine element-wise by max, not by sum
+        assert_eq!(
+            c.peak_mem,
+            PeakMemBytes {
+                map_out: 20,
+                reduce_in: 30
+            }
+        );
     }
 
     #[test]
@@ -261,6 +305,7 @@ mod tests {
             job_overhead: 0.0,
             sim_total: 2.0,
             wall_seconds: 0.0,
+            peak_mem: PeakMemBytes::default(),
         };
         a.map.counters.insert("c".into(), u64::MAX);
         let mut b = a.clone();
@@ -303,6 +348,7 @@ mod tests {
                     job_overhead: overhead,
                     sim_total,
                     wall_seconds: 0.0,
+                    peak_mem: PeakMemBytes::default(),
                 }
             })
         }

@@ -1,28 +1,61 @@
-//! A minimal work-stealing-free task pool on scoped threads.
+//! A work-stealing task pool on scoped threads.
 //!
 //! The runtime's real execution needs exactly one primitive: run `n`
 //! independent tasks on up to `threads` OS threads and collect their results
-//! in task order. A shared atomic cursor hands out task indices; each worker
-//! loops until the cursor runs dry. No channels, no dynamic spawning, no
-//! unsafe — the scoped-thread borrow proves the closure outlives the
-//! workers (the pattern recommended by the Rust concurrency guides this
-//! repo follows).
+//! in task order. Each worker owns a deque seeded with a contiguous range of
+//! task indices; the owner pops from the front, and a worker whose deque
+//! runs dry steals from the *back* of a victim's deque (Chase-Lev style:
+//! owner and thieves work opposite ends, so they contend only on the last
+//! task of a range). Stealing moves one task at a time and executes it
+//! immediately, so a task is only ever "in flight" while it is actually
+//! running — a worker that finds every deque empty can exit knowing all
+//! remaining work is already being executed by someone else. No channels, no
+//! dynamic spawning, no unsafe.
 //!
 //! All synchronization goes through the `mrsky-model` facade, so the
-//! cursor/slot handoff is model-checked under `--cfg mrsky_model`
+//! deque handoff is model-checked under `--cfg mrsky_model`
 //! (`tests/model.rs`): no task is lost, none runs twice, and a worker
 //! panic cannot strand the scope.
+//!
+//! [`run_indexed_static`] keeps the pre-stealing behaviour — contiguous
+//! chunks assigned up front, no rebalancing — as the baseline the scale
+//! bench and the equivalence suite compare against: a straggler chunk gates
+//! completion there, while the stealing pool redistributes it.
 
-use mrsky_model::sync::{scope, AtomicUsize, Mutex, Ordering};
+use mrsky_model::sync::{scope, Mutex};
+use std::collections::VecDeque;
+
+/// How [`run_indexed_mode`] distributes tasks over workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorMode {
+    /// Per-worker deques with steal-from-the-back rebalancing (the default).
+    #[default]
+    WorkStealing,
+    /// Contiguous chunks fixed at launch; stragglers gate completion. Kept
+    /// as the comparison baseline for benches and equivalence tests.
+    Static,
+}
 
 /// Runs `count` tasks with `worker(i)` on up to `threads` threads and
-/// returns the results ordered by task index.
+/// returns the results ordered by task index, using the work-stealing
+/// executor.
 ///
 /// `worker` must not panic: a panicking task aborts the whole run (the
 /// scoped-thread join propagates it), which is the desired behaviour —
 /// *injected* failures are modelled above this layer, real bugs should
 /// crash loudly.
 pub fn run_indexed<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    run_indexed_mode(count, threads, ExecutorMode::WorkStealing, worker)
+}
+
+/// Runs `count` tasks with the executor selected by `mode`. Both modes
+/// produce identical, task-index-ordered results; they differ only in which
+/// thread runs which task and therefore in wall-clock behaviour under skew.
+pub fn run_indexed_mode<R, F>(count: usize, threads: usize, mode: ExecutorMode, worker: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Send + Sync,
@@ -35,28 +68,96 @@ where
     if threads == 1 {
         return (0..count).map(worker).collect();
     }
+    match mode {
+        ExecutorMode::WorkStealing => run_stealing(count, threads, worker),
+        ExecutorMode::Static => run_static(count, threads, worker),
+    }
+}
 
-    let cursor = AtomicUsize::new(0);
+/// The static baseline: worker `w` executes the `w`-th contiguous chunk of
+/// task indices, fixed at launch. See [`ExecutorMode::Static`].
+pub fn run_indexed_static<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    run_indexed_mode(count, threads, ExecutorMode::Static, worker)
+}
+
+fn run_stealing<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    // Seed each worker's deque with a contiguous range (same assignment the
+    // static executor uses), so with zero steals the two modes touch the
+    // same data from the same threads.
+    let deques: Vec<Mutex<VecDeque<usize>>> = chunk_ranges(count, threads)
+        .into_iter()
+        .map(|(lo, hi)| Mutex::new((lo..hi).collect()))
+        .collect();
     let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
 
     // A panicking worker unwinds through the scope at join, which is the
     // desired crash-loudly behaviour documented above.
     scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                // ORDERING: Relaxed — the cursor is a pure ticket
-                // dispenser; slot publication is ordered by each slot's
-                // mutex, not by the cursor.
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+        for w in 0..threads {
+            let deques = &deques;
+            let slots = &slots;
+            let worker = &worker;
+            s.spawn(move || loop {
+                // Own deque first: pop the front (task order, cache-warm).
+                let mut task = deques[w].lock().pop_front();
+                if task.is_none() {
+                    // Dry: steal one task from the back of the first
+                    // non-empty victim, scanning round-robin from w+1.
+                    for k in 1..threads {
+                        let v = (w + k) % threads;
+                        task = deques[v].lock().pop_back();
+                        if task.is_some() {
+                            break;
+                        }
+                    }
                 }
-                let result = worker(i);
-                *slots[i].lock() = Some(result);
+                match task {
+                    Some(i) => {
+                        let result = worker(i);
+                        *slots[i].lock() = Some(result);
+                    }
+                    // Every deque is empty: all remaining tasks are already
+                    // executing on other workers. Nothing left to help with.
+                    None => break,
+                }
             });
         }
     });
 
+    collect_slots(slots)
+}
+
+fn run_static<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    let ranges = chunk_ranges(count, threads);
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    scope(|s| {
+        for &(lo, hi) in &ranges {
+            let slots = &slots;
+            let worker = &worker;
+            s.spawn(move || {
+                for (i, slot) in slots.iter().enumerate().take(hi).skip(lo) {
+                    let result = worker(i);
+                    *slot.lock() = Some(result);
+                }
+            });
+        }
+    });
+    collect_slots(slots)
+}
+
+fn collect_slots<R>(slots: Vec<Mutex<Option<R>>>) -> Vec<R> {
     slots
         .into_iter()
         .map(|m| {
@@ -66,17 +167,44 @@ where
         .collect()
 }
 
-/// Default worker-thread count: the host's available parallelism.
+/// Cuts `count` task indices into `threads` contiguous near-equal ranges.
+fn chunk_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
+    let base = count / threads;
+    let extra = count % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut lo = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < extra);
+        out.push((lo, lo + size));
+        lo += size;
+    }
+    out
+}
+
+/// Default worker-thread count: the `MRSKY_THREADS` environment variable
+/// when set to a positive integer (so benches and CI can pin parallelism),
+/// otherwise the host's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    let fallback = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
-        .unwrap_or(4)
+        .unwrap_or(4);
+    threads_from(std::env::var("MRSKY_THREADS").ok().as_deref(), fallback)
+}
+
+/// Resolves the thread count from an optional `MRSKY_THREADS` value:
+/// a parseable positive integer wins (clamped to ≥ 1), anything else —
+/// unset, empty, garbage, or zero — falls back to `fallback`.
+fn threads_from(var: Option<&str>, fallback: usize) -> usize {
+    match var.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => fallback,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn results_are_in_task_order() {
@@ -118,7 +246,83 @@ mod tests {
     }
 
     #[test]
+    fn static_mode_matches_stealing_mode() {
+        let a = run_indexed_static(97, 5, |i| i * 3 + 1);
+        let b = run_indexed(97, 5, |i| i * 3 + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_mode_runs_every_task_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let _ = run_indexed_static(500, 7, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_straggler_chunk() {
+        // All the slow tasks sit in worker 0's seeded range; with stealing,
+        // other workers must pick some of them up. Scheduling is not
+        // deterministic, so retry a bounded number of times until the slow
+        // range demonstrably spreads over more than one worker thread.
+        let ran_by_thief = AtomicU64::new(0);
+        for _ in 0..20 {
+            let ids = run_indexed(40, 4, |i| {
+                if i < 10 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                std::thread::current().id()
+            });
+            let slow_workers: std::collections::HashSet<_> = ids[..10].iter().collect();
+            if slow_workers.len() > 1 {
+                ran_by_thief.store(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        assert_eq!(
+            ran_by_thief.load(Ordering::Relaxed),
+            1,
+            "stealing never redistributed the straggler chunk"
+        );
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for count in [1usize, 2, 7, 100] {
+            for threads in [1usize, 2, 3, 8] {
+                let ranges = chunk_ranges(count, threads);
+                assert_eq!(ranges.len(), threads);
+                let mut lo = 0;
+                for &(a, b) in &ranges {
+                    assert_eq!(a, lo);
+                    assert!(b >= a);
+                    lo = b;
+                }
+                assert_eq!(lo, count);
+            }
+        }
+    }
+
+    #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_from_honors_override() {
+        assert_eq!(threads_from(Some("6"), 4), 6);
+        assert_eq!(threads_from(Some(" 12 "), 4), 12);
+        assert_eq!(threads_from(Some("1"), 4), 1);
+    }
+
+    #[test]
+    fn threads_from_falls_back_and_clamps() {
+        assert_eq!(threads_from(None, 4), 4, "unset: host parallelism");
+        assert_eq!(threads_from(Some(""), 4), 4, "empty: host parallelism");
+        assert_eq!(threads_from(Some("zero"), 4), 4, "garbage: fallback");
+        assert_eq!(threads_from(Some("0"), 4), 4, "zero clamps to fallback");
+        assert_eq!(threads_from(Some("-3"), 4), 4, "negative: fallback");
     }
 }

@@ -30,17 +30,21 @@
 //!   stays infallible under any plan.
 
 use crate::cost::CostModel;
+use crate::dfs::{SpillReader, SpillStore};
 use crate::mapper::{Combiner, Mapper};
-use crate::metrics::{JobMetrics, PhaseMetrics};
-use crate::pool;
+use crate::metrics::{JobMetrics, PeakMemBytes, PhaseMetrics};
+use crate::pool::{self, ExecutorMode};
 use crate::reducer::Reducer;
 use crate::scheduler::{schedule_phase, SpeculationConfig};
-use crate::shuffle::{default_router, shuffle, KeyRouter};
+use crate::shuffle::{default_router, shuffle_with, KeyRouter, OwnedMergeFn};
 use crate::task::{FailureConfig, Phase};
 use crate::types::{DataT, Emitter, KeyT, KvSizer, TaskContext};
 use mrsky_chaos::{FaultKind, FaultPlan, FaultSite};
+use mrsky_model::sync::{AtomicU64, Mutex, Ordering};
 use mrsky_trace::{EventKind, PhaseKind, Tracer};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The simulated cluster: how many servers, and how many concurrent task
 /// slots each server offers per phase (Hadoop 0.20 defaulted to 2 map and
@@ -137,6 +141,53 @@ pub struct JobSpec<K, V> {
     /// Chaos fault plan driving *real* re-execution of map attempts and
     /// shuffle fetches; [`FaultPlan::off`] (the default) injects nothing.
     pub chaos: FaultPlan,
+    /// Ownership-transfer merge applied during the shuffle; `None` (the
+    /// default) keeps the row shuffle's per-pair value lists. The skyline
+    /// pipeline installs a `PointBlock`-appending merge so reduce inputs
+    /// arrive as single concatenated buffers.
+    pub owned_merge: Option<OwnedMergeFn<V>>,
+    /// Real-execution task scheduler: work-stealing (default) or static
+    /// contiguous chunks (the pre-stealing baseline kept for comparison).
+    pub executor: ExecutorMode,
+    /// Spill policy for oversized reduce inputs; `None` keeps everything in
+    /// memory.
+    pub spill: Option<SpillConfig<V>>,
+}
+
+/// Disk-spill policy for reduce inputs: any reduce task whose shuffled input
+/// exceeds `budget_bytes` is serialized to `dir` (via the
+/// [`SpillStore`](crate::dfs::SpillStore) frame format) right after the
+/// shuffle, dropped from memory, and re-read value-by-value when its reduce
+/// task runs. The encode/decode pair is supplied by the job because the
+/// runtime is generic over `V`; the skyline pipeline installs a flat
+/// little-endian `PointBlock` codec.
+pub struct SpillConfig<V> {
+    /// Reduce inputs above this many (wire-accounted) bytes spill to disk.
+    pub budget_bytes: u64,
+    /// Directory the spill files are written to.
+    pub dir: PathBuf,
+    /// Serializes one value into a spill frame.
+    pub encode: SpillEncodeFn<V>,
+    /// Reconstructs a value from a spill frame. Must be the exact inverse
+    /// of `encode` — reduce outputs are bit-compared against unspilled runs.
+    pub decode: SpillDecodeFn<V>,
+}
+
+/// Serializer for one spilled value (see [`SpillConfig::encode`]).
+pub type SpillEncodeFn<V> = Arc<dyn Fn(&V) -> Vec<u8> + Send + Sync>;
+
+/// Deserializer for one spill frame (see [`SpillConfig::decode`]).
+pub type SpillDecodeFn<V> = Arc<dyn Fn(&[u8]) -> V + Send + Sync>;
+
+impl<V> Clone for SpillConfig<V> {
+    fn clone(&self) -> Self {
+        Self {
+            budget_bytes: self.budget_bytes,
+            dir: self.dir.clone(),
+            encode: Arc::clone(&self.encode),
+            decode: Arc::clone(&self.decode),
+        }
+    }
 }
 
 /// Auto split sizing: records per map split (≈ a small HDFS block of
@@ -198,12 +249,33 @@ impl<K: KeyT, V: DataT> JobSpec<K, V> {
             locality: LocalityConfig::default(),
             tracer: Tracer::disabled(),
             chaos: FaultPlan::off(),
+            owned_merge: None,
+            executor: ExecutorMode::default(),
+            spill: None,
         }
     }
 
     /// Sets the structured trace destination (builder style).
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Installs an ownership-transfer shuffle merge (builder style).
+    pub fn with_owned_merge(mut self, merge: OwnedMergeFn<V>) -> Self {
+        self.owned_merge = Some(merge);
+        self
+    }
+
+    /// Selects the real-execution scheduler (builder style).
+    pub fn with_executor(mut self, executor: ExecutorMode) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Installs a reduce-input spill policy (builder style).
+    pub fn with_spill(mut self, spill: SpillConfig<V>) -> Self {
+        self.spill = Some(spill);
         self
     }
 
@@ -385,6 +457,60 @@ where
     }
 }
 
+/// Concurrent high-water gauge over logical resident bytes: workers
+/// `acquire` when data becomes resident and `release` when it is dropped or
+/// spilled; `peak` is the largest concurrent total seen.
+struct MemTracker {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemTracker {
+    fn new() -> Self {
+        Self {
+            current: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    fn acquire(&self, bytes: u64) {
+        // ORDERING: Relaxed — the gauge is advisory accounting, never used
+        // for synchronization; the CAS loop only needs atomicity of the max.
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let mut seen = self.peak.load(Ordering::Relaxed);
+        while now > seen {
+            // ORDERING: Relaxed CAS — monotonic max, atomicity is enough.
+            match self
+                .peak
+                .compare_exchange(seen, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => seen = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> u64 {
+        // ORDERING: Relaxed — read after the phase's threads have joined.
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Where one reduce task's shuffled input lives between the shuffle and the
+/// task's execution: in memory, or spilled to a frame file with only the
+/// keys and per-key value counts retained.
+enum ReduceSource<K, V> {
+    Mem(Vec<(K, Vec<V>)>),
+    Spilled {
+        path: PathBuf,
+        keys: Vec<(K, usize)>,
+    },
+}
+
 /// Runs a complete MapReduce job. See the module docs for the phase
 /// structure and timing semantics.
 pub fn run_job<I, K, V, O, M, R>(
@@ -415,50 +541,60 @@ where
         job: spec.name.clone(),
     });
 
+    // Logical resident-byte gauges for the two in-flight data plateaus:
+    // buffered map output (held until the shuffle consumes it) and shuffled
+    // reduce input (held until its reduce task finishes or it spills).
+    let map_mem = MemTracker::new();
+    let reduce_mem = MemTracker::new();
+
     // ---- Map phase (real execution) ----
     let num_map_tasks = spec.effective_map_tasks(input.len());
     let splits = split_ranges(input.len(), num_map_tasks);
-    let map_results: Vec<MapTaskOut<K, V>> = pool::run_indexed(num_map_tasks, threads, |t| {
-        let attempts = spec.failure.attempts_used(&spec.name, Phase::Map, t);
-        let (lo, hi) = splits[t];
-        let run = run_map_attempts(spec, t, attempts - 1, &input[lo..hi], mapper);
-        let mut ctx = run.ctx;
-        let mut emitter = run.emitter;
-        if let Some(c) = combiner {
-            let (pairs, _) = emitter.into_parts();
-            let mut by_key: BTreeMap<K, Vec<V>> = BTreeMap::new();
-            for (k, v) in pairs {
-                by_key.entry(k).or_default().push(v);
-            }
-            let mut combined: Vec<(K, V)> = Vec::new();
-            for (k, vs) in by_key {
-                for v in c.combine(&k, vs, &mut ctx) {
-                    combined.push((k.clone(), v));
+    let map_results: Vec<MapTaskOut<K, V>> =
+        pool::run_indexed_mode(num_map_tasks, threads, spec.executor, |t| {
+            let attempts = spec.failure.attempts_used(&spec.name, Phase::Map, t);
+            let (lo, hi) = splits[t];
+            let run = run_map_attempts(spec, t, attempts - 1, &input[lo..hi], mapper);
+            let mut ctx = run.ctx;
+            let mut emitter = run.emitter;
+            if let Some(c) = combiner {
+                let (pairs, _) = emitter.into_parts();
+                let mut by_key: BTreeMap<K, Vec<V>> = BTreeMap::new();
+                for (k, v) in pairs {
+                    by_key.entry(k).or_default().push(v);
                 }
+                let mut combined: Vec<(K, V)> = Vec::new();
+                for (k, vs) in by_key {
+                    for v in c.combine(&k, vs, &mut ctx) {
+                        combined.push((k.clone(), v));
+                    }
+                }
+                emitter = Emitter::from_pairs(combined, spec.sizer.clone());
             }
-            emitter = Emitter::from_pairs(combined, spec.sizer.clone());
-        }
-        let records_out = emitter.len() as u64;
-        let bytes = emitter.bytes();
-        ctx.add_records_out(records_out);
-        ctx.add_bytes_out(bytes);
-        let single = spec
-            .cost
-            .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
-            * spec.failure.straggler_multiplier(&spec.name, Phase::Map, t);
-        let (pairs, bytes) = emitter.into_parts();
-        let total_attempts = attempts + run.retries;
-        MapTaskOut {
-            pairs,
-            bytes,
-            records_in: ctx.records_in(),
-            records_out,
-            work_units: ctx.work_units(),
-            duration: single * f64::from(total_attempts) + run.backoff_seconds,
-            attempts: total_attempts,
-            counters: ctx.counters().clone(),
-        }
-    });
+            let records_out = emitter.len() as u64;
+            let bytes = emitter.bytes();
+            ctx.add_records_out(records_out);
+            ctx.add_bytes_out(bytes);
+            let single =
+                spec.cost
+                    .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
+                    * spec.failure.straggler_multiplier(&spec.name, Phase::Map, t);
+            let (pairs, bytes) = emitter.into_parts();
+            // The task's buffered output becomes resident now and stays resident
+            // until the shuffle has consumed every map buffer.
+            map_mem.acquire(bytes);
+            let total_attempts = attempts + run.retries;
+            MapTaskOut {
+                pairs,
+                bytes,
+                records_in: ctx.records_in(),
+                records_out,
+                work_units: ctx.work_units(),
+                duration: single * f64::from(total_attempts) + run.backoff_seconds,
+                attempts: total_attempts,
+                counters: ctx.counters().clone(),
+            }
+        });
 
     let map_durations: Vec<f64> = map_results.iter().map(|m| m.duration).collect();
     let (map_schedule, map_local_tasks) = if spec.locality.enabled {
@@ -534,20 +670,77 @@ where
         .into_iter()
         .map(|m| (m.pairs, m.bytes))
         .collect();
-    let reduce_inputs = shuffle(map_outputs, spec.num_reducers, &router);
+    let map_out_bytes: u64 = map_outputs.iter().map(|(_, b)| *b).sum();
+    let reduce_inputs = shuffle_with(
+        map_outputs,
+        spec.num_reducers,
+        &router,
+        spec.owned_merge.as_ref(),
+    );
+    map_mem.release(map_out_bytes);
     let shuffle_bytes: u64 = reduce_inputs.iter().map(|r| r.bytes).sum();
     if spec.tracer.is_enabled() {
         for (r, rin) in reduce_inputs.iter().enumerate() {
-            let records: u64 = rin.groups.iter().map(|(_, vs)| vs.len() as u64).sum();
             spec.tracer.emit(|| EventKind::ShufflePartition {
                 job: spec.name.clone(),
                 reducer: r as u64,
                 bytes: rin.bytes,
-                records,
+                records: rin.records,
                 segments: rin.segments,
             });
         }
     }
+
+    // Convert each reduce input into a consume-once source, spilling any
+    // input over the memory budget to disk right away (its bytes leave the
+    // resident gauge; only the keys and per-key counts stay in memory).
+    struct ReduceTaskMeta {
+        bytes: u64,
+        segments: u64,
+    }
+    let mut spill_write_errors = 0u64;
+    let spill_store = spec.spill.as_ref().and_then(|cfg| {
+        SpillStore::create(&cfg.dir)
+            .map_err(|_| spill_write_errors += 1)
+            .ok()
+    });
+    let mut task_meta: Vec<ReduceTaskMeta> = Vec::with_capacity(reduce_inputs.len());
+    let sources: Vec<Mutex<Option<ReduceSource<K, V>>>> = reduce_inputs
+        .into_iter()
+        .enumerate()
+        .map(|(r, rin)| {
+            task_meta.push(ReduceTaskMeta {
+                bytes: rin.bytes,
+                segments: rin.segments,
+            });
+            reduce_mem.acquire(rin.bytes);
+            let groups = rin.groups;
+            let source = match (&spec.spill, &spill_store) {
+                (Some(cfg), Some(store)) if rin.bytes > cfg.budget_bytes => {
+                    let keys: Vec<(K, usize)> =
+                        groups.iter().map(|(k, vs)| (k.clone(), vs.len())).collect();
+                    let frames = groups
+                        .iter()
+                        .flat_map(|(_, vs)| vs.iter())
+                        .map(|v| (cfg.encode)(v));
+                    match store.write_frames(&spec.name, r, frames) {
+                        Ok(path) => {
+                            reduce_mem.release(rin.bytes);
+                            ReduceSource::Spilled { path, keys }
+                        }
+                        // A failed spill falls back to memory: correctness
+                        // over the budget, with the failure counted.
+                        Err(_) => {
+                            spill_write_errors += 1;
+                            ReduceSource::Mem(groups)
+                        }
+                    }
+                }
+                _ => ReduceSource::Mem(groups),
+            };
+            Mutex::new(Some(source))
+        })
+        .collect();
 
     // ---- Reduce phase (real execution) ----
     struct ReduceTaskOut<K, O> {
@@ -560,8 +753,8 @@ where
         counters: std::collections::BTreeMap<&'static str, u64>,
     }
     let reduce_results: Vec<ReduceTaskOut<K, O>> =
-        pool::run_indexed(reduce_inputs.len(), threads, |t| {
-            let rin = &reduce_inputs[t];
+        pool::run_indexed_mode(sources.len(), threads, spec.executor, |t| {
+            let meta = &task_meta[t];
             let attempts = spec.failure.attempts_used(&spec.name, Phase::Reduce, t);
             let mut ctx = TaskContext::new(t, attempts - 1);
 
@@ -573,7 +766,7 @@ where
             let mut refetches = 0u32;
             let mut fetch_faults = 0u64;
             let mut fetch_backoff = 0.0f64;
-            for seg in 0..rin.segments {
+            for seg in 0..meta.segments {
                 let mut attempt = 0u32;
                 while let Some(kind) =
                     spec.chaos
@@ -597,23 +790,59 @@ where
                 ctx.incr("chaos_shuffle_refetches", u64::from(refetches));
             }
 
-            let mut groups: Vec<(K, Vec<O>)> = Vec::with_capacity(rin.groups.len());
-            for (k, vs) in &rin.groups {
+            // Take ownership of this task's input (each source is consumed
+            // exactly once), reloading spilled inputs just in time so only
+            // the currently-reducing spilled inputs are resident.
+            let source = sources[t]
+                .lock()
+                .take()
+                .expect("each reduce input is consumed exactly once");
+            let owned_groups: Vec<(K, Vec<V>)> = match source {
+                ReduceSource::Mem(groups) => groups,
+                ReduceSource::Spilled { path, keys } => {
+                    ctx.incr("spilled_inputs", 1);
+                    reduce_mem.acquire(meta.bytes);
+                    let cfg = spec
+                        .spill
+                        .as_ref()
+                        .expect("spilled input implies a spill config");
+                    let mut reader = SpillReader::open(&path)
+                        .unwrap_or_else(|e| panic!("open spill {}: {e}", path.display()));
+                    let mut groups: Vec<(K, Vec<V>)> = Vec::with_capacity(keys.len());
+                    for (k, n) in keys {
+                        let mut vs: Vec<V> = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            let frame = reader
+                                .next_frame()
+                                .unwrap_or_else(|e| panic!("read spill {}: {e}", path.display()))
+                                .unwrap_or_else(|| panic!("spill {} truncated", path.display()));
+                            vs.push((cfg.decode)(&frame));
+                        }
+                        groups.push((k, vs));
+                    }
+                    let _ = reader.remove();
+                    groups
+                }
+            };
+
+            let mut groups: Vec<(K, Vec<O>)> = Vec::with_capacity(owned_groups.len());
+            for (k, vs) in owned_groups {
                 ctx.add_records_in(vs.len() as u64);
                 let mut out: Vec<O> = Vec::new();
-                reducer.reduce(k, vs.clone(), &mut ctx, &mut out);
+                reducer.reduce(&k, vs, &mut ctx, &mut out);
                 ctx.add_records_out(out.len() as u64);
-                groups.push((k.clone(), out));
+                groups.push((k, out));
             }
+            reduce_mem.release(meta.bytes);
             let compute =
                 spec.cost
                     .task_duration(ctx.records_in(), ctx.records_out(), ctx.work_units())
                     * spec
                         .failure
                         .straggler_multiplier(&spec.name, Phase::Reduce, t);
-            let fetch = spec.cost.shuffle_duration(rin.bytes, rin.segments);
-            let per_segment = if rin.segments > 0 {
-                fetch / rin.segments as f64
+            let fetch = spec.cost.shuffle_duration(meta.bytes, meta.segments);
+            let per_segment = if meta.segments > 0 {
+                fetch / meta.segments as f64
             } else {
                 0.0
             };
@@ -663,8 +892,37 @@ where
     for r in &reduce_results {
         reduce_metrics.merge_counters(&r.counters);
     }
+    if spill_write_errors > 0 {
+        let errs: BTreeMap<&'static str, u64> = [("spill_write_errors", spill_write_errors)]
+            .into_iter()
+            .collect();
+        reduce_metrics.merge_counters(&errs);
+    }
 
     let groups: Vec<(K, Vec<O>)> = reduce_results.into_iter().flat_map(|r| r.groups).collect();
+
+    let peak_mem = PeakMemBytes {
+        map_out: map_mem.peak(),
+        reduce_in: reduce_mem.peak(),
+    };
+    spec.tracer.emit(|| EventKind::PhasePeakMemory {
+        job: spec.name.clone(),
+        phase: PhaseKind::Map,
+        peak_bytes: peak_mem.map_out,
+    });
+    spec.tracer.emit(|| EventKind::PhasePeakMemory {
+        job: spec.name.clone(),
+        phase: PhaseKind::Reduce,
+        peak_bytes: peak_mem.reduce_in,
+    });
+    // Global gauges for dashboard scrapes (no-ops while the registry is
+    // disabled); gauge_max so chained jobs report the run-wide high water.
+    let registry = mrsky_trace::metrics();
+    registry.gauge_max("mapreduce.peak_mem.map_out_bytes", peak_mem.map_out as f64);
+    registry.gauge_max(
+        "mapreduce.peak_mem.reduce_in_bytes",
+        peak_mem.reduce_in as f64,
+    );
 
     let sim_total = spec.cost.job_overhead + reduce_schedule.end;
     let metrics = JobMetrics {
@@ -675,6 +933,7 @@ where
         job_overhead: spec.cost.job_overhead,
         sim_total,
         wall_seconds: spec.tracer.now_us().saturating_sub(wall_start_us) as f64 / 1e6,
+        peak_mem,
     };
     spec.tracer.emit(|| EventKind::JobFinished {
         job: spec.name.clone(),
@@ -1315,6 +1574,166 @@ mod tests {
         )));
         assert!(mrsky_trace::validate_events(&events).is_empty());
         assert_eq!(counts(chaotic), counts(clean));
+    }
+
+    #[test]
+    fn owned_merge_matches_row_shuffle_output() {
+        let docs: Vec<String> = (0..300)
+            .map(|i| format!("w{} w{} w{}", i % 23, i % 7, i % 3))
+            .collect();
+        let row = run_word_count(&word_count_spec(2).with_map_tasks(6), &docs, false);
+        let merged_spec = word_count_spec(2)
+            .with_map_tasks(6)
+            .with_owned_merge(Arc::new(|acc: &mut u64, v: u64| {
+                *acc += v;
+                None
+            }));
+        let merged = run_word_count(&merged_spec, &docs, false);
+        assert_eq!(
+            merged.metrics.shuffle_bytes, row.metrics.shuffle_bytes,
+            "merge must not change byte attribution"
+        );
+        // A full-absorption merge hands the reducer one value per key, so
+        // its records_in shrinks to the distinct-key count (callers that
+        // need routed-pair counts read the ShufflePartition trace events).
+        assert!(
+            merged.metrics.reduce.records_in < row.metrics.reduce.records_in,
+            "merge must shrink the values the reducer touches"
+        );
+        assert_eq!(counts(row), counts(merged));
+    }
+
+    #[test]
+    fn executor_modes_agree() {
+        let docs: Vec<String> = (0..400)
+            .map(|i| format!("w{} x{}", i % 31, i % 5))
+            .collect();
+        let stealing = run_word_count(&word_count_spec(3).with_map_tasks(8), &docs, false);
+        let static_spec = word_count_spec(3)
+            .with_map_tasks(8)
+            .with_executor(ExecutorMode::Static);
+        let fixed = run_word_count(&static_spec, &docs, false);
+        assert_eq!(
+            stealing.metrics.map.records_in,
+            fixed.metrics.map.records_in
+        );
+        assert_eq!(counts(stealing), counts(fixed));
+    }
+
+    #[test]
+    fn peak_mem_gauges_are_populated() {
+        let r = run_word_count(&word_count_spec(2), &docs(), false);
+        assert!(r.metrics.peak_mem.map_out > 0, "map output was buffered");
+        assert!(
+            r.metrics.peak_mem.reduce_in > 0,
+            "reduce input was resident"
+        );
+        // the shuffle conserves bytes, so both plateaus match total shuffle
+        assert_eq!(r.metrics.peak_mem.map_out, r.metrics.shuffle_bytes);
+    }
+
+    fn u64_spill(dir: std::path::PathBuf, budget: u64) -> SpillConfig<u64> {
+        SpillConfig {
+            budget_bytes: budget,
+            dir,
+            encode: Arc::new(|v: &u64| v.to_le_bytes().to_vec()),
+            decode: Arc::new(|b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte frame"))),
+        }
+    }
+
+    #[test]
+    fn spilled_reduce_inputs_round_trip_and_lower_peak() {
+        let dir = std::env::temp_dir().join(format!("mrsky-rt-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let docs: Vec<String> = (0..500)
+            .map(|i| format!("w{} w{}", i % 29, i % 11))
+            .collect();
+        let clean = run_word_count(&word_count_spec(2).with_map_tasks(8), &docs, false);
+        let mut spec = word_count_spec(2).with_map_tasks(8);
+        // budget 0: every reduce input spills
+        spec = spec.with_spill(u64_spill(dir.clone(), 0));
+        let spilled = run_word_count(&spec, &docs, false);
+        assert_eq!(
+            spilled
+                .metrics
+                .reduce
+                .counters
+                .get("spilled_inputs")
+                .copied()
+                .unwrap_or(0),
+            spec.num_reducers as u64,
+            "a zero budget spills every reducer's input"
+        );
+        assert_eq!(counts(clean), counts(spilled), "spill must be lossless");
+        // consumed spill files are deleted by the reduce tasks
+        let leftovers = std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(Result::ok).count())
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "reduce tasks remove consumed spill files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_budget_gates_which_inputs_spill() {
+        let dir = std::env::temp_dir().join(format!("mrsky-rt-budget-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let docs: Vec<String> = (0..200).map(|i| format!("w{}", i % 13)).collect();
+        // an enormous budget spills nothing
+        let mut spec = word_count_spec(2).with_map_tasks(4);
+        spec = spec.with_spill(u64_spill(dir.clone(), u64::MAX));
+        let r = run_word_count(&spec, &docs, false);
+        assert_eq!(
+            r.metrics.reduce.counters.get("spilled_inputs"),
+            None,
+            "inputs under budget stay in memory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peak_memory_events_are_emitted_and_schema_valid() {
+        let tracer = Tracer::in_memory();
+        let mut spec = word_count_spec(2);
+        spec.tracer = tracer.clone();
+        let r = run_word_count(&spec, &docs(), false);
+        let events = tracer.drain();
+        assert!(mrsky_trace::validate_events(&events).is_empty());
+        let peaks: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::PhasePeakMemory { peak_bytes, .. } => Some(*peak_bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(peaks.len(), 2, "one event per phase");
+        assert_eq!(peaks[0], r.metrics.peak_mem.map_out);
+        assert_eq!(peaks[1], r.metrics.peak_mem.reduce_in);
+    }
+
+    #[test]
+    fn chaos_with_owned_merge_and_spill_still_exact() {
+        use mrsky_chaos::FaultPlan;
+        let dir = std::env::temp_dir().join(format!("mrsky-rt-chaos-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let docs: Vec<String> = (0..300)
+            .map(|i| format!("w{} w{}", i % 17, i % 5))
+            .collect();
+        let clean = counts(run_word_count(
+            &word_count_spec(2).with_map_tasks(6),
+            &docs,
+            false,
+        ));
+        let mut spec = word_count_spec(2)
+            .with_map_tasks(6)
+            .with_chaos(FaultPlan::heavy(7))
+            .with_owned_merge(Arc::new(|acc: &mut u64, v: u64| {
+                *acc += v;
+                None
+            }));
+        spec = spec.with_spill(u64_spill(dir.clone(), 0));
+        let stressed = run_word_count(&spec, &docs, false);
+        assert_eq!(counts(stressed), clean, "merge+spill+chaos stays exact");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

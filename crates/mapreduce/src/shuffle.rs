@@ -21,17 +21,33 @@ pub fn default_router<K: KeyT>() -> KeyRouter<K> {
     })
 }
 
+/// Merges the routed value `incoming` into the accumulated value `acc` by
+/// ownership transfer during the shuffle. Returning `None` means `incoming`
+/// was absorbed (its buffers moved into `acc`); returning `Some(incoming)`
+/// hands it back to be kept as a separate value — the row-shuffle behaviour.
+///
+/// The skyline pipeline installs a [`PointBlock`]-appending merge here so
+/// whole flat coordinate buffers move from map output to reduce input with a
+/// single `Vec::append`, instead of being re-materialized per row by the
+/// reducer.
+pub type OwnedMergeFn<V> = Arc<dyn Fn(&mut V, V) -> Option<V> + Send + Sync>;
+
 /// Output of the shuffle for a single reduce task.
 #[derive(Debug, Clone)]
 pub struct ReduceInput<K, V> {
     /// Key groups in sorted key order, each with its full value list. Values
     /// keep (map-task index, emission order), making jobs deterministic.
+    /// Under an [`OwnedMergeFn`] consecutive values are merged by ownership,
+    /// so a group usually holds a single concatenated value.
     pub groups: Vec<(K, Vec<V>)>,
     /// Bytes fetched by this reduce task.
     pub bytes: u64,
     /// Number of map tasks that contributed at least one pair (fetch
     /// segments for the latency model).
     pub segments: u64,
+    /// Pairs routed to this reduce task *before* any owned merge — the
+    /// honest shuffle-record count regardless of how values were packed.
+    pub records: u64,
 }
 
 impl<K, V> Default for ReduceInput<K, V> {
@@ -40,6 +56,7 @@ impl<K, V> Default for ReduceInput<K, V> {
             groups: Vec::new(),
             bytes: 0,
             segments: 0,
+            records: 0,
         }
     }
 }
@@ -55,10 +72,31 @@ pub fn shuffle<K: KeyT, V: DataT>(
     reducers: usize,
     router: &KeyRouter<K>,
 ) -> Vec<ReduceInput<K, V>> {
+    shuffle_with(map_outputs, reducers, router, None)
+}
+
+/// [`shuffle`] with an optional ownership-transfer merge.
+///
+/// When `merge` is `Some`, each routed value is offered to the tail value of
+/// its key group and absorbed in place (for the skyline jobs: flat
+/// `PointBlock` buffers concatenated with `Vec::append`), so the reducer
+/// receives one pre-concatenated value per key instead of a shard list. Byte
+/// and segment attribution are computed from the routed pairs *before*
+/// merging and are therefore identical in both modes, as is
+/// [`ReduceInput::records`]. Merge order is (map-task index, emission
+/// order) — the same order the row shuffle presents values in — so merged
+/// and unmerged runs stay bit-identical downstream.
+pub fn shuffle_with<K: KeyT, V: DataT>(
+    map_outputs: Vec<(Vec<(K, V)>, u64)>,
+    reducers: usize,
+    router: &KeyRouter<K>,
+    merge: Option<&OwnedMergeFn<V>>,
+) -> Vec<ReduceInput<K, V>> {
     assert!(reducers >= 1, "need at least one reducer");
     let mut grouped: Vec<BTreeMap<K, Vec<V>>> = (0..reducers).map(|_| BTreeMap::new()).collect();
     let mut bytes = vec![0u64; reducers];
     let mut segments = vec![0u64; reducers];
+    let mut records = vec![0u64; reducers];
 
     for (pairs, task_bytes) in map_outputs {
         if pairs.is_empty() {
@@ -70,12 +108,21 @@ pub fn shuffle<K: KeyT, V: DataT>(
             let r = router(&k, reducers);
             assert!(r < reducers, "router returned out-of-range reducer {r}");
             touched[r] += 1;
-            grouped[r].entry(k).or_default().push(v);
+            let group = grouped[r].entry(k).or_default();
+            match (merge, group.last_mut()) {
+                (Some(m), Some(acc)) => {
+                    if let Some(unmerged) = m(acc, v) {
+                        group.push(unmerged);
+                    }
+                }
+                _ => group.push(v),
+            }
         }
         for r in 0..reducers {
             if touched[r] > 0 {
                 segments[r] += 1;
                 bytes[r] += (touched[r] as f64 * per_pair).round() as u64;
+                records[r] += touched[r];
             }
         }
     }
@@ -87,6 +134,7 @@ pub fn shuffle<K: KeyT, V: DataT>(
             groups: map.into_iter().collect(),
             bytes: bytes[r],
             segments: segments[r],
+            records: records[r],
         })
         .collect()
 }
@@ -226,6 +274,117 @@ mod tests {
                     routed_bytes.abs_diff(total_bytes) <= segments,
                     "{} vs {}", routed_bytes, total_bytes
                 );
+            }
+        }
+    }
+
+    /// Owned merge over `Vec<u64>` values: absorb by append, the same shape
+    /// the skyline pipeline uses for `PointBlock` buffers.
+    fn vec_merge() -> OwnedMergeFn<Vec<u64>> {
+        Arc::new(|acc: &mut Vec<u64>, mut v: Vec<u64>| {
+            acc.append(&mut v);
+            None
+        })
+    }
+
+    #[test]
+    fn owned_merge_concatenates_in_row_order() {
+        let map_outputs = vec![
+            (vec![(1u64, vec![10u64, 11]), (2, vec![20])], 24),
+            (vec![(1u64, vec![12])], 8),
+        ];
+        let merged = shuffle_with(map_outputs.clone(), 1, &modulo_router(), Some(&vec_merge()));
+        let rows = shuffle(map_outputs, 1, &modulo_router());
+        // one concatenated value per key, in (map task, emission) order
+        assert_eq!(merged[0].groups[0].0, 1);
+        assert_eq!(merged[0].groups[0].1, vec![vec![10, 11, 12]]);
+        assert_eq!(merged[0].groups[1].1, vec![vec![20]]);
+        // the row shuffle sees the same rows as separate shards
+        let flat: Vec<u64> = rows[0].groups[0].1.iter().flatten().copied().collect();
+        assert_eq!(flat, vec![10, 11, 12]);
+        // accounting identical in both modes
+        assert_eq!(merged[0].bytes, rows[0].bytes);
+        assert_eq!(merged[0].segments, rows[0].segments);
+        assert_eq!(merged[0].records, rows[0].records);
+        assert_eq!(merged[0].records, 3, "pre-merge routed pair count");
+    }
+
+    #[test]
+    fn merge_can_decline_and_keep_values_separate() {
+        // a merge that refuses to cross a capacity boundary of 2 rows
+        let bounded: OwnedMergeFn<Vec<u64>> = Arc::new(|acc, mut v| {
+            if acc.len() + v.len() > 2 {
+                Some(v)
+            } else {
+                acc.append(&mut v);
+                None
+            }
+        });
+        let map_outputs = vec![(vec![(0u64, vec![1]), (0, vec![2]), (0, vec![3])], 24)];
+        let out = shuffle_with(map_outputs, 1, &modulo_router(), Some(&bounded));
+        assert_eq!(out[0].groups[0].1, vec![vec![1, 2], vec![3]]);
+        assert_eq!(out[0].records, 3);
+    }
+
+    #[test]
+    fn records_counts_routed_pairs() {
+        let map_outputs = vec![
+            (vec![(0u64, ()), (1, ()), (2, ())], 30),
+            (vec![(0u64, ())], 10),
+        ];
+        let out = shuffle(map_outputs, 2, &modulo_router());
+        assert_eq!(out[0].records, 3);
+        assert_eq!(out[1].records, 1);
+    }
+
+    mod merge_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The owned merge is a pure repacking: flattening its groups
+            /// gives exactly the row shuffle's value stream, and the
+            /// bytes/segments/records attribution is unchanged.
+            #[test]
+            fn owned_merge_is_equivalent_to_row_shuffle(
+                tasks in proptest::collection::vec(
+                    proptest::collection::vec((0u64..10, 0u64..1000), 0..30),
+                    0..6,
+                ),
+                reducers in 1usize..6,
+            ) {
+                type TaskOutput = (Vec<(u64, Vec<u64>)>, u64);
+                let map_outputs: Vec<TaskOutput> = tasks
+                    .iter()
+                    .map(|pairs| {
+                        let pairs: Vec<(u64, Vec<u64>)> = pairs
+                            .iter()
+                            .map(|&(k, v)| (k, vec![v, v + 1]))
+                            .collect();
+                        let bytes = pairs.len() as u64 * 24;
+                        (pairs, bytes)
+                    })
+                    .collect();
+                let rows = shuffle(map_outputs.clone(), reducers, &default_router::<u64>());
+                let merged = shuffle_with(
+                    map_outputs, reducers, &default_router::<u64>(), Some(&vec_merge()));
+                prop_assert_eq!(rows.len(), merged.len());
+                for (a, b) in rows.iter().zip(merged.iter()) {
+                    prop_assert_eq!(a.bytes, b.bytes);
+                    prop_assert_eq!(a.segments, b.segments);
+                    prop_assert_eq!(a.records, b.records);
+                    prop_assert_eq!(a.groups.len(), b.groups.len());
+                    for ((ka, vsa), (kb, vsb)) in a.groups.iter().zip(b.groups.iter()) {
+                        prop_assert_eq!(ka, kb);
+                        prop_assert_eq!(vsb.len(), usize::from(!vsa.is_empty()),
+                            "full absorption leaves at most one value");
+                        let flat_a: Vec<u64> = vsa.iter().flatten().copied().collect();
+                        let flat_b: Vec<u64> = vsb.iter().flatten().copied().collect();
+                        prop_assert_eq!(flat_a, flat_b, "row order preserved");
+                    }
+                }
             }
         }
     }

@@ -148,6 +148,113 @@ pub fn load_qws_file_with(
     tracer: &Tracer,
     opts: &IngestOptions,
 ) -> std::io::Result<IngestReport> {
+    // Services accumulate straight into one columnar block: a single flat
+    // coordinate buffer for the whole file instead of one heap row per
+    // service. Ids are row indices, so they are stable across any
+    // block/point round-trip.
+    let mut block = PointBlock::new(LOADED_ATTRIBUTE_ORDER.len());
+    let mut names = Vec::new();
+    let dead = ingest_rows(path, tracer, opts, |id, coords, name| {
+        block
+            .push(id, coords)
+            .expect("parse_row validated dimension and finiteness");
+        names.push(name);
+    })?;
+    if block.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "QWS file contains no services",
+        ));
+    }
+    let n = block.len();
+    Ok(IngestReport {
+        dataset: Dataset::new(format!("qws-file(n={n})"), block.to_points()),
+        names,
+        dead_letter: dead,
+    })
+}
+
+/// One bounded chunk of a streamed ingest: `chunk_rows` services (fewer in
+/// the final chunk) as a columnar block whose ids continue the file's
+/// 0-based row numbering from `first_id`.
+#[derive(Debug, Clone)]
+pub struct IngestChunk {
+    /// The chunk's services, columnar.
+    pub block: PointBlock,
+    /// Service names, index-aligned with the block's rows.
+    pub names: Vec<String>,
+    /// Id of the chunk's first service (= services seen before it).
+    pub first_id: u64,
+}
+
+/// Streaming ingest: parses the file exactly like [`load_qws_file_with`]
+/// but hands services to `sink` in bounded [`IngestChunk`]s of at most
+/// `chunk_rows` services, so peak memory is one chunk (plus the reader's
+/// line buffer) instead of the whole file. Returns the dead-letter report.
+///
+/// # Errors
+///
+/// Same as [`load_qws_file_with`], plus `chunk_rows == 0` and empty files
+/// are `InvalidData` errors.
+pub fn load_qws_file_chunked(
+    path: &Path,
+    tracer: &Tracer,
+    opts: &IngestOptions,
+    chunk_rows: usize,
+    sink: &mut dyn FnMut(IngestChunk),
+) -> std::io::Result<DeadLetter> {
+    if chunk_rows == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "chunk_rows must be at least 1",
+        ));
+    }
+    let mut block = PointBlock::new(LOADED_ATTRIBUTE_ORDER.len());
+    let mut names: Vec<String> = Vec::with_capacity(chunk_rows);
+    let mut first_id = 0u64;
+    let mut total = 0u64;
+    let dead = ingest_rows(path, tracer, opts, |id, coords, name| {
+        block
+            .push(id, coords)
+            .expect("parse_row validated dimension and finiteness");
+        names.push(name);
+        total += 1;
+        if block.len() >= chunk_rows {
+            sink(IngestChunk {
+                block: std::mem::replace(&mut block, PointBlock::new(LOADED_ATTRIBUTE_ORDER.len())),
+                names: std::mem::take(&mut names),
+                first_id,
+            });
+            first_id = id + 1;
+        }
+    })?;
+    if !block.is_empty() {
+        sink(IngestChunk {
+            block,
+            names,
+            first_id,
+        });
+    }
+    if total == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "QWS file contains no services",
+        ));
+    }
+    Ok(dead)
+}
+
+/// The shared row pump behind the whole-file and chunked loaders: opens the
+/// file, streams it line by line through **one reused buffer** (no per-line
+/// `String` allocation), parses/orients/validates each row, and calls
+/// `on_row(id, coords, name)` for every accepted service. Emits the ingest
+/// trace events and `qws.ingest.*` counters.
+fn ingest_rows(
+    path: &Path,
+    tracer: &Tracer,
+    opts: &IngestOptions,
+    mut on_row: impl FnMut(u64, &[f64], String),
+) -> std::io::Result<DeadLetter> {
     let source = path.display().to_string();
     tracer.emit(|| EventKind::IngestStarted {
         source: source.clone(),
@@ -156,13 +263,8 @@ pub fn load_qws_file_with(
     let mut dead = DeadLetter::with_budget(opts.max_bad_records.unwrap_or(0) as usize);
     let mut skipped = 0u64;
     let mut clamped = 0u64;
+    let mut services = 0u64;
     let file = std::fs::File::open(path)?;
-    // Services accumulate straight into one columnar block: a single flat
-    // coordinate buffer for the whole file instead of one heap row per
-    // service. Ids are row indices, so they are stable across any
-    // block/point round-trip.
-    let mut block = PointBlock::new(LOADED_ATTRIBUTE_ORDER.len());
-    let mut names = Vec::new();
     // attribute specs in raw-file column order, then an output permutation
     let file_specs: Vec<&crate::attributes::AttributeSpec> = QWS_FILE_COLUMNS
         .iter()
@@ -183,22 +285,30 @@ pub fn load_qws_file_with(
         })
         .collect();
 
-    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
+    let mut reader = std::io::BufReader::new(file);
+    let mut buf = String::with_capacity(256);
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        let lineno_here = lineno;
+        lineno += 1;
+        let trimmed = buf.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             skipped += 1;
             continue;
         }
         let poison = opts
             .chaos
-            .decide(FaultSite::IngestRow, &source, lineno as u64, 0);
+            .decide(FaultSite::IngestRow, &source, lineno_here as u64, 0);
         if let Some(kind) = poison {
             tracer.emit(|| EventKind::FaultInjected {
                 site: FaultSite::IngestRow.as_str().to_string(),
                 fault: kind.as_str().to_string(),
                 scope: source.clone(),
-                index: lineno as u64,
+                index: lineno_here as u64,
                 attempt: 0,
             });
         }
@@ -210,20 +320,17 @@ pub fn load_qws_file_with(
             &mut clamped,
         ) {
             Ok((coords, name)) => {
-                let id = block.len() as u64;
-                block
-                    .push(id, &coords)
-                    .expect("parse_row validated dimension and finiteness");
-                names.push(name);
+                on_row(services, &coords, name);
+                services += 1;
             }
-            Err(reason) if strict => return Err(bad_line(lineno, &reason)),
+            Err(reason) if strict => return Err(bad_line(lineno_here, &reason)),
             Err(reason) => {
                 tracer.emit(|| EventKind::RecordQuarantined {
                     source: source.clone(),
-                    line: (lineno + 1) as u64,
+                    line: (lineno_here + 1) as u64,
                     reason: reason.clone(),
                 });
-                if !dead.push(&source, (lineno + 1) as u64, &reason) {
+                if !dead.push(&source, (lineno_here + 1) as u64, &reason) {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         format!(
@@ -236,27 +343,16 @@ pub fn load_qws_file_with(
             }
         }
     }
-    if block.is_empty() {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "QWS file contains no services",
-        ));
-    }
-    let n = block.len();
     let registry = mrsky_trace::metrics();
-    registry.incr("qws.ingest.services", n as u64);
+    registry.incr("qws.ingest.services", services);
     registry.incr("qws.ingest.lines_skipped", skipped);
     registry.incr("qws.ingest.values_clamped", clamped);
     registry.incr("qws.ingest.quarantined", dead.len() as u64);
     tracer.emit(|| EventKind::IngestFinished {
-        services: n as u64,
+        services,
         rejected: dead.len() as u64,
     });
-    Ok(IngestReport {
-        dataset: Dataset::new(format!("qws-file(n={n})"), block.to_points()),
-        names,
-        dead_letter: dead,
-    })
+    Ok(dead)
 }
 
 /// Parses, clamps, orients, and validates one CSV row. `Err` is the
@@ -627,5 +723,105 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let sky = bnl_skyline(data.points(), &BnlConfig::default());
         assert!(!sky.is_empty() && sky.len() < data.len());
+    }
+
+    #[test]
+    fn chunked_ingest_concatenates_to_the_whole_file() {
+        let lines: Vec<String> = (0..13)
+            .map(|i| format!("{}{}", 100 + i, &GOOD[5..]))
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let path = write_named_fixture("chunked", &refs);
+        let whole =
+            load_qws_file_with(&path, &Tracer::disabled(), &IngestOptions::default()).unwrap();
+        let mut chunks = Vec::new();
+        let dead = load_qws_file_chunked(
+            &path,
+            &Tracer::disabled(),
+            &IngestOptions::default(),
+            5,
+            &mut |c| chunks.push(c),
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(dead.is_empty());
+        // bounded chunks: 13 rows at 5/chunk → 5, 5, 3, ids contiguous
+        assert_eq!(
+            chunks.iter().map(|c| c.block.len()).collect::<Vec<_>>(),
+            vec![5, 5, 3]
+        );
+        assert_eq!(
+            chunks.iter().map(|c| c.first_id).collect::<Vec<_>>(),
+            vec![0, 5, 10]
+        );
+        let mut names = Vec::new();
+        let mut points = Vec::new();
+        for c in &chunks {
+            assert!(c.block.len() <= 5, "chunk exceeds its bound");
+            assert_eq!(c.block.len(), c.names.len());
+            names.extend(c.names.iter().cloned());
+            points.extend(c.block.to_points());
+        }
+        assert_eq!(names, whole.names);
+        assert_eq!(points, whole.dataset.points());
+    }
+
+    #[test]
+    fn chunked_ingest_matches_whole_file_under_chaos_quarantine() {
+        use mrsky_chaos::{FaultKind, SiteRule};
+        let lines: Vec<String> = (0..30)
+            .map(|i| format!("{}{}", 100 + i, &GOOD[5..]))
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let path = write_named_fixture("chunked-chaos", &refs);
+        let opts = IngestOptions {
+            max_bad_records: Some(30),
+            chaos: FaultPlan {
+                seed: 11,
+                rules: vec![SiteRule {
+                    site: FaultSite::IngestRow,
+                    kind: FaultKind::PoisonRow,
+                    permille: 400,
+                }],
+                ..FaultPlan::off()
+            },
+        };
+        let whole = load_qws_file_with(&path, &Tracer::disabled(), &opts).unwrap();
+        let mut streamed = Vec::new();
+        let dead = load_qws_file_chunked(&path, &Tracer::disabled(), &opts, 4, &mut |c| {
+            streamed.extend(c.block.to_points());
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        // the same rows are poisoned either way: ids, coords, and the
+        // dead-letter report are identical
+        assert_eq!(dead, whole.dead_letter);
+        assert_eq!(streamed, whole.dataset.points());
+    }
+
+    #[test]
+    fn chunked_ingest_rejects_zero_rows_and_empty_files() {
+        let path = write_named_fixture("chunked-bad", &[GOOD]);
+        let err = load_qws_file_chunked(
+            &path,
+            &Tracer::disabled(),
+            &IngestOptions::default(),
+            0,
+            &mut |_| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+        let empty = write_named_fixture("chunked-empty", &["# nothing"]);
+        let err = load_qws_file_chunked(
+            &empty,
+            &Tracer::disabled(),
+            &IngestOptions::default(),
+            8,
+            &mut |_| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no services"), "{err}");
+        std::fs::remove_file(&empty).ok();
     }
 }

@@ -49,7 +49,7 @@ pub use attributes::{AttributeSpec, Direction, QWS_ATTRIBUTES};
 pub use dataset::Dataset;
 pub use drift::{DriftConfig, DriftModel};
 pub use generator::{extend_qws, generate_qws, QwsConfig};
-pub use ingest::load_qws_file;
+pub use ingest::{load_qws_file, load_qws_file_chunked, IngestChunk};
 pub use registry::{Category, Registry, ServiceEntry};
 pub use stats::{correlation_matrix, dimension_stats, mean_pairwise_correlation};
 pub use synthetic::{generate_synthetic, Distribution, SyntheticConfig};

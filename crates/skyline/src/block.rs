@@ -180,6 +180,28 @@ impl PointBlock {
         Ok(())
     }
 
+    /// Appends every row of `other`, consuming it. When `self` is empty
+    /// this is a pure buffer handoff — `other`'s flat vectors are taken
+    /// wholesale with no copy — which is what the zero-copy shuffle path
+    /// relies on when a key routes to a single block. Otherwise the flat
+    /// vectors are drained into `self` and `other`'s allocations dropped.
+    pub fn append_owned(&mut self, mut other: PointBlock) -> Result<(), SkylineError> {
+        if other.dim != self.dim {
+            return Err(SkylineError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        if self.ids.is_empty() {
+            self.ids = std::mem::take(&mut other.ids);
+            self.coords = std::mem::take(&mut other.coords);
+        } else {
+            self.ids.append(&mut other.ids);
+            self.coords.append(&mut other.coords);
+        }
+        Ok(())
+    }
+
     /// The coordinate row of point `i`.
     ///
     /// # Panics
@@ -304,6 +326,30 @@ mod tests {
         assert_eq!(block.row(1), &[3.0, 4.0]);
         assert_eq!(block.id(2), 2);
         assert_eq!(block.to_points(), points);
+    }
+
+    #[test]
+    fn append_owned_hands_off_or_concatenates() {
+        let a = PointBlock::from_points(&pts(&[&[1.0, 2.0], &[3.0, 4.0]])).unwrap();
+        let b = PointBlock::from_points(&pts(&[&[5.0, 6.0]])).unwrap();
+        // empty receiver: pure buffer handoff
+        let mut acc = PointBlock::new(2);
+        acc.append_owned(a.clone()).unwrap();
+        assert_eq!(acc.to_points(), a.to_points());
+        // non-empty receiver: drained concat, same result as append()
+        let mut by_ref = a.clone();
+        by_ref.append(&b).unwrap();
+        acc.append_owned(b).unwrap();
+        assert_eq!(acc.to_points(), by_ref.to_points());
+        // dimension mismatch still rejected
+        let bad = PointBlock::from_points(&pts(&[&[1.0]])).unwrap();
+        assert!(matches!(
+            acc.append_owned(bad),
+            Err(SkylineError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
     }
 
     #[test]

@@ -444,12 +444,25 @@ fn parallel_skyline_partitioned_inner(
 
 fn effective_threads(threads: usize) -> usize {
     if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
+        threads_from_env(std::env::var("MRSKY_THREADS").ok().as_deref())
     } else {
         threads
     }
+}
+
+/// Resolves the auto (`threads == 0`) worker count: an `MRSKY_THREADS`
+/// override (clamped to at least 1) wins over detected parallelism, so a
+/// whole run can be pinned from the environment. Pure in its argument so
+/// tests never have to mutate process env.
+fn threads_from_env(var: Option<&str>) -> usize {
+    if let Some(v) = var {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -528,6 +541,17 @@ mod tests {
             angular.merge_candidates,
             block_stats.merge_candidates
         );
+    }
+
+    #[test]
+    fn threads_from_env_override_wins_and_clamps() {
+        assert_eq!(threads_from_env(Some("6")), 6);
+        assert_eq!(threads_from_env(Some(" 2 ")), 2);
+        // zero clamps up to one worker rather than deadlocking
+        assert_eq!(threads_from_env(Some("0")), 1);
+        // garbage falls back to detected parallelism
+        assert!(threads_from_env(Some("lots")) >= 1);
+        assert!(threads_from_env(None) >= 1);
     }
 
     #[test]

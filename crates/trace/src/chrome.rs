@@ -223,6 +223,18 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ev.wall_us
                 ));
             }
+            EventKind::PhasePeakMemory {
+                job,
+                phase,
+                peak_bytes,
+            } => {
+                let pid = jobs.get(job).map_or(DRIVER_PID, |s| s.pid);
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"s\":\"t\",\"name\":\"peak mem {}\",\"cat\":\"memory\",\"ts\":{},\"args\":{{\"peak_bytes\":{peak_bytes}}}",
+                    phase.as_str(),
+                    ev.wall_us
+                ));
+            }
             EventKind::FaultInjected {
                 site,
                 fault,

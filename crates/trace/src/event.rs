@@ -186,6 +186,17 @@ pub enum EventKind {
         /// Map-output segments fetched (contributing map tasks).
         segments: u64,
     },
+    /// High-water mark of one phase's resident data during real execution:
+    /// buffered map output for the map phase, shuffled reduce input for the
+    /// reduce phase (wire-accounted logical bytes, not allocator bytes).
+    PhasePeakMemory {
+        /// Job name.
+        job: String,
+        /// Which phase's plateau.
+        phase: PhaseKind,
+        /// Peak concurrent resident bytes.
+        peak_bytes: u64,
+    },
     /// A map task read its input block from the simulated DFS.
     DfsBlockRead {
         /// Job name.
@@ -340,6 +351,7 @@ impl EventKind {
             EventKind::TaskSpeculated { .. } => "task_speculated",
             EventKind::TaskFinished { .. } => "task_finished",
             EventKind::ShufflePartition { .. } => "shuffle_partition",
+            EventKind::PhasePeakMemory { .. } => "phase_peak_memory",
             EventKind::DfsBlockRead { .. } => "dfs_block_read",
             EventKind::KernelRun { .. } => "kernel_run",
             EventKind::PartitionLocalSkyline { .. } => "partition_local_skyline",
@@ -484,6 +496,15 @@ fn fields_of(kind: &EventKind) -> Vec<(&'static str, Field)> {
             ("bytes", U(*bytes)),
             ("records", U(*records)),
             ("segments", U(*segments)),
+        ],
+        PhasePeakMemory {
+            job,
+            phase,
+            peak_bytes,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("peak_bytes", U(*peak_bytes)),
         ],
         DfsBlockRead {
             job,
@@ -707,6 +728,11 @@ fn kind_from(v: &JsonValue, ty: &str) -> Result<EventKind, String> {
             records: req_u64(v, "records")?,
             segments: req_u64(v, "segments")?,
         },
+        "phase_peak_memory" => PhasePeakMemory {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            peak_bytes: req_u64(v, "peak_bytes")?,
+        },
         "dfs_block_read" => DfsBlockRead {
             job: req_str(v, "job")?,
             task: req_u64(v, "task")?,
@@ -848,6 +874,11 @@ mod tests {
                 bytes: 1024,
                 records: 77,
                 segments: 4,
+            },
+            PhasePeakMemory {
+                job: "j1".into(),
+                phase: PhaseKind::Reduce,
+                peak_bytes: 1_048_576,
             },
             DfsBlockRead {
                 job: "j1".into(),

@@ -212,6 +212,20 @@ impl MetricsRegistry {
         gauges.insert(name.to_string(), value);
     }
 
+    /// Raises a named gauge to `value` if it exceeds the current reading
+    /// (high-water-mark semantics, so concurrent reporters never lower it;
+    /// no-op while disabled).
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut gauges = self.gauges.lock();
+        let slot = gauges.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
     /// Folds every shard into one consistent-enough snapshot. (Each shard
     /// is locked in turn, so concurrent writers may land between shards —
     /// fine for post-run reporting, which is the only consumer.)
@@ -385,6 +399,20 @@ mod tests {
         reg.reset();
         assert!(reg.snapshot().counters.is_empty());
         assert!(reg.is_enabled(), "reset keeps the enabled flag");
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.gauge_max("peak", 10.0);
+        reg.gauge_max("peak", 4.0);
+        assert_eq!(reg.snapshot().gauges.get("peak"), Some(&10.0));
+        reg.gauge_max("peak", 25.0);
+        assert_eq!(reg.snapshot().gauges.get("peak"), Some(&25.0));
+        // plain gauge() still overwrites unconditionally
+        reg.gauge("peak", 1.0);
+        assert_eq!(reg.snapshot().gauges.get("peak"), Some(&1.0));
     }
 
     #[test]

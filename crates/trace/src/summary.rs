@@ -182,6 +182,9 @@ pub struct JobSummary {
     pub phases: BTreeMap<PhaseKind, PhaseSummary>,
     /// Shuffle totals: bytes, records, segments.
     pub shuffle: (u64, u64, u64),
+    /// Per-phase peak resident bytes (map = buffered map output, reduce =
+    /// shuffled reduce input), maxed across `phase_peak_memory` events.
+    pub peak_mem: BTreeMap<PhaseKind, u64>,
     /// DFS block reads: (local, remote).
     pub dfs_reads: (u64, u64),
     /// Simulated end-to-end seconds.
@@ -305,6 +308,15 @@ impl TraceSummary {
                     entry.shuffle.1 += records;
                     entry.shuffle.2 += segments;
                 }
+                EventKind::PhasePeakMemory {
+                    job,
+                    phase,
+                    peak_bytes,
+                } => {
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    let slot = entry.peak_mem.entry(*phase).or_insert(0);
+                    *slot = (*slot).max(*peak_bytes);
+                }
                 EventKind::DfsBlockRead { job, local, .. } => {
                     let entry = summary.jobs.entry(job.clone()).or_default();
                     if *local {
@@ -427,6 +439,13 @@ impl TraceSummary {
                     "    dfs reads: {} local, {} remote",
                     js.dfs_reads.0, js.dfs_reads.1
                 );
+            }
+            if !js.peak_mem.is_empty() {
+                let _ = write!(out, "    peak memory:");
+                for (phase, bytes) in &js.peak_mem {
+                    let _ = write!(out, " {phase}={bytes}B");
+                }
+                out.push('\n');
             }
         }
 
@@ -948,6 +967,58 @@ mod tests {
         assert!(text.contains("filter points: 800 of 1600 rows dropped map-side"));
         assert!(text.contains("sector pruning: 1 partition(s) skipped (120 points)"));
         assert!(text.contains("streaming merge: 2.50s overlapped with reduce (64 candidates)"));
+    }
+
+    #[test]
+    fn peak_memory_events_validate_and_aggregate() {
+        use EventKind::*;
+        let stream = vec![
+            ev(0, 0, JobStarted { job: "j".into() }),
+            ev(
+                1,
+                1,
+                PhasePeakMemory {
+                    job: "j".into(),
+                    phase: PhaseKind::Map,
+                    peak_bytes: 4096,
+                },
+            ),
+            ev(
+                2,
+                2,
+                PhasePeakMemory {
+                    job: "j".into(),
+                    phase: PhaseKind::Reduce,
+                    peak_bytes: 1024,
+                },
+            ),
+            // a second report for the same phase keeps the max
+            ev(
+                3,
+                3,
+                PhasePeakMemory {
+                    job: "j".into(),
+                    phase: PhaseKind::Reduce,
+                    peak_bytes: 512,
+                },
+            ),
+            ev(
+                4,
+                4,
+                JobFinished {
+                    job: "j".into(),
+                    sim_total: 1.0,
+                    wall_seconds: 0.1,
+                },
+            ),
+        ];
+        assert!(validate_events(&stream).is_empty());
+        let summary = TraceSummary::from_events(&stream);
+        let job = summary.jobs.get("j").unwrap();
+        assert_eq!(job.peak_mem.get(&PhaseKind::Map), Some(&4096));
+        assert_eq!(job.peak_mem.get(&PhaseKind::Reduce), Some(&1024));
+        let text = summary.render();
+        assert!(text.contains("peak memory: map=4096B reduce=1024B"));
     }
 
     #[test]

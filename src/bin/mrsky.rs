@@ -104,6 +104,15 @@ Pruning knobs (skyline / compare / sweep):
   --streaming-merge       stream local skylines into the global merge as
                           reduce tasks finish, removing the reduce barrier
 
+Scale knobs (skyline / compare / sweep):
+  --row-shuffle           disable the zero-copy block shuffle and ship every
+                          routed block as a separate value (seed semantics)
+  --static-executor       disable work stealing; assign fixed task chunks to
+                          host threads
+  --spill-budget BYTES    spill reduce inputs larger than BYTES to disk after
+                          the shuffle and reload them just-in-time
+  --spill-dir DIR         directory for spill files (default: system temp)
+
 Observability (skyline / compare / sweep):
   --trace FILE            record a structured event trace of the run
   --trace-format FORMAT   jsonl (replayable, default) or chrome
@@ -192,6 +201,25 @@ fn pruning_opts(args: &[String]) -> Result<AlgoConfig, String> {
     }
     if args.iter().any(|a| a == "--streaming-merge") {
         config.streaming_merge = true;
+    }
+    if args.iter().any(|a| a == "--row-shuffle") {
+        config.owned_shuffle = false;
+    }
+    if args.iter().any(|a| a == "--static-executor") {
+        config.static_executor = true;
+    }
+    if let Some(b) = flag(args, "--spill-budget") {
+        let b: u64 = b
+            .replace('_', "")
+            .parse()
+            .map_err(|_| format!("--spill-budget expects a byte count, got `{b}`"))?;
+        config.spill_budget_bytes = Some(b);
+    }
+    if let Some(dir) = flag(args, "--spill-dir") {
+        if config.spill_budget_bytes.is_none() {
+            return Err("--spill-dir needs --spill-budget BYTES".into());
+        }
+        config.spill_dir = Some(PathBuf::from(dir));
     }
     Ok(config)
 }
@@ -385,6 +413,11 @@ fn cmd_skyline(args: &[String]) -> Result<(), String> {
             report.merge_overlap_seconds
         );
     }
+    println!(
+        "peak memory: map-out {} B, reduce-in {} B",
+        report.peak_map_out_bytes(),
+        report.peak_reduce_in_bytes()
+    );
     validate_report(&report, &data).map_err(|e| format!("result failed validation: {e}"))?;
     println!("validated against the independent oracle.");
     topts.finish()

@@ -249,6 +249,8 @@ impl KernelOutcome {
             comparisons: self.comparisons,
             passes: self.passes,
         });
+        mrsky_trace::metrics()
+            .observe_quantile("skyline.kernel_comparisons", self.comparisons as f64);
     }
 }
 
@@ -541,6 +543,10 @@ pub fn run_two_job_pipeline(
     };
     let kill1 = opts.kill.clone();
     let stream1 = streaming.clone();
+    // Node ids for the streaming-merge causal edges: each partition's local
+    // skyline flows straight from Job 1's reduce task into the merge job.
+    let stream_src_job = format!("{}-partition", opts.name);
+    let stream_dst_node = format!("job:{}-merge", opts.name);
     let reducer1 = move |key: &u64,
                          values: Vec<PointBlock>,
                          ctx: &mut TaskContext,
@@ -585,6 +591,14 @@ pub fn run_two_job_pipeline(
         write_checkpoint(ctx, *key, &outcome.sky.to_points());
         if let Some(sm) = &stream1 {
             sm.absorb_block(&outcome.sky);
+            // Job 1's reduce task index equals the partition id (modulo
+            // router with reducers == num_partitions), so this names the
+            // exact reduce task the merge consumed.
+            tracer1.emit(|| EventKind::CausalEdge {
+                edge: "merge".into(),
+                src: format!("task:{stream_src_job}/reduce/{key}"),
+                dst: stream_dst_node.clone(),
+            });
         }
         out.push((*key, outcome.sky));
     };
@@ -635,6 +649,9 @@ pub fn run_two_job_pipeline(
     // enough. Lossless: a global skyline point survives any subset's local
     // skyline, and every point pruned in a round is globally dominated.
     let mut premerge_metrics: Option<JobMetrics> = None;
+    // Chain edges record which job feeds the next one; premerge rounds
+    // splice themselves into the middle of the chain.
+    let mut chain_prev_job = format!("{}-partition", opts.name);
     // Candidate order: by service id, i.e. the registry's original (random)
     // order — what a real shuffle's map-completion order would roughly
     // carry. The merge kernel presorts by L1 norm internally, so candidate
@@ -719,6 +736,13 @@ pub fn run_two_job_pipeline(
             let splits = merge_block.chunks(BLOCK_ROWS);
             let job: JobResult<u64, PointBlock> =
                 run_job(&spec_pm, &splits, &mapper_pm, None, &reducer_pm);
+            let this_job = format!("{}-premerge{round}", opts.name);
+            opts.tracer.emit(|| EventKind::CausalEdge {
+                edge: "chain".into(),
+                src: format!("job:{chain_prev_job}"),
+                dst: format!("job:{this_job}"),
+            });
+            chain_prev_job = this_job;
             premerge_metrics = Some(match premerge_metrics.take() {
                 None => job.metrics.clone(),
                 Some(m) => m.chain(&job.metrics),
@@ -787,6 +811,11 @@ pub fn run_two_job_pipeline(
         &reducer2,
     );
     let metrics2 = job2.metrics.clone();
+    opts.tracer.emit(|| EventKind::CausalEdge {
+        edge: "chain".into(),
+        src: format!("job:{chain_prev_job}"),
+        dst: format!("job:{}-merge", opts.name),
+    });
     let mut global_block = concat_blocks(dim, &job2.into_outputs());
     global_block.sort_by_id();
     let global_skyline = global_block.to_points();

@@ -1,0 +1,85 @@
+//! `bench-gate`: fail the build when a pinned bench metric regresses.
+//!
+//! ```text
+//! bench-gate [--baseline benches/bench-baselines.json] [--dir .]
+//! ```
+//!
+//! Reads the committed baseline file, loads each referenced `BENCH_*.json`
+//! artifact from `--dir`, and exits non-zero if any pinned metric moved
+//! past its tolerance in the bad direction (or could not be resolved).
+
+use mrsky_insight::gate;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = PathBuf::from("benches/bench-baselines.json");
+    let mut dir = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--baseline needs a path");
+                    return ExitCode::from(2);
+                };
+                baseline = PathBuf::from(v);
+            }
+            "--dir" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--dir needs a path");
+                    return ExitCode::from(2);
+                };
+                dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                println!("bench-gate [--baseline <file>] [--dir <artifact dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let text = match std::fs::read_to_string(&baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-gate: cannot read {}: {e}", baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baselines = match gate::parse_baselines(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = gate::evaluate(&baselines, |file| {
+        std::fs::read_to_string(Path::new(&dir).join(file)).ok()
+    });
+    for check in &outcome.checks {
+        println!("{}", check.note);
+    }
+    let failed = outcome.checks.iter().filter(|c| !c.ok).count();
+    if outcome.failed() {
+        eprintln!(
+            "bench-gate: {failed}/{} pinned metric(s) regressed",
+            outcome.checks.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench-gate: all {} pinned metric(s) within tolerance",
+            outcome.checks.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,298 @@
+//! The perf-regression gate: compares current `BENCH_*.json` artifacts
+//! against a committed baseline file and fails on regressions beyond the
+//! per-metric tolerance.
+//!
+//! Baseline format (JSON):
+//!
+//! ```json
+//! {
+//!   "metrics": [
+//!     {"file": "BENCH_kernels.json", "path": "speedup",
+//!      "value": 6.62, "direction": "higher", "tolerance": 0.15}
+//!   ]
+//! }
+//! ```
+//!
+//! `path` is dot-separated; numeric components index arrays
+//! (`dims.1.shuffle_row_reduction`). `direction` says which way is good:
+//! `"higher"` metrics (speedups, reduction factors) regress when the
+//! current value drops below `value * (1 - tolerance)`; `"lower"` metrics
+//! (nanoseconds, overhead percentages) regress when the current value rises
+//! above `value * (1 + tolerance)`.
+
+use mrsky_trace::json::{parse, JsonValue};
+
+/// Default relative tolerance when a baseline entry does not set one.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Which direction of change counts as an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (speedup, reduction ratio).
+    Higher,
+    /// Smaller is better (latency, overhead).
+    Lower,
+}
+
+impl Direction {
+    fn parse(s: &str) -> Result<Direction, String> {
+        match s {
+            "higher" => Ok(Direction::Higher),
+            "lower" => Ok(Direction::Lower),
+            other => Err(format!("unknown direction `{other}` (higher|lower)")),
+        }
+    }
+
+    /// Stable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+        }
+    }
+}
+
+/// One pinned metric from the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineMetric {
+    /// Bench artifact file name, relative to the bench directory.
+    pub file: String,
+    /// Dot-separated path into the artifact's JSON document.
+    pub path: String,
+    /// Pinned baseline value.
+    pub value: f64,
+    /// Which direction is an improvement.
+    pub direction: Direction,
+    /// Relative tolerance before the gate fails.
+    pub tolerance: f64,
+}
+
+/// The verdict on one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// The metric checked.
+    pub metric: BaselineMetric,
+    /// Current value, if the artifact and path resolved.
+    pub current: Option<f64>,
+    /// Whether the metric passed.
+    pub ok: bool,
+    /// Human-readable one-liner.
+    pub note: String,
+}
+
+/// The gate's overall outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Per-metric verdicts, baseline order.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateOutcome {
+    /// True when any metric regressed or failed to resolve.
+    pub fn failed(&self) -> bool {
+        self.checks.iter().any(|c| !c.ok)
+    }
+}
+
+/// Parses the baseline document.
+///
+/// # Errors
+///
+/// Reports a malformed document, a missing `metrics` array, or a malformed
+/// entry (missing `file`/`path`/`value`, unknown `direction`).
+pub fn parse_baselines(text: &str) -> Result<Vec<BaselineMetric>, String> {
+    let doc = parse(text).map_err(|e| format!("baseline file: {e}"))?;
+    let Some(JsonValue::Arr(entries)) = doc.get("metrics") else {
+        return Err("baseline file: missing `metrics` array".into());
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let field = |k: &str| {
+            entry
+                .get(k)
+                .ok_or_else(|| format!("metrics[{i}]: missing `{k}`"))
+        };
+        let file = field("file")?
+            .as_str()
+            .ok_or_else(|| format!("metrics[{i}]: `file` must be a string"))?
+            .to_string();
+        let path = field("path")?
+            .as_str()
+            .ok_or_else(|| format!("metrics[{i}]: `path` must be a string"))?
+            .to_string();
+        let value = field("value")?
+            .as_f64()
+            .ok_or_else(|| format!("metrics[{i}]: `value` must be a number"))?;
+        let direction = Direction::parse(
+            field("direction")?
+                .as_str()
+                .ok_or_else(|| format!("metrics[{i}]: `direction` must be a string"))?,
+        )
+        .map_err(|e| format!("metrics[{i}]: {e}"))?;
+        let tolerance = match entry.get("tolerance") {
+            Some(t) => t
+                .as_f64()
+                .filter(|t| *t >= 0.0)
+                .ok_or_else(|| format!("metrics[{i}]: `tolerance` must be a number >= 0"))?,
+            None => DEFAULT_TOLERANCE,
+        };
+        out.push(BaselineMetric {
+            file,
+            path,
+            value,
+            direction,
+            tolerance,
+        });
+    }
+    Ok(out)
+}
+
+/// Resolves a dot-separated `path` inside `doc`; numeric components index
+/// arrays. Returns the value as `f64` if it is a number.
+pub fn lookup(doc: &JsonValue, path: &str) -> Option<f64> {
+    let mut cur = doc;
+    for part in path.split('.') {
+        cur = match (cur, part.parse::<usize>()) {
+            (JsonValue::Arr(items), Ok(idx)) => items.get(idx)?,
+            (obj, _) => obj.get(part)?,
+        };
+    }
+    cur.as_f64()
+}
+
+/// Evaluates every baseline metric. `load` maps an artifact file name to
+/// its contents (`None` when the file is absent — which fails the gate).
+pub fn evaluate(
+    baselines: &[BaselineMetric],
+    load: impl Fn(&str) -> Option<String>,
+) -> GateOutcome {
+    let mut checks = Vec::with_capacity(baselines.len());
+    for m in baselines {
+        let check = match load(&m.file).map(|text| parse(&text)) {
+            None => GateCheck {
+                metric: m.clone(),
+                current: None,
+                ok: false,
+                note: format!("{}: artifact missing", m.file),
+            },
+            Some(Err(e)) => GateCheck {
+                metric: m.clone(),
+                current: None,
+                ok: false,
+                note: format!("{}: malformed artifact ({e})", m.file),
+            },
+            Some(Ok(doc)) => match lookup(&doc, &m.path) {
+                None => GateCheck {
+                    metric: m.clone(),
+                    current: None,
+                    ok: false,
+                    note: format!("{}: `{}` not found", m.file, m.path),
+                },
+                Some(current) => {
+                    let (ok, verdict) = match m.direction {
+                        Direction::Higher => {
+                            let floor = m.value * (1.0 - m.tolerance);
+                            (current >= floor, format!("floor {floor:.4}"))
+                        }
+                        Direction::Lower => {
+                            let ceil = m.value * (1.0 + m.tolerance);
+                            (current <= ceil, format!("ceiling {ceil:.4}"))
+                        }
+                    };
+                    let delta = if m.value != 0.0 {
+                        (current - m.value) / m.value * 100.0
+                    } else {
+                        0.0
+                    };
+                    GateCheck {
+                        metric: m.clone(),
+                        current: Some(current),
+                        ok,
+                        note: format!(
+                            "{}:{} {} baseline {:.4} current {current:.4} ({delta:+.1}%, {verdict})",
+                            m.file,
+                            m.path,
+                            if ok { "ok" } else { "REGRESSED" },
+                            m.value,
+                        ),
+                    }
+                }
+            },
+        };
+        checks.push(check);
+    }
+    GateOutcome { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{"metrics": [
+        {"file": "BENCH_a.json", "path": "speedup", "value": 6.0, "direction": "higher"},
+        {"file": "BENCH_a.json", "path": "nested.1.wall_ns", "value": 1000.0,
+         "direction": "lower", "tolerance": 0.15}
+    ]}"#;
+
+    fn artifact(speedup: f64, wall: f64) -> String {
+        format!(r#"{{"speedup": {speedup}, "nested": [{{}}, {{"wall_ns": {wall}}}]}}"#)
+    }
+
+    #[test]
+    fn passes_on_matching_values() {
+        let baselines = parse_baselines(BASELINE).unwrap();
+        let out = evaluate(&baselines, |_| Some(artifact(6.0, 1000.0)));
+        assert!(!out.failed(), "{:?}", out.checks);
+    }
+
+    #[test]
+    fn fails_on_a_2x_slowdown() {
+        let baselines = parse_baselines(BASELINE).unwrap();
+        let out = evaluate(&baselines, |_| Some(artifact(6.0, 2000.0)));
+        assert!(out.failed());
+        let bad = out.checks.iter().find(|c| !c.ok).unwrap();
+        assert_eq!(bad.metric.path, "nested.1.wall_ns");
+        assert!(bad.note.contains("REGRESSED"), "{}", bad.note);
+    }
+
+    #[test]
+    fn fails_on_a_speedup_collapse_but_tolerates_noise() {
+        let baselines = parse_baselines(BASELINE).unwrap();
+        let noisy = evaluate(&baselines, |_| Some(artifact(5.2, 1100.0)));
+        assert!(!noisy.failed(), "within 15%: {:?}", noisy.checks);
+        let collapsed = evaluate(&baselines, |_| Some(artifact(3.0, 1000.0)));
+        assert!(collapsed.failed());
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let baselines = parse_baselines(BASELINE).unwrap();
+        let out = evaluate(&baselines, |_| Some(artifact(12.0, 500.0)));
+        assert!(!out.failed());
+    }
+
+    #[test]
+    fn missing_artifact_or_path_fails() {
+        let baselines = parse_baselines(BASELINE).unwrap();
+        assert!(evaluate(&baselines, |_| None).failed());
+        assert!(evaluate(&baselines, |_| Some("{}".into())).failed());
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(parse_baselines("{}").is_err());
+        assert!(parse_baselines(r#"{"metrics": [{"file": "x"}]}"#).is_err());
+        assert!(parse_baselines(
+            r#"{"metrics": [{"file": "x", "path": "y", "value": 1, "direction": "sideways"}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lookup_walks_objects_and_arrays() {
+        let doc = parse(r#"{"a": [{"b": 3.5}, {"b": 4.5}]}"#).unwrap();
+        assert_eq!(lookup(&doc, "a.1.b"), Some(4.5));
+        assert_eq!(lookup(&doc, "a.2.b"), None);
+        assert_eq!(lookup(&doc, "missing"), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Partitioner skew scoring: row-count and kernel-time Gini coefficients
+//! per sector, plus hot-partition identification.
+//!
+//! The partition job routes key `k` to reduce task `k % reducers` with
+//! `reducers == num_partitions`, so *reduce task index equals partition
+//! id* — the reduce-task durations are a faithful per-partition kernel-time
+//! proxy without any extra instrumentation.
+
+use crate::model::RunModel;
+
+/// Skew report over the partition job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// `(partition, input rows)` sorted by partition id.
+    pub rows: Vec<(u64, u64)>,
+    /// Gini coefficient of the per-partition input row counts (0 =
+    /// perfectly even, →1 = one partition holds everything).
+    pub row_gini: f64,
+    /// Gini coefficient of the partition job's reduce-task durations.
+    pub time_gini: f64,
+    /// The partition with the most input rows.
+    pub hot_partition: u64,
+    /// Its row count.
+    pub hot_rows: u64,
+    /// Mean rows per partition.
+    pub mean_rows: f64,
+    /// Partitions pruned without running a kernel.
+    pub pruned: u64,
+}
+
+/// Gini coefficient of a non-negative sample. 0 for empty/all-zero input.
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.iter().map(|x| x.max(0.0)).collect();
+    v.sort_by(f64::total_cmp);
+    let sum: f64 = v.iter().sum();
+    if sum <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted / (n as f64 * sum)) - (n as f64 + 1.0) / n as f64
+}
+
+/// Builds the skew report. `None` when the trace has no partition job or no
+/// per-partition accounting (e.g. a plain word-count trace).
+pub fn skew(run: &RunModel) -> Option<SkewReport> {
+    if run.partitions.is_empty() {
+        return None;
+    }
+    let rows: Vec<(u64, u64)> = run
+        .partitions
+        .iter()
+        .map(|p| (p.partition, p.input))
+        .collect();
+    let row_values: Vec<f64> = rows.iter().map(|&(_, r)| r as f64).collect();
+    let time_values: Vec<f64> = run
+        .job_with_suffix("-partition")
+        .map(|j| {
+            j.reduce
+                .tasks
+                .iter()
+                .map(super::model::TaskRec::duration)
+                .collect()
+        })
+        .unwrap_or_default();
+    let (hot_partition, hot_rows) = rows
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
+    Some(SkewReport {
+        row_gini: gini(&row_values),
+        time_gini: gini(&time_values),
+        hot_partition,
+        hot_rows,
+        mean_rows: row_values.iter().sum::<f64>() / row_values.len() as f64,
+        pruned: run.partitions.iter().filter(|p| p.pruned).count() as u64,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PartitionRec;
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12, "even split");
+        let concentrated = gini(&[0.0, 0.0, 0.0, 100.0]);
+        assert!(concentrated > 0.7, "{concentrated}");
+        assert!(gini(&[1.0, 2.0, 3.0]) > 0.0);
+    }
+
+    #[test]
+    fn hot_partition_is_the_row_argmax() {
+        let mut run = RunModel::default();
+        for (p, input) in [(0u64, 100u64), (1, 900), (2, 50)] {
+            run.partitions.push(PartitionRec {
+                partition: p,
+                input,
+                output: input / 10,
+                pruned: false,
+            });
+        }
+        let report = skew(&run).unwrap();
+        assert_eq!(report.hot_partition, 1);
+        assert_eq!(report.hot_rows, 900);
+        assert!(report.row_gini > 0.3);
+        assert_eq!(report.time_gini, 0.0, "no partition job in this model");
+    }
+
+    #[test]
+    fn no_partition_events_means_no_report() {
+        assert!(skew(&RunModel::default()).is_none());
+    }
+}

@@ -60,6 +60,30 @@ where
     R: Send,
     F: Fn(usize) -> R + Send + Sync,
 {
+    run_indexed_observed(count, threads, mode, None, worker)
+}
+
+/// Observer invoked at each successful steal as `(thief, victim, task)`,
+/// where `thief`/`victim` are worker indices in `0..threads` and `task` is
+/// the stolen task index. Called from worker threads, concurrently.
+pub type StealObserver<'a> = &'a (dyn Fn(usize, usize, usize) + Sync);
+
+/// [`run_indexed_mode`] with an optional steal observer, so the runtime can
+/// surface rebalancing decisions as trace events without the executor
+/// knowing anything about tracing. The observer fires on the thief's thread
+/// immediately after it pops a task from a victim's deque, before the task
+/// runs; the static executor never steals and never calls it.
+pub fn run_indexed_observed<R, F>(
+    count: usize,
+    threads: usize,
+    mode: ExecutorMode,
+    on_steal: Option<StealObserver<'_>>,
+    worker: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
     assert!(threads >= 1, "need at least one worker thread");
     if count == 0 {
         return Vec::new();
@@ -69,7 +93,7 @@ where
         return (0..count).map(worker).collect();
     }
     match mode {
-        ExecutorMode::WorkStealing => run_stealing(count, threads, worker),
+        ExecutorMode::WorkStealing => run_stealing(count, threads, on_steal, worker),
         ExecutorMode::Static => run_static(count, threads, worker),
     }
 }
@@ -84,7 +108,12 @@ where
     run_indexed_mode(count, threads, ExecutorMode::Static, worker)
 }
 
-fn run_stealing<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+fn run_stealing<R, F>(
+    count: usize,
+    threads: usize,
+    on_steal: Option<StealObserver<'_>>,
+    worker: F,
+) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Send + Sync,
@@ -114,7 +143,10 @@ where
                     for k in 1..threads {
                         let v = (w + k) % threads;
                         task = deques[v].lock().pop_back();
-                        if task.is_some() {
+                        if let Some(i) = task {
+                            if let Some(observe) = on_steal {
+                                observe(w, v, i);
+                            }
                             break;
                         }
                     }
@@ -286,6 +318,53 @@ mod tests {
             1,
             "stealing never redistributed the straggler chunk"
         );
+    }
+
+    #[test]
+    fn steal_observer_reports_thief_victim_and_task() {
+        // Same straggler setup as above: worker 0's seeded range is slow, so
+        // someone must steal. Scheduling is nondeterministic — retry a
+        // bounded number of times until at least one steal is observed, then
+        // check every report is well-formed.
+        let mut saw_steal = false;
+        for _ in 0..20 {
+            let steals = Mutex::new(Vec::new());
+            let observer = |thief: usize, victim: usize, task: usize| {
+                steals.lock().push((thief, victim, task));
+            };
+            let out =
+                run_indexed_observed(40, 4, ExecutorMode::WorkStealing, Some(&observer), |i| {
+                    if i < 10 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i
+                });
+            assert_eq!(out, (0..40).collect::<Vec<_>>());
+            let steals = steals.into_inner();
+            if steals.is_empty() {
+                continue;
+            }
+            for &(thief, victim, task) in &steals {
+                assert!(thief < 4, "thief {thief} out of range");
+                assert!(victim < 4, "victim {victim} out of range");
+                assert_ne!(thief, victim, "a worker cannot steal from itself");
+                assert!(task < 40, "task {task} out of range");
+            }
+            saw_steal = true;
+            break;
+        }
+        assert!(saw_steal, "observer never saw a steal in 20 attempts");
+    }
+
+    #[test]
+    fn static_mode_never_calls_the_observer() {
+        let steals = AtomicU64::new(0);
+        let observer = |_: usize, _: usize, _: usize| {
+            steals.fetch_add(1, Ordering::Relaxed);
+        };
+        let out = run_indexed_observed(64, 4, ExecutorMode::Static, Some(&observer), |i| i);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(steals.load(Ordering::Relaxed), 0);
     }
 
     #[test]

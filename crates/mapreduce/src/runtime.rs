@@ -550,8 +550,25 @@ where
     // ---- Map phase (real execution) ----
     let num_map_tasks = spec.effective_map_tasks(input.len());
     let splits = split_ranges(input.len(), num_map_tasks);
-    let map_results: Vec<MapTaskOut<K, V>> =
-        pool::run_indexed_mode(num_map_tasks, threads, spec.executor, |t| {
+    // Surface executor rebalancing as causal trace events: the observer
+    // fires on the thief's thread the moment it pops a victim's task.
+    let on_map_steal = |thief: usize, victim: usize, task: usize| {
+        spec.tracer.emit(|| EventKind::TaskStolen {
+            job: spec.name.clone(),
+            phase: PhaseKind::Map,
+            task: task as u64,
+            thief: thief as u64,
+            victim: victim as u64,
+        });
+    };
+    let map_results: Vec<MapTaskOut<K, V>> = pool::run_indexed_observed(
+        num_map_tasks,
+        threads,
+        spec.executor,
+        spec.tracer
+            .is_enabled()
+            .then_some(&on_map_steal as pool::StealObserver<'_>),
+        |t| {
             let attempts = spec.failure.attempts_used(&spec.name, Phase::Map, t);
             let (lo, hi) = splits[t];
             let run = run_map_attempts(spec, t, attempts - 1, &input[lo..hi], mapper);
@@ -594,9 +611,13 @@ where
                 attempts: total_attempts,
                 counters: ctx.counters().clone(),
             }
-        });
+        },
+    );
 
     let map_durations: Vec<f64> = map_results.iter().map(|m| m.duration).collect();
+    for &d in &map_durations {
+        mrsky_trace::metrics().observe_quantile("mapreduce.task_seconds.map", d);
+    }
     let (map_schedule, map_local_tasks) = if spec.locality.enabled {
         let blocks = crate::dfs::BlockStore::place(
             num_map_tasks,
@@ -688,7 +709,24 @@ where
                 records: rin.records,
                 segments: rin.segments,
             });
+            // One causal shuffle edge per contributing map task, so the
+            // analyzer (and Perfetto's flow arrows) can see exactly which
+            // map outputs each reduce task waited on.
+            for &m in &rin.sources {
+                spec.tracer.emit(|| EventKind::CausalEdge {
+                    edge: "shuffle".into(),
+                    src: format!("task:{}/map/{m}", spec.name),
+                    dst: format!("task:{}/reduce/{r}", spec.name),
+                });
+            }
         }
+        // The reduce phase cannot start before every map task has finished:
+        // the shuffle barrier, as an explicit happens-before edge.
+        spec.tracer.emit(|| EventKind::CausalEdge {
+            edge: "barrier".into(),
+            src: format!("phase:{}/map", spec.name),
+            dst: format!("phase:{}/reduce", spec.name),
+        });
     }
 
     // Convert each reduce input into a consume-once source, spilling any
@@ -752,8 +790,23 @@ where
         attempts: u32,
         counters: std::collections::BTreeMap<&'static str, u64>,
     }
-    let reduce_results: Vec<ReduceTaskOut<K, O>> =
-        pool::run_indexed_mode(sources.len(), threads, spec.executor, |t| {
+    let on_reduce_steal = |thief: usize, victim: usize, task: usize| {
+        spec.tracer.emit(|| EventKind::TaskStolen {
+            job: spec.name.clone(),
+            phase: PhaseKind::Reduce,
+            task: task as u64,
+            thief: thief as u64,
+            victim: victim as u64,
+        });
+    };
+    let reduce_results: Vec<ReduceTaskOut<K, O>> = pool::run_indexed_observed(
+        sources.len(),
+        threads,
+        spec.executor,
+        spec.tracer
+            .is_enabled()
+            .then_some(&on_reduce_steal as pool::StealObserver<'_>),
+        |t| {
             let meta = &task_meta[t];
             let attempts = spec.failure.attempts_used(&spec.name, Phase::Reduce, t);
             let mut ctx = TaskContext::new(t, attempts - 1);
@@ -857,9 +910,19 @@ where
                 attempts,
                 counters: ctx.counters().clone(),
             }
-        });
+        },
+    );
 
     let reduce_durations: Vec<f64> = reduce_results.iter().map(|r| r.duration).collect();
+    for &d in &reduce_durations {
+        mrsky_trace::metrics().observe_quantile("mapreduce.task_seconds.reduce", d);
+    }
+    for meta in &task_meta {
+        mrsky_trace::metrics().observe_quantile(
+            "mapreduce.shuffle_fetch_seconds",
+            spec.cost.shuffle_duration(meta.bytes, meta.segments),
+        );
+    }
     let reduce_schedule = schedule_phase(
         &reduce_durations,
         spec.cluster.reduce_slots(),
@@ -1004,6 +1067,32 @@ fn emit_phase_trace(
             sim_end: ts.end,
             speculative: ts.speculative,
         });
+    }
+    // Causal edges for slot occupancy: the first task launched on each slot
+    // is dispatched by the phase start; every later task on that slot waits
+    // for its predecessor to release the slot. Together with the barrier and
+    // shuffle edges these tile the whole schedule, so the critical-path
+    // analyzer can walk end-to-start without gaps.
+    let mut by_slot: BTreeMap<usize, Vec<&crate::scheduler::TaskSlot>> = BTreeMap::new();
+    for ts in &schedule.timeline {
+        by_slot.entry(ts.slot).or_default().push(ts);
+    }
+    for spans in by_slot.values_mut() {
+        spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+        let mut prev: Option<usize> = None;
+        for ts in spans {
+            let dst = format!("task:{job}/{}/{}", phase.as_str(), ts.task);
+            let (edge, src) = match prev {
+                None => ("dispatch", format!("phase:{job}/{}", phase.as_str())),
+                Some(p) => ("slot", format!("task:{job}/{}/{p}", phase.as_str())),
+            };
+            tracer.emit(|| EventKind::CausalEdge {
+                edge: edge.into(),
+                src: src.clone(),
+                dst: dst.clone(),
+            });
+            prev = Some(ts.task);
+        }
     }
     tracer.emit(|| EventKind::PhaseFinished {
         job: job.to_string(),

@@ -48,6 +48,10 @@ pub struct ReduceInput<K, V> {
     /// Pairs routed to this reduce task *before* any owned merge — the
     /// honest shuffle-record count regardless of how values were packed.
     pub records: u64,
+    /// Indices of the map tasks that contributed at least one pair, in
+    /// ascending order. `sources.len() == segments`; kept separately so the
+    /// tracer can emit one causal shuffle edge per contributing map task.
+    pub sources: Vec<u64>,
 }
 
 impl<K, V> Default for ReduceInput<K, V> {
@@ -57,6 +61,7 @@ impl<K, V> Default for ReduceInput<K, V> {
             bytes: 0,
             segments: 0,
             records: 0,
+            sources: Vec::new(),
         }
     }
 }
@@ -97,8 +102,9 @@ pub fn shuffle_with<K: KeyT, V: DataT>(
     let mut bytes = vec![0u64; reducers];
     let mut segments = vec![0u64; reducers];
     let mut records = vec![0u64; reducers];
+    let mut sources: Vec<Vec<u64>> = vec![Vec::new(); reducers];
 
-    for (pairs, task_bytes) in map_outputs {
+    for (m, (pairs, task_bytes)) in map_outputs.into_iter().enumerate() {
         if pairs.is_empty() {
             continue;
         }
@@ -123,10 +129,12 @@ pub fn shuffle_with<K: KeyT, V: DataT>(
                 segments[r] += 1;
                 bytes[r] += (touched[r] as f64 * per_pair).round() as u64;
                 records[r] += touched[r];
+                sources[r].push(m as u64);
             }
         }
     }
 
+    let mut sources = sources.into_iter();
     grouped
         .into_iter()
         .enumerate()
@@ -135,6 +143,7 @@ pub fn shuffle_with<K: KeyT, V: DataT>(
             bytes: bytes[r],
             segments: segments[r],
             records: records[r],
+            sources: sources.next().unwrap_or_default(),
         })
         .collect()
 }
@@ -191,6 +200,25 @@ mod tests {
         let out = shuffle(map_outputs, 2, &modulo_router());
         assert_eq!(out[0].segments, 2);
         assert_eq!(out[1].segments, 1);
+    }
+
+    #[test]
+    fn sources_list_contributing_map_tasks_in_order() {
+        let map_outputs = vec![
+            (vec![(0u64, ())], 10),
+            (vec![(1u64, ())], 10), // contributes only to reducer 1
+            (vec![(0u64, ()), (1, ())], 20),
+        ];
+        let out = shuffle(map_outputs, 2, &modulo_router());
+        assert_eq!(out[0].sources, vec![0, 2]);
+        assert_eq!(out[1].sources, vec![1, 2]);
+        for r in &out {
+            assert_eq!(
+                r.sources.len() as u64,
+                r.segments,
+                "sources mirror segments"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //!   point records (kernels, shuffle, ingest) live on **pid 0**, which
 //!   runs on the wall clock (`wall_us`), as `"B"`/`"E"` duration events
 //!   and `"i"` instants.
+//! - [`CausalEdge`](crate::EventKind::CausalEdge) events become flow
+//!   arrows (`"s"`/`"f"` pairs): the arrow leaves the source node's slice
+//!   end and lands on the destination's slice start, so Perfetto draws
+//!   shuffle→reduce and merge hand-offs. [`TaskStolen`](crate::EventKind::TaskStolen)
+//!   becomes an instant on the stolen task plus a flow arrow from the
+//!   phase lane into its slice. Causal events can be recorded before
+//!   their endpoints' slices (real execution precedes the simulated
+//!   schedule), so flows are resolved in a second pass after every slice
+//!   is known.
 //!
 //! Timestamps are microseconds as the format requires; sim seconds are
 //! scaled by 1e6.
@@ -92,6 +101,15 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
     let mut sim_cursor = 0.0f64;
     let mut async_id = 0u64;
 
+    // Causal-DAG node anchors, keyed by the node-id grammar
+    // (`job:`/`phase:`/`task:` — see `EventKind::CausalEdge`):
+    // (pid, tid, start_us, end_us) on the re-based global sim axis.
+    let mut nodes: BTreeMap<String, (u64, u64, f64, f64)> = BTreeMap::new();
+    // Flow endpoints can be emitted before their slices exist; buffer and
+    // resolve after the main pass.
+    let mut pending_edges: Vec<(String, String, String)> = Vec::new();
+    let mut pending_steals: Vec<(String, u64, u64)> = Vec::new();
+
     for ev in events {
         match &ev.kind {
             EventKind::JobStarted { job } => {
@@ -104,6 +122,15 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
             }
             EventKind::JobFinished { job, sim_total, .. } => {
                 if let Some(state) = jobs.get(job) {
+                    nodes.insert(
+                        format!("job:{job}"),
+                        (
+                            state.pid,
+                            0,
+                            state.offset * 1e6,
+                            (state.offset + sim_total) * 1e6,
+                        ),
+                    );
                     sim_cursor = state.offset + sim_total;
                 }
             }
@@ -121,6 +148,10 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     if let Some(start) = state.phase_start.remove(phase.as_str()) {
                         let ts = sim_us(state.offset, start);
                         let dur = ((sim - start) * 1e6).max(0.0);
+                        nodes.insert(
+                            format!("phase:{job}/{}", phase.as_str()),
+                            (state.pid, 0, ts, ts + dur),
+                        );
                         em.push(&format!(
                             "\"ph\":\"X\",\"pid\":{},\"tid\":0,\"name\":\"{} phase\",\"cat\":\"phase\",\"ts\":{},\"dur\":{}",
                             state.pid,
@@ -147,6 +178,10 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     }
                     let ts = sim_us(state.offset, *sim_start);
                     let dur = ((sim_end - sim_start) * 1e6).max(0.0);
+                    nodes.insert(
+                        format!("task:{job}/{}/{task}", phase.as_str()),
+                        (state.pid, tid, ts, ts + dur),
+                    );
                     em.push(&format!(
                         "\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"name\":\"{} {task}\",\"cat\":\"task\",\"ts\":{},\"dur\":{},\"args\":{{\"task\":{task},\"speculative\":{speculative}}}",
                         state.pid,
@@ -311,6 +346,22 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ev.wall_us
                 ));
             }
+            EventKind::CausalEdge { edge, src, dst } => {
+                pending_edges.push((edge.clone(), src.clone(), dst.clone()));
+            }
+            EventKind::TaskStolen {
+                job,
+                phase,
+                task,
+                thief,
+                victim,
+            } => {
+                pending_steals.push((
+                    format!("task:{job}/{}/{task}", phase.as_str()),
+                    *thief,
+                    *victim,
+                ));
+            }
             // Queue/launch/retry/speculation bookkeeping and ingest are
             // visible in the summary view; the timeline keeps to slices.
             EventKind::TaskScheduled { .. }
@@ -321,6 +372,51 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
             | EventKind::IngestStarted { .. }
             | EventKind::IngestFinished { .. } => {}
         }
+    }
+
+    // Second pass: every slice is anchored, so causal flows resolve.
+    // Flow ids share a namespace with the speculation async pairs only by
+    // number, not category, but keep them disjoint anyway.
+    let mut flow_id = 1_000_000u64;
+    for (edge, src, dst) in &pending_edges {
+        let (Some(&(spid, stid, _, send)), Some(&(dpid, dtid, dstart, _))) =
+            (nodes.get(src), nodes.get(dst))
+        else {
+            // An endpoint with no slice (e.g. a pruned task) has nothing
+            // to draw to; skip rather than invent anchors.
+            continue;
+        };
+        em.push(&format!(
+            "\"ph\":\"s\",\"pid\":{spid},\"tid\":{stid},\"id\":{flow_id},\"cat\":\"causal\",\"name\":\"{}\",\"ts\":{},\"args\":{{\"src\":\"{}\",\"dst\":\"{}\"}}",
+            escape(edge),
+            number(send),
+            escape(src),
+            escape(dst)
+        ));
+        em.push(&format!(
+            "\"ph\":\"f\",\"bp\":\"e\",\"pid\":{dpid},\"tid\":{dtid},\"id\":{flow_id},\"cat\":\"causal\",\"name\":\"{}\",\"ts\":{}",
+            escape(edge),
+            number(dstart)
+        ));
+        flow_id += 1;
+    }
+    for (node, thief, victim) in &pending_steals {
+        let Some(&(pid, tid, start, _)) = nodes.get(node) else {
+            continue;
+        };
+        em.push(&format!(
+            "\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\"name\":\"stolen w{victim}->w{thief}\",\"cat\":\"steal\",\"ts\":{},\"args\":{{\"thief\":{thief},\"victim\":{victim}}}",
+            number(start)
+        ));
+        em.push(&format!(
+            "\"ph\":\"s\",\"pid\":{pid},\"tid\":0,\"id\":{flow_id},\"cat\":\"steal\",\"name\":\"steal\",\"ts\":{}",
+            number(start)
+        ));
+        em.push(&format!(
+            "\"ph\":\"f\",\"bp\":\"e\",\"pid\":{pid},\"tid\":{tid},\"id\":{flow_id},\"cat\":\"steal\",\"name\":\"steal\",\"ts\":{}",
+            number(start)
+        ));
+        flow_id += 1;
     }
 
     em.finish()
@@ -503,6 +599,87 @@ mod tests {
         assert!(text.contains("checkpoint restore p7"));
         assert!(text.contains("quarantine qws.txt:44"));
         assert!(text.contains("run resumed (attempt 2)"));
+    }
+
+    #[test]
+    fn causal_edges_become_flow_pairs() {
+        use EventKind::*;
+        let mut stream = sample_run();
+        let base = stream.len() as u64;
+        // Emitted before j2's reduce slice exists in the stream order the
+        // runtime produces (real execution precedes the schedule) — the
+        // two-pass export must still resolve both endpoints.
+        stream.insert(
+            6,
+            ev(
+                100,
+                CausalEdge {
+                    edge: "shuffle".into(),
+                    src: "task:j1/map/0".into(),
+                    dst: "task:j2/reduce/0".into(),
+                },
+            ),
+        );
+        stream.push(ev(
+            base + 100,
+            TaskStolen {
+                job: "j2".into(),
+                phase: PhaseKind::Reduce,
+                task: 0,
+                thief: 3,
+                victim: 1,
+            },
+        ));
+        // fix seq monotonicity after the insert
+        for (i, e) in stream.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        let text = to_chrome_trace(&stream);
+        let value = json::parse(&text).unwrap();
+        let json::JsonValue::Arr(items) = value.get("traceEvents").unwrap() else {
+            panic!("traceEvents not an array");
+        };
+        let phase_of = |item: &json::JsonValue| {
+            item.get("ph")
+                .and_then(json::JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let flows: Vec<_> = items
+            .iter()
+            .filter(|e| e.get("cat").and_then(json::JsonValue::as_str) == Some("causal"))
+            .collect();
+        assert_eq!(flows.len(), 2, "one s/f pair:\n{text}");
+        assert_eq!(phase_of(flows[0]), "s");
+        assert_eq!(phase_of(flows[1]), "f");
+        // The arrow leaves j1's map task end (1.5e6) and lands on j2's
+        // reduce task start (rebased to 2.5e6).
+        assert_eq!(
+            flows[0].get("ts").and_then(json::JsonValue::as_f64),
+            Some(1.5e6)
+        );
+        assert_eq!(
+            flows[1].get("ts").and_then(json::JsonValue::as_f64),
+            Some(2.5e6)
+        );
+        assert!(text.contains("stolen w1->w3"));
+        assert!(text.contains("\"cat\":\"steal\""));
+    }
+
+    #[test]
+    fn unresolvable_causal_edges_are_skipped() {
+        use EventKind::*;
+        let stream = vec![ev(
+            0,
+            CausalEdge {
+                edge: "shuffle".into(),
+                src: "task:ghost/map/0".into(),
+                dst: "task:ghost/reduce/0".into(),
+            },
+        )];
+        let text = to_chrome_trace(&stream);
+        json::parse(&text).unwrap();
+        assert!(!text.contains("\"cat\":\"causal\""));
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! |---|---|
 //! | job | `job_started`, `job_finished` |
 //! | phase | `phase_started`, `phase_finished` |
-//! | task lifecycle | `task_scheduled`, `task_launched`, `task_retried`, `task_speculated`, `task_finished` |
+//! | task lifecycle | `task_scheduled`, `task_launched`, `task_retried`, `task_speculated`, `task_finished`, `task_stolen` |
 //! | shuffle / DFS | `shuffle_partition`, `dfs_block_read` |
+//! | causality | `causal_edge` |
 //! | skyline | `kernel_run`, `partition_local_skyline` |
 //! | early pruning / streaming | `rows_filtered`, `sector_pruned`, `merge_overlap` |
 //! | ingest | `ingest_started`, `ingest_finished` |
@@ -172,6 +173,39 @@ pub enum EventKind {
         sim_end: f64,
         /// Whether a speculative backup produced the completion.
         speculative: bool,
+    },
+    /// A work-stealing handoff during real execution: a dry worker stole a
+    /// task from the back of a victim worker's deque and ran it itself.
+    /// Worker ids are host-pool thread indices, not simulated slots.
+    TaskStolen {
+        /// Job name.
+        job: String,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Task index within the phase.
+        task: u64,
+        /// Worker thread that stole and executed the task.
+        thief: u64,
+        /// Worker thread whose deque the task was seeded into.
+        victim: u64,
+    },
+    /// An explicit happens-before edge between two nodes of the causal DAG.
+    ///
+    /// Node ids follow a stable grammar: `job:{name}`,
+    /// `phase:{job}/{map|reduce}`, and `task:{job}/{phase}/{index}`. Edge
+    /// kinds: `dispatch` (phase start → first task on a slot), `slot` (a
+    /// slot's previous task → its next), `barrier` (map phase → reduce
+    /// phase), `shuffle` (contributing map task → reduce task), `merge`
+    /// (partition reduce task → the streaming global merge job), and
+    /// `chain` (job → the next job in a chained pipeline).
+    CausalEdge {
+        /// Edge kind (`dispatch`, `slot`, `barrier`, `shuffle`, `merge`,
+        /// `chain`).
+        edge: String,
+        /// Source node id (the happens-before side).
+        src: String,
+        /// Destination node id (the happens-after side).
+        dst: String,
     },
     /// One reduce task's shuffle fetch summary.
     ShufflePartition {
@@ -350,6 +384,8 @@ impl EventKind {
             EventKind::TaskRetried { .. } => "task_retried",
             EventKind::TaskSpeculated { .. } => "task_speculated",
             EventKind::TaskFinished { .. } => "task_finished",
+            EventKind::TaskStolen { .. } => "task_stolen",
+            EventKind::CausalEdge { .. } => "causal_edge",
             EventKind::ShufflePartition { .. } => "shuffle_partition",
             EventKind::PhasePeakMemory { .. } => "phase_peak_memory",
             EventKind::DfsBlockRead { .. } => "dfs_block_read",
@@ -483,6 +519,24 @@ fn fields_of(kind: &EventKind) -> Vec<(&'static str, Field)> {
             ("sim_start", F(*sim_start)),
             ("sim_end", F(*sim_end)),
             ("speculative", B(*speculative)),
+        ],
+        TaskStolen {
+            job,
+            phase,
+            task,
+            thief,
+            victim,
+        } => vec![
+            ("job", S(job.clone())),
+            ("phase", S(phase.as_str().into())),
+            ("task", U(*task)),
+            ("thief", U(*thief)),
+            ("victim", U(*victim)),
+        ],
+        CausalEdge { edge, src, dst } => vec![
+            ("edge", S(edge.clone())),
+            ("src", S(src.clone())),
+            ("dst", S(dst.clone())),
         ],
         ShufflePartition {
             job,
@@ -721,6 +775,18 @@ fn kind_from(v: &JsonValue, ty: &str) -> Result<EventKind, String> {
             sim_end: req_f64(v, "sim_end")?,
             speculative: req_bool(v, "speculative")?,
         },
+        "task_stolen" => TaskStolen {
+            job: req_str(v, "job")?,
+            phase: req_phase(v, "phase")?,
+            task: req_u64(v, "task")?,
+            thief: req_u64(v, "thief")?,
+            victim: req_u64(v, "victim")?,
+        },
+        "causal_edge" => CausalEdge {
+            edge: req_str(v, "edge")?,
+            src: req_str(v, "src")?,
+            dst: req_str(v, "dst")?,
+        },
         "shuffle_partition" => ShufflePartition {
             job: req_str(v, "job")?,
             reducer: req_u64(v, "reducer")?,
@@ -867,6 +933,18 @@ mod tests {
                 sim_start: 1.5,
                 sim_end: 2.75,
                 speculative: false,
+            },
+            TaskStolen {
+                job: "j1".into(),
+                phase: PhaseKind::Map,
+                task: 9,
+                thief: 2,
+                victim: 0,
+            },
+            CausalEdge {
+                edge: "shuffle".into(),
+                src: "task:j1/map/3".into(),
+                dst: "task:j1/reduce/0".into(),
             },
             ShufflePartition {
                 job: "j1".into(),

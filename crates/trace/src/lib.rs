@@ -25,12 +25,14 @@ pub mod event;
 pub mod json;
 pub mod registry;
 pub mod sink;
+pub mod sketch;
 pub mod summary;
 
 pub use chrome::to_chrome_trace;
 pub use event::{EventKind, PhaseKind, TraceEvent};
-pub use registry::{metrics, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use registry::{escape_label_value, metrics, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{EpochClock, JsonlWriter, NullSink, SimClock, TraceSink, Tracer, VecSink};
+pub use sketch::QuantileSketch;
 pub use summary::{validate_events, TraceSummary};
 
 /// Parses a JSONL trace document (one event per line, blank lines

@@ -1,0 +1,471 @@
+//! A mergeable Greenwald–Khanna quantile sketch.
+//!
+//! The log₂ [`Histogram`](crate::Histogram) answers "how is this metric
+//! distributed across octaves?" but cannot name a p99 tighter than a
+//! power-of-two bucket. [`QuantileSketch`] closes that gap: it keeps a
+//! compressed summary of `(value, g, Δ)` tuples with the classic GK
+//! invariant `g + Δ ≤ ⌊2εn⌋`, which guarantees any rank query is answered
+//! within `εn` ranks of the truth while storing
+//! `O((1/ε)·log(εn))` tuples instead of `n` values.
+//!
+//! Two operations matter to the registry:
+//!
+//! * **observe** — appends to a small unsorted buffer; every
+//!   `⌈1/(2ε)⌉` observations the buffer is sorted, merged into the tuple
+//!   list, and the list is compressed. Amortized `O(log n)` per value.
+//! * **merge** — combines two sketches by interleaving their tuple lists
+//!   and recomputing conservative rank bounds (`rmin` adds the
+//!   predecessor's `rmin` from the other sketch, `rmax` adds the
+//!   successor's `rmax`), then compressing. Merging is how the 16
+//!   registry shards fold into one snapshot; each merge can add up to the
+//!   operands' ε to the worst-case rank error, so per-shard sketches use
+//!   a deliberately tight ε (see [`QuantileSketch::DEFAULT_EPSILON`]) to
+//!   leave headroom under the reporting target of 0.01.
+//!
+//! Values must be finite; non-finite observations are dropped (counted
+//! nowhere) rather than poisoning every later comparison.
+
+/// One GK tuple: `value` covers a band of `g` ranks ending at
+/// `rmin = Σ g`, with `Δ` extra uncertainty above (`rmax = rmin + Δ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tuple {
+    value: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// A mergeable ε-approximate quantile summary (Greenwald–Khanna).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    epsilon: f64,
+    count: u64,
+    sum: f64,
+    /// Compressed summary, sorted by value.
+    tuples: Vec<Tuple>,
+    /// Unsorted insert buffer, folded in at flush points.
+    buffer: Vec<f64>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new(QuantileSketch::DEFAULT_EPSILON)
+    }
+}
+
+impl QuantileSketch {
+    /// Default rank-error target for registry shard sketches. Tight on
+    /// purpose: folding the 16 shards into one snapshot merges 16
+    /// sketches, and merge error is additive in the worst case, so the
+    /// merged result stays comfortably inside the 0.01 reporting bound.
+    pub const DEFAULT_EPSILON: f64 = 0.001;
+
+    /// The quantiles reported by the summary table and Prometheus export.
+    pub const REPORTED: [(&'static str, f64); 4] = [
+        ("0.5", 0.5),
+        ("0.95", 0.95),
+        ("0.99", 0.99),
+        ("0.999", 0.999),
+    ];
+
+    /// Creates an empty sketch targeting rank error `epsilon·n`
+    /// (clamped to `[0.0001, 0.4]`).
+    pub fn new(epsilon: f64) -> Self {
+        let epsilon = if epsilon.is_finite() {
+            epsilon.clamp(1e-4, 0.4)
+        } else {
+            Self::DEFAULT_EPSILON
+        };
+        QuantileSketch {
+            epsilon,
+            count: 0,
+            sum: 0.0,
+            tuples: Vec::new(),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The sketch's rank-error target.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Observations recorded (non-finite values excluded).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations (for Prometheus `_sum`).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Records one observation. Non-finite values are dropped.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.buffer.push(value);
+        if self.buffer.len() >= self.buffer_capacity() {
+            self.flush();
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        ((0.5 / self.epsilon) as usize).max(16)
+    }
+
+    /// `⌊2εn⌋`, floored at 1 — the GK compression band.
+    fn threshold(&self) -> u64 {
+        ((2.0 * self.epsilon * self.count as f64) as u64).max(1)
+    }
+
+    /// Sorts the buffer and merges it into the tuple list, then compresses.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut incoming = std::mem::take(&mut self.buffer);
+        incoming.sort_by(f64::total_cmp);
+        self.tuples = merge_buffer(&self.tuples, &incoming, self.threshold());
+        self.compress();
+    }
+
+    /// GK compress: absorb a tuple into its successor whenever the
+    /// combined band still fits under the invariant. The first tuple is
+    /// never absorbed so the minimum stays exactly representable.
+    fn compress(&mut self) {
+        let threshold = self.threshold();
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        for mut t in self.tuples.drain(..) {
+            while out.len() >= 2 {
+                let prev = out[out.len() - 1];
+                if prev.g + t.g + t.delta <= threshold {
+                    t.g += prev.g;
+                    out.pop();
+                } else {
+                    break;
+                }
+            }
+            out.push(t);
+        }
+        self.tuples = out;
+    }
+
+    /// A flushed view of the tuples without mutating `self` (queries take
+    /// `&self`; the clone touches only the small compressed summary).
+    fn flushed_view(&self) -> Vec<Tuple> {
+        if self.buffer.is_empty() {
+            return self.tuples.clone();
+        }
+        let mut incoming = self.buffer.clone();
+        incoming.sort_by(f64::total_cmp);
+        merge_buffer(&self.tuples, &incoming, self.threshold())
+    }
+
+    /// Returns a value whose rank is within `εn` of `⌈q·n⌉`, or `None`
+    /// for an empty sketch. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let view = self.flushed_view();
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // Rank 1 and rank n are exact: compress never absorbs the first
+        // tuple and the last tuple always carries the maximum.
+        if target == 1 {
+            return view.first().map(|t| t.value);
+        }
+        if target == self.count {
+            return view.last().map(|t| t.value);
+        }
+        let slack = (self.epsilon * self.count as f64) as u64;
+        let mut rmin = 0u64;
+        for (i, t) in view.iter().enumerate() {
+            rmin += t.g;
+            match view.get(i + 1) {
+                Some(next) => {
+                    if rmin + next.g + next.delta > target + slack {
+                        return Some(t.value);
+                    }
+                }
+                None => return Some(t.value),
+            }
+        }
+        None
+    }
+
+    /// Folds `other` into `self`. The merged sketch keeps `self`'s ε as
+    /// its compression target; worst-case rank error grows by up to the
+    /// operands' ε per merge (see module docs).
+    pub fn merge_from(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            let epsilon = self.epsilon;
+            *self = other.clone();
+            self.epsilon = epsilon;
+            self.flush();
+            return;
+        }
+        self.flush();
+        let a = std::mem::take(&mut self.tuples);
+        let b = other.flushed_view();
+        let n_b = other.count;
+        let n_a = self.count;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.tuples = merge_summaries(&a, n_a, &b, n_b);
+        self.compress();
+    }
+}
+
+/// Folds a sorted batch of raw values into a tuple list. Interior values
+/// enter with the invariant-maximal uncertainty `Δ = ⌊2εn⌋ − 1`; values
+/// extending the min or max enter exactly (`Δ = 0`).
+fn merge_buffer(tuples: &[Tuple], sorted: &[f64], threshold: u64) -> Vec<Tuple> {
+    let interior_delta = threshold.saturating_sub(1);
+    let mut out = Vec::with_capacity(tuples.len() + sorted.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < tuples.len() || j < sorted.len() {
+        let take_existing = match (tuples.get(i), sorted.get(j)) {
+            (Some(t), Some(&v)) => t.value <= v,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_existing {
+            out.push(tuples[i]);
+            i += 1;
+        } else {
+            // A new value below the current min or above every existing
+            // tuple has an exactly-known rank edge.
+            let at_edge = out.is_empty() || (i >= tuples.len() && j + 1 >= sorted.len());
+            out.push(Tuple {
+                value: sorted[j],
+                g: 1,
+                delta: if at_edge { 0 } else { interior_delta },
+            });
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Merges two GK summaries by value, recomputing conservative rank
+/// bounds: a tuple's merged `rmin` adds the other summary's `rmin` at its
+/// predecessor, its merged `rmax` adds the other summary's `rmax` at its
+/// successor (or the full count when no successor exists).
+fn merge_summaries(a: &[Tuple], n_a: u64, b: &[Tuple], n_b: u64) -> Vec<Tuple> {
+    let bounds = |tuples: &[Tuple]| -> (Vec<u64>, Vec<u64>) {
+        let mut rmin = Vec::with_capacity(tuples.len());
+        let mut rmax = Vec::with_capacity(tuples.len());
+        let mut acc = 0u64;
+        for t in tuples {
+            acc += t.g;
+            rmin.push(acc);
+            rmax.push(acc + t.delta);
+        }
+        (rmin, rmax)
+    };
+    let (rmin_a, rmax_a) = bounds(a);
+    let (rmin_b, rmax_b) = bounds(b);
+
+    // For each merged tuple: rmin/rmax of its own summary plus the other
+    // summary's contribution below/above its value.
+    let other_bounds = |value: f64, rmin: &[u64], rmax: &[u64], tuples: &[Tuple], n: u64| {
+        // Number of tuples with value <= v decides the predecessor.
+        let succ = tuples.partition_point(|t| t.value < value);
+        let below = if succ == 0 { 0 } else { rmin[succ - 1] };
+        let above = if succ < tuples.len() {
+            rmax[succ].saturating_sub(1)
+        } else {
+            n
+        };
+        (below, above)
+    };
+
+    let total = n_a + n_b;
+    let mut merged: Vec<(f64, u64, u64)> = Vec::with_capacity(a.len() + b.len());
+    for (i, t) in a.iter().enumerate() {
+        let (below, above) = other_bounds(t.value, &rmin_b, &rmax_b, b, n_b);
+        merged.push((t.value, rmin_a[i] + below, rmax_a[i] + above));
+    }
+    for (i, t) in b.iter().enumerate() {
+        let (below, above) = other_bounds(t.value, &rmin_a, &rmax_a, a, n_a);
+        merged.push((t.value, rmin_b[i] + below, rmax_b[i] + above));
+    }
+    merged.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+
+    // The global min and max are exact; tighten their bounds before
+    // converting (rmin, rmax) back to (g, Δ).
+    if let Some(first) = merged.first_mut() {
+        first.1 = 1;
+        first.2 = first.2.max(1);
+    }
+    if let Some(last) = merged.last_mut() {
+        last.2 = total;
+        last.1 = last.1.min(total);
+    }
+
+    let mut out = Vec::with_capacity(merged.len());
+    let mut prev_rmin = 0u64;
+    for (value, rmin, rmax) in merged {
+        let rmin = rmin.max(prev_rmin + 1).min(rmax.max(prev_rmin + 1));
+        out.push(Tuple {
+            value,
+            g: rmin - prev_rmin,
+            delta: rmax.saturating_sub(rmin),
+        });
+        prev_rmin = rmin;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worst observed rank error of `sketch.quantile(q)` against the
+    /// exact sorted data, as a fraction of n.
+    fn rank_error(sketch: &QuantileSketch, sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len();
+        let got = sketch.quantile(q).expect("non-empty");
+        let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+        // The returned value's plausible rank range in the exact data.
+        let lo = sorted.partition_point(|&v| v < got) + 1;
+        let hi = sorted.partition_point(|&v| v <= got);
+        let dist = if target < lo {
+            lo - target
+        } else if target > hi.max(lo) {
+            target - hi.max(lo)
+        } else {
+            0
+        };
+        dist as f64 / n as f64
+    }
+
+    /// Deterministic pseudo-random stream (xorshift) — no rand dep here.
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 1_000_003) as f64 / 997.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new(0.01);
+        assert_eq!(s.count(), 0);
+        assert!(s.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let mut s = QuantileSketch::new(0.01);
+        s.observe(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(42.0));
+        }
+        assert_eq!(s.count(), 1);
+        assert!((s.sum() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_values_dropped() {
+        let mut s = QuantileSketch::new(0.01);
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        s.observe(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn p99_within_rank_error_on_100k_values() {
+        let data = stream(0x5eed, 100_000);
+        let mut s = QuantileSketch::new(0.005);
+        for &v in &data {
+            s.observe(v);
+        }
+        let mut sorted = data;
+        sorted.sort_by(f64::total_cmp);
+        for (_, q) in QuantileSketch::REPORTED {
+            let err = rank_error(&s, &sorted, q);
+            assert!(err <= 0.01, "q={q}: rank error {err} exceeds 0.01");
+        }
+    }
+
+    #[test]
+    fn merged_shards_stay_within_rank_error() {
+        // Mirrors the registry snapshot: 16 shard sketches at the tight
+        // default ε folded into one, compared against the exact stream.
+        let mut shards: Vec<QuantileSketch> = (0..16).map(|_| QuantileSketch::default()).collect();
+        let data = stream(0xfeed, 64_000);
+        for (i, &v) in data.iter().enumerate() {
+            shards[i % 16].observe(v);
+        }
+        let mut merged = QuantileSketch::default();
+        for shard in &shards {
+            merged.merge_from(shard);
+        }
+        assert_eq!(merged.count(), data.len() as u64);
+        let mut sorted = data;
+        sorted.sort_by(f64::total_cmp);
+        for (_, q) in QuantileSketch::REPORTED {
+            let err = rank_error(&merged, &sorted, q);
+            assert!(err <= 0.01, "q={q}: merged rank error {err} exceeds 0.01");
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other() {
+        let mut a = QuantileSketch::new(0.01);
+        let mut b = QuantileSketch::new(0.01);
+        for v in 0..100 {
+            b.observe(f64::from(v));
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 100);
+        let p50 = a.quantile(0.5).unwrap();
+        assert!((45.0..=55.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn min_and_max_are_exact() {
+        let mut s = QuantileSketch::new(0.01);
+        for &v in &stream(7, 10_000) {
+            s.observe(v);
+        }
+        s.observe(-5.0);
+        s.observe(1e9);
+        assert_eq!(s.quantile(0.0), Some(-5.0));
+        assert_eq!(s.quantile(1.0), Some(1e9));
+    }
+
+    #[test]
+    fn summary_stays_compressed() {
+        let mut s = QuantileSketch::new(0.01);
+        for &v in &stream(3, 200_000) {
+            s.observe(v);
+        }
+        // O((1/ε)·log(εn)) tuples, not O(n).
+        assert!(
+            s.tuples.len() < 4_000,
+            "summary grew to {} tuples",
+            s.tuples.len()
+        );
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::event::{EventKind, PhaseKind, TraceEvent};
 use crate::registry::Histogram;
+use crate::sketch::QuantileSketch;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -134,6 +135,22 @@ pub fn validate_events(events: &[TraceEvent]) -> Vec<String> {
                     ev.seq
                 ));
             }
+            EventKind::CausalEdge { edge, src, dst } => {
+                if edge.is_empty() || src.is_empty() || dst.is_empty() {
+                    errors.push(format!("causal_edge with empty field (seq {})", ev.seq));
+                } else if src == dst {
+                    errors.push(format!(
+                        "causal_edge `{edge}` is a self-loop on `{src}` (seq {})",
+                        ev.seq
+                    ));
+                }
+            }
+            EventKind::TaskStolen { thief, victim, .. } if thief == victim => {
+                errors.push(format!(
+                    "task_stolen reports worker {thief} stealing from itself (seq {})",
+                    ev.seq
+                ));
+            }
             _ => {}
         }
     }
@@ -171,6 +188,8 @@ pub struct PhaseSummary {
     pub retries: u64,
     /// Speculative backups that won.
     pub speculative_wins: u64,
+    /// Tasks rebalanced by work stealing during real execution.
+    pub steals: u64,
     /// Simulated phase span in seconds.
     pub sim_span: f64,
 }
@@ -238,9 +257,20 @@ pub struct TraceSummary {
     pub quarantined: u64,
     /// Crash-recovery resumes observed (`run_resumed` markers).
     pub resumes: u64,
+    /// Causal edges by edge kind (`dispatch`, `slot`, `barrier`, ...).
+    pub causal_edges: BTreeMap<String, u64>,
+    /// Latency quantile sketches derived from the stream: simulated task
+    /// durations per phase, kernel comparison counts, and per-reducer
+    /// shuffle bytes, keyed by a stable row label.
+    pub latency: BTreeMap<String, QuantileSketch>,
     /// Total events consumed.
     pub events: u64,
 }
+
+/// Rank-error target for the summary's latency sketches: a single
+/// (unmerged) sketch per row, so the reporting budget of 0.01 holds with
+/// headroom.
+const SUMMARY_EPSILON: f64 = 0.005;
 
 impl TraceSummary {
     /// Folds an event stream into aggregates.
@@ -292,9 +322,27 @@ impl TraceSummary {
                     let entry = summary.jobs.entry(job.clone()).or_default();
                     entry.phases.entry(*phase).or_default().retries += 1;
                 }
-                EventKind::TaskFinished { job, phase, .. } => {
+                EventKind::TaskFinished {
+                    job,
+                    phase,
+                    sim_start,
+                    sim_end,
+                    ..
+                } => {
                     let entry = summary.jobs.entry(job.clone()).or_default();
                     entry.phases.entry(*phase).or_default().finished += 1;
+                    summary
+                        .latency
+                        .entry(format!("task seconds ({phase})"))
+                        .or_insert_with(|| QuantileSketch::new(SUMMARY_EPSILON))
+                        .observe((sim_end - sim_start).max(0.0));
+                }
+                EventKind::TaskStolen { job, phase, .. } => {
+                    let entry = summary.jobs.entry(job.clone()).or_default();
+                    entry.phases.entry(*phase).or_default().steals += 1;
+                }
+                EventKind::CausalEdge { edge, .. } => {
+                    *summary.causal_edges.entry(edge.clone()).or_insert(0) += 1;
                 }
                 EventKind::ShufflePartition {
                     job,
@@ -307,6 +355,11 @@ impl TraceSummary {
                     entry.shuffle.0 += bytes;
                     entry.shuffle.1 += records;
                     entry.shuffle.2 += segments;
+                    summary
+                        .latency
+                        .entry("shuffle bytes (per reducer)".into())
+                        .or_insert_with(|| QuantileSketch::new(SUMMARY_EPSILON))
+                        .observe(*bytes as f64);
                 }
                 EventKind::PhasePeakMemory {
                     job,
@@ -338,6 +391,11 @@ impl TraceSummary {
                     entry.output += output;
                     entry.passes += passes;
                     entry.comparisons.record(*comparisons);
+                    summary
+                        .latency
+                        .entry("kernel comparisons".into())
+                        .or_insert_with(|| QuantileSketch::new(SUMMARY_EPSILON))
+                        .observe(*comparisons as f64);
                 }
                 EventKind::PartitionLocalSkyline {
                     partition,
@@ -447,6 +505,10 @@ impl TraceSummary {
                 }
                 out.push('\n');
             }
+            let steals: u64 = js.phases.values().map(|p| p.steals).sum();
+            if steals > 0 {
+                let _ = writeln!(out, "    work-stealing: {steals} task(s) rebalanced");
+            }
         }
 
         if !self.partitions.is_empty() {
@@ -533,6 +595,25 @@ impl TraceSummary {
             let _ = writeln!(out, "  crash recoveries: {} resume(s)", self.resumes);
         }
 
+        if !self.causal_edges.is_empty() {
+            let _ = write!(out, "  causal edges:");
+            for (edge, count) in &self.causal_edges {
+                let _ = write!(out, " {edge}={count}");
+            }
+            out.push('\n');
+        }
+
+        if !self.latency.is_empty() {
+            let _ = writeln!(out, "  latency quantiles (p50 / p95 / p99 / p999):");
+            for (label, sketch) in &self.latency {
+                let qs: Vec<String> = QuantileSketch::REPORTED
+                    .iter()
+                    .map(|&(_, q)| fmt_quantile(sketch.quantile(q).unwrap_or(0.0)))
+                    .collect();
+                let _ = writeln!(out, "    {label:<28} {}", qs.join(" / "));
+            }
+        }
+
         if !self.spans.is_empty() {
             let _ = writeln!(out, "  driver spans (wall):");
             for (name, us) in &self.spans {
@@ -540,6 +621,17 @@ impl TraceSummary {
             }
         }
         out
+    }
+}
+
+/// Compact quantile formatting: integral values print without a fraction
+/// (comparison counts, byte sizes), fractional ones with four decimals
+/// (simulated seconds).
+fn fmt_quantile(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
     }
 }
 
@@ -1037,6 +1129,173 @@ mod tests {
         assert_eq!(bnl.comparisons.sum(), 500);
         assert_eq!(summary.partitions.get(&3), Some(&(100, 10, false)));
         assert_eq!(summary.spans.get("run"), Some(&20));
+    }
+
+    #[test]
+    fn validator_checks_causal_events() {
+        use EventKind::*;
+        let self_loop = vec![ev(
+            0,
+            0,
+            CausalEdge {
+                edge: "slot".into(),
+                src: "task:j/map/1".into(),
+                dst: "task:j/map/1".into(),
+            },
+        )];
+        assert!(validate_events(&self_loop)
+            .iter()
+            .any(|e| e.contains("self-loop")));
+
+        let empty_field = vec![ev(
+            0,
+            0,
+            CausalEdge {
+                edge: String::new(),
+                src: "a".into(),
+                dst: "b".into(),
+            },
+        )];
+        assert!(validate_events(&empty_field)
+            .iter()
+            .any(|e| e.contains("empty field")));
+
+        let self_steal = vec![ev(
+            0,
+            0,
+            TaskStolen {
+                job: "j".into(),
+                phase: PhaseKind::Map,
+                task: 1,
+                thief: 2,
+                victim: 2,
+            },
+        )];
+        assert!(validate_events(&self_steal)
+            .iter()
+            .any(|e| e.contains("stealing from itself")));
+
+        let fine = vec![
+            ev(
+                0,
+                0,
+                CausalEdge {
+                    edge: "shuffle".into(),
+                    src: "task:j/map/0".into(),
+                    dst: "task:j/reduce/1".into(),
+                },
+            ),
+            ev(
+                1,
+                1,
+                TaskStolen {
+                    job: "j".into(),
+                    phase: PhaseKind::Map,
+                    task: 1,
+                    thief: 2,
+                    victim: 0,
+                },
+            ),
+        ];
+        assert!(validate_events(&fine).is_empty());
+    }
+
+    #[test]
+    fn summary_aggregates_causal_events_and_latency() {
+        use EventKind::*;
+        let mut stream = valid_stream();
+        let next = stream.len() as u64;
+        stream.push(ev(
+            next,
+            100,
+            CausalEdge {
+                edge: "slot".into(),
+                src: "task:j/map/0".into(),
+                dst: "task:j/map/1".into(),
+            },
+        ));
+        stream.push(ev(
+            next + 1,
+            101,
+            TaskStolen {
+                job: "j".into(),
+                phase: PhaseKind::Map,
+                task: 1,
+                thief: 3,
+                victim: 0,
+            },
+        ));
+        let summary = TraceSummary::from_events(&stream);
+        assert_eq!(summary.causal_edges.get("slot"), Some(&1));
+        let map = summary.jobs.get("j").unwrap().phases[&PhaseKind::Map].clone();
+        assert_eq!(map.steals, 1);
+        let tasks = summary.latency.get("task seconds (map)").unwrap();
+        assert_eq!(tasks.count(), 2);
+        let text = summary.render();
+        assert!(text.contains("causal edges: slot=1"));
+        assert!(text.contains("work-stealing: 1 task(s) rebalanced"));
+        assert!(text.contains("latency quantiles (p50 / p95 / p99 / p999):"));
+        assert!(text.contains("task seconds (map)"));
+        assert!(text.contains("kernel comparisons"));
+    }
+
+    #[test]
+    fn two_runs_render_byte_identical_summaries() {
+        // The determinism guarantee: rendering is a pure function of the
+        // trace (all row containers are ordered maps), so parsing and
+        // summarizing the same JSONL twice yields identical bytes.
+        let stream = valid_stream();
+        let text: String = stream
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        let run = |input: &str| {
+            let events = crate::parse_jsonl(input).unwrap();
+            TraceSummary::from_events(&events).render()
+        };
+        let first = run(&text);
+        let second = run(&text);
+        assert!(!first.is_empty());
+        assert_eq!(first.as_bytes(), second.as_bytes());
+    }
+
+    #[test]
+    fn summary_rows_are_sorted_regardless_of_event_order() {
+        use EventKind::*;
+        // Jobs and kernels arrive in reverse name order; the rendered
+        // tables must still list them sorted.
+        let stream = vec![
+            ev(0, 0, JobStarted { job: "zeta".into() }),
+            ev(
+                1,
+                1,
+                JobFinished {
+                    job: "zeta".into(),
+                    sim_total: 1.0,
+                    wall_seconds: 0.1,
+                },
+            ),
+            ev(
+                2,
+                2,
+                JobStarted {
+                    job: "alpha".into(),
+                },
+            ),
+            ev(
+                3,
+                3,
+                JobFinished {
+                    job: "alpha".into(),
+                    sim_total: 1.0,
+                    wall_seconds: 0.1,
+                },
+            ),
+        ];
+        let text = TraceSummary::from_events(&stream).render();
+        let alpha = text.find("job alpha").expect("alpha row");
+        let zeta = text.find("job zeta").expect("zeta row");
+        assert!(alpha < zeta, "rows not sorted by job name:\n{text}");
     }
 
     #[test]

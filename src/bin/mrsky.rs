@@ -67,6 +67,7 @@ fn main() -> ExitCode {
         "select" => cmd_select(rest),
         "sweep" => cmd_sweep(rest),
         "trace" => cmd_trace(rest),
+        "insight" => cmd_insight(rest),
         "chaos" => cmd_chaos(rest),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
@@ -89,6 +90,7 @@ USAGE:
                  [--algorithm angle] [--servers 8]
   mrsky sweep    --data FILE --servers 4,8,16,32 [--algorithm angle] [--json]
   mrsky trace    --summary FILE | --validate FILE | --chrome OUT FILE
+  mrsky insight  [--critical-path] [--stragglers] [--skew] [--what-if-speculation] FILE
   mrsky chaos    plan --profile light|heavy [--seed 42] [--kill-after N] [--out FILE]
   mrsky chaos    replay --plan FILE --data FILE [--algorithm angle] [--servers 8]
 
@@ -133,6 +135,14 @@ Fault injection & recovery (skyline):
 `mrsky trace` replays a recorded JSONL trace: --summary renders per-phase
 task/retry/speculation tables, --chrome converts to a Perfetto-loadable
 JSON file, --validate checks event-schema invariants.
+
+`mrsky insight` analyzes a recorded JSONL trace: --critical-path extracts
+the longest weighted chain with per-phase blame summing to the simulated
+wall time, --stragglers flags tasks slow against their phase median (with
+steal-rescue marks), --skew scores per-partition row and kernel-time Gini
+and names the hot partition, --what-if-speculation estimates the wall time
+a perfectly timed backup of the slowest task would save. With no section
+flags, all sections print.
 
 `mrsky chaos plan` writes a fault plan as JSON; `mrsky chaos replay` re-runs
 a skyline job under a recorded plan and verifies the result against the
@@ -526,6 +536,45 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     }
     // default (and --summary): the human-readable report
     print!("{}", TraceSummary::from_events(&events).render());
+    Ok(())
+}
+
+/// Analyzes a recorded JSONL trace: critical path, stragglers, partition
+/// skew, and the what-if-speculation estimate. Section flags select
+/// sections; with none given, all sections print.
+fn cmd_insight(args: &[String]) -> Result<(), String> {
+    use mr_skyline_suite::insight;
+    let want_cp = args.iter().any(|a| a == "--critical-path");
+    let want_stragglers = args.iter().any(|a| a == "--stragglers");
+    let want_skew = args.iter().any(|a| a == "--skew");
+    let want_whatif = args.iter().any(|a| a == "--what-if-speculation");
+    let all = !(want_cp || want_stragglers || want_skew || want_whatif);
+    let input = args.iter().rfind(|a| !a.starts_with("--")).ok_or(
+        "usage: mrsky insight [--critical-path] [--stragglers] [--skew] \
+             [--what-if-speculation] FILE",
+    )?;
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read trace `{input}`: {e}"))?;
+    let events = trace::parse_jsonl(&text).map_err(|e| format!("`{input}`: {e}"))?;
+    let run = insight::RunModel::from_events(&events).map_err(|e| format!("`{input}`: {e}"))?;
+    if all || want_cp {
+        let cp = insight::critical_path(&run);
+        print!("{}", insight::report::render_critical_path(&run, &cp));
+    }
+    if all || want_stragglers {
+        let list = insight::stragglers(&run, insight::DEFAULT_THRESHOLD);
+        print!("{}", insight::report::render_stragglers(&list));
+    }
+    if all || want_skew {
+        match insight::skew(&run) {
+            Some(report) => print!("{}", insight::report::render_skew(&report)),
+            None => println!("partition skew: no partition accounting in this trace"),
+        }
+    }
+    if all || want_whatif {
+        let list = insight::what_if_speculation(&run);
+        print!("{}", insight::report::render_whatif(&list));
+    }
     Ok(())
 }
 

@@ -17,7 +17,9 @@
 //!   registry, and the Chrome/Prometheus exporters;
 //! * [`chaos`] ([`mrsky_chaos`]) — seeded fault injection, bounded
 //!   retries, and the quarantine/kill-switch machinery behind
-//!   checkpoint/resume.
+//!   checkpoint/resume;
+//! * [`insight`] ([`mrsky_insight`]) — causal critical-path analysis,
+//!   straggler/skew attribution, and the bench regression gate.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -25,6 +27,7 @@ pub use mini_mapreduce as mapreduce;
 pub use mr_skyline as mr;
 pub use mrsky_audit as audit;
 pub use mrsky_chaos as chaos;
+pub use mrsky_insight as insight;
 pub use mrsky_trace as trace;
 pub use qws_data as qws;
 pub use skyline_algos as skyline;

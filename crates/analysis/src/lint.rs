@@ -16,6 +16,7 @@
 //! | `no-wall-clock` | `Instant::now` / `SystemTime::now` in runtime crates | timestamps must come from an injected [`EpochClock`](../trace) so runs replay deterministically |
 //! | `relaxed-ordering-audit` | `Ordering::Relaxed` outside a pure counter | needs an `// ORDERING:` comment justifying why relaxed is enough |
 //! | `raw-sync-primitive` | `std::sync` primitives in facaded crates | the four model-checked crates must go through `mrsky_model::sync` |
+//! | `bounded-channel-only` | `mpsc::channel(` / `unbounded(` / `SegQueue` on request-path crates | an unbounded queue turns overload into unbounded memory growth; the serving path must shed with a typed `Overloaded` rejection instead |
 //!
 //! Tokens inside `#[cfg(test)]` regions are exempt (tests may assert
 //! freely). Existing debt is recorded in an allowlist file
@@ -194,6 +195,7 @@ const WALL_CLOCK_SCOPE: &[&str] = &[
     "crates/core/",
     "crates/qws/",
     "crates/model/",
+    "crates/serve/",
 ];
 
 /// The four crates refactored onto the `mrsky_model::sync` facade: any
@@ -204,7 +206,14 @@ const RAW_SYNC_SCOPE: &[&str] = &[
     "crates/mapreduce/",
     "crates/skyline/",
     "crates/chaos/",
+    "crates/serve/",
 ];
+
+/// Crates on the serving/request path: every queue here must be
+/// bounded, because an unbounded channel converts overload into
+/// unbounded memory growth instead of a typed `Overloaded` rejection
+/// (admission control can only shed what it can count).
+const REQUEST_PATH_SCOPE: &[&str] = &["crates/serve/", "crates/mapreduce/"];
 
 /// `std::sync` leaves that carry no scheduling behavior of their own
 /// and are fine to use directly even in facaded crates.
@@ -460,6 +469,27 @@ impl FileScan<'_, '_> {
             "parking_lot" | "crossbeam" if in_scope(self.rel, RAW_SYNC_SCOPE) => {
                 self.push("raw-sync-primitive", line);
             }
+            // `mpsc::channel(...)` is the unbounded constructor;
+            // `mpsc::sync_channel(cap)` is the bounded one and passes.
+            "mpsc"
+                if in_scope(self.rel, REQUEST_PATH_SCOPE)
+                    && self.is_path_sep(j, 1)
+                    && self.is_ident(j, 3, "channel")
+                    && self.is_punct(j, 4, "(") =>
+            {
+                self.push("bounded-channel-only", line);
+            }
+            // Unbounded constructors by any path: crossbeam_channel's
+            // `unbounded()`, tokio-style `unbounded_channel()`, and the
+            // lock-free unbounded `SegQueue`.
+            "unbounded" | "unbounded_channel"
+                if in_scope(self.rel, REQUEST_PATH_SCOPE) && self.is_punct(j, 1, "(") =>
+            {
+                self.push("bounded-channel-only", line);
+            }
+            "SegQueue" if in_scope(self.rel, REQUEST_PATH_SCOPE) => {
+                self.push("bounded-channel-only", line);
+            }
             _ => {}
         }
     }
@@ -622,6 +652,35 @@ fn lib() {
 ";
         let findings = scan("crates/x/src/lib.rs", src);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn bounded_channel_only_fires_on_request_path_crates() {
+        let src = "\
+fn wire() {
+    let (tx, rx) = mpsc::channel();
+    let (btx, brx) = mpsc::sync_channel(64);
+    let (utx, urx) = unbounded();
+    let q = SegQueue::new();
+}
+";
+        let findings = scan("crates/serve/src/lib.rs", src);
+        assert_eq!(
+            rules(&findings),
+            vec![
+                "bounded-channel-only",
+                "bounded-channel-only",
+                "bounded-channel-only"
+            ],
+            "{findings:?}"
+        );
+        assert_eq!(findings[0].line, 2);
+        // the same source outside the request-path scope is clean
+        let elsewhere = scan("crates/trace/src/lib.rs", src);
+        assert!(
+            !elsewhere.iter().any(|f| f.rule == "bounded-channel-only"),
+            "{elsewhere:?}"
+        );
     }
 
     #[test]

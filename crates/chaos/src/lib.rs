@@ -34,4 +34,4 @@ mod retry;
 pub use kill::{KillSwitch, KILL_PAYLOAD};
 pub use plan::{FaultKind, FaultPlan, FaultSite, SiteRule};
 pub use quarantine::{DeadLetter, QuarantinedRecord};
-pub use retry::{with_retries, BackoffPolicy, RetryStats};
+pub use retry::{with_retries, with_retries_seeded, BackoffPolicy, RetryStats};

@@ -32,16 +32,22 @@ pub enum FaultSite {
     ShuffleFetch,
     /// One row of dataset ingest (poisoned to a non-finite value).
     IngestRow,
+    /// One skyline-service mutation (insert/delete) on the request path.
+    ServeMutation,
+    /// One skyline-service snapshot query on the request path.
+    ServeQuery,
 }
 
 impl FaultSite {
     /// All sites, for profile construction and property generators.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::ParallelChunk,
         FaultSite::DfsRead,
         FaultSite::MapTask,
         FaultSite::ShuffleFetch,
         FaultSite::IngestRow,
+        FaultSite::ServeMutation,
+        FaultSite::ServeQuery,
     ];
 
     /// Stable wire name.
@@ -52,6 +58,8 @@ impl FaultSite {
             FaultSite::MapTask => "map-task",
             FaultSite::ShuffleFetch => "shuffle-fetch",
             FaultSite::IngestRow => "ingest-row",
+            FaultSite::ServeMutation => "serve-mutation",
+            FaultSite::ServeQuery => "serve-query",
         }
     }
 
@@ -67,6 +75,8 @@ impl FaultSite {
             FaultSite::MapTask => 0x6d61_7074,
             FaultSite::ShuffleFetch => 0x7368_6666,
             FaultSite::IngestRow => 0x696e_6772,
+            FaultSite::ServeMutation => 0x7376_6d75,
+            FaultSite::ServeQuery => 0x7376_7175,
         }
     }
 }
@@ -228,6 +238,8 @@ impl FaultPlan {
                 FaultSite::MapTask => &[FaultKind::Panic, FaultKind::TransientError],
                 FaultSite::ShuffleFetch => &[FaultKind::DropRecord, FaultKind::CorruptRecord],
                 FaultSite::IngestRow => &[FaultKind::PoisonRow],
+                FaultSite::ServeMutation => &[FaultKind::TransientError, FaultKind::PoisonRow],
+                FaultSite::ServeQuery => &[FaultKind::TransientError],
             };
             for &kind in kinds {
                 rules.push(SiteRule {
@@ -303,11 +315,13 @@ impl FaultPlan {
         let mut out = String::with_capacity(256);
         let _ = write!(
             out,
-            "{{\"seed\":{},\"max_attempts\":{},\"backoff_base\":{},\"backoff_factor\":{},",
+            "{{\"seed\":{},\"max_attempts\":{},\"backoff_base\":{},\"backoff_factor\":{},\
+             \"backoff_jitter\":{},",
             self.seed,
             self.max_attempts,
             json::number(self.backoff.base_seconds),
             json::number(self.backoff.factor),
+            json::number(self.backoff.jitter),
         );
         match self.kill_after_checkpoints {
             Some(n) => {
@@ -352,9 +366,19 @@ impl FaultPlan {
         let seed = req_u64("seed")?;
         let max_attempts = u32::try_from(req_u64("max_attempts")?)
             .map_err(|_| "max_attempts out of range".to_string())?;
+        // `backoff_jitter` is optional so plans written before the field
+        // existed still parse (they ran unjittered, which 0.0 preserves).
+        let jitter = match value.get("backoff_jitter") {
+            None | Some(JsonValue::Null) => 0.0,
+            Some(v) => v.as_f64().ok_or("backoff_jitter must be a number")?,
+        };
+        if !(0.0..1.0).contains(&jitter) {
+            return Err(format!("backoff_jitter {jitter} outside [0, 1)"));
+        }
         let backoff = BackoffPolicy {
             base_seconds: req_f64("backoff_base")?,
             factor: req_f64("backoff_factor")?,
+            jitter,
         };
         let kill_after_checkpoints = match value.get("kill_after_checkpoints") {
             None | Some(JsonValue::Null) => None,
@@ -513,6 +537,43 @@ mod tests {
             let back = FaultPlan::from_json(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
             assert_eq!(back, plan, "{text}");
         }
+    }
+
+    #[test]
+    fn jitter_round_trips_and_legacy_plans_parse() {
+        let mut plan = FaultPlan::light(3);
+        plan.backoff.jitter = 0.25;
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        // plans serialized before `backoff_jitter` existed default to 0.0
+        let legacy = FaultPlan::from_json(
+            r#"{"seed":1,"max_attempts":4,"backoff_base":0.1,"backoff_factor":2.0,"rules":[]}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.backoff.jitter, 0.0);
+        assert!(FaultPlan::from_json(
+            r#"{"seed":1,"max_attempts":4,"backoff_base":0.1,"backoff_factor":2.0,"backoff_jitter":1.5,"rules":[]}"#,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serve_sites_draw_independently_of_batch_sites() {
+        let plan = FaultPlan::heavy(11);
+        let m: Vec<_> = (0..200)
+            .map(|i| plan.decide(FaultSite::ServeMutation, "tenant-a", i, 0))
+            .collect();
+        let q: Vec<_> = (0..200)
+            .map(|i| plan.decide(FaultSite::ServeQuery, "tenant-a", i, 0))
+            .collect();
+        assert!(m.iter().any(Option::is_some));
+        assert!(q.iter().any(Option::is_some));
+        assert_ne!(m, q);
+        // growing ALL must not perturb decisions at the original sites
+        let chunk: Vec<_> = (0..200)
+            .map(|i| plan.decide(FaultSite::ParallelChunk, "s", i, 0).is_some())
+            .collect();
+        assert!(chunk.iter().any(|&b| b));
     }
 
     #[test]

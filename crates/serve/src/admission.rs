@@ -1,0 +1,130 @@
+//! Admission control: bounded in-flight work plus queue-depth load
+//! shedding. A request that cannot be admitted is *rejected with a
+//! typed error* — nothing on the request path queues unboundedly.
+
+use mrsky_model::sync::{AtomicU64, AtomicUsize, Ordering};
+
+/// Admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Mutations allowed to execute concurrently.
+    pub max_in_flight: usize,
+    /// Mutations allowed to wait beyond the in-flight limit before the
+    /// gate sheds.
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 8,
+            max_queue_depth: 32,
+        }
+    }
+}
+
+/// Why the gate shed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The in-flight limit and the bounded queue are both full.
+    QueueDepth {
+        /// Depth (in-flight + queued) observed at the decision.
+        depth: u64,
+    },
+}
+
+/// The admission gate. Depth accounting is two facade atomics; the
+/// "queue" is purely a count — admitted requests execute immediately in
+/// this synchronous service, so queued slots model the burst headroom
+/// the caller is allowed before shedding starts.
+pub struct AdmissionGate {
+    cfg: AdmissionConfig,
+    in_flight: AtomicUsize,
+    shed_total: AtomicU64,
+}
+
+/// RAII permit; releases its admission slot on drop.
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl AdmissionGate {
+    /// Creates a gate with the given limits.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            cfg,
+            in_flight: AtomicUsize::new(0),
+            shed_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity before shedding starts (in-flight + burst headroom).
+    pub fn capacity(&self) -> usize {
+        self.cfg.max_in_flight + self.cfg.max_queue_depth
+    }
+
+    /// Requests currently holding permits.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Requests shed over the gate's lifetime.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Acquire)
+    }
+
+    /// Tries to admit one request, returning a permit or the typed shed
+    /// reason. Never blocks, never queues.
+    ///
+    /// # Errors
+    ///
+    /// [`ShedReason::QueueDepth`] when admitting would exceed the
+    /// bounded capacity.
+    pub fn try_acquire(&self) -> Result<Permit<'_>, ShedReason> {
+        let cap = self.capacity();
+        let mut cur = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if cur >= cap {
+                self.shed_total.fetch_add(1, Ordering::Relaxed);
+                return Err(ShedReason::QueueDepth { depth: cur as u64 });
+            }
+            match self
+                .in_flight
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Ok(Permit { gate: self }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_beyond_capacity_and_releases_on_drop() {
+        let gate = AdmissionGate::new(AdmissionConfig {
+            max_in_flight: 1,
+            max_queue_depth: 1,
+        });
+        let p1 = gate.try_acquire().expect("first");
+        let p2 = gate.try_acquire().expect("burst headroom");
+        match gate.try_acquire() {
+            Err(ShedReason::QueueDepth { depth }) => assert_eq!(depth, 2),
+            Ok(_) => panic!("gate over capacity"),
+        }
+        assert_eq!(gate.shed_total(), 1);
+        drop(p1);
+        let _p3 = gate.try_acquire().expect("slot released");
+        drop(p2);
+        assert_eq!(gate.in_flight(), 1);
+    }
+}

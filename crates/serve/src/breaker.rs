@@ -1,0 +1,274 @@
+//! Per-tenant/operation circuit breaker: closed → open → half-open.
+//!
+//! Time is the caller's problem — every method takes `now_us` on the
+//! *simulated* clock, so the breaker is deterministic under `SimClock`
+//! and replayable from a trace. All state lives behind the
+//! `mrsky_model::sync` facade, so the transition protocol is exercised
+//! by the instrumented scheduler under `--cfg mrsky_model`
+//! (`tests/model.rs`).
+//!
+//! Protocol:
+//!
+//! - **Closed**: requests flow; `failure_threshold` *consecutive*
+//!   failures trip the breaker open for `open_seconds`.
+//! - **Open**: requests are rejected until the window elapses; the
+//!   first admission attempt after that moves to half-open and is
+//!   admitted as a probe.
+//! - **Half-open**: one probe in flight at a time; `half_open_probes`
+//!   consecutive probe successes close the breaker, any probe failure
+//!   re-opens it (with a fresh window).
+
+use mrsky_model::sync::Mutex;
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker.
+    pub failure_threshold: u32,
+    /// Simulated seconds an open breaker rejects before probing.
+    pub open_seconds: f64,
+    /// Consecutive probe successes required to close again.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            open_seconds: 5.0,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// The three externally visible breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests rejected until the window elapses.
+    Open,
+    /// Probing: limited requests test whether the fault cleared.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable wire name (`closed`, `open`, `half-open`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A state change, reported so the caller can emit a
+/// `breaker_transition` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State left.
+    pub from: BreakerState,
+    /// State entered.
+    pub to: BreakerState,
+}
+
+/// Admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed normally.
+    Allow,
+    /// Proceed, but report the outcome as a half-open probe.
+    Probe,
+    /// Reject without executing.
+    Reject,
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until_us: u64,
+    probe_in_flight: bool,
+    probe_successes: u32,
+}
+
+/// A deterministic circuit breaker (see module docs).
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_until_us: 0,
+                probe_in_flight: false,
+                probe_successes: 0,
+            }),
+        }
+    }
+
+    /// The current state (for reporting; admission decisions should use
+    /// [`CircuitBreaker::try_admit`]).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Decides whether a request may proceed at simulated time `now_us`.
+    pub fn try_admit(&self, now_us: u64) -> (Admission, Option<Transition>) {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed => (Admission::Allow, None),
+            BreakerState::Open => {
+                if now_us >= g.open_until_us {
+                    g.state = BreakerState::HalfOpen;
+                    g.probe_in_flight = true;
+                    g.probe_successes = 0;
+                    (
+                        Admission::Probe,
+                        Some(Transition {
+                            from: BreakerState::Open,
+                            to: BreakerState::HalfOpen,
+                        }),
+                    )
+                } else {
+                    (Admission::Reject, None)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probe_in_flight {
+                    (Admission::Reject, None)
+                } else {
+                    g.probe_in_flight = true;
+                    (Admission::Probe, None)
+                }
+            }
+        }
+    }
+
+    /// Records a successful request (`probe` = admitted as
+    /// [`Admission::Probe`]).
+    pub fn on_success(&self, probe: bool) -> Option<Transition> {
+        let mut g = self.inner.lock();
+        if probe && g.state == BreakerState::HalfOpen {
+            g.probe_in_flight = false;
+            g.probe_successes += 1;
+            if g.probe_successes >= self.cfg.half_open_probes {
+                g.state = BreakerState::Closed;
+                g.consecutive_failures = 0;
+                return Some(Transition {
+                    from: BreakerState::HalfOpen,
+                    to: BreakerState::Closed,
+                });
+            }
+            return None;
+        }
+        g.consecutive_failures = 0;
+        None
+    }
+
+    /// Records a failed request at simulated time `now_us`.
+    pub fn on_failure(&self, now_us: u64, probe: bool) -> Option<Transition> {
+        let mut g = self.inner.lock();
+        let open_until = now_us + (self.cfg.open_seconds * 1e6) as u64;
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.cfg.failure_threshold {
+                    g.state = BreakerState::Open;
+                    g.open_until_us = open_until;
+                    Some(Transition {
+                        from: BreakerState::Closed,
+                        to: BreakerState::Open,
+                    })
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen if probe => {
+                g.state = BreakerState::Open;
+                g.open_until_us = open_until;
+                g.probe_in_flight = false;
+                g.consecutive_failures = 0;
+                Some(Transition {
+                    from: BreakerState::HalfOpen,
+                    to: BreakerState::Open,
+                })
+            }
+            // a failure finishing after the breaker already moved on
+            // (late non-probe completion) does not drive transitions
+            BreakerState::Open | BreakerState::HalfOpen => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            open_seconds: 1.0,
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_and_recovers_via_probes() {
+        let b = CircuitBreaker::new(cfg());
+        assert_eq!(b.try_admit(0).0, Admission::Allow);
+        assert_eq!(b.on_failure(0, false), None);
+        let t = b.on_failure(0, false).expect("second failure trips");
+        assert_eq!((t.from, t.to), (BreakerState::Closed, BreakerState::Open));
+        // rejected during the open window
+        assert_eq!(b.try_admit(999_999).0, Admission::Reject);
+        // window elapses: half-open, one probe admitted
+        let (adm, tr) = b.try_admit(1_000_000);
+        assert_eq!(adm, Admission::Probe);
+        assert_eq!(
+            tr.map(|t| t.to),
+            Some(BreakerState::HalfOpen),
+            "open->half-open transition reported"
+        );
+        // only one probe in flight
+        assert_eq!(b.try_admit(1_000_000).0, Admission::Reject);
+        assert_eq!(b.on_success(true), None, "one success is not enough");
+        let (adm, _) = b.try_admit(1_000_001);
+        assert_eq!(adm, Admission::Probe);
+        let t = b.on_success(true).expect("second probe success closes");
+        assert_eq!(
+            (t.from, t.to),
+            (BreakerState::HalfOpen, BreakerState::Closed)
+        );
+        assert_eq!(b.try_admit(1_000_002).0, Admission::Allow);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_fresh_window() {
+        let b = CircuitBreaker::new(cfg());
+        b.on_failure(0, false);
+        b.on_failure(0, false);
+        assert_eq!(b.try_admit(1_000_000).0, Admission::Probe);
+        let t = b
+            .on_failure(1_000_000, true)
+            .expect("probe failure reopens");
+        assert_eq!((t.from, t.to), (BreakerState::HalfOpen, BreakerState::Open));
+        assert_eq!(b.try_admit(1_999_999).0, Admission::Reject);
+        assert_eq!(b.try_admit(2_000_000).0, Admission::Probe);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let b = CircuitBreaker::new(cfg());
+        b.on_failure(0, false);
+        b.on_success(false);
+        assert_eq!(b.on_failure(0, false), None, "streak was reset");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

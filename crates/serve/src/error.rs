@@ -1,0 +1,159 @@
+//! Typed request-path errors: every rejected request carries one of
+//! these — the service never drops work silently.
+
+use skyline_algos::SkylineError;
+use std::fmt;
+
+/// Why a serving-layer request was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control shed the request: accepting it would have
+    /// grown an unbounded queue.
+    Overloaded {
+        /// Tenant the request targeted.
+        tenant: String,
+        /// Operation class (`mutation`, `query`).
+        op: String,
+        /// Observed depth (in-flight + queued) at the shed decision.
+        depth: u64,
+    },
+    /// The tenant/operation circuit breaker is open; mutations are
+    /// rejected until the open window elapses and probing succeeds.
+    BreakerOpen {
+        /// Tenant whose breaker rejected the request.
+        tenant: String,
+        /// Operation class guarded.
+        op: String,
+    },
+    /// The retry budget was exhausted by transient faults.
+    RetriesExhausted {
+        /// Tenant the request targeted.
+        tenant: String,
+        /// Operation class.
+        op: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The per-request deadline budget ran out before the operation
+    /// converged (backoff charges are counted against it).
+    DeadlineExceeded {
+        /// Tenant the request targeted.
+        tenant: String,
+        /// Operation class.
+        op: String,
+        /// Simulated seconds the request was allowed.
+        budget_seconds: f64,
+    },
+    /// The mutation was poisoned (non-finite payload or an injected
+    /// `PoisonRow` fault) and was diverted to the dead-letter queue.
+    PoisonMutation {
+        /// Tenant the mutation targeted.
+        tenant: String,
+        /// Why the payload was rejected.
+        reason: String,
+    },
+    /// A skyline-layer invariant rejected the payload (e.g. dimension
+    /// mismatch against the tenant's existing points).
+    Skyline(SkylineError),
+}
+
+impl ServeError {
+    /// Stable wire name for the error class, used as the `outcome`
+    /// label on `request` trace events.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "rejected-overloaded",
+            ServeError::BreakerOpen { .. } => "rejected-breaker",
+            ServeError::RetriesExhausted { .. } => "rejected-retries",
+            ServeError::DeadlineExceeded { .. } => "rejected-deadline",
+            ServeError::PoisonMutation { .. } => "dead-letter",
+            ServeError::Skyline(_) => "rejected-invalid",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { tenant, op, depth } => {
+                write!(
+                    f,
+                    "overloaded: shed {op} for tenant {tenant} at depth {depth}"
+                )
+            }
+            ServeError::BreakerOpen { tenant, op } => {
+                write!(f, "circuit breaker open for tenant {tenant} {op}s")
+            }
+            ServeError::RetriesExhausted {
+                tenant,
+                op,
+                attempts,
+            } => write!(
+                f,
+                "{op} for tenant {tenant} failed after {attempts} attempt(s)"
+            ),
+            ServeError::DeadlineExceeded {
+                tenant,
+                op,
+                budget_seconds,
+            } => write!(
+                f,
+                "{op} for tenant {tenant} exceeded its {budget_seconds}s deadline"
+            ),
+            ServeError::PoisonMutation { tenant, reason } => {
+                write!(f, "poison mutation for tenant {tenant}: {reason}")
+            }
+            ServeError::Skyline(e) => write!(f, "skyline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SkylineError> for ServeError {
+    fn from(e: SkylineError) -> Self {
+        ServeError::Skyline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_are_distinct_wire_names() {
+        let all = [
+            ServeError::Overloaded {
+                tenant: "t".into(),
+                op: "mutation".into(),
+                depth: 3,
+            },
+            ServeError::BreakerOpen {
+                tenant: "t".into(),
+                op: "query".into(),
+            },
+            ServeError::RetriesExhausted {
+                tenant: "t".into(),
+                op: "mutation".into(),
+                attempts: 4,
+            },
+            ServeError::DeadlineExceeded {
+                tenant: "t".into(),
+                op: "mutation".into(),
+                budget_seconds: 1.0,
+            },
+            ServeError::PoisonMutation {
+                tenant: "t".into(),
+                reason: "NaN".into(),
+            },
+            ServeError::Skyline(SkylineError::EmptyDataset),
+        ];
+        let mut names: Vec<_> = all.iter().map(ServeError::outcome).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Model checks of the serving-layer protocols: the circuit breaker's
+//! state machine and the admission gate's bounded accounting, explored
+//! under the instrumented scheduler. Compiled only with
+//! `RUSTFLAGS="--cfg mrsky_model"` (the CI `model-check` job).
+#![cfg(mrsky_model)]
+
+use mrsky_model::sync::{scope, AtomicUsize, Ordering};
+use mrsky_model::{check_opts, CheckOptions};
+use mrsky_serve::{
+    Admission, AdmissionConfig, AdmissionGate, BreakerConfig, BreakerState, CircuitBreaker,
+};
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        preemption_bound: 3,
+        random_walks: 16,
+        max_iterations: 10_000,
+        ..CheckOptions::default()
+    }
+}
+
+fn cfg() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: 2,
+        open_seconds: 1.0,
+        half_open_probes: 1,
+    }
+}
+
+/// Two threads reporting failures concurrently: the breaker trips to
+/// open exactly once (one caller observes the closed->open transition),
+/// on every explored schedule.
+#[test]
+fn model_breaker_trips_exactly_once_under_racing_failures() {
+    let report = check_opts(&opts(), || {
+        let b = CircuitBreaker::new(cfg());
+        let trips = AtomicUsize::new(0);
+        scope(|s| {
+            let h = s.spawn(|| {
+                if b.on_failure(0, false).is_some() {
+                    trips.fetch_add(1, Ordering::Relaxed);
+                }
+                if b.on_failure(0, false).is_some() {
+                    trips.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            if b.on_failure(0, false).is_some() {
+                trips.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = h.join();
+        });
+        assert_eq!(b.state(), BreakerState::Open, "3 failures >= threshold 2");
+        assert_eq!(
+            trips.load(Ordering::Relaxed),
+            1,
+            "exactly one caller sees the closed->open transition"
+        );
+    });
+    assert!(report.executions > 1);
+}
+
+/// Racing admits after the open window: at most one caller is admitted
+/// as the half-open probe, the rest are rejected — the probe slot never
+/// double-admits.
+#[test]
+fn model_half_open_admits_a_single_probe() {
+    check_opts(&opts(), || {
+        let b = CircuitBreaker::new(cfg());
+        b.on_failure(0, false);
+        b.on_failure(0, false);
+        let probes = AtomicUsize::new(0);
+        scope(|s| {
+            let h = s.spawn(|| {
+                if matches!(b.try_admit(2_000_000).0, Admission::Probe) {
+                    probes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            if matches!(b.try_admit(2_000_000).0, Admission::Probe) {
+                probes.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = h.join();
+        });
+        assert_eq!(
+            probes.load(Ordering::Relaxed),
+            1,
+            "exactly one probe admitted while half-open"
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // the probe's success closes the breaker again
+        let t = b.on_success(true).expect("probe success closes");
+        assert_eq!(
+            (t.from, t.to),
+            (BreakerState::HalfOpen, BreakerState::Closed)
+        );
+    });
+}
+
+/// A probe failure and a late stale failure racing: the breaker ends
+/// open (probe failure reopens) and never closes from a stale report.
+#[test]
+fn model_probe_failure_vs_late_failure_race() {
+    check_opts(&opts(), || {
+        let b = CircuitBreaker::new(cfg());
+        b.on_failure(0, false);
+        b.on_failure(0, false);
+        assert!(matches!(b.try_admit(2_000_000).0, Admission::Probe));
+        scope(|s| {
+            let h = s.spawn(|| {
+                // late completion of a pre-trip request
+                let _ = b.on_failure(2_000_001, false);
+            });
+            let t = b.on_failure(2_000_001, true);
+            assert!(t.is_some(), "probe failure reopens");
+            let _ = h.join();
+        });
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(matches!(b.try_admit(2_000_500).0, Admission::Reject));
+    });
+}
+
+/// The admission gate under concurrent acquire/release: never exceeds
+/// capacity, sheds are counted, and slots are restored on drop.
+#[test]
+fn model_admission_gate_is_bounded_and_leak_free() {
+    check_opts(&opts(), || {
+        let gate = AdmissionGate::new(AdmissionConfig {
+            max_in_flight: 1,
+            max_queue_depth: 0,
+        });
+        let admitted = AtomicUsize::new(0);
+        scope(|s| {
+            let h = s.spawn(|| {
+                if let Ok(p) = gate.try_acquire() {
+                    admitted.fetch_add(1, Ordering::Relaxed);
+                    assert!(gate.in_flight() <= 1, "capacity respected");
+                    drop(p);
+                }
+            });
+            if let Ok(p) = gate.try_acquire() {
+                admitted.fetch_add(1, Ordering::Relaxed);
+                assert!(gate.in_flight() <= 1, "capacity respected");
+                drop(p);
+            }
+            let _ = h.join();
+        });
+        let admitted = admitted.load(Ordering::Relaxed);
+        assert!(admitted >= 1, "at least one caller admitted");
+        assert_eq!(
+            admitted as u64 + gate.shed_total(),
+            2,
+            "every caller either admitted or counted as shed"
+        );
+        assert_eq!(gate.in_flight(), 0, "all permits released");
+    });
+}

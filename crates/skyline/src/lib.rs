@@ -73,6 +73,7 @@ pub mod ranking;
 pub mod representative;
 pub mod seq;
 pub mod sfs;
+pub mod skyband;
 pub mod topk;
 
 pub use block::PointBlock;
@@ -98,6 +99,7 @@ pub use ranking::WeightedScore;
 pub use representative::{distance_based_representatives, max_dominance_representatives};
 pub use seq::naive_skyline;
 pub use sfs::{sfs_skyline, sfs_skyline_stats};
+pub use skyband::{DeleteOutcome, SkybandBuffer, SkybandStats};
 pub use topk::{dominance_counts, top_k_dominating, DominatingEntry};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -123,5 +125,6 @@ pub mod prelude {
     };
     pub use crate::seq::naive_skyline;
     pub use crate::sfs::sfs_skyline;
+    pub use crate::skyband::{DeleteOutcome, SkybandBuffer};
     pub use crate::topk::top_k_dominating;
 }

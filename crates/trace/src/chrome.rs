@@ -338,6 +338,41 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ev.wall_us, *seconds
                 ));
             }
+            EventKind::BreakerTransition {
+                tenant,
+                op,
+                from,
+                to,
+            } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"breaker {} {}->{}\",\"cat\":\"serve\",\"ts\":{},\"args\":{{\"tenant\":\"{}\",\"op\":\"{}\"}}",
+                    escape(op),
+                    escape(from),
+                    escape(to),
+                    ev.wall_us,
+                    escape(tenant),
+                    escape(op)
+                ));
+            }
+            EventKind::Shed { tenant, reason, .. } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"shed {}\",\"cat\":\"serve\",\"ts\":{},\"args\":{{\"tenant\":\"{}\"}}",
+                    escape(reason),
+                    ev.wall_us,
+                    escape(tenant)
+                ));
+            }
+            EventKind::SkybandRepair {
+                tenant,
+                promoted,
+                underflow,
+            } => {
+                em.push(&format!(
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":2,\"s\":\"t\",\"name\":\"skyband repair\",\"cat\":\"serve\",\"ts\":{},\"args\":{{\"tenant\":\"{}\",\"promoted\":{promoted},\"underflow\":{underflow}}}",
+                    ev.wall_us,
+                    escape(tenant)
+                ));
+            }
             EventKind::RunResumed { run } => {
                 // Process-scoped: the crash/resume boundary matters to every
                 // track, not just the chaos lane.
@@ -364,13 +399,18 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
             }
             // Queue/launch/retry/speculation bookkeeping and ingest are
             // visible in the summary view; the timeline keeps to slices.
+            // Per-request serve events are too dense for the timeline —
+            // the summary's op/outcome table and latency sketches carry
+            // them; only breaker/shed/repair markers surface here.
             EventKind::TaskScheduled { .. }
             | EventKind::TaskLaunched { .. }
             | EventKind::TaskRetried { .. }
             | EventKind::TaskSpeculated { .. }
             | EventKind::DfsBlockRead { .. }
             | EventKind::IngestStarted { .. }
-            | EventKind::IngestFinished { .. } => {}
+            | EventKind::IngestFinished { .. }
+            | EventKind::Request { .. }
+            | EventKind::StaleServed { .. } => {}
         }
     }
 

@@ -351,6 +351,65 @@ pub enum EventKind {
         /// Why the record was rejected.
         reason: String,
     },
+    /// One serving-layer request (mutation or query) completed with a
+    /// definite outcome — every request emits exactly one of these, so
+    /// the summary's request accounting is total (no silent drops).
+    Request {
+        /// Tenant the request targeted.
+        tenant: String,
+        /// Operation wire name (`insert`, `delete`, `query`).
+        op: String,
+        /// Outcome wire name (`ok`, `stale`, `rejected`, `dead-letter`).
+        outcome: String,
+        /// Simulated seconds spent serving, including retry backoff.
+        sim_latency: f64,
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u64,
+    },
+    /// A per-tenant/operation circuit breaker changed state.
+    BreakerTransition {
+        /// Tenant whose breaker moved.
+        tenant: String,
+        /// Operation class guarded (`mutation`, `query`).
+        op: String,
+        /// State left (`closed`, `open`, `half-open`).
+        from: String,
+        /// State entered.
+        to: String,
+    },
+    /// Admission control shed a request instead of queueing it unbounded.
+    Shed {
+        /// Tenant whose request was shed.
+        tenant: String,
+        /// Operation class (`mutation`, `query`).
+        op: String,
+        /// Why it was shed (`in-flight-limit`, `queue-depth`).
+        reason: String,
+        /// Queue depth observed at the shed decision.
+        depth: u64,
+    },
+    /// A deletion repaired the live skyline from the k-skyband retention
+    /// buffer (or fell back to a full recompute on underflow).
+    SkybandRepair {
+        /// Tenant whose skyline was repaired.
+        tenant: String,
+        /// Band candidates promoted into the skyline by this repair.
+        promoted: u64,
+        /// True when the buffer underflowed and the repair had to
+        /// recompute from the full retained store.
+        underflow: bool,
+    },
+    /// A snapshot query was answered from the last consistent skyline
+    /// while the breaker was open or a repair was in flight.
+    StaleServed {
+        /// Tenant served stale.
+        tenant: String,
+        /// Why the live skyline was unavailable (`breaker-open`,
+        /// `repair-in-flight`).
+        reason: String,
+        /// Mutations accepted since the served snapshot was taken.
+        lag: u64,
+    },
     /// A resilient driver recovered from a simulated crash and is
     /// re-running with resume semantics. Everything left open by the
     /// killed run (jobs, phases, spans) is abandoned; the validator
@@ -401,6 +460,11 @@ impl EventKind {
             EventKind::CheckpointWritten { .. } => "checkpoint_written",
             EventKind::CheckpointRestored { .. } => "checkpoint_restored",
             EventKind::RecordQuarantined { .. } => "record_quarantined",
+            EventKind::Request { .. } => "request",
+            EventKind::BreakerTransition { .. } => "breaker_transition",
+            EventKind::Shed { .. } => "shed",
+            EventKind::SkybandRepair { .. } => "skyband_repair",
+            EventKind::StaleServed { .. } => "stale_served",
             EventKind::RunResumed { .. } => "run_resumed",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
@@ -648,6 +712,59 @@ fn fields_of(kind: &EventKind) -> Vec<(&'static str, Field)> {
             ("line", U(*line)),
             ("reason", S(reason.clone())),
         ],
+        Request {
+            tenant,
+            op,
+            outcome,
+            sim_latency,
+            attempts,
+        } => vec![
+            ("tenant", S(tenant.clone())),
+            ("op", S(op.clone())),
+            ("outcome", S(outcome.clone())),
+            ("sim_latency", F(*sim_latency)),
+            ("attempts", U(*attempts)),
+        ],
+        BreakerTransition {
+            tenant,
+            op,
+            from,
+            to,
+        } => vec![
+            ("tenant", S(tenant.clone())),
+            ("op", S(op.clone())),
+            ("from", S(from.clone())),
+            ("to", S(to.clone())),
+        ],
+        Shed {
+            tenant,
+            op,
+            reason,
+            depth,
+        } => vec![
+            ("tenant", S(tenant.clone())),
+            ("op", S(op.clone())),
+            ("reason", S(reason.clone())),
+            ("depth", U(*depth)),
+        ],
+        SkybandRepair {
+            tenant,
+            promoted,
+            underflow,
+        } => vec![
+            ("tenant", S(tenant.clone())),
+            ("promoted", U(*promoted)),
+            ("underflow", B(*underflow)),
+        ],
+        StaleServed {
+            tenant,
+            reason,
+            lag,
+        } => vec![
+            ("tenant", S(tenant.clone())),
+            ("reason", S(reason.clone())),
+            ("lag", U(*lag)),
+        ],
         RunResumed { run } => vec![("run", U(*run))],
         SpanBegin { name } => vec![("name", S(name.clone()))],
         SpanEnd { name } => vec![("name", S(name.clone()))],
@@ -863,6 +980,35 @@ fn kind_from(v: &JsonValue, ty: &str) -> Result<EventKind, String> {
             line: req_u64(v, "line")?,
             reason: req_str(v, "reason")?,
         },
+        "request" => Request {
+            tenant: req_str(v, "tenant")?,
+            op: req_str(v, "op")?,
+            outcome: req_str(v, "outcome")?,
+            sim_latency: req_f64(v, "sim_latency")?,
+            attempts: req_u64(v, "attempts")?,
+        },
+        "breaker_transition" => BreakerTransition {
+            tenant: req_str(v, "tenant")?,
+            op: req_str(v, "op")?,
+            from: req_str(v, "from")?,
+            to: req_str(v, "to")?,
+        },
+        "shed" => Shed {
+            tenant: req_str(v, "tenant")?,
+            op: req_str(v, "op")?,
+            reason: req_str(v, "reason")?,
+            depth: req_u64(v, "depth")?,
+        },
+        "skyband_repair" => SkybandRepair {
+            tenant: req_str(v, "tenant")?,
+            promoted: req_u64(v, "promoted")?,
+            underflow: req_bool(v, "underflow")?,
+        },
+        "stale_served" => StaleServed {
+            tenant: req_str(v, "tenant")?,
+            reason: req_str(v, "reason")?,
+            lag: req_u64(v, "lag")?,
+        },
         "run_resumed" => RunResumed {
             run: req_u64(v, "run")?,
         },
@@ -1021,6 +1167,35 @@ mod tests {
                 source: "qws.txt".into(),
                 line: 118,
                 reason: "non-finite value in column 4".into(),
+            },
+            Request {
+                tenant: "t0".into(),
+                op: "insert".into(),
+                outcome: "ok".into(),
+                sim_latency: 0.125,
+                attempts: 2,
+            },
+            BreakerTransition {
+                tenant: "t0".into(),
+                op: "mutation".into(),
+                from: "closed".into(),
+                to: "open".into(),
+            },
+            Shed {
+                tenant: "t1".into(),
+                op: "mutation".into(),
+                reason: "queue-depth".into(),
+                depth: 64,
+            },
+            SkybandRepair {
+                tenant: "t0".into(),
+                promoted: 3,
+                underflow: false,
+            },
+            StaleServed {
+                tenant: "t0".into(),
+                reason: "breaker-open".into(),
+                lag: 5,
             },
             RunResumed { run: 2 },
             SpanBegin { name: "fit".into() },

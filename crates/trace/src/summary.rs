@@ -257,6 +257,17 @@ pub struct TraceSummary {
     pub quarantined: u64,
     /// Crash-recovery resumes observed (`run_resumed` markers).
     pub resumes: u64,
+    /// Serving layer: completed requests by `op/outcome` wire names.
+    pub requests: BTreeMap<String, u64>,
+    /// Circuit-breaker transitions by `op: from->to`.
+    pub breaker_transitions: BTreeMap<String, u64>,
+    /// Requests shed by admission control, by reason.
+    pub sheds: BTreeMap<String, u64>,
+    /// Skyband deletion repairs: (from-buffer, underflow recomputes,
+    /// candidates promoted).
+    pub skyband_repairs: (u64, u64, u64),
+    /// Stale snapshot serves by reason.
+    pub stale_served: BTreeMap<String, u64>,
     /// Causal edges by edge kind (`dispatch`, `slot`, `barrier`, ...).
     pub causal_edges: BTreeMap<String, u64>,
     /// Latency quantile sketches derived from the stream: simulated task
@@ -453,6 +464,46 @@ impl TraceSummary {
                 EventKind::RunResumed { .. } => {
                     summary.resumes += 1;
                 }
+                EventKind::Request {
+                    op,
+                    outcome,
+                    sim_latency,
+                    ..
+                } => {
+                    *summary
+                        .requests
+                        .entry(format!("{op}/{outcome}"))
+                        .or_insert(0) += 1;
+                    summary
+                        .latency
+                        .entry(format!("request seconds ({op})"))
+                        .or_insert_with(|| QuantileSketch::new(SUMMARY_EPSILON))
+                        .observe(sim_latency.max(0.0));
+                }
+                EventKind::BreakerTransition { op, from, to, .. } => {
+                    *summary
+                        .breaker_transitions
+                        .entry(format!("{op}: {from}->{to}"))
+                        .or_insert(0) += 1;
+                }
+                EventKind::Shed { reason, .. } => {
+                    *summary.sheds.entry(reason.clone()).or_insert(0) += 1;
+                }
+                EventKind::SkybandRepair {
+                    promoted,
+                    underflow,
+                    ..
+                } => {
+                    if *underflow {
+                        summary.skyband_repairs.1 += 1;
+                    } else {
+                        summary.skyband_repairs.0 += 1;
+                    }
+                    summary.skyband_repairs.2 += promoted;
+                }
+                EventKind::StaleServed { reason, .. } => {
+                    *summary.stale_served.entry(reason.clone()).or_insert(0) += 1;
+                }
                 EventKind::TaskScheduled { .. }
                 | EventKind::TaskLaunched { .. }
                 | EventKind::TaskSpeculated { .. }
@@ -593,6 +644,43 @@ impl TraceSummary {
         }
         if self.resumes > 0 {
             let _ = writeln!(out, "  crash recoveries: {} resume(s)", self.resumes);
+        }
+
+        if !self.requests.is_empty() {
+            let total: u64 = self.requests.values().sum();
+            let _ = writeln!(out, "  serve requests: {total}");
+            for (key, count) in &self.requests {
+                let _ = writeln!(out, "    {key:<28} {count}");
+            }
+        }
+        if !self.breaker_transitions.is_empty() {
+            let _ = writeln!(out, "  breaker transitions:");
+            for (key, count) in &self.breaker_transitions {
+                let _ = writeln!(out, "    {key:<28} {count}");
+            }
+        }
+        if !self.sheds.is_empty() {
+            let total: u64 = self.sheds.values().sum();
+            let _ = write!(out, "  load shed: {total} request(s)");
+            for (reason, count) in &self.sheds {
+                let _ = write!(out, " {reason}={count}");
+            }
+            out.push('\n');
+        }
+        if self.skyband_repairs != (0, 0, 0) {
+            let _ = writeln!(
+                out,
+                "  skyband repairs: {} from buffer, {} underflow recompute(s), {} promoted",
+                self.skyband_repairs.0, self.skyband_repairs.1, self.skyband_repairs.2
+            );
+        }
+        if !self.stale_served.is_empty() {
+            let total: u64 = self.stale_served.values().sum();
+            let _ = write!(out, "  stale serves: {total}");
+            for (reason, count) in &self.stale_served {
+                let _ = write!(out, " {reason}={count}");
+            }
+            out.push('\n');
         }
 
         if !self.causal_edges.is_empty() {
@@ -1308,5 +1396,103 @@ mod tests {
         assert!(text.contains("kernel bnl"));
         assert!(text.contains("local_skyline=10"));
         assert!(text.contains("comparisons histogram:"));
+    }
+
+    #[test]
+    fn serve_events_fold_into_request_aggregates() {
+        use EventKind::*;
+        let stream = vec![
+            ev(
+                0,
+                0,
+                Request {
+                    tenant: "t0".into(),
+                    op: "insert".into(),
+                    outcome: "ok".into(),
+                    sim_latency: 0.2,
+                    attempts: 1,
+                },
+            ),
+            ev(
+                1,
+                1,
+                Request {
+                    tenant: "t0".into(),
+                    op: "query".into(),
+                    outcome: "stale".into(),
+                    sim_latency: 0.1,
+                    attempts: 1,
+                },
+            ),
+            ev(
+                2,
+                2,
+                BreakerTransition {
+                    tenant: "t0".into(),
+                    op: "mutation".into(),
+                    from: "closed".into(),
+                    to: "open".into(),
+                },
+            ),
+            ev(
+                3,
+                3,
+                Shed {
+                    tenant: "t1".into(),
+                    op: "mutation".into(),
+                    reason: "queue-depth".into(),
+                    depth: 8,
+                },
+            ),
+            ev(
+                4,
+                4,
+                SkybandRepair {
+                    tenant: "t0".into(),
+                    promoted: 2,
+                    underflow: false,
+                },
+            ),
+            ev(
+                5,
+                5,
+                SkybandRepair {
+                    tenant: "t0".into(),
+                    promoted: 0,
+                    underflow: true,
+                },
+            ),
+            ev(
+                6,
+                6,
+                StaleServed {
+                    tenant: "t0".into(),
+                    reason: "breaker-open".into(),
+                    lag: 3,
+                },
+            ),
+        ];
+        assert!(validate_events(&stream).is_empty());
+        let summary = TraceSummary::from_events(&stream);
+        assert_eq!(summary.requests.get("insert/ok"), Some(&1));
+        assert_eq!(summary.requests.get("query/stale"), Some(&1));
+        assert_eq!(
+            summary.breaker_transitions.get("mutation: closed->open"),
+            Some(&1)
+        );
+        assert_eq!(summary.sheds.get("queue-depth"), Some(&1));
+        assert_eq!(summary.skyband_repairs, (1, 1, 2));
+        assert_eq!(summary.stale_served.get("breaker-open"), Some(&1));
+        assert!(summary.latency.contains_key("request seconds (insert)"));
+
+        let text = summary.render();
+        assert!(text.contains("serve requests: 2"), "{text}");
+        assert!(text.contains("breaker transitions:"), "{text}");
+        assert!(text.contains("load shed: 1"), "{text}");
+        assert!(
+            text.contains("skyband repairs: 1 from buffer, 1 underflow"),
+            "{text}"
+        );
+        assert!(text.contains("stale serves: 1"), "{text}");
     }
 }

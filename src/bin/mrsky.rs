@@ -10,14 +10,19 @@
 //! Run any subcommand with `--help` for its flags. All randomness is seeded;
 //! identical invocations produce identical output.
 
-use mr_skyline_suite::chaos::FaultPlan;
+use mr_skyline_suite::chaos::{FaultPlan, KillSwitch};
+use mr_skyline_suite::mr::checkpoint::CheckpointStore;
 use mr_skyline_suite::mr::prelude::*;
 use mr_skyline_suite::qws::{
     generate_qws, generate_synthetic, Dataset, Distribution, QwsConfig, SyntheticConfig,
 };
+use mr_skyline_suite::serve::{
+    load_script, LoadRunner, LoadgenConfig, Mutation, Op, ServeConfig, SkylineService,
+};
 use mr_skyline_suite::trace::{self, EpochClock, TraceSummary, Tracer, VecSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Real wall-clock timestamps for interactive CLI runs. The runtime
 /// crates themselves never read the wall clock (the `no-wall-clock`
@@ -69,6 +74,8 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "insight" => cmd_insight(rest),
         "chaos" => cmd_chaos(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {
@@ -93,6 +100,11 @@ USAGE:
   mrsky insight  [--critical-path] [--stragglers] [--skew] [--what-if-speculation] FILE
   mrsky chaos    plan --profile light|heavy [--seed 42] [--kill-after N] [--out FILE]
   mrsky chaos    replay --plan FILE --data FILE [--algorithm angle] [--servers 8]
+  mrsky loadgen  [--seed 7] [--tenants 3] [--ops 400] [--dim 3] [--out FILE]
+  mrsky serve    [--ops 400] [--seed 7] [--tenants 3] [--dim 3] [--skyband-k 4]
+                 [--max-attempts N] [--breaker-threshold 3]
+                 [--chaos-profile off|light|heavy] [--chaos-seed 42]
+                 [--checkpoint-dir DIR] [--kill-after N] [--trace FILE] [--json]
 
 Any command accepting --data FILE also accepts --qws-file FILE to read the
 original QWS v2 dataset file (9 QoS columns + name + WSDL).
@@ -146,7 +158,16 @@ flags, all sections print.
 
 `mrsky chaos plan` writes a fault plan as JSON; `mrsky chaos replay` re-runs
 a skyline job under a recorded plan and verifies the result against the
-fault-free oracle — the exactness-under-failure contract, on demand.";
+fault-free oracle — the exactness-under-failure contract, on demand.
+
+`mrsky loadgen` prints a seeded, deterministic op script (tenant inserts,
+deletes, poison payloads, queries) for the serving layer. `mrsky serve`
+boots the fault-hardened incremental skyline service, drives that same
+seeded workload through it (optionally under a chaos profile, optionally
+crashing and resuming from --checkpoint-dir when --kill-after is set),
+verifies every fresh response and the final quiesced skylines against a
+recompute oracle, and reports request-path stats; --json emits the report
+as one machine-readable JSON object for CI.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -652,6 +673,216 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         }
         _ => Err(usage.into()),
     }
+}
+
+/// Parses the workload-shape flags shared by `serve` and `loadgen`.
+fn loadgen_opts(args: &[String]) -> Result<LoadgenConfig, String> {
+    Ok(LoadgenConfig {
+        seed: flag_usize(args, "--seed", 7)? as u64,
+        tenants: flag_usize(args, "--tenants", 3)?.max(1),
+        operations: flag_usize(args, "--ops", 400)? as u64,
+        dim: flag_usize(args, "--dim", 3)?.max(1),
+        ..LoadgenConfig::default()
+    })
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let cfg = loadgen_opts(args)?;
+    let ops = load_script(&cfg);
+    let mut text = String::new();
+    for op in &ops {
+        match op {
+            Op::Query { tenant } => text.push_str(&format!("query {tenant}\n")),
+            Op::Mutate {
+                tenant,
+                seq,
+                mutation: Mutation::Insert { id, coords },
+            } => {
+                let coords = coords
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                text.push_str(&format!("insert {tenant} {seq} {id} {coords}\n"));
+            }
+            Op::Mutate {
+                tenant,
+                seq,
+                mutation: Mutation::Delete { id },
+            } => text.push_str(&format!("delete {tenant} {seq} {id}\n")),
+        }
+    }
+    match flag(args, "--out") {
+        Some(out) => {
+            std::fs::write(&out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            eprintln!(
+                "wrote {} ops (seed {}, {} tenant(s)) to {out}",
+                ops.len(),
+                cfg.seed,
+                cfg.tenants
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    let load_cfg = loadgen_opts(args)?;
+    let plan = chaos_opts(args)?;
+    let mut serve_cfg = ServeConfig {
+        skyband_k: flag_usize(args, "--skyband-k", 4)?.max(1),
+        ..ServeConfig::default()
+    };
+    serve_cfg.max_attempts = flag_usize(args, "--max-attempts", 0)? as u32;
+    serve_cfg.breaker.failure_threshold = flag_usize(args, "--breaker-threshold", 3)?.max(1) as u32;
+    let checkpoint_dir = flag(args, "--checkpoint-dir");
+    let kill_after = match flag(args, "--kill-after") {
+        None => None,
+        Some(n) => Some(
+            n.parse::<u64>()
+                .map_err(|_| format!("--kill-after expects an integer, got `{n}`"))?,
+        ),
+    };
+    if kill_after.is_some() && checkpoint_dir.is_none() {
+        return Err("--kill-after needs --checkpoint-dir DIR to resume from".into());
+    }
+    let trace_out = flag(args, "--trace");
+    let json = args.iter().any(|a| a == "--json");
+
+    let build = |kill: Option<Arc<KillSwitch>>| -> Result<SkylineService, String> {
+        let tracer = if trace_out.is_some() {
+            Tracer::in_memory()
+        } else {
+            Tracer::disabled()
+        };
+        let mut service = SkylineService::new(serve_cfg.clone(), plan.clone(), tracer);
+        if let Some(dir) = &checkpoint_dir {
+            let store = CheckpointStore::open(dir)
+                .map_err(|e| format!("cannot open checkpoint dir `{dir}`: {e}"))?;
+            service = service
+                .with_store(store)
+                .map_err(|e| format!("cannot restore from `{dir}`: {e}"))?;
+        }
+        if let Some(kill) = kill {
+            service = service.with_kill_switch(kill);
+        }
+        Ok(service)
+    };
+
+    let ops = load_script(&load_cfg);
+    let mut runner = LoadRunner::new(ops);
+    let mut events = Vec::new();
+    let mut crashes = 0u64;
+    // Arm the kill switch for the first boot only: the simulated crash
+    // fires once, and the resumed service runs the log to completion.
+    let mut kill = kill_after.map(|n| Arc::new(KillSwitch::new(n)));
+    let (report, stats) = loop {
+        let service = build(kill.take())?;
+        let outcome = catch_unwind(AssertUnwindSafe(|| runner.drive(&service)));
+        events.extend(service.tracer().drain());
+        match outcome {
+            Ok(()) => {
+                let stats = service.stats();
+                let report = runner.finish(&service);
+                events.extend(service.tracer().drain());
+                if service.dead_letter_len() > 0 && !json {
+                    eprint!("{}", service.dead_letter_report());
+                }
+                break (report, stats);
+            }
+            Err(payload) => {
+                let simulated = payload
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.starts_with("mrsky-chaos:"));
+                if !simulated {
+                    resume_unwind(payload);
+                }
+                // The runner is still positioned at the interrupted op;
+                // the next iteration rebuilds the service from its
+                // checkpoints and re-drives from there.
+                crashes += 1;
+            }
+        }
+    };
+
+    if let Some(path) = trace_out {
+        let mut text = String::with_capacity(events.len() * 96);
+        for e in &events {
+            text.push_str(&e.to_json());
+            text.push('\n');
+        }
+        std::fs::write(&path, text).map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+        eprintln!("wrote {} trace events to {path}", events.len());
+    }
+
+    let rejections: u64 = report.rejections.values().sum();
+    if json {
+        let rej = report
+            .rejections
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"ops\":{},\"mutations_ok\":{},\"queries_fresh\":{},\"queries_stale\":{},\
+             \"incorrect\":{},\"final_mismatches\":{},\"rejections\":{{{rej}}},\
+             \"shed\":{},\"breaker_opens\":{},\"dead_lettered\":{},\"retries_exhausted\":{},\
+             \"deadline_exceeded\":{},\"checkpoints\":{},\"repairs_from_buffer\":{},\
+             \"underflow_rebuilds\":{},\"crashes\":{crashes}}}",
+            report.ops,
+            report.mutations_ok,
+            report.queries_fresh,
+            report.queries_stale,
+            report.incorrect,
+            report.final_mismatches,
+            stats.shed,
+            stats.breaker_opens,
+            stats.dead_lettered,
+            stats.retries_exhausted,
+            stats.deadline_exceeded,
+            stats.checkpoints,
+            stats.skyband.repairs_from_buffer,
+            stats.skyband.underflow_rebuilds,
+        );
+    } else {
+        println!(
+            "served {} op(s) across {} tenant(s): {} mutation(s) ok, {} fresh / {} stale quer(ies), \
+             {} typed rejection(s)",
+            report.ops, load_cfg.tenants, report.mutations_ok, report.queries_fresh,
+            report.queries_stale, rejections
+        );
+        for (outcome, n) in &report.rejections {
+            println!("  rejected {n} as {outcome}");
+        }
+        println!(
+            "hardening: {} shed, {} breaker open(s), {} dead-letter(s), {} retries-exhausted, \
+             {} deadline-exceeded, {} checkpoint(s), {} crash(es)",
+            stats.shed,
+            stats.breaker_opens,
+            stats.dead_lettered,
+            stats.retries_exhausted,
+            stats.deadline_exceeded,
+            stats.checkpoints,
+            crashes
+        );
+        println!(
+            "skyband: {} repair(s) from buffer, {} underflow rebuild(s)",
+            stats.skyband.repairs_from_buffer, stats.skyband.underflow_rebuilds
+        );
+    }
+    if report.incorrect > 0 || report.final_mismatches > 0 {
+        return Err(format!(
+            "correctness violation: {} incorrect fresh response(s), {} final mismatch(es)",
+            report.incorrect, report.final_mismatches
+        ));
+    }
+    if !json {
+        println!("every fresh response and final skyline matched the recompute oracle.");
+    }
+    Ok(())
 }
 
 fn cmd_select(args: &[String]) -> Result<(), String> {

@@ -19,7 +19,10 @@
 //!   retries, and the quarantine/kill-switch machinery behind
 //!   checkpoint/resume;
 //! * [`insight`] ([`mrsky_insight`]) — causal critical-path analysis,
-//!   straggler/skew attribution, and the bench regression gate.
+//!   straggler/skew attribution, and the bench regression gate;
+//! * [`serve`] ([`mrsky_serve`]) — the fault-hardened online incremental
+//!   skyline service: k-skyband deletion repair, circuit breakers,
+//!   admission control, and dead-lettering on the request path.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -28,6 +31,7 @@ pub use mr_skyline as mr;
 pub use mrsky_audit as audit;
 pub use mrsky_chaos as chaos;
 pub use mrsky_insight as insight;
+pub use mrsky_serve as serve;
 pub use mrsky_trace as trace;
 pub use qws_data as qws;
 pub use skyline_algos as skyline;

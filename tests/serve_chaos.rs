@@ -1,0 +1,256 @@
+//! Chaos integration for the serving layer: arbitrary fault plans,
+//! kill/resume across checkpoints, and the headline property that the
+//! service never serves a fresh response that disagrees with the
+//! mutations it acknowledged — and that after quiescing, every
+//! tenant's skyline is bit-identical to the acknowledged-mutation
+//! oracle. Rejections are allowed under chaos, but every one must be
+//! typed (a known `ServeError` outcome string); nothing drops
+//! silently.
+
+use mr_skyline_suite::chaos::{FaultKind, FaultPlan, FaultSite, KillSwitch, SiteRule};
+use mr_skyline_suite::mr::checkpoint::CheckpointStore;
+use mr_skyline_suite::serve::{
+    load_script, BreakerConfig, LoadReport, LoadRunner, LoadgenConfig, ServeConfig, SkylineService,
+};
+use mr_skyline_suite::trace::{EventKind, Tracer};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+/// Serve-layer chaos aborts via deliberate panics (the kill switch);
+/// keep those quiet while leaving real panics loud.
+fn quiet_chaos_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let text = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !(text.starts_with("chaos:") || text.starts_with("mrsky-chaos:")) {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Every rejection outcome the service may legally produce. The load
+/// report keys rejections by `ServeError::outcome()`; anything outside
+/// this set means an untyped failure leaked onto the request path.
+const TYPED_OUTCOMES: &[&str] = &[
+    "rejected-overloaded",
+    "rejected-breaker",
+    "rejected-retries",
+    "rejected-deadline",
+    "dead-letter",
+    "rejected-invalid",
+];
+
+fn assert_report_clean(report: &LoadReport, label: &str) {
+    assert_eq!(
+        report.incorrect, 0,
+        "{label}: fresh responses must match the acknowledged-mutation oracle"
+    );
+    assert_eq!(
+        report.final_mismatches, 0,
+        "{label}: quiesced skylines must be bit-identical to the oracle"
+    );
+    for outcome in report.rejections.keys() {
+        assert!(
+            TYPED_OUTCOMES.contains(&outcome.as_str()),
+            "{label}: untyped rejection outcome {outcome:?}"
+        );
+    }
+}
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mrsky-serve-it-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Drives a script to completion against a checkpointed service,
+/// recovering from kill-switch crashes by rebuilding the service from
+/// its store and re-driving the interrupted op (which replay-skips if
+/// it had committed). Returns the verified report and the crash count.
+fn drive_with_recovery(
+    cfg: &ServeConfig,
+    plan: &FaultPlan,
+    dir: &std::path::Path,
+    ops: Vec<mr_skyline_suite::serve::Op>,
+    kill_after: Option<u64>,
+) -> (LoadReport, u32) {
+    let mut runner = LoadRunner::new(ops);
+    let mut kill = kill_after.map(|n| Arc::new(KillSwitch::new(n)));
+    let mut crashes = 0u32;
+    loop {
+        let store = CheckpointStore::open(dir).expect("open store");
+        let mut service = SkylineService::new(cfg.clone(), plan.clone(), Tracer::in_memory())
+            .with_store(store)
+            .expect("restore from store");
+        // The switch is armed for the first boot only: one crash per
+        // run keeps the test deterministic and the recovery path hot.
+        if let Some(k) = kill.take() {
+            service = service.with_kill_switch(k);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| runner.drive(&service)));
+        match outcome {
+            Ok(()) => {
+                assert!(runner.done(), "drive returned without finishing");
+                return (runner.finish(&service), crashes);
+            }
+            Err(payload) => {
+                let simulated = payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.starts_with("mrsky-chaos:"))
+                    .unwrap_or(false);
+                assert!(simulated, "non-simulated panic escaped the service");
+                crashes += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn heavy_chaos_with_kill_and_resume_is_bit_identical_to_oracle() {
+    quiet_chaos_panics();
+    let dir = unique_dir("kill");
+    let cfg = ServeConfig {
+        checkpoint_every: 4,
+        ..ServeConfig::default()
+    };
+    let ops = load_script(&LoadgenConfig {
+        operations: 500,
+        ..LoadgenConfig::default()
+    });
+    let (report, crashes) = drive_with_recovery(&cfg, &FaultPlan::heavy(23), &dir, ops, Some(3));
+    assert_report_clean(&report, "kill/resume");
+    assert_eq!(crashes, 1, "the armed kill switch must fire exactly once");
+    assert!(report.mutations_ok > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn breaker_trips_and_recovery_still_converges() {
+    quiet_chaos_panics();
+    // Tight budgets make retries-exhausted (and thus breaker opens)
+    // reachable: service budget 2 < plan budget 6, so the plan's
+    // final-attempt-never-faults guarantee doesn't save the request.
+    let cfg = ServeConfig {
+        max_attempts: 2,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            ..BreakerConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let tracer = Tracer::in_memory();
+    let service = SkylineService::new(cfg, FaultPlan::heavy(3), tracer);
+    let ops = load_script(&LoadgenConfig {
+        operations: 600,
+        ..LoadgenConfig::default()
+    });
+    let mut runner = LoadRunner::new(ops);
+    runner.drive(&service);
+    let events = service.tracer().drain();
+    let report = runner.finish(&service);
+    assert_report_clean(&report, "breaker");
+    let stats = service.stats();
+    assert!(stats.breaker_opens >= 1, "this seed must trip a breaker");
+    assert!(
+        stats.dead_lettered >= 1,
+        "poison rows must be dead-lettered"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::BreakerTransition { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::StaleServed { .. })));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary fault plans (seed, fault rates, retry budgets) never
+    /// produce an incorrect fresh response or a diverged final
+    /// skyline, and every rejection is typed.
+    #[test]
+    fn serve_survives_arbitrary_fault_plans(
+        chaos_seed in 0u64..1_000,
+        load_seed in 0u64..1_000,
+        mutation_permille in 0u32..400,
+        query_permille in 0u32..400,
+        poison_permille in 0u32..400,
+        service_budget in 0u32..4,
+    ) {
+        quiet_chaos_panics();
+        let mut plan = FaultPlan::off();
+        plan.seed = chaos_seed;
+        plan.max_attempts = 6;
+        plan.rules.push(SiteRule {
+            site: FaultSite::ServeMutation,
+            kind: FaultKind::TransientError,
+            permille: mutation_permille,
+        });
+        plan.rules.push(SiteRule {
+            site: FaultSite::ServeMutation,
+            kind: FaultKind::PoisonRow,
+            permille: poison_permille,
+        });
+        plan.rules.push(SiteRule {
+            site: FaultSite::ServeQuery,
+            kind: FaultKind::TransientError,
+            permille: query_permille,
+        });
+        let cfg = ServeConfig {
+            max_attempts: service_budget,
+            ..ServeConfig::default()
+        };
+        let service = SkylineService::new(cfg, plan, Tracer::in_memory());
+        let ops = load_script(&LoadgenConfig {
+            seed: load_seed,
+            operations: 200,
+            ..LoadgenConfig::default()
+        });
+        let mut runner = LoadRunner::new(ops);
+        runner.drive(&service);
+        let report = runner.finish(&service);
+        assert_report_clean(&report, "arbitrary-plan");
+    }
+
+    /// Kill/resume at varying checkpoint cadences and kill points is
+    /// invisible to the oracle: the recovered service replays the
+    /// interrupted op and converges bit-identically.
+    #[test]
+    fn kill_resume_is_invisible_at_any_checkpoint_cadence(
+        seed in 0u64..500,
+        checkpoint_every in 1u64..8,
+        kill_after in 1u64..6,
+    ) {
+        quiet_chaos_panics();
+        let dir = unique_dir("prop");
+        let cfg = ServeConfig {
+            checkpoint_every,
+            ..ServeConfig::default()
+        };
+        let ops = load_script(&LoadgenConfig {
+            seed,
+            operations: 250,
+            ..LoadgenConfig::default()
+        });
+        let (report, _crashes) =
+            drive_with_recovery(&cfg, &FaultPlan::heavy(seed), &dir, ops, Some(kill_after));
+        assert_report_clean(&report, "cadence");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -74,6 +74,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
                     output: 0,
                     comparisons: 0,
                     passes: 1,
+                    elapsed_us: 0,
                 });
             }
             0usize
@@ -99,6 +100,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
                 output: 0,
                 comparisons: 0,
                 passes: 1,
+                elapsed_us: 0,
             });
         }
         0

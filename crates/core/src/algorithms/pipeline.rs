@@ -40,10 +40,11 @@ use skyline_algos::bnl::BnlConfig;
 use skyline_algos::dnc::dnc_skyline_stats;
 use skyline_algos::filter::{filtered_out, select_filter_points};
 use skyline_algos::incremental::{SharedStreamingMerge, StreamingMerge};
-use skyline_algos::kernel::{block_bnl_stats, presort_merge_stats};
+use skyline_algos::kernel::{block_bnl_stats, block_sfs_stats, presort_merge_stats, KernelStats};
 use skyline_algos::partition::{witness_prunable, SpacePartitioner};
 use skyline_algos::point::Point;
-use skyline_algos::sfs::sfs_skyline_stats;
+use skyline_algos::salsa::block_salsa_stats;
+use skyline_algos::select::KernelChoice;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -236,54 +237,83 @@ struct KernelOutcome {
     work: u64,
     comparisons: u64,
     passes: u64,
+    /// Name of the kernel that actually ran — for `LocalKernel::Auto` this
+    /// is the per-partition choice, not "auto".
+    kernel: &'static str,
 }
 
 impl KernelOutcome {
     /// Emits a [`EventKind::KernelRun`] for this invocation over `input`
-    /// points. One branch when the tracer is disabled.
-    fn trace(&self, tracer: &Tracer, kernel: &'static str, input: u64) {
+    /// points, `elapsed_us` of tracer-clock time after it finished. One
+    /// branch when the tracer is disabled.
+    fn trace(&self, tracer: &Tracer, input: u64, elapsed_us: u64) {
         tracer.emit(|| EventKind::KernelRun {
-            kernel: kernel.to_string(),
+            kernel: self.kernel.to_string(),
             input,
             output: self.sky.len() as u64,
             comparisons: self.comparisons,
             passes: self.passes,
+            elapsed_us,
         });
         mrsky_trace::metrics()
             .observe_quantile("skyline.kernel_comparisons", self.comparisons as f64);
     }
 }
 
-/// Runs the configured local-skyline kernel over one block. BNL runs
-/// natively on the columnar layout; SFS and DnC convert at the boundary
-/// (see DESIGN.md "Data layout & kernels").
+impl From<(PointBlock, KernelStats, &'static str)> for KernelOutcome {
+    fn from((sky, stats, kernel): (PointBlock, KernelStats, &'static str)) -> Self {
+        // Sort-based local kernels front-load an O(n log n) presort that the
+        // dominance counters never see; charge it to the cost model so the
+        // simulated timeline doesn't credit avoided comparisons for free.
+        // (`presort-merge` predates this accounting and keeps the seed
+        // cost shape: every scheme's merge runs the same kernel, so merge
+        // costs compare candidate *counts* either way.)
+        let sort_work = match kernel {
+            "sfs" | "salsa" => CostModel::presort_work_units(stats.input_len),
+            _ => 0,
+        };
+        KernelOutcome {
+            sky,
+            work: stats.dim_weighted + sort_work,
+            comparisons: stats.comparisons,
+            passes: u64::from(stats.passes),
+            kernel,
+        }
+    }
+}
+
+/// Runs the configured local-skyline kernel over one block. BNL, SFS and
+/// SaLSa run natively on the columnar layout; DnC converts at the boundary
+/// (see DESIGN.md "Data layout & kernels" and "Local kernel selection").
+/// `Auto` resolves to a concrete kernel per block via the calibrated
+/// [`KernelChoice`] boundaries, and the returned outcome names the kernel
+/// that actually ran.
 fn run_local_kernel(
     block: &PointBlock,
     kernel: LocalKernel,
     window: Option<usize>,
 ) -> KernelOutcome {
+    let bnl_cfg = || match window {
+        Some(w) => BnlConfig::with_window(w),
+        None => BnlConfig::unbounded(),
+    };
     match kernel {
         LocalKernel::Bnl => {
-            let cfg = match window {
-                Some(w) => BnlConfig::with_window(w),
-                None => BnlConfig::unbounded(),
-            };
-            let (sky, stats) = block_bnl_stats(block, &cfg);
-            KernelOutcome {
-                sky,
-                work: stats.dim_weighted,
-                comparisons: stats.comparisons,
-                passes: u64::from(stats.passes),
-            }
+            let (sky, stats) = block_bnl_stats(block, &bnl_cfg());
+            (sky, stats, "bnl").into()
         }
         LocalKernel::Sfs => {
-            let (sky, stats) = sfs_skyline_stats(&block.to_points());
-            KernelOutcome {
-                sky: repack(block.dim(), &sky),
-                work: stats.counter.dim_weighted(),
-                comparisons: stats.counter.comparisons(),
-                passes: 1,
-            }
+            let (sky, stats) = block_sfs_stats(block);
+            (sky, stats, "sfs").into()
+        }
+        LocalKernel::Salsa => {
+            let (sky, stats) = block_salsa_stats(block);
+            (sky, stats, "salsa").into()
+        }
+        LocalKernel::Auto => {
+            let choice = KernelChoice::default().select_for_block(block);
+            let (sky, stats) = choice.run(block, &bnl_cfg());
+            (sky, stats, choice.name()).into()
         }
         LocalKernel::Dnc => {
             let (sky, stats) = dnc_skyline_stats(&block.to_points());
@@ -292,6 +322,7 @@ fn run_local_kernel(
                 work: stats.counter.dim_weighted(),
                 comparisons: stats.counter.comparisons(),
                 passes: 1,
+                kernel: "dnc",
             }
         }
     }
@@ -304,12 +335,7 @@ fn run_local_kernel(
 /// not candidate order.
 fn run_merge_kernel(block: &PointBlock) -> KernelOutcome {
     let (sky, stats) = presort_merge_stats(block);
-    KernelOutcome {
-        sky,
-        work: stats.dim_weighted,
-        comparisons: stats.comparisons,
-        passes: u64::from(stats.passes),
-    }
+    (sky, stats, "presort-merge").into()
 }
 
 /// Runs the two-job chain of `partitioner` over `dataset`.
@@ -509,11 +535,6 @@ pub fn run_two_job_pipeline(
             }
         };
     let kernel = opts.config.kernel;
-    let kernel_label: &'static str = match kernel {
-        LocalKernel::Bnl => "bnl",
-        LocalKernel::Sfs => "sfs",
-        LocalKernel::Dnc => "dnc",
-    };
     let window = opts.config.bnl_window;
     let prune_mask = Arc::clone(&prunable);
     // Reducers run on pool threads; the tracer clone shares one sink behind
@@ -573,20 +594,24 @@ pub fn run_two_job_pipeline(
                 input: points,
                 output: 0,
                 pruned: true,
+                kernel: "pruned".to_string(),
             });
             // An empty checkpoint: pruning this partition is finished work.
             write_checkpoint(ctx, *key, &[]);
             return;
         }
+        let started_us = tracer1.now_us();
         let outcome = run_local_kernel(&concat_owned(dim, values), kernel, window);
+        let elapsed_us = tracer1.now_us().saturating_sub(started_us);
         ctx.add_work(outcome.work);
         ctx.incr("local_skyline_points", outcome.sky.len() as u64);
-        outcome.trace(&tracer1, kernel_label, points);
+        outcome.trace(&tracer1, points, elapsed_us);
         tracer1.emit(|| EventKind::PartitionLocalSkyline {
             partition: *key,
             input: points,
             output: outcome.sky.len() as u64,
             pruned: false,
+            kernel: outcome.kernel.to_string(),
         });
         write_checkpoint(ctx, *key, &outcome.sky.to_points());
         if let Some(sm) = &stream1 {
@@ -728,9 +753,11 @@ pub fn run_two_job_pipeline(
                 let _ = key;
                 let points: u64 = values.iter().map(|b| b.len() as u64).sum();
                 ctx.add_records_in(points.saturating_sub(values.len() as u64));
+                let started_us = tracer_pm.now_us();
                 let outcome = run_merge_kernel(&concat_owned(dim, values));
+                let elapsed_us = tracer_pm.now_us().saturating_sub(started_us);
                 ctx.add_work(outcome.work);
-                outcome.trace(&tracer_pm, "presort-merge", points);
+                outcome.trace(&tracer_pm, points, elapsed_us);
                 out.push(outcome.sky);
             };
             let splits = merge_block.chunks(BLOCK_ROWS);
@@ -792,9 +819,11 @@ pub fn run_two_job_pipeline(
                          out: &mut Vec<PointBlock>| {
         let points: u64 = values.iter().map(|b| b.len() as u64).sum();
         ctx.add_records_in(points.saturating_sub(values.len() as u64));
+        let started_us = tracer2.now_us();
         let outcome = run_merge_kernel(&concat_owned(dim, values));
+        let elapsed_us = tracer2.now_us().saturating_sub(started_us);
         ctx.add_work(outcome.work);
-        outcome.trace(&tracer2, "presort-merge", points);
+        outcome.trace(&tracer2, points, elapsed_us);
         out.push(outcome.sky);
     };
 

@@ -48,10 +48,48 @@ impl std::fmt::Display for Algorithm {
 pub enum LocalKernel {
     /// Block-Nested-Loops — the paper's choice ("for its simplicity").
     Bnl,
-    /// Sort-Filter-Skyline — ablation alternative.
+    /// Sort-Filter-Skyline (entropy-score presort, single pass).
     Sfs,
+    /// SaLSa (min-coordinate presort with an early-stop watermark).
+    Salsa,
     /// Divide-and-Conquer — ablation alternative.
     Dnc,
+    /// Pick the cheapest kernel per partition at runtime from its
+    /// cardinality, dimensionality, and a sampled correlation estimate
+    /// (see `skyline_algos::select::KernelChoice`).
+    Auto,
+}
+
+impl LocalKernel {
+    /// Stable lowercase name, matching the CLI `--kernel` values and the
+    /// kernel labels on trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            LocalKernel::Bnl => "bnl",
+            LocalKernel::Sfs => "sfs",
+            LocalKernel::Salsa => "salsa",
+            LocalKernel::Dnc => "dnc",
+            LocalKernel::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI `--kernel` value.
+    pub fn parse(s: &str) -> Option<LocalKernel> {
+        match s {
+            "bnl" => Some(LocalKernel::Bnl),
+            "sfs" => Some(LocalKernel::Sfs),
+            "salsa" => Some(LocalKernel::Salsa),
+            "dnc" => Some(LocalKernel::Dnc),
+            "auto" => Some(LocalKernel::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LocalKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Tuning knobs shared by all algorithms.

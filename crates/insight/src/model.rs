@@ -110,6 +110,9 @@ pub struct PartitionRec {
     pub output: u64,
     /// Whether the partition was pruned without running a kernel.
     pub pruned: bool,
+    /// Resolved local kernel that processed the partition (`"pruned"` for
+    /// skipped partitions, empty for pre-schema traces).
+    pub kernel: String,
 }
 
 /// A causal edge from the trace, verbatim.
@@ -282,12 +285,14 @@ impl RunModel {
                     input,
                     output,
                     pruned,
+                    kernel,
                 } => {
                     model.partitions.push(PartitionRec {
                         partition: *partition,
                         input: *input,
                         output: *output,
                         pruned: *pruned,
+                        kernel: kernel.clone(),
                     });
                 }
                 _ => {}

@@ -103,13 +103,18 @@ pub fn render_skew(report: &SkewReport) -> String {
     );
     let _ = writeln!(
         out,
-        "  hot partition: {} with {} rows ({:.2}x mean)",
+        "  hot partition: {} with {} rows ({:.2}x mean){}",
         report.hot_partition,
         report.hot_rows,
         if report.mean_rows > 0.0 {
             report.hot_rows as f64 / report.mean_rows
         } else {
             0.0
+        },
+        if report.hot_kernel.is_empty() {
+            String::new()
+        } else {
+            format!(", kernel {}", report.hot_kernel)
         }
     );
     if report.pruned > 0 {

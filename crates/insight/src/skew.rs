@@ -22,6 +22,9 @@ pub struct SkewReport {
     pub hot_partition: u64,
     /// Its row count.
     pub hot_rows: u64,
+    /// The local kernel that processed the hot partition (`"pruned"` if it
+    /// was skipped, empty for pre-schema traces).
+    pub hot_kernel: String,
     /// Mean rows per partition.
     pub mean_rows: f64,
     /// Partitions pruned without running a kernel.
@@ -74,11 +77,18 @@ pub fn skew(run: &RunModel) -> Option<SkewReport> {
         .iter()
         .copied()
         .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
+    let hot_kernel = run
+        .partitions
+        .iter()
+        .find(|p| p.partition == hot_partition)
+        .map(|p| p.kernel.clone())
+        .unwrap_or_default();
     Some(SkewReport {
         row_gini: gini(&row_values),
         time_gini: gini(&time_values),
         hot_partition,
         hot_rows,
+        hot_kernel,
         mean_rows: row_values.iter().sum::<f64>() / row_values.len() as f64,
         pruned: run.partitions.iter().filter(|p| p.pruned).count() as u64,
         rows,
@@ -102,17 +112,19 @@ mod tests {
     #[test]
     fn hot_partition_is_the_row_argmax() {
         let mut run = RunModel::default();
-        for (p, input) in [(0u64, 100u64), (1, 900), (2, 50)] {
+        for (p, input, kernel) in [(0u64, 100u64, "bnl"), (1, 900, "salsa"), (2, 50, "bnl")] {
             run.partitions.push(PartitionRec {
                 partition: p,
                 input,
                 output: input / 10,
                 pruned: false,
+                kernel: kernel.to_string(),
             });
         }
         let report = skew(&run).unwrap();
         assert_eq!(report.hot_partition, 1);
         assert_eq!(report.hot_rows, 900);
+        assert_eq!(report.hot_kernel, "salsa", "blame names the kernel");
         assert!(report.row_gini > 0.3);
         assert_eq!(report.time_gini, 0.0, "no partition job in this model");
     }

@@ -105,6 +105,23 @@ impl CostModel {
     pub fn shuffle_duration(&self, bytes: u64, segments: u64) -> f64 {
         bytes as f64 * self.shuffle_byte_cost + segments as f64 * self.shuffle_segment_latency
     }
+
+    /// Work units equivalent to an `n`-row presort — charged by tasks that
+    /// run a sort-based skyline kernel (SFS, SaLSa), so the simulated
+    /// timeline pays for the `O(n log n)` sort those kernels front-load
+    /// instead of crediting them with dominance tests avoided for free.
+    ///
+    /// One sort-key comparison is half a work unit: a key compare is a
+    /// single boxed-`Double` compare in the Hadoop-era frame, against the
+    /// work unit's full dominance *coordinate visit* (compare + branch +
+    /// `Writable` amortisation) — same era, roughly half the work.
+    pub fn presort_work_units(rows: u64) -> u64 {
+        if rows < 2 {
+            return 0;
+        }
+        let comparisons = rows as f64 * (rows as f64).log2();
+        (comparisons / 2.0).round() as u64
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +146,19 @@ mod tests {
         assert!(m.task_duration(200, 100, 100) > base);
         assert!(m.task_duration(100, 200, 100) > base);
         assert!(m.task_duration(100, 100, 200) > base);
+    }
+
+    #[test]
+    fn presort_units_are_n_log_n_shaped() {
+        assert_eq!(CostModel::presort_work_units(0), 0);
+        assert_eq!(CostModel::presort_work_units(1), 0);
+        // n·log2(n)/2 exactly at a power of two
+        assert_eq!(CostModel::presort_work_units(1024), 1024 * 10 / 2);
+        // superlinear but far below quadratic
+        let small = CostModel::presort_work_units(1_000);
+        let big = CostModel::presort_work_units(10_000);
+        assert!(big > 10 * small, "{big} vs {small}");
+        assert!(big < 100 * small, "{big} vs {small}");
     }
 
     #[test]

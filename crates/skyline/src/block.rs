@@ -282,6 +282,30 @@ impl PointBlock {
         self.row(i).iter().sum()
     }
 
+    /// Entropy score `Σ ln(1 + v_k)` of row `i` (Chomicki et al.), the SFS
+    /// presort key. Matches [`Point::entropy_score`] bit-for-bit (negative
+    /// coordinates clamp to zero), so the AoS bridge sorts identically.
+    /// Strictly monotone under dominance for non-negative coordinates.
+    #[inline]
+    pub fn entropy_score(&self, i: usize) -> f64 {
+        self.row(i).iter().map(|v| (1.0 + v.max(0.0)).ln()).sum()
+    }
+
+    /// Smallest coordinate of row `i` — the SaLSa sort key.
+    #[inline]
+    pub fn min_coord(&self, i: usize) -> f64 {
+        self.row(i).iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest coordinate of row `i` — the SaLSa stop-watermark statistic.
+    #[inline]
+    pub fn max_coord(&self, i: usize) -> f64 {
+        self.row(i)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
     /// Approximate serialized size in bytes, mirroring
     /// [`Point::wire_size`]: 8 bytes of id plus 8 per coordinate, per row.
     #[inline]

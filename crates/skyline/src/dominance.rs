@@ -130,6 +130,17 @@ impl DomCounter {
         self.dim_weighted
     }
 
+    /// Reconstitutes a counter from already-aggregated totals — the bridge
+    /// from block-kernel [`KernelStats`](crate::kernel::KernelStats) back
+    /// to the AoS counter interface, so both stats types report the same
+    /// numbers from the one shared kernel.
+    pub fn from_counts(comparisons: u64, dim_weighted: u64) -> Self {
+        Self {
+            comparisons,
+            dim_weighted,
+        }
+    }
+
     /// Folds another counter into this one (task → job aggregation).
     pub fn merge(&mut self, other: &DomCounter) {
         self.comparisons += other.comparisons;

@@ -11,6 +11,9 @@
 //!   in one flat buffer (same multi-pass overflow + timestamp-emission
 //!   semantics as [`crate::bnl::bnl_skyline`], bit-for-bit the same result
 //!   set).
+//! * [`block_sfs`] — columnar Sort-Filter-Skyline: entropy-score presort,
+//!   one stop-aware filtering pass, no evictions. The local-kernel sibling
+//!   of the merge below (see also [`crate::salsa`] and [`crate::select`]).
 //! * [`presort_merge`] — the SFS-style merge: candidates are presorted by
 //!   L1 norm (a monotone score: if `p` dominates `q` then
 //!   `l1(p) < l1(q)`), after which a *single* filtering pass suffices —
@@ -41,6 +44,9 @@ pub struct KernelStats {
     pub passes: u32,
     /// Points spilled to the overflow buffer across all passes.
     pub overflowed: u64,
+    /// Rows discarded without a single comparison by a sort-order bound
+    /// (the SaLSa early-stop watermark); zero for kernels without one.
+    pub skipped: u64,
     /// Input cardinality.
     pub input_len: u64,
     /// Output (skyline) cardinality.
@@ -54,6 +60,7 @@ impl KernelStats {
         self.dim_weighted += other.dim_weighted;
         self.passes = self.passes.max(other.passes);
         self.overflowed += other.overflowed;
+        self.skipped += other.skipped;
         self.input_len += other.input_len;
         self.output_len += other.output_len;
     }
@@ -62,7 +69,7 @@ impl KernelStats {
 /// Records a kernel run into the process-global metrics registry under the
 /// `skyline.<name>.*` namespace. One relaxed-atomic branch when metrics are
 /// disabled (the default), so the hot kernels can call it unconditionally.
-fn record_kernel_metrics(name: &str, stats: &KernelStats) {
+pub(crate) fn record_kernel_metrics(name: &str, stats: &KernelStats) {
     let m = mrsky_trace::metrics();
     if !m.is_enabled() {
         return;
@@ -71,6 +78,7 @@ fn record_kernel_metrics(name: &str, stats: &KernelStats) {
     m.incr(&format!("skyline.{name}.comparisons"), stats.comparisons);
     m.incr(&format!("skyline.{name}.passes"), u64::from(stats.passes));
     m.incr(&format!("skyline.{name}.overflowed"), stats.overflowed);
+    m.incr(&format!("skyline.{name}.skipped"), stats.skipped);
     m.observe(
         &format!("skyline.{name}.comparisons_per_call"),
         stats.comparisons,
@@ -472,6 +480,81 @@ pub fn presort_merge_stats(block: &PointBlock) -> (PointBlock, KernelStats) {
     (skyline, stats)
 }
 
+/// Computes the skyline of `block` with the columnar SFS kernel.
+pub fn block_sfs(block: &PointBlock) -> PointBlock {
+    block_sfs_stats(block).0
+}
+
+/// Columnar Sort-Filter-Skyline (Chomicki et al., ICDE 2003): candidates
+/// are presorted by ascending entropy score `Σ ln(1 + v_k)` (ties broken by
+/// id), then filtered in one pass against the accepted skyline.
+///
+/// The entropy score is *strictly* monotone under dominance on non-negative
+/// coordinates — if `p` dominates `q` then `score(p) < score(q)` — which
+/// buys two structural guarantees over BNL:
+///
+/// * **no evictions, one pass**: a candidate can only be dominated by an
+///   *earlier* (lower-score) row, so an accepted point is final immediately
+///   and no overflow/multi-pass machinery is needed;
+/// * **a stop-aware window scan**: the accepted skyline is itself in
+///   ascending score order, so the inner scan terminates at the first
+///   accepted row whose score is `>=` the candidate's — rows at or past
+///   that bound can never dominate it. On correlated inputs this keeps the
+///   effective window a small prefix regardless of skyline size.
+///
+/// Exact duplicates tie on score and never dominate each other, so all
+/// survive, matching the other kernels bit-for-bit.
+pub fn block_sfs_stats(block: &PointBlock) -> (PointBlock, KernelStats) {
+    let d = block.dim();
+    let n = block.len();
+    let mut stats = KernelStats {
+        input_len: n as u64,
+        ..KernelStats::default()
+    };
+    let mut skyline = PointBlock::with_capacity(d, 0);
+    if n == 0 {
+        return (skyline, stats);
+    }
+    stats.passes = 1;
+
+    let scores: Vec<f64> = (0..n).map(|i| block.entropy_score(i)).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .total_cmp(&scores[b])
+            .then_with(|| block.id(a).cmp(&block.id(b)))
+    });
+
+    // Scores of accepted rows, parallel to `skyline` and ascending — the
+    // stop bound for the inner scan.
+    let mut accepted_scores: Vec<f64> = Vec::new();
+    for &i in &order {
+        let cand = block.row(i);
+        let score = scores[i];
+        let mut dominated = false;
+        for (srow, &sscore) in skyline.coords().chunks_exact(d).zip(&accepted_scores) {
+            if sscore >= score {
+                break;
+            }
+            stats.comparisons += 1;
+            stats.dim_weighted += d as u64;
+            if dominates_row(srow, cand) {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            skyline.push_trusted(block.id(i), cand);
+            accepted_scores.push(score);
+        }
+    }
+
+    crate::invariants::check_skyline_block("block-sfs", block, &skyline);
+    stats.output_len = skyline.len() as u64;
+    record_kernel_metrics("sfs", &stats);
+    (skyline, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +676,63 @@ mod tests {
     #[test]
     fn presort_merge_empty() {
         let (sky, stats) = presort_merge_stats(&PointBlock::new(2));
+        assert!(sky.is_empty());
+        assert_eq!(stats.passes, 0);
+    }
+
+    #[test]
+    fn block_sfs_matches_oracle() {
+        for seed in 40..50 {
+            let block = random_block(170, 4, seed, 6);
+            let (sky, stats) = block_sfs_stats(&block);
+            assert_eq!(
+                sorted_ids(&sky),
+                naive_skyline_ids(&block.to_points()),
+                "seed {seed}"
+            );
+            assert_eq!(stats.passes, 1);
+            assert_eq!(stats.overflowed, 0);
+            assert_eq!(stats.skipped, 0, "SFS has no early-stop skip");
+        }
+    }
+
+    #[test]
+    fn block_sfs_keeps_duplicates_and_score_ties() {
+        let mut b = PointBlock::new(2);
+        b.push(0, &[1.0, 1.0]).unwrap();
+        b.push(1, &[1.0, 1.0]).unwrap();
+        b.push(2, &[2.0, 2.0]).unwrap();
+        // entropy tie with row 0/1? No — but incomparable pair must survive
+        b.push(3, &[0.0, 2.5]).unwrap();
+        let sky = block_sfs(&b);
+        assert_eq!(sorted_ids(&sky), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn block_sfs_output_is_entropy_sorted() {
+        let block = random_block(140, 3, 77, 9);
+        let sky = block_sfs(&block);
+        for i in 1..sky.len() {
+            assert!(sky.entropy_score(i - 1) <= sky.entropy_score(i));
+        }
+    }
+
+    #[test]
+    fn block_sfs_stop_bound_cuts_comparisons_on_correlated_input() {
+        // correlated diagonal: singleton skyline; every candidate compares
+        // against exactly one accepted row
+        let mut b = PointBlock::new(2);
+        for i in 0..300u64 {
+            b.push(i, &[i as f64, i as f64 + 0.5]).unwrap();
+        }
+        let (sky, stats) = block_sfs_stats(&b);
+        assert_eq!(sky.len(), 1);
+        assert!(stats.comparisons <= 299 * 2);
+    }
+
+    #[test]
+    fn block_sfs_empty() {
+        let (sky, stats) = block_sfs_stats(&PointBlock::new(4));
         assert!(sky.is_empty());
         assert_eq!(stats.passes, 0);
     }

@@ -16,14 +16,20 @@
 //!   coordinate buffer + parallel id vector), the transport and compute
 //!   representation of the hot paths.
 //! * [`kernel`] — block-based dominance kernels: branchless row compares,
-//!   a blocked BNL over flat buffers, and the L1-presorting merge.
+//!   a blocked BNL over flat buffers, the columnar SFS, and the
+//!   L1-presorting merge.
+//! * [`salsa`] — the SaLSa kernel (min-coordinate presort with an
+//!   early-stop watermark).
+//! * [`select`] — runtime kernel selection: [`BlockKernel`] dispatch and
+//!   the [`KernelChoice`] cost heuristic over a sampled correlation
+//!   estimate.
 //! * [`bnl`] — the Block-Nested-Loops skyline algorithm (Börzsönyi et al.,
 //!   ICDE 2001) with a bounded self-organising window and multi-pass overflow
 //!   handling; the paper uses BNL for both local and global skylines.
 //! * [`filter`] — deterministic filter-point selection for shuffle-side early
 //!   pruning (drop dominated rows before they are shuffled).
-//! * [`sfs`] — Sort-Filter-Skyline, an independent kernel used as an oracle in
-//!   tests and as an ablation baseline.
+//! * [`sfs`] — Sort-Filter-Skyline as a `Point` bridge over the block
+//!   kernel; an independent oracle in tests and a pluggable local kernel.
 //! * [`seq`] — a trivial quadratic reference implementation.
 //! * [`hypersphere`] — the Cartesian → hyperspherical transform of the paper's
 //!   Eq. (1)/(2), which underlies angular partitioning.
@@ -71,6 +77,8 @@ pub mod point;
 pub mod progressive;
 pub mod ranking;
 pub mod representative;
+pub mod salsa;
+pub mod select;
 pub mod seq;
 pub mod sfs;
 pub mod skyband;
@@ -85,8 +93,8 @@ pub use filter::{filtered_out, select_filter_points};
 pub use hypersphere::{to_hyperspherical, to_hyperspherical_into, HyperPoint};
 pub use kdominant::{k_dominant_skyline, k_dominates};
 pub use kernel::{
-    block_bnl, block_bnl_stats, compare_rows, dominated_count, dominates_row, presort_merge,
-    presort_merge_stats, KernelStats,
+    block_bnl, block_bnl_stats, block_sfs, block_sfs_stats, compare_rows, dominated_count,
+    dominates_row, presort_merge, presort_merge_stats, KernelStats,
 };
 pub use parallel::{parallel_skyline, parallel_skyline_partitioned, parallel_skyline_stats};
 pub use partition::{
@@ -97,6 +105,8 @@ pub use point::Point;
 pub use progressive::ProgressiveSkyline;
 pub use ranking::WeightedScore;
 pub use representative::{distance_based_representatives, max_dominance_representatives};
+pub use salsa::{block_salsa, block_salsa_stats};
+pub use select::{correlation_estimate, BlockKernel, KernelChoice};
 pub use seq::naive_skyline;
 pub use sfs::{sfs_skyline, sfs_skyline_stats};
 pub use skyband::{DeleteOutcome, SkybandBuffer, SkybandStats};
@@ -110,7 +120,9 @@ pub mod prelude {
     pub use crate::dominance::{dominates, strictly_dominates, DomCounter, DomRelation};
     pub use crate::hypersphere::{to_hyperspherical, HyperPoint};
     pub use crate::kdominant::{k_dominant_skyline, k_dominates};
-    pub use crate::kernel::{block_bnl, dominates_row, presort_merge};
+    pub use crate::kernel::{block_bnl, block_sfs, dominates_row, presort_merge};
+    pub use crate::salsa::block_salsa;
+    pub use crate::select::{BlockKernel, KernelChoice};
     pub use crate::metrics::local_skyline_optimality;
     pub use crate::parallel::{parallel_skyline, parallel_skyline_partitioned};
     pub use crate::partition::{

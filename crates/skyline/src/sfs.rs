@@ -9,11 +9,19 @@
 //! * an **independent oracle**: it shares no code path with BNL beyond the
 //!   dominance primitive, so agreement between the two is strong evidence of
 //!   correctness;
-//! * an **ablation kernel**: the `local_kernel` bench swaps SFS for BNL in the
-//!   MapReduce local-skyline stage to quantify how much the paper's choice of
-//!   BNL matters.
+//! * a **pluggable local kernel**: `--kernel sfs` (or the `Auto` selector)
+//!   swaps SFS for BNL in the MapReduce local-skyline stage, where it wins
+//!   on large anti-correlated partitions.
+//!
+//! This module is a thin `Point` bridge over the columnar
+//! [`block_sfs_stats`](crate::kernel::block_sfs_stats) kernel — there is
+//! exactly one SFS implementation, so [`SfsStats`] and
+//! [`KernelStats`](crate::kernel::KernelStats) report the same numbers by
+//! construction and cannot drift.
 
+use crate::block::PointBlock;
 use crate::dominance::DomCounter;
+use crate::kernel::block_sfs_stats;
 use crate::point::Point;
 
 /// Execution statistics of an SFS run.
@@ -43,38 +51,27 @@ pub fn sfs_skyline(points: &[Point]) -> Vec<Point> {
 }
 
 /// Like [`sfs_skyline`] but also returns execution statistics.
+///
+/// # Panics
+///
+/// Panics if the points disagree on dimensionality (the same precondition
+/// every dominance primitive already imposes).
 pub fn sfs_skyline_stats(points: &[Point]) -> (Vec<Point>, SfsStats) {
     let mut stats = SfsStats {
         input_len: points.len() as u64,
         ..SfsStats::default()
     };
-    if points.is_empty() {
+    let Some(first) = points.first() else {
         return (Vec::new(), stats);
+    };
+    let mut block = PointBlock::with_capacity(first.dim(), points.len());
+    for p in points {
+        block.push_point(p);
     }
-
-    // Sort by entropy score ascending; ties broken by id for determinism.
-    let mut order: Vec<usize> = (0..points.len()).collect();
-    let scores: Vec<f64> = points.iter().map(Point::entropy_score).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .total_cmp(&scores[b])
-            .then_with(|| points[a].id().cmp(&points[b].id()))
-    });
-
-    let mut skyline: Vec<Point> = Vec::new();
-    'outer: for &idx in &order {
-        let candidate = &points[idx];
-        for s in &skyline {
-            if stats.counter.dominates(s, candidate) {
-                continue 'outer;
-            }
-        }
-        skyline.push(candidate.clone());
-    }
-
-    crate::invariants::check_skyline("sfs", points, &skyline);
-    stats.output_len = skyline.len() as u64;
-    (skyline, stats)
+    let (sky, kernel_stats) = block_sfs_stats(&block);
+    stats.counter = DomCounter::from_counts(kernel_stats.comparisons, kernel_stats.dim_weighted);
+    stats.output_len = kernel_stats.output_len;
+    (sky.to_points(), stats)
 }
 
 #[cfg(test)]
@@ -149,5 +146,38 @@ mod tests {
         assert_eq!(stats.input_len, 10);
         assert_eq!(stats.output_len, sky.len() as u64);
         assert_eq!(sky.len(), 10);
+    }
+
+    #[test]
+    fn bridge_reports_the_block_kernel_numbers() {
+        use crate::kernel::block_sfs_stats;
+        let points: Vec<Point> = (0..60)
+            .map(|i| Point::new(i, vec![(i % 7) as f64, (i % 11) as f64, (i % 5) as f64]))
+            .collect();
+        let (sky, stats) = sfs_skyline_stats(&points);
+        let block = PointBlock::from_points(&points).unwrap();
+        let (bsky, bstats) = block_sfs_stats(&block);
+        assert_eq!(sky, bsky.to_points(), "same rows in the same order");
+        assert_eq!(stats.counter.comparisons(), bstats.comparisons);
+        assert_eq!(stats.counter.dim_weighted(), bstats.dim_weighted);
+        assert_eq!(stats.output_len, bstats.output_len);
+    }
+
+    #[test]
+    fn output_is_entropy_sorted() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let points: Vec<Point> = (0..120)
+            .map(|i| {
+                Point::new(
+                    i,
+                    (0..3).map(|_| rng.gen_range(0.0..4.0)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let sky = sfs_skyline(&points);
+        for w in sky.windows(2) {
+            assert!(w[0].entropy_score() <= w[1].entropy_score());
+        }
     }
 }

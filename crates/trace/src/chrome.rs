@@ -227,9 +227,10 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                 output,
                 comparisons,
                 passes,
+                elapsed_us,
             } => {
                 em.push(&format!(
-                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"kernel {}\",\"cat\":\"kernel\",\"ts\":{},\"args\":{{\"input\":{input},\"output\":{output},\"comparisons\":{comparisons},\"passes\":{passes}}}",
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"kernel {}\",\"cat\":\"kernel\",\"ts\":{},\"args\":{{\"input\":{input},\"output\":{output},\"comparisons\":{comparisons},\"passes\":{passes},\"elapsed_us\":{elapsed_us}}}",
                     escape(kernel),
                     ev.wall_us
                 ));
@@ -239,10 +240,12 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                 input,
                 output,
                 pruned,
+                kernel,
             } => {
                 em.push(&format!(
-                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"partition {partition}\",\"cat\":\"partition\",\"ts\":{},\"args\":{{\"input\":{input},\"output\":{output},\"pruned\":{pruned}}}",
-                    ev.wall_us
+                    "\"ph\":\"i\",\"pid\":{DRIVER_PID},\"tid\":1,\"s\":\"t\",\"name\":\"partition {partition}\",\"cat\":\"partition\",\"ts\":{},\"args\":{{\"input\":{input},\"output\":{output},\"pruned\":{pruned},\"kernel\":\"{}\"}}",
+                    ev.wall_us,
+                    escape(kernel)
                 ));
             }
             EventKind::ShufflePartition {

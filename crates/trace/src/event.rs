@@ -244,7 +244,9 @@ pub enum EventKind {
     },
     /// One skyline kernel invocation (local computation or merge).
     KernelRun {
-        /// Kernel name (`bnl`, `sfs`, `dnc`, `presort-merge`).
+        /// Kernel name (`bnl`, `sfs`, `salsa`, `dnc`, `presort-merge`).
+        /// Under `--kernel auto` this is the kernel the selector chose for
+        /// the block, never the literal `auto`.
         kernel: String,
         /// Input cardinality.
         input: u64,
@@ -254,6 +256,10 @@ pub enum EventKind {
         comparisons: u64,
         /// Passes over the input (BNL window overflow model).
         passes: u64,
+        /// Tracer-clock time the kernel took, in microseconds (`0` in
+        /// traces written before this field existed, and under simulated
+        /// clocks that do not advance inside a task).
+        elapsed_us: u64,
     },
     /// A partition's local skyline was computed (or the partition pruned).
     PartitionLocalSkyline {
@@ -265,6 +271,10 @@ pub enum EventKind {
         output: u64,
         /// Whether dominated-cell pruning skipped the kernel entirely.
         pruned: bool,
+        /// Name of the kernel that computed this partition (`pruned` when
+        /// the partition was skipped; empty in traces written before this
+        /// field existed).
+        kernel: String,
     },
     /// Map-side filter-point sweep summary: how many shuffle candidates the
     /// broadcast filter block absorbed before they were shuffled.
@@ -641,23 +651,27 @@ fn fields_of(kind: &EventKind) -> Vec<(&'static str, Field)> {
             output,
             comparisons,
             passes,
+            elapsed_us,
         } => vec![
             ("kernel", S(kernel.clone())),
             ("input", U(*input)),
             ("output", U(*output)),
             ("comparisons", U(*comparisons)),
             ("passes", U(*passes)),
+            ("elapsed_us", U(*elapsed_us)),
         ],
         PartitionLocalSkyline {
             partition,
             input,
             output,
             pruned,
+            kernel,
         } => vec![
             ("partition", U(*partition)),
             ("input", U(*input)),
             ("output", U(*output)),
             ("pruned", B(*pruned)),
+            ("kernel", S(kernel.clone())),
         ],
         RowsFiltered { input, filtered } => {
             vec![("input", U(*input)), ("filtered", U(*filtered))]
@@ -831,6 +845,24 @@ fn req_str(v: &JsonValue, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing or non-string field `{key}`"))
 }
 
+/// Optional integer field with a default — for fields added to the schema
+/// after traces in the wild were written. A *present but mistyped* value is
+/// still a schema violation.
+fn opt_u64(v: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => req_u64(v, key),
+    }
+}
+
+/// Optional string field with a default; present-but-mistyped still errors.
+fn opt_str(v: &JsonValue, key: &str, default: &str) -> Result<String, String> {
+    match v.get(key) {
+        None => Ok(default.to_string()),
+        Some(_) => req_str(v, key),
+    }
+}
+
 fn req_phase(v: &JsonValue, key: &str) -> Result<PhaseKind, String> {
     let s = req_str(v, key)?;
     PhaseKind::parse(&s).ok_or_else(|| format!("unknown phase `{s}`"))
@@ -928,12 +960,14 @@ fn kind_from(v: &JsonValue, ty: &str) -> Result<EventKind, String> {
             output: req_u64(v, "output")?,
             comparisons: req_u64(v, "comparisons")?,
             passes: req_u64(v, "passes")?,
+            elapsed_us: opt_u64(v, "elapsed_us", 0)?,
         },
         "partition_local_skyline" => PartitionLocalSkyline {
             partition: req_u64(v, "partition")?,
             input: req_u64(v, "input")?,
             output: req_u64(v, "output")?,
             pruned: req_bool(v, "pruned")?,
+            kernel: opt_str(v, "kernel", "")?,
         },
         "rows_filtered" => RowsFiltered {
             input: req_u64(v, "input")?,
@@ -1116,12 +1150,14 @@ mod tests {
                 output: 12,
                 comparisons: 4321,
                 passes: 2,
+                elapsed_us: 750,
             },
             PartitionLocalSkyline {
                 partition: 9,
                 input: 50,
                 output: 6,
                 pruned: false,
+                kernel: "salsa".into(),
             },
             RowsFiltered {
                 input: 1600,
@@ -1223,6 +1259,33 @@ mod tests {
         assert!(TraceEvent::from_json(r#"{"seq":0,"type":"job_started","job":"x"}"#).is_err());
         assert!(TraceEvent::from_json(r#"{"seq":0,"wall_us":0,"type":"nope"}"#).is_err());
         assert!(TraceEvent::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_pre_kernel_schema_traces() {
+        // Traces written before `elapsed_us` / `kernel` existed must still
+        // parse, with the documented defaults.
+        let kr = TraceEvent::from_json(
+            r#"{"seq":0,"wall_us":0,"type":"kernel_run","kernel":"bnl","input":9,"output":3,"comparisons":12,"passes":1}"#,
+        )
+        .unwrap();
+        assert!(
+            matches!(kr.kind, EventKind::KernelRun { elapsed_us: 0, .. }),
+            "{kr:?}"
+        );
+        let pls = TraceEvent::from_json(
+            r#"{"seq":1,"wall_us":0,"type":"partition_local_skyline","partition":2,"input":9,"output":3,"pruned":false}"#,
+        )
+        .unwrap();
+        assert!(
+            matches!(&pls.kind, EventKind::PartitionLocalSkyline { kernel, .. } if kernel.is_empty()),
+            "{pls:?}"
+        );
+        // present-but-mistyped is still a schema violation
+        assert!(TraceEvent::from_json(
+            r#"{"seq":2,"wall_us":0,"type":"kernel_run","kernel":"bnl","input":9,"output":3,"comparisons":12,"passes":1,"elapsed_us":"fast"}"#,
+        )
+        .is_err());
     }
 
     #[test]

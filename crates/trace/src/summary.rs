@@ -223,6 +223,9 @@ pub struct KernelSummary {
     pub output: u64,
     /// Total passes over the input.
     pub passes: u64,
+    /// Total tracer-clock kernel time in microseconds (0 for traces
+    /// predating the `elapsed_us` field or simulated clocks).
+    pub elapsed_us: u64,
     /// Dominance comparisons per invocation, log₂-bucketed.
     pub comparisons: Histogram,
 }
@@ -234,8 +237,10 @@ pub struct TraceSummary {
     pub jobs: BTreeMap<String, JobSummary>,
     /// Per-kernel aggregates.
     pub kernels: BTreeMap<String, KernelSummary>,
-    /// Per-partition `(input, local-skyline size, pruned)` rows.
-    pub partitions: BTreeMap<u64, (u64, u64, bool)>,
+    /// Per-partition `(input, local-skyline size, pruned, kernel)` rows.
+    /// `kernel` names the kernel that computed the partition (`pruned`
+    /// when skipped, empty for pre-schema traces).
+    pub partitions: BTreeMap<u64, (u64, u64, bool, String)>,
     /// Ingest totals: (services, rejected).
     pub ingest: Option<(u64, u64)>,
     /// Driver span wall durations in microseconds, by name.
@@ -395,12 +400,14 @@ impl TraceSummary {
                     output,
                     comparisons,
                     passes,
+                    elapsed_us,
                 } => {
                     let entry = summary.kernels.entry(kernel.clone()).or_default();
                     entry.calls += 1;
                     entry.input += input;
                     entry.output += output;
                     entry.passes += passes;
+                    entry.elapsed_us += elapsed_us;
                     entry.comparisons.record(*comparisons);
                     summary
                         .latency
@@ -413,10 +420,11 @@ impl TraceSummary {
                     input,
                     output,
                     pruned,
+                    kernel,
                 } => {
                     summary
                         .partitions
-                        .insert(*partition, (*input, *output, *pruned));
+                        .insert(*partition, (*input, *output, *pruned, kernel.clone()));
                 }
                 EventKind::IngestFinished { services, rejected } => {
                     summary.ingest = Some((*services, *rejected));
@@ -566,7 +574,7 @@ impl TraceSummary {
             let computed: Vec<_> = self
                 .partitions
                 .iter()
-                .filter(|(_, (_, _, pruned))| !pruned)
+                .filter(|(_, (_, _, pruned, _))| !pruned)
                 .collect();
             let pruned = self.partitions.len() - computed.len();
             let _ = writeln!(
@@ -574,19 +582,24 @@ impl TraceSummary {
                 "  partitions: {} computed, {pruned} pruned",
                 computed.len()
             );
-            for (id, (input, output, _)) in &computed {
-                let _ = writeln!(out, "    p{id:<4} in={input:<8} local_skyline={output}");
+            for (id, (input, output, _, kernel)) in &computed {
+                let _ = writeln!(
+                    out,
+                    "    p{id:<4} in={input:<8} local_skyline={output:<8} kernel={}",
+                    if kernel.is_empty() { "?" } else { kernel }
+                );
             }
         }
 
         for (kernel, ks) in &self.kernels {
             let _ = writeln!(
                 out,
-                "  kernel {kernel}: calls={} in={} out={} passes={} comparisons(sum={}, mean={:.0})",
+                "  kernel {kernel}: calls={} in={} out={} passes={} time={}us comparisons(sum={}, mean={:.0})",
                 ks.calls,
                 ks.input,
                 ks.output,
                 ks.passes,
+                ks.elapsed_us,
                 ks.comparisons.sum(),
                 ks.comparisons.mean()
             );
@@ -801,6 +814,7 @@ mod tests {
                     output: 10,
                     comparisons: 500,
                     passes: 1,
+                    elapsed_us: 40,
                 },
             ),
             ev(
@@ -811,6 +825,7 @@ mod tests {
                     input: 100,
                     output: 10,
                     pruned: false,
+                    kernel: "bnl".into(),
                 },
             ),
             ev(
@@ -877,6 +892,7 @@ mod tests {
                     input: 100,
                     output: 10,
                     pruned: false,
+                    kernel: "bnl".into(),
                 },
             ),
         ];
@@ -902,6 +918,7 @@ mod tests {
                     input: 100,
                     output: 10,
                     pruned: false,
+                    kernel: "bnl".into(),
                 },
             ),
         ];
@@ -924,6 +941,7 @@ mod tests {
                     input: 100,
                     output: 10,
                     pruned: false,
+                    kernel: "bnl".into(),
                 },
             ),
             ev(3, 3, RunResumed { run: 2 }),
@@ -1215,7 +1233,10 @@ mod tests {
         let bnl = summary.kernels.get("bnl").unwrap();
         assert_eq!(bnl.calls, 1);
         assert_eq!(bnl.comparisons.sum(), 500);
-        assert_eq!(summary.partitions.get(&3), Some(&(100, 10, false)));
+        assert_eq!(
+            summary.partitions.get(&3),
+            Some(&(100, 10, false, "bnl".to_string()))
+        );
         assert_eq!(summary.spans.get("run"), Some(&20));
     }
 

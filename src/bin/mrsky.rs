@@ -110,6 +110,8 @@ Any command accepting --data FILE also accepts --qws-file FILE to read the
 original QWS v2 dataset file (9 QoS columns + name + WSDL).
 
 Pruning knobs (skyline / compare / sweep):
+  --kernel NAME           local-skyline kernel: bnl (default), sfs, salsa,
+                          dnc, or auto (per-partition cost-model selection)
   --filter-k N            broadcast N filter points to the map tasks and drop
                           dominated rows before the shuffle (default: 8*dims,
                           at least 16)
@@ -218,6 +220,10 @@ fn chaos_opts(args: &[String]) -> Result<FaultPlan, String> {
 /// overlaps the global merge with job 1's reduce wave.
 fn pruning_opts(args: &[String]) -> Result<AlgoConfig, String> {
     let mut config = AlgoConfig::default();
+    if let Some(k) = flag(args, "--kernel") {
+        config.kernel = LocalKernel::parse(&k)
+            .ok_or_else(|| format!("unknown kernel `{k}` (expected bnl|sfs|salsa|dnc|auto)"))?;
+    }
     if let Some(k) = flag(args, "--filter-k") {
         let k: usize = k
             .parse()

@@ -51,6 +51,10 @@ fn analyzer_names_the_hot_partition_and_blame_sums_to_wall_time() {
     assert_eq!(skew.hot_partition, true_hot, "wrong hot partition");
     assert_eq!(skew.hot_rows, true_rows);
     assert!(skew.row_gini > 0.0, "skewed data must show row skew");
+    assert_eq!(
+        skew.hot_kernel, "bnl",
+        "hot-partition blame must name the (default) kernel that ran it"
+    );
 
     // Critical path: blame tiles the run exactly, so it reproduces the
     // reported simulated wall time within the 1% acceptance bound (it is
